@@ -1,0 +1,96 @@
+//! Evolution deltas: what dynamic exploration added to the statically
+//! initialized model.
+//!
+//! The paper's AFTM "will be updated continuously until all nodes have
+//! been visited"; the delta between the initial and the final model is
+//! the value of the dynamic phase — transitions the static patterns could
+//! not see (runtime-resolved intents, observed fragment switches) and
+//! nodes only reached by force.
+
+use crate::graph::{Aftm, Edge, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The difference between two models (typically initial → final).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AftmDelta {
+    /// Nodes present only in the newer model.
+    pub added_nodes: BTreeSet<NodeId>,
+    /// Edges present only in the newer model.
+    pub added_edges: BTreeSet<Edge>,
+    /// Nodes visited in the newer model but not in the older one.
+    pub newly_visited: BTreeSet<NodeId>,
+}
+
+impl AftmDelta {
+    /// Whether evolution changed anything.
+    pub fn is_empty(&self) -> bool {
+        self.added_nodes.is_empty()
+            && self.added_edges.is_empty()
+            && self.newly_visited.is_empty()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "+{} nodes, +{} edges, {} newly visited",
+            self.added_nodes.len(),
+            self.added_edges.len(),
+            self.newly_visited.len()
+        )
+    }
+}
+
+/// Computes `newer − older`.
+pub fn diff(older: &Aftm, newer: &Aftm) -> AftmDelta {
+    let old_nodes: BTreeSet<&NodeId> = older.nodes().collect();
+    let old_edges: BTreeSet<&Edge> = older.edges().collect();
+    AftmDelta {
+        added_nodes: newer
+            .nodes()
+            .filter(|n| !old_nodes.contains(n))
+            .cloned()
+            .collect(),
+        added_edges: newer
+            .edges()
+            .filter(|e| !old_edges.contains(e))
+            .cloned()
+            .collect(),
+        newly_visited: newer
+            .nodes()
+            .filter(|n| newer.is_visited(n) && !older.is_visited(n))
+            .cloned()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+
+    #[test]
+    fn diff_reports_additions_and_visits() {
+        let mut a = Aftm::new();
+        a.set_entry("d.A0");
+        a.add_edge(Edge::e1("d.A0", "d.A1"));
+
+        let mut b = a.clone();
+        b.add_edge(Edge::e2("d.A1", "d.F0"));
+        b.mark_visited(&NodeId::Activity("d.A0".into()));
+
+        let delta = diff(&a, &b);
+        assert_eq!(delta.added_nodes.len(), 1, "F0");
+        assert_eq!(delta.added_edges.len(), 1);
+        assert_eq!(delta.newly_visited.len(), 1, "A0");
+        assert!(!delta.is_empty());
+        assert_eq!(delta.summary(), "+1 nodes, +1 edges, 1 newly visited");
+    }
+
+    #[test]
+    fn identical_models_have_empty_diff() {
+        let mut a = Aftm::new();
+        a.set_entry("d.A0");
+        assert!(diff(&a, &a.clone()).is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Graphviz DOT export — regenerates Fig. 5-style pictures of a model.
+
+use crate::graph::{Aftm, EdgeKind, NodeId};
+use std::fmt::Write;
+
+fn node_id_token(node: &NodeId) -> String {
+    let prefix = if node.is_activity() { "A" } else { "F" };
+    format!("{prefix}_{}", node.class().as_str().replace(['.', '$'], "_"))
+}
+
+/// Renders the model as a DOT digraph. Activities are boxes, fragments
+/// ellipses; visited nodes are filled; edge styles distinguish E1/E2/E3.
+pub fn to_dot(model: &Aftm) -> String {
+    let mut out = String::from("digraph aftm {\n    rankdir=LR;\n");
+    for node in model.nodes() {
+        let shape = if node.is_activity() { "box" } else { "ellipse" };
+        let fill = if model.is_visited(node) { ", style=filled, fillcolor=lightgrey" } else { "" };
+        let entry = model
+            .entry()
+            .map(|e| node.is_activity() && node.class() == e)
+            .unwrap_or(false);
+        let bold = if entry { ", penwidth=2" } else { "" };
+        let _ = writeln!(
+            out,
+            "    {} [label=\"{}\", shape={}{}{}];",
+            node_id_token(node),
+            node.class().simple_name(),
+            shape,
+            fill,
+            bold,
+        );
+    }
+    for edge in model.edges() {
+        let style = match edge.kind {
+            EdgeKind::E1 => "solid",
+            EdgeKind::E2 => "dashed",
+            EdgeKind::E3 => "dotted",
+        };
+        let _ = writeln!(
+            out,
+            "    {} -> {} [style={}, label=\"{:?}\"];",
+            node_id_token(&edge.from),
+            node_id_token(&edge.to),
+            style,
+            edge.kind,
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edge_styles() {
+        let mut m = Aftm::new();
+        m.set_entry("app.A0");
+        m.add_edge(Edge::e1("app.A0", "app.A1"));
+        m.add_edge(Edge::e2("app.A0", "app.F0"));
+        m.add_edge(Edge::e3("app.A0", "app.F0", "app.F1"));
+        m.mark_visited(&NodeId::Activity("app.A0".into()));
+
+        let dot = to_dot(&m);
+        assert!(dot.starts_with("digraph aftm {"));
+        for token in ["A_app_A0", "A_app_A1", "F_app_F0", "F_app_F1"] {
+            assert!(dot.contains(token), "missing {token} in:\n{dot}");
+        }
+        assert!(dot.contains("style=solid"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=dotted"));
+        assert!(dot.contains("fillcolor=lightgrey"), "visited entry should be filled");
+        assert!(dot.contains("penwidth=2"), "entry should be bold");
+    }
+
+    #[test]
+    fn inner_class_names_are_sanitized() {
+        let mut m = Aftm::new();
+        m.add_node(NodeId::Fragment("a.Outer$1".into()));
+        let dot = to_dot(&m);
+        assert!(dot.contains("F_a_Outer_1"));
+    }
+}

@@ -1,0 +1,50 @@
+//! The Activity & Fragment Transition Model (AFTM) — Definition 1 of the
+//! FragDroid paper.
+//!
+//! An AFTM is a tuple ⟨A, F, E⟩: a finite set of activities, a finite set
+//! of fragments, and transition edges of three basic kinds:
+//!
+//! * **E1**: `A → A` — from an activity to another activity;
+//! * **E2**: `A → Fᵢ` — from an activity to one of its own fragments;
+//! * **E3**: `F → Fᵢ` — between two fragments of the same host activity.
+//!
+//! Seven transition types occur in practice; [`Aftm::apply`] performs the
+//! paper's merge (§IV-A) that reduces all seven to the three basic kinds
+//! (`F → Aᵢ` is dropped, edges out of a fragment are re-rooted at its host
+//! activity, and `A → F_o` is split into `A → A'` plus `A' → Fᵢ`).
+//!
+//! The model is *evolutionary*: the static phase initializes it, and the
+//! dynamic phase keeps inserting newly observed transitions and marking
+//! nodes visited until a fixpoint (§VI). Every mutating method reports
+//! whether it changed the model, which is what drives the outer loop's
+//! termination condition.
+
+//! # Example
+//!
+//! ```
+//! use fd_aftm::{Aftm, Edge, NodeId};
+//!
+//! let mut model = Aftm::new();
+//! model.set_entry("app.Main");
+//! model.add_edge(Edge::e1("app.Main", "app.Settings"));   // A → A
+//! model.add_edge(Edge::e2("app.Main", "app.HomeFrag"));   // A → Fi
+//! model.add_edge(Edge::e3("app.Main", "app.HomeFrag", "app.StatsFrag")); // F → Fi
+//!
+//! assert_eq!(model.counts(), (2, 2));
+//! let target = NodeId::Fragment("app.StatsFrag".into());
+//! assert_eq!(model.path_to(&target).unwrap().len(), 2);
+//! assert!(model.mark_visited(&target));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod dot;
+pub mod graph;
+pub mod stats;
+pub mod transition;
+
+pub use diff::{diff, AftmDelta};
+pub use graph::{Aftm, Edge, EdgeKind, NodeId};
+pub use stats::{stats, AftmStats};
+pub use transition::RawTransition;

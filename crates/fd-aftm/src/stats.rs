@@ -1,0 +1,117 @@
+//! Structural statistics over an AFTM — used by the corpus analysis to
+//! characterize app architectures (how fragment-heavy, how deep, how
+//! connected).
+
+use crate::graph::{Aftm, EdgeKind, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Summary statistics of one model.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AftmStats {
+    /// Activity nodes.
+    pub activities: usize,
+    /// Fragment nodes.
+    pub fragments: usize,
+    /// E1 (`A → A`) edges.
+    pub e1: usize,
+    /// E2 (`A → Fᵢ`) edges.
+    pub e2: usize,
+    /// E3 (`F → Fᵢ`) edges.
+    pub e3: usize,
+    /// Nodes reachable from the entry.
+    pub reachable: usize,
+    /// Nodes NOT reachable from the entry (candidates for forced starts).
+    pub unreachable: usize,
+    /// Length of the longest shortest-path from the entry (BFS depth).
+    pub depth: usize,
+    /// Maximum number of fragments hosted by a single activity — the
+    /// paper's multi-pane/fragment-reuse dimension.
+    pub max_fragments_per_activity: usize,
+}
+
+impl AftmStats {
+    /// The fragment share of all nodes.
+    pub fn fragment_ratio(&self) -> f64 {
+        let total = self.activities + self.fragments;
+        if total == 0 {
+            0.0
+        } else {
+            self.fragments as f64 / total as f64
+        }
+    }
+}
+
+/// Computes statistics for one model.
+pub fn stats(model: &Aftm) -> AftmStats {
+    let (activities, fragments) = model.counts();
+    let mut s = AftmStats { activities, fragments, ..AftmStats::default() };
+    for edge in model.edges() {
+        match edge.kind {
+            EdgeKind::E1 => s.e1 += 1,
+            EdgeKind::E2 => s.e2 += 1,
+            EdgeKind::E3 => s.e3 += 1,
+        }
+    }
+    let reachable: BTreeSet<NodeId> = model.reachable();
+    s.reachable = reachable.len();
+    s.unreachable = model.nodes().count() - s.reachable;
+    s.depth = reachable
+        .iter()
+        .filter_map(|n| model.path_to(n).map(|p| p.len()))
+        .max()
+        .unwrap_or(0);
+    s.max_fragments_per_activity = model
+        .activities()
+        .map(|a| model.fragments_of_activity(a.as_str()).len())
+        .max()
+        .unwrap_or(0);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+
+    fn model() -> Aftm {
+        let mut m = Aftm::new();
+        m.set_entry("s.A0");
+        m.add_edge(Edge::e1("s.A0", "s.A1"));
+        m.add_edge(Edge::e2("s.A0", "s.F0"));
+        m.add_edge(Edge::e3("s.A0", "s.F0", "s.F1"));
+        m.add_node(NodeId::Activity("s.Isolated".into()));
+        m
+    }
+
+    #[test]
+    fn counts_and_edge_kinds() {
+        let s = stats(&model());
+        assert_eq!(s.activities, 3);
+        assert_eq!(s.fragments, 2);
+        assert_eq!((s.e1, s.e2, s.e3), (1, 1, 1));
+    }
+
+    #[test]
+    fn reachability_and_depth() {
+        let s = stats(&model());
+        assert_eq!(s.reachable, 4);
+        assert_eq!(s.unreachable, 1, "the isolated activity");
+        // Longest shortest path: A0 → F0 → F1 = 2.
+        assert_eq!(s.depth, 2);
+    }
+
+    #[test]
+    fn fragment_concentration() {
+        let s = stats(&model());
+        assert_eq!(s.max_fragments_per_activity, 2, "A0 hosts F0 and F1");
+        assert!((s.fragment_ratio() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_model_is_all_zero() {
+        let s = stats(&Aftm::new());
+        assert_eq!(s, AftmStats::default());
+        assert_eq!(s.fragment_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests on AFTM invariants.
+
+use fd_aftm::{Aftm, Edge, NodeId, RawTransition};
+use proptest::prelude::*;
+
+fn activity() -> impl Strategy<Value = String> {
+    prop::sample::select((0..8).map(|i| format!("app.A{i}")).collect::<Vec<_>>())
+}
+
+fn fragment() -> impl Strategy<Value = String> {
+    prop::sample::select((0..8).map(|i| format!("app.F{i}")).collect::<Vec<_>>())
+}
+
+fn raw_transition() -> impl Strategy<Value = RawTransition> {
+    prop_oneof![
+        (activity(), activity()).prop_map(|(from, to)| RawTransition::ActivityToActivity {
+            from: from.into(),
+            to: to.into()
+        }),
+        (activity(), fragment()).prop_map(|(a, f)| RawTransition::ActivityToOwnFragment {
+            activity: a.into(),
+            fragment: f.into()
+        }),
+        (activity(), fragment(), fragment()).prop_map(|(h, from, to)| {
+            RawTransition::FragmentToFragment { host: h.into(), from: from.into(), to: to.into() }
+        }),
+        (activity(), activity(), fragment()).prop_map(|(from, host, f)| {
+            RawTransition::ActivityToForeignFragment {
+                from: from.into(),
+                host: host.into(),
+                fragment: f.into(),
+            }
+        }),
+        (activity(), fragment()).prop_map(|(h, f)| RawTransition::FragmentToHostActivity {
+            host: h.into(),
+            fragment: f.into()
+        }),
+        (activity(), fragment(), activity()).prop_map(|(h, f, to)| {
+            RawTransition::FragmentToActivity { host: h.into(), fragment: f.into(), to: to.into() }
+        }),
+        (activity(), fragment(), activity(), fragment()).prop_map(|(fh, f, th, tf)| {
+            RawTransition::FragmentToForeignFragment {
+                from_host: fh.into(),
+                fragment: f.into(),
+                to_host: th.into(),
+                to_fragment: tf.into(),
+            }
+        }),
+    ]
+}
+
+proptest! {
+    /// Merging any raw transition yields only well-formed basic edges:
+    /// E1 activity→activity, E2 activity→fragment (host == from),
+    /// E3 fragment→fragment.
+    #[test]
+    fn merge_produces_only_basic_edges(raw in raw_transition()) {
+        for edge in raw.merge() {
+            match edge.kind {
+                fd_aftm::EdgeKind::E1 => {
+                    prop_assert!(edge.from.is_activity());
+                    prop_assert!(edge.to.is_activity());
+                    prop_assert_eq!(edge.host.as_str(), edge.from.class().as_str());
+                }
+                fd_aftm::EdgeKind::E2 => {
+                    prop_assert!(edge.from.is_activity());
+                    prop_assert!(edge.to.is_fragment());
+                    prop_assert_eq!(edge.host.as_str(), edge.from.class().as_str());
+                }
+                fd_aftm::EdgeKind::E3 => {
+                    prop_assert!(edge.from.is_fragment());
+                    prop_assert!(edge.to.is_fragment());
+                }
+            }
+        }
+    }
+
+    /// Applying transitions is monotone (nodes/edges only grow) and
+    /// idempotent (re-applying reports no change).
+    #[test]
+    fn apply_is_monotone_and_idempotent(raws in prop::collection::vec(raw_transition(), 0..30)) {
+        let mut model = Aftm::new();
+        model.set_entry("app.A0");
+        let mut node_count = 1;
+        let mut edge_count = 0;
+        for raw in &raws {
+            model.apply(raw.clone());
+            let nodes = model.nodes().count();
+            let edges = model.edges().count();
+            prop_assert!(nodes >= node_count && edges >= edge_count);
+            node_count = nodes;
+            edge_count = edges;
+        }
+        for raw in &raws {
+            prop_assert!(!model.apply(raw.clone()), "re-apply must not change the model");
+        }
+    }
+
+    /// Every BFS-reachable node has a reconstructible path whose edges
+    /// chain correctly from the entry to the node.
+    #[test]
+    fn paths_chain_from_entry(raws in prop::collection::vec(raw_transition(), 0..30)) {
+        let mut model = Aftm::new();
+        model.set_entry("app.A0");
+        for raw in raws {
+            model.apply(raw);
+        }
+        let entry = NodeId::Activity("app.A0".into());
+        for node in model.bfs_from_entry() {
+            let path = model.path_to(&node);
+            prop_assert!(path.is_some(), "reachable node {node} has no path");
+            let path = path.unwrap();
+            let mut at = entry.clone();
+            for edge in &path {
+                prop_assert_eq!(&edge.from, &at, "path edge does not chain");
+                at = edge.to.clone();
+            }
+            prop_assert_eq!(at, node);
+        }
+    }
+
+    /// BFS order is consistent with shortest-path depth: a node at depth d
+    /// never appears before a node at depth < d is exhausted... weaker,
+    /// checkable form: depths along the BFS order are non-decreasing.
+    #[test]
+    fn bfs_depths_non_decreasing(raws in prop::collection::vec(raw_transition(), 0..30)) {
+        let mut model = Aftm::new();
+        model.set_entry("app.A0");
+        for raw in raws {
+            model.apply(raw);
+        }
+        let depths: Vec<usize> = model
+            .bfs_from_entry()
+            .iter()
+            .map(|n| model.path_to(n).expect("reachable").len())
+            .collect();
+        prop_assert!(depths.windows(2).all(|w| w[0] <= w[1]), "depths {depths:?}");
+    }
+}
+
+#[test]
+fn visited_never_exceeds_nodes() {
+    let mut m = Aftm::new();
+    m.set_entry("app.A0");
+    m.add_edge(Edge::e1("app.A0", "app.A1"));
+    assert!(m.mark_visited(&NodeId::Activity("app.A0".into())));
+    assert!(m.mark_visited(&NodeId::Activity("app.A1".into())));
+    assert!(m.all_visited());
+    // Unknown nodes cannot be marked, so all_visited stays meaningful.
+    assert!(!m.mark_visited(&NodeId::Fragment("app.F0".into())));
+    assert!(m.all_visited());
+}

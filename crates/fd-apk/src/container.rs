@@ -1,0 +1,196 @@
+//! The binary APK container — the reproduction's stand-in for the APK zip.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! magic   4 bytes  "FAPK"
+//! version u16      currently 1
+//! flags   u16      bit 0: packer-protected
+//! then 4 length-prefixed sections (u32 length + payload):
+//!   1. manifest   JSON-encoded [`Manifest`]
+//!   2. classes    UTF-8 smali text (all classes, printer output)
+//!   3. layouts    JSON-encoded Vec<Layout>
+//!   4. meta       JSON-encoded [`AppMeta`]
+//! ```
+//!
+//! [`decompile`] is the Apktool + jd-core stage of the paper's pipeline:
+//! it unpacks the container and re-parses the smali text, producing the
+//! same [`AndroidApp`] the packer consumed (resources are re-interned,
+//! matching `aapt`'s determinism). A container with the packer flag set
+//! refuses to decompile with [`ApkError::Packed`], reproducing the apps
+//! the paper had to exclude.
+
+use crate::app::{AndroidApp, AppMeta};
+use crate::error::ApkError;
+use crate::layout::Layout;
+use crate::manifest::Manifest;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fd_smali::{parser, printer, ClassPool};
+
+const MAGIC: &[u8; 4] = b"FAPK";
+const VERSION: u16 = 1;
+const FLAG_PACKED: u16 = 0b1;
+
+/// Serializes an app into the binary container.
+pub fn pack(app: &AndroidApp) -> Bytes {
+    let manifest = serde_json::to_vec(&app.manifest).expect("manifest serializes");
+    let smali: String = app.classes.iter().map(printer::print_class).collect::<Vec<_>>().join("\n");
+    let layouts: Vec<&Layout> = app.layouts.values().collect();
+    let layouts = serde_json::to_vec(&layouts).expect("layouts serialize");
+    let meta = serde_json::to_vec(&app.meta).expect("meta serializes");
+
+    let mut buf = BytesMut::with_capacity(
+        16 + manifest.len() + smali.len() + layouts.len() + meta.len(),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u16(if app.meta.packed { FLAG_PACKED } else { 0 });
+    for section in [&manifest[..], smali.as_bytes(), &layouts[..], &meta[..]] {
+        buf.put_u32(section.len() as u32);
+        if app.meta.packed {
+            // Packer protection: scramble payloads so that even a reader
+            // that ignores the flag cannot recover the contents.
+            buf.extend(section.iter().map(|b| b ^ 0xa5));
+        } else {
+            buf.put_slice(section);
+        }
+    }
+    buf.freeze()
+}
+
+fn take_section(buf: &mut Bytes) -> Result<Bytes, ApkError> {
+    if buf.remaining() < 4 {
+        return Err(ApkError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(ApkError::Truncated);
+    }
+    Ok(buf.split_to(len))
+}
+
+/// Unpacks and decompiles a container back into an [`AndroidApp`].
+///
+/// This is the reproduction's Apktool + jd-core stage: the classes section
+/// is genuine text that is re-parsed by [`fd_smali::parser`].
+pub fn decompile(bytes: &Bytes) -> Result<AndroidApp, ApkError> {
+    let mut buf = bytes.clone();
+    if buf.remaining() < 8 {
+        return Err(ApkError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ApkError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(ApkError::UnsupportedVersion(version));
+    }
+    let flags = buf.get_u16();
+    if flags & FLAG_PACKED != 0 {
+        return Err(ApkError::Packed);
+    }
+
+    let manifest_raw = take_section(&mut buf)?;
+    let smali_raw = take_section(&mut buf)?;
+    let layouts_raw = take_section(&mut buf)?;
+    let meta_raw = take_section(&mut buf)?;
+
+    let manifest: Manifest = serde_json::from_slice(&manifest_raw)
+        .map_err(|e| ApkError::Corrupt(format!("manifest: {e}")))?;
+    let smali_text = std::str::from_utf8(&smali_raw)
+        .map_err(|e| ApkError::Corrupt(format!("classes not UTF-8: {e}")))?;
+    let classes: ClassPool = parser::parse_classes(smali_text)?.into_iter().collect();
+    let layouts: Vec<Layout> = serde_json::from_slice(&layouts_raw)
+        .map_err(|e| ApkError::Corrupt(format!("layouts: {e}")))?;
+    let meta: AppMeta = serde_json::from_slice(&meta_raw)
+        .map_err(|e| ApkError::Corrupt(format!("meta: {e}")))?;
+
+    let mut app = AndroidApp {
+        manifest,
+        classes,
+        layouts: layouts.into_iter().map(|l| (l.name.clone(), l)).collect(),
+        resources: crate::ResourceTable::new(),
+        meta,
+    };
+    app.finalize_resources();
+    Ok(app)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::ActivityDecl;
+    use crate::layout::{Widget, WidgetKind};
+    use fd_smali::{ClassDef, MethodDef, ResRef, Stmt};
+
+    fn sample_app(packed: bool) -> AndroidApp {
+        let mut app = AndroidApp::new(
+            Manifest::new("com.example")
+                .with_activity(ActivityDecl::new("com.example.Main").launcher()),
+        )
+        .with_layout(Layout::new(
+            "main",
+            Widget::new(WidgetKind::Group).with_child(Widget::new(WidgetKind::Button).with_id("go")),
+        ));
+        app.classes.insert(
+            ClassDef::new("com.example.Main", fd_smali::well_known::ACTIVITY).with_method(
+                MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("main"))),
+            ),
+        );
+        app.meta = AppMeta { category: "Tools".into(), downloads: 50_000, packed };
+        app.finalize_resources();
+        app
+    }
+
+    #[test]
+    fn pack_decompile_roundtrip() {
+        let app = sample_app(false);
+        let bytes = pack(&app);
+        let back = decompile(&bytes).unwrap();
+        assert_eq!(back, app);
+    }
+
+    #[test]
+    fn packed_app_refuses_decompilation() {
+        let app = sample_app(true);
+        let bytes = pack(&app);
+        assert_eq!(decompile(&bytes), Err(ApkError::Packed));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut raw = pack(&sample_app(false)).to_vec();
+        raw[0] = b'Z';
+        assert_eq!(decompile(&Bytes::from(raw)), Err(ApkError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let full = pack(&sample_app(false));
+        for cut in [0, 3, 7, 9, full.len() - 1] {
+            let raw = Bytes::copy_from_slice(&full[..cut]);
+            assert!(
+                matches!(decompile(&raw), Err(ApkError::Truncated) | Err(ApkError::Corrupt(_))),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut raw = pack(&sample_app(false)).to_vec();
+        raw[5] = 9; // version low byte
+        assert_eq!(decompile(&Bytes::from(raw)), Err(ApkError::UnsupportedVersion(9)));
+    }
+
+    #[test]
+    fn corrupt_manifest_reported() {
+        let app = sample_app(false);
+        let mut raw = pack(&app).to_vec();
+        // Flip a byte inside the manifest JSON payload (section starts at 12).
+        raw[13] ^= 0xff;
+        assert!(matches!(decompile(&Bytes::from(raw)), Err(ApkError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,70 @@
+//! Errors raised while packing or decompiling an APK container.
+
+use fd_smali::ParseError;
+use std::fmt;
+
+/// An error produced by [`crate::container`] or [`crate::decompile`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApkError {
+    /// The byte stream does not start with the `FAPK` magic.
+    BadMagic,
+    /// The container version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The byte stream ended before a declared section was complete.
+    Truncated,
+    /// The app is protected by a packer; it cannot be decompiled. The
+    /// paper excludes such apps from its dataset ("some apps were
+    /// encrypted or protected (with packer), they cannot be analyzed").
+    Packed,
+    /// A section's payload failed to deserialize.
+    Corrupt(String),
+    /// The embedded smali text failed to parse.
+    Smali(ParseError),
+}
+
+impl fmt::Display for ApkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApkError::BadMagic => write!(f, "not an FAPK container (bad magic)"),
+            ApkError::UnsupportedVersion(v) => write!(f, "unsupported container version {v}"),
+            ApkError::Truncated => write!(f, "container truncated"),
+            ApkError::Packed => write!(f, "app is packer-protected and cannot be decompiled"),
+            ApkError::Corrupt(what) => write!(f, "corrupt section: {what}"),
+            ApkError::Smali(e) => write!(f, "embedded smali does not parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApkError::Smali(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for ApkError {
+    fn from(e: ParseError) -> Self {
+        ApkError::Smali(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ApkError::Packed.to_string().contains("packer"));
+        assert!(ApkError::UnsupportedVersion(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn smali_error_is_source() {
+        use std::error::Error;
+        let e = ApkError::Smali(ParseError::new(1, "x"));
+        assert!(e.source().is_some());
+        assert!(ApkError::Truncated.source().is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic APK artifacts for the FragDroid reproduction.
+//!
+//! Real FragDroid consumes APK files: a binary container holding dex
+//! bytecode, a binary `AndroidManifest.xml`, layout XML, and a resource
+//! table. This crate provides the equivalent artifacts:
+//!
+//! * [`Manifest`] — the app's declared activities, intent filters and
+//!   permissions (§IV-B of the paper resolves implicit intents against it,
+//!   and FragDroid's "mandatory starting" rewrites it);
+//! * [`Layout`] / [`Widget`] — inflatable widget trees with resource-IDs;
+//! * [`ResourceTable`] — the numeric resource-ID assignment (`R.id.*`);
+//! * [`AndroidApp`] — a whole app: manifest + [`fd_smali::ClassPool`] +
+//!   layouts + resources + store metadata;
+//! * [`container`] — a binary pack/unpack format standing in for the APK
+//!   zip, including the "packed/encrypted" protection flag that forces the
+//!   paper to exclude some Google-Play apps from its dataset;
+//! * [`decompile`] — the Apktool + jd-core stage: unpack the container and
+//!   re-parse the textual smali, yielding the decompiled form the static
+//!   analyses run on.
+//!
+//! # Example
+//!
+//! ```
+//! use fd_apk::{AndroidApp, Manifest, decompile};
+//!
+//! let app = AndroidApp::new(Manifest::new("com.example.demo"));
+//! let bytes = fd_apk::container::pack(&app);
+//! let back = decompile(&bytes).unwrap();
+//! assert_eq!(back.manifest.package, "com.example.demo");
+//! ```
+
+pub mod app;
+pub mod container;
+pub mod error;
+pub mod layout;
+pub mod manifest;
+pub mod resources;
+pub mod stats;
+pub mod workspace;
+
+pub use app::{AndroidApp, AppMeta};
+pub use container::{decompile, pack};
+pub use error::ApkError;
+pub use layout::{Layout, Widget, WidgetKind};
+pub use manifest::{ActivityDecl, IntentFilter, Manifest};
+pub use resources::ResourceTable;
+pub use stats::{app_stats, AppStats};
+
+/// The standard Android action for an app's main entry point.
+pub const ACTION_MAIN: &str = "android.intent.action.MAIN";
+/// The standard Android category marking the launcher activity.
+pub const CATEGORY_LAUNCHER: &str = "android.intent.category.LAUNCHER";

@@ -1,0 +1,206 @@
+//! The `AndroidManifest.xml` model.
+//!
+//! The manifest is consulted in three places of the paper's pipeline:
+//! activity enumeration during *Get the Effective Activities* (§IV-B2),
+//! implicit-intent resolution in Algorithm 1 ("find A1 in
+//! AndroidManifest.xml by action"), and FragDroid's manifest rewrite that
+//! adds a MAIN action to every activity so `am start -n` can force-launch
+//! it (§VI-A).
+
+use crate::{ACTION_MAIN, CATEGORY_LAUNCHER};
+use fd_smali::ClassName;
+use serde::{Deserialize, Serialize};
+
+/// One `<intent-filter>` element.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntentFilter {
+    /// `<action android:name="..."/>` entries.
+    pub actions: Vec<String>,
+    /// `<category android:name="..."/>` entries.
+    pub categories: Vec<String>,
+}
+
+impl IntentFilter {
+    /// A filter with one action and no categories.
+    pub fn for_action(action: impl Into<String>) -> Self {
+        IntentFilter { actions: vec![action.into()], categories: Vec::new() }
+    }
+
+    /// The `MAIN`/`LAUNCHER` filter of an entry activity.
+    pub fn launcher() -> Self {
+        IntentFilter {
+            actions: vec![ACTION_MAIN.to_string()],
+            categories: vec![CATEGORY_LAUNCHER.to_string()],
+        }
+    }
+
+    /// Whether this filter matches the given action string.
+    pub fn matches_action(&self, action: &str) -> bool {
+        self.actions.iter().any(|a| a == action)
+    }
+
+    /// Whether this is a launcher filter (MAIN action + LAUNCHER category).
+    pub fn is_launcher(&self) -> bool {
+        self.matches_action(ACTION_MAIN) && self.categories.iter().any(|c| c == CATEGORY_LAUNCHER)
+    }
+}
+
+/// One `<activity>` declaration.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityDecl {
+    /// Fully-qualified activity class name.
+    pub name: ClassName,
+    /// Whether other apps may start it (unused by the tool, kept for
+    /// structural realism).
+    pub exported: bool,
+    /// Declared intent filters.
+    pub intent_filters: Vec<IntentFilter>,
+}
+
+impl ActivityDecl {
+    /// Declares an activity with no intent filters.
+    pub fn new(name: impl Into<ClassName>) -> Self {
+        ActivityDecl { name: name.into(), exported: false, intent_filters: Vec::new() }
+    }
+
+    /// Adds an intent filter (builder style).
+    pub fn with_filter(mut self, filter: IntentFilter) -> Self {
+        self.intent_filters.push(filter);
+        self
+    }
+
+    /// Marks this as the launcher activity (builder style).
+    pub fn launcher(self) -> Self {
+        self.with_filter(IntentFilter::launcher())
+    }
+
+    /// Whether any filter is a launcher filter.
+    pub fn is_launcher(&self) -> bool {
+        self.intent_filters.iter().any(IntentFilter::is_launcher)
+    }
+
+    /// Whether any filter matches `action`.
+    pub fn handles_action(&self, action: &str) -> bool {
+        self.intent_filters.iter().any(|f| f.matches_action(action))
+    }
+}
+
+/// The whole manifest.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// The application package, e.g. `com.adobe.reader`.
+    pub package: String,
+    /// `<uses-permission>` entries.
+    pub permissions: Vec<String>,
+    /// `<activity>` entries.
+    pub activities: Vec<ActivityDecl>,
+}
+
+impl Manifest {
+    /// Creates an empty manifest for `package`.
+    pub fn new(package: impl Into<String>) -> Self {
+        Manifest { package: package.into(), permissions: Vec::new(), activities: Vec::new() }
+    }
+
+    /// Adds an activity declaration (builder style).
+    pub fn with_activity(mut self, decl: ActivityDecl) -> Self {
+        self.activities.push(decl);
+        self
+    }
+
+    /// Adds a `<uses-permission>` (builder style).
+    pub fn with_permission(mut self, permission: impl Into<String>) -> Self {
+        self.permissions.push(permission.into());
+        self
+    }
+
+    /// The launcher (entry) activity, if one is declared.
+    pub fn launcher_activity(&self) -> Option<&ActivityDecl> {
+        self.activities.iter().find(|a| a.is_launcher())
+    }
+
+    /// Resolves an implicit intent action to the first declaring activity —
+    /// Algorithm 1's "find A1 in AndroidManifest.xml by action".
+    pub fn resolve_action(&self, action: &str) -> Option<&ActivityDecl> {
+        self.activities.iter().find(|a| a.handles_action(action))
+    }
+
+    /// Looks up an activity declaration by class name.
+    pub fn activity(&self, name: &str) -> Option<&ActivityDecl> {
+        self.activities.iter().find(|a| a.name.as_str() == name)
+    }
+
+    /// Whether the manifest declares `name`.
+    pub fn declares(&self, name: &str) -> bool {
+        self.activity(name).is_some()
+    }
+
+    /// FragDroid's static-phase rewrite: add
+    /// `<action android:name="android.intent.action.MAIN"/>` to every
+    /// activity so that `am start -n <COMPONENT>` can force-start any of
+    /// them during the second loop phase.
+    pub fn add_main_action_everywhere(&mut self) {
+        for activity in &mut self.activities {
+            if !activity.handles_action(ACTION_MAIN) {
+                activity.intent_filters.push(IntentFilter::for_action(ACTION_MAIN));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> Manifest {
+        Manifest::new("com.example")
+            .with_activity(ActivityDecl::new("com.example.Main").launcher())
+            .with_activity(
+                ActivityDecl::new("com.example.Share")
+                    .with_filter(IntentFilter::for_action("com.example.ACTION_SHARE")),
+            )
+            .with_activity(ActivityDecl::new("com.example.Hidden"))
+    }
+
+    #[test]
+    fn launcher_detection() {
+        let m = manifest();
+        assert_eq!(m.launcher_activity().unwrap().name.as_str(), "com.example.Main");
+    }
+
+    #[test]
+    fn action_resolution() {
+        let m = manifest();
+        assert_eq!(
+            m.resolve_action("com.example.ACTION_SHARE").unwrap().name.as_str(),
+            "com.example.Share"
+        );
+        assert!(m.resolve_action("com.example.NOPE").is_none());
+    }
+
+    #[test]
+    fn declares_and_lookup() {
+        let m = manifest();
+        assert!(m.declares("com.example.Hidden"));
+        assert!(!m.declares("com.example.Missing"));
+    }
+
+    #[test]
+    fn main_action_rewrite_reaches_every_activity() {
+        let mut m = manifest();
+        m.add_main_action_everywhere();
+        for a in &m.activities {
+            assert!(a.handles_action(crate::ACTION_MAIN), "{} missing MAIN", a.name);
+        }
+        // Idempotent: a second rewrite adds nothing.
+        let before = m.clone();
+        m.add_main_action_everywhere();
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn launcher_filter_requires_category() {
+        let plain_main = ActivityDecl::new("a.B").with_filter(IntentFilter::for_action(ACTION_MAIN));
+        assert!(!plain_main.is_launcher());
+    }
+}

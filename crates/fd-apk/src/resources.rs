@@ -1,0 +1,164 @@
+//! The resource table: numeric resource-ID assignment.
+//!
+//! Android's `aapt` assigns every resource a unique `0x7fTTEEEE` integer
+//! (package `7f`, type byte, entry index). The paper's resource dependency
+//! (§V-B) is keyed on these numbers; here the table maps the symbolic
+//! [`ResRef`]s used throughout the IR to their numeric IDs and back.
+
+use fd_smali::{ResKind, ResRef};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+const PACKAGE_BYTE: u32 = 0x7f;
+
+fn type_byte(kind: ResKind) -> u32 {
+    match kind {
+        ResKind::Id => 0x01,
+        ResKind::Layout => 0x02,
+        ResKind::Menu => 0x03,
+        ResKind::String => 0x04,
+    }
+}
+
+/// A bidirectional symbolic-name ⇄ numeric-ID table.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceTable {
+    /// Serialized as a list of pairs — JSON maps need string keys.
+    #[serde(with = "pairs")]
+    forward: BTreeMap<ResRef, u32>,
+    #[serde(skip)]
+    reverse: BTreeMap<u32, ResRef>,
+}
+
+mod pairs {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<ResRef, u32>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&ResRef, u32)> = map.iter().map(|(r, &id)| (r, id)).collect();
+        serde::Serialize::serialize(&entries, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<ResRef, u32>, D::Error> {
+        let entries: Vec<(ResRef, u32)> = serde::Deserialize::deserialize(de)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl ResourceTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a resource, assigning the next free numeric ID in its type
+    /// block; returns the (possibly pre-existing) numeric ID.
+    pub fn intern(&mut self, res: &ResRef) -> u32 {
+        if let Some(&id) = self.forward.get(res) {
+            return id;
+        }
+        let block = (PACKAGE_BYTE << 24) | (type_byte(res.kind) << 16);
+        let next_entry = self
+            .forward
+            .iter()
+            .filter(|(r, _)| r.kind == res.kind)
+            .count() as u32;
+        let id = block | next_entry;
+        self.forward.insert(res.clone(), id);
+        self.reverse.insert(id, res.clone());
+        id
+    }
+
+    /// Looks up the numeric ID of a symbolic reference.
+    pub fn id_of(&self, res: &ResRef) -> Option<u32> {
+        self.forward.get(res).copied()
+    }
+
+    /// Looks up the symbolic reference behind a numeric ID.
+    pub fn res_of(&self, id: u32) -> Option<&ResRef> {
+        self.reverse.get(&id)
+    }
+
+    /// Number of interned resources.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Iterates over `(symbolic, numeric)` pairs in symbolic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ResRef, u32)> {
+        self.forward.iter().map(|(r, &id)| (r, id))
+    }
+
+    /// Rebuilds the reverse index — needed after deserialization, where the
+    /// reverse map is skipped.
+    pub fn rebuild_reverse(&mut self) {
+        self.reverse = self.forward.iter().map(|(r, &id)| (id, r.clone())).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = ResourceTable::new();
+        let a = t.intern(&ResRef::id("go"));
+        let b = t.intern(&ResRef::id("go"));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_across_kinds_and_names() {
+        let mut t = ResourceTable::new();
+        let ids = [
+            t.intern(&ResRef::id("a")),
+            t.intern(&ResRef::id("b")),
+            t.intern(&ResRef::layout("a")),
+            t.intern(&ResRef::menu("a")),
+        ];
+        let mut dedup = ids.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn numeric_format_is_aapt_like() {
+        let mut t = ResourceTable::new();
+        assert_eq!(t.intern(&ResRef::id("x")), 0x7f01_0000);
+        assert_eq!(t.intern(&ResRef::id("y")), 0x7f01_0001);
+        assert_eq!(t.intern(&ResRef::layout("main")), 0x7f02_0000);
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let mut t = ResourceTable::new();
+        let r = ResRef::layout("main");
+        let id = t.intern(&r);
+        assert_eq!(t.res_of(id), Some(&r));
+        assert_eq!(t.id_of(&r), Some(id));
+    }
+
+    #[test]
+    fn serde_roundtrip_with_reverse_rebuild() {
+        let mut t = ResourceTable::new();
+        let id = t.intern(&ResRef::id("go"));
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: ResourceTable = serde_json::from_str(&json).unwrap();
+        back.rebuild_reverse();
+        assert_eq!(back.res_of(id), Some(&ResRef::id("go")));
+        assert_eq!(back, t);
+    }
+}

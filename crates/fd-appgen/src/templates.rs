@@ -1,0 +1,314 @@
+//! Canned apps reproducing the paper's motivating figures.
+
+use crate::builder::{ActivitySpec, AppBuilder, FragmentSpec, GatedLink, GeneratedApp};
+
+/// The Fig. 1 situation: one activity with a CATEGORY / RECENT tab strip;
+/// each tab is a fragment with its own content and listeners. Clicking a
+/// tab is a *fragment transformation* — the activity never changes, so an
+/// activity-level tool sees a single state.
+pub fn tabbed_categories() -> GeneratedApp {
+    AppBuilder::new("fig1.manga")
+        .meta("Comics", 1_000_000)
+        .activity(
+            ActivitySpec::new("Reader")
+                .launcher()
+                .initial_fragment("CategoryFragment")
+                .tabs(["CategoryFragment", "RecentFragment"]),
+        )
+        .fragment(
+            FragmentSpec::new("CategoryFragment")
+                .api("internet", "connect")
+                .link_to("Detail"),
+        )
+        .fragment(
+            FragmentSpec::new("RecentFragment").api("storage", "getExternalStorageState"),
+        )
+        .activity(ActivitySpec::new("Detail"))
+        .build()
+}
+
+/// The Fig. 2 situation: a wallpapers app whose two gallery fragments are
+/// bridged only by a hidden slide menu — the drawer "only can be seen by
+/// clicking the left-top icon or sliding from left to right".
+pub fn nav_drawer_wallpapers() -> GeneratedApp {
+    AppBuilder::new("fig2.wallpapers")
+        .meta("Personalization", 5_000_000)
+        .activity(
+            ActivitySpec::new("Gallery")
+                .launcher()
+                .initial_fragment("WallpapersFragment")
+                .drawer(["WallpapersFragment", "FavoritesFragment"]),
+        )
+        .fragment(FragmentSpec::new("WallpapersFragment").api("internet", "inet"))
+        .fragment(
+            FragmentSpec::new("FavoritesFragment").api("storage", "sdcard"),
+        )
+        .build()
+}
+
+/// A small app exercising most builder features at once; used by the
+/// quickstart example and by tests that need "a typical app".
+pub fn quickstart() -> GeneratedApp {
+    AppBuilder::new("com.example.quickstart")
+        .meta("Tools", 100_000)
+        .activity(
+            ActivitySpec::new("Main")
+                .launcher()
+                .initial_fragment("HomeFragment")
+                .drawer(["HomeFragment", "StatsFragment"])
+                .button_to("Settings")
+                .with_dialog()
+                .api("phone", "getDeviceId"),
+        )
+        .activity(
+            ActivitySpec::new("Settings").gate(GatedLink {
+                target: "Account".into(),
+                secret: "pin-1234".into(),
+                input_known: true,
+            }),
+        )
+        .activity(ActivitySpec::new("Account").requires_extra("user"))
+        .fragment(
+            FragmentSpec::new("HomeFragment")
+                .api("internet", "connect")
+                .link_to("Settings")
+                .switch_to("StatsFragment"),
+        )
+        .fragment(FragmentSpec::new("StatsFragment").api("location", "getAllProviders"))
+        .build()
+}
+
+/// A shop app: a product catalog in tabs, a cart fragment bridged through
+/// the action bar's hidden flows, and an address-gated checkout. Exercises
+/// multi-pane (§II-B), input gates, popups, and fragment→activity links.
+pub fn ecommerce() -> GeneratedApp {
+    AppBuilder::new("shop.acme")
+        .meta("Shopping", 5_000_000)
+        .activity(
+            ActivitySpec::new("Storefront")
+                .launcher()
+                .tabs(["CatalogFragment", "DealsFragment"])
+                .initial_fragment("CatalogFragment")
+                .with_popup_menu()
+                .api("internet", "connect"),
+        )
+        .activity(
+            ActivitySpec::new("Cart")
+                .pane("CartItemsFragment")
+                .pane("SummaryFragment")
+                .gate(GatedLink {
+                    target: "Checkout".into(),
+                    secret: "12 Main St".into(),
+                    input_known: true,
+                }),
+        )
+        .activity(
+            ActivitySpec::new("Checkout")
+                .requires_extra("session")
+                .api("identification", "getString"),
+        )
+        .fragment(
+            FragmentSpec::new("CatalogFragment")
+                .api("internet", "InetAddress.getByName")
+                .link_to("Cart")
+                .switch_to("DealsFragment"),
+        )
+        .fragment(FragmentSpec::new("DealsFragment").api("location", "isProviderEnabled"))
+        .fragment(FragmentSpec::new("CartItemsFragment").api("storage", "open"))
+        .fragment(FragmentSpec::new("SummaryFragment"))
+        .build()
+}
+
+/// A news-reader app: a drawer of section fragments, one of which embeds a
+/// WebView whose code calls the `view/*` sensitive APIs, plus a strict
+/// search gate nobody provided a value for (the Weather-style blocker).
+pub fn news_reader() -> GeneratedApp {
+    AppBuilder::new("news.daily")
+        .meta("News Magazine", 10_000_000)
+        .activity(
+            ActivitySpec::new("Front")
+                .launcher()
+                .initial_fragment("HeadlinesFragment")
+                .drawer(["HeadlinesFragment", "PoliticsFragment", "WebFragment"])
+                .gate(GatedLink {
+                    target: "Archive".into(),
+                    secret: "March 14, 2018".into(),
+                    input_known: false,
+                }),
+        )
+        .activity(ActivitySpec::new("Archive").requires_extra("date"))
+        .fragment(FragmentSpec::new("HeadlinesFragment").api("internet", "inet"))
+        .fragment(FragmentSpec::new("PoliticsFragment").api("phone", "Configuration.MCC"))
+        .fragment(
+            FragmentSpec::new("WebFragment")
+                .with_webview()
+                .api("view", "loadUrl")
+                .api("view", "getUserAgentString"),
+        )
+        .build()
+}
+
+/// A suite of apps where each of FragDroid's mechanisms is load-bearing,
+/// used by the ablation benchmark:
+///
+/// * `abl.reflection` — fragments referenced only from dead code with
+///   default constructors: only the reflection mechanism reaches them;
+/// * `abl.forcestart` — activities behind unknown-input gates *without*
+///   required extras: only the forced-start phase reaches them;
+/// * `abl.inputs` — a chain of known-secret login gates: only the
+///   input-dependency file opens them (the gated targets require intent
+///   extras, so forced starts cannot substitute);
+/// * `abl.hinted` — a gate whose secret the UI itself leaks: only the
+///   §VIII input-harvesting extension opens it.
+pub fn ablation_suite() -> Vec<GeneratedApp> {
+    let reflection = AppBuilder::new("abl.reflection")
+        .activity(
+            ActivitySpec::new("Main")
+                .launcher()
+                .initial_fragment("Visible")
+                .hidden_fragment("HiddenA")
+                .hidden_fragment("HiddenB")
+                .button_to("Second"),
+        )
+        .activity(ActivitySpec::new("Second").hidden_fragment("HiddenC"))
+        .fragment(FragmentSpec::new("Visible").api("internet", "connect"))
+        .fragment(FragmentSpec::new("HiddenA").api("location", "getProviders"))
+        .fragment(FragmentSpec::new("HiddenB").api("media", "Camera.startPreview"))
+        .fragment(FragmentSpec::new("HiddenC").api("storage", "open"))
+        .build();
+
+    // Gates from Main with unknown secrets; the targets require NO
+    // extras, so the §VI-C forced start succeeds where clicking cannot.
+    let mut locked_main = ActivitySpec::new("Main").launcher().api("phone", "getDeviceId");
+    for i in 0..3 {
+        locked_main = locked_main.gate(GatedLink {
+            target: format!("Locked{i}"),
+            secret: format!("unknown-{i}"),
+            input_known: false,
+        });
+    }
+    let mut forcestart = AppBuilder::new("abl.forcestart").activity(locked_main);
+    for i in 0..3 {
+        forcestart = forcestart
+            .activity(ActivitySpec::new(format!("Locked{i}")).api("identification", "SERIAL"));
+    }
+    let forcestart = forcestart.build();
+
+    let inputs = AppBuilder::new("abl.inputs")
+        .activity(ActivitySpec::new("Login").launcher().gate(GatedLink {
+            target: "Inbox".into(),
+            secret: "user@example.com".into(),
+            input_known: true,
+        }))
+        .activity(
+            ActivitySpec::new("Inbox")
+                .requires_extra("session")
+                .initial_fragment("MailList")
+                .gate(GatedLink {
+                    target: "Admin".into(),
+                    secret: "admin-pin".into(),
+                    input_known: true,
+                }),
+        )
+        .activity(ActivitySpec::new("Admin").requires_extra("session"))
+        .fragment(FragmentSpec::new("MailList").api("messages", "MmsProvider"))
+        .build();
+
+    let hinted = AppBuilder::new("abl.hinted")
+        .activity(ActivitySpec::new("Main").launcher().hinted_gate(GatedLink {
+            target: "Vault".into(),
+            secret: "beta-invite-7731".into(),
+            input_known: false,
+        }))
+        .activity(
+            ActivitySpec::new("Vault")
+                .requires_extra("invite")
+                .api("identification", "/proc"),
+        )
+        .build();
+
+    vec![reflection, forcestart, inputs, hinted, quickstart()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_droidsim::{Device, EventOutcome};
+
+    #[test]
+    fn fig1_tab_click_is_fragment_level_only() {
+        let mut d = Device::new(tabbed_categories().app);
+        d.launch().unwrap();
+        let before = d.signature().unwrap();
+        let out = d.click("tab_recentfragment").unwrap();
+        let EventOutcome::UiChanged { to, .. } = out else { panic!("{out:?}") };
+        // The activity is unchanged; only the fragment switched.
+        assert!(before.fragment_level_change(&to));
+    }
+
+    #[test]
+    fn fig2_fragments_bridged_only_by_drawer() {
+        let mut d = Device::new(nav_drawer_wallpapers().app);
+        d.launch().unwrap();
+        // The favorites entry is invisible until the drawer opens.
+        assert!(d.current().unwrap().visible_widget("menu_favoritesfragment").is_none());
+        d.click("hamburger_gallery").unwrap();
+        let out = d.click("menu_favoritesfragment").unwrap();
+        assert!(out.changed_ui());
+        assert_eq!(
+            d.signature().unwrap().fragments["content_gallery"].as_str(),
+            "fig2.wallpapers.FavoritesFragment"
+        );
+    }
+
+    #[test]
+    fn quickstart_full_flow() {
+        let gen = quickstart();
+        let mut d = Device::new(gen.app);
+        d.launch().unwrap();
+        d.click("btn_settings").unwrap();
+        let field = "input_settings_0";
+        d.enter_text(field, gen.known_inputs[field].as_str()).unwrap();
+        let out = d.click("submit_settings_0").unwrap();
+        // The gate supplies the required extra, so Account starts.
+        assert!(matches!(out, EventOutcome::UiChanged { ref to, .. }
+            if to.activity.as_str() == "com.example.quickstart.Account"));
+    }
+}
+
+#[cfg(test)]
+mod domain_template_tests {
+    use super::*;
+    use fd_droidsim::Device;
+
+    #[test]
+    fn ecommerce_multi_pane_cart_and_gated_checkout() {
+        let gen = ecommerce();
+        let mut d = Device::new(gen.app.clone());
+        d.launch().unwrap();
+        // Into the cart through the catalog fragment's button.
+        d.click("fbtn_catalogfragment_cart").unwrap();
+        let sig = d.signature().unwrap();
+        assert_eq!(sig.activity.as_str(), "shop.acme.Cart");
+        assert_eq!(sig.fragments.len(), 2, "items + summary panes: {sig}");
+        // The checkout gate opens with the known address.
+        d.enter_text("input_cart_0", "12 Main St").unwrap();
+        let out = d.click("submit_cart_0").unwrap();
+        assert!(matches!(out, fd_droidsim::EventOutcome::UiChanged { ref to, .. }
+            if to.activity.as_str() == "shop.acme.Checkout"));
+    }
+
+    #[test]
+    fn news_reader_webview_apis_fire_from_drawer_fragment() {
+        let gen = news_reader();
+        let mut d = Device::new(gen.app.clone());
+        d.launch().unwrap();
+        d.click("hamburger_front").unwrap();
+        d.click("menu_webfragment").unwrap();
+        assert!(d.invocations().any(|i| i.group == "view" && i.name == "loadUrl"));
+        // The archive gate's secret is unknown: junk input shows a dialog.
+        d.enter_text("input_front_0", "yesterday").unwrap();
+        let out = d.click("submit_front_0").unwrap();
+        assert_eq!(out, fd_droidsim::EventOutcome::OverlayShown);
+    }
+}

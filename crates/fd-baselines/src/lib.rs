@@ -1,0 +1,76 @@
+//! Baseline explorers the paper compares against (§I, §IX):
+//!
+//! * [`Monkey`] — Google's random input exerciser: uniformly random
+//!   clicks, swipes, text and back presses;
+//! * [`ActivityExplorer`] — a TrimDroid-style model-based tester that
+//!   "treats the Activity as the basic unit of UI interactions": it sweeps
+//!   each *activity* once and cannot tell fragment-level states apart;
+//! * [`DepthFirstExplorer`] — an A3E-style systematic depth-first
+//!   exploration that navigates with the back button instead of restarts.
+//!
+//! All of them run on the same simulated device as FragDroid and report
+//! the same [`ExplorationStats`], so coverage and sensitive-API detection
+//! are directly comparable.
+//!
+//! # Example
+//!
+//! ```
+//! use fd_baselines::{Monkey, UiExplorer};
+//!
+//! let gen = fd_appgen::templates::quickstart();
+//! let stats = Monkey::new(7, 200).explore(&gen.app, &gen.known_inputs);
+//! assert!(!stats.visited_activities.is_empty());
+//! assert_eq!(stats.events, 200);
+//! ```
+
+pub mod activity_mbt;
+pub mod depth_first;
+pub mod monkey;
+pub mod stats;
+pub mod targeted;
+
+pub use activity_mbt::ActivityExplorer;
+pub use depth_first::DepthFirstExplorer;
+pub use monkey::Monkey;
+pub use targeted::TargetedExplorer;
+pub use stats::ExplorationStats;
+
+use fd_apk::AndroidApp;
+use std::collections::BTreeMap;
+
+/// A UI exploration tool that can be compared against FragDroid.
+pub trait UiExplorer {
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Explores `app` and reports what was reached and observed.
+    fn explore(
+        &self,
+        app: &AndroidApp,
+        provided_inputs: &BTreeMap<String, String>,
+    ) -> ExplorationStats;
+}
+
+/// FragDroid itself, adapted to the comparison interface.
+pub struct FragDroidExplorer(pub fragdroid::FragDroidConfig);
+
+impl UiExplorer for FragDroidExplorer {
+    fn name(&self) -> &'static str {
+        "FragDroid"
+    }
+
+    fn explore(
+        &self,
+        app: &AndroidApp,
+        provided_inputs: &BTreeMap<String, String>,
+    ) -> ExplorationStats {
+        let report = fragdroid::FragDroid::new(self.0.clone()).run(app, provided_inputs);
+        ExplorationStats {
+            visited_activities: report.visited_activities.clone(),
+            visited_fragments: report.visited_fragments.clone(),
+            api_invocations: report.api_invocations.clone(),
+            events: report.events_injected,
+            crashes: report.crashes,
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared result type for all explorers.
+
+use fd_droidsim::{ApiInvocation, Device};
+use fd_smali::ClassName;
+use std::collections::BTreeSet;
+
+/// What an exploration run reached and observed. Fragment visits are
+/// FragmentManager-confirmed, exactly as FragDroid counts them, so the
+/// comparison is apples-to-apples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExplorationStats {
+    /// Activities whose UI was reached.
+    pub visited_activities: BTreeSet<ClassName>,
+    /// Fragments confirmed through the FragmentManager.
+    pub visited_fragments: BTreeSet<ClassName>,
+    /// Sensitive-API invocations recorded during the run.
+    pub api_invocations: Vec<ApiInvocation>,
+    /// Events injected.
+    pub events: usize,
+    /// Force-closes observed.
+    pub crashes: usize,
+}
+
+impl ExplorationStats {
+    /// Folds the device's current screen into the visited sets. Call after
+    /// every injected event.
+    pub fn observe(&mut self, device: &Device) {
+        if let Some(screen) = device.current() {
+            self.visited_activities.insert(screen.activity.clone());
+            for (_, fragment) in screen.manager_fragments() {
+                self.visited_fragments.insert(fragment.clone());
+            }
+        }
+    }
+
+    /// Copies the monitor log out of the device at the end of a run.
+    pub fn finish(&mut self, device: &Device) {
+        self.api_invocations = device.invocations().cloned().collect();
+    }
+
+    /// `(total, fragment_associated)` sensitive-API relation counts.
+    pub fn api_counts(&self) -> (usize, usize) {
+        let frag = self.api_invocations.iter().filter(|i| i.caller.is_fragment()).count();
+        (self.api_invocations.len(), frag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_appgen::templates;
+
+    #[test]
+    fn observe_collects_activity_and_manager_fragments() {
+        let gen = templates::quickstart();
+        let mut device = Device::new(gen.app);
+        device.launch().unwrap();
+        let mut stats = ExplorationStats::default();
+        stats.observe(&device);
+        stats.finish(&device);
+        assert_eq!(stats.visited_activities.len(), 1);
+        assert_eq!(stats.visited_fragments.len(), 1, "initial HomeFragment");
+        assert!(!stats.api_invocations.is_empty(), "onCreate APIs recorded");
+    }
+}

@@ -1,0 +1,62 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion benches: APK container pack/decompile throughput (the
+//! Apktool stage of the pipeline) and smali print/parse round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fd_appgen::random::{generate, GenConfig};
+use fd_smali::{parser, printer};
+
+fn bench_container(c: &mut Criterion) {
+    let mut group = c.benchmark_group("container");
+    for size in [8usize, 32] {
+        let config = GenConfig {
+            activities: size,
+            fragments: size,
+            ..GenConfig::default()
+        };
+        let gen = generate("bench.app", &config, 42);
+        let bytes = fd_apk::pack(&gen.app);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("pack", size), &gen, |b, gen| {
+            b.iter(|| fd_apk::pack(&gen.app));
+        });
+        group.bench_with_input(BenchmarkId::new("decompile", size), &bytes, |b, bytes| {
+            b.iter(|| fd_apk::decompile(bytes).expect("decompiles"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_smali_roundtrip(c: &mut Criterion) {
+    let gen = generate(
+        "bench.app",
+        &GenConfig { activities: 32, fragments: 32, ..GenConfig::default() },
+        42,
+    );
+    let text: String = gen
+        .app
+        .classes
+        .iter()
+        .map(printer::print_class)
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut group = c.benchmark_group("smali");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("print", |b| {
+        b.iter(|| {
+            gen.app
+                .classes
+                .iter()
+                .map(printer::print_class)
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| parser::parse_classes(&text).expect("parses"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_container, bench_smali_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion benches: full exploration wall-time per tool on a mid-size
+//! generated app, plus FragDroid scaling with app size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_appgen::random::{generate, GenConfig};
+use fd_baselines::{ActivityExplorer, DepthFirstExplorer, FragDroidExplorer, Monkey, UiExplorer};
+
+fn bench_tools(c: &mut Criterion) {
+    let gen = generate("bench.app", &GenConfig::default(), 7);
+    let fragdroid = FragDroidExplorer(fragdroid::FragDroidConfig::default());
+    let mbt = ActivityExplorer::default();
+    let dfs = DepthFirstExplorer::default();
+    let monkey = Monkey::new(7, 1_000);
+    let tools: Vec<&dyn UiExplorer> = vec![&fragdroid, &mbt, &dfs, &monkey];
+
+    let mut group = c.benchmark_group("explore_tool");
+    for tool in tools {
+        group.bench_function(tool.name(), |b| {
+            b.iter(|| tool.explore(&gen.app, &gen.known_inputs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fragdroid_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragdroid_scaling");
+    group.sample_size(10);
+    for size in [4usize, 8, 16] {
+        let config = GenConfig {
+            activities: size,
+            fragments: size,
+            ..GenConfig::default()
+        };
+        let gen = generate("bench.app", &config, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &gen, |b, gen| {
+            b.iter(|| {
+                fragdroid::FragDroid::new(fragdroid::FragDroidConfig::default())
+                    .run(&gen.app, &gen.known_inputs)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tools, bench_fragdroid_scaling);
+criterion_main!(benches);

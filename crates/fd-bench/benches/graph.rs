@@ -1,0 +1,66 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion benches for AFTM graph operations and the sensitive-API
+//! monitor: the inner-loop data structures of the exploration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_aftm::{Aftm, Edge, NodeId};
+use fd_droidsim::{ApiMonitor, Caller, SENSITIVE_APIS};
+
+/// Builds a model with `n` activities in a breadth-3 tree, each hosting
+/// two fragments with one F→F switch.
+fn model(n: usize) -> Aftm {
+    let mut m = Aftm::new();
+    m.set_entry("b.A0");
+    for i in 1..n {
+        m.add_edge(Edge::e1(format!("b.A{}", (i - 1) / 3), format!("b.A{i}")));
+    }
+    for i in 0..n {
+        m.add_edge(Edge::e2(format!("b.A{i}"), format!("b.F{i}a")));
+        m.add_edge(Edge::e2(format!("b.A{i}"), format!("b.F{i}b")));
+        m.add_edge(Edge::e3(format!("b.A{i}"), format!("b.F{i}a"), format!("b.F{i}b")));
+    }
+    m
+}
+
+fn bench_aftm_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aftm_ops");
+    for n in [16usize, 64, 256] {
+        let m = model(n);
+        group.bench_with_input(BenchmarkId::new("bfs", n), &m, |b, m| {
+            b.iter(|| m.bfs_from_entry());
+        });
+        let deep = NodeId::Fragment(format!("b.F{}b", n - 1).into());
+        group.bench_with_input(BenchmarkId::new("path_to_deepest", n), &m, |b, m| {
+            b.iter(|| m.path_to(&deep));
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, &n| {
+            b.iter(|| model(n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    c.bench_function("monitor_record_10k", |b| {
+        b.iter(|| {
+            let mut m = ApiMonitor::new();
+            for i in 0..10_000 {
+                let (g, n) = SENSITIVE_APIS[i % SENSITIVE_APIS.len()];
+                let caller = if i % 3 == 0 {
+                    Caller::Activity(format!("b.A{}", i % 7).into())
+                } else {
+                    Caller::Fragment {
+                        fragment: format!("b.F{}", i % 11).into(),
+                        host: format!("b.A{}", i % 7).into(),
+                    }
+                };
+                m.record(g, n, caller);
+            }
+            m
+        });
+    });
+}
+
+criterion_group!(benches, bench_aftm_ops, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion benches for the static phase: AFTM construction and full
+//! static extraction as app size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_appgen::random::{generate, GenConfig};
+
+fn bench_static_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_extract");
+    for size in [4usize, 16, 64] {
+        let config = GenConfig {
+            activities: size,
+            fragments: size,
+            ..GenConfig::default()
+        };
+        let gen = generate("bench.app", &config, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &gen, |b, gen| {
+            b.iter(|| fd_static::extract(&gen.app, &gen.known_inputs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_aftm_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aftm_init");
+    for size in [4usize, 16, 64] {
+        let config = GenConfig {
+            activities: size,
+            fragments: size,
+            ..GenConfig::default()
+        };
+        let gen = generate("bench.app", &config, 42);
+        let acts = fd_static::effective::effective_activities(&gen.app);
+        let frags = fd_static::effective::effective_fragments(&gen.app, &acts);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| fd_static::aftm_init::build_aftm(&gen.app, &acts, &frags));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_extraction, bench_aftm_only);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates the §VII-A corpus study: 217 popular apps from 27
+//! categories, fragment-usage rate, packer exclusions.
+
+use fd_appgen::corpus::corpus_217;
+use fd_report::study::{corpus_study, render_study};
+
+fn main() {
+    let corpus = corpus_217(1);
+    let result = corpus_study(&corpus);
+    println!("CORPUS STUDY: Fragment usage among 217 popular apps (measured)\n");
+    println!("{}", render_study(&result));
+    println!("Paper reference: \"nearly 91% of these apps use Fragments\".");
+}

@@ -1,0 +1,24 @@
+//! Benchmark harness for the FragDroid reproduction.
+//!
+//! The experiment *binaries* regenerate the paper's tables and figures:
+//!
+//! | Target | Regenerates |
+//! |---|---|
+//! | `cargo run -p fd-bench --bin study_corpus` | §VII-A corpus study (91% fragment usage) |
+//! | `cargo run -p fd-bench --bin table1` | Table I (coverage), with paper-vs-measured deltas |
+//! | `cargo run -p fd-bench --bin table2` | Table II (sensitive operations matrix) |
+//! | `cargo run -p fd-bench --bin comparison` | FragDroid vs baselines (§IX, quantified) |
+//! | `cargo run -p fd-bench --bin ablation` | design-choice ablations (reflection / forced start / input deps) |
+//!
+//! The Criterion *benches* (`cargo bench -p fd-bench`) measure the
+//! substrate: static-phase throughput vs app size, full exploration
+//! wall-time per tool, and APK container pack/decompile throughput.
+
+/// Standard set of template apps used by comparison-style experiments.
+pub fn comparison_apps() -> Vec<fd_appgen::GeneratedApp> {
+    vec![
+        fd_appgen::templates::quickstart(),
+        fd_appgen::templates::nav_drawer_wallpapers(),
+        fd_appgen::templates::tabbed_categories(),
+    ]
+}

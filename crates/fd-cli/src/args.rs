@@ -1,0 +1,101 @@
+//! Tiny hand-rolled argument parsing: one positional path plus
+//! `--flag value` / bare `--flag` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: the positional values in order, and the options.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    /// `--key value` options; bare flags map to an empty string.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Flags that take no value.
+const BARE_FLAGS: &[&str] = &["random", "json"];
+
+/// Parses `argv` into positionals and options.
+pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut iter = argv.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            if BARE_FLAGS.contains(&key) {
+                parsed.options.insert(key.to_string(), String::new());
+            } else {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("option --{key} expects a value"))?;
+                parsed.options.insert(key.to_string(), value.clone());
+            }
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+impl Parsed {
+    /// The single required positional argument.
+    pub fn one_path(&self, what: &str) -> Result<&str, String> {
+        match self.positional.as_slice() {
+            [p] => Ok(p),
+            [] => Err(format!("missing {what}")),
+            _ => Err(format!("expected exactly one {what}")),
+        }
+    }
+
+    /// An option's value, if present.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// A numeric option with a default.
+    pub fn num(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_options() {
+        let p = parse(&argv(&["app.fapk", "--seed", "7", "--json"])).unwrap();
+        assert_eq!(p.one_path("container").unwrap(), "app.fapk");
+        assert_eq!(p.num("seed", 0).unwrap(), 7);
+        assert!(p.flag("json"));
+        assert!(!p.flag("random"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&argv(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let p = parse(&argv(&["--seed", "x"])).unwrap();
+        assert!(p.num("seed", 0).is_err());
+    }
+
+    #[test]
+    fn one_path_rejects_extra_positionals() {
+        let p = parse(&argv(&["a", "b"])).unwrap();
+        assert!(p.one_path("container").is_err());
+    }
+}

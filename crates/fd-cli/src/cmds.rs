@@ -1,0 +1,226 @@
+//! Subcommand implementations.
+
+use crate::args::parse;
+use crate::{load_app, load_inputs};
+use fragdroid::{FragDroid, FragDroidConfig};
+
+/// `fragdroid gen <out.fapk> [--template NAME | --random] [--seed N] [--size N]`
+pub fn gen(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let out = p.one_path("output path")?;
+    let seed = p.num("seed", 42)?;
+    let generated = if p.flag("random") {
+        let size = p.num("size", 8)? as usize;
+        let config = fd_appgen::random::GenConfig {
+            activities: size,
+            fragments: size,
+            ..fd_appgen::random::GenConfig::default()
+        };
+        fd_appgen::random::generate("cli.generated", &config, seed)
+    } else {
+        match p.opt("template").unwrap_or("quickstart") {
+            "quickstart" => fd_appgen::templates::quickstart(),
+            "fig1-tabs" => fd_appgen::templates::tabbed_categories(),
+            "fig2-drawer" => fd_appgen::templates::nav_drawer_wallpapers(),
+            other => return Err(format!("unknown template '{other}' (see 'fragdroid templates')")),
+        }
+    };
+    let bytes = fd_apk::pack(&generated.app);
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let inputs_path = format!("{out}.inputs.json");
+    let inputs = serde_json::to_string_pretty(&generated.known_inputs)
+        .expect("inputs serialize");
+    std::fs::write(&inputs_path, inputs).map_err(|e| format!("cannot write {inputs_path}: {e}"))?;
+    println!(
+        "wrote {out} ({} bytes, {} activities, {} classes) and {inputs_path}",
+        bytes.len(),
+        generated.app.manifest.activities.len(),
+        generated.app.classes.len(),
+    );
+    Ok(())
+}
+
+/// `fragdroid info <app.fapk>`
+pub fn info(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let app = load_app(p.one_path("container path")?)?;
+    println!("package:    {}", app.package());
+    println!("category:   {}", app.meta.category);
+    println!("downloads:  {}", app.meta.downloads_band());
+    let stats = fd_apk::app_stats(&app);
+    println!("classes:    {} ({} activities, {} fragments)", stats.classes, stats.activity_classes, stats.fragment_classes);
+    println!("methods:    {} ({} statements)", stats.methods, stats.statements);
+    println!("layouts:    {} ({} widgets, {} clickable)", stats.layouts, stats.widgets, stats.clickable_widgets);
+    println!("resources:  {}", stats.resources);
+    println!("sensitive call sites: {}", stats.sensitive_call_sites);
+    println!("activities:");
+    for decl in &app.manifest.activities {
+        let launcher = if decl.is_launcher() { "  [launcher]" } else { "" };
+        println!("  {}{}", decl.name, launcher);
+    }
+    let fragments: Vec<&str> = app
+        .classes
+        .iter()
+        .filter(|c| app.classes.is_fragment_class(c.name.as_str()))
+        .map(|c| c.name.as_str())
+        .collect();
+    println!("fragments:");
+    for f in fragments {
+        println!("  {f}");
+    }
+    Ok(())
+}
+
+/// `fragdroid static <app.fapk> [--inputs F]`
+pub fn static_info(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let app = load_app(p.one_path("container path")?)?;
+    let inputs = load_inputs(p.opt("inputs"))?;
+    let info = fd_static::extract(&app, &inputs);
+    println!("{}", serde_json::to_string_pretty(&info).expect("static info serializes"));
+    Ok(())
+}
+
+/// `fragdroid dot <app.fapk>`
+pub fn dot(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let app = load_app(p.one_path("container path")?)?;
+    let info = fd_static::extract(&app, &Default::default());
+    print!("{}", fd_aftm::dot::to_dot(&info.aftm));
+    Ok(())
+}
+
+/// `fragdroid run <app.fapk> [--inputs F] [--budget N] [--json]`
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let app = load_app(p.one_path("container path")?)?;
+    let inputs = load_inputs(p.opt("inputs"))?;
+    let mut config = FragDroidConfig {
+        event_budget: p.num("budget", 40_000)? as usize,
+        ..FragDroidConfig::default()
+    };
+    if let Some(spec) = p.opt("find-api") {
+        let (group, name) = spec
+            .split_once('/')
+            .ok_or_else(|| format!("--find-api expects '<group>/<name>', got '{spec}'"))?;
+        config = config.find_api(group, name);
+    }
+    let report = FragDroid::new(config).run(&app, &inputs);
+
+    if p.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        return Ok(());
+    }
+    let a = report.activity_coverage();
+    let f = report.fragment_coverage();
+    let v = report.fragments_in_visited_coverage();
+    println!("activities:            {}/{} ({:.1}%)", a.visited, a.sum, a.rate());
+    println!("fragments:             {}/{} ({:.1}%)", f.visited, f.sum, f.rate());
+    println!("frags in visited acts: {}/{} ({:.1}%)", v.visited, v.sum, v.rate());
+    println!("test cases:            {}", report.test_cases_run);
+    println!("events:                {}", report.events_injected);
+    println!("crashes:               {}", report.crashes);
+    let (total, frag, frag_only) = report.api_relation_counts();
+    println!("sensitive API relations: {total} ({frag} fragment-associated, {frag_only} fragment-only)");
+    for inv in &report.api_invocations {
+        let caller = match &inv.caller {
+            fd_droidsim::Caller::Activity(a) => format!("A:{}", a.simple_name()),
+            fd_droidsim::Caller::Fragment { fragment, host } => {
+                format!("F:{} (in {})", fragment.simple_name(), host.simple_name())
+            }
+        };
+        println!("  {}/{} ← {caller}", inv.group, inv.name);
+    }
+    Ok(())
+}
+
+/// `fragdroid unpack <app.fapk> --out DIR` — apktool-style decompile to a
+/// project directory.
+pub fn unpack(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let app = load_app(p.one_path("container path")?)?;
+    let out = p.opt("out").ok_or("missing --out directory")?;
+    fd_apk::workspace::unpack(&app, std::path::Path::new(out)).map_err(|e| e.to_string())?;
+    println!("unpacked {} to {out}", app.package());
+    Ok(())
+}
+
+/// `fragdroid repack <dir> --out app.fapk` — rebuild a container from an
+/// (edited) project directory.
+pub fn repack(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let dir = p.one_path("project directory")?;
+    let out = p.opt("out").ok_or("missing --out file")?;
+    let app = fd_apk::workspace::load(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    let problems = app.validate();
+    if !problems.is_empty() {
+        return Err(format!("rebuilt app is malformed:
+  {}", problems.join("
+  ")));
+    }
+    let bytes = fd_apk::pack(&app);
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("repacked {} ({} bytes) to {out}", app.package(), bytes.len());
+    Ok(())
+}
+
+/// `fragdroid replay <app.fapk> <trace.json>` — replay a recorded session
+/// and verify every step lands in its recorded state.
+pub fn replay(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let (apk, trace_path) = match p.positional.as_slice() {
+        [a, t] => (a.as_str(), t.as_str()),
+        _ => return Err("usage: fragdroid replay <app.fapk> <trace.json>".to_string()),
+    };
+    let app = load_app(apk)?;
+    let raw = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let trace = fd_droidsim::Trace::from_json(&raw)
+        .map_err(|e| format!("bad trace file {trace_path}: {e}"))?;
+    let mut device = fd_droidsim::Device::new(app);
+    match fd_droidsim::replay(&mut device, &trace) {
+        fd_droidsim::ReplayOutcome::Faithful => {
+            println!("FAITHFUL: all {} steps reproduced their recorded states", trace.steps.len());
+            Ok(())
+        }
+        fd_droidsim::ReplayOutcome::Diverged { index, expected, actual } => Err(format!(
+            "DIVERGED at step {index}: expected {:?}, got {:?}",
+            expected.map(|s| s.to_string()),
+            actual.map(|s| s.to_string())
+        )),
+        fd_droidsim::ReplayOutcome::Rejected { index, error } => {
+            Err(format!("REJECTED at step {index}: {error}"))
+        }
+    }
+}
+
+/// `fragdroid java <app.fapk> [--inputs F]` — run FragDroid and emit the
+/// generated Robotium test class (§VI-B).
+pub fn java(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let app = load_app(p.one_path("container path")?)?;
+    let inputs = load_inputs(p.opt("inputs"))?;
+    let report = FragDroid::new(FragDroidConfig::default()).run(&app, &inputs);
+    print!("{}", report.to_robotium_java());
+    Ok(())
+}
+
+/// `fragdroid dump <app.fapk>`
+pub fn dump(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let app = load_app(p.one_path("container path")?)?;
+    let mut device = fd_droidsim::Device::new(app);
+    device
+        .launch()
+        .map_err(|e| format!("launch failed: {e}"))?;
+    match device.current() {
+        Some(screen) => {
+            print!("{}", fd_droidsim::dump_hierarchy(screen));
+            Ok(())
+        }
+        None => Err(format!(
+            "app force-closed at launch: {}",
+            device.crash_reason().unwrap_or("unknown")
+        )),
+    }
+}

@@ -1,0 +1,91 @@
+//! Library backing the `fragdroid` command-line interface (testable
+//! without spawning the binary).
+//!
+//! ```text
+//! fragdroid gen <out.fapk> [--template NAME | --random --seed N --size N]
+//! fragdroid info <app.fapk>
+//! fragdroid static <app.fapk> [--inputs inputs.json]
+//! fragdroid dot <app.fapk>
+//! fragdroid run <app.fapk> [--inputs inputs.json] [--budget N] [--json]
+//! fragdroid dump <app.fapk>
+//! fragdroid templates
+//! ```
+//!
+//! `.fapk` files are the binary APK containers of `fd-apk`; `gen` writes
+//! one (alongside an `<out>.inputs.json` with the known gate secrets) so
+//! every other subcommand has something to chew on.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+pub mod args;
+pub mod cmds;
+
+/// Dispatches one CLI invocation (everything after the binary name).
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "gen" => cmds::gen(rest),
+        "info" => cmds::info(rest),
+        "static" => cmds::static_info(rest),
+        "dot" => cmds::dot(rest),
+        "run" => cmds::run(rest),
+        "dump" => cmds::dump(rest),
+        "unpack" => cmds::unpack(rest),
+        "replay" => cmds::replay(rest),
+        "java" => cmds::java(rest),
+        "repack" => cmds::repack(rest),
+        "templates" => {
+            println!("quickstart\nfig1-tabs\nfig2-drawer");
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}' (try 'fragdroid help')")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "fragdroid — Fragment-aware automated UI exploration (DSN'18 reproduction)
+
+USAGE:
+  fragdroid gen <out.fapk> [--template NAME] [--random] [--seed N] [--size N]
+  fragdroid info <app.fapk>               manifest, classes, layouts, metadata
+  fragdroid static <app.fapk> [--inputs F]  static extraction as JSON
+  fragdroid dot <app.fapk>                initial AFTM as Graphviz DOT
+  fragdroid run <app.fapk> [--inputs F] [--budget N] [--json] [--find-api g/n]
+                                          full exploration + coverage report
+  fragdroid dump <app.fapk>               launch and print the UI hierarchy
+  fragdroid unpack <app.fapk> --out DIR   apktool-style decompile to a directory
+  fragdroid repack <DIR> --out <app.fapk> rebuild a container from a directory
+  fragdroid replay <app.fapk> <trace.json> replay a recorded session (R&R)
+  fragdroid java <app.fapk> [--inputs F]  emit the generated Robotium test class
+  fragdroid templates                     list template names for 'gen'"
+    );
+}
+
+/// Reads and decompiles a container file.
+///
+/// (Used by the subcommands; public so tests can drive them directly.)
+pub fn load_app(path: &str) -> Result<fd_apk::AndroidApp, String> {
+    let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    fd_apk::decompile(&Bytes::from(raw)).map_err(|e| format!("cannot decompile {path}: {e}"))
+}
+
+/// Reads an optional `--inputs` JSON file (widget-ID → value map).
+pub fn load_inputs(path: Option<&str>) -> Result<BTreeMap<String, String>, String> {
+    match path {
+        None => Ok(BTreeMap::new()),
+        Some(p) => {
+            let raw = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            serde_json::from_str(&raw).map_err(|e| format!("bad inputs file {p}: {e}"))
+        }
+    }
+}

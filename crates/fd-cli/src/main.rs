@@ -1,0 +1,15 @@
+//! `fragdroid` — command-line interface for the FragDroid reproduction.
+//! See [`fd_cli::run`] for the subcommands.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match fd_cli::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

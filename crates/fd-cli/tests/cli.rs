@@ -1,0 +1,139 @@
+//! CLI integration tests: drive the subcommand dispatcher end to end
+//! against real files in a temp directory.
+
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fd-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn gen_then_info_then_run_roundtrip() {
+    let out = tmp("app.fapk");
+    let out_str = out.to_str().unwrap();
+
+    fd_cli::run(&argv(&["gen", out_str, "--template", "quickstart"])).expect("gen");
+    assert!(out.exists(), "container written");
+    let inputs = PathBuf::from(format!("{out_str}.inputs.json"));
+    assert!(inputs.exists(), "inputs file written");
+
+    // The generated container decompiles and matches the template.
+    let app = fd_cli::load_app(out_str).expect("load");
+    assert_eq!(app.package(), "com.example.quickstart");
+
+    // Inputs file parses to the known gate secret.
+    let map = fd_cli::load_inputs(Some(inputs.to_str().unwrap())).expect("inputs");
+    assert_eq!(map.get("input_settings_0").map(String::as_str), Some("pin-1234"));
+
+    // Full pipeline subcommands succeed.
+    fd_cli::run(&argv(&["info", out_str])).expect("info");
+    fd_cli::run(&argv(&["dot", out_str])).expect("dot");
+    fd_cli::run(&argv(&["dump", out_str])).expect("dump");
+    fd_cli::run(&argv(&[
+        "run",
+        out_str,
+        "--inputs",
+        inputs.to_str().unwrap(),
+        "--budget",
+        "5000",
+    ]))
+    .expect("run");
+    fd_cli::run(&argv(&["static", out_str])).expect("static");
+}
+
+#[test]
+fn gen_random_respects_seed_and_size() {
+    let a = tmp("rand-a.fapk");
+    let b = tmp("rand-b.fapk");
+    for out in [&a, &b] {
+        fd_cli::run(&argv(&[
+            "gen",
+            out.to_str().unwrap(),
+            "--random",
+            "--seed",
+            "9",
+            "--size",
+            "5",
+        ]))
+        .expect("gen random");
+    }
+    // Same seed → identical bytes.
+    assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    let app = fd_cli::load_app(a.to_str().unwrap()).unwrap();
+    assert_eq!(app.manifest.activities.len(), 5);
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    assert!(fd_cli::run(&argv(&["frobnicate"])).is_err());
+    assert!(fd_cli::run(&argv(&["info", "/nonexistent/x.fapk"])).is_err());
+    assert!(fd_cli::run(&argv(&["gen", tmp("t.fapk").to_str().unwrap(), "--template", "nope"]))
+        .is_err());
+    // Bad inputs file.
+    let bad = tmp("bad.json");
+    std::fs::write(&bad, "{ not json").unwrap();
+    assert!(fd_cli::load_inputs(Some(bad.to_str().unwrap())).is_err());
+    // Help and templates are fine with no further args.
+    assert!(fd_cli::run(&argv(&["help"])).is_ok());
+    assert!(fd_cli::run(&argv(&["templates"])).is_ok());
+    assert!(fd_cli::run(&[]).is_ok());
+}
+
+#[test]
+fn unpack_edit_repack_workflow() {
+    let apk = tmp("wf.fapk");
+    let dir = tmp("wf-project");
+    let rebuilt = tmp("wf-rebuilt.fapk");
+    fd_cli::run(&argv(&["gen", apk.to_str().unwrap(), "--template", "fig1-tabs"])).unwrap();
+    fd_cli::run(&argv(&["unpack", apk.to_str().unwrap(), "--out", dir.to_str().unwrap()]))
+        .unwrap();
+    assert!(dir.join("smali/fig1/manga/Reader.smali").exists());
+    fd_cli::run(&argv(&[
+        "repack",
+        dir.to_str().unwrap(),
+        "--out",
+        rebuilt.to_str().unwrap(),
+    ]))
+    .unwrap();
+    // The rebuilt container decompiles to the identical app.
+    let a = fd_cli::load_app(apk.to_str().unwrap()).unwrap();
+    let b = fd_cli::load_app(rebuilt.to_str().unwrap()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn replay_and_java_subcommands() {
+    let apk = tmp("rr.fapk");
+    fd_cli::run(&argv(&["gen", apk.to_str().unwrap(), "--template", "fig2-drawer"])).unwrap();
+
+    // Record a session programmatically, save it, replay through the CLI.
+    let app = fd_cli::load_app(apk.to_str().unwrap()).unwrap();
+    let mut rec = fd_droidsim::Recorder::new(fd_droidsim::Device::new(app));
+    rec.step(fd_droidsim::Op::Launch).unwrap();
+    rec.step(fd_droidsim::Op::Click("hamburger_gallery".into())).unwrap();
+    let trace = rec.finish();
+    let trace_path = tmp("session.json");
+    std::fs::write(&trace_path, trace.to_json()).unwrap();
+    fd_cli::run(&argv(&["replay", apk.to_str().unwrap(), trace_path.to_str().unwrap()]))
+        .expect("faithful replay");
+
+    // A tampered trace fails with a divergence error.
+    let mut bad = trace.clone();
+    if let Some(sig) = &mut bad.steps[1].after {
+        sig.activity = "fig2.wallpapers.Ghost".into();
+    }
+    let bad_path = tmp("bad-session.json");
+    std::fs::write(&bad_path, bad.to_json()).unwrap();
+    let err = fd_cli::run(&argv(&["replay", apk.to_str().unwrap(), bad_path.to_str().unwrap()]))
+        .expect_err("divergence must be reported");
+    assert!(err.contains("DIVERGED"));
+
+    // Java emission runs.
+    fd_cli::run(&argv(&["java", apk.to_str().unwrap()])).expect("java emission");
+}

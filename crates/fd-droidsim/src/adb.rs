@@ -1,0 +1,44 @@
+//! The ADB facade: the command-line surface FragDroid drives the phone
+//! through (§VI-A's three reach methods).
+
+use crate::device::Device;
+use crate::error::DeviceError;
+use crate::outcome::EventOutcome;
+use crate::script::{run_script, ScriptReport, TestScript};
+
+/// A borrowed handle exposing the `adb` commands the paper names.
+pub struct Adb<'d> {
+    device: &'d mut Device,
+}
+
+impl<'d> Adb<'d> {
+    /// Wraps a device.
+    pub fn new(device: &'d mut Device) -> Self {
+        Adb { device }
+    }
+
+    /// `adb shell am start -n <COMPONENT> -a android.intent.action.MAIN
+    /// -c android.intent.category.LAUNCHER` — launches the app through its
+    /// entry activity (reach method 1).
+    pub fn am_start_launcher(&mut self) -> Result<EventOutcome, DeviceError> {
+        self.device.launch()
+    }
+
+    /// `adb shell am instrument -w <TestPackageName>
+    /// android.test.InstrumentationTestRunner` — runs a packaged Robotium
+    /// test case (reach method 2).
+    pub fn am_instrument(&mut self, script: &TestScript) -> ScriptReport {
+        run_script(self.device, script)
+    }
+
+    /// `adb shell am start -n <COMPONENT>` — forcibly starts one activity;
+    /// requires the MAIN-action manifest rewrite (reach method 3).
+    pub fn am_start(&mut self, component: &str) -> Result<EventOutcome, DeviceError> {
+        self.device.am_start(component)
+    }
+
+    /// The underlying device (for observations between commands).
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+}

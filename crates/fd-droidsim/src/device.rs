@@ -1,0 +1,541 @@
+//! The simulated device: app installation, activity stack, event injection.
+
+use crate::error::{DeviceError, ReflectError};
+use crate::intent::Intent;
+use crate::interp::{self, Frame, Interrupt};
+use crate::monitor::{ApiInvocation, ApiMonitor, Caller};
+use crate::outcome::{EventOutcome, UiSignature};
+use crate::screen::{Screen, VisibleWidget};
+use fd_apk::{AndroidApp, ApkError, WidgetKind, ACTION_MAIN};
+use fd_smali::{visit, ClassName, Stmt};
+use std::collections::BTreeSet;
+
+/// Maximum activity back-stack depth.
+const MAX_STACK: usize = 48;
+
+/// Device-level configuration.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceConfig {
+    /// Permissions to withhold even though the manifest requests them —
+    /// reproduces the paper's "some apps failed in the dynamic testing due
+    /// to the issues of permissions".
+    pub denied_permissions: BTreeSet<String>,
+}
+
+/// A simulated Android device with one installed app.
+#[derive(Clone, Debug)]
+pub struct Device {
+    app: AndroidApp,
+    granted: BTreeSet<String>,
+    stack: Vec<Screen>,
+    monitor: ApiMonitor,
+    crashed: Option<String>,
+}
+
+impl Device {
+    /// Creates a device with `app` installed. Manifest permissions are
+    /// granted at install time (pre-Android-6 semantics, as in the paper:
+    /// "most sensitive operations are allowed by default at the time of
+    /// installing an app"), except those in
+    /// [`DeviceConfig::denied_permissions`].
+    pub fn new(app: AndroidApp) -> Self {
+        Self::with_config(app, DeviceConfig::default())
+    }
+
+    /// Creates a device with explicit configuration.
+    pub fn with_config(app: AndroidApp, config: DeviceConfig) -> Self {
+        let granted = app
+            .manifest
+            .permissions
+            .iter()
+            .filter(|p| !config.denied_permissions.contains(*p))
+            .cloned()
+            .collect();
+        Device { app, granted, stack: Vec::new(), monitor: ApiMonitor::new(), crashed: None }
+    }
+
+    /// Installs an app from packed container bytes (decompiling it first),
+    /// like `adb install`.
+    pub fn install(bytes: &bytes::Bytes) -> Result<Self, ApkError> {
+        Ok(Device::new(fd_apk::decompile(bytes)?))
+    }
+
+    /// The installed app.
+    pub fn app(&self) -> &AndroidApp {
+        &self.app
+    }
+
+    /// The sensitive-API monitor's log.
+    pub fn invocations(&self) -> impl Iterator<Item = &ApiInvocation> {
+        self.monitor.invocations()
+    }
+
+    /// The monitor itself (read-only).
+    pub fn monitor(&self) -> &ApiMonitor {
+        &self.monitor
+    }
+
+    /// Whether the app is currently force-closed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.is_some()
+    }
+
+    /// The crash reason, if crashed.
+    pub fn crash_reason(&self) -> Option<&str> {
+        self.crashed.as_deref()
+    }
+
+    /// The foreground screen, if the app is running.
+    pub fn current(&self) -> Option<&Screen> {
+        if self.crashed.is_some() {
+            return None;
+        }
+        self.stack.last()
+    }
+
+    /// The fragment-level signature of the foreground screen.
+    pub fn signature(&self) -> Option<UiSignature> {
+        self.current().map(Screen::signature)
+    }
+
+    /// The widgets currently on screen.
+    pub fn visible_widgets(&self) -> Vec<VisibleWidget> {
+        self.current().map(|s| s.visible_widgets()).unwrap_or_default()
+    }
+
+    /// Back-stack depth.
+    pub fn stack_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    pub(crate) fn screen_at(&self, idx: usize) -> Option<&Screen> {
+        self.stack.get(idx)
+    }
+
+    pub(crate) fn screen_at_mut(&mut self, idx: usize) -> Option<&mut Screen> {
+        self.stack.get_mut(idx)
+    }
+
+    pub(crate) fn record_api(&mut self, group: &str, name: &str, caller: Caller) {
+        self.monitor.record(group, name, caller);
+    }
+
+    pub(crate) fn has_permission(&self, permission: &str) -> bool {
+        self.granted.contains(permission)
+    }
+
+    /// Grants a permission at runtime.
+    pub fn grant(&mut self, permission: impl Into<String>) {
+        self.granted.insert(permission.into());
+    }
+
+    /// Revokes a permission.
+    pub fn revoke(&mut self, permission: &str) {
+        self.granted.remove(permission);
+    }
+
+    // ------------------------------------------------------------------
+    // Activity starting
+    // ------------------------------------------------------------------
+
+    /// Runs one lifecycle callback (`onStart`, `onResume`, …) of the
+    /// activity at `screen_idx`, if the class defines it. A `finish()`
+    /// inside a lifecycle callback is ignored (apps under test here do not
+    /// use it there); crashes propagate.
+    fn run_lifecycle(&mut self, screen_idx: usize, callback: &str, depth: usize) -> Result<(), Interrupt> {
+        let Some(screen) = self.stack.get(screen_idx) else { return Ok(()) };
+        let activity = screen.activity.clone();
+        let Some(method) = self
+            .app
+            .classes
+            .get(activity.as_str())
+            .and_then(|c| c.method(callback))
+            .cloned()
+        else {
+            return Ok(());
+        };
+        let mut frame = Frame::activity(activity, screen_idx, depth);
+        match interp::run_method(self, &mut frame, &method) {
+            Ok(()) | Err(Interrupt::Finish) => Ok(()),
+            Err(crash) => Err(crash),
+        }
+    }
+
+    /// Pops the screen at `idx` with full lifecycle (`onPause`/`onStop`/
+    /// `onDestroy`), resuming the newly exposed top.
+    pub(crate) fn pop_screen(&mut self, idx: usize) -> Result<(), Interrupt> {
+        if idx >= self.stack.len() {
+            return Ok(());
+        }
+        let was_top = idx == self.stack.len() - 1;
+        self.run_lifecycle(idx, "onPause", 0)?;
+        self.run_lifecycle(idx, "onStop", 0)?;
+        self.run_lifecycle(idx, "onDestroy", 0)?;
+        self.stack.remove(idx);
+        if was_top && !self.stack.is_empty() {
+            self.run_lifecycle(self.stack.len() - 1, "onResume", 0)?;
+        }
+        Ok(())
+    }
+
+    /// Pushes a screen for `activity` and runs its creation lifecycle
+    /// (`onCreate` → `onStart` → `onResume`), pausing and then stopping
+    /// the previously foregrounded activity in the real Android order
+    /// (`A.onPause` → `B.onCreate/onStart/onResume` → `A.onStop`). Used by
+    /// the interpreter for in-app `startActivity` calls.
+    pub(crate) fn start_activity_frame(
+        &mut self,
+        activity: ClassName,
+        intent: Intent,
+        depth: usize,
+    ) -> Result<(), Interrupt> {
+        if self.stack.len() >= MAX_STACK {
+            return Err(Interrupt::Crash("StackOverflowError: activity stack".into()));
+        }
+        let def = self
+            .app
+            .classes
+            .get(activity.as_str())
+            .cloned()
+            .ok_or_else(|| Interrupt::Crash(format!("ClassNotFoundException: {activity}")))?;
+
+        let prev_idx = self.stack.len().checked_sub(1);
+        if let Some(prev) = prev_idx {
+            self.run_lifecycle(prev, "onPause", depth)?;
+        }
+
+        self.stack.push(Screen::new(activity.clone(), intent));
+        let screen_idx = self.stack.len() - 1;
+        if let Some(on_create) = def.method("onCreate").cloned() {
+            let mut frame = Frame::activity(activity, screen_idx, depth);
+            match interp::run_method(self, &mut frame, &on_create) {
+                Ok(()) => {}
+                Err(Interrupt::Finish) => {
+                    // Activity finished inside onCreate: remove it again
+                    // and resume whoever was underneath.
+                    self.stack.remove(screen_idx);
+                    if let Some(prev) = prev_idx {
+                        self.run_lifecycle(prev, "onResume", depth)?;
+                    }
+                    return Ok(());
+                }
+                Err(crash) => return Err(crash),
+            }
+        }
+        self.run_lifecycle(screen_idx, "onStart", depth)?;
+        self.run_lifecycle(screen_idx, "onResume", depth)?;
+        if let Some(prev) = prev_idx {
+            self.run_lifecycle(prev, "onStop", depth)?;
+        }
+        Ok(())
+    }
+
+    fn crash_out(&mut self, reason: String) -> EventOutcome {
+        self.crashed = Some(reason.clone());
+        self.stack.clear();
+        EventOutcome::Crashed { reason }
+    }
+
+    fn classify(&self, before: Option<UiSignature>) -> EventOutcome {
+        let after = self.signature();
+        match (before, after) {
+            (_, None) => EventOutcome::Finished,
+            (None, Some(to)) => EventOutcome::UiChanged {
+                from: UiSignature {
+                    activity: ClassName::new(""),
+                    fragments: Default::default(),
+                    overlay: None,
+                    open_drawers: Default::default(),
+                },
+                to,
+            },
+            (Some(from), Some(to)) => {
+                if from == to {
+                    EventOutcome::NoChange
+                } else if to.overlay.is_some() && from.overlay.is_none() && {
+                    let mut t = to.clone();
+                    t.overlay = None;
+                    t == from
+                } {
+                    EventOutcome::OverlayShown
+                } else {
+                    EventOutcome::UiChanged { from, to }
+                }
+            }
+        }
+    }
+
+    /// Launches the app from its launcher activity, resetting any crash
+    /// and clearing the task — the paper's
+    /// `am start -n <COMPONENT> -a MAIN -c LAUNCHER` entry method.
+    pub fn launch(&mut self) -> Result<EventOutcome, DeviceError> {
+        let launcher = self
+            .app
+            .manifest
+            .launcher_activity()
+            .map(|d| d.name.clone())
+            .ok_or_else(|| DeviceError::Unresolved("no launcher activity".to_string()))?;
+        self.crashed = None;
+        self.stack.clear();
+        let intent = Intent { action: Some(ACTION_MAIN.to_string()), ..Intent::explicit(launcher.clone()) };
+        match self.start_activity_frame(launcher, intent, 0) {
+            Ok(()) => Ok(self.classify(None)),
+            Err(Interrupt::Crash(reason)) => Ok(self.crash_out(reason)),
+            Err(Interrupt::Finish) => Ok(EventOutcome::Finished),
+        }
+    }
+
+    /// Force-starts an activity by component name — `am start -n`. Only
+    /// works when the activity's manifest entry carries a MAIN action
+    /// (FragDroid adds one to every activity during its static phase).
+    /// Clears the task first, like starting from a fresh launcher intent.
+    pub fn am_start(&mut self, component: &str) -> Result<EventOutcome, DeviceError> {
+        let decl = self
+            .app
+            .manifest
+            .activity(component)
+            .ok_or_else(|| DeviceError::Unresolved(component.to_string()))?;
+        if !decl.handles_action(ACTION_MAIN) {
+            return Err(DeviceError::NotForceStartable(decl.name.clone()));
+        }
+        let name = decl.name.clone();
+        self.crashed = None;
+        self.stack.clear();
+        // An empty intent: no extras — activities that require them FC.
+        let intent = Intent { action: Some(ACTION_MAIN.to_string()), ..Intent::explicit(name.clone()) };
+        match self.start_activity_frame(name, intent, 0) {
+            Ok(()) => Ok(self.classify(None)),
+            Err(Interrupt::Crash(reason)) => Ok(self.crash_out(reason)),
+            Err(Interrupt::Finish) => Ok(EventOutcome::Finished),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event injection
+    // ------------------------------------------------------------------
+
+    fn require_running(&self) -> Result<(), DeviceError> {
+        if self.crashed.is_some() || self.stack.is_empty() {
+            return Err(DeviceError::NotRunning);
+        }
+        Ok(())
+    }
+
+    /// Clicks the visible widget with resource-ID `id`.
+    pub fn click(&mut self, id: &str) -> Result<EventOutcome, DeviceError> {
+        self.require_running()?;
+        let screen = self.stack.last().expect("running");
+        let widget = screen
+            .visible_widget(id)
+            .ok_or_else(|| DeviceError::NoSuchWidget(id.to_string()))?;
+        if !widget.clickable {
+            return Err(DeviceError::NotClickable(id.to_string()));
+        }
+        let before = self.signature();
+        let screen_idx = self.stack.len() - 1;
+
+        // A checkbox toggles its own state before any handler runs.
+        if widget.kind == WidgetKind::CheckBox {
+            let screen = self.stack.last_mut().expect("running");
+            let entry = screen.inputs.entry(id.to_string()).or_default();
+            *entry = if entry == "true" { String::new() } else { "true".to_string() };
+        }
+
+        let handler = self.stack.last().expect("running").handlers.get(id).cloned();
+        let Some(handler) = handler else {
+            return Ok(self.classify(before));
+        };
+
+        let host = self.stack.last().expect("running").activity.clone();
+        let mut frame = match &handler.fragment {
+            Some(fragment) => {
+                let pane = self.stack.last().and_then(|s| {
+                    s.fragments
+                        .iter()
+                        .find(|(_, p)| &p.fragment == fragment)
+                        .map(|(c, _)| c.clone())
+                });
+                Frame::fragment(handler.class.clone(), host, screen_idx, pane, 0)
+            }
+            None => {
+                let mut f = Frame::activity(handler.class.clone(), screen_idx, 0);
+                // Handler classes may be inner classes; attribution stays
+                // with the host activity.
+                f.owner = Caller::Activity(host);
+                f
+            }
+        };
+
+        let method = self
+            .app
+            .classes
+            .get(handler.class.as_str())
+            .and_then(|c| c.method(handler.method.as_str()))
+            .cloned();
+        let Some(method) = method else {
+            return Ok(self.classify(before));
+        };
+
+        match interp::run_method(self, &mut frame, &method) {
+            Ok(()) => Ok(self.classify(before)),
+            Err(Interrupt::Finish) => {
+                if let Err(Interrupt::Crash(reason)) = self.pop_screen(frame.screen_idx) {
+                    return Ok(self.crash_out(reason));
+                }
+                Ok(self.classify(before))
+            }
+            Err(Interrupt::Crash(reason)) => Ok(self.crash_out(reason)),
+        }
+    }
+
+    /// Types text into a visible `EditText`.
+    pub fn enter_text(&mut self, id: &str, text: &str) -> Result<(), DeviceError> {
+        self.require_running()?;
+        let screen = self.stack.last().expect("running");
+        let widget = screen
+            .visible_widget(id)
+            .ok_or_else(|| DeviceError::NoSuchWidget(id.to_string()))?;
+        if !widget.kind.is_input() {
+            return Err(DeviceError::NotEditable(id.to_string()));
+        }
+        let screen = self.stack.last_mut().expect("running");
+        screen.inputs.insert(id.to_string(), text.to_string());
+        Ok(())
+    }
+
+    /// Dismisses a dialog/menu by "clicking on blank space" (the paper's
+    /// Case-3 recovery).
+    pub fn dismiss_overlay(&mut self) -> Result<EventOutcome, DeviceError> {
+        self.require_running()?;
+        let before = self.signature();
+        let screen = self.stack.last_mut().expect("running");
+        screen.overlay = None;
+        Ok(self.classify(before))
+    }
+
+    /// Presses the hardware back button: dismisses an overlay, else closes
+    /// an open drawer, else finishes the foreground activity.
+    pub fn back(&mut self) -> Result<EventOutcome, DeviceError> {
+        self.require_running()?;
+        let before = self.signature();
+        let screen = self.stack.last_mut().expect("running");
+        if screen.overlay.is_some() {
+            screen.overlay = None;
+        } else if let Some(first) = screen.open_drawers.iter().next().cloned() {
+            screen.open_drawers.remove(&first);
+        } else if let Err(Interrupt::Crash(reason)) = self.pop_screen(self.stack.len() - 1) {
+            return Ok(self.crash_out(reason));
+        }
+        Ok(self.classify(before))
+    }
+
+    /// A left-edge swipe: opens the first (closed) drawer of the current
+    /// activity layout, the gesture alternative of Fig. 2(b).
+    pub fn swipe_open_drawer(&mut self) -> Result<EventOutcome, DeviceError> {
+        self.require_running()?;
+        let before = self.signature();
+        let screen = self.stack.last_mut().expect("running");
+        let drawer = screen.layout.as_ref().and_then(|l| {
+            l.root
+                .iter()
+                .find(|w| w.kind == WidgetKind::Drawer && w.id.is_some())
+                .and_then(|w| w.id.clone())
+        });
+        if let Some(drawer) = drawer {
+            screen.open_drawers.insert(drawer);
+        }
+        Ok(self.classify(before))
+    }
+
+    // ------------------------------------------------------------------
+    // Reflection
+    // ------------------------------------------------------------------
+
+    /// Forcibly switches the current activity to `fragment` through the
+    /// Java-reflection mechanism of §VI-A Case 1/2: reflect the host
+    /// activity's `FragmentManager`, instantiate the fragment class, and
+    /// commit a transaction into the fragment container.
+    ///
+    /// Fails with the paper's documented failure modes; see
+    /// [`ReflectError`].
+    pub fn reflect_switch_fragment(&mut self, fragment: &str) -> Result<EventOutcome, DeviceError> {
+        self.require_running()?;
+        let fragment_name = ClassName::new(fragment);
+        let fail = |why: ReflectError| DeviceError::ReflectionFailed {
+            fragment: fragment_name.clone(),
+            why,
+        };
+
+        let def = self.app.classes.get(fragment).ok_or_else(|| fail(ReflectError::UnknownClass))?;
+        if !self.app.classes.is_fragment_class(fragment) {
+            return Err(fail(ReflectError::NotAFragment));
+        }
+        if def.is_abstract {
+            return Err(fail(ReflectError::AbstractClass));
+        }
+        if !def.has_default_ctor() {
+            return Err(fail(ReflectError::MissingCtorParameters));
+        }
+
+        let activity = self.stack.last().expect("running").activity.clone();
+        // Reflecting getFragmentManager()/getSupportFragmentManager() only
+        // works if the activity (or its inner classes) actually obtains one.
+        let has_fm = self
+            .app
+            .classes
+            .with_inner_classes(activity.as_str())
+            .iter()
+            .any(|c| visit::any_stmt(c, |s| matches!(s, Stmt::GetFragmentManager { .. })));
+        if !has_fm {
+            return Err(fail(ReflectError::NoFragmentManager));
+        }
+
+        let container = self
+            .infer_container(&activity, fragment)
+            .ok_or_else(|| fail(ReflectError::NoContainer))?;
+
+        let before = self.signature();
+        let screen_idx = self.stack.len() - 1;
+        let frame = Frame::activity(activity, screen_idx, 0);
+        match interp::attach_fragment(self, &frame, &container, &fragment_name, true) {
+            Ok(()) => Ok(self.classify(before)),
+            Err(Interrupt::Crash(reason)) => Ok(self.crash_out(reason)),
+            Err(Interrupt::Finish) => Ok(self.classify(before)),
+        }
+    }
+
+    /// Infers the container resource-ID a fragment should be committed
+    /// into: first a transaction in the activity's code that mentions the
+    /// fragment, then any transaction container in the activity, then the
+    /// first `FragmentContainer` in the current layout.
+    fn infer_container(&self, activity: &ClassName, fragment: &str) -> Option<String> {
+        let classes = self.app.classes.with_inner_classes(activity.as_str());
+        let mut any_container = None;
+        let mut matching = None;
+        for class in &classes {
+            visit::walk_class(class, &mut |s| {
+                if let Stmt::TxnAdd { container, fragment: f }
+                | Stmt::TxnReplace { container, fragment: f }
+                | Stmt::AttachDirect { container, fragment: f } = s
+                {
+                    if any_container.is_none() {
+                        any_container = Some(container.name.clone());
+                    }
+                    if matching.is_none() && f.as_str() == fragment {
+                        matching = Some(container.name.clone());
+                    }
+                }
+            });
+        }
+        matching.or(any_container).or_else(|| {
+            self.current().and_then(|s| {
+                s.layout.as_ref().and_then(|l| {
+                    l.root
+                        .iter()
+                        .find(|w| w.kind == WidgetKind::FragmentContainer)
+                        .and_then(|w| w.id.clone())
+                })
+            })
+        })
+    }
+}

@@ -1,0 +1,122 @@
+//! Device-level errors.
+
+use fd_smali::ClassName;
+use std::fmt;
+
+/// An error produced by the simulated device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// No app is installed.
+    NoApp,
+    /// The intent did not resolve to any activity.
+    Unresolved(String),
+    /// `am start -n` was used on an activity whose manifest entry has no
+    /// MAIN action (FragDroid's manifest rewrite has not been applied, or
+    /// the component does not exist).
+    NotForceStartable(ClassName),
+    /// The app force-closed. The device stays in the crashed state until
+    /// [`crate::Device::restart`].
+    Crashed {
+        /// The exception message.
+        reason: String,
+    },
+    /// An event targeted a widget that is not on screen (or not visible).
+    NoSuchWidget(String),
+    /// An event targeted a widget that exists but is not clickable.
+    NotClickable(String),
+    /// Text was entered into a widget that accepts no input.
+    NotEditable(String),
+    /// The device is in a crashed state and cannot accept events.
+    NotRunning,
+    /// Reflection could not switch to the fragment. The payload explains
+    /// why (no `FragmentManager` in the activity, constructor needs
+    /// parameters, unknown class, …).
+    ReflectionFailed {
+        /// The fragment that was targeted.
+        fragment: ClassName,
+        /// Why the switch failed.
+        why: ReflectError,
+    },
+    /// The activity back stack overflowed (a start-activity cycle in the
+    /// app's `onCreate` chain).
+    StackOverflow,
+}
+
+/// Why a reflective fragment switch failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReflectError {
+    /// The host activity never obtains a `FragmentManager`, so there is
+    /// nothing to reflect on — the *dubsmash* case: "several Fragments
+    /// [are] instantiated or loaded directly without using
+    /// FragmentManager. In this scenario, FragDroid cannot determine
+    /// whether the Fragment is a real loading."
+    NoFragmentManager,
+    /// The fragment's only constructors take parameters the reflection
+    /// mechanism cannot supply — the *zara* case: "failed due to the
+    /// missing parameters transmitted in the reflection mechanism."
+    MissingCtorParameters,
+    /// The class does not exist in the app.
+    UnknownClass,
+    /// The class exists but is not a fragment.
+    NotAFragment,
+    /// The class is abstract and cannot be instantiated.
+    AbstractClass,
+    /// No fragment container exists in the current activity's layout.
+    NoContainer,
+}
+
+impl fmt::Display for ReflectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReflectError::NoFragmentManager => {
+                write!(f, "host activity has no FragmentManager")
+            }
+            ReflectError::MissingCtorParameters => {
+                write!(f, "fragment constructor requires parameters")
+            }
+            ReflectError::UnknownClass => write!(f, "class not found"),
+            ReflectError::NotAFragment => write!(f, "class is not a Fragment"),
+            ReflectError::AbstractClass => write!(f, "class is abstract"),
+            ReflectError::NoContainer => write!(f, "no fragment container in current layout"),
+        }
+    }
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::NoApp => write!(f, "no app installed"),
+            DeviceError::Unresolved(what) => write!(f, "intent did not resolve: {what}"),
+            DeviceError::NotForceStartable(c) => {
+                write!(f, "{c} has no MAIN action; cannot `am start -n` it")
+            }
+            DeviceError::Crashed { reason } => write!(f, "app force-closed: {reason}"),
+            DeviceError::NoSuchWidget(id) => write!(f, "no visible widget with id '{id}'"),
+            DeviceError::NotClickable(id) => write!(f, "widget '{id}' is not clickable"),
+            DeviceError::NotEditable(id) => write!(f, "widget '{id}' accepts no text input"),
+            DeviceError::NotRunning => write!(f, "device is not running an activity"),
+            DeviceError::ReflectionFailed { fragment, why } => {
+                write!(f, "reflective switch to {fragment} failed: {why}")
+            }
+            DeviceError::StackOverflow => write!(f, "activity back stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_the_subject() {
+        let e = DeviceError::ReflectionFailed {
+            fragment: "a.F".into(),
+            why: ReflectError::MissingCtorParameters,
+        };
+        let s = e.to_string();
+        assert!(s.contains("a.F") && s.contains("parameters"));
+        assert!(DeviceError::NoSuchWidget("go".into()).to_string().contains("go"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Runtime intents and their resolution against the manifest.
+
+use fd_apk::Manifest;
+use fd_smali::ClassName;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A runtime `Intent`: an explicit class target and/or an implicit action,
+/// plus string extras.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Intent {
+    /// Explicit component target (`new Intent(ctx, X.class)` / `setClass`).
+    pub target: Option<ClassName>,
+    /// Implicit action (`new Intent(action)` / `setAction`).
+    pub action: Option<String>,
+    /// String extras.
+    pub extras: BTreeMap<String, String>,
+}
+
+impl Intent {
+    /// An empty intent — what FragDroid uses to forcibly invoke remaining
+    /// activities in its second loop phase.
+    pub fn empty() -> Self {
+        Intent::default()
+    }
+
+    /// An explicit intent for a component.
+    pub fn explicit(target: impl Into<ClassName>) -> Self {
+        Intent { target: Some(target.into()), ..Intent::default() }
+    }
+
+    /// An implicit intent for an action.
+    pub fn implicit(action: impl Into<String>) -> Self {
+        Intent { action: Some(action.into()), ..Intent::default() }
+    }
+
+    /// Adds an extra (builder style).
+    pub fn with_extra(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extras.insert(key.into(), value.into());
+        self
+    }
+
+    /// Whether the intent carries the given extra.
+    pub fn has_extra(&self, key: &str) -> bool {
+        self.extras.contains_key(key)
+    }
+
+    /// Resolves the intent to an activity class: the explicit target wins;
+    /// otherwise the manifest's intent filters are consulted.
+    pub fn resolve(&self, manifest: &Manifest) -> Option<ClassName> {
+        if let Some(target) = &self.target {
+            // Explicit intents resolve iff the component is declared.
+            return manifest.declares(target.as_str()).then(|| target.clone());
+        }
+        let action = self.action.as_deref()?;
+        manifest.resolve_action(action).map(|decl| decl.name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_apk::{ActivityDecl, IntentFilter};
+
+    fn manifest() -> Manifest {
+        Manifest::new("a")
+            .with_activity(ActivityDecl::new("a.Main").launcher())
+            .with_activity(
+                ActivityDecl::new("a.Viewer").with_filter(IntentFilter::for_action("a.VIEW")),
+            )
+    }
+
+    #[test]
+    fn explicit_resolution_requires_declaration() {
+        let m = manifest();
+        assert_eq!(Intent::explicit("a.Viewer").resolve(&m), Some("a.Viewer".into()));
+        assert_eq!(Intent::explicit("a.Ghost").resolve(&m), None);
+    }
+
+    #[test]
+    fn implicit_resolution_via_action() {
+        let m = manifest();
+        assert_eq!(Intent::implicit("a.VIEW").resolve(&m), Some("a.Viewer".into()));
+        assert_eq!(Intent::implicit("a.NOPE").resolve(&m), None);
+    }
+
+    #[test]
+    fn explicit_target_wins_over_action() {
+        let m = manifest();
+        let mut i = Intent::explicit("a.Main");
+        i.action = Some("a.VIEW".into());
+        assert_eq!(i.resolve(&m), Some("a.Main".into()));
+    }
+
+    #[test]
+    fn empty_intent_resolves_nowhere() {
+        assert_eq!(Intent::empty().resolve(&manifest()), None);
+    }
+
+    #[test]
+    fn extras() {
+        let i = Intent::explicit("a.Main").with_extra("k", "v");
+        assert!(i.has_extra("k"));
+        assert!(!i.has_extra("z"));
+    }
+}

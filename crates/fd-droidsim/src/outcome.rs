@@ -1,0 +1,138 @@
+//! UI state signatures and event outcomes.
+
+use fd_smali::ClassName;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A fragment-level UI state identity: the activity, the fragments
+/// attached per container, the overlay, and drawer state.
+///
+/// Two screens with the same signature are "the same interface" to
+/// FragDroid. Activity-level tools compare only [`UiSignature::activity`],
+/// which is exactly the blindness the paper's Challenge 1 describes.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UiSignature {
+    /// The foreground activity.
+    pub activity: ClassName,
+    /// `(container id, fragment class)` pairs currently attached.
+    pub fragments: BTreeMap<String, ClassName>,
+    /// A tag for the modal overlay, if any.
+    pub overlay: Option<String>,
+    /// Open drawer ids.
+    pub open_drawers: BTreeSet<String>,
+}
+
+impl UiSignature {
+    /// The activity-level projection of this state — what a traditional
+    /// tool sees.
+    pub fn activity_only(&self) -> &ClassName {
+        &self.activity
+    }
+
+    /// Whether two signatures differ *only* at the fragment level (same
+    /// activity, different fragments/overlay/drawers). These are the
+    /// states activity-level tools conflate.
+    pub fn fragment_level_change(&self, other: &UiSignature) -> bool {
+        self.activity == other.activity && self != other
+    }
+}
+
+impl fmt::Display for UiSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.activity)?;
+        for (container, fragment) in &self.fragments {
+            write!(f, " [{container}:{fragment}]")?;
+        }
+        if let Some(overlay) = &self.overlay {
+            write!(f, " +{overlay}")?;
+        }
+        for drawer in &self.open_drawers {
+            write!(f, " |{drawer}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What a single injected event did to the UI — the classification behind
+/// the paper's Case-3 handling ("if the interface doesn't change … if a
+/// dialog box or a menu pops up … if the interface changes … if the app
+/// crashes").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventOutcome {
+    /// The interface did not change.
+    NoChange,
+    /// A dialog box or menu popped up (dismissable by clicking blank
+    /// space).
+    OverlayShown,
+    /// The interface changed to a new state (activity switch, fragment
+    /// transformation, drawer toggle).
+    UiChanged {
+        /// The state before the event.
+        from: UiSignature,
+        /// The state after.
+        to: UiSignature,
+    },
+    /// The foreground activity finished; the previous screen (if any) is
+    /// showing.
+    Finished,
+    /// The app force-closed.
+    Crashed {
+        /// The exception message.
+        reason: String,
+    },
+}
+
+impl EventOutcome {
+    /// Whether the event produced a new, usable UI state.
+    pub fn changed_ui(&self) -> bool {
+        matches!(self, EventOutcome::UiChanged { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(activity: &str, frag: Option<(&str, &str)>) -> UiSignature {
+        UiSignature {
+            activity: activity.into(),
+            fragments: frag
+                .into_iter()
+                .map(|(c, f)| (c.to_string(), ClassName::from(f)))
+                .collect(),
+            overlay: None,
+            open_drawers: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn fragment_level_change_detection() {
+        let a = sig("app.Main", Some(("content", "app.F0")));
+        let b = sig("app.Main", Some(("content", "app.F1")));
+        let c = sig("app.Other", Some(("content", "app.F0")));
+        assert!(a.fragment_level_change(&b));
+        assert!(!a.fragment_level_change(&a), "identical is not a change");
+        assert!(!a.fragment_level_change(&c), "activity change is not fragment-level");
+    }
+
+    #[test]
+    fn display_contains_components() {
+        let mut s = sig("app.Main", Some(("content", "app.F0")));
+        s.overlay = Some("dialog:x".into());
+        s.open_drawers.insert("drawer".into());
+        let text = s.to_string();
+        for needle in ["app.Main", "content:app.F0", "+dialog:x", "|drawer"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+
+    #[test]
+    fn changed_ui_predicate() {
+        let a = sig("app.Main", None);
+        let b = sig("app.Main", Some(("c", "app.F")));
+        assert!(EventOutcome::UiChanged { from: a, to: b }.changed_ui());
+        assert!(!EventOutcome::NoChange.changed_ui());
+        assert!(!EventOutcome::Crashed { reason: "x".into() }.changed_ui());
+    }
+}

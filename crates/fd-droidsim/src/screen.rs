@@ -1,0 +1,367 @@
+//! Runtime UI state: one entry of the activity back stack.
+
+use fd_apk::{Layout, Widget, WidgetKind};
+use fd_smali::{ClassName, MethodName};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::intent::Intent;
+use crate::outcome::UiSignature;
+
+/// A modal overlay currently covering the screen.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Overlay {
+    /// A dialog box.
+    Dialog {
+        /// The dialog's label.
+        id: String,
+    },
+    /// An action-bar popup menu.
+    PopupMenu {
+        /// The menu's label.
+        id: String,
+    },
+}
+
+/// A fragment currently attached to a container of the activity layout.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragmentPane {
+    /// The fragment class.
+    pub fragment: ClassName,
+    /// The fragment's inflated layout, if its `onCreateView` inflated one.
+    pub layout: Option<Layout>,
+    /// Whether the fragment was attached through a `FragmentManager`
+    /// transaction (`false` for `attach-direct` loads, which reflection
+    /// cannot see).
+    pub via_manager: bool,
+}
+
+/// A click/text handler wired by `set-on-click`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Handler {
+    /// The class defining the handler method.
+    pub class: ClassName,
+    /// The handler method.
+    pub method: MethodName,
+    /// If the wiring happened in fragment code, that fragment.
+    pub fragment: Option<ClassName>,
+}
+
+/// One visible widget, as an automation framework would report it
+/// (uiautomator dump / Robotium's view list).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisibleWidget {
+    /// Resource-ID name, if the widget has one.
+    pub id: Option<String>,
+    /// View kind.
+    pub kind: WidgetKind,
+    /// Display text.
+    pub text: String,
+    /// Whether it reacts to clicks (declared clickable and a handler may
+    /// or may not be attached — clicking a handler-less widget is a
+    /// no-op, as on a real device).
+    pub clickable: bool,
+    /// Synthetic screen bounds `(x, y, w, h)` in the top-to-bottom,
+    /// left-to-right order the paper's Case-3 clicking sweep uses.
+    pub bounds: (u32, u32, u32, u32),
+}
+
+/// One activity instance on the back stack with its runtime UI.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Screen {
+    /// The activity class.
+    pub activity: ClassName,
+    /// The intent it was launched with.
+    pub intent: Intent,
+    /// The activity's inflated layout (if `onCreate` set one).
+    pub layout: Option<Layout>,
+    /// Attached fragments, keyed by container resource-ID name.
+    pub fragments: BTreeMap<String, FragmentPane>,
+    /// Click handlers keyed by widget resource-ID name.
+    pub handlers: BTreeMap<String, Handler>,
+    /// Current text of input widgets, keyed by resource-ID name.
+    pub inputs: BTreeMap<String, String>,
+    /// Drawer IDs currently open.
+    pub open_drawers: BTreeSet<String>,
+    /// The modal overlay, if any.
+    pub overlay: Option<Overlay>,
+}
+
+impl Screen {
+    /// Creates an empty screen for an activity.
+    pub fn new(activity: ClassName, intent: Intent) -> Self {
+        Screen {
+            activity,
+            intent,
+            layout: None,
+            fragments: BTreeMap::new(),
+            handlers: BTreeMap::new(),
+            inputs: BTreeMap::new(),
+            open_drawers: BTreeSet::new(),
+            overlay: None,
+        }
+    }
+
+    /// The fragment-level UI signature of this screen: activity class +
+    /// the set of manager-attached fragments + overlay kind + open
+    /// drawers. This is the state identity FragDroid distinguishes;
+    /// activity-level tools use only the first component.
+    pub fn signature(&self) -> UiSignature {
+        UiSignature {
+            activity: self.activity.clone(),
+            fragments: self
+                .fragments
+                .iter()
+                .map(|(container, pane)| (container.clone(), pane.fragment.clone()))
+                .collect(),
+            overlay: self.overlay.as_ref().map(|o| match o {
+                Overlay::Dialog { id } => format!("dialog:{id}"),
+                Overlay::PopupMenu { id } => format!("menu:{id}"),
+            }),
+            open_drawers: self.open_drawers.clone(),
+        }
+    }
+
+    /// The fragments attached through a `FragmentManager` — what Robotium
+    /// can enumerate by reflecting `FragmentManager.getFragments()`.
+    /// Direct-attached panes are invisible here, which is why FragDroid
+    /// "cannot determine whether the Fragment is a real loading" for them.
+    pub fn manager_fragments(&self) -> impl Iterator<Item = (&str, &ClassName)> {
+        self.fragments
+            .iter()
+            .filter(|(_, pane)| pane.via_manager)
+            .map(|(container, pane)| (container.as_str(), &pane.fragment))
+    }
+
+    /// Which fragment (if any) owns the widget with resource-ID `id`,
+    /// judged by whose inflated layout declares it.
+    pub fn owner_fragment_of(&self, id: &str) -> Option<&ClassName> {
+        for pane in self.fragments.values() {
+            if let Some(layout) = &pane.layout {
+                if layout.root.find_by_id(id).is_some() {
+                    return Some(&pane.fragment);
+                }
+            }
+        }
+        None
+    }
+
+    /// The widgets currently visible, in the top-to-bottom/left-to-right
+    /// order the paper's clicking sweep assumes. Traversal: overlay (a
+    /// modal blocks everything else) → activity layout (closed drawers
+    /// skipped) → fragment panes in container order.
+    pub fn visible_widgets(&self) -> Vec<VisibleWidget> {
+        let mut out = Vec::new();
+        let mut row = 0u32;
+
+        if let Some(overlay) = &self.overlay {
+            // A modal overlay exposes only its own dismiss surface: we
+            // report it as a single pseudo-widget so drivers can see that
+            // something is covering the UI.
+            let text = match overlay {
+                Overlay::Dialog { id } => format!("dialog:{id}"),
+                Overlay::PopupMenu { id } => format!("menu:{id}"),
+            };
+            out.push(VisibleWidget {
+                id: None,
+                kind: WidgetKind::Group,
+                text,
+                clickable: false,
+                bounds: (0, 0, 720, 1280),
+            });
+            return out;
+        }
+
+        if let Some(layout) = &self.layout {
+            self.collect_visible(&layout.root, &mut out, &mut row, true);
+        }
+        for (container, pane) in &self.fragments {
+            // A fragment pane is visible only if its container widget is.
+            if self.container_visible(container) {
+                if let Some(layout) = &pane.layout {
+                    self.collect_visible(&layout.root, &mut out, &mut row, true);
+                }
+            }
+        }
+        out
+    }
+
+    fn container_visible(&self, container: &str) -> bool {
+        let Some(layout) = &self.layout else { return true };
+        // The container is visible unless it sits inside a closed drawer.
+        fn search(w: &Widget, container: &str, inside_closed: bool, open: &BTreeSet<String>) -> Option<bool> {
+            let closed_here = matches!(w.kind, WidgetKind::Drawer)
+                && !w.id.as_deref().map(|id| open.contains(id)).unwrap_or(false);
+            let inside = inside_closed || closed_here;
+            if w.id.as_deref() == Some(container) {
+                return Some(!inside);
+            }
+            for child in &w.children {
+                if let Some(found) = search(child, container, inside, open) {
+                    return Some(found);
+                }
+            }
+            None
+        }
+        search(&layout.root, container, false, &self.open_drawers).unwrap_or(true)
+    }
+
+    fn collect_visible(
+        &self,
+        widget: &Widget,
+        out: &mut Vec<VisibleWidget>,
+        row: &mut u32,
+        parent_visible: bool,
+    ) {
+        let mut visible = parent_visible && widget.visible;
+        if matches!(widget.kind, WidgetKind::Drawer) {
+            let open = widget
+                .id
+                .as_deref()
+                .map(|id| self.open_drawers.contains(id))
+                .unwrap_or(false);
+            visible = parent_visible && open;
+        }
+        if visible {
+            out.push(VisibleWidget {
+                id: widget.id.clone(),
+                kind: widget.kind,
+                text: widget.text.clone(),
+                clickable: widget.clickable,
+                bounds: (16, 64 + *row * 48, 688, 40),
+            });
+            *row += 1;
+        }
+        for child in &widget.children {
+            self.collect_visible(child, out, row, visible);
+        }
+    }
+
+    /// Finds a visible widget by resource-ID.
+    pub fn visible_widget(&self, id: &str) -> Option<VisibleWidget> {
+        self.visible_widgets().into_iter().find(|w| w.id.as_deref() == Some(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_apk::Layout;
+
+    fn screen_with_drawer() -> Screen {
+        let layout = Layout::new(
+            "main",
+            Widget::new(WidgetKind::Group)
+                .with_child(Widget::new(WidgetKind::ImageButton).with_id("hamburger"))
+                .with_child(
+                    Widget::new(WidgetKind::Drawer).with_id("drawer").with_child(
+                        Widget::new(WidgetKind::TextView).with_id("menu_item").clickable(true),
+                    ),
+                )
+                .with_child(Widget::new(WidgetKind::FragmentContainer).with_id("content")),
+        );
+        let mut s = Screen::new("a.Main".into(), Intent::empty());
+        s.layout = Some(layout);
+        s
+    }
+
+    #[test]
+    fn closed_drawer_hides_its_children() {
+        let s = screen_with_drawer();
+        let ids: Vec<_> = s.visible_widgets().into_iter().filter_map(|w| w.id).collect();
+        assert!(ids.contains(&"hamburger".to_string()));
+        assert!(!ids.contains(&"drawer".to_string()));
+        assert!(!ids.contains(&"menu_item".to_string()));
+    }
+
+    #[test]
+    fn open_drawer_reveals_children() {
+        let mut s = screen_with_drawer();
+        s.open_drawers.insert("drawer".into());
+        let ids: Vec<_> = s.visible_widgets().into_iter().filter_map(|w| w.id).collect();
+        assert!(ids.contains(&"menu_item".to_string()));
+    }
+
+    #[test]
+    fn overlay_masks_everything() {
+        let mut s = screen_with_drawer();
+        s.overlay = Some(Overlay::Dialog { id: "confirm".into() });
+        let widgets = s.visible_widgets();
+        assert_eq!(widgets.len(), 1);
+        assert!(widgets[0].text.contains("confirm"));
+    }
+
+    #[test]
+    fn fragment_pane_widgets_are_listed_after_activity_widgets() {
+        let mut s = screen_with_drawer();
+        s.fragments.insert(
+            "content".into(),
+            FragmentPane {
+                fragment: "a.HomeFragment".into(),
+                layout: Some(Layout::new(
+                    "frag_home",
+                    Widget::new(WidgetKind::Button).with_id("frag_btn"),
+                )),
+                via_manager: true,
+            },
+        );
+        let ids: Vec<_> = s.visible_widgets().into_iter().filter_map(|w| w.id).collect();
+        let h = ids.iter().position(|i| i == "hamburger").unwrap();
+        let f = ids.iter().position(|i| i == "frag_btn").unwrap();
+        assert!(h < f);
+    }
+
+    #[test]
+    fn fragment_in_closed_drawer_container_is_hidden() {
+        let layout = Layout::new(
+            "main",
+            Widget::new(WidgetKind::Group).with_child(
+                Widget::new(WidgetKind::Drawer).with_id("drawer").with_child(
+                    Widget::new(WidgetKind::FragmentContainer).with_id("drawer_content"),
+                ),
+            ),
+        );
+        let mut s = Screen::new("a.Main".into(), Intent::empty());
+        s.layout = Some(layout);
+        s.fragments.insert(
+            "drawer_content".into(),
+            FragmentPane {
+                fragment: "a.F".into(),
+                layout: Some(Layout::new("f", Widget::new(WidgetKind::Button).with_id("b"))),
+                via_manager: true,
+            },
+        );
+        assert!(s.visible_widget("b").is_none());
+        s.open_drawers.insert("drawer".into());
+        assert!(s.visible_widget("b").is_some());
+    }
+
+    #[test]
+    fn signature_reflects_fragments_and_overlay() {
+        let mut s = screen_with_drawer();
+        let base = s.signature();
+        s.fragments.insert(
+            "content".into(),
+            FragmentPane { fragment: "a.F".into(), layout: None, via_manager: true },
+        );
+        let with_fragment = s.signature();
+        assert_ne!(base, with_fragment);
+        s.overlay = Some(Overlay::PopupMenu { id: "m".into() });
+        assert_ne!(with_fragment, s.signature());
+    }
+
+    #[test]
+    fn owner_fragment_of_maps_widget_to_pane() {
+        let mut s = screen_with_drawer();
+        s.fragments.insert(
+            "content".into(),
+            FragmentPane {
+                fragment: "a.F".into(),
+                layout: Some(Layout::new("f", Widget::new(WidgetKind::Button).with_id("fb"))),
+                via_manager: true,
+            },
+        );
+        assert_eq!(s.owner_fragment_of("fb").unwrap().as_str(), "a.F");
+        assert!(s.owner_fragment_of("hamburger").is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! Tests for the ADB facade — the three reach methods of §VI-A.
+
+use fd_appgen::{templates, ActivitySpec, AppBuilder};
+use fd_droidsim::{Adb, Device, Op, TestScript};
+
+#[test]
+fn the_three_reach_methods() {
+    let gen = templates::quickstart();
+    let mut app = gen.app.clone();
+    app.manifest.add_main_action_everywhere();
+    let mut device = Device::new(app);
+    let mut adb = Adb::new(&mut device);
+
+    // Method 1: launcher intent.
+    let out = adb.am_start_launcher().unwrap();
+    assert!(out.changed_ui());
+    assert_eq!(adb.device().signature().unwrap().activity.as_str(), "com.example.quickstart.Main");
+
+    // Method 2: instrumented test script.
+    let report = adb.am_instrument(&TestScript::new(
+        "to settings",
+        vec![Op::Launch, Op::Click("btn_settings".into())],
+    ));
+    assert!(report.is_clean());
+    assert_eq!(report.final_signature.unwrap().activity.as_str(), "com.example.quickstart.Settings");
+
+    // Method 3: forced start of an arbitrary component.
+    let out = adb.am_start("com.example.quickstart.Settings").unwrap();
+    assert!(out.changed_ui());
+}
+
+#[test]
+fn am_instrument_reports_each_step() {
+    let gen = AppBuilder::new("adb.t")
+        .activity(ActivitySpec::new("Main").launcher().with_dialog())
+        .build();
+    let mut device = Device::new(gen.app);
+    let mut adb = Adb::new(&mut device);
+    let report = adb.am_instrument(&TestScript::new(
+        "dialog dance",
+        vec![
+            Op::Launch,
+            Op::Click("dlg_main".into()),
+            Op::DismissOverlay,
+            Op::Back,
+        ],
+    ));
+    assert_eq!(report.steps.len(), 4);
+    assert!(matches!(
+        report.steps[1].result,
+        Ok(fd_droidsim::EventOutcome::OverlayShown)
+    ));
+    // The final Back exits the single-activity app.
+    assert!(report.final_signature.is_none());
+}

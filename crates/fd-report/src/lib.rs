@@ -1,0 +1,23 @@
+//! Experiment orchestration and report rendering.
+//!
+//! One module per experiment of the paper's §VII:
+//!
+//! * [`study`] — the 217-app corpus study ("91% of apps use Fragments");
+//! * [`table1`] — coverage of Activities and Fragments on the 15
+//!   evaluation apps;
+//! * [`table2`] — the sensitive-operations detection matrix with the
+//!   paper's ● (activity) / ◗ (fragment) / ⊙ (both) marks;
+//! * [`comparison`] — FragDroid vs Monkey vs activity-level MBT vs
+//!   depth-first exploration (the §IX positioning, quantified);
+//! * [`table`] — a small plain-text table renderer shared by all of them.
+
+pub mod comparison;
+pub mod study;
+pub mod table;
+pub mod table1;
+pub mod table2;
+
+pub use comparison::{compare_tools, ComparisonRow};
+pub use study::{corpus_study, StudyResult};
+pub use table1::{run_table1, render_table1, Table1Row, PAPER_TABLE1};
+pub use table2::{build_table2, render_table2, Mark, Table2};

@@ -1,0 +1,102 @@
+//! A minimal plain-text table renderer (no external dependencies).
+
+/// Renders rows as an aligned plain-text table with a header separator.
+/// Column widths are display-character based (the Table II marks are
+/// single-width symbols).
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            if i + 1 < cells.len() {
+                line.extend(std::iter::repeat(' ').take(pad));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Renders rows as a GitHub-flavored markdown table.
+pub fn render_markdown(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push_str("\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {} |", cell.replace('|', "\\|")));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let text = render(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // The value column starts at the same offset in every row.
+        let offset = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find("22").unwrap(), offset);
+    }
+
+    #[test]
+    fn markdown_renders_with_escapes() {
+        let md = render_markdown(
+            &["a", "b"],
+            &[vec!["x|y".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| x\\|y | 2 |");
+    }
+
+    #[test]
+    fn handles_wide_symbols_by_char_count() {
+        let text = render(&["m"], &[vec!["⊙".into()], vec!["●".into()]]);
+        assert!(text.contains('⊙') && text.contains('●'));
+    }
+}

@@ -1,0 +1,202 @@
+//! Table I: coverage of Activities and Fragments detection on the 15
+//! evaluation apps.
+
+use crate::table;
+use fd_appgen::paper_apps;
+use fragdroid::{Coverage, FragDroid, FragDroidConfig, RunReport};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Package name.
+    pub package: String,
+    /// Download band lower bound.
+    pub downloads: u64,
+    /// Activities visited / sum.
+    pub activities: Coverage,
+    /// Fragments visited / sum.
+    pub fragments: Coverage,
+    /// Fragments in visited activities.
+    pub fragments_in_visited: Coverage,
+}
+
+/// One paper row: `(package, activities V/S, fragments V/S, FiVA V/S)`.
+pub type PaperRow = (&'static str, (usize, usize), (usize, usize), (usize, usize));
+
+/// The paper's reported rows, for paper-vs-measured comparison.
+pub const PAPER_TABLE1: &[PaperRow] = &[
+    ("au.com.digitalstampede.formula", (1, 2), (2, 2), (1, 1)),
+    ("com.adobe.reader", (7, 13), (5, 5), (2, 2)),
+    ("com.advancedprocessmanager", (5, 7), (10, 10), (10, 10)),
+    ("com.aircrunch.shopalerts", (7, 10), (8, 13), (4, 6)),
+    ("com.c51", (28, 35), (2, 3), (2, 3)),
+    ("com.cnn.mobile.android.phone", (16, 23), (3, 10), (2, 4)),
+    ("com.happy2.bbmanga", (2, 5), (3, 5), (0, 2)),
+    ("com.inditex.zara", (7, 9), (7, 15), (2, 10)),
+    ("com.mobilemotion.dubsmash", (10, 11), (0, 3), (0, 3)),
+    ("com.ovuline.pregnancy", (17, 27), (8, 37), (8, 26)),
+    ("com.weather.Weather", (13, 17), (1, 1), (1, 1)),
+    ("com.where2get.android.app", (9, 16), (4, 8), (0, 4)),
+    ("imoblife.toolbox.full", (14, 14), (8, 9), (4, 5)),
+    ("net.aviascanner.aviascanner", (7, 7), (4, 4), (4, 4)),
+    ("org.rbc.odb", (4, 5), (5, 8), (2, 3)),
+];
+
+/// Runs FragDroid on all 15 apps (in parallel) and returns the measured
+/// rows plus the full reports (the reports feed Table II).
+pub fn run_table1() -> Vec<(Table1Row, RunReport)> {
+    let apps = paper_apps::all_paper_apps();
+    let mut results: Vec<Option<(Table1Row, RunReport)>> = Vec::new();
+    results.resize_with(apps.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        for (slot, (spec, gen)) in results.iter_mut().zip(&apps) {
+            scope.spawn(move |_| {
+                let report =
+                    FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+                let row = Table1Row {
+                    package: spec.package.to_string(),
+                    downloads: spec.downloads,
+                    activities: report.activity_coverage(),
+                    fragments: report.fragment_coverage(),
+                    fragments_in_visited: report.fragments_in_visited_coverage(),
+                };
+                *slot = Some((row, report));
+            });
+        }
+    })
+    .expect("table1 worker panicked");
+
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Per-column averages `(activity %, fragment %, frags-in-visited %)`.
+pub fn averages(rows: &[Table1Row]) -> (f64, f64, f64) {
+    let n = rows.len() as f64;
+    (
+        rows.iter().map(|r| r.activities.rate()).sum::<f64>() / n,
+        rows.iter().map(|r| r.fragments.rate()).sum::<f64>() / n,
+        rows.iter().map(|r| r.fragments_in_visited.rate()).sum::<f64>() / n,
+    )
+}
+
+fn cov_cells(c: &Coverage) -> [String; 3] {
+    [c.visited.to_string(), c.sum.to_string(), format!("{:.2}%", c.rate())]
+}
+
+/// Renders the measured table in the paper's layout.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let headers = [
+        "Package Name",
+        "Downloads",
+        "A:Visited",
+        "A:Sum",
+        "A:Rate",
+        "F:Visited",
+        "F:Sum",
+        "F:Rate",
+        "FiVA:Visited",
+        "FiVA:Sum",
+        "FiVA:Rate",
+    ];
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![
+                r.package.clone(),
+                fd_apk::AppMeta { downloads: r.downloads, ..Default::default() }.downloads_band(),
+            ];
+            cells.extend(cov_cells(&r.activities));
+            cells.extend(cov_cells(&r.fragments));
+            cells.extend(cov_cells(&r.fragments_in_visited));
+            cells
+        })
+        .collect();
+    let (a, f, v) = averages(rows);
+    body.push(vec![
+        "AVERAGE".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{a:.2}%"),
+        String::new(),
+        String::new(),
+        format!("{f:.2}%"),
+        String::new(),
+        String::new(),
+        format!("{v:.2}%"),
+    ]);
+    table::render(&headers, &body)
+}
+
+/// Renders the measured table as GitHub-flavored markdown (for reports
+/// and EXPERIMENTS.md).
+pub fn render_table1_markdown(rows: &[Table1Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.package.clone(),
+                format!("{}/{}", r.activities.visited, r.activities.sum),
+                format!("{:.2}%", r.activities.rate()),
+                format!("{}/{}", r.fragments.visited, r.fragments.sum),
+                format!("{:.2}%", r.fragments.rate()),
+                format!("{}/{}", r.fragments_in_visited.visited, r.fragments_in_visited.sum),
+                format!("{:.2}%", r.fragments_in_visited.rate()),
+            ]
+        })
+        .collect();
+    table::render_markdown(
+        &["Package", "Activities", "Rate", "Fragments", "Rate", "FiVA", "Rate"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_cover_all_15_apps() {
+        assert_eq!(PAPER_TABLE1.len(), 15);
+        assert_eq!(PAPER_TABLE1.len(), paper_apps::PAPER_APPS.len());
+        for (pkg, ..) in PAPER_TABLE1 {
+            assert!(
+                paper_apps::PAPER_APPS.iter().any(|s| s.package == *pkg),
+                "{pkg} missing from specs"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_average_activity_rate_is_71_94() {
+        let avg: f64 = PAPER_TABLE1
+            .iter()
+            .map(|(_, (v, s), ..)| *v as f64 / *s as f64 * 100.0)
+            .sum::<f64>()
+            / PAPER_TABLE1.len() as f64;
+        assert!((avg - 71.94).abs() < 0.5, "paper activity average ≈ 71.94, got {avg:.2}");
+    }
+
+    #[test]
+    fn measured_table_matches_paper_shape() {
+        let rows: Vec<Table1Row> = run_table1().into_iter().map(|(r, _)| r).collect();
+        assert_eq!(rows.len(), 15);
+        let (a, f, _) = averages(&rows);
+        assert!((a - 71.94).abs() < 3.0, "activity avg {a:.2} ≉ 71.94");
+        assert!((f - 66.0).abs() < 3.0, "fragment avg {f:.2} ≉ 66");
+        // Sums match the paper exactly.
+        for row in &rows {
+            let paper = PAPER_TABLE1.iter().find(|(p, ..)| *p == row.package).unwrap();
+            assert_eq!(row.activities.sum, paper.1 .1, "{}", row.package);
+            assert_eq!(row.fragments.sum, paper.2 .1, "{}", row.package);
+        }
+        let text = render_table1(&rows);
+        assert!(text.contains("com.adobe.reader"));
+        assert!(text.contains("AVERAGE"));
+        let md = render_table1_markdown(&rows);
+        assert!(md.starts_with("| Package |"));
+        assert_eq!(md.lines().count(), rows.len() + 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Class, method, and field definitions.
+
+use crate::name::{ClassName, MethodName};
+use crate::stmt::Stmt;
+use serde::{Deserialize, Serialize};
+
+/// Java-level visibility of a class or member.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Visibility {
+    /// `public`
+    #[default]
+    Public,
+    /// `protected`
+    Protected,
+    /// package-private (no modifier)
+    Package,
+    /// `private`
+    Private,
+}
+
+impl Visibility {
+    /// The smali access token (`public`, `protected`, `package`, `private`).
+    pub fn token(self) -> &'static str {
+        match self {
+            Visibility::Public => "public",
+            Visibility::Protected => "protected",
+            Visibility::Package => "package",
+            Visibility::Private => "private",
+        }
+    }
+
+    /// Parses the access token.
+    pub fn from_token(tok: &str) -> Option<Self> {
+        Some(match tok {
+            "public" => Visibility::Public,
+            "protected" => Visibility::Protected,
+            "package" => Visibility::Package,
+            "private" => Visibility::Private,
+            _ => return None,
+        })
+    }
+}
+
+/// A field definition. Fields carry no behaviour in this IR; they exist so
+/// that generated classes look structurally realistic and so the printer/
+/// parser handle the full grammar.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Field type in dotted form (`java.lang.String`, `int`, …).
+    pub ty: String,
+}
+
+impl FieldDef {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, ty: impl Into<String>) -> Self {
+        FieldDef { name: name.into(), ty: ty.into() }
+    }
+}
+
+/// A method definition: a name, string-typed parameters, and a body of
+/// [`Stmt`]s executed sequentially.
+///
+/// A constructor (`<init>`) with a non-empty parameter list marks a class
+/// that cannot be instantiated reflectively without arguments — the
+/// *com.inditex.zara* failure mode ("missing parameters transmitted in the
+/// reflection mechanism").
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MethodDef {
+    /// Method name.
+    pub name: MethodName,
+    /// Parameter types in dotted form.
+    pub params: Vec<String>,
+    /// Member visibility.
+    pub visibility: Visibility,
+    /// The executable body.
+    pub body: Vec<Stmt>,
+}
+
+impl MethodDef {
+    /// Creates an empty public zero-argument method.
+    pub fn new(name: impl Into<MethodName>) -> Self {
+        MethodDef {
+            name: name.into(),
+            params: Vec::new(),
+            visibility: Visibility::Public,
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds a parameter type.
+    pub fn with_param(mut self, ty: impl Into<String>) -> Self {
+        self.params.push(ty.into());
+        self
+    }
+
+    /// Sets the visibility.
+    pub fn with_visibility(mut self, v: Visibility) -> Self {
+        self.visibility = v;
+        self
+    }
+
+    /// Appends a statement to the body (builder style).
+    pub fn push(mut self, stmt: Stmt) -> Self {
+        self.body.push(stmt);
+        self
+    }
+
+    /// Appends many statements to the body (builder style).
+    pub fn extend(mut self, stmts: impl IntoIterator<Item = Stmt>) -> Self {
+        self.body.extend(stmts);
+        self
+    }
+}
+
+/// A class definition: name, superclass, interfaces, fields and methods.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// Fully-qualified class name.
+    pub name: ClassName,
+    /// Fully-qualified superclass name.
+    pub super_class: ClassName,
+    /// Implemented interfaces.
+    pub interfaces: Vec<ClassName>,
+    /// Class visibility.
+    pub visibility: Visibility,
+    /// Whether the class is abstract (abstract classes are never
+    /// instantiated by the simulator and are skipped by reflection).
+    pub is_abstract: bool,
+    /// Declared fields.
+    pub fields: Vec<FieldDef>,
+    /// Declared methods.
+    pub methods: Vec<MethodDef>,
+}
+
+impl ClassDef {
+    /// Creates a public, non-abstract class with the given superclass.
+    pub fn new(name: impl Into<ClassName>, super_class: impl Into<ClassName>) -> Self {
+        ClassDef {
+            name: name.into(),
+            super_class: super_class.into(),
+            interfaces: Vec::new(),
+            visibility: Visibility::Public,
+            is_abstract: false,
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Adds an implemented interface (builder style).
+    pub fn with_interface(mut self, iface: impl Into<ClassName>) -> Self {
+        self.interfaces.push(iface.into());
+        self
+    }
+
+    /// Marks the class abstract (builder style).
+    pub fn abstract_(mut self) -> Self {
+        self.is_abstract = true;
+        self
+    }
+
+    /// Adds a field (builder style).
+    pub fn with_field(mut self, field: FieldDef) -> Self {
+        self.fields.push(field);
+        self
+    }
+
+    /// Adds a method (builder style).
+    pub fn with_method(mut self, method: MethodDef) -> Self {
+        self.methods.push(method);
+        self
+    }
+
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&MethodDef> {
+        self.methods.iter().find(|m| m.name.as_str() == name)
+    }
+
+    /// Whether reflective zero-argument instantiation would succeed: either
+    /// no constructor is declared (implicit default ctor) or a declared
+    /// constructor takes no parameters.
+    pub fn has_default_ctor(&self) -> bool {
+        let ctors: Vec<_> = self.methods.iter().filter(|m| m.name.is_ctor()).collect();
+        ctors.is_empty() || ctors.iter().any(|m| m.params.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ctor_detection() {
+        let plain = ClassDef::new("a.F", "android.app.Fragment");
+        assert!(plain.has_default_ctor());
+
+        let with_args = ClassDef::new("a.F", "android.app.Fragment")
+            .with_method(MethodDef::new(MethodName::ctor()).with_param("java.lang.String"));
+        assert!(!with_args.has_default_ctor());
+
+        let both = with_args.with_method(MethodDef::new(MethodName::ctor()));
+        assert!(both.has_default_ctor());
+    }
+
+    #[test]
+    fn method_lookup() {
+        let c = ClassDef::new("a.B", "java.lang.Object")
+            .with_method(MethodDef::new("onCreate"))
+            .with_method(MethodDef::new("onClick"));
+        assert!(c.method("onCreate").is_some());
+        assert!(c.method("missing").is_none());
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let c = ClassDef::new("a.B", "java.lang.Object")
+            .with_interface("a.I")
+            .with_field(FieldDef::new("x", "int"))
+            .abstract_();
+        assert!(c.is_abstract);
+        assert_eq!(c.interfaces.len(), 1);
+        assert_eq!(c.fields.len(), 1);
+    }
+}

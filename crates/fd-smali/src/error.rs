@@ -1,0 +1,38 @@
+//! Parse errors for the textual smali-like syntax.
+
+use std::fmt;
+
+/// An error encountered while parsing smali-like text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at the given 1-based line.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_message() {
+        let e = ParseError::new(7, "unexpected token");
+        assert_eq!(e.to_string(), "parse error at line 7: unexpected token");
+    }
+}

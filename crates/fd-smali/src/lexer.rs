@@ -1,0 +1,206 @@
+//! Line tokenizer for the textual smali-like syntax.
+//!
+//! The grammar is line-oriented: every directive or statement occupies one
+//! line, and a line is a sequence of tokens:
+//!
+//! * **words** — directives (`.class`), keywords (`txn-add`), descriptors
+//!   (`Lcom/foo/Bar;`), method names;
+//! * **strings** — double-quoted with `\\`, `\"`, `\n`, `\t`, `\r` and
+//!   `\u{XXXX}` escapes;
+//! * **resource refs** — `@id/name`, `@layout/main`, ….
+//!
+//! Comments start with `#` and run to end of line.
+
+use crate::error::ParseError;
+use crate::res::ResRef;
+use std::fmt::Write as _;
+
+/// One token of a line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// A bare word (directive, keyword, descriptor, name).
+    Word(String),
+    /// A quoted string literal, unescaped.
+    Str(String),
+    /// A resource reference.
+    Res(ResRef),
+}
+
+impl Token {
+    /// The word contents, if this is a [`Token::Word`].
+    pub fn as_word(&self) -> Option<&str> {
+        match self {
+            Token::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for emission as a quoted literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if c.is_control() => {
+                let _ = write!(out, "\\u{{{:x}}}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Tokenizes one line. `line_no` is used for error reporting (1-based).
+/// A `#` outside a string starts a comment.
+pub fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+
+    loop {
+        // Skip whitespace.
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        let Some(&first) = chars.peek() else { break };
+
+        if first == '#' {
+            break; // comment to end of line
+        }
+
+        if first == '"' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err(ParseError::new(line_no, "unterminated string literal")),
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some('\\') => s.push('\\'),
+                        Some('"') => s.push('"'),
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('r') => s.push('\r'),
+                        Some('u') => {
+                            if chars.next() != Some('{') {
+                                return Err(ParseError::new(line_no, "expected '{' after \\u"));
+                            }
+                            let mut hex = String::new();
+                            loop {
+                                match chars.next() {
+                                    Some('}') => break,
+                                    Some(c) if c.is_ascii_hexdigit() => hex.push(c),
+                                    _ => {
+                                        return Err(ParseError::new(
+                                            line_no,
+                                            "malformed \\u{..} escape",
+                                        ))
+                                    }
+                                }
+                            }
+                            let cp = u32::from_str_radix(&hex, 16).map_err(|_| {
+                                ParseError::new(line_no, "malformed \\u{..} escape")
+                            })?;
+                            let c = char::from_u32(cp).ok_or_else(|| {
+                                ParseError::new(line_no, "invalid code point in \\u{..}")
+                            })?;
+                            s.push(c);
+                        }
+                        Some(other) => {
+                            return Err(ParseError::new(
+                                line_no,
+                                format!("unknown escape '\\{other}'"),
+                            ))
+                        }
+                        None => {
+                            return Err(ParseError::new(line_no, "unterminated string literal"))
+                        }
+                    },
+                    Some(c) => s.push(c),
+                }
+            }
+            tokens.push(Token::Str(s));
+            continue;
+        }
+
+        // Bare word or resource ref: read until whitespace.
+        let mut word = String::new();
+        while matches!(chars.peek(), Some(c) if !c.is_whitespace()) {
+            word.push(chars.next().expect("peeked"));
+        }
+        if let Some(stripped) = word.strip_prefix('@') {
+            let res = ResRef::parse(&word).ok_or_else(|| {
+                ParseError::new(line_no, format!("malformed resource ref '@{stripped}'"))
+            })?;
+            tokens.push(Token::Res(res));
+        } else {
+            tokens.push(Token::Word(word));
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::res::ResKind;
+
+    #[test]
+    fn tokenizes_words_strings_and_refs() {
+        let toks = tokenize(r#"txn-add @id/container Lcom/a/F; "hello world""#, 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("txn-add".into()),
+                Token::Res(ResRef::new(ResKind::Id, "container")),
+                Token::Word("Lcom/a/F;".into()),
+                Token::Str("hello world".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comment_terminates_line() {
+        let toks = tokenize("finish # pops the activity", 1).unwrap();
+        assert_eq!(toks, vec![Token::Word("finish".into())]);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        for original in ["", "plain", "a\"b", "back\\slash", "tab\there", "nl\nline", "\u{1}"] {
+            let escaped = escape(original);
+            let toks = tokenize(&escaped, 1).unwrap();
+            assert_eq!(toks, vec![Token::Str(original.into())], "escaped form {escaped}");
+        }
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let toks = tokenize(r#"show-dialog "has # inside""#, 1).unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], Token::Str("has # inside".into()));
+    }
+
+    #[test]
+    fn errors_carry_line_number() {
+        let err = tokenize("\"unterminated", 42).unwrap_err();
+        assert_eq!(err.line, 42);
+    }
+
+    #[test]
+    fn malformed_resource_ref_is_error() {
+        assert!(tokenize("@bogus/x", 1).is_err());
+        assert!(tokenize("@id", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_escape_is_error() {
+        assert!(tokenize(r#""\q""#, 1).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Structural lints over method bodies.
+//!
+//! The interpreter crashes apps that misuse the transaction or intent
+//! protocols at *runtime*; these lints find the same misuses *statically*,
+//! so app generators and hand-written fixtures can be validated before a
+//! device ever runs them.
+
+use crate::class::{ClassDef, MethodDef};
+use crate::stmt::Stmt;
+use std::fmt;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lint {
+    /// The method the problem is in.
+    pub method: String,
+    /// What is wrong.
+    pub kind: LintKind,
+}
+
+/// The kinds of structural problems detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LintKind {
+    /// `txn-add`/`txn-replace` without a preceding `begin-transaction`.
+    TxnOpOutsideTransaction,
+    /// `txn-commit` without a preceding `begin-transaction`.
+    CommitWithoutBegin,
+    /// `begin-transaction` whose ops are never committed on some path.
+    UncommittedTransaction,
+    /// `start-activity` with no intent built on some path.
+    StartWithoutIntent,
+    /// An intent is built but never started before the next one replaces
+    /// it (harmless, but usually a generator bug).
+    IntentNeverStarted,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintKind::TxnOpOutsideTransaction => {
+                write!(f, "transaction op outside beginTransaction")
+            }
+            LintKind::CommitWithoutBegin => write!(f, "commit without beginTransaction"),
+            LintKind::UncommittedTransaction => write!(f, "transaction never committed"),
+            LintKind::StartWithoutIntent => write!(f, "startActivity with no intent built"),
+            LintKind::IntentNeverStarted => write!(f, "intent built but never started"),
+        }
+    }
+}
+
+/// Abstract state tracked through a straight-line statement walk.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct State {
+    in_txn: bool,
+    has_intent: bool,
+}
+
+fn check_stmts(method: &str, stmts: &[Stmt], mut state: State, out: &mut Vec<Lint>) -> State {
+    for stmt in stmts {
+        match stmt {
+            Stmt::BeginTransaction => {
+                state.in_txn = true;
+            }
+            Stmt::TxnAdd { .. } | Stmt::TxnReplace { .. } if !state.in_txn => {
+                out.push(Lint {
+                    method: method.to_string(),
+                    kind: LintKind::TxnOpOutsideTransaction,
+                });
+            }
+            Stmt::TxnAdd { .. } | Stmt::TxnReplace { .. } => {}
+            Stmt::TxnCommit => {
+                if !state.in_txn {
+                    out.push(Lint {
+                        method: method.to_string(),
+                        kind: LintKind::CommitWithoutBegin,
+                    });
+                }
+                state.in_txn = false;
+            }
+            Stmt::NewIntent(_) => {
+                if state.has_intent {
+                    out.push(Lint {
+                        method: method.to_string(),
+                        kind: LintKind::IntentNeverStarted,
+                    });
+                }
+                state.has_intent = true;
+            }
+            Stmt::SetClass(_) | Stmt::SetAction(_) | Stmt::PutExtra { .. } => {
+                // Legal on a fresh intent register too (creates one).
+                state.has_intent = true;
+            }
+            Stmt::StartActivity { .. } => {
+                if !state.has_intent {
+                    out.push(Lint {
+                        method: method.to_string(),
+                        kind: LintKind::StartWithoutIntent,
+                    });
+                }
+                state.has_intent = false;
+            }
+            Stmt::If { then, els, .. } => {
+                // Check both arms from the current state; continue with a
+                // conservative merge (a problem on either path is real).
+                let after_then = check_stmts(method, then, state, out);
+                let after_els = check_stmts(method, els, state, out);
+                state = State {
+                    in_txn: after_then.in_txn || after_els.in_txn,
+                    has_intent: after_then.has_intent || after_els.has_intent,
+                };
+            }
+            _ => {}
+        }
+    }
+    state
+}
+
+/// Lints one method.
+pub fn lint_method(method: &MethodDef) -> Vec<Lint> {
+    let mut out = Vec::new();
+    let end = check_stmts(
+        method.name.as_str(),
+        &method.body,
+        State { in_txn: false, has_intent: false },
+        &mut out,
+    );
+    if end.in_txn {
+        out.push(Lint {
+            method: method.name.as_str().to_string(),
+            kind: LintKind::UncommittedTransaction,
+        });
+    }
+    if end.has_intent {
+        out.push(Lint {
+            method: method.name.as_str().to_string(),
+            kind: LintKind::IntentNeverStarted,
+        });
+    }
+    out
+}
+
+/// Lints every method of a class.
+pub fn lint_class(class: &ClassDef) -> Vec<Lint> {
+    class.methods.iter().flat_map(lint_method).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::ClassName;
+    use crate::res::ResRef;
+    use crate::stmt::{Cond, IntentTarget};
+
+    fn frag() -> ClassName {
+        ClassName::new("a.F")
+    }
+
+    #[test]
+    fn clean_transaction_passes() {
+        let m = MethodDef::new("ok")
+            .push(Stmt::GetFragmentManager { support: true })
+            .push(Stmt::BeginTransaction)
+            .push(Stmt::TxnReplace { container: ResRef::id("c"), fragment: frag() })
+            .push(Stmt::TxnCommit);
+        assert!(lint_method(&m).is_empty());
+    }
+
+    #[test]
+    fn op_outside_transaction_flagged() {
+        let m = MethodDef::new("bad")
+            .push(Stmt::TxnAdd { container: ResRef::id("c"), fragment: frag() });
+        let lints = lint_method(&m);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].kind, LintKind::TxnOpOutsideTransaction);
+    }
+
+    #[test]
+    fn commit_without_begin_flagged() {
+        let m = MethodDef::new("bad").push(Stmt::TxnCommit);
+        assert_eq!(lint_method(&m)[0].kind, LintKind::CommitWithoutBegin);
+    }
+
+    #[test]
+    fn uncommitted_transaction_flagged() {
+        let m = MethodDef::new("bad")
+            .push(Stmt::BeginTransaction)
+            .push(Stmt::TxnAdd { container: ResRef::id("c"), fragment: frag() });
+        assert!(lint_method(&m).iter().any(|l| l.kind == LintKind::UncommittedTransaction));
+    }
+
+    #[test]
+    fn start_without_intent_flagged_and_clean_start_passes() {
+        let bad = MethodDef::new("bad").push(Stmt::StartActivity { via_host: false });
+        assert_eq!(lint_method(&bad)[0].kind, LintKind::StartWithoutIntent);
+
+        let ok = MethodDef::new("ok")
+            .push(Stmt::NewIntent(IntentTarget::Class("a.B".into())))
+            .push(Stmt::StartActivity { via_host: false });
+        assert!(lint_method(&ok).is_empty());
+    }
+
+    #[test]
+    fn intent_clobbered_or_dangling_flagged() {
+        let clobber = MethodDef::new("bad")
+            .push(Stmt::NewIntent(IntentTarget::Class("a.B".into())))
+            .push(Stmt::NewIntent(IntentTarget::Class("a.C".into())))
+            .push(Stmt::StartActivity { via_host: false });
+        assert!(lint_method(&clobber).iter().any(|l| l.kind == LintKind::IntentNeverStarted));
+
+        let dangling = MethodDef::new("bad").push(Stmt::NewIntent(IntentTarget::Class("a.B".into())));
+        assert!(lint_method(&dangling).iter().any(|l| l.kind == LintKind::IntentNeverStarted));
+    }
+
+    #[test]
+    fn branches_checked_on_both_paths() {
+        // then-arm starts cleanly; else-arm commits without begin.
+        let m = MethodDef::new("mixed").push(Stmt::If {
+            cond: Cond::HasExtra { key: "k".into() },
+            then: vec![
+                Stmt::NewIntent(IntentTarget::Class("a.B".into())),
+                Stmt::StartActivity { via_host: false },
+            ],
+            els: vec![Stmt::TxnCommit],
+        });
+        let lints = lint_method(&m);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].kind, LintKind::CommitWithoutBegin);
+    }
+
+    #[test]
+    fn lint_class_aggregates_methods() {
+        let class = ClassDef::new("a.C", "java.lang.Object")
+            .with_method(MethodDef::new("ok"))
+            .with_method(MethodDef::new("bad").push(Stmt::TxnCommit));
+        assert_eq!(lint_class(&class).len(), 1);
+    }
+}

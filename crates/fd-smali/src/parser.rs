@@ -1,0 +1,524 @@
+//! Parser for the textual smali-like syntax emitted by [`crate::printer`].
+
+use crate::class::{ClassDef, FieldDef, MethodDef, Visibility};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token};
+use crate::name::{ClassName, MethodName};
+use crate::res::ResRef;
+use crate::stmt::{Cond, IntentTarget, Stmt};
+
+/// Parses one `.class … .end class` definition.
+pub fn parse_class(text: &str) -> Result<ClassDef, ParseError> {
+    let mut classes = parse_classes(text)?;
+    match classes.len() {
+        1 => Ok(classes.remove(0)),
+        0 => Err(ParseError::new(1, "no class definition found")),
+        n => Err(ParseError::new(1, format!("expected one class, found {n}"))),
+    }
+}
+
+/// Parses a file that may contain several class definitions.
+pub fn parse_classes(text: &str) -> Result<Vec<ClassDef>, ParseError> {
+    let mut lines = Lines::new(text);
+    let mut classes = Vec::new();
+    while let Some((line_no, tokens)) = lines.next_nonempty()? {
+        let head = expect_word_at(&tokens, 0, line_no)?;
+        if head != ".class" {
+            return Err(ParseError::new(line_no, format!("expected '.class', found '{head}'")));
+        }
+        classes.push(parse_class_body(&mut lines, &tokens, line_no)?);
+    }
+    Ok(classes)
+}
+
+/// Cursor over the non-empty, tokenized lines of the input.
+struct Lines<'a> {
+    iter: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Lines { iter: text.lines().enumerate() }
+    }
+
+    /// Next line with at least one token (skipping blanks and comments),
+    /// as `(1-based line number, tokens)`.
+    fn next_nonempty(&mut self) -> Result<Option<(usize, Vec<Token>)>, ParseError> {
+        for (idx, raw) in self.iter.by_ref() {
+            let line_no = idx + 1;
+            let tokens = tokenize(raw, line_no)?;
+            if !tokens.is_empty() {
+                return Ok(Some((line_no, tokens)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn expect_word_at(tokens: &[Token], idx: usize, line_no: usize) -> Result<&str, ParseError> {
+    tokens
+        .get(idx)
+        .and_then(Token::as_word)
+        .ok_or_else(|| ParseError::new(line_no, format!("expected word at position {idx}")))
+}
+
+fn expect_class_at(tokens: &[Token], idx: usize, line_no: usize) -> Result<ClassName, ParseError> {
+    let word = expect_word_at(tokens, idx, line_no)?;
+    ClassName::from_descriptor(word)
+        .ok_or_else(|| ParseError::new(line_no, format!("malformed class descriptor '{word}'")))
+}
+
+fn expect_res_at(tokens: &[Token], idx: usize, line_no: usize) -> Result<ResRef, ParseError> {
+    match tokens.get(idx) {
+        Some(Token::Res(r)) => Ok(r.clone()),
+        _ => Err(ParseError::new(line_no, format!("expected resource ref at position {idx}"))),
+    }
+}
+
+fn expect_str_at(tokens: &[Token], idx: usize, line_no: usize) -> Result<String, ParseError> {
+    match tokens.get(idx) {
+        Some(Token::Str(s)) => Ok(s.clone()),
+        _ => Err(ParseError::new(line_no, format!("expected string literal at position {idx}"))),
+    }
+}
+
+fn expect_len(tokens: &[Token], len: usize, line_no: usize) -> Result<(), ParseError> {
+    if tokens.len() == len {
+        Ok(())
+    } else {
+        Err(ParseError::new(
+            line_no,
+            format!("expected {len} tokens, found {}", tokens.len()),
+        ))
+    }
+}
+
+fn parse_class_body(
+    lines: &mut Lines<'_>,
+    header: &[Token],
+    header_line: usize,
+) -> Result<ClassDef, ParseError> {
+    // .class <visibility> [abstract] <descriptor>
+    let visibility = Visibility::from_token(expect_word_at(header, 1, header_line)?)
+        .ok_or_else(|| ParseError::new(header_line, "expected visibility after '.class'"))?;
+    let (is_abstract, name_idx) = match header.get(2).and_then(Token::as_word) {
+        Some("abstract") => (true, 3),
+        _ => (false, 2),
+    };
+    let name = expect_class_at(header, name_idx, header_line)?;
+    expect_len(header, name_idx + 1, header_line)?;
+
+    // .super is mandatory and must come first.
+    let (line_no, tokens) = lines
+        .next_nonempty()?
+        .ok_or_else(|| ParseError::new(header_line, "missing '.super' line"))?;
+    if expect_word_at(&tokens, 0, line_no)? != ".super" {
+        return Err(ParseError::new(line_no, "expected '.super'"));
+    }
+    let super_class = expect_class_at(&tokens, 1, line_no)?;
+    expect_len(&tokens, 2, line_no)?;
+
+    let mut class = ClassDef {
+        name,
+        super_class,
+        interfaces: Vec::new(),
+        visibility,
+        is_abstract,
+        fields: Vec::new(),
+        methods: Vec::new(),
+    };
+
+    loop {
+        let (line_no, tokens) = lines
+            .next_nonempty()?
+            .ok_or_else(|| ParseError::new(header_line, "missing '.end class'"))?;
+        match expect_word_at(&tokens, 0, line_no)? {
+            ".end" => {
+                if tokens.get(1).and_then(Token::as_word) == Some("class") {
+                    return Ok(class);
+                }
+                return Err(ParseError::new(line_no, "expected '.end class'"));
+            }
+            ".implements" => {
+                class.interfaces.push(expect_class_at(&tokens, 1, line_no)?);
+                expect_len(&tokens, 2, line_no)?;
+            }
+            ".field" => {
+                let name = expect_word_at(&tokens, 1, line_no)?.to_string();
+                let ty = expect_word_at(&tokens, 2, line_no)?.to_string();
+                expect_len(&tokens, 3, line_no)?;
+                class.fields.push(FieldDef { name, ty });
+            }
+            ".method" => {
+                class.methods.push(parse_method(lines, &tokens, line_no)?);
+            }
+            other => {
+                return Err(ParseError::new(
+                    line_no,
+                    format!("unexpected directive '{other}' in class body"),
+                ))
+            }
+        }
+    }
+}
+
+fn parse_method(
+    lines: &mut Lines<'_>,
+    header: &[Token],
+    header_line: usize,
+) -> Result<MethodDef, ParseError> {
+    // .method <visibility> <name>(<params,comma-separated>)
+    let visibility = Visibility::from_token(expect_word_at(header, 1, header_line)?)
+        .ok_or_else(|| ParseError::new(header_line, "expected visibility after '.method'"))?;
+    let sig = expect_word_at(header, 2, header_line)?;
+    expect_len(header, 3, header_line)?;
+    let (name, rest) = sig
+        .split_once('(')
+        .ok_or_else(|| ParseError::new(header_line, "missing '(' in method signature"))?;
+    let params_raw = rest
+        .strip_suffix(')')
+        .ok_or_else(|| ParseError::new(header_line, "missing ')' in method signature"))?;
+    let params: Vec<String> = if params_raw.is_empty() {
+        Vec::new()
+    } else {
+        params_raw.split(',').map(str::to_string).collect()
+    };
+
+    let (body, terminator) = parse_stmts(lines, header_line)?;
+    match terminator {
+        Terminator::EndMethod => {}
+        other => {
+            return Err(ParseError::new(
+                header_line,
+                format!("method body ended with {other:?}, expected '.end method'"),
+            ))
+        }
+    }
+    Ok(MethodDef { name: MethodName::new(name), params, visibility, body })
+}
+
+/// What ended a statement block.
+#[derive(Debug, PartialEq, Eq)]
+enum Terminator {
+    EndMethod,
+    Else,
+    EndIf,
+}
+
+fn parse_stmts(
+    lines: &mut Lines<'_>,
+    start_line: usize,
+) -> Result<(Vec<Stmt>, Terminator), ParseError> {
+    let mut stmts = Vec::new();
+    loop {
+        let (line_no, tokens) = lines
+            .next_nonempty()?
+            .ok_or_else(|| ParseError::new(start_line, "unterminated statement block"))?;
+        let head = expect_word_at(&tokens, 0, line_no)?;
+        match head {
+            ".end" => {
+                if tokens.get(1).and_then(Token::as_word) == Some("method") {
+                    return Ok((stmts, Terminator::EndMethod));
+                }
+                // `.end class` etc. are not valid inside a method; report.
+                return Err(ParseError::new(line_no, "unexpected '.end' inside method body"));
+            }
+            "else" => return Ok((stmts, Terminator::Else)),
+            "end-if" => return Ok((stmts, Terminator::EndIf)),
+            "if" => {
+                let cond = parse_cond(&tokens[1..], line_no)?;
+                let (then, term) = parse_stmts(lines, line_no)?;
+                let (els, term) = match term {
+                    Terminator::Else => parse_stmts(lines, line_no)?,
+                    other => (Vec::new(), other),
+                };
+                if term != Terminator::EndIf {
+                    return Err(ParseError::new(line_no, "missing 'end-if'"));
+                }
+                stmts.push(Stmt::If { cond, then, els });
+            }
+            _ => stmts.push(parse_simple_stmt(head, &tokens, line_no)?),
+        }
+    }
+}
+
+fn parse_cond(tokens: &[Token], line_no: usize) -> Result<Cond, ParseError> {
+    let head = expect_word_at(tokens, 0, line_no)?;
+    match head {
+        "input-equals" => {
+            expect_len(tokens, 3, line_no)?;
+            Ok(Cond::InputEquals {
+                field: expect_res_at(tokens, 1, line_no)?,
+                expected: expect_str_at(tokens, 2, line_no)?,
+            })
+        }
+        "input-non-empty" => {
+            expect_len(tokens, 2, line_no)?;
+            Ok(Cond::InputNonEmpty { field: expect_res_at(tokens, 1, line_no)? })
+        }
+        "has-extra" => {
+            expect_len(tokens, 2, line_no)?;
+            Ok(Cond::HasExtra { key: expect_str_at(tokens, 1, line_no)? })
+        }
+        other => Err(ParseError::new(line_no, format!("unknown condition '{other}'"))),
+    }
+}
+
+fn parse_simple_stmt(head: &str, tokens: &[Token], line_no: usize) -> Result<Stmt, ParseError> {
+    let stmt = match head {
+        "set-content-view" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::SetContentView(expect_res_at(tokens, 1, line_no)?)
+        }
+        "inflate" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::InflateLayout(expect_res_at(tokens, 1, line_no)?)
+        }
+        "find-view" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::FindViewById(expect_res_at(tokens, 1, line_no)?)
+        }
+        "set-on-click" => {
+            expect_len(tokens, 3, line_no)?;
+            Stmt::SetOnClick {
+                widget: expect_res_at(tokens, 1, line_no)?,
+                handler: MethodName::new(expect_word_at(tokens, 2, line_no)?),
+            }
+        }
+        "new-intent-class" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::NewIntent(IntentTarget::Class(expect_class_at(tokens, 1, line_no)?))
+        }
+        "new-intent-action" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::NewIntent(IntentTarget::Action(expect_str_at(tokens, 1, line_no)?))
+        }
+        "set-class" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::SetClass(expect_class_at(tokens, 1, line_no)?)
+        }
+        "set-action" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::SetAction(expect_str_at(tokens, 1, line_no)?)
+        }
+        "put-extra" => {
+            expect_len(tokens, 3, line_no)?;
+            Stmt::PutExtra {
+                key: expect_str_at(tokens, 1, line_no)?,
+                value: expect_str_at(tokens, 2, line_no)?,
+            }
+        }
+        "start-activity" => {
+            expect_len(tokens, 1, line_no)?;
+            Stmt::StartActivity { via_host: false }
+        }
+        "start-activity-via-host" => {
+            expect_len(tokens, 1, line_no)?;
+            Stmt::StartActivity { via_host: true }
+        }
+        "require-extra" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::RequireExtra { key: expect_str_at(tokens, 1, line_no)? }
+        }
+        "require-permission" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::RequirePermission { permission: expect_str_at(tokens, 1, line_no)? }
+        }
+        "new-instance" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::NewInstance(expect_class_at(tokens, 1, line_no)?)
+        }
+        "new-instance-static" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::NewInstanceStatic(expect_class_at(tokens, 1, line_no)?)
+        }
+        "instance-of" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::InstanceOf(expect_class_at(tokens, 1, line_no)?)
+        }
+        "get-fragment-manager" => {
+            expect_len(tokens, 1, line_no)?;
+            Stmt::GetFragmentManager { support: false }
+        }
+        "get-support-fragment-manager" => {
+            expect_len(tokens, 1, line_no)?;
+            Stmt::GetFragmentManager { support: true }
+        }
+        "begin-transaction" => {
+            expect_len(tokens, 1, line_no)?;
+            Stmt::BeginTransaction
+        }
+        "txn-add" => {
+            expect_len(tokens, 3, line_no)?;
+            Stmt::TxnAdd {
+                container: expect_res_at(tokens, 1, line_no)?,
+                fragment: expect_class_at(tokens, 2, line_no)?,
+            }
+        }
+        "txn-replace" => {
+            expect_len(tokens, 3, line_no)?;
+            Stmt::TxnReplace {
+                container: expect_res_at(tokens, 1, line_no)?,
+                fragment: expect_class_at(tokens, 2, line_no)?,
+            }
+        }
+        "txn-commit" => {
+            expect_len(tokens, 1, line_no)?;
+            Stmt::TxnCommit
+        }
+        "attach-direct" => {
+            expect_len(tokens, 3, line_no)?;
+            Stmt::AttachDirect {
+                container: expect_res_at(tokens, 1, line_no)?,
+                fragment: expect_class_at(tokens, 2, line_no)?,
+            }
+        }
+        "toggle-drawer" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::ToggleDrawer { drawer: expect_res_at(tokens, 1, line_no)? }
+        }
+        "show-dialog" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::ShowDialog { id: expect_str_at(tokens, 1, line_no)? }
+        }
+        "show-popup-menu" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::ShowPopupMenu { id: expect_str_at(tokens, 1, line_no)? }
+        }
+        "invoke-api" => {
+            expect_len(tokens, 2, line_no)?;
+            let spec = expect_word_at(tokens, 1, line_no)?;
+            let (group, name) = spec.split_once('/').ok_or_else(|| {
+                ParseError::new(line_no, "invoke-api expects '<group>/<name>'")
+            })?;
+            Stmt::InvokeApi { group: group.to_string(), name: name.to_string() }
+        }
+        "invoke" => {
+            expect_len(tokens, 3, line_no)?;
+            Stmt::InvokeMethod {
+                class: expect_class_at(tokens, 1, line_no)?,
+                method: MethodName::new(expect_word_at(tokens, 2, line_no)?),
+            }
+        }
+        "finish" => {
+            expect_len(tokens, 1, line_no)?;
+            Stmt::Finish
+        }
+        "crash" => {
+            expect_len(tokens, 2, line_no)?;
+            Stmt::Crash { reason: expect_str_at(tokens, 1, line_no)? }
+        }
+        other => return Err(ParseError::new(line_no, format!("unknown statement '{other}'"))),
+    };
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_class;
+    use crate::res::ResRef;
+
+    fn sample() -> ClassDef {
+        ClassDef::new("com.example.Main", crate::well_known::ACTIVITY)
+            .with_interface("android.view.View$OnClickListener")
+            .with_field(FieldDef::new("count", "int"))
+            .with_method(
+                MethodDef::new("onCreate")
+                    .push(Stmt::SetContentView(ResRef::layout("main")))
+                    .push(Stmt::SetOnClick {
+                        widget: ResRef::id("go"),
+                        handler: MethodName::new("onGo"),
+                    }),
+            )
+            .with_method(
+                MethodDef::new("onGo")
+                    .push(Stmt::NewIntent(IntentTarget::Class(ClassName::new(
+                        "com.example.Second",
+                    ))))
+                    .push(Stmt::PutExtra { key: "id".into(), value: "42".into() })
+                    .push(Stmt::StartActivity { via_host: false }),
+            )
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let class = sample();
+        let text = print_class(&class);
+        assert_eq!(parse_class(&text).unwrap(), class);
+    }
+
+    #[test]
+    fn parses_if_else_nesting() {
+        let class = ClassDef::new("a.B", "java.lang.Object").with_method(
+            MethodDef::new("m").push(Stmt::If {
+                cond: Cond::InputEquals { field: ResRef::id("pw"), expected: "s3cret".into() },
+                then: vec![Stmt::If {
+                    cond: Cond::HasExtra { key: "k".into() },
+                    then: vec![Stmt::Finish],
+                    els: vec![],
+                }],
+                els: vec![Stmt::ShowDialog { id: "wrong password".into() }],
+            }),
+        );
+        let text = print_class(&class);
+        assert_eq!(parse_class(&text).unwrap(), class);
+    }
+
+    #[test]
+    fn parses_multiple_classes() {
+        let a = ClassDef::new("a.A", "java.lang.Object");
+        let b = ClassDef::new("a.B", "a.A");
+        let text = format!("{}\n{}", print_class(&a), print_class(&b));
+        let classes = parse_classes(&text).unwrap();
+        assert_eq!(classes, vec![a, b]);
+    }
+
+    #[test]
+    fn parses_abstract_and_visibility() {
+        let c = ClassDef::new("a.C", "java.lang.Object").abstract_();
+        let text = print_class(&c);
+        assert!(text.starts_with(".class public abstract La/C;"));
+        assert_eq!(parse_class(&text).unwrap(), c);
+    }
+
+    #[test]
+    fn parses_ctor_with_params() {
+        let c = ClassDef::new("a.F", "android.app.Fragment").with_method(
+            MethodDef::new(MethodName::ctor())
+                .with_param("java.lang.String")
+                .with_param("int"),
+        );
+        let text = print_class(&c);
+        let parsed = parse_class(&text).unwrap();
+        assert!(!parsed.has_default_ctor());
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn error_on_unknown_statement() {
+        let text = ".class public La/B;\n.super Ljava/lang/Object;\n.method public m()\nwat\n.end method\n.end class\n";
+        let err = parse_class(text).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("unknown statement"));
+    }
+
+    #[test]
+    fn error_on_missing_end_if() {
+        let text = ".class public La/B;\n.super Ljava/lang/Object;\n.method public m()\nif has-extra \"k\"\nfinish\n.end method\n.end class\n";
+        assert!(parse_class(text).is_err());
+    }
+
+    #[test]
+    fn error_on_missing_super() {
+        let text = ".class public La/B;\n.end class\n";
+        assert!(parse_class(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\n\n.class public La/B;\n.super Ljava/lang/Object;\n# body\n.end class\n";
+        let c = parse_class(text).unwrap();
+        assert_eq!(c.name.as_str(), "a.B");
+    }
+}

@@ -1,0 +1,235 @@
+//! A pool of decompiled classes with the hierarchy queries the paper's
+//! Algorithm 2 needs: super chains (*getSuperChain*), used classes
+//! (*getUsedClass*), inner classes (*getInnerClass*), and subclass tests.
+
+use crate::class::ClassDef;
+use crate::name::ClassName;
+use crate::visit;
+use crate::well_known;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// All classes of one decompiled app, keyed by fully-qualified name.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassPool {
+    classes: BTreeMap<ClassName, ClassDef>,
+}
+
+impl ClassPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a class, replacing any previous definition with the same
+    /// name, and returns the pool (builder style).
+    pub fn with(mut self, class: ClassDef) -> Self {
+        self.insert(class);
+        self
+    }
+
+    /// Inserts a class, replacing any previous definition with the same name.
+    pub fn insert(&mut self, class: ClassDef) {
+        self.classes.insert(class.name.clone(), class);
+    }
+
+    /// Looks up a class by name.
+    pub fn get(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.get(name)
+    }
+
+    /// Whether the pool defines `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.classes.contains_key(name)
+    }
+
+    /// Number of classes in the pool.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over all classes in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.values()
+    }
+
+    /// Iterates over all class names in order.
+    pub fn names(&self) -> impl Iterator<Item = &ClassName> {
+        self.classes.keys()
+    }
+
+    /// The inheritance chain of `name`, starting at `name` itself and
+    /// walking `super_class` links until a framework class or an unknown
+    /// class terminates the walk (the terminator is included). Cycles are
+    /// broken by stopping at the first repeated name.
+    ///
+    /// This is the paper's *getSuperChain*.
+    pub fn super_chain(&self, name: &str) -> Vec<ClassName> {
+        let mut chain: Vec<ClassName> = Vec::new();
+        let mut current = ClassName::new(name);
+        loop {
+            if chain.contains(&current) {
+                break; // inheritance cycle in malformed input
+            }
+            chain.push(current.clone());
+            match self.classes.get(current.as_str()) {
+                Some(def) => current = def.super_class.clone(),
+                None => break, // framework or unknown class terminates
+            }
+        }
+        chain
+    }
+
+    /// Whether `name`'s inheritance chain contains `ancestor`.
+    pub fn is_subclass_of(&self, name: &str, ancestor: &str) -> bool {
+        self.super_chain(name).iter().any(|c| c.as_str() == ancestor)
+    }
+
+    /// Whether `name` is a fragment: its chain reaches
+    /// `android.app.Fragment` or `android.support.v4.app.Fragment`.
+    pub fn is_fragment_class(&self, name: &str) -> bool {
+        self.is_subclass_of(name, well_known::FRAGMENT)
+            || self.is_subclass_of(name, well_known::SUPPORT_FRAGMENT)
+    }
+
+    /// Whether `name` is an activity: its chain reaches
+    /// `android.app.Activity` (directly or via the support-library
+    /// `FragmentActivity`, which itself extends `Activity`).
+    pub fn is_activity_class(&self, name: &str) -> bool {
+        self.is_subclass_of(name, well_known::ACTIVITY)
+            || self.is_subclass_of(name, well_known::SUPPORT_ACTIVITY)
+    }
+
+    /// `class` plus all of its inner classes (`Foo$1`, `Foo$Inner`, …) that
+    /// exist in the pool — the paper's *getInnerClass*.
+    pub fn with_inner_classes(&self, class: &str) -> Vec<&ClassDef> {
+        let prefix = format!("{class}$");
+        self.classes
+            .iter()
+            .filter(|(name, _)| name.as_str() == class || name.as_str().starts_with(&prefix))
+            .map(|(_, def)| def)
+            .collect()
+    }
+
+    /// Every class referenced from `class`'s code — the paper's
+    /// *getUsedClass*.
+    pub fn used_classes(&self, class: &str) -> BTreeSet<ClassName> {
+        match self.classes.get(class) {
+            Some(def) => visit::referenced_classes(def),
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// All classes in the pool whose inheritance chain reaches any name in
+    /// `bases`, in name order. Used for the paper's two-pass fragment
+    /// discovery ("scan all smali files again to find out all derived
+    /// classes").
+    pub fn subclasses_of_any<'a>(
+        &self,
+        bases: impl IntoIterator<Item = &'a str>,
+    ) -> Vec<&ClassDef> {
+        let bases: Vec<&str> = bases.into_iter().collect();
+        self.classes
+            .values()
+            .filter(|c| {
+                let chain = self.super_chain(c.name.as_str());
+                chain.iter().any(|link| bases.contains(&link.as_str()))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<ClassDef> for ClassPool {
+    fn from_iter<T: IntoIterator<Item = ClassDef>>(iter: T) -> Self {
+        let mut pool = ClassPool::new();
+        for class in iter {
+            pool.insert(class);
+        }
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::MethodDef;
+    use crate::stmt::Stmt;
+
+    fn pool() -> ClassPool {
+        ClassPool::new()
+            .with(ClassDef::new("a.BaseFrag", well_known::SUPPORT_FRAGMENT))
+            .with(ClassDef::new("a.NewsFrag", "a.BaseFrag"))
+            .with(ClassDef::new("a.Main", well_known::ACTIVITY).with_method(
+                MethodDef::new("onCreate").push(Stmt::NewInstance(ClassName::new("a.NewsFrag"))),
+            ))
+            .with(ClassDef::new("a.Main$1", well_known::OBJECT))
+    }
+
+    #[test]
+    fn super_chain_walks_to_framework() {
+        let p = pool();
+        let chain = p.super_chain("a.NewsFrag");
+        let names: Vec<&str> = chain.iter().map(|c| c.as_str()).collect();
+        assert_eq!(names, vec!["a.NewsFrag", "a.BaseFrag", well_known::SUPPORT_FRAGMENT]);
+    }
+
+    #[test]
+    fn super_chain_of_unknown_class_is_singleton() {
+        let chain = pool().super_chain("not.There");
+        assert_eq!(chain.len(), 1);
+    }
+
+    #[test]
+    fn super_chain_breaks_cycles() {
+        let p = ClassPool::new()
+            .with(ClassDef::new("a.A", "a.B"))
+            .with(ClassDef::new("a.B", "a.A"));
+        let chain = p.super_chain("a.A");
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn fragment_and_activity_classification() {
+        let p = pool();
+        assert!(p.is_fragment_class("a.NewsFrag"));
+        assert!(p.is_fragment_class("a.BaseFrag"));
+        assert!(!p.is_fragment_class("a.Main"));
+        assert!(p.is_activity_class("a.Main"));
+        assert!(!p.is_activity_class("a.NewsFrag"));
+    }
+
+    #[test]
+    fn inner_classes_found_by_prefix() {
+        let p = pool();
+        let all = p.with_inner_classes("a.Main");
+        let names: Vec<&str> = all.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a.Main", "a.Main$1"]);
+    }
+
+    #[test]
+    fn inner_class_prefix_does_not_match_similar_names() {
+        let p = pool().with(ClassDef::new("a.Main2", well_known::OBJECT));
+        let all = p.with_inner_classes("a.Main");
+        assert!(all.iter().all(|c| c.name.as_str() != "a.Main2"));
+    }
+
+    #[test]
+    fn used_classes_from_code() {
+        let p = pool();
+        let used = p.used_classes("a.Main");
+        assert!(used.contains("a.NewsFrag"));
+    }
+
+    #[test]
+    fn subclasses_of_any_finds_transitive() {
+        let p = pool();
+        let frags = p.subclasses_of_any([well_known::SUPPORT_FRAGMENT]);
+        let names: Vec<&str> = frags.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a.BaseFrag", "a.NewsFrag"]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Pretty-printer for the textual smali-like syntax.
+//!
+//! The emitted text is the "decompiled output" of the reproduction's
+//! Apktool stage; [`crate::parser`] parses it back. Printing followed by
+//! parsing is the identity on well-formed [`ClassDef`]s (property-tested).
+
+use crate::class::{ClassDef, MethodDef};
+use crate::lexer::escape;
+use crate::stmt::{Cond, IntentTarget, Stmt};
+use std::fmt::Write;
+
+/// Renders a full class definition.
+pub fn print_class(class: &ClassDef) -> String {
+    let mut out = String::new();
+    let abs = if class.is_abstract { " abstract" } else { "" };
+    let _ = writeln!(
+        out,
+        ".class {}{} {}",
+        class.visibility.token(),
+        abs,
+        class.name.descriptor()
+    );
+    let _ = writeln!(out, ".super {}", class.super_class.descriptor());
+    for iface in &class.interfaces {
+        let _ = writeln!(out, ".implements {}", iface.descriptor());
+    }
+    for field in &class.fields {
+        let _ = writeln!(out, ".field {} {}", field.name, field.ty);
+    }
+    for method in &class.methods {
+        print_method(&mut out, method);
+    }
+    out.push_str(".end class\n");
+    out
+}
+
+fn print_method(out: &mut String, method: &MethodDef) {
+    let _ = writeln!(
+        out,
+        ".method {} {}({})",
+        method.visibility.token(),
+        method.name,
+        method.params.join(",")
+    );
+    print_stmts(out, &method.body, 1);
+    out.push_str(".end method\n");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmts(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for stmt in stmts {
+        print_stmt(out, stmt, depth);
+    }
+}
+
+fn print_cond(cond: &Cond) -> String {
+    match cond {
+        Cond::InputEquals { field, expected } => {
+            format!("input-equals {field} {}", escape(expected))
+        }
+        Cond::InputNonEmpty { field } => format!("input-non-empty {field}"),
+        Cond::HasExtra { key } => format!("has-extra {}", escape(key)),
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match stmt {
+        Stmt::SetContentView(r) => {
+            let _ = writeln!(out, "set-content-view {r}");
+        }
+        Stmt::InflateLayout(r) => {
+            let _ = writeln!(out, "inflate {r}");
+        }
+        Stmt::FindViewById(r) => {
+            let _ = writeln!(out, "find-view {r}");
+        }
+        Stmt::SetOnClick { widget, handler } => {
+            let _ = writeln!(out, "set-on-click {widget} {handler}");
+        }
+        Stmt::NewIntent(IntentTarget::Class(c)) => {
+            let _ = writeln!(out, "new-intent-class {}", c.descriptor());
+        }
+        Stmt::NewIntent(IntentTarget::Action(a)) => {
+            let _ = writeln!(out, "new-intent-action {}", escape(a));
+        }
+        Stmt::SetClass(c) => {
+            let _ = writeln!(out, "set-class {}", c.descriptor());
+        }
+        Stmt::SetAction(a) => {
+            let _ = writeln!(out, "set-action {}", escape(a));
+        }
+        Stmt::PutExtra { key, value } => {
+            let _ = writeln!(out, "put-extra {} {}", escape(key), escape(value));
+        }
+        Stmt::StartActivity { via_host: false } => {
+            let _ = writeln!(out, "start-activity");
+        }
+        Stmt::StartActivity { via_host: true } => {
+            let _ = writeln!(out, "start-activity-via-host");
+        }
+        Stmt::RequireExtra { key } => {
+            let _ = writeln!(out, "require-extra {}", escape(key));
+        }
+        Stmt::RequirePermission { permission } => {
+            let _ = writeln!(out, "require-permission {}", escape(permission));
+        }
+        Stmt::NewInstance(c) => {
+            let _ = writeln!(out, "new-instance {}", c.descriptor());
+        }
+        Stmt::NewInstanceStatic(c) => {
+            let _ = writeln!(out, "new-instance-static {}", c.descriptor());
+        }
+        Stmt::InstanceOf(c) => {
+            let _ = writeln!(out, "instance-of {}", c.descriptor());
+        }
+        Stmt::GetFragmentManager { support: false } => {
+            let _ = writeln!(out, "get-fragment-manager");
+        }
+        Stmt::GetFragmentManager { support: true } => {
+            let _ = writeln!(out, "get-support-fragment-manager");
+        }
+        Stmt::BeginTransaction => {
+            let _ = writeln!(out, "begin-transaction");
+        }
+        Stmt::TxnAdd { container, fragment } => {
+            let _ = writeln!(out, "txn-add {container} {}", fragment.descriptor());
+        }
+        Stmt::TxnReplace { container, fragment } => {
+            let _ = writeln!(out, "txn-replace {container} {}", fragment.descriptor());
+        }
+        Stmt::TxnCommit => {
+            let _ = writeln!(out, "txn-commit");
+        }
+        Stmt::AttachDirect { container, fragment } => {
+            let _ = writeln!(out, "attach-direct {container} {}", fragment.descriptor());
+        }
+        Stmt::ToggleDrawer { drawer } => {
+            let _ = writeln!(out, "toggle-drawer {drawer}");
+        }
+        Stmt::ShowDialog { id } => {
+            let _ = writeln!(out, "show-dialog {}", escape(id));
+        }
+        Stmt::ShowPopupMenu { id } => {
+            let _ = writeln!(out, "show-popup-menu {}", escape(id));
+        }
+        Stmt::InvokeApi { group, name } => {
+            let _ = writeln!(out, "invoke-api {group}/{name}");
+        }
+        Stmt::InvokeMethod { class, method } => {
+            let _ = writeln!(out, "invoke {} {}", class.descriptor(), method);
+        }
+        Stmt::Finish => {
+            let _ = writeln!(out, "finish");
+        }
+        Stmt::Crash { reason } => {
+            let _ = writeln!(out, "crash {}", escape(reason));
+        }
+        Stmt::If { cond, then, els } => {
+            let _ = writeln!(out, "if {}", print_cond(cond));
+            print_stmts(out, then, depth + 1);
+            if !els.is_empty() {
+                indent(out, depth);
+                out.push_str("else\n");
+                print_stmts(out, els, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("end-if\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::ClassName;
+    use crate::res::ResRef;
+
+    #[test]
+    fn prints_figure3_shape() {
+        // The paper's Fig. 3: obtain a FragmentTransaction and add a fragment.
+        let class = ClassDef::new("com.example.Main", crate::well_known::ACTIVITY).with_method(
+            MethodDef::new("onCreate")
+                .push(Stmt::GetFragmentManager { support: false })
+                .push(Stmt::BeginTransaction)
+                .push(Stmt::TxnAdd {
+                    container: ResRef::id("fragment_container"),
+                    fragment: ClassName::new("com.example.ExampleFragment"),
+                })
+                .push(Stmt::TxnCommit),
+        );
+        let text = print_class(&class);
+        assert!(text.contains(".class public Lcom/example/Main;"));
+        assert!(text.contains("get-fragment-manager"));
+        assert!(text.contains("txn-add @id/fragment_container Lcom/example/ExampleFragment;"));
+        assert!(text.ends_with(".end class\n"));
+    }
+
+    #[test]
+    fn prints_nested_if_blocks() {
+        let class = ClassDef::new("a.B", "java.lang.Object").with_method(
+            MethodDef::new("m").push(Stmt::If {
+                cond: Cond::HasExtra { key: "k".into() },
+                then: vec![Stmt::Finish],
+                els: vec![Stmt::Crash { reason: "missing".into() }],
+            }),
+        );
+        let text = print_class(&class);
+        let expected = "    if has-extra \"k\"\n        finish\n    else\n        crash \"missing\"\n    end-if\n";
+        assert!(text.contains(expected), "got:\n{text}");
+    }
+}

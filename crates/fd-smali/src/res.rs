@@ -1,0 +1,137 @@
+//! Symbolic resource references (`@id/login_button`, `@layout/main`).
+//!
+//! Android identifies resources by a unique numeric resource-ID; the
+//! decompiled code and layout files reference them symbolically. The
+//! paper's Algorithm 3 (resource dependency) matches the IDs that appear
+//! in both layouts and code. In this reproduction the symbolic form plays
+//! the role of the numeric ID; `fd-apk`'s resource table assigns the
+//! numeric values when an app is packed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The namespace a resource reference lives in, mirroring the `R.<kind>`
+/// classes of a real app.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResKind {
+    /// A widget identifier (`R.id.*`).
+    Id,
+    /// A layout file (`R.layout.*`).
+    Layout,
+    /// A menu resource (`R.menu.*`).
+    Menu,
+    /// A string resource (`R.string.*`).
+    String,
+}
+
+impl ResKind {
+    /// The lowercase namespace token used in the textual syntax.
+    pub fn token(self) -> &'static str {
+        match self {
+            ResKind::Id => "id",
+            ResKind::Layout => "layout",
+            ResKind::Menu => "menu",
+            ResKind::String => "string",
+        }
+    }
+
+    /// Parses the namespace token.
+    pub fn from_token(tok: &str) -> Option<Self> {
+        Some(match tok {
+            "id" => ResKind::Id,
+            "layout" => ResKind::Layout,
+            "menu" => ResKind::Menu,
+            "string" => ResKind::String,
+            _ => return None,
+        })
+    }
+}
+
+/// A symbolic resource reference, printed as `@kind/name`.
+///
+/// # Example
+///
+/// ```
+/// use fd_smali::{ResKind, ResRef};
+///
+/// let r = ResRef::id("login_button");
+/// assert_eq!(r.kind, ResKind::Id);
+/// assert_eq!(r.to_string(), "@id/login_button");
+/// assert_eq!(ResRef::parse("@id/login_button"), Some(r));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResRef {
+    /// The resource namespace.
+    pub kind: ResKind,
+    /// The symbolic entry name.
+    pub name: String,
+}
+
+impl ResRef {
+    /// Creates a reference in the given namespace.
+    pub fn new(kind: ResKind, name: impl Into<String>) -> Self {
+        ResRef { kind, name: name.into() }
+    }
+
+    /// Shorthand for an `@id/...` reference.
+    pub fn id(name: impl Into<String>) -> Self {
+        ResRef::new(ResKind::Id, name)
+    }
+
+    /// Shorthand for an `@layout/...` reference.
+    pub fn layout(name: impl Into<String>) -> Self {
+        ResRef::new(ResKind::Layout, name)
+    }
+
+    /// Shorthand for an `@menu/...` reference.
+    pub fn menu(name: impl Into<String>) -> Self {
+        ResRef::new(ResKind::Menu, name)
+    }
+
+    /// Parses the `@kind/name` form.
+    pub fn parse(s: &str) -> Option<Self> {
+        let rest = s.strip_prefix('@')?;
+        let (kind, name) = rest.split_once('/')?;
+        if name.is_empty() {
+            return None;
+        }
+        Some(ResRef::new(ResKind::from_token(kind)?, name))
+    }
+}
+
+impl fmt::Display for ResRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}/{}", self.kind.token(), self.name)
+    }
+}
+
+impl fmt::Debug for ResRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ResRef({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for r in [
+            ResRef::id("a"),
+            ResRef::layout("main"),
+            ResRef::menu("drawer"),
+            ResRef::new(ResKind::String, "title"),
+        ] {
+            assert_eq!(ResRef::parse(&r.to_string()), Some(r));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert_eq!(ResRef::parse("id/a"), None);
+        assert_eq!(ResRef::parse("@id"), None);
+        assert_eq!(ResRef::parse("@id/"), None);
+        assert_eq!(ResRef::parse("@nope/a"), None);
+    }
+}

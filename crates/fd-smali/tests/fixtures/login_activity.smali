@@ -1,0 +1,70 @@
+# A hand-written fixture covering every construct of the textual syntax.
+# Checked against the parser in tests/golden.rs — if the grammar changes,
+# this file is the canary.
+
+.class public Lcom/fixture/LoginActivity;
+.super Landroid/app/Activity;
+.implements Landroid/view/View$OnClickListener;
+.field attempts int
+.field last Ljava/lang/String;
+
+.method public onCreate()
+    set-content-view @layout/login
+    find-view @id/username
+    find-view @id/password
+    set-on-click @id/submit onSubmit
+    set-on-click @id/help onHelp
+    get-support-fragment-manager
+    begin-transaction
+    txn-add @id/banner_slot Lcom/fixture/BannerFragment;
+    txn-commit
+    invoke-api identification/getString
+.end method
+
+.method public onSubmit()
+    if input-equals @id/password "s3cr3t!\"quoted\""
+        new-intent-class Lcom/fixture/HomeActivity;
+        put-extra "user" "from\nfixture"
+        start-activity
+    else
+        if input-non-empty @id/username
+            show-dialog "wrong password"
+        else
+            show-popup-menu "field help"
+        end-if
+    end-if
+.end method
+
+.method public onHelp()
+    new-intent-action "com.fixture.HELP"
+    start-activity
+.end method
+
+.method protected onDestroy()
+    invoke Lcom/fixture/Telemetry; flush
+.end method
+
+.end class
+
+.class public abstract Lcom/fixture/BaseFragment;
+.super Landroid/support/v4/app/Fragment;
+.end class
+
+.class public Lcom/fixture/BannerFragment;
+.super Lcom/fixture/BaseFragment;
+
+.method public <init>(java.lang.String,int)
+.end method
+
+.method public onCreateView()
+    inflate @layout/banner
+    attach-direct @id/inner Lcom/fixture/InnerFragment;
+    toggle-drawer @id/banner_drawer
+    instance-of Lcom/fixture/InnerFragment;
+    new-instance-static Lcom/fixture/InnerFragment;
+    require-extra "campaign"
+    require-permission "android.permission.INTERNET"
+    crash "unreachable sentinel"
+.end method
+
+.end class

@@ -1,0 +1,69 @@
+//! Golden-fixture test: a hand-written smali file covering the whole
+//! grammar must parse, expose the expected structure, and survive a
+//! print → parse round trip.
+
+use fd_smali::{parser, printer, Cond, IntentTarget, Stmt, Visibility};
+
+const FIXTURE: &str = include_str!("fixtures/login_activity.smali");
+
+#[test]
+fn fixture_parses_with_expected_structure() {
+    let classes = parser::parse_classes(FIXTURE).expect("fixture parses");
+    assert_eq!(classes.len(), 3);
+
+    let login = &classes[0];
+    assert_eq!(login.name.as_str(), "com.fixture.LoginActivity");
+    assert_eq!(login.super_class.as_str(), "android.app.Activity");
+    assert_eq!(login.interfaces.len(), 1);
+    assert_eq!(login.fields.len(), 2);
+    assert_eq!(login.methods.len(), 4);
+    assert_eq!(
+        login.method("onDestroy").unwrap().visibility,
+        Visibility::Protected
+    );
+
+    // Nested if/else with escapes.
+    let submit = login.method("onSubmit").unwrap();
+    let Stmt::If { cond, then, els } = &submit.body[0] else { panic!("expected if") };
+    assert_eq!(
+        cond,
+        &Cond::InputEquals {
+            field: fd_smali::ResRef::id("password"),
+            expected: "s3cr3t!\"quoted\"".into()
+        }
+    );
+    assert!(matches!(&then[1], Stmt::PutExtra { value, .. } if value == "from\nfixture"));
+    assert!(matches!(&els[0], Stmt::If { .. }), "nested else-if");
+
+    // Implicit intent.
+    let help = login.method("onHelp").unwrap();
+    assert!(matches!(&help.body[0], Stmt::NewIntent(IntentTarget::Action(a)) if a == "com.fixture.HELP"));
+
+    // Abstract base + parameterized ctor.
+    let base = &classes[1];
+    assert!(base.is_abstract);
+    let banner = &classes[2];
+    assert!(!banner.has_default_ctor());
+    assert_eq!(banner.method("<init>").unwrap().params, vec!["java.lang.String", "int"]);
+}
+
+#[test]
+fn fixture_survives_print_parse_roundtrip() {
+    let classes = parser::parse_classes(FIXTURE).expect("fixture parses");
+    let printed: String = classes.iter().map(printer::print_class).collect::<Vec<_>>().join("\n");
+    let reparsed = parser::parse_classes(&printed).expect("printed form parses");
+    assert_eq!(reparsed, classes);
+}
+
+#[test]
+fn fixture_class_pool_queries() {
+    let pool: fd_smali::ClassPool =
+        parser::parse_classes(FIXTURE).unwrap().into_iter().collect();
+    assert!(pool.is_activity_class("com.fixture.LoginActivity"));
+    assert!(pool.is_fragment_class("com.fixture.BannerFragment"));
+    assert!(pool.is_fragment_class("com.fixture.BaseFragment"));
+    let used = pool.used_classes("com.fixture.LoginActivity");
+    assert!(used.contains("com.fixture.BannerFragment"));
+    assert!(used.contains("com.fixture.HomeActivity"));
+    assert!(used.contains("com.fixture.Telemetry"));
+}

@@ -1,0 +1,178 @@
+//! Property tests: printing a class and re-parsing it is the identity,
+//! for arbitrary well-formed class definitions.
+
+use fd_smali::{
+    parser::parse_class, parser::parse_classes, printer::print_class, ClassDef, ClassName, Cond,
+    FieldDef, IntentTarget, MethodDef, MethodName, ResKind, ResRef, Stmt, Visibility,
+};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,10}"
+}
+
+fn class_name() -> impl Strategy<Value = ClassName> {
+    (ident(), ident(), prop::option::of(1usize..4)).prop_map(|(pkg, simple, inner)| {
+        let base = format!("{pkg}.{}", capitalize(&simple));
+        match inner {
+            Some(n) => ClassName::new(format!("{base}${n}")),
+            None => ClassName::new(base),
+        }
+    })
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+fn res_ref() -> impl Strategy<Value = ResRef> {
+    (
+        prop_oneof![
+            Just(ResKind::Id),
+            Just(ResKind::Layout),
+            Just(ResKind::Menu),
+            Just(ResKind::String)
+        ],
+        ident(),
+    )
+        .prop_map(|(kind, name)| ResRef::new(kind, name))
+}
+
+/// Arbitrary free-form text for string literals — exercises the escape
+/// machinery with quotes, backslashes, newlines and control characters.
+fn literal() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\\n\\t\"\\\\]{0,20}").expect("valid regex")
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        (res_ref(), literal())
+            .prop_map(|(field, expected)| Cond::InputEquals { field, expected }),
+        res_ref().prop_map(|field| Cond::InputNonEmpty { field }),
+        literal().prop_map(|key| Cond::HasExtra { key }),
+    ]
+}
+
+fn simple_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        res_ref().prop_map(Stmt::SetContentView),
+        res_ref().prop_map(Stmt::InflateLayout),
+        res_ref().prop_map(Stmt::FindViewById),
+        (res_ref(), ident()).prop_map(|(widget, h)| Stmt::SetOnClick {
+            widget,
+            handler: MethodName::new(h)
+        }),
+        class_name().prop_map(|c| Stmt::NewIntent(IntentTarget::Class(c))),
+        literal().prop_map(|a| Stmt::NewIntent(IntentTarget::Action(a))),
+        class_name().prop_map(Stmt::SetClass),
+        literal().prop_map(Stmt::SetAction),
+        (literal(), literal()).prop_map(|(key, value)| Stmt::PutExtra { key, value }),
+        any::<bool>().prop_map(|via_host| Stmt::StartActivity { via_host }),
+        literal().prop_map(|key| Stmt::RequireExtra { key }),
+        literal().prop_map(|permission| Stmt::RequirePermission { permission }),
+        class_name().prop_map(Stmt::NewInstance),
+        class_name().prop_map(Stmt::NewInstanceStatic),
+        class_name().prop_map(Stmt::InstanceOf),
+        any::<bool>().prop_map(|support| Stmt::GetFragmentManager { support }),
+        Just(Stmt::BeginTransaction),
+        (res_ref(), class_name())
+            .prop_map(|(container, fragment)| Stmt::TxnAdd { container, fragment }),
+        (res_ref(), class_name())
+            .prop_map(|(container, fragment)| Stmt::TxnReplace { container, fragment }),
+        Just(Stmt::TxnCommit),
+        (res_ref(), class_name())
+            .prop_map(|(container, fragment)| Stmt::AttachDirect { container, fragment }),
+        res_ref().prop_map(|drawer| Stmt::ToggleDrawer { drawer }),
+        literal().prop_map(|id| Stmt::ShowDialog { id }),
+        literal().prop_map(|id| Stmt::ShowPopupMenu { id }),
+        (ident(), ident()).prop_map(|(group, name)| Stmt::InvokeApi { group, name }),
+        (class_name(), ident()).prop_map(|(class, m)| Stmt::InvokeMethod {
+            class,
+            method: MethodName::new(m)
+        }),
+        Just(Stmt::Finish),
+        literal().prop_map(|reason| Stmt::Crash { reason }),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    simple_stmt().prop_recursive(3, 24, 4, |inner| {
+        (cond(), prop::collection::vec(inner.clone(), 0..4), prop::collection::vec(inner, 0..4))
+            .prop_map(|(cond, then, els)| Stmt::If { cond, then, els })
+    })
+}
+
+fn visibility() -> impl Strategy<Value = Visibility> {
+    prop_oneof![
+        Just(Visibility::Public),
+        Just(Visibility::Protected),
+        Just(Visibility::Package),
+        Just(Visibility::Private),
+    ]
+}
+
+fn method() -> impl Strategy<Value = MethodDef> {
+    (
+        ident(),
+        prop::collection::vec(ident(), 0..3),
+        visibility(),
+        prop::collection::vec(stmt(), 0..8),
+    )
+        .prop_map(|(name, params, visibility, body)| MethodDef {
+            name: MethodName::new(name),
+            params,
+            visibility,
+            body,
+        })
+}
+
+fn class_def() -> impl Strategy<Value = ClassDef> {
+    (
+        class_name(),
+        class_name(),
+        prop::collection::vec(class_name(), 0..3),
+        visibility(),
+        any::<bool>(),
+        prop::collection::vec((ident(), ident()), 0..3),
+        prop::collection::vec(method(), 0..4),
+    )
+        .prop_map(
+            |(name, super_class, interfaces, visibility, is_abstract, fields, methods)| ClassDef {
+                name,
+                super_class,
+                interfaces,
+                visibility,
+                is_abstract,
+                fields: fields.into_iter().map(|(n, t)| FieldDef::new(n, t)).collect(),
+                methods,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_then_parse_is_identity(class in class_def()) {
+        let text = print_class(&class);
+        let parsed = parse_class(&text)
+            .unwrap_or_else(|e| panic!("failed to re-parse:\n{text}\nerror: {e}"));
+        prop_assert_eq!(parsed, class);
+    }
+
+    #[test]
+    fn multi_class_files_roundtrip(classes in prop::collection::vec(class_def(), 0..4)) {
+        let text: String = classes.iter().map(print_class).collect::<Vec<_>>().join("\n");
+        let parsed = parse_classes(&text).unwrap();
+        prop_assert_eq!(parsed, classes);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(text in "[ -~\\n]{0,500}") {
+        let _ = parse_classes(&text); // must return Err, not panic
+    }
+}

@@ -1,0 +1,115 @@
+//! FragDroid's *Static Information Extraction* phase (paper §IV–§V).
+//!
+//! Given a decompiled app this crate produces everything the dynamic phase
+//! needs:
+//!
+//! * [`effective`] — the effective (non-isolated, interaction-capable)
+//!   activities and fragments (§IV-B2);
+//! * [`aftm_init`] — Algorithm 1: the initial Activity & Fragment
+//!   Transition Model from intent-construction and fragment-instantiation
+//!   statement patterns;
+//! * [`dependency`] — Algorithm 2: which fragments each activity depends
+//!   on, through used-class and inheritance-chain analysis;
+//! * [`resource_dep`] — Algorithm 3: which activity or fragment owns each
+//!   widget resource-ID (how the UI-driving module identifies the current
+//!   fragment-level state);
+//! * [`input_dep`] — the input-dependency file: the resource-IDs of all
+//!   input widgets, optionally pre-filled with correct values;
+//! * [`StaticInfo`] / [`extract`] — the bundle handed to the evolutionary
+//!   test-case generation phase, including the MAIN-action manifest
+//!   rewrite that enables forced starts.
+
+//! # Example
+//!
+//! ```
+//! let gen = fd_appgen::templates::quickstart();
+//! let info = fd_static::extract(&gen.app, &gen.known_inputs);
+//! assert_eq!(info.counts(), (3, 2)); // 3 activities, 2 fragments
+//! assert!(info.aftm.entry().is_some());
+//! ```
+
+pub mod aftm_init;
+pub mod dependency;
+pub mod effective;
+pub mod input_dep;
+pub mod resource_dep;
+
+use fd_aftm::Aftm;
+use fd_apk::AndroidApp;
+use fd_smali::ClassName;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use input_dep::InputDependency;
+pub use resource_dep::{ResourceDependency, UiOwner};
+
+/// Everything the static phase extracts from one app.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StaticInfo {
+    /// The initial AFTM.
+    pub aftm: Aftm,
+    /// Effective activities (manifest-declared, non-isolated).
+    pub activities: BTreeSet<ClassName>,
+    /// Effective fragments.
+    pub fragments: BTreeSet<ClassName>,
+    /// Activity → fragments it depends on (Algorithm 2).
+    pub af_dependency: BTreeMap<ClassName, BTreeSet<ClassName>>,
+    /// Widget resource-ID → owning activity/fragment (Algorithm 3).
+    pub resource_dep: ResourceDependency,
+    /// The input-dependency data (§V-C).
+    pub input_dep: InputDependency,
+}
+
+impl StaticInfo {
+    /// Number of (activities, fragments) the static phase found — the
+    /// "Sum" columns of Table I.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.activities.len(), self.fragments.len())
+    }
+}
+
+/// Runs the whole static phase on a decompiled app.
+///
+/// `provided_inputs` plays the role of the analyst-filled input file: any
+/// input widget listed there gets its correct value.
+///
+/// As a side effect of the paper's pipeline, the caller usually also wants
+/// the manifest rewrite; apply it with
+/// [`fd_apk::Manifest::add_main_action_everywhere`] on the app that gets
+/// installed.
+pub fn extract(app: &AndroidApp, provided_inputs: &BTreeMap<String, String>) -> StaticInfo {
+    let activities = effective::effective_activities(app);
+    let fragments = effective::effective_fragments(app, &activities);
+    let aftm = aftm_init::build_aftm(app, &activities, &fragments);
+    // Isolated-activity removal: drop activities with no edges at all.
+    let activities = effective::drop_isolated(&aftm, activities, app);
+    let af_dependency = dependency::af_dependency(app, &activities, &fragments);
+    let resource_dep = resource_dep::resource_dependency(app, &activities, &fragments);
+    let input_dep = input_dep::collect(app, provided_inputs);
+    StaticInfo { aftm, activities, fragments, af_dependency, resource_dep, input_dep }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_appgen::templates;
+
+    #[test]
+    fn extract_quickstart_bundle_is_coherent() {
+        let gen = templates::quickstart();
+        let info = extract(&gen.app, &gen.known_inputs);
+        let (a, f) = info.counts();
+        assert_eq!(a, 3, "Main, Settings, Account");
+        assert_eq!(f, 2, "Home, Stats");
+        // The AFTM has the entry set to the launcher.
+        assert_eq!(
+            info.aftm.entry().unwrap().as_str(),
+            "com.example.quickstart.Main"
+        );
+        // Every effective fragment is some activity's dependency.
+        let all_deps: BTreeSet<_> = info.af_dependency.values().flatten().cloned().collect();
+        for frag in &info.fragments {
+            assert!(all_deps.contains(frag), "{frag} not in any dependency");
+        }
+    }
+}

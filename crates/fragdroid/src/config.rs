@@ -1,0 +1,93 @@
+//! Exploration configuration, including the ablation switches the
+//! benchmark suite toggles.
+
+/// Configuration for a FragDroid run.
+#[derive(Clone, Debug)]
+pub struct FragDroidConfig {
+    /// Total injected-event budget (clicks, text entries, launches …). The
+    /// run stops when exhausted.
+    pub event_budget: usize,
+    /// Maximum queue items processed (test cases executed).
+    pub max_test_cases: usize,
+    /// Use the Java-reflection mechanism to force fragment switches
+    /// (Cases 1/2). Disabling reproduces a traditional clicking-only tool
+    /// at the fragment level.
+    pub use_reflection: bool,
+    /// Run the second loop phase that force-starts unvisited activities
+    /// through empty intents (§VI-C).
+    pub force_start_phase: bool,
+    /// Fill input widgets from the input-dependency file. When disabled
+    /// every field gets the random-string fallback (`"abc"`), like the
+    /// naive tools §V-C criticizes.
+    pub use_input_deps: bool,
+    /// Stop exploring as soon as this sensitive API is observed — the
+    /// "detecting arbitrary API calls" mode: the run's last executed
+    /// script is then a witness that triggers the call.
+    pub target_api: Option<(String, String)>,
+    /// The §VIII extension: when a submit produces only an error dialog,
+    /// retry it with candidate inputs harvested from the app's own UI
+    /// strings. Off by default (the paper leaves it as future work).
+    pub harvest_inputs: bool,
+}
+
+impl Default for FragDroidConfig {
+    fn default() -> Self {
+        FragDroidConfig {
+            event_budget: 40_000,
+            max_test_cases: 2_000,
+            use_reflection: true,
+            force_start_phase: true,
+            use_input_deps: true,
+            target_api: None,
+            harvest_inputs: false,
+        }
+    }
+}
+
+impl FragDroidConfig {
+    /// An ablation with reflection disabled.
+    pub fn without_reflection(mut self) -> Self {
+        self.use_reflection = false;
+        self
+    }
+
+    /// An ablation with the forced-start phase disabled.
+    pub fn without_force_start(mut self) -> Self {
+        self.force_start_phase = false;
+        self
+    }
+
+    /// An ablation with the input-dependency file disabled.
+    pub fn without_input_deps(mut self) -> Self {
+        self.use_input_deps = false;
+        self
+    }
+
+    /// Stops the run once `group/name` is observed (builder style).
+    pub fn find_api(mut self, group: &str, name: &str) -> Self {
+        self.target_api = Some((group.to_string(), name.to_string()));
+        self
+    }
+
+    /// Enables the input-harvesting extension (builder style).
+    pub fn with_input_harvesting(mut self) -> Self {
+        self.harvest_inputs = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_builders_flip_exactly_one_flag() {
+        let base = FragDroidConfig::default();
+        let no_refl = base.clone().without_reflection();
+        assert!(!no_refl.use_reflection && no_refl.force_start_phase && no_refl.use_input_deps);
+        let no_force = base.clone().without_force_start();
+        assert!(no_force.use_reflection && !no_force.force_start_phase);
+        let no_inputs = base.without_input_deps();
+        assert!(!no_inputs.use_input_deps && no_inputs.use_reflection);
+    }
+}

@@ -1,0 +1,497 @@
+//! The UI-driving and AFTM-update loop (§VI).
+
+use crate::config::FragDroidConfig;
+use crate::queue::{QueueItem, UiQueue};
+use crate::report::RunReport;
+use fd_aftm::{Aftm, NodeId, RawTransition};
+use fd_apk::AndroidApp;
+use fd_droidsim::{Device, EventOutcome, Op, TestScript, UiSignature};
+use fd_smali::ClassName;
+use fd_static::{StaticInfo, UiOwner};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The FragDroid tool.
+#[derive(Clone, Debug, Default)]
+pub struct FragDroid {
+    config: FragDroidConfig,
+}
+
+impl FragDroid {
+    /// Creates a tool instance.
+    pub fn new(config: FragDroidConfig) -> Self {
+        FragDroid { config }
+    }
+
+    /// Runs the full pipeline on a decompiled app. `provided_inputs` is
+    /// the analyst-filled input-dependency data.
+    pub fn run(
+        &self,
+        app: &AndroidApp,
+        provided_inputs: &BTreeMap<String, String>,
+    ) -> RunReport {
+        // Phase 1: static information extraction.
+        let info = fd_static::extract(app, provided_inputs);
+
+        // Manifest rewrite so `am start -n` can reach every activity.
+        let mut installed = app.clone();
+        installed.manifest.add_main_action_everywhere();
+        let device = Device::new(installed);
+
+        // Phase 2: evolutionary test case generation.
+        let mut explorer = Explorer {
+            config: &self.config,
+            device,
+            info: &info,
+            aftm: info.aftm.clone(),
+            queue: UiQueue::new(),
+            swept: BTreeSet::new(),
+            tried: BTreeSet::new(),
+            paths: BTreeMap::new(),
+            visited_activities: BTreeSet::new(),
+            visited_fragments: BTreeSet::new(),
+            reflection_pushed: BTreeSet::new(),
+            force_tried: BTreeSet::new(),
+            scripts: Vec::new(),
+            timeline: Vec::new(),
+            events: 0,
+            test_cases: 0,
+            crashes: 0,
+        };
+        explorer.explore();
+
+        RunReport {
+            scripts: explorer.scripts,
+            timeline: explorer.timeline,
+            visited_activities: explorer.visited_activities,
+            visited_fragments: explorer.visited_fragments,
+            api_invocations: explorer.device.invocations().cloned().collect(),
+            events_injected: explorer.events,
+            test_cases_run: explorer.test_cases,
+            crashes: explorer.crashes,
+            aftm: explorer.aftm,
+            static_info: info,
+        }
+    }
+
+    /// Convenience entry: decompile a packed APK container and run.
+    pub fn run_apk(
+        &self,
+        bytes: &bytes::Bytes,
+        provided_inputs: &BTreeMap<String, String>,
+    ) -> Result<RunReport, fd_apk::ApkError> {
+        let app = fd_apk::decompile(bytes)?;
+        Ok(self.run(&app, provided_inputs))
+    }
+}
+
+struct Explorer<'a> {
+    config: &'a FragDroidConfig,
+    device: Device,
+    info: &'a StaticInfo,
+    aftm: Aftm,
+    queue: UiQueue,
+    /// Fragment-level states already swept (Case 3 runs once per state).
+    swept: BTreeSet<UiSignature>,
+    /// (state, widget) pairs already clicked.
+    tried: BTreeSet<(UiSignature, String)>,
+    /// Shortest-known operation list reaching each state.
+    paths: BTreeMap<UiSignature, Vec<Op>>,
+    visited_activities: BTreeSet<ClassName>,
+    visited_fragments: BTreeSet<ClassName>,
+    /// (activity, fragment) pairs a reflection item was generated for.
+    reflection_pushed: BTreeSet<(ClassName, ClassName)>,
+    /// Activities already force-started in the second loop phase.
+    force_tried: BTreeSet<ClassName>,
+    /// Executed test cases, in order.
+    scripts: Vec<TestScript>,
+    /// `(events, activities, fragments)` samples at each new visit.
+    timeline: Vec<(usize, usize, usize)>,
+    events: usize,
+    test_cases: usize,
+    crashes: usize,
+}
+
+impl<'a> Explorer<'a> {
+    fn budget_left(&self) -> bool {
+        self.events < self.config.event_budget && !self.target_reached()
+    }
+
+    /// Whether the configured target API has been observed — the early
+    /// exit of the "detect arbitrary API calls" mode.
+    fn target_reached(&self) -> bool {
+        match &self.config.target_api {
+            None => false,
+            Some((group, name)) => self
+                .device
+                .invocations()
+                .any(|i| &i.group == group && &i.name == name),
+        }
+    }
+
+    fn explore(&mut self) {
+        self.queue.push(QueueItem::new("entry", vec![Op::Launch]));
+        loop {
+            // Drain the transition queue (first loop phase).
+            while let Some(item) = self.queue.pop() {
+                if !self.budget_left() || self.test_cases >= self.config.max_test_cases {
+                    return;
+                }
+                if let Some(node) = &item.skip_if_visited {
+                    if self.is_node_visited(node) {
+                        continue;
+                    }
+                }
+                self.test_cases += 1;
+                self.scripts.push(TestScript::new(item.label.clone(), item.ops.clone()));
+                let mut trace = Vec::new();
+                for op in &item.ops {
+                    if self.exec(op.clone(), &mut trace).is_none() {
+                        break;
+                    }
+                }
+                if let Some(sig) = self.device.signature() {
+                    self.sweep(sig);
+                }
+            }
+
+            // Second loop phase: forcibly start whatever is left (§VI-C).
+            if !self.config.force_start_phase || !self.budget_left() {
+                return;
+            }
+            let leftovers: Vec<ClassName> = self
+                .info
+                .activities
+                .iter()
+                .filter(|a| {
+                    !self.visited_activities.contains(a.as_str())
+                        && !self.force_tried.contains(a.as_str())
+                })
+                .cloned()
+                .collect();
+            if leftovers.is_empty() {
+                return;
+            }
+            for activity in leftovers {
+                self.force_tried.insert(activity.clone());
+                self.queue.push(QueueItem::targeting(
+                    format!("force-start {activity}"),
+                    vec![Op::ForceStart(activity.clone())],
+                    NodeId::Activity(activity),
+                ));
+            }
+        }
+    }
+
+    fn is_node_visited(&self, node: &NodeId) -> bool {
+        match node {
+            NodeId::Activity(a) => self.visited_activities.contains(a.as_str()),
+            NodeId::Fragment(f) => self.visited_fragments.contains(f.as_str()),
+        }
+    }
+
+    /// Executes one operation, recording events, transitions, and newly
+    /// discovered states. Returns `None` when the event budget is gone;
+    /// device-level rejections (widget missing after divergence, failed
+    /// reflection) yield `Some(None)`-like no-ops reported as `NoChange`.
+    fn exec(&mut self, op: Op, ops_so_far: &mut Vec<Op>) -> Option<EventOutcome> {
+        if !self.budget_left() {
+            return None;
+        }
+        self.events += 1;
+        let result = match &op {
+            Op::Launch => self.device.launch(),
+            Op::ForceStart(c) => self.device.am_start(c.as_str()),
+            Op::Click(id) => self.device.click(id),
+            Op::EnterText { id, text } => {
+                self.device.enter_text(id, text).map(|()| EventOutcome::NoChange)
+            }
+            Op::DismissOverlay => self.device.dismiss_overlay(),
+            Op::Back => self.device.back(),
+            Op::SwipeOpenDrawer => self.device.swipe_open_drawer(),
+            Op::ReflectSwitch(f) => self.device.reflect_switch_fragment(f.as_str()),
+        };
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(_) => return Some(EventOutcome::NoChange),
+        };
+        ops_so_far.push(op.clone());
+        match &outcome {
+            EventOutcome::UiChanged { from, to } => {
+                self.record_transition(&op, from, to);
+            }
+            EventOutcome::Crashed { .. } => {
+                self.crashes += 1;
+            }
+            _ => {}
+        }
+        self.observe(ops_so_far);
+        Some(outcome)
+    }
+
+    /// Marks the current interface's elements visited, registers its reach
+    /// path, enqueues a sweep for newly discovered states, and generates
+    /// Case-1 reflection items for a newly visited activity's dependent
+    /// fragments.
+    fn observe(&mut self, ops_so_far: &[Op]) {
+        let Some(screen) = self.device.current() else { return };
+        let sig = screen.signature();
+        let activity = screen.activity.clone();
+        let manager_frags: Vec<ClassName> =
+            screen.manager_fragments().map(|(_, f)| f.clone()).collect();
+
+        let activity_is_new = self.visited_activities.insert(activity.clone());
+        let node = NodeId::Activity(activity.clone());
+        self.aftm.add_node(node.clone());
+        self.aftm.mark_visited(&node);
+        let mut fragment_is_new = false;
+        for f in &manager_frags {
+            fragment_is_new |= self.visited_fragments.insert(f.clone());
+            let fnode = NodeId::Fragment(f.clone());
+            self.aftm.add_node(fnode.clone());
+            self.aftm.mark_visited(&fnode);
+        }
+        if activity_is_new || fragment_is_new {
+            self.timeline.push((
+                self.events,
+                self.visited_activities.len(),
+                self.visited_fragments.len(),
+            ));
+        }
+
+        if !self.paths.contains_key(&sig) {
+            self.paths.insert(sig.clone(), ops_so_far.to_vec());
+            self.queue
+                .push(QueueItem::new(format!("sweep {sig}"), ops_so_far.to_vec()));
+        }
+
+        // Case 1: a (newly reached) activity that obtains a FragmentManager
+        // gets one reflection item per dependent, unvisited fragment.
+        if activity_is_new && self.config.use_reflection {
+            let deps = self
+                .info
+                .af_dependency
+                .get(&activity)
+                .cloned()
+                .unwrap_or_default();
+            let base = self.paths.get(&sig).cloned().unwrap_or_else(|| ops_so_far.to_vec());
+            for fragment in deps {
+                if self.visited_fragments.contains(fragment.as_str()) {
+                    continue;
+                }
+                if !self
+                    .reflection_pushed
+                    .insert((activity.clone(), fragment.clone()))
+                {
+                    continue;
+                }
+                let mut ops = base.clone();
+                ops.push(Op::ReflectSwitch(fragment.clone()));
+                self.queue.push(QueueItem::targeting(
+                    format!("reflect {fragment} in {activity}"),
+                    ops,
+                    NodeId::Fragment(fragment),
+                ));
+            }
+        }
+    }
+
+    /// Translates an observed UI change into raw AFTM transitions, with
+    /// the clicked widget's owner (resource dependency) deciding whether
+    /// the edge starts at the activity or at a fragment.
+    fn record_transition(&mut self, op: &Op, from: &UiSignature, to: &UiSignature) {
+        let owner_fragment = match op {
+            Op::Click(id) => match self.info.resource_dep.owner_of(id) {
+                Some(UiOwner::Fragment(f)) => Some(f.clone()),
+                _ => None,
+            },
+            _ => None,
+        };
+
+        if from.activity != to.activity {
+            let raw = match owner_fragment {
+                Some(f) => RawTransition::FragmentToActivity {
+                    host: from.activity.clone(),
+                    fragment: f,
+                    to: to.activity.clone(),
+                },
+                None => RawTransition::ActivityToActivity {
+                    from: from.activity.clone(),
+                    to: to.activity.clone(),
+                },
+            };
+            self.aftm.apply(raw);
+            return;
+        }
+
+        // Same activity: fragment transformations. Only manager-confirmed
+        // panes count (the current screen is `to`).
+        let confirmed: BTreeSet<&ClassName> = self
+            .device
+            .current()
+            .map(|s| s.manager_fragments().map(|(_, f)| f).collect())
+            .unwrap_or_default();
+        for (container, fragment) in &to.fragments {
+            let was_there = from.fragments.get(container) == Some(fragment);
+            if was_there || !confirmed.contains(fragment) {
+                continue;
+            }
+            let raw = match &owner_fragment {
+                Some(f0) if f0 != fragment => RawTransition::FragmentToFragment {
+                    host: to.activity.clone(),
+                    from: f0.clone(),
+                    to: fragment.clone(),
+                },
+                _ => RawTransition::ActivityToOwnFragment {
+                    activity: to.activity.clone(),
+                    fragment: fragment.clone(),
+                },
+            };
+            self.aftm.apply(raw);
+        }
+    }
+
+    /// Case 3: the clicking sweep over one settled interface.
+    fn sweep(&mut self, sig: UiSignature) {
+        if self.swept.contains(&sig) {
+            return;
+        }
+        self.swept.insert(sig.clone());
+        let base_ops = match self.paths.get(&sig) {
+            Some(ops) => ops.clone(),
+            None => return,
+        };
+
+        // "FragDroid will complete the input fields and get all
+        // coordinates of the controls that can be clicked."
+        let fill_ops = self.fill_inputs();
+        let widgets: Vec<String> = self
+            .device
+            .visible_widgets()
+            .into_iter()
+            .filter(|w| w.clickable)
+            .filter_map(|w| w.id)
+            .collect();
+
+        for widget in widgets {
+            if !self.budget_left() {
+                return;
+            }
+            if !self.tried.insert((sig.clone(), widget.clone())) {
+                continue;
+            }
+            if !self.ensure_at(&sig, &base_ops, &fill_ops) {
+                return;
+            }
+            let mut trace = base_ops.clone();
+            trace.extend(fill_ops.iter().cloned());
+            match self.exec(Op::Click(widget.clone()), &mut trace) {
+                None => return,
+                Some(EventOutcome::OverlayShown) => {
+                    // "it will be removed by clicking on blank space."
+                    let _ = self.exec(Op::DismissOverlay, &mut Vec::new());
+                    // §VIII extension: a submit that only produced an error
+                    // dialog may just need a better input — retry with
+                    // strings harvested from the app's own UI.
+                    if self.config.harvest_inputs {
+                        self.try_harvested_inputs(&sig, &base_ops, &widget);
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Retries clicking `widget` once per harvested candidate string,
+    /// filling every visible input field with the candidate first. Stops
+    /// at the first UI change (the gate opened) or after the candidates
+    /// are exhausted.
+    fn try_harvested_inputs(&mut self, sig: &UiSignature, base_ops: &[Op], widget: &str) {
+        const MAX_CANDIDATES: usize = 8;
+        let candidates: Vec<String> = self
+            .info
+            .input_dep
+            .harvested
+            .iter()
+            .take(MAX_CANDIDATES)
+            .cloned()
+            .collect();
+        for candidate in candidates {
+            if !self.budget_left() {
+                return;
+            }
+            if !self.ensure_at(sig, base_ops, &[]) {
+                return;
+            }
+            let fields: Vec<String> = self
+                .device
+                .visible_widgets()
+                .into_iter()
+                .filter(|w| w.kind == fd_apk::WidgetKind::EditText)
+                .filter_map(|w| w.id)
+                .collect();
+            if fields.is_empty() {
+                return;
+            }
+            let mut trace = base_ops.to_vec();
+            for id in fields {
+                let op = Op::EnterText { id, text: candidate.clone() };
+                if self.exec(op, &mut trace).is_none() {
+                    return;
+                }
+            }
+            match self.exec(Op::Click(widget.to_string()), &mut trace) {
+                None => return,
+                Some(EventOutcome::UiChanged { .. }) => return, // gate opened
+                Some(EventOutcome::OverlayShown) => {
+                    let _ = self.exec(Op::DismissOverlay, &mut Vec::new());
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Fills every visible input widget (§V-C), returning the ops used so
+    /// discovered paths can replay them.
+    fn fill_inputs(&mut self) -> Vec<Op> {
+        let inputs: Vec<String> = self
+            .device
+            .visible_widgets()
+            .into_iter()
+            .filter(|w| w.kind == fd_apk::WidgetKind::EditText)
+            .filter_map(|w| w.id)
+            .collect();
+        let mut ops = Vec::new();
+        for id in inputs {
+            let value = if self.config.use_input_deps {
+                self.info.input_dep.value_for(&id).to_string()
+            } else {
+                "abc".to_string()
+            };
+            let op = Op::EnterText { id, text: value };
+            if self.exec(op.clone(), &mut Vec::new()).is_some() {
+                ops.push(op);
+            }
+        }
+        ops
+    }
+
+    /// Re-reaches `sig` by replaying its path (after a crash, a finish, or
+    /// a transition away). Returns false if the state cannot be restored.
+    fn ensure_at(&mut self, sig: &UiSignature, base_ops: &[Op], fill_ops: &[Op]) -> bool {
+        if self.device.signature().as_ref() == Some(sig) {
+            return true;
+        }
+        let mut scratch = Vec::new();
+        for op in base_ops {
+            if self.exec(op.clone(), &mut scratch).is_none() {
+                return false;
+            }
+        }
+        for op in fill_ops {
+            if self.exec(op.clone(), &mut scratch).is_none() {
+                return false;
+            }
+        }
+        self.device.signature().as_ref() == Some(sig)
+    }
+}

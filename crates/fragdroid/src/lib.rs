@@ -1,0 +1,43 @@
+//! FragDroid — automated UI interaction with Activity *and* Fragment
+//! analysis (the paper's primary contribution).
+//!
+//! The tool runs in two phases, mirroring Fig. 4:
+//!
+//! 1. **Static Information Extraction** (`fd-static`): the initial AFTM,
+//!    the Activity & Fragment dependency, the resource dependency and the
+//!    input dependency are extracted from the decompiled app, and the
+//!    manifest is rewritten so every activity can be force-started.
+//! 2. **Evolutionary Test Case Generation** (this crate): a UI transition
+//!    queue is initialized from the AFTM by breadth-first search; each
+//!    item is compiled to a Robotium-style [`fd_droidsim::TestScript`] and
+//!    executed; the [`driver`] observes the resulting fragment-level UI
+//!    states, updates the AFTM with every newly seen transition, enqueues
+//!    newly discovered states, injects reflection-based switches for
+//!    dependent fragments (Case 1/2), sweeps every settled interface's
+//!    clickable widgets (Case 3), and finally force-starts the activities
+//!    normal interaction never reached. The loop ends when the queue is
+//!    empty and the AFTM stops changing.
+//!
+//! # Example
+//!
+//! ```
+//! use fragdroid::{FragDroid, FragDroidConfig};
+//!
+//! let gen = fd_appgen::templates::quickstart();
+//! let report = FragDroid::new(FragDroidConfig::default())
+//!     .run(&gen.app, &gen.known_inputs);
+//! assert_eq!(report.activity_coverage().visited, 3);
+//! ```
+
+pub mod codegen;
+pub mod config;
+pub mod driver;
+pub mod queue;
+pub mod report;
+pub mod suite;
+
+pub use config::FragDroidConfig;
+pub use driver::FragDroid;
+pub use queue::{QueueItem, UiQueue};
+pub use report::{Coverage, RunReport};
+pub use suite::run_suite;

@@ -1,0 +1,101 @@
+//! The UI transition queue (§VI-B).
+//!
+//! Each dynamically generated item is "the information on the transition
+//! from one interface to another": a reach method plus the concrete
+//! operation list from the entry to the target. The queue is maintained
+//! breadth-first: new discoveries are pushed at the back.
+
+use fd_aftm::NodeId;
+use fd_droidsim::Op;
+use std::collections::VecDeque;
+
+/// One UI-queue item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueueItem {
+    /// Human-readable name of the generated test case.
+    pub label: String,
+    /// The operation list from app start to the target interface.
+    pub ops: Vec<Op>,
+    /// If set, the item only exists to visit this node; it is skipped when
+    /// the node has already been visited by the time it is popped (the
+    /// paper's Case 2: an explicit clicking path "will take the place of
+    /// the implicit reflection mechanism").
+    pub skip_if_visited: Option<NodeId>,
+}
+
+impl QueueItem {
+    /// An unconditional item.
+    pub fn new(label: impl Into<String>, ops: Vec<Op>) -> Self {
+        QueueItem { label: label.into(), ops, skip_if_visited: None }
+    }
+
+    /// An item that targets a specific node.
+    pub fn targeting(label: impl Into<String>, ops: Vec<Op>, node: NodeId) -> Self {
+        QueueItem { label: label.into(), ops, skip_if_visited: Some(node) }
+    }
+}
+
+/// The FIFO transition queue with bookkeeping for how many items ever
+/// entered it (= number of generated test cases).
+#[derive(Clone, Debug, Default)]
+pub struct UiQueue {
+    items: VecDeque<QueueItem>,
+    generated: usize,
+}
+
+impl UiQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues an item at the back (breadth-first order).
+    pub fn push(&mut self, item: QueueItem) {
+        self.generated += 1;
+        self.items.push_back(item);
+    }
+
+    /// Dequeues the front item.
+    pub fn pop(&mut self) -> Option<QueueItem> {
+        self.items.pop_front()
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is drained — half of the termination condition.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total items ever enqueued.
+    pub fn generated(&self) -> usize {
+        self.generated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_generation_count() {
+        let mut q = UiQueue::new();
+        q.push(QueueItem::new("a", vec![Op::Launch]));
+        q.push(QueueItem::new("b", vec![Op::Launch, Op::Back]));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().label, "a");
+        assert_eq!(q.pop().unwrap().label, "b");
+        assert!(q.is_empty());
+        assert_eq!(q.generated(), 2, "generation count survives pops");
+    }
+
+    #[test]
+    fn targeting_items_carry_their_node() {
+        let node = NodeId::Fragment("a.F".into());
+        let item = QueueItem::targeting("reflect", vec![Op::Launch], node.clone());
+        assert_eq!(item.skip_if_visited, Some(node));
+    }
+}

@@ -1,0 +1,159 @@
+//! Run results: coverage accounting and sensitive-API summaries.
+
+use fd_aftm::Aftm;
+use fd_droidsim::{ApiInvocation, Caller, TestScript};
+use fd_smali::ClassName;
+use fd_static::StaticInfo;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A visited/sum pair with a rate — one cell group of Table I.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Elements successfully tested.
+    pub visited: usize,
+    /// Elements found by static extraction.
+    pub sum: usize,
+}
+
+impl Coverage {
+    /// The coverage rate in percent (100 when the sum is zero, matching
+    /// the table's treatment of empty categories).
+    pub fn rate(&self) -> f64 {
+        if self.sum == 0 {
+            100.0
+        } else {
+            self.visited as f64 / self.sum as f64 * 100.0
+        }
+    }
+}
+
+/// The complete result of one FragDroid run on one app.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The static phase's output.
+    pub static_info: StaticInfo,
+    /// The final, evolved AFTM.
+    pub aftm: Aftm,
+    /// Activities whose interface was actually reached.
+    pub visited_activities: BTreeSet<ClassName>,
+    /// Fragments confirmed through the FragmentManager.
+    pub visited_fragments: BTreeSet<ClassName>,
+    /// Every sensitive-API invocation the monitor recorded, with caller
+    /// attribution.
+    pub api_invocations: Vec<ApiInvocation>,
+    /// The executed test cases, in order (compiled UI-queue items).
+    pub scripts: Vec<TestScript>,
+    /// Coverage timeline: `(events injected, activities visited, fragments
+    /// visited)` sampled whenever a new element is reached.
+    pub timeline: Vec<(usize, usize, usize)>,
+    /// Total UI events injected.
+    pub events_injected: usize,
+    /// Test cases (queue items) executed.
+    pub test_cases_run: usize,
+    /// Force-closes observed.
+    pub crashes: usize,
+}
+
+impl RunReport {
+    /// Activity coverage (Table I, first group).
+    pub fn activity_coverage(&self) -> Coverage {
+        Coverage {
+            visited: self.visited_activities.len(),
+            sum: self.static_info.activities.len(),
+        }
+    }
+
+    /// Fragment coverage (Table I, second group).
+    pub fn fragment_coverage(&self) -> Coverage {
+        Coverage {
+            visited: self.visited_fragments.len(),
+            sum: self.static_info.fragments.len(),
+        }
+    }
+
+    /// Fragments-in-visited-activities coverage (Table I, third group):
+    /// the sum counts effective fragments at least one of whose dependent
+    /// activities was visited.
+    pub fn fragments_in_visited_coverage(&self) -> Coverage {
+        let in_visited: BTreeSet<&ClassName> = self
+            .static_info
+            .af_dependency
+            .iter()
+            .filter(|(activity, _)| self.visited_activities.contains(activity.as_str()))
+            .flat_map(|(_, frags)| frags)
+            .collect();
+        Coverage {
+            visited: self
+                .visited_fragments
+                .iter()
+                .filter(|f| in_visited.contains(f))
+                .count(),
+            sum: in_visited.len(),
+        }
+    }
+
+    /// What the dynamic phase added beyond the static model — observed
+    /// transitions and forcibly reached nodes.
+    pub fn evolution_delta(&self) -> fd_aftm::AftmDelta {
+        fd_aftm::diff(&self.static_info.aftm, &self.aftm)
+    }
+
+    /// Materializes every executed test case as one generated Robotium
+    /// Java class (§VI-B's artifact).
+    pub fn to_robotium_java(&self) -> String {
+        let package = self
+            .static_info
+            .aftm
+            .entry()
+            .map(|c| c.package().to_string())
+            .unwrap_or_else(|| "generated".to_string());
+        crate::codegen::to_java_class(&package, &self.scripts)
+    }
+
+    /// Distinct sensitive APIs detected.
+    pub fn distinct_apis(&self) -> BTreeSet<(&str, &str)> {
+        self.api_invocations
+            .iter()
+            .map(|i| (i.group.as_str(), i.name.as_str()))
+            .collect()
+    }
+
+    /// `(total, fragment_associated, fragment_only)` invocation-relation
+    /// counts — the aggregates behind Table II's headline numbers. An API
+    /// is *fragment-associated* in an app if any of its recorded callers
+    /// is a fragment, and *fragment-only* if all of them are.
+    pub fn api_relation_counts(&self) -> (usize, usize, usize) {
+        let total = self.api_invocations.len();
+        let fragment_associated =
+            self.api_invocations.iter().filter(|i| i.caller.is_fragment()).count();
+        // Fragment-only: APIs never called from an activity in this app.
+        let activity_called: BTreeSet<(&str, &str)> = self
+            .api_invocations
+            .iter()
+            .filter(|i| matches!(i.caller, Caller::Activity(_)))
+            .map(|i| (i.group.as_str(), i.name.as_str()))
+            .collect();
+        let fragment_only = self
+            .api_invocations
+            .iter()
+            .filter(|i| {
+                i.caller.is_fragment()
+                    && !activity_called.contains(&(i.group.as_str(), i.name.as_str()))
+            })
+            .count();
+        (total, fragment_associated, fragment_only)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_rate_handles_zero_sum() {
+        assert_eq!(Coverage { visited: 0, sum: 0 }.rate(), 100.0);
+        let half = Coverage { visited: 1, sum: 2 };
+        assert!((half.rate() - 50.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,65 @@
+//! Parallel multi-app runs — the harness the evaluation experiments share.
+
+use crate::config::FragDroidConfig;
+use crate::driver::FragDroid;
+use crate::report::RunReport;
+use fd_apk::AndroidApp;
+use std::collections::BTreeMap;
+
+/// One app plus its analyst-provided inputs.
+pub type SuiteApp = (AndroidApp, BTreeMap<String, String>);
+
+/// Runs FragDroid over many apps in parallel (one OS thread per chunk),
+/// returning reports in input order. Determinism is unaffected: each app's
+/// run is self-contained.
+pub fn run_suite(apps: &[SuiteApp], config: &FragDroidConfig) -> Vec<RunReport> {
+    let mut results: Vec<Option<RunReport>> = Vec::new();
+    results.resize_with(apps.len(), || None);
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let chunk = apps.len().div_ceil(workers).max(1);
+
+    crossbeam::thread::scope(|scope| {
+        for (apps_chunk, results_chunk) in apps.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for ((app, inputs), slot) in apps_chunk.iter().zip(results_chunk.iter_mut()) {
+                    *slot = Some(FragDroid::new(config.clone()).run(app, inputs));
+                }
+            });
+        }
+    })
+    .expect("suite worker panicked");
+
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_results_are_in_order_and_match_single_runs() {
+        let apps: Vec<SuiteApp> = [
+            fd_appgen::templates::quickstart(),
+            fd_appgen::templates::nav_drawer_wallpapers(),
+            fd_appgen::templates::tabbed_categories(),
+        ]
+        .into_iter()
+        .map(|g| (g.app, g.known_inputs))
+        .collect();
+
+        let config = FragDroidConfig::default();
+        let parallel = run_suite(&apps, &config);
+        assert_eq!(parallel.len(), 3);
+        for ((app, inputs), report) in apps.iter().zip(&parallel) {
+            let single = FragDroid::new(config.clone()).run(app, inputs);
+            assert_eq!(single.visited_activities, report.visited_activities);
+            assert_eq!(single.visited_fragments, report.visited_fragments);
+            assert_eq!(single.events_injected, report.events_injected);
+        }
+    }
+
+    #[test]
+    fn empty_suite_is_fine() {
+        assert!(run_suite(&[], &FragDroidConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! FragDroid on the 15 synthesized evaluation apps: the Visited counts
+//! must match the engineered expectations (Table I reproduction).
+
+use fd_appgen::paper_apps;
+use fragdroid::{FragDroid, FragDroidConfig};
+
+#[test]
+fn paper_apps_hit_engineered_coverage() {
+    let mut failures = Vec::new();
+    for (spec, gen) in paper_apps::all_paper_apps() {
+        let report = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+        let a = report.activity_coverage();
+        let f = report.fragment_coverage();
+        if a.visited != spec.expected_visited_activities()
+            || a.sum != spec.activities
+            || f.visited != spec.expected_visited_fragments()
+            || f.sum != spec.fragments
+        {
+            failures.push(format!(
+                "{}: acts {}/{} (want {}/{}), frags {}/{} (want {}/{})",
+                spec.package,
+                a.visited, a.sum,
+                spec.expected_visited_activities(), spec.activities,
+                f.visited, f.sum,
+                spec.expected_visited_fragments(), spec.fragments,
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "coverage mismatches:\n{}", failures.join("\n"));
+}

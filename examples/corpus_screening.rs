@@ -1,0 +1,58 @@
+//! Privacy screening at corpus scale: find every app whose *fragments*
+//! invoke location APIs — the class of behaviour activity-level tools
+//! cannot attribute (the paper's malicious-code detection use case).
+//!
+//! ```sh
+//! cargo run --release --example corpus_screening
+//! ```
+
+use fragdroid_repro::droidsim::Caller;
+use fragdroid_repro::tool::{FragDroid, FragDroidConfig};
+use std::time::Instant;
+
+fn main() {
+    let corpus = fragdroid_repro::appgen::corpus::corpus_217(1);
+    let analyzable: Vec<_> = corpus.into_iter().filter(|g| !g.app.meta.packed).collect();
+    println!(
+        "screening {} analyzable apps for location access from fragments…\n",
+        analyzable.len()
+    );
+
+    let start = Instant::now();
+    let mut hits = Vec::new();
+    for gen in &analyzable {
+        let report = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+        let offenders: Vec<String> = report
+            .api_invocations
+            .iter()
+            .filter(|inv| inv.group == "location")
+            .filter_map(|inv| match &inv.caller {
+                Caller::Fragment { fragment, host } => Some(format!(
+                    "{}/{} ← fragment {} (in {})",
+                    inv.group,
+                    inv.name,
+                    fragment.simple_name(),
+                    host.simple_name()
+                )),
+                Caller::Activity(_) => None,
+            })
+            .collect();
+        if !offenders.is_empty() {
+            hits.push((gen.app.package().to_string(), gen.app.meta.category.clone(), offenders));
+        }
+    }
+
+    for (package, category, offenders) in &hits {
+        println!("{package}  [{category}]");
+        for line in offenders {
+            println!("    {line}");
+        }
+    }
+    println!(
+        "\n{} of {} apps access location from fragment code \
+         ({:.2}s for the whole corpus — activity-level tools would attribute all of it to the wrong element or miss it).",
+        hits.len(),
+        analyzable.len(),
+        start.elapsed().as_secs_f64(),
+    );
+}

@@ -1,0 +1,27 @@
+//! Exports the test cases a FragDroid run generated as a Robotium Java
+//! class — the §VI-B artifact an analyst would install on a phone.
+//!
+//! ```sh
+//! cargo run --release --example export_test_suite
+//! ```
+
+use fragdroid_repro::appgen::templates;
+use fragdroid_repro::tool::{FragDroid, FragDroidConfig};
+
+fn main() {
+    let gen = templates::quickstart();
+    let report = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+
+    println!(
+        "// {} test cases generated while exploring {} ({} events)\n",
+        report.test_cases_run,
+        gen.app.package(),
+        report.events_injected
+    );
+    println!("{}", report.to_robotium_java());
+
+    println!("// Coverage timeline (events → activities/fragments visited):");
+    for (events, acts, frags) in &report.timeline {
+        println!("//   {events:>5} events → {acts} activities, {frags} fragments");
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build a small app, run FragDroid on it, and read the
+//! results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fragdroid_repro::appgen::templates;
+use fragdroid_repro::tool::{FragDroid, FragDroidConfig};
+
+fn main() {
+    // A small app: a drawer-based main screen with two fragments, a
+    // settings screen behind a button, and an account screen behind a
+    // PIN-gated login whose secret is in the input-dependency data.
+    let gen = templates::quickstart();
+    println!("App under test: {}", gen.app.package());
+    println!(
+        "  {} activities, {} layouts, {} classes\n",
+        gen.app.manifest.activities.len(),
+        gen.app.layouts.len(),
+        gen.app.classes.len()
+    );
+
+    // Run the full pipeline: static extraction, then evolutionary
+    // test-case generation on the simulated device.
+    let report = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+
+    let a = report.activity_coverage();
+    let f = report.fragment_coverage();
+    println!("Activity coverage:  {}/{} ({:.1}%)", a.visited, a.sum, a.rate());
+    println!("Fragment coverage:  {}/{} ({:.1}%)", f.visited, f.sum, f.rate());
+    println!("Test cases run:     {}", report.test_cases_run);
+    println!("Events injected:    {}", report.events_injected);
+    println!("Crashes observed:   {}", report.crashes);
+
+    println!("\nSensitive APIs detected (API ← caller):");
+    for inv in &report.api_invocations {
+        println!("  {}/{} ← {:?}", inv.group, inv.name, inv.caller);
+    }
+
+    println!("\nFinal AFTM (Graphviz DOT):\n");
+    println!("{}", fragdroid_repro::aftm::dot::to_dot(&report.aftm));
+}

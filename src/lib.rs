@@ -1,0 +1,24 @@
+//! Umbrella crate for the FragDroid reproduction: one `use` away from the
+//! whole stack.
+//!
+//! | Re-export | Crate | Role |
+//! |---|---|---|
+//! | [`smali`] | `fd-smali` | decompiled class IR + textual syntax |
+//! | [`apk`] | `fd-apk` | manifest, layouts, resources, APK container |
+//! | [`appgen`] | `fd-appgen` | synthetic app generation |
+//! | [`droidsim`] | `fd-droidsim` | the simulated device |
+//! | [`aftm`] | `fd-aftm` | the Activity & Fragment Transition Model |
+//! | [`stat`] | `fd-static` | static information extraction |
+//! | [`tool`] | `fragdroid` | the FragDroid tool itself |
+//! | [`baselines`] | `fd-baselines` | Monkey / activity-MBT / depth-first |
+//! | [`report`] | `fd-report` | experiment orchestration + tables |
+
+pub use fd_aftm as aftm;
+pub use fd_apk as apk;
+pub use fd_appgen as appgen;
+pub use fd_baselines as baselines;
+pub use fd_droidsim as droidsim;
+pub use fd_report as report;
+pub use fd_smali as smali;
+pub use fd_static as stat;
+pub use fragdroid as tool;

@@ -1,0 +1,79 @@
+//! Cross-tool properties over randomly generated apps: FragDroid's
+//! coverage dominates the activity-level baseline, and all reports stay
+//! internally consistent.
+
+use fragdroid_repro::baselines::{ActivityExplorer, UiExplorer};
+use fragdroid_repro::tool::{FragDroid, FragDroidConfig};
+
+#[test]
+fn fragdroid_dominates_activity_mbt_on_random_apps() {
+    for seed in 0..16u64 {
+        let gen = fragdroid_repro::appgen::random::generate(
+            "dom.app",
+            &fragdroid_repro::appgen::random::GenConfig::default(),
+            seed,
+        );
+        let fd = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+        let mbt = ActivityExplorer::default().explore(&gen.app, &gen.known_inputs);
+
+        assert!(
+            fd.visited_activities.len() >= mbt.visited_activities.len(),
+            "seed {seed}: MBT beat FragDroid on activities ({} vs {})",
+            mbt.visited_activities.len(),
+            fd.visited_activities.len(),
+        );
+        assert!(
+            fd.visited_fragments.len() >= mbt.visited_fragments.len(),
+            "seed {seed}: MBT beat FragDroid on fragments ({} vs {})",
+            mbt.visited_fragments.len(),
+            fd.visited_fragments.len(),
+        );
+        assert!(
+            fd.api_invocations.len() >= mbt.api_invocations.len(),
+            "seed {seed}: MBT detected more API relations",
+        );
+    }
+}
+
+#[test]
+fn ablated_fragdroid_never_beats_full_fragdroid() {
+    for seed in [2u64, 5, 11, 23] {
+        let gen = fragdroid_repro::appgen::random::generate(
+            "abl.app",
+            &fragdroid_repro::appgen::random::GenConfig::default(),
+            seed,
+        );
+        let full = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+        for config in [
+            FragDroidConfig::default().without_reflection(),
+            FragDroidConfig::default().without_force_start(),
+            FragDroidConfig::default().without_input_deps(),
+        ] {
+            let ablated = FragDroid::new(config.clone()).run(&gen.app, &gen.known_inputs);
+            assert!(
+                ablated.visited_activities.len() <= full.visited_activities.len()
+                    && ablated.visited_fragments.len() <= full.visited_fragments.len(),
+                "seed {seed}: ablation {config:?} exceeded the full tool"
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_columns_are_internally_consistent() {
+    for seed in 0..10u64 {
+        let gen = fragdroid_repro::appgen::random::generate(
+            "cons.app",
+            &fragdroid_repro::appgen::random::GenConfig::default(),
+            seed,
+        );
+        let report = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+        let f = report.fragment_coverage();
+        let v = report.fragments_in_visited_coverage();
+        // Every visited fragment lives in a visited activity, so the FiVA
+        // visited count equals the fragment visited count…
+        assert_eq!(v.visited, f.visited, "seed {seed}");
+        // …and FiVA's sum is sandwiched between them.
+        assert!(v.sum >= v.visited && v.sum <= f.sum, "seed {seed}: {v:?} vs {f:?}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration tests: the whole pipeline from app synthesis
+//! through packing, decompilation, static extraction, exploration and
+//! reporting, plus invariants that tie the layers together.
+
+use fragdroid_repro::aftm::NodeId;
+use fragdroid_repro::appgen::random::{generate, GenConfig};
+use fragdroid_repro::appgen::templates;
+use fragdroid_repro::droidsim::Device;
+use fragdroid_repro::tool::{FragDroid, FragDroidConfig};
+
+#[test]
+fn full_pipeline_from_container_bytes() {
+    let gen = templates::quickstart();
+    // Pack → decompile → static → dynamic, exactly the paper's Fig. 4 flow.
+    let bytes = fragdroid_repro::apk::pack(&gen.app);
+    let decompiled = fragdroid_repro::apk::decompile(&bytes).expect("decompile");
+    assert_eq!(decompiled, gen.app, "decompilation is lossless");
+
+    let report = FragDroid::new(FragDroidConfig::default()).run(&decompiled, &gen.known_inputs);
+    assert_eq!(report.activity_coverage().rate(), 100.0);
+    assert_eq!(report.fragment_coverage().rate(), 100.0);
+}
+
+#[test]
+fn visited_sets_are_bounded_by_static_sums() {
+    for seed in 0..12 {
+        let gen = generate("inv.app", &GenConfig::default(), seed);
+        let report = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+        let a = report.activity_coverage();
+        let f = report.fragment_coverage();
+        let v = report.fragments_in_visited_coverage();
+        assert!(a.visited <= a.sum, "seed {seed}: activities {a:?}");
+        assert!(f.visited <= f.sum, "seed {seed}: fragments {f:?}");
+        assert!(v.visited <= v.sum, "seed {seed}: fiva {v:?}");
+        assert!(v.sum <= f.sum, "seed {seed}: fiva sum exceeds fragment sum");
+        // Every visited activity was statically known or force-added; the
+        // final AFTM contains and marks it.
+        for act in &report.visited_activities {
+            let node = NodeId::Activity(act.clone());
+            assert!(report.aftm.contains(&node), "seed {seed}: {act} missing from AFTM");
+            assert!(report.aftm.is_visited(&node), "seed {seed}: {act} not marked");
+        }
+    }
+}
+
+#[test]
+fn aftm_evolution_is_monotone() {
+    for seed in [3u64, 17, 99] {
+        let gen = generate("evo.app", &GenConfig::default(), seed);
+        let report = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+        // Every statically found edge survives into the evolved model.
+        for edge in report.static_info.aftm.edges() {
+            assert!(
+                report.aftm.edges().any(|e| e == edge),
+                "seed {seed}: static edge {edge:?} lost during evolution"
+            );
+        }
+        // And every statically found node too.
+        for node in report.static_info.aftm.nodes() {
+            assert!(report.aftm.contains(node), "seed {seed}: node {node} lost");
+        }
+    }
+}
+
+#[test]
+fn resource_dependency_agrees_with_runtime_ownership() {
+    // The static Algorithm-3 attribution must agree with the simulator's
+    // ground truth: a widget the static phase assigns to fragment F must,
+    // at runtime, live inside F's inflated pane.
+    let gen = templates::quickstart();
+    let info = fragdroid_repro::stat::extract(&gen.app, &gen.known_inputs);
+    let mut device = Device::new(gen.app.clone());
+    device.launch().unwrap();
+
+    let screen = device.current().unwrap();
+    for widget in screen.visible_widgets() {
+        let Some(id) = &widget.id else { continue };
+        let Some(owner) = info.resource_dep.owner_of(id) else { continue };
+        match owner {
+            fragdroid_repro::stat::UiOwner::Fragment(f) => {
+                assert_eq!(
+                    screen.owner_fragment_of(id),
+                    Some(f),
+                    "static says {id} belongs to fragment {f}, runtime disagrees"
+                );
+            }
+            fragdroid_repro::stat::UiOwner::Activity(_) => {
+                assert_eq!(
+                    screen.owner_fragment_of(id),
+                    None,
+                    "static says {id} is activity-owned, runtime found a fragment"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn monitor_only_records_catalog_apis_with_real_callers() {
+    for seed in 0..6 {
+        let gen = generate("mon.app", &GenConfig::default(), seed);
+        let report = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+        for inv in &report.api_invocations {
+            assert!(
+                fragdroid_repro::droidsim::monitor::is_sensitive(&inv.group, &inv.name),
+                "seed {seed}: non-catalog API recorded"
+            );
+            // Callers are classes that actually exist in the app.
+            let class = match &inv.caller {
+                fragdroid_repro::droidsim::Caller::Activity(a) => a,
+                fragdroid_repro::droidsim::Caller::Fragment { fragment, .. } => fragment,
+            };
+            assert!(gen.app.classes.contains(class.as_str()), "seed {seed}: ghost caller");
+        }
+    }
+}
+
+#[test]
+fn explorer_stack_agrees_across_tools_on_fragment_free_apps() {
+    // On an app with no fragments at all, FragDroid and the activity-level
+    // baseline see the same world and should reach the same activities.
+    let config = GenConfig { fragments: 0, p_gate: 0.0, ..GenConfig::default() };
+    for seed in 0..6 {
+        let gen = generate("flat.app", &config, seed);
+        let fd = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+        let mbt = fragdroid_repro::baselines::ActivityExplorer::default()
+            .explore(&gen.app, &gen.known_inputs);
+        use fragdroid_repro::baselines::UiExplorer as _;
+        assert_eq!(
+            fd.visited_activities, mbt.visited_activities,
+            "seed {seed}: fragment-free app should equalize the tools"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! The generated test cases are real artifacts: replaying the scripts a
+//! FragDroid run produced, on a fresh device, reproduces the run's
+//! coverage. This is the property that makes model-based test cases
+//! reusable where record-and-replay scripts rot.
+
+use fragdroid_repro::droidsim::{script::run_script, Device, EventOutcome};
+use fragdroid_repro::tool::{FragDroid, FragDroidConfig};
+use std::collections::BTreeSet;
+
+fn replay_coverage(
+    app: &fragdroid_repro::apk::AndroidApp,
+    scripts: &[fragdroid_repro::droidsim::TestScript],
+) -> (BTreeSet<String>, BTreeSet<String>) {
+    // The tool ran against the manifest-rewritten install; replay the same.
+    let mut installed = app.clone();
+    installed.manifest.add_main_action_everywhere();
+    let mut device = Device::new(installed);
+    let mut activities = BTreeSet::new();
+    let mut fragments = BTreeSet::new();
+    for script in scripts {
+        let report = run_script(&mut device, script);
+        for step in &report.steps {
+            if let Ok(EventOutcome::UiChanged { to, .. }) = &step.result {
+                activities.insert(to.activity.as_str().to_string());
+            }
+        }
+        // Observe the settled screen like an instrumentation runner would.
+        if let Some(screen) = device.current() {
+            activities.insert(screen.activity.as_str().to_string());
+            for (_, f) in screen.manager_fragments() {
+                fragments.insert(f.as_str().to_string());
+            }
+        }
+    }
+    (activities, fragments)
+}
+
+#[test]
+fn replaying_generated_scripts_reproduces_coverage() {
+    for gen in [
+        fragdroid_repro::appgen::templates::quickstart(),
+        fragdroid_repro::appgen::templates::nav_drawer_wallpapers(),
+        fragdroid_repro::appgen::templates::ecommerce(),
+    ] {
+        let report = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+        let (replayed_acts, replayed_frags) = replay_coverage(&gen.app, &report.scripts);
+
+        for activity in &report.visited_activities {
+            assert!(
+                replayed_acts.contains(activity.as_str()),
+                "{}: activity {activity} visited live but not reproduced by the scripts",
+                gen.app.package(),
+            );
+        }
+        for fragment in &report.visited_fragments {
+            assert!(
+                replayed_frags.contains(fragment.as_str()),
+                "{}: fragment {fragment} visited live but not reproduced by the scripts",
+                gen.app.package(),
+            );
+        }
+    }
+}
+
+#[test]
+fn run_report_json_roundtrip() {
+    let gen = fragdroid_repro::appgen::templates::quickstart();
+    let report = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+    let json = serde_json::to_string(&report).expect("serializes");
+    let back: fragdroid_repro::tool::RunReport = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.visited_activities, report.visited_activities);
+    assert_eq!(back.visited_fragments, report.visited_fragments);
+    assert_eq!(back.api_invocations, report.api_invocations);
+    assert_eq!(back.scripts, report.scripts);
+    assert_eq!(back.timeline, report.timeline);
+    assert_eq!(back.aftm, report.aftm);
+}

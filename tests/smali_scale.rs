@@ -1,0 +1,27 @@
+//! Scale test: every analyzable corpus app's code survives a full
+//! print → parse round trip — the decompiler path at corpus size.
+
+use fragdroid_repro::smali::{parser, printer};
+
+#[test]
+fn corpus_wide_smali_roundtrip() {
+    let corpus = fragdroid_repro::appgen::corpus::corpus_217(1);
+    let mut classes_checked = 0usize;
+    for gen in corpus.iter().filter(|g| !g.app.meta.packed) {
+        let text: String = gen
+            .app
+            .classes
+            .iter()
+            .map(printer::print_class)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = parser::parse_classes(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", gen.app.package()));
+        assert_eq!(parsed.len(), gen.app.classes.len(), "{}", gen.app.package());
+        for class in parsed {
+            assert_eq!(Some(&class), gen.app.classes.get(class.name.as_str()));
+            classes_checked += 1;
+        }
+    }
+    assert!(classes_checked > 1_000, "only {classes_checked} classes checked");
+}
