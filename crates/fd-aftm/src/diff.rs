@@ -25,9 +25,7 @@ pub struct AftmDelta {
 impl AftmDelta {
     /// Whether evolution changed anything.
     pub fn is_empty(&self) -> bool {
-        self.added_nodes.is_empty()
-            && self.added_edges.is_empty()
-            && self.newly_visited.is_empty()
+        self.added_nodes.is_empty() && self.added_edges.is_empty() && self.newly_visited.is_empty()
     }
 
     /// One-line human summary.
@@ -46,16 +44,8 @@ pub fn diff(older: &Aftm, newer: &Aftm) -> AftmDelta {
     let old_nodes: BTreeSet<&NodeId> = older.nodes().collect();
     let old_edges: BTreeSet<&Edge> = older.edges().collect();
     AftmDelta {
-        added_nodes: newer
-            .nodes()
-            .filter(|n| !old_nodes.contains(n))
-            .cloned()
-            .collect(),
-        added_edges: newer
-            .edges()
-            .filter(|e| !old_edges.contains(e))
-            .cloned()
-            .collect(),
+        added_nodes: newer.nodes().filter(|n| !old_nodes.contains(n)).cloned().collect(),
+        added_edges: newer.edges().filter(|e| !old_edges.contains(e)).cloned().collect(),
         newly_visited: newer
             .nodes()
             .filter(|n| newer.is_visited(n) && !older.is_visited(n))

@@ -15,10 +15,7 @@ pub fn to_dot(model: &Aftm) -> String {
     for node in model.nodes() {
         let shape = if node.is_activity() { "box" } else { "ellipse" };
         let fill = if model.is_visited(node) { ", style=filled, fillcolor=lightgrey" } else { "" };
-        let entry = model
-            .entry()
-            .map(|e| node.is_activity() && node.class() == e)
-            .unwrap_or(false);
+        let entry = model.entry().map(|e| node.is_activity() && node.class() == e).unwrap_or(false);
         let bold = if entry { ", penwidth=2" } else { "" };
         let _ = writeln!(
             out,

@@ -56,11 +56,7 @@ pub fn stats(model: &Aftm) -> AftmStats {
     let reachable: BTreeSet<NodeId> = model.reachable();
     s.reachable = reachable.len();
     s.unreachable = model.nodes().count() - s.reachable;
-    s.depth = reachable
-        .iter()
-        .filter_map(|n| model.path_to(n).map(|p| p.len()))
-        .max()
-        .unwrap_or(0);
+    s.depth = reachable.iter().filter_map(|n| model.path_to(n).map(|p| p.len())).max().unwrap_or(0);
     s.max_fragments_per_activity = model
         .activities()
         .map(|a| model.fragments_of_activity(a.as_str()).len())

@@ -112,8 +112,8 @@ mod tests {
 
     #[test]
     fn basic_three_map_to_themselves() {
-        let e = RawTransition::ActivityToActivity { from: "a.A0".into(), to: "a.A1".into() }
-            .merge();
+        let e =
+            RawTransition::ActivityToActivity { from: "a.A0".into(), to: "a.A1".into() }.merge();
         assert_eq!(e, vec![Edge::e1("a.A0", "a.A1")]);
 
         let e = RawTransition::ActivityToOwnFragment {
@@ -134,11 +134,9 @@ mod tests {
 
     #[test]
     fn fragment_to_host_is_dropped() {
-        let e = RawTransition::FragmentToHostActivity {
-            host: "a.A0".into(),
-            fragment: "a.F0".into(),
-        }
-        .merge();
+        let e =
+            RawTransition::FragmentToHostActivity { host: "a.A0".into(), fragment: "a.F0".into() }
+                .merge();
         assert!(e.is_empty());
     }
 

@@ -92,11 +92,7 @@ impl AndroidApp {
                 }
             }
         }
-        let refs: Vec<ResRef> = self
-            .classes
-            .iter()
-            .flat_map(visit::referenced_resources)
-            .collect();
+        let refs: Vec<ResRef> = self.classes.iter().flat_map(visit::referenced_resources).collect();
         for r in refs {
             self.resources.intern(&r);
         }
@@ -134,10 +130,7 @@ impl AndroidApp {
                 }
             });
             for lint in fd_smali::lint::lint_class(class) {
-                problems.push(format!(
-                    "{}.{}: {}",
-                    class.name, lint.method, lint.kind
-                ));
+                problems.push(format!("{}.{}: {}", class.name, lint.method, lint.kind));
             }
         }
         problems
@@ -147,8 +140,8 @@ impl AndroidApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manifest::ActivityDecl;
     use crate::layout::{Widget, WidgetKind};
+    use crate::manifest::ActivityDecl;
     use fd_smali::{ClassDef, MethodDef, Stmt};
 
     fn app() -> AndroidApp {
@@ -157,7 +150,8 @@ mod tests {
         )
         .with_layout(Layout::new(
             "main",
-            Widget::new(WidgetKind::Group).with_child(Widget::new(WidgetKind::Button).with_id("go")),
+            Widget::new(WidgetKind::Group)
+                .with_child(Widget::new(WidgetKind::Button).with_id("go")),
         ));
         app.classes.insert(
             ClassDef::new("com.example.Main", fd_smali::well_known::ACTIVITY).with_method(

@@ -39,9 +39,8 @@ pub fn pack(app: &AndroidApp) -> Bytes {
     let layouts = serde_json::to_vec(&layouts).expect("layouts serialize");
     let meta = serde_json::to_vec(&app.meta).expect("meta serializes");
 
-    let mut buf = BytesMut::with_capacity(
-        16 + manifest.len() + smali.len() + layouts.len() + meta.len(),
-    );
+    let mut buf =
+        BytesMut::with_capacity(16 + manifest.len() + smali.len() + layouts.len() + meta.len());
     buf.put_slice(MAGIC);
     buf.put_u16(VERSION);
     buf.put_u16(if app.meta.packed { FLAG_PACKED } else { 0 });
@@ -104,8 +103,8 @@ pub fn decompile(bytes: &Bytes) -> Result<AndroidApp, ApkError> {
     let classes: ClassPool = parser::parse_classes(smali_text)?.into_iter().collect();
     let layouts: Vec<Layout> = serde_json::from_slice(&layouts_raw)
         .map_err(|e| ApkError::Corrupt(format!("layouts: {e}")))?;
-    let meta: AppMeta = serde_json::from_slice(&meta_raw)
-        .map_err(|e| ApkError::Corrupt(format!("meta: {e}")))?;
+    let meta: AppMeta =
+        serde_json::from_slice(&meta_raw).map_err(|e| ApkError::Corrupt(format!("meta: {e}")))?;
 
     let mut app = AndroidApp {
         manifest,
@@ -121,8 +120,8 @@ pub fn decompile(bytes: &Bytes) -> Result<AndroidApp, ApkError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manifest::ActivityDecl;
     use crate::layout::{Widget, WidgetKind};
+    use crate::manifest::ActivityDecl;
     use fd_smali::{ClassDef, MethodDef, ResRef, Stmt};
 
     fn sample_app(packed: bool) -> AndroidApp {
@@ -132,7 +131,8 @@ mod tests {
         )
         .with_layout(Layout::new(
             "main",
-            Widget::new(WidgetKind::Group).with_child(Widget::new(WidgetKind::Button).with_id("go")),
+            Widget::new(WidgetKind::Group)
+                .with_child(Widget::new(WidgetKind::Button).with_id("go")),
         ));
         app.classes.insert(
             ClassDef::new("com.example.Main", fd_smali::well_known::ACTIVITY).with_method(

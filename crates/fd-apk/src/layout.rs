@@ -44,10 +44,7 @@ pub enum WidgetKind {
 impl WidgetKind {
     /// Whether widgets of this kind receive clicks by default.
     pub fn default_clickable(self) -> bool {
-        matches!(
-            self,
-            WidgetKind::Button | WidgetKind::ImageButton | WidgetKind::CheckBox
-        )
+        matches!(self, WidgetKind::Button | WidgetKind::ImageButton | WidgetKind::CheckBox)
     }
 
     /// Whether this kind accepts text input.
@@ -180,13 +177,11 @@ mod tests {
     fn tree() -> Widget {
         Widget::new(WidgetKind::Group)
             .with_id("root")
+            .with_child(Widget::new(WidgetKind::Button).with_id("go").with_text("GO"))
             .with_child(
-                Widget::new(WidgetKind::Button).with_id("go").with_text("GO"),
-            )
-            .with_child(
-                Widget::new(WidgetKind::Drawer).with_id("drawer").with_child(
-                    Widget::new(WidgetKind::TextView).with_id("item").clickable(true),
-                ),
+                Widget::new(WidgetKind::Drawer)
+                    .with_id("drawer")
+                    .with_child(Widget::new(WidgetKind::TextView).with_id("item").clickable(true)),
             )
     }
 

@@ -200,7 +200,8 @@ mod tests {
 
     #[test]
     fn launcher_filter_requires_category() {
-        let plain_main = ActivityDecl::new("a.B").with_filter(IntentFilter::for_action(ACTION_MAIN));
+        let plain_main =
+            ActivityDecl::new("a.B").with_filter(IntentFilter::for_action(ACTION_MAIN));
         assert!(!plain_main.is_launcher());
     }
 }

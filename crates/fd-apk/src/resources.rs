@@ -63,11 +63,7 @@ impl ResourceTable {
             return id;
         }
         let block = (PACKAGE_BYTE << 24) | (type_byte(res.kind) << 16);
-        let next_entry = self
-            .forward
-            .iter()
-            .filter(|(r, _)| r.kind == res.kind)
-            .count() as u32;
+        let next_entry = self.forward.iter().filter(|(r, _)| r.kind == res.kind).count() as u32;
         let id = block | next_entry;
         self.forward.insert(res.clone(), id);
         self.reverse.insert(id, res.clone());

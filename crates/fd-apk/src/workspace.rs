@@ -171,14 +171,13 @@ mod tests {
             "main".into(),
             Layout::new(
                 "main",
-                Widget::new(WidgetKind::Group).with_child(Widget::new(WidgetKind::Button).with_id("go")),
+                Widget::new(WidgetKind::Group)
+                    .with_child(Widget::new(WidgetKind::Button).with_id("go")),
             ),
         );
-        app.classes.insert(
-            ClassDef::new("ws.demo.Main", well_known::ACTIVITY).with_method(
-                MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("main"))),
-            ),
-        );
+        app.classes.insert(ClassDef::new("ws.demo.Main", well_known::ACTIVITY).with_method(
+            MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("main"))),
+        ));
         app.classes.insert(ClassDef::new("ws.demo.sub.Helper", well_known::OBJECT));
         app.meta.category = "Tools".into();
         app.meta.downloads = 1_000_000;
@@ -214,9 +213,10 @@ mod tests {
         let dir = tmpdir("edit");
         unpack(&app, &dir).expect("unpack");
         let path = dir.join("smali/ws/demo/sub/Helper.smali");
-        let patched = std::fs::read_to_string(&path)
-            .unwrap()
-            .replace(".end class", ".method public injected()\n    finish\n.end method\n.end class");
+        let patched = std::fs::read_to_string(&path).unwrap().replace(
+            ".end class",
+            ".method public injected()\n    finish\n.end method\n.end class",
+        );
         std::fs::write(&path, patched).unwrap();
 
         let back = load(&dir).expect("load");

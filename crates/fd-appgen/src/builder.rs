@@ -5,8 +5,12 @@
 //! [`AndroidApp`]: manifest declarations, layout widget trees, and
 //! executable smali classes wired with click handlers.
 
-use fd_apk::{ActivityDecl, AndroidApp, AppMeta, IntentFilter, Layout, Manifest, Widget, WidgetKind};
-use fd_smali::{well_known, ClassDef, ClassName, Cond, IntentTarget, MethodDef, MethodName, ResRef, Stmt};
+use fd_apk::{
+    ActivityDecl, AndroidApp, AppMeta, IntentFilter, Layout, Manifest, Widget, WidgetKind,
+};
+use fd_smali::{
+    well_known, ClassDef, ClassName, Cond, IntentTarget, MethodDef, MethodName, ResRef, Stmt,
+};
 use std::collections::BTreeMap;
 
 /// An input-gated activity link: an `EditText` plus a submit button whose
@@ -412,32 +416,36 @@ impl AppBuilder {
         }
         on_create = on_create.push(Stmt::SetContentView(ResRef::layout(layout_name.clone())));
         for (group, name) in &spec.apis {
-            on_create = on_create.push(Stmt::InvokeApi { group: group.clone(), name: name.clone() });
+            on_create =
+                on_create.push(Stmt::InvokeApi { group: group.clone(), name: name.clone() });
         }
 
         if spec.popup_menu {
             let id = format!("appbar_more_{lname}");
-            root = root.with_child(
-                Widget::new(WidgetKind::ActionBar).with_child(
-                    Widget::new(WidgetKind::ImageButton).with_id(id.clone()).with_text("⋮"),
-                ),
-            );
+            root = root.with_child(Widget::new(WidgetKind::ActionBar).with_child(
+                Widget::new(WidgetKind::ImageButton).with_id(id.clone()).with_text("⋮"),
+            ));
             let h = format!("onMore{}", spec.name);
-            on_create = on_create
-                .push(Stmt::SetOnClick { widget: ResRef::id(id), handler: MethodName::new(h.clone()) });
-            handlers.push(
-                MethodDef::new(h).push(Stmt::ShowPopupMenu { id: format!("menu_{lname}") }),
-            );
+            on_create = on_create.push(Stmt::SetOnClick {
+                widget: ResRef::id(id),
+                handler: MethodName::new(h.clone()),
+            });
+            handlers
+                .push(MethodDef::new(h).push(Stmt::ShowPopupMenu { id: format!("menu_{lname}") }));
         }
 
         if !spec.tab_fragments.is_empty() {
             let mut bar = Widget::new(WidgetKind::TabBar).with_id(format!("tabs_{lname}"));
             for frag in &spec.tab_fragments {
                 let id = format!("tab_{}", frag.to_lowercase());
-                bar = bar.with_child(Widget::new(WidgetKind::Button).with_id(id.clone()).with_text(frag.clone()));
+                bar = bar.with_child(
+                    Widget::new(WidgetKind::Button).with_id(id.clone()).with_text(frag.clone()),
+                );
                 let h = format!("onTab{frag}");
-                on_create = on_create
-                    .push(Stmt::SetOnClick { widget: ResRef::id(id), handler: MethodName::new(h.clone()) });
+                on_create = on_create.push(Stmt::SetOnClick {
+                    widget: ResRef::id(id),
+                    handler: MethodName::new(h.clone()),
+                });
                 handlers.push(
                     MethodDef::new(h)
                         .push(Stmt::GetFragmentManager { support: true })
@@ -464,14 +472,23 @@ impl AppBuilder {
                 widget: ResRef::id(hamburger),
                 handler: MethodName::new(h.clone()),
             });
-            handlers.push(MethodDef::new(h).push(Stmt::ToggleDrawer { drawer: ResRef::id(drawer_id.clone()) }));
+            handlers.push(
+                MethodDef::new(h)
+                    .push(Stmt::ToggleDrawer { drawer: ResRef::id(drawer_id.clone()) }),
+            );
             for frag in &spec.drawer_fragments {
                 let id = format!("menu_{}", frag.to_lowercase());
-                drawer = drawer
-                    .with_child(Widget::new(WidgetKind::TextView).with_id(id.clone()).with_text(frag.clone()).clickable(true));
+                drawer = drawer.with_child(
+                    Widget::new(WidgetKind::TextView)
+                        .with_id(id.clone())
+                        .with_text(frag.clone())
+                        .clickable(true),
+                );
                 let h = format!("onMenu{frag}");
-                on_create = on_create
-                    .push(Stmt::SetOnClick { widget: ResRef::id(id), handler: MethodName::new(h.clone()) });
+                on_create = on_create.push(Stmt::SetOnClick {
+                    widget: ResRef::id(id),
+                    handler: MethodName::new(h.clone()),
+                });
                 handlers.push(
                     MethodDef::new(h)
                         .push(Stmt::GetFragmentManager { support: true })
@@ -489,12 +506,16 @@ impl AppBuilder {
 
         for target in &spec.buttons_to {
             let id = format!("btn_{}", target.to_lowercase());
-            root = root.with_child(Widget::new(WidgetKind::Button).with_id(id.clone()).with_text(target.clone()));
+            root = root.with_child(
+                Widget::new(WidgetKind::Button).with_id(id.clone()).with_text(target.clone()),
+            );
             let h = format!("onGo{target}");
-            on_create = on_create
-                .push(Stmt::SetOnClick { widget: ResRef::id(id), handler: MethodName::new(h.clone()) });
-            let mut handler = MethodDef::new(h)
-                .push(Stmt::NewIntent(IntentTarget::Class(self.qualify(target))));
+            on_create = on_create.push(Stmt::SetOnClick {
+                widget: ResRef::id(id),
+                handler: MethodName::new(h.clone()),
+            });
+            let mut handler =
+                MethodDef::new(h).push(Stmt::NewIntent(IntentTarget::Class(self.qualify(target))));
             // The app's own code supplies any extras the target requires.
             if let Some(tspec) = self.activities.iter().find(|a| &a.name == target) {
                 if let Some(key) = &tspec.requires_extra {
@@ -506,10 +527,14 @@ impl AppBuilder {
 
         for (action, target) in &spec.action_links {
             let id = format!("act_{}", target.to_lowercase());
-            root = root.with_child(Widget::new(WidgetKind::Button).with_id(id.clone()).with_text(action.clone()));
+            root = root.with_child(
+                Widget::new(WidgetKind::Button).with_id(id.clone()).with_text(action.clone()),
+            );
             let h = format!("onAction{target}");
-            on_create = on_create
-                .push(Stmt::SetOnClick { widget: ResRef::id(id), handler: MethodName::new(h.clone()) });
+            on_create = on_create.push(Stmt::SetOnClick {
+                widget: ResRef::id(id),
+                handler: MethodName::new(h.clone()),
+            });
             handlers.push(
                 MethodDef::new(h)
                     .push(Stmt::NewIntent(IntentTarget::Action(action.clone())))
@@ -522,13 +547,17 @@ impl AppBuilder {
             let submit = format!("submit_{lname}_{gate_idx}");
             root = root
                 .with_child(Widget::new(WidgetKind::EditText).with_id(field.clone()))
-                .with_child(Widget::new(WidgetKind::Button).with_id(submit.clone()).with_text("Submit"));
+                .with_child(
+                    Widget::new(WidgetKind::Button).with_id(submit.clone()).with_text("Submit"),
+                );
             if gate.input_known {
                 known_inputs.insert(field.clone(), gate.secret.clone());
             }
             let h = format!("onSubmit{}{gate_idx}", spec.name);
-            on_create = on_create
-                .push(Stmt::SetOnClick { widget: ResRef::id(submit), handler: MethodName::new(h.clone()) });
+            on_create = on_create.push(Stmt::SetOnClick {
+                widget: ResRef::id(submit),
+                handler: MethodName::new(h.clone()),
+            });
             let mut then = vec![Stmt::NewIntent(IntentTarget::Class(self.qualify(&gate.target)))];
             if let Some(tspec) = self.activities.iter().find(|a| a.name == gate.target) {
                 if let Some(key) = &tspec.requires_extra {
@@ -545,10 +574,13 @@ impl AppBuilder {
 
         if spec.dialog {
             let id = format!("dlg_{lname}");
-            root = root.with_child(Widget::new(WidgetKind::Button).with_id(id.clone()).with_text("Info"));
+            root = root
+                .with_child(Widget::new(WidgetKind::Button).with_id(id.clone()).with_text("Info"));
             let h = format!("onInfo{}", spec.name);
-            on_create = on_create
-                .push(Stmt::SetOnClick { widget: ResRef::id(id), handler: MethodName::new(h.clone()) });
+            on_create = on_create.push(Stmt::SetOnClick {
+                widget: ResRef::id(id),
+                handler: MethodName::new(h.clone()),
+            });
             handlers.push(MethodDef::new(h).push(Stmt::ShowDialog { id: format!("info_{lname}") }));
         }
 
@@ -560,13 +592,13 @@ impl AppBuilder {
             );
         }
         for i in 0..spec.extra_widgets {
-            root = root.with_child(
-                Widget::new(WidgetKind::TextView).with_text(format!("label {i}")),
-            );
+            root =
+                root.with_child(Widget::new(WidgetKind::TextView).with_text(format!("label {i}")));
         }
 
         if has_container {
-            root = root.with_child(Widget::new(WidgetKind::FragmentContainer).with_id(container.clone()));
+            root = root
+                .with_child(Widget::new(WidgetKind::FragmentContainer).with_id(container.clone()));
         }
         for (i, _) in spec.panes.iter().enumerate() {
             root = root.with_child(
@@ -579,7 +611,10 @@ impl AppBuilder {
             on_create = on_create
                 .push(Stmt::GetFragmentManager { support: true })
                 .push(Stmt::BeginTransaction)
-                .push(Stmt::TxnAdd { container: ResRef::id(container.clone()), fragment: self.qualify(frag) })
+                .push(Stmt::TxnAdd {
+                    container: ResRef::id(container.clone()),
+                    fragment: self.qualify(frag),
+                })
                 .push(Stmt::TxnCommit);
         } else if uses_manager {
             // Drawer/tab activities still reference the manager in code
@@ -620,8 +655,8 @@ impl AppBuilder {
             );
         }
 
-        let mut class = ClassDef::new(self.qualify(&spec.name), well_known::ACTIVITY)
-            .with_method(on_create);
+        let mut class =
+            ClassDef::new(self.qualify(&spec.name), well_known::ACTIVITY).with_method(on_create);
         for h in handlers {
             class = class.with_method(h);
         }
@@ -632,8 +667,8 @@ impl AppBuilder {
         let lname = spec.name.to_lowercase();
         let layout_name = format!("lay_frag_{lname}");
         let mut root = Widget::new(WidgetKind::Group).with_id(format!("frag_root_{lname}"));
-        let mut on_create_view =
-            MethodDef::new("onCreateView").push(Stmt::InflateLayout(ResRef::layout(layout_name.clone())));
+        let mut on_create_view = MethodDef::new("onCreateView")
+            .push(Stmt::InflateLayout(ResRef::layout(layout_name.clone())));
         for (group, name) in &spec.apis {
             on_create_view =
                 on_create_view.push(Stmt::InvokeApi { group: group.clone(), name: name.clone() });
@@ -642,12 +677,16 @@ impl AppBuilder {
 
         for target in &spec.links_to {
             let id = format!("fbtn_{lname}_{}", target.to_lowercase());
-            root = root.with_child(Widget::new(WidgetKind::Button).with_id(id.clone()).with_text(target.clone()));
+            root = root.with_child(
+                Widget::new(WidgetKind::Button).with_id(id.clone()).with_text(target.clone()),
+            );
             let h = format!("onGo{target}");
-            on_create_view = on_create_view
-                .push(Stmt::SetOnClick { widget: ResRef::id(id), handler: MethodName::new(h.clone()) });
-            let mut handler = MethodDef::new(h)
-                .push(Stmt::NewIntent(IntentTarget::Class(self.qualify(target))));
+            on_create_view = on_create_view.push(Stmt::SetOnClick {
+                widget: ResRef::id(id),
+                handler: MethodName::new(h.clone()),
+            });
+            let mut handler =
+                MethodDef::new(h).push(Stmt::NewIntent(IntentTarget::Class(self.qualify(target))));
             if let Some(tspec) = self.activities.iter().find(|a| &a.name == target) {
                 if let Some(key) = &tspec.requires_extra {
                     handler = handler.push(Stmt::PutExtra { key: key.clone(), value: "1".into() });
@@ -658,10 +697,14 @@ impl AppBuilder {
 
         for target in &spec.switches_to {
             let id = format!("fswitch_{lname}_{}", target.to_lowercase());
-            root = root.with_child(Widget::new(WidgetKind::Button).with_id(id.clone()).with_text(target.clone()));
+            root = root.with_child(
+                Widget::new(WidgetKind::Button).with_id(id.clone()).with_text(target.clone()),
+            );
             let h = format!("onSwitch{target}");
-            on_create_view = on_create_view
-                .push(Stmt::SetOnClick { widget: ResRef::id(id), handler: MethodName::new(h.clone()) });
+            on_create_view = on_create_view.push(Stmt::SetOnClick {
+                widget: ResRef::id(id),
+                handler: MethodName::new(h.clone()),
+            });
             let container = self
                 .host_of(&spec.name)
                 .map(|a| Self::container_id(&a.name))
@@ -670,15 +713,17 @@ impl AppBuilder {
                 MethodDef::new(h)
                     .push(Stmt::GetFragmentManager { support: true })
                     .push(Stmt::BeginTransaction)
-                    .push(Stmt::TxnReplace { container: ResRef::id(container), fragment: self.qualify(target) })
+                    .push(Stmt::TxnReplace {
+                        container: ResRef::id(container),
+                        fragment: self.qualify(target),
+                    })
                     .push(Stmt::TxnCommit),
             );
         }
 
         if spec.webview {
-            root = root.with_child(
-                Widget::new(WidgetKind::WebView).with_id(format!("web_{lname}")),
-            );
+            root =
+                root.with_child(Widget::new(WidgetKind::WebView).with_id(format!("web_{lname}")));
         }
         for i in 0..spec.extra_widgets {
             root = root.with_child(Widget::new(WidgetKind::TextView).with_text(format!("row {i}")));
@@ -687,7 +732,8 @@ impl AppBuilder {
         let mut class = ClassDef::new(self.qualify(&spec.name), well_known::SUPPORT_FRAGMENT)
             .with_method(on_create_view);
         if spec.ctor_args {
-            class = class.with_method(MethodDef::new(MethodName::ctor()).with_param("java.lang.String"));
+            class = class
+                .with_method(MethodDef::new(MethodName::ctor()).with_param("java.lang.String"));
         }
         for h in handlers {
             class = class.with_method(h);
@@ -764,13 +810,11 @@ mod tests {
     #[test]
     fn known_gate_secrets_are_exported() {
         let gen = AppBuilder::new("gen.gated")
-            .activity(
-                ActivitySpec::new("Login").launcher().gate(GatedLink {
-                    target: "Inside".into(),
-                    secret: "s3cret".into(),
-                    input_known: true,
-                }),
-            )
+            .activity(ActivitySpec::new("Login").launcher().gate(GatedLink {
+                target: "Inside".into(),
+                secret: "s3cret".into(),
+                input_known: true,
+            }))
             .activity(ActivitySpec::new("Inside"))
             .build();
         assert_eq!(gen.known_inputs.get("input_login_0").map(String::as_str), Some("s3cret"));
@@ -779,7 +823,9 @@ mod tests {
         d.launch().unwrap();
         d.enter_text("input_login_0", "s3cret").unwrap();
         let out = d.click("submit_login_0").unwrap();
-        assert!(matches!(out, EventOutcome::UiChanged { ref to, .. } if to.activity.as_str() == "gen.gated.Inside"));
+        assert!(
+            matches!(out, EventOutcome::UiChanged { ref to, .. } if to.activity.as_str() == "gen.gated.Inside")
+        );
     }
 
     #[test]
@@ -807,7 +853,9 @@ mod tests {
         let mut d = Device::new(gen.app);
         d.launch().unwrap();
         let out = d.click("act_viewer").unwrap();
-        assert!(matches!(out, EventOutcome::UiChanged { ref to, .. } if to.activity.as_str() == "gen.act.Viewer"));
+        assert!(
+            matches!(out, EventOutcome::UiChanged { ref to, .. } if to.activity.as_str() == "gen.act.Viewer")
+        );
     }
 
     #[test]
@@ -865,7 +913,9 @@ mod pane_tests {
         // same fragment class hosted by two activities; API attribution
         // distinguishes the hosts.
         let gen = AppBuilder::new("gen.reuse")
-            .activity(ActivitySpec::new("Main").launcher().initial_fragment("Shared").button_to("Other"))
+            .activity(
+                ActivitySpec::new("Main").launcher().initial_fragment("Shared").button_to("Other"),
+            )
             .activity(ActivitySpec::new("Other").initial_fragment("Shared"))
             .fragment(FragmentSpec::new("Shared").api("location", "getProviders"))
             .build();

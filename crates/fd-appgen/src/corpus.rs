@@ -114,11 +114,8 @@ pub fn corpus_217(seed: u64) -> Vec<GeneratedApp> {
                 fragments: if uses_fragments { 1 + (i % 7) } else { 0 },
                 ..category_profile(categories[i])
             };
-            let mut gen = generate(
-                &format!("corpus.app{i:03}"),
-                &config,
-                seed.wrapping_add(i as u64),
-            );
+            let mut gen =
+                generate(&format!("corpus.app{i:03}"), &config, seed.wrapping_add(i as u64));
             gen.app.meta.category = categories[i].to_string();
             gen.app.meta.downloads = 500_000 + (i as u64 % 10) * 1_000_000;
             gen.app.meta.packed = packed.contains(&i);
@@ -146,10 +143,7 @@ mod tests {
         let users = corpus
             .iter()
             .filter(|g| {
-                g.app
-                    .classes
-                    .iter()
-                    .any(|c| g.app.classes.is_fragment_class(c.name.as_str()))
+                g.app.classes.iter().any(|c| g.app.classes.is_fragment_class(c.name.as_str()))
             })
             .count();
         assert_eq!(users, FRAGMENT_USERS);
@@ -203,10 +197,7 @@ mod profile_tests {
         let users = a
             .iter()
             .filter(|g| {
-                g.app
-                    .classes
-                    .iter()
-                    .any(|c| g.app.classes.is_fragment_class(c.name.as_str()))
+                g.app.classes.iter().any(|c| g.app.classes.is_fragment_class(c.name.as_str()))
             })
             .count();
         assert_eq!(users, FRAGMENT_USERS);

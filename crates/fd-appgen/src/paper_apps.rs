@@ -81,31 +81,213 @@ impl PaperAppSpec {
     }
 }
 
-const D: Flavor = Flavor { drawer: true, popup: false, strict_input: false, direct_load: false, ctor_args: false };
-const P: Flavor = Flavor { drawer: false, popup: true, strict_input: false, direct_load: false, ctor_args: false };
-const DP: Flavor = Flavor { drawer: true, popup: true, strict_input: false, direct_load: false, ctor_args: false };
-const S: Flavor = Flavor { drawer: false, popup: false, strict_input: true, direct_load: false, ctor_args: false };
-const DIRECT: Flavor = Flavor { drawer: false, popup: false, strict_input: false, direct_load: true, ctor_args: false };
-const CP: Flavor = Flavor { drawer: false, popup: true, strict_input: false, direct_load: false, ctor_args: true };
-const PLAIN: Flavor = Flavor { drawer: false, popup: false, strict_input: false, direct_load: false, ctor_args: false };
+const D: Flavor = Flavor {
+    drawer: true,
+    popup: false,
+    strict_input: false,
+    direct_load: false,
+    ctor_args: false,
+};
+const P: Flavor = Flavor {
+    drawer: false,
+    popup: true,
+    strict_input: false,
+    direct_load: false,
+    ctor_args: false,
+};
+const DP: Flavor =
+    Flavor { drawer: true, popup: true, strict_input: false, direct_load: false, ctor_args: false };
+const S: Flavor = Flavor {
+    drawer: false,
+    popup: false,
+    strict_input: true,
+    direct_load: false,
+    ctor_args: false,
+};
+const DIRECT: Flavor = Flavor {
+    drawer: false,
+    popup: false,
+    strict_input: false,
+    direct_load: true,
+    ctor_args: false,
+};
+const CP: Flavor =
+    Flavor { drawer: false, popup: true, strict_input: false, direct_load: false, ctor_args: true };
+const PLAIN: Flavor = Flavor {
+    drawer: false,
+    popup: false,
+    strict_input: false,
+    direct_load: false,
+    ctor_args: false,
+};
 
 /// The 15 apps, in Table I order.
 pub const PAPER_APPS: &[PaperAppSpec] = &[
-    PaperAppSpec { package: "au.com.digitalstampede.formula", downloads: 50_000, activities: 2, unvisited_activities: 1, fragments: 2, fragments_in_unvisited: 0, blocked_fragments: 0, flavor: PLAIN, api_marks: (2, 2, 16) },
-    PaperAppSpec { package: "com.adobe.reader", downloads: 100_000_000, activities: 13, unvisited_activities: 6, fragments: 5, fragments_in_unvisited: 0, blocked_fragments: 0, flavor: P, api_marks: (3, 2, 1) },
-    PaperAppSpec { package: "com.advancedprocessmanager", downloads: 10_000_000, activities: 7, unvisited_activities: 2, fragments: 10, fragments_in_unvisited: 0, blocked_fragments: 0, flavor: PLAIN, api_marks: (4, 4, 3) },
-    PaperAppSpec { package: "com.aircrunch.shopalerts", downloads: 1_000_000, activities: 10, unvisited_activities: 3, fragments: 13, fragments_in_unvisited: 4, blocked_fragments: 1, flavor: DP, api_marks: (1, 3, 12) },
-    PaperAppSpec { package: "com.c51", downloads: 5_000_000, activities: 35, unvisited_activities: 7, fragments: 3, fragments_in_unvisited: 0, blocked_fragments: 1, flavor: PLAIN, api_marks: (2, 1, 6) },
-    PaperAppSpec { package: "com.cnn.mobile.android.phone", downloads: 10_000_000, activities: 23, unvisited_activities: 7, fragments: 10, fragments_in_unvisited: 6, blocked_fragments: 1, flavor: D, api_marks: (3, 2, 1) },
-    PaperAppSpec { package: "com.happy2.bbmanga", downloads: 1_000_000, activities: 5, unvisited_activities: 3, fragments: 5, fragments_in_unvisited: 2, blocked_fragments: 0, flavor: PLAIN, api_marks: (1, 1, 4) },
-    PaperAppSpec { package: "com.inditex.zara", downloads: 10_000_000, activities: 9, unvisited_activities: 2, fragments: 15, fragments_in_unvisited: 5, blocked_fragments: 3, flavor: CP, api_marks: (1, 4, 10) },
-    PaperAppSpec { package: "com.mobilemotion.dubsmash", downloads: 100_000_000, activities: 11, unvisited_activities: 1, fragments: 3, fragments_in_unvisited: 0, blocked_fragments: 3, flavor: DIRECT, api_marks: (1, 0, 0) },
-    PaperAppSpec { package: "com.ovuline.pregnancy", downloads: 1_000_000, activities: 27, unvisited_activities: 10, fragments: 37, fragments_in_unvisited: 11, blocked_fragments: 18, flavor: PLAIN, api_marks: (2, 2, 30) },
-    PaperAppSpec { package: "com.weather.Weather", downloads: 50_000_000, activities: 17, unvisited_activities: 4, fragments: 1, fragments_in_unvisited: 0, blocked_fragments: 0, flavor: S, api_marks: (4, 0, 2) },
-    PaperAppSpec { package: "com.where2get.android.app", downloads: 500_000, activities: 16, unvisited_activities: 7, fragments: 8, fragments_in_unvisited: 4, blocked_fragments: 0, flavor: P, api_marks: (1, 0, 0) },
-    PaperAppSpec { package: "imoblife.toolbox.full", downloads: 10_000_000, activities: 14, unvisited_activities: 0, fragments: 9, fragments_in_unvisited: 0, blocked_fragments: 1, flavor: PLAIN, api_marks: (3, 3, 13) },
-    PaperAppSpec { package: "net.aviascanner.aviascanner", downloads: 1_000_000, activities: 7, unvisited_activities: 0, fragments: 4, fragments_in_unvisited: 0, blocked_fragments: 0, flavor: PLAIN, api_marks: (2, 1, 8) },
-    PaperAppSpec { package: "org.rbc.odb", downloads: 1_000_000, activities: 5, unvisited_activities: 1, fragments: 8, fragments_in_unvisited: 3, blocked_fragments: 0, flavor: PLAIN, api_marks: (1, 1, 0) },
+    PaperAppSpec {
+        package: "au.com.digitalstampede.formula",
+        downloads: 50_000,
+        activities: 2,
+        unvisited_activities: 1,
+        fragments: 2,
+        fragments_in_unvisited: 0,
+        blocked_fragments: 0,
+        flavor: PLAIN,
+        api_marks: (2, 2, 16),
+    },
+    PaperAppSpec {
+        package: "com.adobe.reader",
+        downloads: 100_000_000,
+        activities: 13,
+        unvisited_activities: 6,
+        fragments: 5,
+        fragments_in_unvisited: 0,
+        blocked_fragments: 0,
+        flavor: P,
+        api_marks: (3, 2, 1),
+    },
+    PaperAppSpec {
+        package: "com.advancedprocessmanager",
+        downloads: 10_000_000,
+        activities: 7,
+        unvisited_activities: 2,
+        fragments: 10,
+        fragments_in_unvisited: 0,
+        blocked_fragments: 0,
+        flavor: PLAIN,
+        api_marks: (4, 4, 3),
+    },
+    PaperAppSpec {
+        package: "com.aircrunch.shopalerts",
+        downloads: 1_000_000,
+        activities: 10,
+        unvisited_activities: 3,
+        fragments: 13,
+        fragments_in_unvisited: 4,
+        blocked_fragments: 1,
+        flavor: DP,
+        api_marks: (1, 3, 12),
+    },
+    PaperAppSpec {
+        package: "com.c51",
+        downloads: 5_000_000,
+        activities: 35,
+        unvisited_activities: 7,
+        fragments: 3,
+        fragments_in_unvisited: 0,
+        blocked_fragments: 1,
+        flavor: PLAIN,
+        api_marks: (2, 1, 6),
+    },
+    PaperAppSpec {
+        package: "com.cnn.mobile.android.phone",
+        downloads: 10_000_000,
+        activities: 23,
+        unvisited_activities: 7,
+        fragments: 10,
+        fragments_in_unvisited: 6,
+        blocked_fragments: 1,
+        flavor: D,
+        api_marks: (3, 2, 1),
+    },
+    PaperAppSpec {
+        package: "com.happy2.bbmanga",
+        downloads: 1_000_000,
+        activities: 5,
+        unvisited_activities: 3,
+        fragments: 5,
+        fragments_in_unvisited: 2,
+        blocked_fragments: 0,
+        flavor: PLAIN,
+        api_marks: (1, 1, 4),
+    },
+    PaperAppSpec {
+        package: "com.inditex.zara",
+        downloads: 10_000_000,
+        activities: 9,
+        unvisited_activities: 2,
+        fragments: 15,
+        fragments_in_unvisited: 5,
+        blocked_fragments: 3,
+        flavor: CP,
+        api_marks: (1, 4, 10),
+    },
+    PaperAppSpec {
+        package: "com.mobilemotion.dubsmash",
+        downloads: 100_000_000,
+        activities: 11,
+        unvisited_activities: 1,
+        fragments: 3,
+        fragments_in_unvisited: 0,
+        blocked_fragments: 3,
+        flavor: DIRECT,
+        api_marks: (1, 0, 0),
+    },
+    PaperAppSpec {
+        package: "com.ovuline.pregnancy",
+        downloads: 1_000_000,
+        activities: 27,
+        unvisited_activities: 10,
+        fragments: 37,
+        fragments_in_unvisited: 11,
+        blocked_fragments: 18,
+        flavor: PLAIN,
+        api_marks: (2, 2, 30),
+    },
+    PaperAppSpec {
+        package: "com.weather.Weather",
+        downloads: 50_000_000,
+        activities: 17,
+        unvisited_activities: 4,
+        fragments: 1,
+        fragments_in_unvisited: 0,
+        blocked_fragments: 0,
+        flavor: S,
+        api_marks: (4, 0, 2),
+    },
+    PaperAppSpec {
+        package: "com.where2get.android.app",
+        downloads: 500_000,
+        activities: 16,
+        unvisited_activities: 7,
+        fragments: 8,
+        fragments_in_unvisited: 4,
+        blocked_fragments: 0,
+        flavor: P,
+        api_marks: (1, 0, 0),
+    },
+    PaperAppSpec {
+        package: "imoblife.toolbox.full",
+        downloads: 10_000_000,
+        activities: 14,
+        unvisited_activities: 0,
+        fragments: 9,
+        fragments_in_unvisited: 0,
+        blocked_fragments: 1,
+        flavor: PLAIN,
+        api_marks: (3, 3, 13),
+    },
+    PaperAppSpec {
+        package: "net.aviascanner.aviascanner",
+        downloads: 1_000_000,
+        activities: 7,
+        unvisited_activities: 0,
+        fragments: 4,
+        fragments_in_unvisited: 0,
+        blocked_fragments: 0,
+        flavor: PLAIN,
+        api_marks: (2, 1, 8),
+    },
+    PaperAppSpec {
+        package: "org.rbc.odb",
+        downloads: 1_000_000,
+        activities: 5,
+        unvisited_activities: 1,
+        fragments: 8,
+        fragments_in_unvisited: 3,
+        blocked_fragments: 0,
+        flavor: PLAIN,
+        api_marks: (1, 1, 0),
+    },
 ];
 
 /// Synthesizes one evaluation app from its spec. `api_cursor` threads the

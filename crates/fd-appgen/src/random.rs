@@ -220,11 +220,8 @@ mod tests {
     fn zero_fragments_config_produces_fragment_free_app() {
         let c = GenConfig { fragments: 0, ..GenConfig::default() };
         let gen = generate("gen.nofrag", &c, 7);
-        let has_fragment = gen
-            .app
-            .classes
-            .iter()
-            .any(|cl| gen.app.classes.is_fragment_class(cl.name.as_str()));
+        let has_fragment =
+            gen.app.classes.iter().any(|cl| gen.app.classes.is_fragment_class(cl.name.as_str()));
         assert!(!has_fragment);
     }
 

@@ -16,13 +16,9 @@ pub fn tabbed_categories() -> GeneratedApp {
                 .tabs(["CategoryFragment", "RecentFragment"]),
         )
         .fragment(
-            FragmentSpec::new("CategoryFragment")
-                .api("internet", "connect")
-                .link_to("Detail"),
+            FragmentSpec::new("CategoryFragment").api("internet", "connect").link_to("Detail"),
         )
-        .fragment(
-            FragmentSpec::new("RecentFragment").api("storage", "getExternalStorageState"),
-        )
+        .fragment(FragmentSpec::new("RecentFragment").api("storage", "getExternalStorageState"))
         .activity(ActivitySpec::new("Detail"))
         .build()
 }
@@ -40,9 +36,7 @@ pub fn nav_drawer_wallpapers() -> GeneratedApp {
                 .drawer(["WallpapersFragment", "FavoritesFragment"]),
         )
         .fragment(FragmentSpec::new("WallpapersFragment").api("internet", "inet"))
-        .fragment(
-            FragmentSpec::new("FavoritesFragment").api("storage", "sdcard"),
-        )
+        .fragment(FragmentSpec::new("FavoritesFragment").api("storage", "sdcard"))
         .build()
 }
 
@@ -60,13 +54,11 @@ pub fn quickstart() -> GeneratedApp {
                 .with_dialog()
                 .api("phone", "getDeviceId"),
         )
-        .activity(
-            ActivitySpec::new("Settings").gate(GatedLink {
-                target: "Account".into(),
-                secret: "pin-1234".into(),
-                input_known: true,
-            }),
-        )
+        .activity(ActivitySpec::new("Settings").gate(GatedLink {
+            target: "Account".into(),
+            secret: "pin-1234".into(),
+            input_known: true,
+        }))
         .activity(ActivitySpec::new("Account").requires_extra("user"))
         .fragment(
             FragmentSpec::new("HomeFragment")
@@ -92,16 +84,9 @@ pub fn ecommerce() -> GeneratedApp {
                 .with_popup_menu()
                 .api("internet", "connect"),
         )
-        .activity(
-            ActivitySpec::new("Cart")
-                .pane("CartItemsFragment")
-                .pane("SummaryFragment")
-                .gate(GatedLink {
-                    target: "Checkout".into(),
-                    secret: "12 Main St".into(),
-                    input_known: true,
-                }),
-        )
+        .activity(ActivitySpec::new("Cart").pane("CartItemsFragment").pane("SummaryFragment").gate(
+            GatedLink { target: "Checkout".into(), secret: "12 Main St".into(), input_known: true },
+        ))
         .activity(
             ActivitySpec::new("Checkout")
                 .requires_extra("session")
@@ -201,14 +186,9 @@ pub fn ablation_suite() -> Vec<GeneratedApp> {
             input_known: true,
         }))
         .activity(
-            ActivitySpec::new("Inbox")
-                .requires_extra("session")
-                .initial_fragment("MailList")
-                .gate(GatedLink {
-                    target: "Admin".into(),
-                    secret: "admin-pin".into(),
-                    input_known: true,
-                }),
+            ActivitySpec::new("Inbox").requires_extra("session").initial_fragment("MailList").gate(
+                GatedLink { target: "Admin".into(), secret: "admin-pin".into(), input_known: true },
+            ),
         )
         .activity(ActivitySpec::new("Admin").requires_extra("session"))
         .fragment(FragmentSpec::new("MailList").api("messages", "MmsProvider"))
@@ -221,9 +201,7 @@ pub fn ablation_suite() -> Vec<GeneratedApp> {
             input_known: false,
         }))
         .activity(
-            ActivitySpec::new("Vault")
-                .requires_extra("invite")
-                .api("identification", "/proc"),
+            ActivitySpec::new("Vault").requires_extra("invite").api("identification", "/proc"),
         )
         .build();
 

@@ -203,9 +203,7 @@ mod tests {
         // reaches the drawer-only FavoritesFragment: opening the drawer
         // does not change the activity, so the revealed menu is never in
         // its widget list.
-        assert!(!stats
-            .visited_fragments
-            .contains("fig2.wallpapers.FavoritesFragment"));
+        assert!(!stats.visited_fragments.contains("fig2.wallpapers.FavoritesFragment"));
     }
 
     #[test]

@@ -60,11 +60,7 @@ impl Run {
                 .filter(|w| w.clickable)
                 .filter_map(|w| w.id)
                 .find(|id| {
-                    !self
-                        .clicked
-                        .get(&activity)
-                        .map(|set| set.contains(id))
-                        .unwrap_or(false)
+                    !self.clicked.get(&activity).map(|set| set.contains(id)).unwrap_or(false)
                 });
             let Some(widget) = next else { return };
             self.clicked.entry(activity.clone()).or_default().insert(widget.clone());

@@ -32,8 +32,8 @@ pub mod targeted;
 pub use activity_mbt::ActivityExplorer;
 pub use depth_first::DepthFirstExplorer;
 pub use monkey::Monkey;
-pub use targeted::TargetedExplorer;
 pub use stats::ExplorationStats;
+pub use targeted::TargetedExplorer;
 
 use fd_apk::AndroidApp;
 use std::collections::BTreeMap;

@@ -216,14 +216,10 @@ mod mix_tests {
         let swipe_only = Monkey::new(3, 40)
             .with_mix(MonkeyMix { p_back: 0.0, p_swipe: 1.0, p_text: 0.0 })
             .explore(&gen.app, &gen.known_inputs);
-        assert!(!swipe_only
-            .visited_fragments
-            .contains("fig2.wallpapers.FavoritesFragment"));
+        assert!(!swipe_only.visited_fragments.contains("fig2.wallpapers.FavoritesFragment"));
         // …while the default mix (mostly clicks) reaches it with the same
         // seed and budget.
         let default_mix = Monkey::new(3, 40).explore(&gen.app, &gen.known_inputs);
-        assert!(default_mix
-            .visited_fragments
-            .contains("fig2.wallpapers.FavoritesFragment"));
+        assert!(default_mix.visited_fragments.contains("fig2.wallpapers.FavoritesFragment"));
     }
 }

@@ -207,7 +207,11 @@ mod tests {
         // explorer must reach Hot; Cold is off-path and only brushed.
         let gen = AppBuilder::new("t.smart")
             .activity(ActivitySpec::new("Main").launcher().button_to("Hot").button_to("Cold"))
-            .activity(ActivitySpec::new("Hot").api("location", "getAllProviders").initial_fragment("Leaky"))
+            .activity(
+                ActivitySpec::new("Hot")
+                    .api("location", "getAllProviders")
+                    .initial_fragment("Leaky"),
+            )
             .activity(ActivitySpec::new("Cold"))
             .fragment(FragmentSpec::new("Leaky").api("phone", "getDeviceId"))
             .build();

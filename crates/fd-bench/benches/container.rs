@@ -10,11 +10,7 @@ use fd_smali::{parser, printer};
 fn bench_container(c: &mut Criterion) {
     let mut group = c.benchmark_group("container");
     for size in [8usize, 32] {
-        let config = GenConfig {
-            activities: size,
-            fragments: size,
-            ..GenConfig::default()
-        };
+        let config = GenConfig { activities: size, fragments: size, ..GenConfig::default() };
         let gen = generate("bench.app", &config, 42);
         let bytes = fd_apk::pack(&gen.app);
         group.throughput(Throughput::Bytes(bytes.len() as u64));
@@ -34,23 +30,12 @@ fn bench_smali_roundtrip(c: &mut Criterion) {
         &GenConfig { activities: 32, fragments: 32, ..GenConfig::default() },
         42,
     );
-    let text: String = gen
-        .app
-        .classes
-        .iter()
-        .map(printer::print_class)
-        .collect::<Vec<_>>()
-        .join("\n");
+    let text: String =
+        gen.app.classes.iter().map(printer::print_class).collect::<Vec<_>>().join("\n");
     let mut group = c.benchmark_group("smali");
     group.throughput(Throughput::Bytes(text.len() as u64));
     group.bench_function("print", |b| {
-        b.iter(|| {
-            gen.app
-                .classes
-                .iter()
-                .map(printer::print_class)
-                .collect::<Vec<_>>()
-        });
+        b.iter(|| gen.app.classes.iter().map(printer::print_class).collect::<Vec<_>>());
     });
     group.bench_function("parse", |b| {
         b.iter(|| parser::parse_classes(&text).expect("parses"));

@@ -28,11 +28,7 @@ fn bench_fragdroid_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fragdroid_scaling");
     group.sample_size(10);
     for size in [4usize, 8, 16] {
-        let config = GenConfig {
-            activities: size,
-            fragments: size,
-            ..GenConfig::default()
-        };
+        let config = GenConfig { activities: size, fragments: size, ..GenConfig::default() };
         let gen = generate("bench.app", &config, 42);
         group.bench_with_input(BenchmarkId::from_parameter(size), &gen, |b, gen| {
             b.iter(|| {

@@ -9,11 +9,7 @@ use fd_appgen::random::{generate, GenConfig};
 fn bench_static_extraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("static_extract");
     for size in [4usize, 16, 64] {
-        let config = GenConfig {
-            activities: size,
-            fragments: size,
-            ..GenConfig::default()
-        };
+        let config = GenConfig { activities: size, fragments: size, ..GenConfig::default() };
         let gen = generate("bench.app", &config, 42);
         group.bench_with_input(BenchmarkId::from_parameter(size), &gen, |b, gen| {
             b.iter(|| fd_static::extract(&gen.app, &gen.known_inputs));
@@ -25,11 +21,7 @@ fn bench_static_extraction(c: &mut Criterion) {
 fn bench_aftm_only(c: &mut Criterion) {
     let mut group = c.benchmark_group("aftm_init");
     for size in [4usize, 16, 64] {
-        let config = GenConfig {
-            activities: size,
-            fragments: size,
-            ..GenConfig::default()
-        };
+        let config = GenConfig { activities: size, fragments: size, ..GenConfig::default() };
         let gen = generate("bench.app", &config, 42);
         let acts = fd_static::effective::effective_activities(&gen.app);
         let frags = fd_static::effective::effective_fragments(&gen.app, &acts);

@@ -25,9 +25,7 @@ fn main() {
         ),
     ];
 
-    println!(
-        "ABLATION: FragDroid design choices (ablation suite + 15 evaluation apps)\n"
-    );
+    println!("ABLATION: FragDroid design choices (ablation suite + 15 evaluation apps)\n");
     println!(
         "{:<18} {:>12} {:>12} {:>14} {:>10}",
         "Variant", "Activities", "Fragments", "API relations", "Events"

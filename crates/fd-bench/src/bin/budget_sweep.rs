@@ -13,11 +13,7 @@ fn main() {
     println!("COVERAGE vs EVENT BUDGET (summed over {} template apps)\n", apps.len());
     println!(
         "{:>8}  {:>22}  {:>22}  {:>22}  {:>22}",
-        "budget",
-        "FragDroid (A/F)",
-        "Activity-MBT (A/F)",
-        "Depth-First (A/F)",
-        "Monkey (A/F)"
+        "budget", "FragDroid (A/F)", "Activity-MBT (A/F)", "Depth-First (A/F)", "Monkey (A/F)"
     );
 
     for budget in budgets {

@@ -15,10 +15,7 @@ fn main() {
     let tools: Vec<&dyn UiExplorer> = vec![&fragdroid, &mbt, &dfs, &monkey];
 
     let rows = compare_tools(&apps, &tools);
-    println!(
-        "TOOL COMPARISON over {} apps (3 templates + 15 evaluation apps)\n",
-        apps.len()
-    );
+    println!("TOOL COMPARISON over {} apps (3 templates + 15 evaluation apps)\n", apps.len());
     println!("{}", render_comparison(&rows));
     println!(
         "Expected shape: FragDroid leads fragment coverage and fragment-attributed API detection;\nactivity-level tools conflate fragment states (Challenge 1) and miss hidden drawers (Challenge 2)."

@@ -1,70 +1,36 @@
 //! Full-corpus exploration: FragDroid over every analyzable app of the
-//! 217-app corpus, in parallel — the scalability experiment the paper's
-//! §IX aims at A3E ("an average runtime of 87 minutes … not proper for
-//! large-scale test"). On the simulated substrate the whole corpus takes
-//! seconds, so scale is bounded by analysis logic, not the harness.
+//! 217-app corpus, through the shared work-stealing suite runner — the
+//! scalability experiment the paper's §IX aims at A3E ("an average
+//! runtime of 87 minutes … not proper for large-scale test"). On the
+//! simulated substrate the whole corpus takes seconds, so scale is
+//! bounded by analysis logic, not the harness.
 
-use fragdroid::{FragDroid, FragDroidConfig};
-use std::time::Instant;
-
-/// Per-app result: `(acts visited, acts sum, frags visited, frags sum, events)`.
-type AppResult = (usize, usize, usize, usize, usize);
+use fragdroid::FragDroidConfig;
 
 fn main() {
-    let corpus = fd_appgen::corpus::corpus_217(1);
-    let analyzable: Vec<_> = corpus.into_iter().filter(|g| !g.app.meta.packed).collect();
-    let n = analyzable.len();
-
-    let start = Instant::now();
-    let mut results: Vec<Option<AppResult>> = Vec::new();
-    results.resize_with(n, || None);
-
-    // Parallel fan-out, one worker per chunk.
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let chunk = n.div_ceil(workers);
-    crossbeam_scope(&analyzable, &mut results, chunk);
-
-    let elapsed = start.elapsed();
-    let rows: Vec<_> = results.into_iter().map(|r| r.expect("filled")).collect();
-    let sum = |f: &dyn Fn(&AppResult) -> usize| -> usize {
-        rows.iter().map(f).sum()
-    };
+    let apps = fd_bench::analyzable_corpus(1);
+    let summary = fd_bench::run_corpus(&apps, &FragDroidConfig::default());
+    let metrics = summary.metrics.as_ref().expect("run produces metrics");
+    let n = summary.apps;
 
     println!("CORPUS EXPLORATION: FragDroid over {n} analyzable apps\n");
-    println!("activities visited / found:  {} / {}", sum(&|r| r.0), sum(&|r| r.1));
-    println!("fragments visited / found:   {} / {}", sum(&|r| r.2), sum(&|r| r.3));
-    println!("events injected:             {}", sum(&|r| r.4));
+    println!("activities visited / found:  {} / {}", summary.acts_visited, summary.acts_sum);
+    println!("fragments visited / found:   {} / {}", summary.frags_visited, summary.frags_sum);
+    println!("events injected:             {}", summary.events);
+    if summary.panicked > 0 {
+        println!("panicked apps (isolated):    {}", summary.panicked);
+    }
     println!(
-        "wall time:                   {:.2}s total, {:.1}ms per app",
-        elapsed.as_secs_f64(),
-        elapsed.as_secs_f64() * 1000.0 / n as f64
+        "wall time:                   {:.2}s total, {:.1}ms per app \
+         ({} workers, {:.0}% utilized)",
+        metrics.wall_ms as f64 / 1000.0,
+        metrics.wall_ms as f64 / n.max(1) as f64,
+        metrics.workers,
+        metrics.worker_utilization * 100.0,
     );
     println!(
         "\ncoverage: {:.1}% activities, {:.1}% fragments across the corpus",
-        sum(&|r| r.0) as f64 / sum(&|r| r.1).max(1) as f64 * 100.0,
-        sum(&|r| r.2) as f64 / sum(&|r| r.3).max(1) as f64 * 100.0,
+        summary.acts_visited as f64 / summary.acts_sum.max(1) as f64 * 100.0,
+        summary.frags_visited as f64 / summary.frags_sum.max(1) as f64 * 100.0,
     );
-}
-
-/// Runs FragDroid on each app, filling `results[i]` with
-/// `(acts visited, acts sum, frags visited, frags sum, events)`.
-fn crossbeam_scope(
-    apps: &[fd_appgen::GeneratedApp],
-    results: &mut [Option<AppResult>],
-    chunk: usize,
-) {
-    crossbeam::thread::scope(|scope| {
-        for (apps_chunk, results_chunk) in apps.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (gen, slot) in apps_chunk.iter().zip(results_chunk.iter_mut()) {
-                    let report = FragDroid::new(FragDroidConfig::default())
-                        .run(&gen.app, &gen.known_inputs);
-                    let a = report.activity_coverage();
-                    let f = report.fragment_coverage();
-                    *slot = Some((a.visited, a.sum, f.visited, f.sum, report.events_injected));
-                }
-            });
-        }
-    })
-    .expect("corpus worker panicked");
 }

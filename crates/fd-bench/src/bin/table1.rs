@@ -16,10 +16,8 @@ fn main() {
         "Package", "A paper", "A measured", "F paper", "F measured"
     );
     for row in &rows {
-        let (_, (pa_v, pa_s), (pf_v, pf_s), _) = PAPER_TABLE1
-            .iter()
-            .find(|(p, ..)| *p == row.package)
-            .expect("paper row");
+        let (_, (pa_v, pa_s), (pf_v, pf_s), _) =
+            PAPER_TABLE1.iter().find(|(p, ..)| *p == row.package).expect("paper row");
         println!(
             "{:<34} {:>14} {:>14} {:>14} {:>14}",
             row.package,

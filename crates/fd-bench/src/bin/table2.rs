@@ -4,10 +4,8 @@ use fd_report::table1::run_table1;
 use fd_report::table2::{build_table2, render_table2};
 
 fn main() {
-    let reports: Vec<(String, fragdroid::RunReport)> = run_table1()
-        .into_iter()
-        .map(|(row, report)| (row.package, report))
-        .collect();
+    let reports: Vec<(String, fragdroid::RunReport)> =
+        run_table1().into_iter().map(|(row, report)| (row.package, report)).collect();
     let t = build_table2(&reports);
     println!("TABLE II: Sensitive Operations Detection (measured)\n");
     println!("Legend: ● invoked by Activity   ◗ invoked by Fragment   ⊙ invoked by both\n");

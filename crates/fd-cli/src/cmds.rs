@@ -28,8 +28,7 @@ pub fn gen(argv: &[String]) -> Result<(), String> {
     let bytes = fd_apk::pack(&generated.app);
     std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
     let inputs_path = format!("{out}.inputs.json");
-    let inputs = serde_json::to_string_pretty(&generated.known_inputs)
-        .expect("inputs serialize");
+    let inputs = serde_json::to_string_pretty(&generated.known_inputs).expect("inputs serialize");
     std::fs::write(&inputs_path, inputs).map_err(|e| format!("cannot write {inputs_path}: {e}"))?;
     println!(
         "wrote {out} ({} bytes, {} activities, {} classes) and {inputs_path}",
@@ -48,9 +47,15 @@ pub fn info(argv: &[String]) -> Result<(), String> {
     println!("category:   {}", app.meta.category);
     println!("downloads:  {}", app.meta.downloads_band());
     let stats = fd_apk::app_stats(&app);
-    println!("classes:    {} ({} activities, {} fragments)", stats.classes, stats.activity_classes, stats.fragment_classes);
+    println!(
+        "classes:    {} ({} activities, {} fragments)",
+        stats.classes, stats.activity_classes, stats.fragment_classes
+    );
     println!("methods:    {} ({} statements)", stats.methods, stats.statements);
-    println!("layouts:    {} ({} widgets, {} clickable)", stats.layouts, stats.widgets, stats.clickable_widgets);
+    println!(
+        "layouts:    {} ({} widgets, {} clickable)",
+        stats.layouts, stats.widgets, stats.clickable_widgets
+    );
     println!("resources:  {}", stats.resources);
     println!("sensitive call sites: {}", stats.sensitive_call_sites);
     println!("activities:");
@@ -121,7 +126,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     println!("events:                {}", report.events_injected);
     println!("crashes:               {}", report.crashes);
     let (total, frag, frag_only) = report.api_relation_counts();
-    println!("sensitive API relations: {total} ({frag} fragment-associated, {frag_only} fragment-only)");
+    println!(
+        "sensitive API relations: {total} ({frag} fragment-associated, {frag_only} fragment-only)"
+    );
     for inv in &report.api_invocations {
         let caller = match &inv.caller {
             fd_droidsim::Caller::Activity(a) => format!("A:{}", a.simple_name()),
@@ -154,9 +161,14 @@ pub fn repack(argv: &[String]) -> Result<(), String> {
     let app = fd_apk::workspace::load(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
     let problems = app.validate();
     if !problems.is_empty() {
-        return Err(format!("rebuilt app is malformed:
-  {}", problems.join("
-  ")));
+        return Err(format!(
+            "rebuilt app is malformed:
+  {}",
+            problems.join(
+                "
+  "
+            )
+        ));
     }
     let bytes = fd_apk::pack(&app);
     std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -205,14 +217,77 @@ pub fn java(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N] [--json]`
+/// — run the whole analyzable corpus through the shared suite runner and
+/// report coverage plus runner metrics.
+pub fn corpus(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    if !p.positional.is_empty() {
+        return Err("corpus takes no positional arguments".to_string());
+    }
+    let seed = p.num("seed", 1)?;
+    let limit = p.num("limit", 0)? as usize;
+    let mut apps: Vec<fragdroid::suite::SuiteApp> = fd_appgen::corpus::corpus_217(seed)
+        .into_iter()
+        .filter(|g| !g.app.meta.packed)
+        .map(|g| (g.app, g.known_inputs))
+        .collect();
+    if limit > 0 {
+        apps.truncate(limit);
+    }
+
+    let mut config = FragDroidConfig::default();
+    let deadline_ms = p.num("deadline-ms", 0)?;
+    if deadline_ms > 0 {
+        config = config.with_deadline(std::time::Duration::from_millis(deadline_ms));
+    }
+    let run = match p.num("workers", 0)? as usize {
+        0 => fragdroid::run_suite_outcomes(&apps, &config),
+        workers => fragdroid::run_suite_with_workers(&apps, &config, workers),
+    };
+
+    if p.flag("json") {
+        println!("{}", run.metrics.to_json());
+        return Ok(());
+    }
+    let (mut acts, mut acts_sum, mut frags, mut frags_sum) = (0, 0, 0, 0);
+    let (mut panicked, mut deadline) = (0usize, 0usize);
+    for outcome in &run.outcomes {
+        match outcome {
+            fragdroid::AppOutcome::Panicked { .. } => panicked += 1,
+            other => {
+                if matches!(other, fragdroid::AppOutcome::DeadlineExceeded(_)) {
+                    deadline += 1;
+                }
+                let report = other.report().expect("non-panicked outcome has a report");
+                let a = report.activity_coverage();
+                let f = report.fragment_coverage();
+                acts += a.visited;
+                acts_sum += a.sum;
+                frags += f.visited;
+                frags_sum += f.sum;
+            }
+        }
+    }
+    let m = &run.metrics;
+    println!("apps:        {} ({} panicked, {} hit deadline)", apps.len(), panicked, deadline);
+    println!("activities:  {acts}/{acts_sum}");
+    println!("fragments:   {frags}/{frags_sum}");
+    println!(
+        "wall time:   {:.2}s on {} workers ({:.0}% utilized)",
+        m.wall_ms as f64 / 1000.0,
+        m.workers,
+        m.worker_utilization * 100.0
+    );
+    Ok(())
+}
+
 /// `fragdroid dump <app.fapk>`
 pub fn dump(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
     let app = load_app(p.one_path("container path")?)?;
     let mut device = fd_droidsim::Device::new(app);
-    device
-        .launch()
-        .map_err(|e| format!("launch failed: {e}"))?;
+    device.launch().map_err(|e| format!("launch failed: {e}"))?;
     match device.current() {
         Some(screen) => {
             print!("{}", fd_droidsim::dump_hierarchy(screen));

@@ -39,6 +39,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "replay" => cmds::replay(rest),
         "java" => cmds::java(rest),
         "repack" => cmds::repack(rest),
+        "corpus" => cmds::corpus(rest),
         "templates" => {
             println!("quickstart\nfig1-tabs\nfig2-drawer");
             Ok(())
@@ -67,6 +68,8 @@ USAGE:
   fragdroid repack <DIR> --out <app.fapk> rebuild a container from a directory
   fragdroid replay <app.fapk> <trace.json> replay a recorded session (R&R)
   fragdroid java <app.fapk> [--inputs F]  emit the generated Robotium test class
+  fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N] [--json]
+                                          run the synthetic corpus on the suite runner
   fragdroid templates                     list template names for 'gen'"
     );
 }

@@ -35,15 +35,8 @@ fn gen_then_info_then_run_roundtrip() {
     fd_cli::run(&argv(&["info", out_str])).expect("info");
     fd_cli::run(&argv(&["dot", out_str])).expect("dot");
     fd_cli::run(&argv(&["dump", out_str])).expect("dump");
-    fd_cli::run(&argv(&[
-        "run",
-        out_str,
-        "--inputs",
-        inputs.to_str().unwrap(),
-        "--budget",
-        "5000",
-    ]))
-    .expect("run");
+    fd_cli::run(&argv(&["run", out_str, "--inputs", inputs.to_str().unwrap(), "--budget", "5000"]))
+        .expect("run");
     fd_cli::run(&argv(&["static", out_str])).expect("static");
 }
 
@@ -91,16 +84,10 @@ fn unpack_edit_repack_workflow() {
     let dir = tmp("wf-project");
     let rebuilt = tmp("wf-rebuilt.fapk");
     fd_cli::run(&argv(&["gen", apk.to_str().unwrap(), "--template", "fig1-tabs"])).unwrap();
-    fd_cli::run(&argv(&["unpack", apk.to_str().unwrap(), "--out", dir.to_str().unwrap()]))
-        .unwrap();
+    fd_cli::run(&argv(&["unpack", apk.to_str().unwrap(), "--out", dir.to_str().unwrap()])).unwrap();
     assert!(dir.join("smali/fig1/manga/Reader.smali").exists());
-    fd_cli::run(&argv(&[
-        "repack",
-        dir.to_str().unwrap(),
-        "--out",
-        rebuilt.to_str().unwrap(),
-    ]))
-    .unwrap();
+    fd_cli::run(&argv(&["repack", dir.to_str().unwrap(), "--out", rebuilt.to_str().unwrap()]))
+        .unwrap();
     // The rebuilt container decompiles to the identical app.
     let a = fd_cli::load_app(apk.to_str().unwrap()).unwrap();
     let b = fd_cli::load_app(rebuilt.to_str().unwrap()).unwrap();

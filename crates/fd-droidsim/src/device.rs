@@ -142,15 +142,16 @@ impl Device {
     /// activity at `screen_idx`, if the class defines it. A `finish()`
     /// inside a lifecycle callback is ignored (apps under test here do not
     /// use it there); crashes propagate.
-    fn run_lifecycle(&mut self, screen_idx: usize, callback: &str, depth: usize) -> Result<(), Interrupt> {
+    fn run_lifecycle(
+        &mut self,
+        screen_idx: usize,
+        callback: &str,
+        depth: usize,
+    ) -> Result<(), Interrupt> {
         let Some(screen) = self.stack.get(screen_idx) else { return Ok(()) };
         let activity = screen.activity.clone();
-        let Some(method) = self
-            .app
-            .classes
-            .get(activity.as_str())
-            .and_then(|c| c.method(callback))
-            .cloned()
+        let Some(method) =
+            self.app.classes.get(activity.as_str()).and_then(|c| c.method(callback)).cloned()
         else {
             return Ok(());
         };
@@ -277,7 +278,8 @@ impl Device {
             .ok_or_else(|| DeviceError::Unresolved("no launcher activity".to_string()))?;
         self.crashed = None;
         self.stack.clear();
-        let intent = Intent { action: Some(ACTION_MAIN.to_string()), ..Intent::explicit(launcher.clone()) };
+        let intent =
+            Intent { action: Some(ACTION_MAIN.to_string()), ..Intent::explicit(launcher.clone()) };
         match self.start_activity_frame(launcher, intent, 0) {
             Ok(()) => Ok(self.classify(None)),
             Err(Interrupt::Crash(reason)) => Ok(self.crash_out(reason)),
@@ -302,7 +304,8 @@ impl Device {
         self.crashed = None;
         self.stack.clear();
         // An empty intent: no extras — activities that require them FC.
-        let intent = Intent { action: Some(ACTION_MAIN.to_string()), ..Intent::explicit(name.clone()) };
+        let intent =
+            Intent { action: Some(ACTION_MAIN.to_string()), ..Intent::explicit(name.clone()) };
         match self.start_activity_frame(name, intent, 0) {
             Ok(()) => Ok(self.classify(None)),
             Err(Interrupt::Crash(reason)) => Ok(self.crash_out(reason)),
@@ -325,9 +328,8 @@ impl Device {
     pub fn click(&mut self, id: &str) -> Result<EventOutcome, DeviceError> {
         self.require_running()?;
         let screen = self.stack.last().expect("running");
-        let widget = screen
-            .visible_widget(id)
-            .ok_or_else(|| DeviceError::NoSuchWidget(id.to_string()))?;
+        let widget =
+            screen.visible_widget(id).ok_or_else(|| DeviceError::NoSuchWidget(id.to_string()))?;
         if !widget.clickable {
             return Err(DeviceError::NotClickable(id.to_string()));
         }
@@ -392,9 +394,8 @@ impl Device {
     pub fn enter_text(&mut self, id: &str, text: &str) -> Result<(), DeviceError> {
         self.require_running()?;
         let screen = self.stack.last().expect("running");
-        let widget = screen
-            .visible_widget(id)
-            .ok_or_else(|| DeviceError::NoSuchWidget(id.to_string()))?;
+        let widget =
+            screen.visible_widget(id).ok_or_else(|| DeviceError::NoSuchWidget(id.to_string()))?;
         if !widget.kind.is_input() {
             return Err(DeviceError::NotEditable(id.to_string()));
         }

@@ -28,10 +28,7 @@ fn widget_class(kind: WidgetKind) -> &'static str {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;")
-        .replace('<', "&lt;")
-        .replace('>', "&gt;")
-        .replace('"', "&quot;")
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
 }
 
 fn dump_widget(out: &mut String, screen: &Screen, widget: &Widget, indent: usize) {
@@ -134,6 +131,8 @@ mod tests {
         screen.layout = Some(Layout::new("m", Widget::new(WidgetKind::Button).with_id("b")));
         let xml = dump_hierarchy(&screen);
         assert!(xml.contains("/>"));
-        assert!(!xml.contains("<node class=\"android.widget.Button\" resource-id=\"b\" clickable=\"true\">"));
+        assert!(!xml.contains(
+            "<node class=\"android.widget.Button\" resource-id=\"b\" clickable=\"true\">"
+        ));
     }
 }

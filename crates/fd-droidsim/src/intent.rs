@@ -63,11 +63,9 @@ mod tests {
     use fd_apk::{ActivityDecl, IntentFilter};
 
     fn manifest() -> Manifest {
-        Manifest::new("a")
-            .with_activity(ActivityDecl::new("a.Main").launcher())
-            .with_activity(
-                ActivityDecl::new("a.Viewer").with_filter(IntentFilter::for_action("a.VIEW")),
-            )
+        Manifest::new("a").with_activity(ActivityDecl::new("a.Main").launcher()).with_activity(
+            ActivityDecl::new("a.Viewer").with_filter(IntentFilter::for_action("a.VIEW")),
+        )
     }
 
     #[test]

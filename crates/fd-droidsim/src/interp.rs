@@ -117,34 +117,24 @@ fn eval_cond(device: &Device, frame: &Frame, cond: &Cond) -> bool {
         Cond::InputNonEmpty { field } => screen
             .map(|s| s.inputs.get(&field.name).map(|v| !v.is_empty()).unwrap_or(false))
             .unwrap_or(false),
-        Cond::HasExtra { key } => {
-            screen.map(|s| s.intent.has_extra(key)).unwrap_or(false)
-        }
+        Cond::HasExtra { key } => screen.map(|s| s.intent.has_extra(key)).unwrap_or(false),
     }
 }
 
 fn run_stmt(device: &mut Device, frame: &mut Frame, stmt: &Stmt) -> Result<(), Interrupt> {
     match stmt {
         Stmt::SetContentView(layout_ref) => {
-            let layout = device
-                .app()
-                .layout(&layout_ref.name)
-                .cloned()
-                .ok_or_else(|| {
-                    Interrupt::Crash(format!("InflateException: no layout {}", layout_ref.name))
-                })?;
+            let layout = device.app().layout(&layout_ref.name).cloned().ok_or_else(|| {
+                Interrupt::Crash(format!("InflateException: no layout {}", layout_ref.name))
+            })?;
             if let Some(screen) = device.screen_at_mut(frame.screen_idx) {
                 screen.layout = Some(layout);
             }
         }
         Stmt::InflateLayout(layout_ref) => {
-            let layout = device
-                .app()
-                .layout(&layout_ref.name)
-                .cloned()
-                .ok_or_else(|| {
-                    Interrupt::Crash(format!("InflateException: no layout {}", layout_ref.name))
-                })?;
+            let layout = device.app().layout(&layout_ref.name).cloned().ok_or_else(|| {
+                Interrupt::Crash(format!("InflateException: no layout {}", layout_ref.name))
+            })?;
             if let (Some(container), Some(screen)) =
                 (frame.pane.clone(), device.screen_at_mut(frame.screen_idx))
             {
@@ -223,7 +213,10 @@ fn run_stmt(device: &mut Device, frame: &mut Frame, stmt: &Stmt) -> Result<(), I
             let txn = frame.txn.as_mut().ok_or_else(|| {
                 Interrupt::Crash("IllegalStateException: no transaction in progress".to_string())
             })?;
-            txn.push(TxnOp::Attach { container: container.name.clone(), fragment: fragment.clone() });
+            txn.push(TxnOp::Attach {
+                container: container.name.clone(),
+                fragment: fragment.clone(),
+            });
         }
         Stmt::TxnCommit => {
             let ops = frame.txn.take().ok_or_else(|| {
@@ -303,9 +296,7 @@ pub fn attach_fragment(
         .classes
         .get(fragment.as_str())
         .cloned()
-        .ok_or_else(|| {
-            Interrupt::Crash(format!("ClassNotFoundException: {fragment}"))
-        })?;
+        .ok_or_else(|| Interrupt::Crash(format!("ClassNotFoundException: {fragment}")))?;
     if def.is_abstract {
         return Err(Interrupt::Crash(format!("InstantiationError: {fragment} is abstract")));
     }

@@ -123,11 +123,7 @@ impl ApiMonitor {
         if !is_sensitive(group, name) {
             return false;
         }
-        let invocation = ApiInvocation {
-            group: group.to_string(),
-            name: name.to_string(),
-            caller,
-        };
+        let invocation = ApiInvocation { group: group.to_string(), name: name.to_string(), caller };
         self.sequence.push(invocation.clone());
         self.seen.insert(invocation)
     }
@@ -179,8 +175,19 @@ mod tests {
     fn catalog_covers_the_13_table_groups() {
         let groups: BTreeSet<&str> = SENSITIVE_APIS.iter().map(|&(g, _)| g).collect();
         let expected: BTreeSet<&str> = [
-            "browser", "identification", "internet", "ipc", "location", "media", "messages",
-            "network", "phone", "shell", "storage", "system", "view",
+            "browser",
+            "identification",
+            "internet",
+            "ipc",
+            "location",
+            "media",
+            "messages",
+            "network",
+            "phone",
+            "shell",
+            "storage",
+            "system",
+            "view",
         ]
         .into_iter()
         .collect();

@@ -97,10 +97,7 @@ mod tests {
     fn sig(activity: &str, frag: Option<(&str, &str)>) -> UiSignature {
         UiSignature {
             activity: activity.into(),
-            fragments: frag
-                .into_iter()
-                .map(|(c, f)| (c.to_string(), ClassName::from(f)))
-                .collect(),
+            fragments: frag.into_iter().map(|(c, f)| (c.to_string(), ClassName::from(f))).collect(),
             overlay: None,
             open_drawers: BTreeSet::new(),
         }

@@ -189,7 +189,12 @@ impl Screen {
     fn container_visible(&self, container: &str) -> bool {
         let Some(layout) = &self.layout else { return true };
         // The container is visible unless it sits inside a closed drawer.
-        fn search(w: &Widget, container: &str, inside_closed: bool, open: &BTreeSet<String>) -> Option<bool> {
+        fn search(
+            w: &Widget,
+            container: &str,
+            inside_closed: bool,
+            open: &BTreeSet<String>,
+        ) -> Option<bool> {
             let closed_here = matches!(w.kind, WidgetKind::Drawer)
                 && !w.id.as_deref().map(|id| open.contains(id)).unwrap_or(false);
             let inside = inside_closed || closed_here;
@@ -215,11 +220,8 @@ impl Screen {
     ) {
         let mut visible = parent_visible && widget.visible;
         if matches!(widget.kind, WidgetKind::Drawer) {
-            let open = widget
-                .id
-                .as_deref()
-                .map(|id| self.open_drawers.contains(id))
-                .unwrap_or(false);
+            let open =
+                widget.id.as_deref().map(|id| self.open_drawers.contains(id)).unwrap_or(false);
             visible = parent_visible && open;
         }
         if visible {
@@ -253,11 +255,9 @@ mod tests {
             "main",
             Widget::new(WidgetKind::Group)
                 .with_child(Widget::new(WidgetKind::ImageButton).with_id("hamburger"))
-                .with_child(
-                    Widget::new(WidgetKind::Drawer).with_id("drawer").with_child(
-                        Widget::new(WidgetKind::TextView).with_id("menu_item").clickable(true),
-                    ),
-                )
+                .with_child(Widget::new(WidgetKind::Drawer).with_id("drawer").with_child(
+                    Widget::new(WidgetKind::TextView).with_id("menu_item").clickable(true),
+                ))
                 .with_child(Widget::new(WidgetKind::FragmentContainer).with_id("content")),
         );
         let mut s = Screen::new("a.Main".into(), Intent::empty());

@@ -124,9 +124,5 @@ pub fn run_script(device: &mut Device, script: &TestScript) -> ScriptReport {
             break;
         }
     }
-    ScriptReport {
-        final_signature: device.signature(),
-        crashed: device.is_crashed(),
-        steps,
-    }
+    ScriptReport { final_signature: device.signature(), crashed: device.is_crashed(), steps }
 }

@@ -174,16 +174,20 @@ mod tests {
         );
         app.layouts.insert("s".into(), Layout::new("s", Widget::new(WidgetKind::Group)));
         app.classes.insert(
-            ClassDef::new("rr.Main", well_known::ACTIVITY).with_method(
-                MethodDef::new("onCreate")
-                    .push(Stmt::SetContentView(ResRef::layout("m")))
-                    .push(Stmt::SetOnClick { widget: ResRef::id("go"), handler: "onGo".into() }),
-            )
-            .with_method(
-                MethodDef::new("onGo")
-                    .push(Stmt::NewIntent(IntentTarget::Class("rr.Second".into())))
-                    .push(Stmt::StartActivity { via_host: false }),
-            ),
+            ClassDef::new("rr.Main", well_known::ACTIVITY)
+                .with_method(
+                    MethodDef::new("onCreate")
+                        .push(Stmt::SetContentView(ResRef::layout("m")))
+                        .push(Stmt::SetOnClick {
+                            widget: ResRef::id("go"),
+                            handler: "onGo".into(),
+                        }),
+                )
+                .with_method(
+                    MethodDef::new("onGo")
+                        .push(Stmt::NewIntent(IntentTarget::Class("rr.Second".into())))
+                        .push(Stmt::StartActivity { via_host: false }),
+                ),
         );
         app.classes.insert(ClassDef::new("rr.Second", well_known::ACTIVITY).with_method(
             MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("s"))),

@@ -22,7 +22,10 @@ fn the_three_reach_methods() {
         vec![Op::Launch, Op::Click("btn_settings".into())],
     ));
     assert!(report.is_clean());
-    assert_eq!(report.final_signature.unwrap().activity.as_str(), "com.example.quickstart.Settings");
+    assert_eq!(
+        report.final_signature.unwrap().activity.as_str(),
+        "com.example.quickstart.Settings"
+    );
 
     // Method 3: forced start of an arbitrary component.
     let out = adb.am_start("com.example.quickstart.Settings").unwrap();
@@ -38,18 +41,10 @@ fn am_instrument_reports_each_step() {
     let mut adb = Adb::new(&mut device);
     let report = adb.am_instrument(&TestScript::new(
         "dialog dance",
-        vec![
-            Op::Launch,
-            Op::Click("dlg_main".into()),
-            Op::DismissOverlay,
-            Op::Back,
-        ],
+        vec![Op::Launch, Op::Click("dlg_main".into()), Op::DismissOverlay, Op::Back],
     ));
     assert_eq!(report.steps.len(), 4);
-    assert!(matches!(
-        report.steps[1].result,
-        Ok(fd_droidsim::EventOutcome::OverlayShown)
-    ));
+    assert!(matches!(report.steps[1].result, Ok(fd_droidsim::EventOutcome::OverlayShown)));
     // The final Back exits the single-activity app.
     assert!(report.final_signature.is_none());
 }

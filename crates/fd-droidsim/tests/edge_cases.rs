@@ -38,12 +38,7 @@ fn reflection_prefers_the_container_that_mentions_the_fragment() {
 #[test]
 fn drawer_and_tabs_coexist_in_one_activity() {
     let gen = AppBuilder::new("ec.mixed")
-        .activity(
-            ActivitySpec::new("Main")
-                .launcher()
-                .tabs(["TabA", "TabB"])
-                .drawer(["Hidden"]),
-        )
+        .activity(ActivitySpec::new("Main").launcher().tabs(["TabA", "TabB"]).drawer(["Hidden"]))
         .fragment(FragmentSpec::new("TabA"))
         .fragment(FragmentSpec::new("TabB"))
         .fragment(FragmentSpec::new("Hidden"))
@@ -131,12 +126,7 @@ fn overlay_swallows_reflection_targets_but_not_state() {
 #[test]
 fn relaunch_resets_ui_state_but_keeps_monitor_log() {
     let gen = AppBuilder::new("ec.relaunch")
-        .activity(
-            ActivitySpec::new("Main")
-                .launcher()
-                .drawer(["F"])
-                .api("phone", "getDeviceId"),
-        )
+        .activity(ActivitySpec::new("Main").launcher().drawer(["F"]).api("phone", "getDeviceId"))
         .fragment(FragmentSpec::new("F"))
         .build();
     let mut d = Device::new(gen.app);
@@ -170,12 +160,14 @@ fn reflection_falls_back_to_the_layout_container() {
             ),
         ),
     );
-    app.classes.insert(ClassDef::new("fb.Main", well_known::ACTIVITY).with_method(
-        MethodDef::new("onCreate")
-            .push(Stmt::SetContentView(ResRef::layout("m")))
-            .push(Stmt::GetFragmentManager { support: true })
-            .push(Stmt::NewInstance("fb.Frag".into())),
-    ));
+    app.classes.insert(
+        ClassDef::new("fb.Main", well_known::ACTIVITY).with_method(
+            MethodDef::new("onCreate")
+                .push(Stmt::SetContentView(ResRef::layout("m")))
+                .push(Stmt::GetFragmentManager { support: true })
+                .push(Stmt::NewInstance("fb.Frag".into())),
+        ),
+    );
     app.classes.insert(ClassDef::new("fb.Frag", well_known::SUPPORT_FRAGMENT));
     app.finalize_resources();
 

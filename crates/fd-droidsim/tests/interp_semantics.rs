@@ -7,9 +7,8 @@ use fd_droidsim::{Device, DeviceConfig, EventOutcome};
 use fd_smali::{well_known, ClassDef, ClassName, IntentTarget, MethodDef, ResRef, Stmt};
 
 fn shell(on_create: MethodDef) -> AndroidApp {
-    let mut app = AndroidApp::new(
-        Manifest::new("is").with_activity(ActivityDecl::new("is.Main").launcher()),
-    );
+    let mut app =
+        AndroidApp::new(Manifest::new("is").with_activity(ActivityDecl::new("is.Main").launcher()));
     app.layouts.insert("m".into(), Layout::new("m", Widget::new(WidgetKind::Group)));
     app.classes.insert(ClassDef::new("is.Main", well_known::ACTIVITY).with_method(on_create));
     app.finalize_resources();
@@ -44,7 +43,9 @@ fn inflating_a_missing_layout_crashes_with_inflate_exception() {
     let app = shell(MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("ghost"))));
     let mut d = Device::new(app);
     let out = d.launch().unwrap();
-    assert!(matches!(out, EventOutcome::Crashed { ref reason } if reason.contains("InflateException")));
+    assert!(
+        matches!(out, EventOutcome::Crashed { ref reason } if reason.contains("InflateException"))
+    );
 }
 
 #[test]
@@ -59,7 +60,9 @@ fn attaching_an_unknown_fragment_class_crashes() {
     );
     let mut d = Device::new(app);
     let out = d.launch().unwrap();
-    assert!(matches!(out, EventOutcome::Crashed { ref reason } if reason.contains("ClassNotFound")));
+    assert!(
+        matches!(out, EventOutcome::Crashed { ref reason } if reason.contains("ClassNotFound"))
+    );
 }
 
 #[test]
@@ -72,11 +75,13 @@ fn start_activity_cycle_in_oncreate_overflows() {
             .push(Stmt::StartActivity { via_host: false }),
     );
     app.manifest.activities.push(ActivityDecl::new("is.Loop"));
-    app.classes.insert(ClassDef::new("is.Loop", well_known::ACTIVITY).with_method(
-        MethodDef::new("onCreate")
-            .push(Stmt::NewIntent(IntentTarget::Class("is.Loop".into())))
-            .push(Stmt::StartActivity { via_host: false }),
-    ));
+    app.classes.insert(
+        ClassDef::new("is.Loop", well_known::ACTIVITY).with_method(
+            MethodDef::new("onCreate")
+                .push(Stmt::NewIntent(IntentTarget::Class("is.Loop".into())))
+                .push(Stmt::StartActivity { via_host: false }),
+        ),
+    );
     let mut d = Device::new(app);
     let out = d.launch().unwrap();
     assert!(
@@ -95,7 +100,9 @@ fn unresolvable_intent_crashes_with_activity_not_found() {
     );
     let mut d = Device::new(app);
     let out = d.launch().unwrap();
-    assert!(matches!(out, EventOutcome::Crashed { ref reason } if reason.contains("ActivityNotFound")));
+    assert!(
+        matches!(out, EventOutcome::Crashed { ref reason } if reason.contains("ActivityNotFound"))
+    );
 }
 
 #[test]
@@ -131,9 +138,10 @@ fn set_class_and_put_extra_build_an_intent_without_new_intent() {
             .push(Stmt::StartActivity { via_host: false }),
     );
     app.manifest.activities.push(ActivityDecl::new("is.Second"));
-    app.classes.insert(ClassDef::new("is.Second", well_known::ACTIVITY).with_method(
-        MethodDef::new("onCreate").push(Stmt::RequireExtra { key: "k".into() }),
-    ));
+    app.classes.insert(
+        ClassDef::new("is.Second", well_known::ACTIVITY)
+            .with_method(MethodDef::new("onCreate").push(Stmt::RequireExtra { key: "k".into() })),
+    );
     let mut d = Device::new(app);
     assert!(d.launch().unwrap().changed_ui());
     assert_eq!(d.signature().unwrap().activity.as_str(), "is.Second");

@@ -45,7 +45,11 @@ fn lifecycle_app() -> AndroidApp {
     );
     app.layouts.insert(
         "a".into(),
-        Layout::new("a", Widget::new(WidgetKind::Group).with_child(Widget::new(WidgetKind::Button).with_id("go"))),
+        Layout::new(
+            "a",
+            Widget::new(WidgetKind::Group)
+                .with_child(Widget::new(WidgetKind::Button).with_id("go")),
+        ),
     );
     app.layouts.insert("b".into(), Layout::new("b", Widget::new(WidgetKind::Group)));
     app.classes.insert(a);
@@ -127,12 +131,16 @@ fn crash_in_lifecycle_callback_force_closes() {
     let mut app = lifecycle_app();
     let crashy = ClassDef::new("lc.B", well_known::ACTIVITY)
         .with_method(MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("b"))))
-        .with_method(MethodDef::new("onStart").push(Stmt::Crash { reason: "boom in onStart".into() }));
+        .with_method(
+            MethodDef::new("onStart").push(Stmt::Crash { reason: "boom in onStart".into() }),
+        );
     app.classes.insert(crashy);
     let mut d = Device::new(app);
     d.launch().unwrap();
     let out = d.click("go").unwrap();
-    assert!(matches!(out, fd_droidsim::EventOutcome::Crashed { ref reason } if reason.contains("onStart")));
+    assert!(
+        matches!(out, fd_droidsim::EventOutcome::Crashed { ref reason } if reason.contains("onStart"))
+    );
     assert!(d.is_crashed());
 }
 

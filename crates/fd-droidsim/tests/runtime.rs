@@ -5,7 +5,9 @@
 
 use fd_apk::{ActivityDecl, AndroidApp, Layout, Manifest, Widget, WidgetKind};
 use fd_droidsim::{Caller, Device, DeviceConfig, DeviceError, EventOutcome, Op, TestScript};
-use fd_smali::{well_known, ClassDef, ClassName, Cond, IntentTarget, MethodDef, MethodName, ResRef, Stmt};
+use fd_smali::{
+    well_known, ClassDef, ClassName, Cond, IntentTarget, MethodDef, MethodName, ResRef, Stmt,
+};
 
 /// Builds the demo app:
 ///
@@ -38,14 +40,20 @@ fn demo_app() -> AndroidApp {
         "main",
         Widget::new(WidgetKind::Group)
             .with_child(Widget::new(WidgetKind::ImageButton).with_id("hamburger"))
-            .with_child(Widget::new(WidgetKind::Button).with_id("go_settings").with_text("Settings"))
+            .with_child(
+                Widget::new(WidgetKind::Button).with_id("go_settings").with_text("Settings"),
+            )
             .with_child(Widget::new(WidgetKind::Button).with_id("about").with_text("About"))
             .with_child(Widget::new(WidgetKind::Button).with_id("go_crashy"))
             .with_child(
                 Widget::new(WidgetKind::Drawer)
                     .with_id("drawer")
-                    .with_child(Widget::new(WidgetKind::TextView).with_id("menu_news").clickable(true))
-                    .with_child(Widget::new(WidgetKind::TextView).with_id("menu_media").clickable(true)),
+                    .with_child(
+                        Widget::new(WidgetKind::TextView).with_id("menu_news").clickable(true),
+                    )
+                    .with_child(
+                        Widget::new(WidgetKind::TextView).with_id("menu_media").clickable(true),
+                    ),
             )
             .with_child(Widget::new(WidgetKind::FragmentContainer).with_id("content")),
     );
@@ -79,21 +87,44 @@ fn demo_app() -> AndroidApp {
                 .push(Stmt::InvokeApi { group: "location".into(), name: "getAllProviders".into() })
                 .push(Stmt::GetFragmentManager { support: true })
                 .push(Stmt::BeginTransaction)
-                .push(Stmt::TxnAdd { container: ResRef::id("content"), fragment: cls("NewsFragment") })
+                .push(Stmt::TxnAdd {
+                    container: ResRef::id("content"),
+                    fragment: cls("NewsFragment"),
+                })
                 .push(Stmt::TxnCommit)
-                .push(Stmt::SetOnClick { widget: ResRef::id("hamburger"), handler: "onHamburger".into() })
-                .push(Stmt::SetOnClick { widget: ResRef::id("menu_news"), handler: "onMenuNews".into() })
-                .push(Stmt::SetOnClick { widget: ResRef::id("menu_media"), handler: "onMenuMedia".into() })
-                .push(Stmt::SetOnClick { widget: ResRef::id("go_settings"), handler: "onSettings".into() })
+                .push(Stmt::SetOnClick {
+                    widget: ResRef::id("hamburger"),
+                    handler: "onHamburger".into(),
+                })
+                .push(Stmt::SetOnClick {
+                    widget: ResRef::id("menu_news"),
+                    handler: "onMenuNews".into(),
+                })
+                .push(Stmt::SetOnClick {
+                    widget: ResRef::id("menu_media"),
+                    handler: "onMenuMedia".into(),
+                })
+                .push(Stmt::SetOnClick {
+                    widget: ResRef::id("go_settings"),
+                    handler: "onSettings".into(),
+                })
                 .push(Stmt::SetOnClick { widget: ResRef::id("about"), handler: "onAbout".into() })
-                .push(Stmt::SetOnClick { widget: ResRef::id("go_crashy"), handler: "onCrashy".into() }),
+                .push(Stmt::SetOnClick {
+                    widget: ResRef::id("go_crashy"),
+                    handler: "onCrashy".into(),
+                }),
         )
-        .with_method(MethodDef::new("onHamburger").push(Stmt::ToggleDrawer { drawer: ResRef::id("drawer") }))
+        .with_method(
+            MethodDef::new("onHamburger").push(Stmt::ToggleDrawer { drawer: ResRef::id("drawer") }),
+        )
         .with_method(
             MethodDef::new("onMenuNews")
                 .push(Stmt::GetFragmentManager { support: true })
                 .push(Stmt::BeginTransaction)
-                .push(Stmt::TxnReplace { container: ResRef::id("content"), fragment: cls("NewsFragment") })
+                .push(Stmt::TxnReplace {
+                    container: ResRef::id("content"),
+                    fragment: cls("NewsFragment"),
+                })
                 .push(Stmt::TxnCommit)
                 .push(Stmt::ToggleDrawer { drawer: ResRef::id("drawer") }),
         )
@@ -101,7 +132,10 @@ fn demo_app() -> AndroidApp {
             MethodDef::new("onMenuMedia")
                 .push(Stmt::GetFragmentManager { support: true })
                 .push(Stmt::BeginTransaction)
-                .push(Stmt::TxnReplace { container: ResRef::id("content"), fragment: cls("MediaFragment") })
+                .push(Stmt::TxnReplace {
+                    container: ResRef::id("content"),
+                    fragment: cls("MediaFragment"),
+                })
                 .push(Stmt::TxnCommit)
                 .push(Stmt::ToggleDrawer { drawer: ResRef::id("drawer") }),
         )
@@ -117,18 +151,22 @@ fn demo_app() -> AndroidApp {
                 .push(Stmt::StartActivity { via_host: false }),
         );
 
-    let news = ClassDef::new(cls("NewsFragment"), well_known::SUPPORT_FRAGMENT).with_method(
-        MethodDef::new("onCreateView")
-            .push(Stmt::InflateLayout(ResRef::layout("frag_news")))
-            .push(Stmt::InvokeApi { group: "internet".into(), name: "connect".into() })
-            .push(Stmt::SetOnClick { widget: ResRef::id("open_detail"), handler: "onOpenDetail".into() }),
-    )
-    .with_method(
-        MethodDef::new("onOpenDetail")
-            .push(Stmt::NewIntent(IntentTarget::Class(cls("DetailActivity"))))
-            .push(Stmt::PutExtra { key: "item".into(), value: "42".into() })
-            .push(Stmt::StartActivity { via_host: true }),
-    );
+    let news = ClassDef::new(cls("NewsFragment"), well_known::SUPPORT_FRAGMENT)
+        .with_method(
+            MethodDef::new("onCreateView")
+                .push(Stmt::InflateLayout(ResRef::layout("frag_news")))
+                .push(Stmt::InvokeApi { group: "internet".into(), name: "connect".into() })
+                .push(Stmt::SetOnClick {
+                    widget: ResRef::id("open_detail"),
+                    handler: "onOpenDetail".into(),
+                }),
+        )
+        .with_method(
+            MethodDef::new("onOpenDetail")
+                .push(Stmt::NewIntent(IntentTarget::Class(cls("DetailActivity"))))
+                .push(Stmt::PutExtra { key: "item".into(), value: "42".into() })
+                .push(Stmt::StartActivity { via_host: true }),
+        );
 
     let media = ClassDef::new(cls("MediaFragment"), well_known::SUPPORT_FRAGMENT).with_method(
         MethodDef::new("onCreateView")
@@ -167,10 +205,20 @@ fn demo_app() -> AndroidApp {
                 .push(Stmt::SetContentView(ResRef::layout("crashy")))
                 .push(Stmt::SetOnClick { widget: ResRef::id("boom"), handler: "onBoom".into() }),
         )
-        .with_method(MethodDef::new("onBoom").push(Stmt::Crash { reason: "NullPointerException".into() }));
+        .with_method(
+            MethodDef::new("onBoom").push(Stmt::Crash { reason: "NullPointerException".into() }),
+        );
 
     let mut app = AndroidApp::new(manifest);
-    for layout in [main_layout, news_layout, media_layout, settings_layout, detail_layout, secret_layout, crashy_layout] {
+    for layout in [
+        main_layout,
+        news_layout,
+        media_layout,
+        settings_layout,
+        detail_layout,
+        secret_layout,
+        crashy_layout,
+    ] {
         app.layouts.insert(layout.name.clone(), layout);
     }
     for class in [main, news, media, settings, detail, secret, crashy] {
@@ -305,10 +353,7 @@ fn back_pops_overlay_then_drawer_then_activity() {
 fn am_start_requires_main_action_rewrite() {
     let mut d = launched();
     // Without the rewrite only the launcher has a MAIN action.
-    assert!(matches!(
-        d.am_start("com.demo.Secret"),
-        Err(DeviceError::NotForceStartable(_))
-    ));
+    assert!(matches!(d.am_start("com.demo.Secret"), Err(DeviceError::NotForceStartable(_))));
 
     // Apply FragDroid's manifest rewrite and retry.
     let mut app = demo_app();
@@ -339,11 +384,17 @@ fn reflection_failure_modes() {
     let mut d = launched();
     assert!(matches!(
         d.reflect_switch_fragment("com.demo.Nope"),
-        Err(DeviceError::ReflectionFailed { why: fd_droidsim::error::ReflectError::UnknownClass, .. })
+        Err(DeviceError::ReflectionFailed {
+            why: fd_droidsim::error::ReflectError::UnknownClass,
+            ..
+        })
     ));
     assert!(matches!(
         d.reflect_switch_fragment("com.demo.Settings"),
-        Err(DeviceError::ReflectionFailed { why: fd_droidsim::error::ReflectError::NotAFragment, .. })
+        Err(DeviceError::ReflectionFailed {
+            why: fd_droidsim::error::ReflectError::NotAFragment,
+            ..
+        })
     ));
 
     // The zara case: ctor with parameters.
@@ -365,12 +416,12 @@ fn reflection_failure_modes() {
     // The dubsmash case: host activity never obtains a FragmentManager.
     let mut app = demo_app();
     let direct = ClassDef::new("com.demo.DirectHost", well_known::ACTIVITY).with_method(
-        MethodDef::new("onCreate")
-            .push(Stmt::SetContentView(ResRef::layout("main")))
-            .push(Stmt::AttachDirect {
+        MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("main"))).push(
+            Stmt::AttachDirect {
                 container: ResRef::id("content"),
                 fragment: "com.demo.MediaFragment".into(),
-            }),
+            },
+        ),
     );
     app.classes.insert(direct);
     app.manifest.activities.push(ActivityDecl::new("com.demo.DirectHost").launcher());
@@ -432,10 +483,8 @@ fn script_runner_reports_steps_and_stops_on_crash() {
     assert_eq!(report.final_signature, None);
 
     // A clean run reports every step and the final signature.
-    let script = TestScript::new(
-        "reach settings",
-        vec![Op::Launch, Op::Click("go_settings".into())],
-    );
+    let script =
+        TestScript::new("reach settings", vec![Op::Launch, Op::Click("go_settings".into())]);
     let report = fd_droidsim::script::run_script(&mut d, &script);
     assert!(report.is_clean());
     assert_eq!(report.final_signature.unwrap().activity.as_str(), "com.demo.Settings");

@@ -25,10 +25,7 @@ pub struct ComparisonRow {
 }
 
 /// Runs every tool on every app and aggregates.
-pub fn compare_tools(
-    apps: &[GeneratedApp],
-    tools: &[&dyn UiExplorer],
-) -> Vec<ComparisonRow> {
+pub fn compare_tools(apps: &[GeneratedApp], tools: &[&dyn UiExplorer]) -> Vec<ComparisonRow> {
     tools
         .iter()
         .map(|tool| {
@@ -74,7 +71,15 @@ pub fn render_comparison(rows: &[ComparisonRow]) -> String {
         })
         .collect();
     table::render(
-        &["Tool", "Activities", "Fragments", "API relations", "Fragment-attributed", "Events", "Wall time"],
+        &[
+            "Tool",
+            "Activities",
+            "Fragments",
+            "API relations",
+            "Fragment-attributed",
+            "Events",
+            "Wall time",
+        ],
         &body,
     )
 }
@@ -82,8 +87,8 @@ pub fn render_comparison(rows: &[ComparisonRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fd_baselines::{ActivityExplorer, DepthFirstExplorer, FragDroidExplorer, Monkey};
     use fd_appgen::templates;
+    use fd_baselines::{ActivityExplorer, DepthFirstExplorer, FragDroidExplorer, Monkey};
 
     #[test]
     fn fragdroid_dominates_fragment_coverage() {

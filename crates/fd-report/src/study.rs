@@ -38,10 +38,7 @@ pub fn corpus_study(corpus: &[GeneratedApp]) -> StudyResult {
         per_category: BTreeMap::new(),
     };
     for gen in corpus {
-        let entry = result
-            .per_category
-            .entry(gen.app.meta.category.clone())
-            .or_insert((0, 0));
+        let entry = result.per_category.entry(gen.app.meta.category.clone()).or_insert((0, 0));
         entry.0 += 1;
 
         // Honest pipeline: go through the container.
@@ -58,10 +55,7 @@ pub fn corpus_study(corpus: &[GeneratedApp]) -> StudyResult {
             }
             Err(other) => panic!("corpus app failed to decompile: {other}"),
         };
-        let uses = app
-            .classes
-            .iter()
-            .any(|c| app.classes.is_fragment_class(c.name.as_str()));
+        let uses = app.classes.iter().any(|c| app.classes.is_fragment_class(c.name.as_str()));
         if uses {
             result.fragment_users += 1;
             entry.1 += 1;

@@ -68,10 +68,7 @@ mod tests {
     fn renders_aligned_columns() {
         let text = render(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
         );
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -84,10 +81,7 @@ mod tests {
 
     #[test]
     fn markdown_renders_with_escapes() {
-        let md = render_markdown(
-            &["a", "b"],
-            &[vec!["x|y".into(), "2".into()]],
-        );
+        let md = render_markdown(&["a", "b"], &[vec!["x|y".into(), "2".into()]]);
         let lines: Vec<&str> = md.lines().collect();
         assert_eq!(lines[0], "| a | b |");
         assert_eq!(lines[1], "|---|---|");

@@ -3,7 +3,8 @@
 
 use crate::table;
 use fd_appgen::paper_apps;
-use fragdroid::{Coverage, FragDroid, FragDroidConfig, RunReport};
+use fragdroid::suite::SuiteApp;
+use fragdroid::{run_suite_outcomes, AppOutcome, Coverage, FragDroidConfig, RunReport};
 use serde::{Deserialize, Serialize};
 
 /// One row of Table I.
@@ -43,18 +44,20 @@ pub const PAPER_TABLE1: &[PaperRow] = &[
     ("org.rbc.odb", (4, 5), (5, 8), (2, 3)),
 ];
 
-/// Runs FragDroid on all 15 apps (in parallel) and returns the measured
-/// rows plus the full reports (the reports feed Table II).
+/// Runs FragDroid on all 15 apps through the shared suite runner and
+/// returns the measured rows plus the full reports (the reports feed
+/// Table II). A panicking app is skipped with a warning instead of
+/// aborting the whole table.
 pub fn run_table1() -> Vec<(Table1Row, RunReport)> {
     let apps = paper_apps::all_paper_apps();
-    let mut results: Vec<Option<(Table1Row, RunReport)>> = Vec::new();
-    results.resize_with(apps.len(), || None);
+    let suite: Vec<SuiteApp> =
+        apps.iter().map(|(_, gen)| (gen.app.clone(), gen.known_inputs.clone())).collect();
+    let run = run_suite_outcomes(&suite, &FragDroidConfig::default());
 
-    crossbeam::thread::scope(|scope| {
-        for (slot, (spec, gen)) in results.iter_mut().zip(&apps) {
-            scope.spawn(move |_| {
-                let report =
-                    FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+    apps.iter()
+        .zip(run.outcomes)
+        .filter_map(|((spec, _), outcome)| match outcome {
+            AppOutcome::Completed(report) | AppOutcome::DeadlineExceeded(report) => {
                 let row = Table1Row {
                     package: spec.package.to_string(),
                     downloads: spec.downloads,
@@ -62,13 +65,14 @@ pub fn run_table1() -> Vec<(Table1Row, RunReport)> {
                     fragments: report.fragment_coverage(),
                     fragments_in_visited: report.fragments_in_visited_coverage(),
                 };
-                *slot = Some((row, report));
-            });
-        }
-    })
-    .expect("table1 worker panicked");
-
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+                Some((row, report))
+            }
+            AppOutcome::Panicked { message } => {
+                eprintln!("table1: skipping {} (run panicked: {message})", spec.package);
+                None
+            }
+        })
+        .collect()
 }
 
 /// Per-column averages `(activity %, fragment %, frags-in-visited %)`.
@@ -171,11 +175,9 @@ mod tests {
 
     #[test]
     fn paper_average_activity_rate_is_71_94() {
-        let avg: f64 = PAPER_TABLE1
-            .iter()
-            .map(|(_, (v, s), ..)| *v as f64 / *s as f64 * 100.0)
-            .sum::<f64>()
-            / PAPER_TABLE1.len() as f64;
+        let avg: f64 =
+            PAPER_TABLE1.iter().map(|(_, (v, s), ..)| *v as f64 / *s as f64 * 100.0).sum::<f64>()
+                / PAPER_TABLE1.len() as f64;
         assert!((avg - 71.94).abs() < 0.5, "paper activity average ≈ 71.94, got {avg:.2}");
     }
 

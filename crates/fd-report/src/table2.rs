@@ -134,13 +134,7 @@ pub fn render_per_app(t: &Table2) -> String {
     let rows: Vec<Vec<String>> = per_app_counts(t)
         .into_iter()
         .map(|(app, a, f, b)| {
-            vec![
-                app,
-                a.to_string(),
-                f.to_string(),
-                b.to_string(),
-                (a + f + 2 * b).to_string(),
-            ]
+            vec![app, a.to_string(), f.to_string(), b.to_string(), (a + f + 2 * b).to_string()]
         })
         .collect();
     crate::table::render(&["Package", "● activity", "◗ fragment", "⊙ both", "invocations"], &rows)
@@ -181,10 +175,8 @@ mod tests {
 
     #[test]
     fn table2_reproduces_paper_aggregates() {
-        let reports: Vec<(String, RunReport)> = run_table1()
-            .into_iter()
-            .map(|(row, report)| (row.package, report))
-            .collect();
+        let reports: Vec<(String, RunReport)> =
+            run_table1().into_iter().map(|(row, report)| (row.package, report)).collect();
         let t = build_table2(&reports);
 
         assert_eq!(t.distinct_apis(), 46, "paper: 46 sensitive APIs found");
@@ -213,10 +205,8 @@ mod per_app_tests {
 
     #[test]
     fn per_app_counts_sum_to_the_aggregates() {
-        let reports: Vec<(String, fragdroid::RunReport)> = run_table1()
-            .into_iter()
-            .map(|(row, report)| (row.package, report))
-            .collect();
+        let reports: Vec<(String, fragdroid::RunReport)> =
+            run_table1().into_iter().map(|(row, report)| (row.package, report)).collect();
         let t = build_table2(&reports);
         let counts = per_app_counts(&t);
         assert_eq!(counts.len(), 15);
@@ -241,10 +231,8 @@ mod spec_consistency_tests {
     /// api_marks — the placement is fully detected, nothing more.
     #[test]
     fn per_app_counts_match_the_engineered_specs() {
-        let reports: Vec<(String, fragdroid::RunReport)> = run_table1()
-            .into_iter()
-            .map(|(row, report)| (row.package, report))
-            .collect();
+        let reports: Vec<(String, fragdroid::RunReport)> =
+            run_table1().into_iter().map(|(row, report)| (row.package, report)).collect();
         let t = build_table2(&reports);
         for (package, a, f, b) in per_app_counts(&t) {
             let spec = fd_appgen::paper_apps::PAPER_APPS

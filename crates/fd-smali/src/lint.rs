@@ -207,7 +207,8 @@ mod tests {
             .push(Stmt::StartActivity { via_host: false });
         assert!(lint_method(&clobber).iter().any(|l| l.kind == LintKind::IntentNeverStarted));
 
-        let dangling = MethodDef::new("bad").push(Stmt::NewIntent(IntentTarget::Class("a.B".into())));
+        let dangling =
+            MethodDef::new("bad").push(Stmt::NewIntent(IntentTarget::Class("a.B".into())));
         assert!(lint_method(&dangling).iter().any(|l| l.kind == LintKind::IntentNeverStarted));
     }
 

@@ -86,10 +86,7 @@ fn expect_len(tokens: &[Token], len: usize, line_no: usize) -> Result<(), ParseE
     if tokens.len() == len {
         Ok(())
     } else {
-        Err(ParseError::new(
-            line_no,
-            format!("expected {len} tokens, found {}", tokens.len()),
-        ))
+        Err(ParseError::new(line_no, format!("expected {len} tokens, found {}", tokens.len())))
     }
 }
 
@@ -388,9 +385,9 @@ fn parse_simple_stmt(head: &str, tokens: &[Token], line_no: usize) -> Result<Stm
         "invoke-api" => {
             expect_len(tokens, 2, line_no)?;
             let spec = expect_word_at(tokens, 1, line_no)?;
-            let (group, name) = spec.split_once('/').ok_or_else(|| {
-                ParseError::new(line_no, "invoke-api expects '<group>/<name>'")
-            })?;
+            let (group, name) = spec
+                .split_once('/')
+                .ok_or_else(|| ParseError::new(line_no, "invoke-api expects '<group>/<name>'"))?;
             Stmt::InvokeApi { group: group.to_string(), name: name.to_string() }
         }
         "invoke" => {
@@ -424,12 +421,9 @@ mod tests {
             .with_interface("android.view.View$OnClickListener")
             .with_field(FieldDef::new("count", "int"))
             .with_method(
-                MethodDef::new("onCreate")
-                    .push(Stmt::SetContentView(ResRef::layout("main")))
-                    .push(Stmt::SetOnClick {
-                        widget: ResRef::id("go"),
-                        handler: MethodName::new("onGo"),
-                    }),
+                MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("main"))).push(
+                    Stmt::SetOnClick { widget: ResRef::id("go"), handler: MethodName::new("onGo") },
+                ),
             )
             .with_method(
                 MethodDef::new("onGo")
@@ -450,8 +444,8 @@ mod tests {
 
     #[test]
     fn parses_if_else_nesting() {
-        let class = ClassDef::new("a.B", "java.lang.Object").with_method(
-            MethodDef::new("m").push(Stmt::If {
+        let class = ClassDef::new("a.B", "java.lang.Object").with_method(MethodDef::new("m").push(
+            Stmt::If {
                 cond: Cond::InputEquals { field: ResRef::id("pw"), expected: "s3cret".into() },
                 then: vec![Stmt::If {
                     cond: Cond::HasExtra { key: "k".into() },
@@ -459,8 +453,8 @@ mod tests {
                     els: vec![],
                 }],
                 els: vec![Stmt::ShowDialog { id: "wrong password".into() }],
-            }),
-        );
+            },
+        ));
         let text = print_class(&class);
         assert_eq!(parse_class(&text).unwrap(), class);
     }
@@ -485,9 +479,7 @@ mod tests {
     #[test]
     fn parses_ctor_with_params() {
         let c = ClassDef::new("a.F", "android.app.Fragment").with_method(
-            MethodDef::new(MethodName::ctor())
-                .with_param("java.lang.String")
-                .with_param("int"),
+            MethodDef::new(MethodName::ctor()).with_param("java.lang.String").with_param("int"),
         );
         let text = print_class(&c);
         let parsed = parse_class(&text).unwrap();

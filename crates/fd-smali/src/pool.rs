@@ -186,9 +186,8 @@ mod tests {
 
     #[test]
     fn super_chain_breaks_cycles() {
-        let p = ClassPool::new()
-            .with(ClassDef::new("a.A", "a.B"))
-            .with(ClassDef::new("a.B", "a.A"));
+        let p =
+            ClassPool::new().with(ClassDef::new("a.A", "a.B")).with(ClassDef::new("a.B", "a.A"));
         let chain = p.super_chain("a.A");
         assert_eq!(chain.len(), 2);
     }

@@ -13,13 +13,7 @@ use std::fmt::Write;
 pub fn print_class(class: &ClassDef) -> String {
     let mut out = String::new();
     let abs = if class.is_abstract { " abstract" } else { "" };
-    let _ = writeln!(
-        out,
-        ".class {}{} {}",
-        class.visibility.token(),
-        abs,
-        class.name.descriptor()
-    );
+    let _ = writeln!(out, ".class {}{} {}", class.visibility.token(), abs, class.name.descriptor());
     let _ = writeln!(out, ".super {}", class.super_class.descriptor());
     for iface in &class.interfaces {
         let _ = writeln!(out, ".implements {}", iface.descriptor());
@@ -203,13 +197,13 @@ mod tests {
 
     #[test]
     fn prints_nested_if_blocks() {
-        let class = ClassDef::new("a.B", "java.lang.Object").with_method(
-            MethodDef::new("m").push(Stmt::If {
+        let class = ClassDef::new("a.B", "java.lang.Object").with_method(MethodDef::new("m").push(
+            Stmt::If {
                 cond: Cond::HasExtra { key: "k".into() },
                 then: vec![Stmt::Finish],
                 els: vec![Stmt::Crash { reason: "missing".into() }],
-            }),
-        );
+            },
+        ));
         let text = print_class(&class);
         let expected = "    if has-extra \"k\"\n        finish\n    else\n        crash \"missing\"\n    end-if\n";
         assert!(text.contains(expected), "got:\n{text}");

@@ -76,9 +76,8 @@ mod tests {
 
     fn nested_class() -> ClassDef {
         ClassDef::new("a.Main", "android.app.Activity").with_method(
-            MethodDef::new("onCreate")
-                .push(Stmt::SetContentView(ResRef::layout("main")))
-                .push(Stmt::If {
+            MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("main"))).push(
+                Stmt::If {
                     cond: Cond::InputNonEmpty { field: ResRef::id("edit") },
                     then: vec![Stmt::NewInstance(ClassName::new("a.F1"))],
                     els: vec![Stmt::If {
@@ -86,7 +85,8 @@ mod tests {
                         then: vec![Stmt::NewInstance(ClassName::new("a.F2"))],
                         els: vec![],
                     }],
-                }),
+                },
+            ),
         )
     }
 

@@ -17,10 +17,7 @@ fn fixture_parses_with_expected_structure() {
     assert_eq!(login.interfaces.len(), 1);
     assert_eq!(login.fields.len(), 2);
     assert_eq!(login.methods.len(), 4);
-    assert_eq!(
-        login.method("onDestroy").unwrap().visibility,
-        Visibility::Protected
-    );
+    assert_eq!(login.method("onDestroy").unwrap().visibility, Visibility::Protected);
 
     // Nested if/else with escapes.
     let submit = login.method("onSubmit").unwrap();
@@ -37,7 +34,9 @@ fn fixture_parses_with_expected_structure() {
 
     // Implicit intent.
     let help = login.method("onHelp").unwrap();
-    assert!(matches!(&help.body[0], Stmt::NewIntent(IntentTarget::Action(a)) if a == "com.fixture.HELP"));
+    assert!(
+        matches!(&help.body[0], Stmt::NewIntent(IntentTarget::Action(a)) if a == "com.fixture.HELP")
+    );
 
     // Abstract base + parameterized ctor.
     let base = &classes[1];
@@ -57,8 +56,7 @@ fn fixture_survives_print_parse_roundtrip() {
 
 #[test]
 fn fixture_class_pool_queries() {
-    let pool: fd_smali::ClassPool =
-        parser::parse_classes(FIXTURE).unwrap().into_iter().collect();
+    let pool: fd_smali::ClassPool = parser::parse_classes(FIXTURE).unwrap().into_iter().collect();
     assert!(pool.is_activity_class("com.fixture.LoginActivity"));
     assert!(pool.is_fragment_class("com.fixture.BannerFragment"));
     assert!(pool.is_fragment_class("com.fixture.BaseFragment"));

@@ -50,8 +50,7 @@ fn literal() -> impl Strategy<Value = String> {
 
 fn cond() -> impl Strategy<Value = Cond> {
     prop_oneof![
-        (res_ref(), literal())
-            .prop_map(|(field, expected)| Cond::InputEquals { field, expected }),
+        (res_ref(), literal()).prop_map(|(field, expected)| Cond::InputEquals { field, expected }),
         res_ref().prop_map(|field| Cond::InputNonEmpty { field }),
         literal().prop_map(|key| Cond::HasExtra { key }),
     ]
@@ -62,10 +61,8 @@ fn simple_stmt() -> impl Strategy<Value = Stmt> {
         res_ref().prop_map(Stmt::SetContentView),
         res_ref().prop_map(Stmt::InflateLayout),
         res_ref().prop_map(Stmt::FindViewById),
-        (res_ref(), ident()).prop_map(|(widget, h)| Stmt::SetOnClick {
-            widget,
-            handler: MethodName::new(h)
-        }),
+        (res_ref(), ident())
+            .prop_map(|(widget, h)| Stmt::SetOnClick { widget, handler: MethodName::new(h) }),
         class_name().prop_map(|c| Stmt::NewIntent(IntentTarget::Class(c))),
         literal().prop_map(|a| Stmt::NewIntent(IntentTarget::Action(a))),
         class_name().prop_map(Stmt::SetClass),
@@ -90,10 +87,8 @@ fn simple_stmt() -> impl Strategy<Value = Stmt> {
         literal().prop_map(|id| Stmt::ShowDialog { id }),
         literal().prop_map(|id| Stmt::ShowPopupMenu { id }),
         (ident(), ident()).prop_map(|(group, name)| Stmt::InvokeApi { group, name }),
-        (class_name(), ident()).prop_map(|(class, m)| Stmt::InvokeMethod {
-            class,
-            method: MethodName::new(m)
-        }),
+        (class_name(), ident())
+            .prop_map(|(class, m)| Stmt::InvokeMethod { class, method: MethodName::new(m) }),
         Just(Stmt::Finish),
         literal().prop_map(|reason| Stmt::Crash { reason }),
     ]

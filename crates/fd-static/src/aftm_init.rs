@@ -207,9 +207,11 @@ mod tests {
 
         // A → F: Main hosts Home and Stats.
         for frag in ["HomeFragment", "StatsFragment"] {
-            assert!(aftm.edges().any(|e| e.kind == EdgeKind::E2
-                && e.to == NodeId::Fragment(format!("{p}.{frag}").into())),
-                "missing E2 to {frag}");
+            assert!(
+                aftm.edges().any(|e| e.kind == EdgeKind::E2
+                    && e.to == NodeId::Fragment(format!("{p}.{frag}").into())),
+                "missing E2 to {frag}"
+            );
         }
 
         // F → F: Home switches to Stats inside Main.
@@ -232,8 +234,9 @@ mod tests {
             .activity(ActivitySpec::new("Target"))
             .build();
         let (aftm, ..) = model_of(&gen);
-        assert!(aftm.edges().any(|e| e.kind == EdgeKind::E1
-            && e.to == NodeId::Activity("t.act.Target".into())));
+        assert!(aftm
+            .edges()
+            .any(|e| e.kind == EdgeKind::E1 && e.to == NodeId::Activity("t.act.Target".into())));
     }
 
     #[test]
@@ -241,7 +244,9 @@ mod tests {
         // F0 hosted by Main, F1 hosted only by Other: no E3 edge despite
         // the reference from F0 to F1.
         let gen = AppBuilder::new("t.nohost")
-            .activity(ActivitySpec::new("Main").launcher().initial_fragment("F0").button_to("Other"))
+            .activity(
+                ActivitySpec::new("Main").launcher().initial_fragment("F0").button_to("Other"),
+            )
             .activity(ActivitySpec::new("Other").initial_fragment("F1"))
             .fragment(FragmentSpec::new("F0").switch_to("F1"))
             .fragment(FragmentSpec::new("F1"))
@@ -263,9 +268,9 @@ mod tests {
         // still see the transition (flattened statement walk).
         let gen = templates::quickstart();
         let (aftm, ..) = model_of(&gen);
-        assert!(aftm.edges().any(|e| {
-            e.to == NodeId::Activity("com.example.quickstart.Account".into())
-        }));
+        assert!(aftm
+            .edges()
+            .any(|e| { e.to == NodeId::Activity("com.example.quickstart.Account".into()) }));
     }
 
     #[test]

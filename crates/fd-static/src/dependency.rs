@@ -45,11 +45,13 @@ mod tests {
         );
         app.classes.insert(ClassDef::new("t.Main", well_known::ACTIVITY));
         // The listener inner class references the fragment.
-        app.classes.insert(ClassDef::new("t.Main$1", well_known::OBJECT).with_method(
-            MethodDef::new("onClick")
-                .push(Stmt::NewInstance("t.TabFragment".into()))
-                .push(Stmt::NewInstance("t.Helper".into())),
-        ));
+        app.classes.insert(
+            ClassDef::new("t.Main$1", well_known::OBJECT).with_method(
+                MethodDef::new("onClick")
+                    .push(Stmt::NewInstance("t.TabFragment".into()))
+                    .push(Stmt::NewInstance("t.Helper".into())),
+            ),
+        );
         app.classes.insert(ClassDef::new("t.TabFragment", well_known::SUPPORT_FRAGMENT));
         app.classes.insert(ClassDef::new("t.Helper", well_known::OBJECT));
 

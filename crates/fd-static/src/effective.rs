@@ -12,7 +12,7 @@
 
 use fd_aftm::{Aftm, NodeId};
 use fd_apk::AndroidApp;
-use fd_smali::{ClassName, visit};
+use fd_smali::{visit, ClassName};
 use std::collections::BTreeSet;
 
 /// All manifest-declared activities whose class exists in the pool.
@@ -33,10 +33,7 @@ pub fn effective_fragments(
     // Pass 1+2: all (transitive) subclasses of the framework fragments.
     let candidates: BTreeSet<ClassName> = app
         .classes
-        .subclasses_of_any([
-            fd_smali::well_known::FRAGMENT,
-            fd_smali::well_known::SUPPORT_FRAGMENT,
-        ])
+        .subclasses_of_any([fd_smali::well_known::FRAGMENT, fd_smali::well_known::SUPPORT_FRAGMENT])
         .into_iter()
         .map(|c| c.name.clone())
         .collect();
@@ -103,16 +100,15 @@ mod tests {
                 .with_activity(ActivityDecl::new("t.Lonely"))
                 .with_activity(ActivityDecl::new("t.Ghost")), // no class
         );
-        app.classes.insert(ClassDef::new("t.Main", well_known::ACTIVITY).with_method(
-            MethodDef::new("onCreate").push(Stmt::NewInstance("t.FragA".into())),
-        ));
+        app.classes.insert(
+            ClassDef::new("t.Main", well_known::ACTIVITY)
+                .with_method(MethodDef::new("onCreate").push(Stmt::NewInstance("t.FragA".into()))),
+        );
         app.classes.insert(ClassDef::new("t.Lonely", well_known::ACTIVITY));
         // FragA references FragB; FragC is never referenced.
-        app.classes.insert(
-            ClassDef::new("t.FragA", well_known::SUPPORT_FRAGMENT).with_method(
-                MethodDef::new("onCreateView").push(Stmt::NewInstanceStatic("t.FragB".into())),
-            ),
-        );
+        app.classes.insert(ClassDef::new("t.FragA", well_known::SUPPORT_FRAGMENT).with_method(
+            MethodDef::new("onCreateView").push(Stmt::NewInstanceStatic("t.FragB".into())),
+        ));
         app.classes.insert(ClassDef::new("t.FragB", "t.FragA"));
         app.classes.insert(ClassDef::new("t.FragC", well_known::FRAGMENT));
         // A helper that is NOT a fragment.

@@ -102,10 +102,7 @@ mod tests {
         assert_eq!(a, 3, "Main, Settings, Account");
         assert_eq!(f, 2, "Home, Stats");
         // The AFTM has the entry set to the launcher.
-        assert_eq!(
-            info.aftm.entry().unwrap().as_str(),
-            "com.example.quickstart.Main"
-        );
+        assert_eq!(info.aftm.entry().unwrap().as_str(), "com.example.quickstart.Main");
         // Every effective fragment is some activity's dependency.
         let all_deps: BTreeSet<_> = info.af_dependency.values().flatten().cloned().collect();
         for frag in &info.fragments {

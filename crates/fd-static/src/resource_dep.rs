@@ -118,7 +118,9 @@ pub fn resource_dependency(
                 .or_else(|| {
                     frag_refs
                         .iter()
-                        .find(|(_, ids, layouts)| ids.contains(id) && layouts.contains(&layout.name))
+                        .find(|(_, ids, layouts)| {
+                            ids.contains(id) && layouts.contains(&layout.name)
+                        })
                         .map(|(f, ..)| UiOwner::Fragment((*f).clone()))
                 });
             if let Some(owner) = found {
@@ -132,16 +134,11 @@ pub fn resource_dependency(
 
 /// Interns every owner's resource-ID through the numeric table, returning
 /// `(numeric id, owner)` pairs — the form the paper's JSON file stores.
-pub fn numeric_view(
-    app: &AndroidApp,
-    dep: &ResourceDependency,
-) -> Vec<(u32, String, UiOwner)> {
+pub fn numeric_view(app: &AndroidApp, dep: &ResourceDependency) -> Vec<(u32, String, UiOwner)> {
     dep.owners
         .iter()
         .filter_map(|(id, owner)| {
-            app.resources
-                .id_of(&ResRef::id(id))
-                .map(|num| (num, id.clone(), owner.clone()))
+            app.resources.id_of(&ResRef::id(id)).map(|num| (num, id.clone(), owner.clone()))
         })
         .collect()
 }
@@ -201,10 +198,7 @@ mod tests {
         let rows = numeric_view(&gen.app, &dep);
         assert_eq!(rows.len(), dep.owners.len());
         for (num, name, _) in rows {
-            assert_eq!(
-                gen.app.resources.res_of(num).map(|r| r.name.as_str()),
-                Some(name.as_str())
-            );
+            assert_eq!(gen.app.resources.res_of(num).map(|r| r.name.as_str()), Some(name.as_str()));
         }
     }
 

@@ -7,7 +7,9 @@ use fd_smali::{well_known, ClassDef, ClassName, MethodDef, ResRef, Stmt};
 #[test]
 fn fragment_reused_across_activities_is_a_dependency_of_both() {
     let gen = AppBuilder::new("sx.reuse")
-        .activity(ActivitySpec::new("Main").launcher().initial_fragment("Shared").button_to("Other"))
+        .activity(
+            ActivitySpec::new("Main").launcher().initial_fragment("Shared").button_to("Other"),
+        )
         .activity(ActivitySpec::new("Other").initial_fragment("Shared"))
         .fragment(FragmentSpec::new("Shared"))
         .build();
@@ -25,13 +27,9 @@ fn intermediate_abstract_base_activities_are_not_effective() {
     // A BaseActivity that is subclassed but never declared in the
     // manifest: the paper's "Activities involved in intermediate classes"
     // must not appear in the effective list.
-    let gen = AppBuilder::new("sx.base")
-        .activity(ActivitySpec::new("Main").launcher())
-        .build();
+    let gen = AppBuilder::new("sx.base").activity(ActivitySpec::new("Main").launcher()).build();
     let mut app = gen.app;
-    app.classes.insert(
-        ClassDef::new("sx.base.BaseActivity", well_known::ACTIVITY).abstract_(),
-    );
+    app.classes.insert(ClassDef::new("sx.base.BaseActivity", well_known::ACTIVITY).abstract_());
     // Re-parent Main under the base.
     let mut main = app.classes.get("sx.base.Main").unwrap().clone();
     main.super_class = "sx.base.BaseActivity".into();
@@ -64,21 +62,21 @@ fn widgets_in_a_layout_shared_by_two_activities_resolve_to_the_referencing_one()
         ),
     );
     app.classes.insert(
-        ClassDef::new("sx.shared.Main", well_known::ACTIVITY).with_method(
-            MethodDef::new("onCreate")
-                .push(Stmt::SetContentView(ResRef::layout("shared")))
-                .push(Stmt::SetOnClick { widget: ResRef::id("go"), handler: "onGo".into() }),
-        ).with_method(
-            MethodDef::new("onGo")
-                .push(Stmt::NewIntent(fd_smali::IntentTarget::Class("sx.shared.Twin".into())))
-                .push(Stmt::StartActivity { via_host: false }),
-        ),
+        ClassDef::new("sx.shared.Main", well_known::ACTIVITY)
+            .with_method(
+                MethodDef::new("onCreate")
+                    .push(Stmt::SetContentView(ResRef::layout("shared")))
+                    .push(Stmt::SetOnClick { widget: ResRef::id("go"), handler: "onGo".into() }),
+            )
+            .with_method(
+                MethodDef::new("onGo")
+                    .push(Stmt::NewIntent(fd_smali::IntentTarget::Class("sx.shared.Twin".into())))
+                    .push(Stmt::StartActivity { via_host: false }),
+            ),
     );
-    app.classes.insert(
-        ClassDef::new("sx.shared.Twin", well_known::ACTIVITY).with_method(
-            MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("shared"))),
-        ),
-    );
+    app.classes.insert(ClassDef::new("sx.shared.Twin", well_known::ACTIVITY).with_method(
+        MethodDef::new("onCreate").push(Stmt::SetContentView(ResRef::layout("shared"))),
+    ));
     app.finalize_resources();
 
     let info = fd_static::extract(&app, &Default::default());
@@ -100,9 +98,11 @@ fn paper_apps_static_counts_match_their_specs() {
         // The AFTM's entry is the launcher and is reachable.
         assert!(info.aftm.entry().is_some(), "{}", spec.package);
         // Input widgets exist iff the app has gates.
-        let has_gates = gen.app.layouts.values().any(|l| {
-            l.root.iter().any(|w| w.kind == fd_apk::WidgetKind::EditText)
-        });
+        let has_gates = gen
+            .app
+            .layouts
+            .values()
+            .any(|l| l.root.iter().any(|w| w.kind == fd_apk::WidgetKind::EditText));
         assert_eq!(!info.input_dep.input_widgets.is_empty(), has_gates, "{}", spec.package);
     }
 }

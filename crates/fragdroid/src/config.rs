@@ -28,6 +28,11 @@ pub struct FragDroidConfig {
     /// retry it with candidate inputs harvested from the app's own UI
     /// strings. Off by default (the paper leaves it as future work).
     pub harvest_inputs: bool,
+    /// Soft per-app wall-clock deadline. When set, the exploration loop
+    /// stops at the next budget check after the deadline passes and the
+    /// partial report is marked [`crate::report::RunReport::deadline_exceeded`].
+    /// `None` (the default) means unlimited.
+    pub app_deadline: Option<std::time::Duration>,
 }
 
 impl Default for FragDroidConfig {
@@ -40,6 +45,7 @@ impl Default for FragDroidConfig {
             use_input_deps: true,
             target_api: None,
             harvest_inputs: false,
+            app_deadline: None,
         }
     }
 }
@@ -72,6 +78,13 @@ impl FragDroidConfig {
     /// Enables the input-harvesting extension (builder style).
     pub fn with_input_harvesting(mut self) -> Self {
         self.harvest_inputs = true;
+        self
+    }
+
+    /// Caps each app's run at `deadline` of wall-clock time (builder
+    /// style). The run keeps whatever it found so far.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.app_deadline = Some(deadline);
         self
     }
 }

@@ -24,11 +24,7 @@ impl FragDroid {
 
     /// Runs the full pipeline on a decompiled app. `provided_inputs` is
     /// the analyst-filled input-dependency data.
-    pub fn run(
-        &self,
-        app: &AndroidApp,
-        provided_inputs: &BTreeMap<String, String>,
-    ) -> RunReport {
+    pub fn run(&self, app: &AndroidApp, provided_inputs: &BTreeMap<String, String>) -> RunReport {
         // Phase 1: static information extraction.
         let info = fd_static::extract(app, provided_inputs);
 
@@ -40,6 +36,8 @@ impl FragDroid {
         // Phase 2: evolutionary test case generation.
         let mut explorer = Explorer {
             config: &self.config,
+            started: std::time::Instant::now(),
+            deadline_hit: std::cell::Cell::new(false),
             device,
             info: &info,
             aftm: info.aftm.clone(),
@@ -67,7 +65,9 @@ impl FragDroid {
             api_invocations: explorer.device.invocations().cloned().collect(),
             events_injected: explorer.events,
             test_cases_run: explorer.test_cases,
+            test_cases_generated: explorer.queue.generated(),
             crashes: explorer.crashes,
+            deadline_exceeded: explorer.deadline_hit.get(),
             aftm: explorer.aftm,
             static_info: info,
         }
@@ -86,6 +86,11 @@ impl FragDroid {
 
 struct Explorer<'a> {
     config: &'a FragDroidConfig,
+    /// When the run began — compared against `config.app_deadline`.
+    started: std::time::Instant,
+    /// Latched true the first time a budget check fails on the deadline,
+    /// so the report can distinguish a timeout from natural exhaustion.
+    deadline_hit: std::cell::Cell<bool>,
     device: Device,
     info: &'a StaticInfo,
     aftm: Aftm,
@@ -113,6 +118,12 @@ struct Explorer<'a> {
 
 impl<'a> Explorer<'a> {
     fn budget_left(&self) -> bool {
+        if let Some(deadline) = self.config.app_deadline {
+            if self.started.elapsed() >= deadline {
+                self.deadline_hit.set(true);
+                return false;
+            }
+        }
         self.events < self.config.event_budget && !self.target_reached()
     }
 
@@ -121,10 +132,9 @@ impl<'a> Explorer<'a> {
     fn target_reached(&self) -> bool {
         match &self.config.target_api {
             None => false,
-            Some((group, name)) => self
-                .device
-                .invocations()
-                .any(|i| &i.group == group && &i.name == name),
+            Some((group, name)) => {
+                self.device.invocations().any(|i| &i.group == group && &i.name == name)
+            }
         }
     }
 
@@ -260,28 +270,19 @@ impl<'a> Explorer<'a> {
 
         if !self.paths.contains_key(&sig) {
             self.paths.insert(sig.clone(), ops_so_far.to_vec());
-            self.queue
-                .push(QueueItem::new(format!("sweep {sig}"), ops_so_far.to_vec()));
+            self.queue.push(QueueItem::new(format!("sweep {sig}"), ops_so_far.to_vec()));
         }
 
         // Case 1: a (newly reached) activity that obtains a FragmentManager
         // gets one reflection item per dependent, unvisited fragment.
         if activity_is_new && self.config.use_reflection {
-            let deps = self
-                .info
-                .af_dependency
-                .get(&activity)
-                .cloned()
-                .unwrap_or_default();
+            let deps = self.info.af_dependency.get(&activity).cloned().unwrap_or_default();
             let base = self.paths.get(&sig).cloned().unwrap_or_else(|| ops_so_far.to_vec());
             for fragment in deps {
                 if self.visited_fragments.contains(fragment.as_str()) {
                     continue;
                 }
-                if !self
-                    .reflection_pushed
-                    .insert((activity.clone(), fragment.clone()))
-                {
+                if !self.reflection_pushed.insert((activity.clone(), fragment.clone())) {
                     continue;
                 }
                 let mut ops = base.clone();
@@ -407,14 +408,8 @@ impl<'a> Explorer<'a> {
     /// are exhausted.
     fn try_harvested_inputs(&mut self, sig: &UiSignature, base_ops: &[Op], widget: &str) {
         const MAX_CANDIDATES: usize = 8;
-        let candidates: Vec<String> = self
-            .info
-            .input_dep
-            .harvested
-            .iter()
-            .take(MAX_CANDIDATES)
-            .cloned()
-            .collect();
+        let candidates: Vec<String> =
+            self.info.input_dep.harvested.iter().take(MAX_CANDIDATES).cloned().collect();
         for candidate in candidates {
             if !self.budget_left() {
                 return;

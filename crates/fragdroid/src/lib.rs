@@ -40,4 +40,7 @@ pub use config::FragDroidConfig;
 pub use driver::FragDroid;
 pub use queue::{QueueItem, UiQueue};
 pub use report::{Coverage, RunReport};
-pub use suite::run_suite;
+pub use suite::{
+    run_suite, run_suite_outcomes, run_suite_with_workers, AppMetrics, AppOutcome, SuiteMetrics,
+    SuiteRun,
+};

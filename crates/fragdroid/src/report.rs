@@ -51,25 +51,27 @@ pub struct RunReport {
     pub events_injected: usize,
     /// Test cases (queue items) executed.
     pub test_cases_run: usize,
+    /// Test cases ever generated (enqueued), including skipped ones.
+    #[serde(default)]
+    pub test_cases_generated: usize,
     /// Force-closes observed.
     pub crashes: usize,
+    /// Whether the run stopped early because the configured
+    /// [`crate::FragDroidConfig::app_deadline`] passed; the report holds
+    /// the partial results accumulated up to that point.
+    #[serde(default)]
+    pub deadline_exceeded: bool,
 }
 
 impl RunReport {
     /// Activity coverage (Table I, first group).
     pub fn activity_coverage(&self) -> Coverage {
-        Coverage {
-            visited: self.visited_activities.len(),
-            sum: self.static_info.activities.len(),
-        }
+        Coverage { visited: self.visited_activities.len(), sum: self.static_info.activities.len() }
     }
 
     /// Fragment coverage (Table I, second group).
     pub fn fragment_coverage(&self) -> Coverage {
-        Coverage {
-            visited: self.visited_fragments.len(),
-            sum: self.static_info.fragments.len(),
-        }
+        Coverage { visited: self.visited_fragments.len(), sum: self.static_info.fragments.len() }
     }
 
     /// Fragments-in-visited-activities coverage (Table I, third group):
@@ -84,11 +86,7 @@ impl RunReport {
             .flat_map(|(_, frags)| frags)
             .collect();
         Coverage {
-            visited: self
-                .visited_fragments
-                .iter()
-                .filter(|f| in_visited.contains(f))
-                .count(),
+            visited: self.visited_fragments.iter().filter(|f| in_visited.contains(f)).count(),
             sum: in_visited.len(),
         }
     }
@@ -113,10 +111,7 @@ impl RunReport {
 
     /// Distinct sensitive APIs detected.
     pub fn distinct_apis(&self) -> BTreeSet<(&str, &str)> {
-        self.api_invocations
-            .iter()
-            .map(|i| (i.group.as_str(), i.name.as_str()))
-            .collect()
+        self.api_invocations.iter().map(|i| (i.group.as_str(), i.name.as_str())).collect()
     }
 
     /// `(total, fragment_associated, fragment_only)` invocation-relation

@@ -1,52 +1,350 @@
-//! Parallel multi-app runs — the harness the evaluation experiments share.
+//! The shared corpus runner every multi-app experiment goes through.
+//!
+//! One work-stealing scheduler replaces the three parallel harnesses the
+//! evaluation crates used to carry around (static chunking here, an
+//! unbounded thread-per-app loop in Table I, and a hand-rolled chunked
+//! scope in the corpus benchmark). Workers pull the next un-started app
+//! off a shared atomic index, so one slow app no longer stalls a whole
+//! chunk's worth of siblings.
+//!
+//! Fault isolation: each app runs under [`std::panic::catch_unwind`]. A
+//! panicking app yields [`AppOutcome::Panicked`] while every other app
+//! still completes — the suite never aborts. A per-app wall-clock
+//! deadline ([`crate::FragDroidConfig::app_deadline`]) surfaces as
+//! [`AppOutcome::DeadlineExceeded`], keeping the partial report.
+//!
+//! Every run also produces a [`SuiteMetrics`] record (per-app wall time,
+//! event throughput, worker utilization) that serializes to JSON.
 
 use crate::config::FragDroidConfig;
 use crate::driver::FragDroid;
 use crate::report::RunReport;
 use fd_apk::AndroidApp;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// One app plus its analyst-provided inputs.
 pub type SuiteApp = (AndroidApp, BTreeMap<String, String>);
 
-/// Runs FragDroid over many apps in parallel (one OS thread per chunk),
-/// returning reports in input order. Determinism is unaffected: each app's
-/// run is self-contained.
-pub fn run_suite(apps: &[SuiteApp], config: &FragDroidConfig) -> Vec<RunReport> {
-    let mut results: Vec<Option<RunReport>> = Vec::new();
-    results.resize_with(apps.len(), || None);
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let chunk = apps.len().div_ceil(workers).max(1);
+/// How one app's run ended.
+#[derive(Clone, Debug)]
+pub enum AppOutcome {
+    /// The run finished within its budgets.
+    Completed(RunReport),
+    /// The run panicked; the message is the panic payload. Siblings are
+    /// unaffected.
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The per-app deadline passed; the report holds the partial results
+    /// accumulated up to that point.
+    DeadlineExceeded(RunReport),
+}
 
-    crossbeam::thread::scope(|scope| {
-        for (apps_chunk, results_chunk) in apps.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for ((app, inputs), slot) in apps_chunk.iter().zip(results_chunk.iter_mut()) {
-                    *slot = Some(FragDroid::new(config.clone()).run(app, inputs));
-                }
-            });
+impl AppOutcome {
+    /// The report, if the run produced one (completed or partial).
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            AppOutcome::Completed(r) | AppOutcome::DeadlineExceeded(r) => Some(r),
+            AppOutcome::Panicked { .. } => None,
         }
-    })
-    .expect("suite worker panicked");
+    }
 
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    /// Consumes the outcome into its report, if any.
+    pub fn into_report(self) -> Option<RunReport> {
+        match self {
+            AppOutcome::Completed(r) | AppOutcome::DeadlineExceeded(r) => Some(r),
+            AppOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Whether this run panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, AppOutcome::Panicked { .. })
+    }
+}
+
+/// Observability record for one app's slot in a suite run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct AppMetrics {
+    /// The app's manifest package.
+    pub package: String,
+    /// Wall-clock time the app's run took, in milliseconds.
+    pub wall_ms: u64,
+    /// UI events injected (0 for a panicked run).
+    pub events_injected: usize,
+    /// Injection throughput over the app's wall time.
+    pub events_per_second: f64,
+    /// Test cases executed.
+    pub test_cases_run: usize,
+    /// Test cases ever generated (enqueued), including skipped ones.
+    pub test_cases_generated: usize,
+    /// Force-closes observed.
+    pub crashes: usize,
+    /// Whether the run panicked.
+    pub panicked: bool,
+    /// Whether the run hit its wall-clock deadline.
+    pub deadline_exceeded: bool,
+}
+
+/// Observability record for a whole suite run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct SuiteMetrics {
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end wall-clock time, in milliseconds.
+    pub wall_ms: u64,
+    /// Sum of per-worker busy time, in milliseconds.
+    pub busy_ms: u64,
+    /// `busy / (workers * wall)` — 1.0 means no worker ever idled.
+    pub worker_utilization: f64,
+    /// Per-app records, in input order.
+    pub apps: Vec<AppMetrics>,
+}
+
+impl SuiteMetrics {
+    /// Serializes the record to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics always serialize")
+    }
+
+    /// Parses a record back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+/// A suite run's outcomes (input order) plus its metrics.
+#[derive(Debug)]
+pub struct SuiteRun {
+    /// One outcome per input app, in input order.
+    pub outcomes: Vec<AppOutcome>,
+    /// The run's observability record.
+    pub metrics: SuiteMetrics,
+}
+
+/// One slot of an [`engine`] run: the job's result (or stringified panic
+/// payload) and its wall time.
+pub type EngineSlot<T> = (Result<T, String>, Duration);
+
+/// The generic work-stealing engine underneath [`run_suite_outcomes`] —
+/// public so callers with non-`RunReport` jobs (and the runner tests) can
+/// drive arbitrary closures through the same scheduling and isolation.
+pub mod engine {
+    use super::*;
+
+    /// What a finished engine run hands back.
+    #[derive(Debug)]
+    pub struct EngineRun<T> {
+        /// One slot per index, in input order.
+        pub results: Vec<EngineSlot<T>>,
+        /// Worker threads used (0 when there was no work).
+        pub workers: usize,
+        /// End-to-end wall-clock time.
+        pub wall: Duration,
+        /// Sum of per-worker busy time.
+        pub busy: Duration,
+    }
+
+    /// Runs `job(0..n)` across `workers` threads with work stealing:
+    /// each idle worker claims the next un-started index from a shared
+    /// atomic counter. Panics inside `job` are caught per index and
+    /// surface as `Err(message)` in that index's slot; the other indices
+    /// are unaffected. Results come back in input order.
+    pub fn run_indexed<T, F>(n: usize, workers: usize, job: F) -> EngineRun<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return EngineRun {
+                results: Vec::new(),
+                workers: 0,
+                wall: Duration::ZERO,
+                busy: Duration::ZERO,
+            };
+        }
+        let workers = workers.min(n).max(1);
+        let next = AtomicUsize::new(0);
+        let job = &job;
+        let started = Instant::now();
+
+        let mut slots: Vec<Option<EngineSlot<T>>> = Vec::new();
+        slots.resize_with(n, || None);
+        let mut busy = Duration::ZERO;
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, EngineSlot<T>)> = Vec::new();
+                        let mut worker_busy = Duration::ZERO;
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= n {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let result = catch_unwind(AssertUnwindSafe(|| job(index)))
+                                .map_err(|payload| panic_message(payload.as_ref()));
+                            let elapsed = t0.elapsed();
+                            worker_busy += elapsed;
+                            local.push((index, (result, elapsed)));
+                        }
+                        (local, worker_busy)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                // Workers cannot panic: every job runs under catch_unwind
+                // and the rest of the loop is panic-free.
+                let (local, worker_busy) = handle.join().expect("suite worker is panic-free");
+                busy += worker_busy;
+                for (index, slot) in local {
+                    slots[index] = Some(slot);
+                }
+            }
+        });
+
+        EngineRun {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every index below n was claimed exactly once"))
+                .collect(),
+            workers,
+            wall: started.elapsed(),
+            busy,
+        }
+    }
+
+    /// The default worker count: one per available core, capped at the
+    /// amount of work.
+    pub fn default_workers(n: usize) -> usize {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1))
+    }
+
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "opaque panic payload".to_string()
+        }
+    }
+}
+
+/// Runs FragDroid over many apps on the work-stealing engine, returning
+/// per-app [`AppOutcome`]s in input order plus [`SuiteMetrics`]. A
+/// panicking app is isolated to its own slot; a deadline-limited app
+/// keeps its partial report.
+pub fn run_suite_outcomes(apps: &[SuiteApp], config: &FragDroidConfig) -> SuiteRun {
+    run_suite_with_workers(apps, config, engine::default_workers(apps.len()))
+}
+
+/// [`run_suite_outcomes`] with an explicit worker count (1 reproduces a
+/// sequential run exactly).
+pub fn run_suite_with_workers(
+    apps: &[SuiteApp],
+    config: &FragDroidConfig,
+    workers: usize,
+) -> SuiteRun {
+    let engine_run = engine::run_indexed(apps.len(), workers, |index| {
+        let (app, inputs) = &apps[index];
+        FragDroid::new(config.clone()).run(app, inputs)
+    });
+
+    let wall = engine_run.wall;
+    let busy = engine_run.busy;
+    let workers_used = engine_run.workers;
+
+    let mut outcomes = Vec::with_capacity(apps.len());
+    let mut per_app = Vec::with_capacity(apps.len());
+    for (index, (result, elapsed)) in engine_run.results.into_iter().enumerate() {
+        let package = apps[index].0.manifest.package.clone();
+        let outcome = match result {
+            Ok(report) if report.deadline_exceeded => AppOutcome::DeadlineExceeded(report),
+            Ok(report) => AppOutcome::Completed(report),
+            Err(message) => AppOutcome::Panicked { message },
+        };
+        let (events, cases_run, cases_generated, crashes) = match outcome.report() {
+            Some(r) => (r.events_injected, r.test_cases_run, r.test_cases_generated, r.crashes),
+            None => (0, 0, 0, 0),
+        };
+        let secs = elapsed.as_secs_f64();
+        per_app.push(AppMetrics {
+            package,
+            wall_ms: elapsed.as_millis() as u64,
+            events_injected: events,
+            events_per_second: if secs > 0.0 { events as f64 / secs } else { 0.0 },
+            test_cases_run: cases_run,
+            test_cases_generated: cases_generated,
+            crashes,
+            panicked: outcome.is_panicked(),
+            deadline_exceeded: matches!(outcome, AppOutcome::DeadlineExceeded(_)),
+        });
+        outcomes.push(outcome);
+    }
+
+    let capacity = workers_used as f64 * wall.as_secs_f64();
+    SuiteRun {
+        outcomes,
+        metrics: SuiteMetrics {
+            workers: workers_used,
+            wall_ms: wall.as_millis() as u64,
+            busy_ms: busy.as_millis() as u64,
+            worker_utilization: if capacity > 0.0 {
+                (busy.as_secs_f64() / capacity).min(1.0)
+            } else {
+                0.0
+            },
+            apps: per_app,
+        },
+    }
+}
+
+/// Runs FragDroid over many apps in parallel, returning reports in input
+/// order. Determinism is unaffected: each app's run is self-contained.
+///
+/// This is the legacy strict entry point: a panic in any app is
+/// propagated (after every other app finished). Callers that want
+/// fault isolation or metrics use [`run_suite_outcomes`].
+pub fn run_suite(apps: &[SuiteApp], config: &FragDroidConfig) -> Vec<RunReport> {
+    run_suite_outcomes(apps, config)
+        .outcomes
+        .into_iter()
+        .map(|outcome| match outcome {
+            AppOutcome::Completed(r) | AppOutcome::DeadlineExceeded(r) => r,
+            AppOutcome::Panicked { message } => {
+                panic!("suite app panicked: {message}")
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn suite_results_are_in_order_and_match_single_runs() {
-        let apps: Vec<SuiteApp> = [
+    fn template_apps() -> Vec<SuiteApp> {
+        [
             fd_appgen::templates::quickstart(),
             fd_appgen::templates::nav_drawer_wallpapers(),
             fd_appgen::templates::tabbed_categories(),
         ]
         .into_iter()
         .map(|g| (g.app, g.known_inputs))
-        .collect();
+        .collect()
+    }
 
+    #[test]
+    fn suite_results_are_in_order_and_match_single_runs() {
+        let apps = template_apps();
         let config = FragDroidConfig::default();
         let parallel = run_suite(&apps, &config);
         assert_eq!(parallel.len(), 3);
@@ -61,5 +359,100 @@ mod tests {
     #[test]
     fn empty_suite_is_fine() {
         assert!(run_suite(&[], &FragDroidConfig::default()).is_empty());
+        let run = run_suite_outcomes(&[], &FragDroidConfig::default());
+        assert!(run.outcomes.is_empty());
+        assert_eq!(run.metrics.workers, 0);
+        assert!(run.metrics.apps.is_empty());
+    }
+
+    #[test]
+    fn single_worker_matches_default_run() {
+        let apps = template_apps();
+        let config = FragDroidConfig::default();
+        let sequential = run_suite_with_workers(&apps, &config, 1);
+        let parallel = run_suite_outcomes(&apps, &config);
+        for (a, b) in sequential.outcomes.iter().zip(&parallel.outcomes) {
+            let (a, b) = (a.report().unwrap(), b.report().unwrap());
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap(),
+                "worker count must not affect results"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_from_siblings() {
+        let run = engine::run_indexed(5, 4, |i| {
+            if i == 2 {
+                panic!("job {i} exploded");
+            }
+            i * 10
+        });
+        assert_eq!(run.results.len(), 5);
+        let panicked: Vec<usize> = run
+            .results
+            .iter()
+            .enumerate()
+            .filter(|(_, (r, _))| r.is_err())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(panicked, vec![2], "exactly the panicking index fails");
+        assert_eq!(
+            run.results[2].0.as_ref().unwrap_err(),
+            "job 2 exploded",
+            "panic payload is preserved"
+        );
+        for i in [0usize, 1, 3, 4] {
+            assert_eq!(*run.results[i].0.as_ref().unwrap(), i * 10, "siblings complete");
+        }
+    }
+
+    #[test]
+    fn engine_results_are_in_input_order() {
+        let run = engine::run_indexed(64, 8, |i| i);
+        let values: Vec<usize> = run.results.into_iter().map(|(r, _)| r.unwrap()).collect();
+        assert_eq!(values, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deadline_exceeded_keeps_partial_report() {
+        let apps = template_apps();
+        let config = FragDroidConfig::default().with_deadline(Duration::ZERO);
+        let run = run_suite_outcomes(&apps, &config);
+        for outcome in &run.outcomes {
+            match outcome {
+                AppOutcome::DeadlineExceeded(report) => {
+                    // The very first budget check fails, so nothing ran —
+                    // but the report is still a well-formed partial result.
+                    assert_eq!(report.events_injected, 0);
+                    assert!(report.deadline_exceeded);
+                }
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        assert!(run.metrics.apps.iter().all(|m| m.deadline_exceeded));
+    }
+
+    #[test]
+    fn suite_metrics_roundtrip_through_json() {
+        let apps = template_apps();
+        let run = run_suite_outcomes(&apps, &FragDroidConfig::default());
+        let metrics = &run.metrics;
+        assert_eq!(metrics.apps.len(), 3);
+        assert!(metrics.workers >= 1);
+        assert!(metrics.apps.iter().all(|m| !m.panicked && !m.deadline_exceeded));
+        assert!(metrics.apps.iter().all(|m| m.events_injected > 0));
+        let parsed = SuiteMetrics::from_json(&metrics.to_json()).expect("roundtrip parses");
+        assert_eq!(&parsed, metrics);
+    }
+
+    #[test]
+    fn legacy_run_suite_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let run = engine::run_indexed(1, 1, |_| -> usize { panic!("boom") });
+            run.results[0].0.clone().unwrap()
+        });
+        assert!(result.is_err());
     }
 }

@@ -344,19 +344,14 @@ fn sweep_recovers_from_mid_sweep_crashes() {
     let mut app = gen.app;
     // Inject a crash button wired in Main's onCreate.
     let mut main = app.classes.get("t.crashy.Main").unwrap().clone();
-    main.methods[0].body.push(Stmt::SetOnClick {
-        widget: fd_smali::ResRef::id("boom"),
-        handler: "onBoom".into(),
-    });
-    main = main.with_method(
-        MethodDef::new("onBoom").push(Stmt::Crash { reason: "mid-sweep NPE".into() }),
-    );
+    main.methods[0]
+        .body
+        .push(Stmt::SetOnClick { widget: fd_smali::ResRef::id("boom"), handler: "onBoom".into() });
+    main = main
+        .with_method(MethodDef::new("onBoom").push(Stmt::Crash { reason: "mid-sweep NPE".into() }));
     app.classes.insert(main);
     let layout = app.layouts.get_mut("lay_main").unwrap();
-    layout.root.children.insert(
-        1,
-        fd_apk::Widget::new(fd_apk::WidgetKind::Button).with_id("boom"),
-    );
+    layout.root.children.insert(1, fd_apk::Widget::new(fd_apk::WidgetKind::Button).with_id("boom"));
 
     let report = FragDroid::new(FragDroidConfig::default()).run(&app, &gen.known_inputs);
     assert!(report.crashes >= 1, "the crash button fired");

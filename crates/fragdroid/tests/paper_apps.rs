@@ -19,10 +19,14 @@ fn paper_apps_hit_engineered_coverage() {
             failures.push(format!(
                 "{}: acts {}/{} (want {}/{}), frags {}/{} (want {}/{})",
                 spec.package,
-                a.visited, a.sum,
-                spec.expected_visited_activities(), spec.activities,
-                f.visited, f.sum,
-                spec.expected_visited_fragments(), spec.fragments,
+                a.visited,
+                a.sum,
+                spec.expected_visited_activities(),
+                spec.activities,
+                f.visited,
+                f.sum,
+                spec.expected_visited_fragments(),
+                spec.fragments,
             ));
         }
     }

@@ -82,9 +82,9 @@ fn main() {
                 continue;
             }
             "click" => device.click(arg),
-            "text" => device.enter_text(arg, &rest).map(|()| {
-                fragdroid_repro::droidsim::EventOutcome::NoChange
-            }),
+            "text" => device
+                .enter_text(arg, &rest)
+                .map(|()| fragdroid_repro::droidsim::EventOutcome::NoChange),
             "back" => device.back(),
             "swipe" => device.swipe_open_drawer(),
             "dismiss" => device.dismiss_overlay(),
@@ -107,6 +107,9 @@ fn main() {
 fn print_state(device: &Device) {
     match device.signature() {
         Some(sig) => println!("[{sig}]"),
-        None => println!("[not running{}]", device.crash_reason().map(|r| format!(": {r}")).unwrap_or_default()),
+        None => println!(
+            "[not running{}]",
+            device.crash_reason().map(|r| format!(": {r}")).unwrap_or_default()
+        ),
     }
 }

@@ -28,7 +28,9 @@ fn fig1_tab_transformation() {
 
     device.click("tab_recentfragment").expect("tab click");
     println!("after clicking tab:  {}", device.signature().unwrap());
-    println!("→ same Activity, different Fragment: an activity-level model calls these ONE state.\n");
+    println!(
+        "→ same Activity, different Fragment: an activity-level model calls these ONE state.\n"
+    );
 }
 
 /// Fig. 2: two fragments bridged only by a hidden slide menu, plus the

@@ -8,15 +8,10 @@ fn corpus_wide_smali_roundtrip() {
     let corpus = fragdroid_repro::appgen::corpus::corpus_217(1);
     let mut classes_checked = 0usize;
     for gen in corpus.iter().filter(|g| !g.app.meta.packed) {
-        let text: String = gen
-            .app
-            .classes
-            .iter()
-            .map(printer::print_class)
-            .collect::<Vec<_>>()
-            .join("\n");
-        let parsed = parser::parse_classes(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", gen.app.package()));
+        let text: String =
+            gen.app.classes.iter().map(printer::print_class).collect::<Vec<_>>().join("\n");
+        let parsed =
+            parser::parse_classes(&text).unwrap_or_else(|e| panic!("{}: {e}", gen.app.package()));
         assert_eq!(parsed.len(), gen.app.classes.len(), "{}", gen.app.package());
         for class in parsed {
             assert_eq!(Some(&class), gen.app.classes.get(class.name.as_str()));

@@ -1,0 +1,195 @@
+//! A minimal, self-contained stand-in for the `criterion` crate.
+//!
+//! Each benchmark closure is timed over a small fixed number of
+//! iterations and the mean wall time is printed. There is no warm-up,
+//! statistical analysis, or HTML report — just enough to keep `cargo
+//! bench` binaries (with `harness = false`) compiling and producing
+//! readable numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many timed iterations each benchmark runs.
+const DEFAULT_ITERATIONS: u64 = 10;
+
+/// Measurement context passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Throughput annotation for a benchmark group (recorded, printed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id from a name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { text: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+/// The top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, DEFAULT_ITERATIONS, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: DEFAULT_ITERATIONS,
+        }
+    }
+
+    /// No-op finalizer (the real crate prints a summary here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    iterations: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { iterations, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / iterations.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:.0} elem/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("bench {id:<50} {:>12.3} us/iter{rate}", per_iter * 1e6);
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

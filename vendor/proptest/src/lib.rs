@@ -1,0 +1,477 @@
+//! A minimal, self-contained stand-in for the `proptest` crate.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - **No shrinking.** A failing case panics with its case number; the
+//!   run is fully deterministic (seeded from the test's module path and
+//!   name), so failures reproduce exactly.
+//! - **Regex strategies** support the subset used in this workspace:
+//!   concatenations of character classes / literal characters with
+//!   `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers.
+//! - Strategies are sampled fresh per case; there is no size-driven
+//!   growth. `prop_recursive` approximates depth with a weighted union.
+
+use std::fmt;
+use std::sync::Arc;
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// Deterministic per-test RNG (SplitMix64 over an FNV-1a seed of the
+/// test path, mixed with the case index).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one test case.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A failed property (produced by `prop_assert!` and friends).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values, with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option`s.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some(inner)` half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing one element of a fixed set.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// String strategies (`proptest::string`).
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// A parse error for an unsupported regex.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// One regex atom: a set of char ranges with a repetition count.
+    pub(crate) struct Atom {
+        pub ranges: Vec<(char, char)>,
+        pub min: usize,
+        pub max: usize,
+    }
+
+    /// A compiled (sub-)regex strategy producing `String`s.
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let span = (atom.max - atom.min + 1) as u64;
+                let count = atom.min + rng.below(span) as usize;
+                for _ in 0..count {
+                    let (lo, hi) = atom.ranges[rng.below(atom.ranges.len() as u64) as usize];
+                    let width = (hi as u32 - lo as u32 + 1) as u64;
+                    let c = char::from_u32(lo as u32 + rng.below(width) as u32)
+                        .expect("range stays in valid chars");
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+
+    /// Compiles the supported regex subset: concatenated `[...]` classes
+    /// or literal/escaped characters, each optionally quantified with
+    /// `{n}`, `{m,n}`, `?`, `*`, or `+`.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let ranges = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            escaped(
+                                chars
+                                    .get(i)
+                                    .copied()
+                                    .ok_or_else(|| Error("trailing backslash in class".into()))?,
+                            )?
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            i += 1;
+                            let hi =
+                                if chars[i] == '\\' {
+                                    i += 1;
+                                    escaped(chars.get(i).copied().ok_or_else(|| {
+                                        Error("trailing backslash in class".into())
+                                    })?)?
+                                } else {
+                                    chars[i]
+                                };
+                            i += 1;
+                            if hi < lo {
+                                return Err(Error(format!("bad range {lo}-{hi}")));
+                            }
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err(Error("unterminated character class".into()));
+                    }
+                    i += 1; // ']'
+                    if ranges.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    ranges
+                }
+                '\\' => {
+                    i += 1;
+                    let c = escaped(
+                        chars.get(i).copied().ok_or_else(|| Error("trailing backslash".into()))?,
+                    )?;
+                    i += 1;
+                    vec![(c, c)]
+                }
+                c if "(){}*+?|^$.".contains(c) => {
+                    return Err(Error(format!("unsupported regex construct `{c}`")));
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    i += 1;
+                    let start = i;
+                    while i < chars.len() && chars[i] != '}' {
+                        i += 1;
+                    }
+                    if i >= chars.len() {
+                        return Err(Error("unterminated quantifier".into()));
+                    }
+                    let body: String = chars[start..i].iter().collect();
+                    i += 1; // '}'
+                    match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let lo = lo.trim().parse().map_err(|_| Error("bad bound".into()))?;
+                            let hi = hi.trim().parse().map_err(|_| Error("bad bound".into()))?;
+                            (lo, hi)
+                        }
+                        None => {
+                            let n = body.trim().parse().map_err(|_| Error("bad bound".into()))?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if max < min {
+                return Err(Error("quantifier max < min".into()));
+            }
+            atoms.push(Atom { ranges, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    fn escaped(c: char) -> Result<char, Error> {
+        Ok(match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '\\' => '\\',
+            '"' => '"',
+            '-' => '-',
+            ']' => ']',
+            '[' => '[',
+            '.' => '.',
+            other => return Err(Error(format!("unsupported escape `\\{other}`"))),
+        })
+    }
+}
+
+/// The glob import test files use.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+
+    /// The `prop` module alias (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+        pub use crate::string;
+    }
+}
+
+/// Boxes a strategy behind an `Arc` for use in [`Union`] arms.
+#[doc(hidden)]
+pub fn arc_strategy<S>(strategy: S) -> Arc<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Arc::new(strategy)
+}
+
+/// The `proptest! { ... }` block: expands each contained property into a
+/// deterministic `#[test]` loop over `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            for case_index in 0..config.cases {
+                let mut test_rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case_index,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut test_rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    ::std::panic!(
+                        "property {} failed at case #{}: {}",
+                        stringify!($name),
+                        case_index,
+                        err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}
+
+/// Weighted (`w => strat`) or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::arc_strategy($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::arc_strategy($strat))),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, "assertion failed: `{:?}` == `{:?}`", left, right);
+    }};
+}

@@ -1,0 +1,285 @@
+//! The [`Strategy`] trait and core combinators.
+
+use crate::string::string_regex;
+use crate::TestRng;
+use std::sync::Arc;
+
+/// A recipe for producing values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `sample`
+/// draws one concrete value directly.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `depth` rounds of wrapping `self`
+    /// with `expand`, where each round prefers the simpler inner
+    /// strategy 3:1. The `_desired_size` / `_expected_branch_size`
+    /// parameters are accepted for signature compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base: BoxedStrategy<Self::Value> = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let expanded = expand(current.clone());
+            current = Union::new(vec![
+                (3, Arc::new(base.clone()) as Arc<dyn Strategy<Value = Self::Value>>),
+                (1, Arc::new(expanded) as Arc<dyn Strategy<Value = Self::Value>>),
+            ])
+            .boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<V>(pub Arc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.0.sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Arc<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A weighted choice between strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, Arc<dyn Strategy<Value = V>>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, Arc<dyn Strategy<Value = V>>)>) -> Self {
+        assert!(!arms.is_empty(), "union of zero strategies");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "union weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strategy) in &self.arms {
+            if pick < *weight as u64 {
+                return strategy.sample(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights exhausted without a pick");
+    }
+}
+
+/// A `&'static str` is itself a strategy: a regex for strings.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+            .sample(rng)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64 + 1;
+                start + rng.below(span) as $ty
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for `bool`: fair coin.
+#[derive(Clone, Debug)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+macro_rules! arbitrary_full_range_ints {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = FullRange<$ty>;
+
+            fn arbitrary() -> FullRange<$ty> {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+/// Strategy over an integer type's full value range.
+#[derive(Clone, Debug)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+macro_rules! full_range_impls {
+    ($($ty:ty),*) => {$(
+        impl Strategy for FullRange<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+full_range_impls!(u8, u16, u32, u64, usize, i32, i64);
+arbitrary_full_range_ints!(u8, u16, u32, u64, usize, i32, i64);
+
+/// The canonical strategy for `T` ([`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}

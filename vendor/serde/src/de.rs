@@ -1,0 +1,244 @@
+//! Deserialization: types rebuild themselves from a [`Value`].
+
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The error trait deserializer errors implement (mirrors
+/// `serde::de::Error` far enough for `Error::custom`).
+pub trait Error: Sized {
+    /// Builds an error from a message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete error produced by [`Deserialize::from_value`].
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from a message (inherent mirror of
+    /// [`Error::custom`], so derive-generated code needs no trait
+    /// import at the call site).
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can rebuild itself from a [`Value`].
+///
+/// `from_value` is the working method; `deserialize` keeps real-serde
+/// call sites (`serde::Deserialize::deserialize(de)`) compiling.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Pulls a value out of `deserializer` and rebuilds `Self` from it.
+    fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(D::Error::custom)
+    }
+}
+
+/// A source of one [`Value`]. The lifetime parameter exists only for
+/// signature compatibility with real serde; nothing borrows from input.
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: Error;
+
+    /// Yields the input as a value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// The identity deserializer over an owned [`Value`]. Derive-generated
+/// code uses it to drive `with = "module"` helpers.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, Self::Error> {
+        Ok(self.0)
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_bool().ok_or_else(|| DeError::custom("expected bool"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_str().map(str::to_string).ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value.as_str().ok_or_else(|| DeError::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|v| <$ty>::try_from(v).ok())
+                        .ok_or_else(|| {
+                            DeError::custom(concat!("integer out of range for ", stringify!($ty)))
+                        }),
+                    _ => Err(DeError::custom(concat!("expected ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|v| <$ty>::try_from(v).ok())
+                        .ok_or_else(|| {
+                            DeError::custom(concat!("integer out of range for ", stringify!($ty)))
+                        }),
+                    _ => Err(DeError::custom(concat!("expected ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize, u128);
+deserialize_int!(i8, i16, i32, i64, isize, i128);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::custom("expected number")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+/// Reverses `ser::map_key_to_string`: a key that does not deserialize
+/// directly from its string form is re-parsed as JSON first (this is how
+/// tuple- or integer-keyed maps survive the object round-trip).
+fn map_key_from_string<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    match K::from_value(&Value::String(key.to_string())) {
+        Ok(k) => Ok(k),
+        Err(first) => match Value::parse_json(key) {
+            Ok(reparsed) => K::from_value(&reparsed),
+            Err(_) => Err(first),
+        },
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((map_key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::custom("expected tuple array"))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(concat!("expected ", $len, "-element array")));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (1; A.0)
+    (2; A.0, B.1)
+    (3; A.0, B.1, C.2)
+    (4; A.0, B.1, C.2, D.3)
+}

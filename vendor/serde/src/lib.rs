@@ -1,0 +1,21 @@
+//! A minimal, self-contained stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no network access to a
+//! crates registry, so the workspace vendors the small slice of serde it
+//! actually uses. Instead of serde's visitor-based zero-copy data model,
+//! everything funnels through an owned [`Value`] tree: `Serialize` types
+//! render themselves *to* a `Value`, `Deserialize` types rebuild
+//! themselves *from* one. The public trait signatures
+//! (`fn serialize<S: Serializer>(…)`, `fn deserialize<'de, D:
+//! Deserializer<'de>>(…)`, `#[serde(with = "module")]` helper modules)
+//! stay source-compatible with the real crate for the patterns used in
+//! this workspace.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};

@@ -1,0 +1,536 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! for the vendored value-based serde (no `syn`/`quote`; the input item
+//! is parsed directly from the `proc_macro` token stream).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields, newtype/tuple structs, unit structs;
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   like serde_json: `"Variant"`, `{"Variant": v}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}`);
+//! - field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(with = "module")]` and the container attribute
+//!   `#[serde(transparent)]`.
+//!
+//! Generics are rejected with a `compile_error!` — nothing in the
+//! workspace derives on generic types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive output parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Unit,
+    /// Tuple struct with this arity.
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    attrs: Attrs,
+}
+
+#[derive(Default)]
+struct Attrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+    #[allow(dead_code)] // accepted, but 1-tuples are always transparent
+    transparent: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { toks: stream.into_iter().collect(), i: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.peek_punct(ch) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+/// Consumes any leading `#[...]` attributes, folding `serde` ones into
+/// the returned [`Attrs`] and ignoring the rest (doc comments, etc.).
+fn parse_attrs(cur: &mut Cursor) -> Result<Attrs, String> {
+    let mut attrs = Attrs::default();
+    while cur.peek_punct('#') {
+        cur.next();
+        let group = match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => return Err(format!("expected attribute brackets, found {other:?}")),
+        };
+        let mut inner = Cursor::new(group.stream());
+        let head = match inner.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue, // e.g. `#![...]` or exotic paths — not ours
+        };
+        if head != "serde" {
+            continue;
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => return Err(format!("expected serde(...), found {other:?}")),
+        };
+        let mut args = Cursor::new(args.stream());
+        while args.peek().is_some() {
+            let flag = args.expect_ident()?;
+            match flag.as_str() {
+                "skip" => attrs.skip = true,
+                "default" => attrs.default = true,
+                "transparent" => attrs.transparent = true,
+                "with" => {
+                    if !args.eat_punct('=') {
+                        return Err("serde(with) expects `= \"module\"`".into());
+                    }
+                    match args.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let text = lit.to_string();
+                            let path = text.trim_matches('"').to_string();
+                            attrs.with = Some(path);
+                        }
+                        other => {
+                            return Err(format!("serde(with) expects a string, found {other:?}"))
+                        }
+                    }
+                }
+                other => return Err(format!("unsupported serde attribute `{other}`")),
+            }
+            args.eat_punct(',');
+        }
+    }
+    Ok(attrs)
+}
+
+/// Skips `pub`, `pub(crate)`, …
+fn skip_visibility(cur: &mut Cursor) {
+    if matches!(cur.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        cur.next();
+        if matches!(cur.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            cur.next();
+        }
+    }
+}
+
+/// Skips one type (and its trailing comma, if any), tracking `<`/`>`
+/// depth so generic arguments' commas don't end the field early.
+fn skip_type(cur: &mut Cursor) {
+    let mut depth = 0i32;
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                cur.next();
+                return;
+            }
+            _ => {}
+        }
+        cur.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = parse_attrs(&mut cur)?;
+        skip_visibility(&mut cur);
+        let name = cur.expect_ident()?;
+        if !cur.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        skip_type(&mut cur);
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct/variant from its paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut arity = 0;
+    let mut seen = false;
+    let mut depth = 0i32;
+    while let Some(t) = cur.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if seen {
+                    arity += 1;
+                }
+                seen = false;
+            }
+            _ => seen = true,
+        }
+    }
+    if seen {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        parse_attrs(&mut cur)?; // doc comments on variants
+        let name = cur.expect_ident()?;
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cur.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cur.next();
+                VariantKind::Named(fields.into_iter().map(|f| f.name).collect())
+            }
+            _ => VariantKind::Unit,
+        };
+        if cur.peek_punct('=') {
+            return Err("explicit enum discriminants are not supported".into());
+        }
+        if !cur.eat_punct(',') && cur.peek().is_some() {
+            return Err(format!("expected `,` after variant `{name}`"));
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    parse_attrs(&mut cur)?; // container attrs; transparent is implied for 1-tuples
+    skip_visibility(&mut cur);
+    let keyword = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if cur.peek_punct('<') {
+        return Err(format!("derive on generic type `{name}` is not supported"));
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            None => Kind::Unit,
+            other => return Err(format!("unexpected token after struct name: {other:?}")),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive on `{other}` items")),
+    };
+    Ok(Item { name, kind })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+
+/// The expression serializing `place` (an expression of the field's
+/// type, already behind a reference) under the field's attributes.
+fn ser_field_expr(place: &str, attrs: &Attrs) -> String {
+    match &attrs.with {
+        Some(path) => format!(
+            "match {path}::serialize({place}, serde::ser::ValueSerializer) {{ \
+             Ok(v) => v, Err(never) => match never {{}} }}"
+        ),
+        None => format!("serde::Serialize::to_value({place})"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => "serde::Value::Null".to_string(),
+        Kind::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Named(fields) => {
+            let mut out = String::from("let mut object = serde::value::Map::new();\n");
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                let expr = ser_field_expr(&format!("&self.{}", f.name), &f.attrs);
+                out.push_str(&format!("object.insert(String::from({:?}), {expr});\n", f.name));
+            }
+            out.push_str("serde::Value::Object(object)");
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::String(String::from({vn:?})),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{ \
+                             let mut object = serde::value::Map::new(); \
+                             object.insert(String::from({vn:?}), {inner}); \
+                             serde::Value::Object(object) }}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = String::from("let mut inner = serde::value::Map::new(); ");
+                        for fname in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(String::from({fname:?}), \
+                                 serde::Serialize::to_value({fname})); "
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ {inner} \
+                             let mut object = serde::value::Map::new(); \
+                             object.insert(String::from({vn:?}), serde::Value::Object(inner)); \
+                             serde::Value::Object(object) }}\n",
+                            binds = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// The expression rebuilding one named field from map variable `map`.
+fn de_field_expr(type_name: &str, map: &str, fname: &str, attrs: &Attrs) -> String {
+    if attrs.skip {
+        return "Default::default()".to_string();
+    }
+    let some_arm = match &attrs.with {
+        Some(path) => format!("{path}::deserialize(serde::de::ValueDeserializer(v.clone()))?"),
+        None => "serde::Deserialize::from_value(v)?".to_string(),
+    };
+    let none_arm = if attrs.default {
+        "Default::default()".to_string()
+    } else {
+        format!(
+            "return Err(serde::de::DeError::custom({:?}))",
+            format!("{type_name}: missing field `{fname}`")
+        )
+    };
+    format!("match {map}.get({fname:?}) {{ Some(v) => {some_arm}, None => {none_arm} }}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => format!("let _ = value; Ok({name})"),
+        Kind::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(value)?))"),
+        Kind::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Deserialize::from_value(&items[{i}])?")).collect();
+            format!(
+                "let items = match value.as_array() {{ \
+                 Some(a) if a.len() == {n} => a, \
+                 _ => return Err(serde::de::DeError::custom({msg:?})) }};\n\
+                 Ok({name}({items}))",
+                msg = format!("{name}: expected {n}-element array"),
+                items = items.join(", ")
+            )
+        }
+        Kind::Named(fields) => {
+            let mut out = format!(
+                "let map = match value.as_object() {{ Some(m) => m, \
+                 _ => return Err(serde::de::DeError::custom({msg:?})) }};\n",
+                msg = format!("{name}: expected object")
+            );
+            out.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                out.push_str(&format!(
+                    "{}: {},\n",
+                    f.name,
+                    de_field_expr(name, "map", &f.name, &f.attrs)
+                ));
+            }
+            out.push_str("})");
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"))
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(_inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{ let items = match _inner.as_array() {{ \
+                             Some(a) if a.len() == {n} => a, \
+                             _ => return Err(serde::de::DeError::custom({msg:?})) }}; \
+                             Ok({name}::{vn}({items})) }}\n",
+                            msg = format!("{name}::{vn}: expected {n}-element array"),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let attrs = Attrs::default();
+                        let mut ctor = format!("Ok({name}::{vn} {{ ");
+                        for fname in fields {
+                            ctor.push_str(&format!(
+                                "{fname}: {}, ",
+                                de_field_expr(&format!("{name}::{vn}"), "inner_map", fname, &attrs)
+                            ));
+                        }
+                        ctor.push_str("})");
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{ let inner_map = match _inner.as_object() {{ \
+                             Some(m) => m, \
+                             _ => return Err(serde::de::DeError::custom({msg:?})) }}; \
+                             {ctor} }}\n",
+                            msg = format!("{name}::{vn}: expected object"),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(serde::de::DeError::custom(format!(\
+                 \"{name}: unknown variant `{{other}}`\"))),\n\
+                 }},\n\
+                 serde::Value::Object(map) if map.len() == 1 => {{\n\
+                 let (key, _inner) = map.iter().next().expect(\"len checked\");\n\
+                 match key.as_str() {{\n\
+                 {data_arms}\
+                 other => Err(serde::de::DeError::custom(format!(\
+                 \"{name}: unknown variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(serde::de::DeError::custom({msg:?})),\n\
+                 }}",
+                msg = format!("{name}: expected externally tagged enum"),
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::Value) -> Result<Self, serde::de::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,97 @@
+//! A minimal, self-contained stand-in for `serde_json`.
+//!
+//! The JSON reader/writer itself lives in the vendored `serde` crate
+//! (on [`Value`]); this crate provides the familiar entry points and the
+//! `json!` macro on top of it.
+
+use std::fmt;
+
+pub use serde::value::{Map, Number, Value};
+
+/// A JSON (de)serialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders a value as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_json(false))
+}
+
+/// Renders a value as two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_json(true))
+}
+
+/// Renders a value as compact JSON bytes.
+pub fn to_vec<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = Value::parse_json(text).map_err(Error)?;
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses a value from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(text)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Object keys must be
+/// string literals; values may be nested `json!` syntax or any
+/// expression whose type implements the vendored `serde::Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object = $crate::Map::new();
+        $crate::json_object_internal!(object $($body)*);
+        $crate::Value::Object(object)
+    }};
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::to_value(&$element)),*])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// `json!` helper: munches `"key": value,` entries of an object body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($object:ident) => {};
+    ($object:ident $key:literal : $($rest:tt)*) => {
+        $crate::json_value_internal!($object $key [] $($rest)*);
+    };
+}
+
+/// `json!` helper: accumulates one value's tokens up to a top-level `,`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_value_internal {
+    ($object:ident $key:literal [$($value:tt)*] , $($rest:tt)*) => {
+        $object.insert(::std::string::String::from($key), $crate::json!($($value)*));
+        $crate::json_object_internal!($object $($rest)*);
+    };
+    ($object:ident $key:literal [$($value:tt)*]) => {
+        $object.insert(::std::string::String::from($key), $crate::json!($($value)*));
+    };
+    ($object:ident $key:literal [$($value:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_value_internal!($object $key [$($value)* $next] $($rest)*);
+    };
+}
