@@ -61,6 +61,22 @@ impl Parsed {
             Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got '{v}'")),
         }
     }
+
+    /// A fractional option with a default, constrained to `[0, 1]`.
+    pub fn fraction(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => {
+                let parsed: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--{key} expects a number in [0, 1], got '{v}'"))?;
+                if !(0.0..=1.0).contains(&parsed) {
+                    return Err(format!("--{key} expects a number in [0, 1], got '{v}'"));
+                }
+                Ok(parsed)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +105,17 @@ mod tests {
     fn bad_number_is_an_error() {
         let p = parse(&argv(&["--seed", "x"])).unwrap();
         assert!(p.num("seed", 0).is_err());
+    }
+
+    #[test]
+    fn fraction_enforces_unit_interval() {
+        let p = parse(&argv(&["--fault-rate", "0.25"])).unwrap();
+        assert_eq!(p.fraction("fault-rate", 0.0).unwrap(), 0.25);
+        assert_eq!(p.fraction("absent", 0.1).unwrap(), 0.1);
+        let over = parse(&argv(&["--fault-rate", "1.5"])).unwrap();
+        assert!(over.fraction("fault-rate", 0.0).is_err());
+        let junk = parse(&argv(&["--fault-rate", "x"])).unwrap();
+        assert!(junk.fraction("fault-rate", 0.0).is_err());
     }
 
     #[test]

@@ -95,7 +95,8 @@ pub fn dot(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `fragdroid run <app.fapk> [--inputs F] [--budget N] [--json]`
+/// `fragdroid run <app.fapk> [--inputs F] [--budget N] [--fault-rate R]
+/// [--fault-seed N] [--json]`
 pub fn run(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
     let app = load_app(p.one_path("container path")?)?;
@@ -104,6 +105,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         event_budget: p.num("budget", 40_000)? as usize,
         ..FragDroidConfig::default()
     };
+    let fault_rate = p.fraction("fault-rate", 0.0)?;
+    if fault_rate > 0.0 {
+        config = config.with_faults(p.num("fault-seed", 1)?, fault_rate);
+    }
     if let Some(spec) = p.opt("find-api") {
         let (group, name) = spec
             .split_once('/')
@@ -125,6 +130,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     println!("test cases:            {}", report.test_cases_run);
     println!("events:                {}", report.events_injected);
     println!("crashes:               {}", report.crashes);
+    if report.faults_injected > 0 || report.retries > 0 {
+        println!("faults injected:       {}", report.faults_injected);
+        println!("retries:               {}", report.retries);
+        println!(
+            "recovered crashes:     {}/{} distinct signatures",
+            report.recovered_crashes,
+            report.crash_reports.len()
+        );
+    }
     let (total, frag, frag_only) = report.api_relation_counts();
     println!(
         "sensitive API relations: {total} ({frag} fragment-associated, {frag_only} fragment-only)"
@@ -217,9 +231,10 @@ pub fn java(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N] [--json]`
-/// — run the whole analyzable corpus through the shared suite runner and
-/// report coverage plus runner metrics.
+/// `fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N]
+/// [--fault-rate R] [--fault-seed N] [--json]` — run the whole analyzable
+/// corpus through the shared suite runner and report coverage plus runner
+/// metrics.
 pub fn corpus(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
     if !p.positional.is_empty() {
@@ -241,6 +256,10 @@ pub fn corpus(argv: &[String]) -> Result<(), String> {
     if deadline_ms > 0 {
         config = config.with_deadline(std::time::Duration::from_millis(deadline_ms));
     }
+    let fault_rate = p.fraction("fault-rate", 0.0)?;
+    if fault_rate > 0.0 {
+        config = config.with_faults(p.num("fault-seed", 1)?, fault_rate);
+    }
     let run = match p.num("workers", 0)? as usize {
         0 => fragdroid::run_suite_outcomes(&apps, &config),
         workers => fragdroid::run_suite_with_workers(&apps, &config, workers),
@@ -252,6 +271,7 @@ pub fn corpus(argv: &[String]) -> Result<(), String> {
     }
     let (mut acts, mut acts_sum, mut frags, mut frags_sum) = (0, 0, 0, 0);
     let (mut panicked, mut deadline) = (0usize, 0usize);
+    let (mut faults, mut retries, mut crashes, mut recovered) = (0usize, 0usize, 0usize, 0usize);
     for outcome in &run.outcomes {
         match outcome {
             fragdroid::AppOutcome::Panicked { .. } => panicked += 1,
@@ -266,6 +286,10 @@ pub fn corpus(argv: &[String]) -> Result<(), String> {
                 acts_sum += a.sum;
                 frags += f.visited;
                 frags_sum += f.sum;
+                faults += report.faults_injected;
+                retries += report.retries;
+                crashes += report.crashes;
+                recovered += report.recovered_crashes;
             }
         }
     }
@@ -273,6 +297,10 @@ pub fn corpus(argv: &[String]) -> Result<(), String> {
     println!("apps:        {} ({} panicked, {} hit deadline)", apps.len(), panicked, deadline);
     println!("activities:  {acts}/{acts_sum}");
     println!("fragments:   {frags}/{frags_sum}");
+    if fault_rate > 0.0 {
+        println!("faults:      {faults} injected, {retries} retries");
+        println!("crashes:     {crashes} ({recovered} recovered)");
+    }
     println!(
         "wall time:   {:.2}s on {} workers ({:.0}% utilized)",
         m.wall_ms as f64 / 1000.0,

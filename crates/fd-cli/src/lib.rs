@@ -6,7 +6,7 @@
 //! fragdroid info <app.fapk>
 //! fragdroid static <app.fapk> [--inputs inputs.json]
 //! fragdroid dot <app.fapk>
-//! fragdroid run <app.fapk> [--inputs inputs.json] [--budget N] [--json]
+//! fragdroid run <app.fapk> [--inputs inputs.json] [--budget N] [--fault-rate R] [--fault-seed N] [--json]
 //! fragdroid dump <app.fapk>
 //! fragdroid templates
 //! ```
@@ -62,13 +62,15 @@ USAGE:
   fragdroid static <app.fapk> [--inputs F]  static extraction as JSON
   fragdroid dot <app.fapk>                initial AFTM as Graphviz DOT
   fragdroid run <app.fapk> [--inputs F] [--budget N] [--json] [--find-api g/n]
+                [--fault-rate R] [--fault-seed N]
                                           full exploration + coverage report
   fragdroid dump <app.fapk>               launch and print the UI hierarchy
   fragdroid unpack <app.fapk> --out DIR   apktool-style decompile to a directory
   fragdroid repack <DIR> --out <app.fapk> rebuild a container from a directory
   fragdroid replay <app.fapk> <trace.json> replay a recorded session (R&R)
   fragdroid java <app.fapk> [--inputs F]  emit the generated Robotium test class
-  fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N] [--json]
+  fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N]
+                [--fault-rate R] [--fault-seed N] [--json]
                                           run the synthetic corpus on the suite runner
   fragdroid templates                     list template names for 'gen'"
     );

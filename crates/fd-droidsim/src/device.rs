@@ -1,6 +1,7 @@
 //! The simulated device: app installation, activity stack, event injection.
 
 use crate::error::{DeviceError, ReflectError};
+use crate::faults::{FaultConfig, FaultKind, FaultLog, FaultPlan, FaultSite, KILL_REASON};
 use crate::intent::Intent;
 use crate::interp::{self, Frame, Interrupt};
 use crate::monitor::{ApiInvocation, ApiMonitor, Caller};
@@ -20,6 +21,10 @@ pub struct DeviceConfig {
     /// reproduces the paper's "some apps failed in the dynamic testing due
     /// to the issues of permissions".
     pub denied_permissions: BTreeSet<String>,
+    /// Seeded fault injection (see [`crate::faults`]). `None` — and any
+    /// zero-rate config — leaves the device exactly as reliable as it
+    /// always was.
+    pub faults: Option<FaultConfig>,
 }
 
 /// A simulated Android device with one installed app.
@@ -30,6 +35,15 @@ pub struct Device {
     stack: Vec<Screen>,
     monitor: ApiMonitor,
     crashed: Option<String>,
+    /// The UI signature at the moment of the last Force-Close (captured
+    /// before the task was cleared) — the crash-dedup key's state part.
+    crash_site: Option<UiSignature>,
+    faults: FaultPlan,
+    /// Injected events so far (faulted or not).
+    event_seq: u64,
+    /// Simulated clock, in ticks (~ms): one tick per injected event plus
+    /// any injected delays and supervisor backoff.
+    clock: u64,
 }
 
 impl Device {
@@ -51,7 +65,18 @@ impl Device {
             .filter(|p| !config.denied_permissions.contains(*p))
             .cloned()
             .collect();
-        Device { app, granted, stack: Vec::new(), monitor: ApiMonitor::new(), crashed: None }
+        let faults = config.faults.map(FaultPlan::new).unwrap_or_else(FaultPlan::inert);
+        Device {
+            app,
+            granted,
+            stack: Vec::new(),
+            monitor: ApiMonitor::new(),
+            crashed: None,
+            crash_site: None,
+            faults,
+            event_seq: 0,
+            clock: 0,
+        }
     }
 
     /// Installs an app from packed container bytes (decompiling it first),
@@ -83,6 +108,45 @@ impl Device {
     /// The crash reason, if crashed.
     pub fn crash_reason(&self) -> Option<&str> {
         self.crashed.as_deref()
+    }
+
+    /// The UI signature at the moment of the last Force-Close, captured
+    /// before the task was cleared. Together with the crash reason this
+    /// is the crash-deduplication key.
+    pub fn crash_site(&self) -> Option<&UiSignature> {
+        self.crash_site.as_ref()
+    }
+
+    /// Clears a Force-Close and the activity back stack **without
+    /// reinstalling** — `am force-stop` plus a cleared task. The monitor
+    /// log, runtime permission state, simulated clock, and the fault
+    /// plan all survive; a following [`Device::launch`] brings the app
+    /// back up from its launcher activity.
+    pub fn reset(&mut self) {
+        self.crashed = None;
+        self.crash_site = None;
+        self.stack.clear();
+    }
+
+    /// The log of every fault injected so far.
+    pub fn fault_log(&self) -> &FaultLog {
+        self.faults.log()
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_injected(&self) -> usize {
+        self.faults.injected()
+    }
+
+    /// The simulated clock, in ticks (~ms).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the simulated clock — how a supervisor's retry backoff
+    /// spends simulated (not wall-clock) time.
+    pub fn advance_clock(&mut self, ticks: u64) {
+        self.clock += ticks;
     }
 
     /// The foreground screen, if the app is running.
@@ -232,9 +296,34 @@ impl Device {
     }
 
     fn crash_out(&mut self, reason: String) -> EventOutcome {
+        self.crash_site = self.current().map(Screen::signature);
         self.crashed = Some(reason.clone());
         self.stack.clear();
         EventOutcome::Crashed { reason }
+    }
+
+    /// Rolls the fault plan for one injected event at `site`.
+    /// `Ok(Some(outcome))` means the fault already decided the event's
+    /// fate (dropped event, spurious process kill); `Err` is a transient
+    /// device failure; `Ok(None)` lets the event proceed normally —
+    /// possibly with a permission freshly revoked behind its back.
+    fn inject_fault(&mut self, site: FaultSite) -> Result<Option<EventOutcome>, DeviceError> {
+        self.event_seq += 1;
+        self.clock += 1;
+        match self.faults.roll(self.event_seq, site, &self.granted) {
+            None => Ok(None),
+            Some(FaultKind::DropEvent) => Ok(Some(EventOutcome::NoChange)),
+            Some(FaultKind::AnrDelay { ticks }) => {
+                self.clock += ticks;
+                Err(DeviceError::Anr { ticks })
+            }
+            Some(FaultKind::TransientStartFailure) => Err(DeviceError::TransientStart),
+            Some(FaultKind::ProcessKill) => Ok(Some(self.crash_out(KILL_REASON.to_string()))),
+            Some(FaultKind::RevokePermission { permission }) => {
+                self.granted.remove(&permission);
+                Ok(None)
+            }
+        }
     }
 
     fn classify(&self, before: Option<UiSignature>) -> EventOutcome {
@@ -276,7 +365,11 @@ impl Device {
             .launcher_activity()
             .map(|d| d.name.clone())
             .ok_or_else(|| DeviceError::Unresolved("no launcher activity".to_string()))?;
+        if let Some(faulted) = self.inject_fault(FaultSite::Launch)? {
+            return Ok(faulted);
+        }
         self.crashed = None;
+        self.crash_site = None;
         self.stack.clear();
         let intent =
             Intent { action: Some(ACTION_MAIN.to_string()), ..Intent::explicit(launcher.clone()) };
@@ -301,7 +394,11 @@ impl Device {
             return Err(DeviceError::NotForceStartable(decl.name.clone()));
         }
         let name = decl.name.clone();
+        if let Some(faulted) = self.inject_fault(FaultSite::ForceStart)? {
+            return Ok(faulted);
+        }
         self.crashed = None;
+        self.crash_site = None;
         self.stack.clear();
         // An empty intent: no extras — activities that require them FC.
         let intent =
@@ -327,6 +424,9 @@ impl Device {
     /// Clicks the visible widget with resource-ID `id`.
     pub fn click(&mut self, id: &str) -> Result<EventOutcome, DeviceError> {
         self.require_running()?;
+        if let Some(faulted) = self.inject_fault(FaultSite::Click)? {
+            return Ok(faulted);
+        }
         let screen = self.stack.last().expect("running");
         let widget =
             screen.visible_widget(id).ok_or_else(|| DeviceError::NoSuchWidget(id.to_string()))?;
@@ -393,6 +493,9 @@ impl Device {
     /// Types text into a visible `EditText`.
     pub fn enter_text(&mut self, id: &str, text: &str) -> Result<(), DeviceError> {
         self.require_running()?;
+        if self.inject_fault(FaultSite::EnterText)?.is_some() {
+            return Ok(()); // the keystrokes were dropped on the floor
+        }
         let screen = self.stack.last().expect("running");
         let widget =
             screen.visible_widget(id).ok_or_else(|| DeviceError::NoSuchWidget(id.to_string()))?;
@@ -408,6 +511,9 @@ impl Device {
     /// Case-3 recovery).
     pub fn dismiss_overlay(&mut self) -> Result<EventOutcome, DeviceError> {
         self.require_running()?;
+        if let Some(faulted) = self.inject_fault(FaultSite::DismissOverlay)? {
+            return Ok(faulted);
+        }
         let before = self.signature();
         let screen = self.stack.last_mut().expect("running");
         screen.overlay = None;
@@ -418,6 +524,9 @@ impl Device {
     /// an open drawer, else finishes the foreground activity.
     pub fn back(&mut self) -> Result<EventOutcome, DeviceError> {
         self.require_running()?;
+        if let Some(faulted) = self.inject_fault(FaultSite::Back)? {
+            return Ok(faulted);
+        }
         let before = self.signature();
         let screen = self.stack.last_mut().expect("running");
         if screen.overlay.is_some() {
@@ -434,6 +543,9 @@ impl Device {
     /// activity layout, the gesture alternative of Fig. 2(b).
     pub fn swipe_open_drawer(&mut self) -> Result<EventOutcome, DeviceError> {
         self.require_running()?;
+        if let Some(faulted) = self.inject_fault(FaultSite::Swipe)? {
+            return Ok(faulted);
+        }
         let before = self.signature();
         let screen = self.stack.last_mut().expect("running");
         let drawer = screen.layout.as_ref().and_then(|l| {
@@ -461,6 +573,9 @@ impl Device {
     /// [`ReflectError`].
     pub fn reflect_switch_fragment(&mut self, fragment: &str) -> Result<EventOutcome, DeviceError> {
         self.require_running()?;
+        if let Some(faulted) = self.inject_fault(FaultSite::Reflect)? {
+            return Ok(faulted);
+        }
         let fragment_name = ClassName::new(fragment);
         let fail = |why: ReflectError| DeviceError::ReflectionFailed {
             fragment: fragment_name.clone(),

@@ -15,11 +15,22 @@ pub enum DeviceError {
     /// the component does not exist).
     NotForceStartable(ClassName),
     /// The app force-closed. The device stays in the crashed state until
-    /// [`crate::Device::restart`].
+    /// [`crate::Device::reset`] (or a fresh launch).
     Crashed {
         /// The exception message.
         reason: String,
     },
+    /// Event delivery was delayed past the ANR threshold (an injected
+    /// [`crate::faults::FaultKind::AnrDelay`]); the event never reached
+    /// the app. Transient: a retry may go through.
+    Anr {
+        /// How long the event was delayed, in simulated clock ticks.
+        ticks: u64,
+    },
+    /// `am start`/launch failed transiently (an injected
+    /// [`crate::faults::FaultKind::TransientStartFailure`]). Transient:
+    /// a retry may go through.
+    TransientStart,
     /// An event targeted a widget that is not on screen (or not visible).
     NoSuchWidget(String),
     /// An event targeted a widget that exists but is not clickable.
@@ -40,6 +51,38 @@ pub enum DeviceError {
     /// The activity back stack overflowed (a start-activity cycle in the
     /// app's `onCreate` chain).
     StackOverflow,
+}
+
+/// Coarse classification of a [`DeviceError`] — what a recovery
+/// supervisor keys its policy on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The device hiccuped but the app is fine; a bounded retry with
+    /// backoff is worthwhile ([`DeviceError::Anr`],
+    /// [`DeviceError::TransientStart`]).
+    Transient,
+    /// The event targeted a widget that is not there (anymore): the UI
+    /// diverged from the script's expectation. Retrying the same event
+    /// cannot help; the test case should move on
+    /// ([`DeviceError::NoSuchWidget`], [`DeviceError::NotClickable`],
+    /// [`DeviceError::NotEditable`]).
+    WidgetGone,
+    /// Everything else: the app is crashed, not running, or the request
+    /// itself is unsatisfiable. Retrying verbatim is pointless.
+    Fatal,
+}
+
+impl DeviceError {
+    /// Classifies this error for retry/recovery decisions.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            DeviceError::Anr { .. } | DeviceError::TransientStart => ErrorClass::Transient,
+            DeviceError::NoSuchWidget(_)
+            | DeviceError::NotClickable(_)
+            | DeviceError::NotEditable(_) => ErrorClass::WidgetGone,
+            _ => ErrorClass::Fatal,
+        }
+    }
 }
 
 /// Why a reflective fragment switch failed.
@@ -99,6 +142,12 @@ impl fmt::Display for DeviceError {
                 write!(f, "reflective switch to {fragment} failed: {why}")
             }
             DeviceError::StackOverflow => write!(f, "activity back stack overflow"),
+            DeviceError::Anr { ticks } => {
+                write!(f, "ANR: event delivery delayed {ticks} ticks past the input deadline")
+            }
+            DeviceError::TransientStart => {
+                write!(f, "am start failed transiently (activity manager timeout)")
+            }
         }
     }
 }
@@ -118,5 +167,17 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("a.F") && s.contains("parameters"));
         assert!(DeviceError::NoSuchWidget("go".into()).to_string().contains("go"));
+    }
+
+    #[test]
+    fn classification_covers_the_three_buckets() {
+        assert_eq!(DeviceError::Anr { ticks: 5_500 }.class(), ErrorClass::Transient);
+        assert_eq!(DeviceError::TransientStart.class(), ErrorClass::Transient);
+        assert_eq!(DeviceError::NoSuchWidget("x".into()).class(), ErrorClass::WidgetGone);
+        assert_eq!(DeviceError::NotClickable("x".into()).class(), ErrorClass::WidgetGone);
+        assert_eq!(DeviceError::NotEditable("x".into()).class(), ErrorClass::WidgetGone);
+        assert_eq!(DeviceError::NotRunning.class(), ErrorClass::Fatal);
+        assert_eq!(DeviceError::Crashed { reason: "e".into() }.class(), ErrorClass::Fatal);
+        assert_eq!(DeviceError::StackOverflow.class(), ErrorClass::Fatal);
     }
 }

@@ -1,0 +1,354 @@
+//! Seeded, deterministic fault injection.
+//!
+//! The paper's dynamic phase ran on real phones, where Force-Closes,
+//! ANRs, flaky event delivery, and permission failures are routine. The
+//! simulator is faithful to the *app* model but, by default, far too
+//! polite about the *device*: nothing ever goes wrong unless the app
+//! logic says so. This module adds the unreliable-device dimension back
+//! in — without giving up determinism.
+//!
+//! A [`FaultPlan`] is seeded once ([`FaultConfig::seed`]) and consulted
+//! before every injected event. With probability [`FaultConfig::rate`]
+//! it injects one [`FaultKind`]:
+//!
+//! * [`FaultKind::DropEvent`] — the event is silently swallowed (flaky
+//!   dispatch); the device reports [`crate::EventOutcome::NoChange`].
+//! * [`FaultKind::AnrDelay`] — delivery is delayed past the ANR
+//!   threshold in simulated clock ticks; the event fails with
+//!   [`crate::DeviceError::Anr`].
+//! * [`FaultKind::TransientStartFailure`] — `am start`/launch fails
+//!   transiently ([`crate::DeviceError::TransientStart`]); a retry may
+//!   succeed.
+//! * [`FaultKind::ProcessKill`] — the app process is killed: a spurious
+//!   Force-Close with a synthetic stack reason ([`KILL_REASON`]).
+//! * [`FaultKind::RevokePermission`] — a granted runtime permission is
+//!   revoked mid-run; the event itself proceeds, but later permission
+//!   checks may now throw.
+//!
+//! Every injection is recorded in a [`FaultLog`], so a run is fully
+//! replayable from `(seed, rate)`: the same seed over the same event
+//! sequence reproduces the same faults, bit for bit. A zero-rate plan
+//! never touches the RNG and is therefore indistinguishable from no
+//! plan at all.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Simulated clock ticks (~ms) after which a delayed event counts as an
+/// Application Not Responding timeout — Android's 5-second input limit.
+pub const ANR_THRESHOLD_TICKS: u64 = 5_000;
+
+/// The synthetic stack reason a [`FaultKind::ProcessKill`] crash carries.
+pub const KILL_REASON: &str = "Process died: signal 9 (SIGKILL), injected by fault plan";
+
+/// Static configuration of the fault injector: everything needed to
+/// replay a faulted run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// RNG seed; the same seed reproduces the same fault sequence.
+    pub seed: u64,
+    /// Per-event fault probability in `[0, 1]`. `0.0` disables the
+    /// injector entirely (the RNG is never advanced).
+    pub rate: f64,
+}
+
+impl FaultConfig {
+    /// A plan configuration with the given seed and rate.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        FaultConfig { seed, rate }
+    }
+
+    /// Whether this configuration can ever inject a fault.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0
+    }
+}
+
+/// Where in the device API an event is being injected. The site decides
+/// which fault kinds are eligible (a transient `am start` failure makes
+/// no sense for a click; killing the process mid-typing is modeled as a
+/// drop instead).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// [`crate::Device::launch`].
+    Launch,
+    /// [`crate::Device::am_start`].
+    ForceStart,
+    /// [`crate::Device::click`].
+    Click,
+    /// [`crate::Device::enter_text`].
+    EnterText,
+    /// [`crate::Device::dismiss_overlay`].
+    DismissOverlay,
+    /// [`crate::Device::back`].
+    Back,
+    /// [`crate::Device::swipe_open_drawer`].
+    Swipe,
+    /// [`crate::Device::reflect_switch_fragment`].
+    Reflect,
+}
+
+impl FaultSite {
+    /// Whether the site is an app (re)start, where transient `am start`
+    /// failures apply.
+    fn is_start(self) -> bool {
+        matches!(self, FaultSite::Launch | FaultSite::ForceStart)
+    }
+
+    /// Whether a process kill is modeled at this site. Text entry cannot
+    /// Force-Close (its API has no crash outcome), so kills degrade to
+    /// drops there.
+    fn can_kill(self) -> bool {
+        !matches!(self, FaultSite::EnterText)
+    }
+}
+
+/// One injected fault.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The event was silently swallowed (flaky dispatch).
+    DropEvent,
+    /// Delivery was delayed `ticks` of simulated time — past
+    /// [`ANR_THRESHOLD_TICKS`], so the event failed as an ANR.
+    AnrDelay {
+        /// How long the event was delayed, in simulated ticks.
+        ticks: u64,
+    },
+    /// `am start`/launch failed transiently.
+    TransientStartFailure,
+    /// The app process was killed (spurious Force-Close with
+    /// [`KILL_REASON`]).
+    ProcessKill,
+    /// A granted permission was revoked mid-run.
+    RevokePermission {
+        /// The revoked permission.
+        permission: String,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::DropEvent => write!(f, "drop-event"),
+            FaultKind::AnrDelay { ticks } => write!(f, "anr-delay {ticks}t"),
+            FaultKind::TransientStartFailure => write!(f, "transient-start-failure"),
+            FaultKind::ProcessKill => write!(f, "process-kill"),
+            FaultKind::RevokePermission { permission } => write!(f, "revoke {permission}"),
+        }
+    }
+}
+
+/// One [`FaultLog`] entry: which event was faulted, where, and how.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// The 1-based sequence number of the injected event the fault hit.
+    pub event_seq: u64,
+    /// The device API the event went through.
+    pub site: FaultSite,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// The replayable record of every fault injected in a run. Two runs with
+/// the same [`FaultConfig`] over the same event sequence produce equal
+/// logs.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultLog {
+    /// The seed the plan ran with (0 for an inert plan).
+    pub seed: u64,
+    /// The per-event fault rate (0.0 for an inert plan).
+    pub rate: f64,
+    /// Injected faults, in event order.
+    pub records: Vec<FaultRecord>,
+}
+
+impl FaultLog {
+    /// Serializes the log to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fault log always serializes")
+    }
+
+    /// Parses a log back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Whether any fault of this kind predicate was injected.
+    pub fn any(&self, mut pred: impl FnMut(&FaultKind) -> bool) -> bool {
+        self.records.iter().any(|r| pred(&r.kind))
+    }
+}
+
+/// The live injector: configuration, RNG state, and the log of what it
+/// has done so far.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng: StdRng,
+    log: FaultLog,
+}
+
+impl FaultPlan {
+    /// A plan from its configuration.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            log: FaultLog { seed: config.seed, rate: config.rate, records: Vec::new() },
+        }
+    }
+
+    /// A plan that never injects anything (and never advances its RNG).
+    pub fn inert() -> Self {
+        FaultPlan::new(FaultConfig::new(0, 0.0))
+    }
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_active(&self) -> bool {
+        self.config.is_active()
+    }
+
+    /// The log of every fault injected so far.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> usize {
+        self.log.records.len()
+    }
+
+    /// Rolls the dice for the event numbered `event_seq` going through
+    /// `site`. `granted` is the set of currently granted permissions
+    /// (revocation candidates). Returns the injected fault, if any,
+    /// after recording it in the log.
+    ///
+    /// An inert plan returns `None` without touching the RNG, so a
+    /// zero-rate device is bit-for-bit identical to an unfaulted one.
+    pub fn roll(
+        &mut self,
+        event_seq: u64,
+        site: FaultSite,
+        granted: &BTreeSet<String>,
+    ) -> Option<FaultKind> {
+        if !self.config.is_active() {
+            return None;
+        }
+        if !self.rng.gen_bool(self.config.rate) {
+            return None;
+        }
+        // Uniform selector over the five kinds; slots a site is not
+        // eligible for degrade to a drop so the RNG stream stays aligned
+        // across sites.
+        let choice = self.rng.gen_range(0u32..5);
+        let kind = match choice {
+            0 => FaultKind::DropEvent,
+            1 => {
+                let extra = self.rng.gen_range(1u64..=1_000);
+                FaultKind::AnrDelay { ticks: ANR_THRESHOLD_TICKS + extra }
+            }
+            2 if site.is_start() => FaultKind::TransientStartFailure,
+            2 => FaultKind::DropEvent, // non-start sites cannot fail `am`
+            3 if site.can_kill() => FaultKind::ProcessKill,
+            3 => FaultKind::DropEvent,
+            _ => {
+                if granted.is_empty() {
+                    FaultKind::DropEvent // nothing left to revoke
+                } else {
+                    let idx = self.rng.gen_range(0usize..granted.len());
+                    let permission = granted.iter().nth(idx).expect("index below len").clone();
+                    FaultKind::RevokePermission { permission }
+                }
+            }
+        };
+        self.log.records.push(FaultRecord { event_seq, site, kind: kind.clone() });
+        Some(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn granted() -> BTreeSet<String> {
+        ["android.permission.CAMERA", "android.permission.READ_CONTACTS"]
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn inert_plan_never_injects() {
+        let mut plan = FaultPlan::inert();
+        for seq in 0..1_000 {
+            assert!(plan.roll(seq, FaultSite::Click, &granted()).is_none());
+        }
+        assert!(!plan.is_active());
+        assert!(plan.log().records.is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let config = FaultConfig::new(7, 0.25);
+        let mut a = FaultPlan::new(config);
+        let mut b = FaultPlan::new(config);
+        let sites = [FaultSite::Launch, FaultSite::Click, FaultSite::EnterText, FaultSite::Back];
+        for seq in 0..2_000u64 {
+            let site = sites[(seq % 4) as usize];
+            assert_eq!(a.roll(seq, site, &granted()), b.roll(seq, site, &granted()));
+        }
+        assert_eq!(a.log(), b.log());
+        assert!(a.injected() > 0, "a 25% plan injects something in 2000 events");
+    }
+
+    #[test]
+    fn rate_one_always_injects_and_respects_site_eligibility() {
+        let mut plan = FaultPlan::new(FaultConfig::new(3, 1.0));
+        for seq in 0..500u64 {
+            let kind = plan.roll(seq, FaultSite::EnterText, &granted()).expect("rate 1.0");
+            assert!(
+                !matches!(kind, FaultKind::ProcessKill | FaultKind::TransientStartFailure),
+                "text entry can neither kill nor fail `am`, got {kind}"
+            );
+            if let FaultKind::AnrDelay { ticks } = kind {
+                assert!(ticks > ANR_THRESHOLD_TICKS);
+            }
+        }
+        let mut plan = FaultPlan::new(FaultConfig::new(3, 1.0));
+        let mut saw_kill = false;
+        let mut saw_transient = false;
+        for seq in 0..500u64 {
+            match plan.roll(seq, FaultSite::Launch, &granted()) {
+                Some(FaultKind::ProcessKill) => saw_kill = true,
+                Some(FaultKind::TransientStartFailure) => saw_transient = true,
+                _ => {}
+            }
+        }
+        assert!(saw_kill && saw_transient, "launch site exposes kill and transient faults");
+    }
+
+    #[test]
+    fn empty_permission_set_degrades_revocation_to_drop() {
+        let mut plan = FaultPlan::new(FaultConfig::new(9, 1.0));
+        for seq in 0..500u64 {
+            if let Some(kind) = plan.roll(seq, FaultSite::Click, &BTreeSet::new()) {
+                assert!(!matches!(kind, FaultKind::RevokePermission { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn log_roundtrips_through_json() {
+        let mut plan = FaultPlan::new(FaultConfig::new(5, 0.5));
+        for seq in 0..200u64 {
+            plan.roll(seq, FaultSite::Click, &granted());
+        }
+        let log = plan.log();
+        let parsed = FaultLog::from_json(&log.to_json()).expect("parses");
+        assert_eq!(&parsed, log);
+        assert!(log.any(|k| matches!(k, FaultKind::DropEvent)));
+    }
+}

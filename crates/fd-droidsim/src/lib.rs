@@ -24,7 +24,9 @@
 //!
 //! Determinism: given the same app and the same event sequence, the
 //! simulator produces bit-identical traces. All "failure modes" are
-//! properties of the app model, not random.
+//! properties of the app model — or, with a [`faults::FaultPlan`]
+//! configured, of a seeded fault injector whose every decision is
+//! recorded in a replayable [`faults::FaultLog`].
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@ pub mod adb;
 pub mod device;
 pub mod dump;
 pub mod error;
+pub mod faults;
 pub mod intent;
 pub mod interp;
 pub mod monitor;
@@ -55,7 +58,8 @@ pub mod trace;
 pub use adb::Adb;
 pub use device::{Device, DeviceConfig};
 pub use dump::dump_hierarchy;
-pub use error::DeviceError;
+pub use error::{DeviceError, ErrorClass};
+pub use faults::{FaultConfig, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultSite};
 pub use intent::Intent;
 pub use monitor::{ApiInvocation, ApiMonitor, Caller, SENSITIVE_APIS};
 pub use outcome::{EventOutcome, UiSignature};

@@ -20,6 +20,12 @@ pub struct Table1Row {
     pub fragments: Coverage,
     /// Fragments in visited activities.
     pub fragments_in_visited: Coverage,
+    /// Force-closes observed during the run.
+    #[serde(default)]
+    pub crashes: usize,
+    /// Crashes the recovery supervisor relaunched and replayed past.
+    #[serde(default)]
+    pub recovered: usize,
 }
 
 /// One paper row: `(package, activities V/S, fragments V/S, FiVA V/S)`.
@@ -64,6 +70,8 @@ pub fn run_table1() -> Vec<(Table1Row, RunReport)> {
                     activities: report.activity_coverage(),
                     fragments: report.fragment_coverage(),
                     fragments_in_visited: report.fragments_in_visited_coverage(),
+                    crashes: report.crashes,
+                    recovered: report.recovered_crashes,
                 };
                 Some((row, report))
             }
@@ -103,6 +111,8 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
         "FiVA:Visited",
         "FiVA:Sum",
         "FiVA:Rate",
+        "FC",
+        "Rec",
     ];
     let mut body: Vec<Vec<String>> = rows
         .iter()
@@ -114,6 +124,8 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
             cells.extend(cov_cells(&r.activities));
             cells.extend(cov_cells(&r.fragments));
             cells.extend(cov_cells(&r.fragments_in_visited));
+            cells.push(r.crashes.to_string());
+            cells.push(r.recovered.to_string());
             cells
         })
         .collect();
@@ -130,6 +142,8 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
         String::new(),
         String::new(),
         format!("{v:.2}%"),
+        String::new(),
+        String::new(),
     ]);
     table::render(&headers, &body)
 }
@@ -148,11 +162,13 @@ pub fn render_table1_markdown(rows: &[Table1Row]) -> String {
                 format!("{:.2}%", r.fragments.rate()),
                 format!("{}/{}", r.fragments_in_visited.visited, r.fragments_in_visited.sum),
                 format!("{:.2}%", r.fragments_in_visited.rate()),
+                r.crashes.to_string(),
+                r.recovered.to_string(),
             ]
         })
         .collect();
     table::render_markdown(
-        &["Package", "Activities", "Rate", "Fragments", "Rate", "FiVA", "Rate"],
+        &["Package", "Activities", "Rate", "Fragments", "Rate", "FiVA", "Rate", "FC", "Rec"],
         &body,
     )
 }

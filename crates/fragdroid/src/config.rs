@@ -33,6 +33,20 @@ pub struct FragDroidConfig {
     /// partial report is marked [`crate::report::RunReport::deadline_exceeded`].
     /// `None` (the default) means unlimited.
     pub app_deadline: Option<std::time::Duration>,
+    /// Seed for the device's fault injector (only meaningful when
+    /// [`FragDroidConfig::fault_rate`] is nonzero). The same seed + rate
+    /// reproduces the same faults, bit for bit.
+    pub fault_seed: u64,
+    /// Per-event fault probability handed to the device's
+    /// [`fd_droidsim::FaultPlan`]. `0.0` (the default) injects nothing
+    /// and leaves the run byte-identical to an unfaulted one; a nonzero
+    /// rate also arms the driver's recovery supervisor (bounded retries
+    /// for transient errors, crash relaunch + path replay).
+    pub fault_rate: f64,
+    /// Maximum retries of one event after a transient device error
+    /// (ANR, flaky `am start`). Each retry costs one event from the
+    /// budget and an exponential backoff in simulated device time.
+    pub retry_limit: usize,
 }
 
 impl Default for FragDroidConfig {
@@ -46,6 +60,9 @@ impl Default for FragDroidConfig {
             target_api: None,
             harvest_inputs: false,
             app_deadline: None,
+            fault_seed: 0,
+            fault_rate: 0.0,
+            retry_limit: 3,
         }
     }
 }
@@ -86,6 +103,19 @@ impl FragDroidConfig {
     pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
         self.app_deadline = Some(deadline);
         self
+    }
+
+    /// Arms seeded fault injection at `rate` (and with it the recovery
+    /// supervisor). A rate of `0.0` is a no-op.
+    pub fn with_faults(mut self, seed: u64, rate: f64) -> Self {
+        self.fault_seed = seed;
+        self.fault_rate = rate;
+        self
+    }
+
+    /// Whether the recovery supervisor is armed (faults can happen).
+    pub fn faults_armed(&self) -> bool {
+        self.fault_rate > 0.0
     }
 }
 

@@ -2,13 +2,19 @@
 
 use crate::config::FragDroidConfig;
 use crate::queue::{QueueItem, UiQueue};
-use crate::report::RunReport;
+use crate::report::{CrashReport, CrashSignature, DeviceErrorStats, RunReport};
 use fd_aftm::{Aftm, NodeId, RawTransition};
 use fd_apk::AndroidApp;
-use fd_droidsim::{Device, EventOutcome, Op, TestScript, UiSignature};
+use fd_droidsim::{
+    Device, DeviceConfig, ErrorClass, EventOutcome, FaultConfig, Op, TestScript, UiSignature,
+};
 use fd_smali::ClassName;
 use fd_static::{StaticInfo, UiOwner};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Base backoff after a transient device error, in simulated clock
+/// ticks; attempt `n` waits `BACKOFF_BASE_TICKS << n`.
+const BACKOFF_BASE_TICKS: u64 = 50;
 
 /// The FragDroid tool.
 #[derive(Clone, Debug, Default)]
@@ -31,7 +37,12 @@ impl FragDroid {
         // Manifest rewrite so `am start -n` can reach every activity.
         let mut installed = app.clone();
         installed.manifest.add_main_action_everywhere();
-        let device = Device::new(installed);
+        let mut device_config = DeviceConfig::default();
+        if self.config.faults_armed() {
+            device_config.faults =
+                Some(FaultConfig::new(self.config.fault_seed, self.config.fault_rate));
+        }
+        let device = Device::with_config(installed, device_config);
 
         // Phase 2: evolutionary test case generation.
         let mut explorer = Explorer {
@@ -54,6 +65,11 @@ impl FragDroid {
             events: 0,
             test_cases: 0,
             crashes: 0,
+            crash_reports: Vec::new(),
+            recovered_crashes: 0,
+            retries: 0,
+            device_errors: DeviceErrorStats::default(),
+            in_recovery: false,
         };
         explorer.explore();
 
@@ -68,6 +84,12 @@ impl FragDroid {
             test_cases_generated: explorer.queue.generated(),
             crashes: explorer.crashes,
             deadline_exceeded: explorer.deadline_hit.get(),
+            crash_reports: explorer.crash_reports,
+            recovered_crashes: explorer.recovered_crashes,
+            retries: explorer.retries,
+            faults_injected: explorer.device.faults_injected(),
+            fault_log: explorer.device.fault_log().clone(),
+            device_errors: explorer.device_errors,
             aftm: explorer.aftm,
             static_info: info,
         }
@@ -114,6 +136,29 @@ struct Explorer<'a> {
     events: usize,
     test_cases: usize,
     crashes: usize,
+    /// Distinct crashes by signature, with occurrence/recovery triage.
+    crash_reports: Vec<CrashReport>,
+    /// Crashes the supervisor relaunched and replayed past.
+    recovered_crashes: usize,
+    /// Retries after transient device errors.
+    retries: usize,
+    /// Device errors by class (see the satellite fix in [`Explorer::exec`]:
+    /// an errored event is counted, not reported as "no change").
+    device_errors: DeviceErrorStats,
+    /// Guard against recursive crash recovery: a crash *during* recovery
+    /// is triaged but not recovered from again.
+    in_recovery: bool,
+}
+
+/// What one [`Explorer::exec`] step produced: either a real device
+/// outcome, or a classified device error — no longer conflated with
+/// [`EventOutcome::NoChange`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum StepOutcome {
+    /// The device accepted the event.
+    Outcome(EventOutcome),
+    /// The device rejected the event (after any retries).
+    Errored(ErrorClass),
 }
 
 impl<'a> Explorer<'a> {
@@ -200,29 +245,45 @@ impl<'a> Explorer<'a> {
     }
 
     /// Executes one operation, recording events, transitions, and newly
-    /// discovered states. Returns `None` when the event budget is gone;
-    /// device-level rejections (widget missing after divergence, failed
-    /// reflection) yield `Some(None)`-like no-ops reported as `NoChange`.
-    fn exec(&mut self, op: Op, ops_so_far: &mut Vec<Op>) -> Option<EventOutcome> {
-        if !self.budget_left() {
-            return None;
-        }
-        self.events += 1;
-        let result = match &op {
-            Op::Launch => self.device.launch(),
-            Op::ForceStart(c) => self.device.am_start(c.as_str()),
-            Op::Click(id) => self.device.click(id),
-            Op::EnterText { id, text } => {
-                self.device.enter_text(id, text).map(|()| EventOutcome::NoChange)
+    /// discovered states. Returns `None` when the event budget is gone.
+    /// Device-level rejections are classified and counted
+    /// ([`DeviceErrorStats`]); transient ones (injected ANRs, flaky
+    /// `am start`) are retried up to
+    /// [`FragDroidConfig::retry_limit`] times with exponential backoff in
+    /// simulated device time — every attempt costs one budget event.
+    fn exec(&mut self, op: Op, ops_so_far: &mut Vec<Op>) -> Option<StepOutcome> {
+        let mut attempt = 0usize;
+        let outcome = loop {
+            if !self.budget_left() {
+                return None;
             }
-            Op::DismissOverlay => self.device.dismiss_overlay(),
-            Op::Back => self.device.back(),
-            Op::SwipeOpenDrawer => self.device.swipe_open_drawer(),
-            Op::ReflectSwitch(f) => self.device.reflect_switch_fragment(f.as_str()),
-        };
-        let outcome = match result {
-            Ok(outcome) => outcome,
-            Err(_) => return Some(EventOutcome::NoChange),
+            self.events += 1;
+            let result = match &op {
+                Op::Launch => self.device.launch(),
+                Op::ForceStart(c) => self.device.am_start(c.as_str()),
+                Op::Click(id) => self.device.click(id),
+                Op::EnterText { id, text } => {
+                    self.device.enter_text(id, text).map(|()| EventOutcome::NoChange)
+                }
+                Op::DismissOverlay => self.device.dismiss_overlay(),
+                Op::Back => self.device.back(),
+                Op::SwipeOpenDrawer => self.device.swipe_open_drawer(),
+                Op::ReflectSwitch(f) => self.device.reflect_switch_fragment(f.as_str()),
+            };
+            match result {
+                Ok(outcome) => break outcome,
+                Err(err) => {
+                    let class = err.class();
+                    self.count_error(class);
+                    if class == ErrorClass::Transient && attempt < self.config.retry_limit {
+                        attempt += 1;
+                        self.retries += 1;
+                        self.device.advance_clock(BACKOFF_BASE_TICKS << attempt);
+                        continue;
+                    }
+                    return Some(StepOutcome::Errored(class));
+                }
+            }
         };
         ops_so_far.push(op.clone());
         match &outcome {
@@ -235,7 +296,77 @@ impl<'a> Explorer<'a> {
             _ => {}
         }
         self.observe(ops_so_far);
-        Some(outcome)
+        if let EventOutcome::Crashed { reason } = &outcome {
+            self.triage_crash(reason.clone());
+        }
+        Some(StepOutcome::Outcome(outcome))
+    }
+
+    fn count_error(&mut self, class: ErrorClass) {
+        match class {
+            ErrorClass::Transient => self.device_errors.transient += 1,
+            ErrorClass::WidgetGone => self.device_errors.widget_gone += 1,
+            ErrorClass::Fatal => self.device_errors.fatal += 1,
+        }
+    }
+
+    /// Crash triage: deduplicate by (activity, fragment stack, reason)
+    /// signature, then — with the supervisor armed — relaunch the app and
+    /// replay the shortest known path back to the crash site so the
+    /// exploration resumes instead of abandoning the test case.
+    fn triage_crash(&mut self, reason: String) {
+        let site = self.device.crash_site().cloned();
+        let signature = CrashSignature {
+            activity: site
+                .as_ref()
+                .map(|s| s.activity.clone())
+                .unwrap_or_else(|| ClassName::new("")),
+            fragments: site
+                .as_ref()
+                .map(|s| s.fragments.values().cloned().collect())
+                .unwrap_or_default(),
+            reason,
+        };
+        match self.crash_reports.iter_mut().find(|c| c.signature == signature) {
+            Some(existing) => existing.occurrences += 1,
+            None => self.crash_reports.push(CrashReport {
+                signature: signature.clone(),
+                occurrences: 1,
+                recovered: false,
+            }),
+        }
+        if !self.config.faults_armed() || self.in_recovery {
+            return;
+        }
+        self.in_recovery = true;
+        let recovered = self.recover(site);
+        self.in_recovery = false;
+        if recovered {
+            self.recovered_crashes += 1;
+            if let Some(report) = self.crash_reports.iter_mut().find(|c| c.signature == signature) {
+                report.recovered = true;
+            }
+        }
+    }
+
+    /// Relaunches after a crash and replays the shortest known operation
+    /// list reaching the crash site (falling back to a bare launch when
+    /// the site was never registered). Returns whether the app is up
+    /// again. Replayed ops run through [`Explorer::exec`], so they count
+    /// against the budget and keep feeding the AFTM.
+    fn recover(&mut self, site: Option<UiSignature>) -> bool {
+        self.device.reset();
+        let plan =
+            site.and_then(|sig| self.paths.get(&sig).cloned()).unwrap_or_else(|| vec![Op::Launch]);
+        let mut scratch = Vec::new();
+        for op in plan {
+            match self.exec(op, &mut scratch) {
+                None => return false,
+                Some(StepOutcome::Outcome(EventOutcome::Crashed { .. })) => return false,
+                Some(_) => {}
+            }
+        }
+        self.device.signature().is_some()
     }
 
     /// Marks the current interface's elements visited, registers its reach
@@ -387,7 +518,7 @@ impl<'a> Explorer<'a> {
             trace.extend(fill_ops.iter().cloned());
             match self.exec(Op::Click(widget.clone()), &mut trace) {
                 None => return,
-                Some(EventOutcome::OverlayShown) => {
+                Some(StepOutcome::Outcome(EventOutcome::OverlayShown)) => {
                     // "it will be removed by clicking on blank space."
                     let _ = self.exec(Op::DismissOverlay, &mut Vec::new());
                     // §VIII extension: a submit that only produced an error
@@ -436,8 +567,8 @@ impl<'a> Explorer<'a> {
             }
             match self.exec(Op::Click(widget.to_string()), &mut trace) {
                 None => return,
-                Some(EventOutcome::UiChanged { .. }) => return, // gate opened
-                Some(EventOutcome::OverlayShown) => {
+                Some(StepOutcome::Outcome(EventOutcome::UiChanged { .. })) => return, // gate opened
+                Some(StepOutcome::Outcome(EventOutcome::OverlayShown)) => {
                     let _ = self.exec(Op::DismissOverlay, &mut Vec::new());
                 }
                 Some(_) => {}

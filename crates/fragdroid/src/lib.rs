@@ -39,7 +39,7 @@ pub mod suite;
 pub use config::FragDroidConfig;
 pub use driver::FragDroid;
 pub use queue::{QueueItem, UiQueue};
-pub use report::{Coverage, RunReport};
+pub use report::{Coverage, CrashReport, CrashSignature, DeviceErrorStats, RunReport};
 pub use suite::{
     run_suite, run_suite_outcomes, run_suite_with_workers, AppMetrics, AppOutcome, SuiteMetrics,
     SuiteRun,

@@ -1,11 +1,55 @@
 //! Run results: coverage accounting and sensitive-API summaries.
 
 use fd_aftm::Aftm;
-use fd_droidsim::{ApiInvocation, Caller, TestScript};
+use fd_droidsim::{ApiInvocation, Caller, FaultLog, TestScript};
 use fd_smali::ClassName;
 use fd_static::StaticInfo;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+
+/// The deduplication key of one distinct Force-Close: where the app was
+/// (activity + fragment stack) and why it died.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CrashSignature {
+    /// The foreground activity at crash time (empty if the app died
+    /// before any screen existed).
+    pub activity: ClassName,
+    /// The fragments attached at crash time, in container order.
+    pub fragments: Vec<ClassName>,
+    /// The exception message / synthetic kill reason.
+    pub reason: String,
+}
+
+/// One distinct crash observed during a run, with triage results.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashReport {
+    /// The dedup key.
+    pub signature: CrashSignature,
+    /// How many times this signature fired.
+    pub occurrences: usize,
+    /// Whether the supervisor ever recovered from it (relaunch + replay
+    /// of the shortest known path back to the crash site).
+    pub recovered: bool,
+}
+
+/// Per-class counts of device errors the driver observed (and no longer
+/// silently conflates with "the UI did not change").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceErrorStats {
+    /// Transient failures (ANR, flaky `am start`) — retried.
+    pub transient: usize,
+    /// Events that targeted a widget no longer on screen.
+    pub widget_gone: usize,
+    /// Everything else (app crashed/not running, unsatisfiable request).
+    pub fatal: usize,
+}
+
+impl DeviceErrorStats {
+    /// Total device errors across all classes.
+    pub fn total(&self) -> usize {
+        self.transient + self.widget_gone + self.fatal
+    }
+}
 
 /// A visited/sum pair with a rate — one cell group of Table I.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,6 +105,28 @@ pub struct RunReport {
     /// the partial results accumulated up to that point.
     #[serde(default)]
     pub deadline_exceeded: bool,
+    /// Distinct crashes, deduplicated by (activity, fragment stack,
+    /// reason) signature, with occurrence counts and recovery outcomes.
+    #[serde(default)]
+    pub crash_reports: Vec<CrashReport>,
+    /// Crashes the supervisor recovered from: the app was relaunched and
+    /// the shortest known path back to the crash site replayed, so the
+    /// test case resumed instead of being abandoned.
+    #[serde(default)]
+    pub recovered_crashes: usize,
+    /// Event retries after transient device errors (each one also cost
+    /// an event from the budget).
+    #[serde(default)]
+    pub retries: usize,
+    /// Faults the device's plan injected during the run.
+    #[serde(default)]
+    pub faults_injected: usize,
+    /// The device's replayable fault log (empty without a fault plan).
+    #[serde(default)]
+    pub fault_log: FaultLog,
+    /// Device errors by class.
+    #[serde(default)]
+    pub device_errors: DeviceErrorStats,
 }
 
 impl RunReport {

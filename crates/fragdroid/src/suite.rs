@@ -85,6 +85,16 @@ pub struct AppMetrics {
     pub test_cases_generated: usize,
     /// Force-closes observed.
     pub crashes: usize,
+    /// Crashes the driver's supervisor recovered from (relaunch + path
+    /// replay).
+    #[serde(default)]
+    pub recovered_crashes: usize,
+    /// Event retries after transient device errors.
+    #[serde(default)]
+    pub retries: usize,
+    /// Faults the device's plan injected.
+    #[serde(default)]
+    pub faults_injected: usize,
     /// Whether the run panicked.
     pub panicked: bool,
     /// Whether the run hit its wall-clock deadline.
@@ -272,10 +282,19 @@ pub fn run_suite_with_workers(
             Ok(report) => AppOutcome::Completed(report),
             Err(message) => AppOutcome::Panicked { message },
         };
-        let (events, cases_run, cases_generated, crashes) = match outcome.report() {
-            Some(r) => (r.events_injected, r.test_cases_run, r.test_cases_generated, r.crashes),
-            None => (0, 0, 0, 0),
-        };
+        let (events, cases_run, cases_generated, crashes, recovered, retries, faults) =
+            match outcome.report() {
+                Some(r) => (
+                    r.events_injected,
+                    r.test_cases_run,
+                    r.test_cases_generated,
+                    r.crashes,
+                    r.recovered_crashes,
+                    r.retries,
+                    r.faults_injected,
+                ),
+                None => (0, 0, 0, 0, 0, 0, 0),
+            };
         let secs = elapsed.as_secs_f64();
         per_app.push(AppMetrics {
             package,
@@ -285,6 +304,9 @@ pub fn run_suite_with_workers(
             test_cases_run: cases_run,
             test_cases_generated: cases_generated,
             crashes,
+            recovered_crashes: recovered,
+            retries,
+            faults_injected: faults,
             panicked: outcome.is_panicked(),
             deadline_exceeded: matches!(outcome, AppOutcome::DeadlineExceeded(_)),
         });

@@ -78,3 +78,109 @@ fn drawer_flavored_cnn_reaches_drawer_fragments() {
     // Visible fragments on Main are drawer-hosted; they were all reached.
     assert_eq!(report.fragment_coverage().visited, 3);
 }
+
+// ---------------------------------------------------------------------
+// Fault matrix: the explorer must terminate, keep covering, and stay
+// deterministic under injected device failures.
+// ---------------------------------------------------------------------
+
+/// The apps the matrix runs over — one per §VII-B failure flavor.
+const MATRIX_APPS: &[&str] =
+    &["com.adobe.reader", "com.weather.Weather", "com.cnn.mobile.android.phone"];
+
+fn faulted_report(package: &str, seed: u64, rate: f64) -> fragdroid::RunReport {
+    let (_, gen) = paper_apps::all_paper_apps()
+        .into_iter()
+        .find(|(s, _)| s.package == package)
+        .expect("known package");
+    let config = FragDroidConfig::default().with_faults(seed, rate);
+    FragDroid::new(config).run(&gen.app, &gen.known_inputs)
+}
+
+#[test]
+fn fault_matrix_terminates_with_coverage_within_budget() {
+    for &(rate, seed) in &[(0.0, 7u64), (0.05, 7), (0.25, 7), (0.25, 11)] {
+        for package in MATRIX_APPS {
+            let report = faulted_report(package, seed, rate);
+            assert!(
+                !report.visited_activities.is_empty(),
+                "{package} at rate {rate} seed {seed}: no activity ever reached"
+            );
+            assert!(
+                report.events_injected <= FragDroidConfig::default().event_budget,
+                "{package} at rate {rate} seed {seed}: budget overrun"
+            );
+            if rate == 0.0 {
+                assert_eq!(report.faults_injected, 0);
+                assert_eq!(report.retries, 0);
+            } else {
+                assert_eq!(report.fault_log.seed, seed);
+                assert_eq!(report.fault_log.records.len(), report.faults_injected);
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_rate_faults_leave_the_report_byte_identical() {
+    let (_, gen) = paper_apps::all_paper_apps()
+        .into_iter()
+        .find(|(s, _)| s.package == "com.adobe.reader")
+        .expect("known package");
+    let plain = FragDroid::new(FragDroidConfig::default()).run(&gen.app, &gen.known_inputs);
+    let zero = FragDroid::new(FragDroidConfig::default().with_faults(99, 0.0))
+        .run(&gen.app, &gen.known_inputs);
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&zero).unwrap(),
+        "a zero-rate fault config must not perturb the run at all"
+    );
+}
+
+#[test]
+fn recovery_supervisor_recovers_injected_process_kills() {
+    // Acceptance: at rate 0.25 every app whose fault log contains a
+    // ProcessKill also shows at least one recovered crash on average —
+    // asserted here in aggregate (total recoveries >= killed apps).
+    let mut killed_apps = 0usize;
+    let mut total_recovered = 0usize;
+    for package in MATRIX_APPS {
+        let report = faulted_report(package, 7, 0.25);
+        let was_killed = report.fault_log.any(|k| matches!(k, fd_droidsim::FaultKind::ProcessKill));
+        if was_killed {
+            killed_apps += 1;
+        }
+        total_recovered += report.recovered_crashes;
+        // Every distinct crash signature is tracked.
+        let occurrences: usize = report.crash_reports.iter().map(|c| c.occurrences).sum();
+        assert_eq!(occurrences, report.crashes, "{package}: crash accounting diverged");
+    }
+    assert!(killed_apps > 0, "a 25% plan kills at least one app in the matrix");
+    assert!(
+        total_recovered >= killed_apps,
+        "supervisor recovered {total_recovered} crashes across {killed_apps} killed apps"
+    );
+}
+
+mod fault_determinism {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The same (seed, rate) pair reproduces the whole report byte for
+        /// byte — fault log, coverage, crash triage, everything.
+        #[test]
+        fn same_seed_same_report(seed in 0u64..64) {
+            let gen = fd_appgen::templates::quickstart();
+            let run = || {
+                let config = FragDroidConfig::default().with_faults(seed, 0.25);
+                FragDroid::new(config).run(&gen.app, &gen.known_inputs)
+            };
+            let a = serde_json::to_string(&run()).unwrap();
+            let b = serde_json::to_string(&run()).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}
