@@ -31,6 +31,18 @@ const MAGIC: &[u8; 4] = b"FAPK";
 const VERSION: u16 = 1;
 const FLAG_PACKED: u16 = 0b1;
 
+/// [`pack`] under a span on `tracer` ([`fd_trace::Phase::Pack`]).
+pub fn pack_traced(app: &AndroidApp, tracer: &fd_trace::Tracer) -> Bytes {
+    let _span = tracer.span(fd_trace::Phase::Pack, "pack");
+    pack(app)
+}
+
+/// [`decompile`] under a span on `tracer` ([`fd_trace::Phase::Decompile`]).
+pub fn decompile_traced(bytes: &Bytes, tracer: &fd_trace::Tracer) -> Result<AndroidApp, ApkError> {
+    let _span = tracer.span(fd_trace::Phase::Decompile, "decompile");
+    decompile(bytes)
+}
+
 /// Serializes an app into the binary container.
 pub fn pack(app: &AndroidApp) -> Bytes {
     let manifest = serde_json::to_vec(&app.manifest).expect("manifest serializes");

@@ -39,7 +39,7 @@ pub mod stats;
 pub mod workspace;
 
 pub use app::{AndroidApp, AppMeta};
-pub use container::{decompile, pack};
+pub use container::{decompile, decompile_traced, pack, pack_traced};
 pub use error::ApkError;
 pub use layout::{Layout, Widget, WidgetKind};
 pub use manifest::{ActivityDecl, IntentFilter, Manifest};

@@ -1,8 +1,14 @@
 //! Subcommand implementations.
 
 use crate::args::parse;
-use crate::{load_app, load_inputs};
+use crate::{load_app, load_app_traced, load_inputs, write_trace};
 use fragdroid::{FragDroid, FragDroidConfig};
+
+/// Pretty-serializes with the error propagated instead of panicking, so a
+/// CLI failure is a message, not a crash.
+fn to_pretty_json<T: serde::Serialize>(what: &str, value: &T) -> Result<String, String> {
+    serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialize {what}: {e}"))
+}
 
 /// `fragdroid gen <out.fapk> [--template NAME | --random] [--seed N] [--size N]`
 pub fn gen(argv: &[String]) -> Result<(), String> {
@@ -28,7 +34,7 @@ pub fn gen(argv: &[String]) -> Result<(), String> {
     let bytes = fd_apk::pack(&generated.app);
     std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
     let inputs_path = format!("{out}.inputs.json");
-    let inputs = serde_json::to_string_pretty(&generated.known_inputs).expect("inputs serialize");
+    let inputs = to_pretty_json("inputs", &generated.known_inputs)?;
     std::fs::write(&inputs_path, inputs).map_err(|e| format!("cannot write {inputs_path}: {e}"))?;
     println!(
         "wrote {out} ({} bytes, {} activities, {} classes) and {inputs_path}",
@@ -82,7 +88,7 @@ pub fn static_info(argv: &[String]) -> Result<(), String> {
     let app = load_app(p.one_path("container path")?)?;
     let inputs = load_inputs(p.opt("inputs"))?;
     let info = fd_static::extract(&app, &inputs);
-    println!("{}", serde_json::to_string_pretty(&info).expect("static info serializes"));
+    println!("{}", to_pretty_json("static info", &info)?);
     Ok(())
 }
 
@@ -96,10 +102,17 @@ pub fn dot(argv: &[String]) -> Result<(), String> {
 }
 
 /// `fragdroid run <app.fapk> [--inputs F] [--budget N] [--fault-rate R]
-/// [--fault-seed N] [--json]`
+/// [--fault-seed N] [--trace-out T.jsonl] [--json]`
 pub fn run(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
-    let app = load_app(p.one_path("container path")?)?;
+    let trace_out = p.opt("trace-out");
+    let trace_config = if trace_out.is_some() {
+        fd_trace::TraceConfig::on()
+    } else {
+        fd_trace::TraceConfig::off()
+    };
+    let tracer = fd_trace::Tracer::new(&trace_config, fd_trace::TraceClock::start(), 0);
+    let app = load_app_traced(p.one_path("container path")?, &tracer)?;
     let inputs = load_inputs(p.opt("inputs"))?;
     let mut config = FragDroidConfig {
         event_budget: p.num("budget", 40_000)? as usize,
@@ -115,10 +128,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("--find-api expects '<group>/<name>', got '{spec}'"))?;
         config = config.find_api(group, name);
     }
-    let report = FragDroid::new(config).run(&app, &inputs);
+    let report = FragDroid::new(config).run_traced(&app, &inputs, &tracer);
+    if let Some(out) = trace_out {
+        let mut trace = fd_trace::Trace::new(&format!("fragdroid run {}", app.package()));
+        trace.absorb(tracer.finish());
+        write_trace(out, &trace)?;
+    }
 
     if p.flag("json") {
-        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        println!("{}", to_pretty_json("report", &report)?);
         return Ok(());
     }
     let a = report.activity_coverage();
@@ -232,9 +250,9 @@ pub fn java(argv: &[String]) -> Result<(), String> {
 }
 
 /// `fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N]
-/// [--fault-rate R] [--fault-seed N] [--json]` — run the whole analyzable
-/// corpus through the shared suite runner and report coverage plus runner
-/// metrics.
+/// [--fault-rate R] [--fault-seed N] [--trace-out T.jsonl] [--json]` — run
+/// the whole analyzable corpus through the shared suite runner and report
+/// coverage plus runner metrics.
 pub fn corpus(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
     if !p.positional.is_empty() {
@@ -260,13 +278,26 @@ pub fn corpus(argv: &[String]) -> Result<(), String> {
     if fault_rate > 0.0 {
         config = config.with_faults(p.num("fault-seed", 1)?, fault_rate);
     }
-    let run = match p.num("workers", 0)? as usize {
-        0 => fragdroid::run_suite_outcomes(&apps, &config),
-        workers => fragdroid::run_suite_with_workers(&apps, &config, workers),
+    let workers = match p.num("workers", 0)? as usize {
+        0 => fragdroid::suite::engine::default_workers(apps.len()),
+        workers => workers,
     };
+    let trace_out = p.opt("trace-out");
+    let trace_config = if trace_out.is_some() {
+        fd_trace::TraceConfig::on()
+    } else {
+        fd_trace::TraceConfig::off()
+    };
+    let (run, trace) = fragdroid::run_suite_traced(&apps, &config, workers, &trace_config);
+    if let Some(out) = trace_out {
+        write_trace(out, &trace)?;
+    }
 
     if p.flag("json") {
-        println!("{}", run.metrics.to_json());
+        println!(
+            "{}",
+            run.metrics.to_json().map_err(|e| format!("cannot serialize metrics: {e}"))?
+        );
         return Ok(());
     }
     let (mut acts, mut acts_sum, mut frags, mut frags_sum) = (0, 0, 0, 0);
@@ -307,6 +338,24 @@ pub fn corpus(argv: &[String]) -> Result<(), String> {
         m.workers,
         m.worker_utilization * 100.0
     );
+    Ok(())
+}
+
+/// `fragdroid trace <trace.jsonl> [--json]` — per-phase breakdown,
+/// slowest apps, hottest activities/fragments, and the fault/retry
+/// timeline of a `--trace-out` capture.
+pub fn trace(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let path = p.one_path("trace file (.jsonl)")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace =
+        fd_trace::Trace::from_jsonl(&raw).map_err(|e| format!("bad trace file {path}: {e}"))?;
+    let summary = fd_trace::TraceSummary::compute(&trace);
+    if p.flag("json") {
+        println!("{}", to_pretty_json("trace summary", &summary)?);
+    } else {
+        print!("{}", summary.render());
+    }
     Ok(())
 }
 

@@ -40,6 +40,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "java" => cmds::java(rest),
         "repack" => cmds::repack(rest),
         "corpus" => cmds::corpus(rest),
+        "trace" => cmds::trace(rest),
         "templates" => {
             println!("quickstart\nfig1-tabs\nfig2-drawer");
             Ok(())
@@ -62,7 +63,7 @@ USAGE:
   fragdroid static <app.fapk> [--inputs F]  static extraction as JSON
   fragdroid dot <app.fapk>                initial AFTM as Graphviz DOT
   fragdroid run <app.fapk> [--inputs F] [--budget N] [--json] [--find-api g/n]
-                [--fault-rate R] [--fault-seed N]
+                [--fault-rate R] [--fault-seed N] [--trace-out T.jsonl]
                                           full exploration + coverage report
   fragdroid dump <app.fapk>               launch and print the UI hierarchy
   fragdroid unpack <app.fapk> --out DIR   apktool-style decompile to a directory
@@ -70,8 +71,9 @@ USAGE:
   fragdroid replay <app.fapk> <trace.json> replay a recorded session (R&R)
   fragdroid java <app.fapk> [--inputs F]  emit the generated Robotium test class
   fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N]
-                [--fault-rate R] [--fault-seed N] [--json]
+                [--fault-rate R] [--fault-seed N] [--json] [--trace-out T.jsonl]
                                           run the synthetic corpus on the suite runner
+  fragdroid trace <trace.jsonl> [--json]  per-phase/per-app profile of a trace
   fragdroid templates                     list template names for 'gen'"
     );
 }
@@ -80,8 +82,29 @@ USAGE:
 ///
 /// (Used by the subcommands; public so tests can drive them directly.)
 pub fn load_app(path: &str) -> Result<fd_apk::AndroidApp, String> {
+    load_app_traced(path, &fd_trace::Tracer::disabled())
+}
+
+/// [`load_app`] under a tracer, so `--trace-out` runs capture the
+/// decompile phase too.
+pub fn load_app_traced(
+    path: &str,
+    tracer: &fd_trace::Tracer,
+) -> Result<fd_apk::AndroidApp, String> {
     let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    fd_apk::decompile(&Bytes::from(raw)).map_err(|e| format!("cannot decompile {path}: {e}"))
+    fd_apk::decompile_traced(&Bytes::from(raw), tracer)
+        .map_err(|e| format!("cannot decompile {path}: {e}"))
+}
+
+/// Writes a drained trace to `path` (JSON Lines) and `<path>.chrome.json`
+/// (Chrome `trace_event` format for `chrome://tracing` / Perfetto).
+pub fn write_trace(path: &str, trace: &fd_trace::Trace) -> Result<(), String> {
+    std::fs::write(path, trace.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let chrome_path = format!("{path}.chrome.json");
+    std::fs::write(&chrome_path, fd_trace::chrome::to_chrome_json(trace))
+        .map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
+    eprintln!("trace: {path} (JSONL) and {chrome_path} (chrome://tracing)");
+    Ok(())
 }
 
 /// Reads an optional `--inputs` JSON file (widget-ID → value map).

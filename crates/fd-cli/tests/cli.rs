@@ -79,6 +79,85 @@ fn errors_are_reported_not_panicked() {
 }
 
 #[test]
+fn trace_out_writes_both_sinks_and_trace_summarizes_them() {
+    let apk = tmp("traced.fapk");
+    let trace_path = tmp("run-trace.jsonl");
+    let apk_str = apk.to_str().unwrap();
+    let trace_str = trace_path.to_str().unwrap();
+    fd_cli::run(&argv(&["gen", apk_str, "--template", "quickstart"])).expect("gen");
+    fd_cli::run(&argv(&[
+        "run",
+        apk_str,
+        "--budget",
+        "5000",
+        "--fault-rate",
+        "0.2",
+        "--fault-seed",
+        "7",
+        "--trace-out",
+        trace_str,
+    ]))
+    .expect("traced run");
+
+    // JSONL sink parses and covers the whole pipeline.
+    let jsonl = std::fs::read_to_string(&trace_path).expect("jsonl written");
+    let trace = fd_trace::Trace::from_jsonl(&jsonl).expect("jsonl parses");
+    let summary = fd_trace::TraceSummary::compute(&trace);
+    assert!(summary.spans > 0, "spans recorded");
+    assert!(summary.events_dispatched > 0, "dispatches recorded");
+    for phase in ["decompile", "static", "explore"] {
+        assert!(summary.phase_totals_us.contains_key(phase), "phase {phase} traced");
+    }
+
+    // Chrome sink is valid trace_event JSON with complete events.
+    let chrome_raw =
+        std::fs::read_to_string(format!("{trace_str}.chrome.json")).expect("chrome written");
+    let chrome: serde_json::Value = serde_json::from_str(&chrome_raw).expect("chrome parses");
+    match chrome {
+        serde_json::Value::Object(root) => {
+            assert!(
+                matches!(root.get("traceEvents"), Some(serde_json::Value::Array(a)) if !a.is_empty())
+            );
+        }
+        other => panic!("chrome root must be an object, got {other:?}"),
+    }
+
+    // The trace subcommand reads the capture back in both output modes.
+    fd_cli::run(&argv(&["trace", trace_str])).expect("trace renders");
+    fd_cli::run(&argv(&["trace", trace_str, "--json"])).expect("trace --json");
+    // A malformed file is an error, not a panic.
+    let bad = tmp("bad-trace.jsonl");
+    std::fs::write(&bad, "{ not json\n").unwrap();
+    assert!(fd_cli::run(&argv(&["trace", bad.to_str().unwrap()])).is_err());
+}
+
+#[test]
+fn corpus_trace_out_captures_suite_and_app_spans() {
+    let trace_path = tmp("corpus-trace.jsonl");
+    let trace_str = trace_path.to_str().unwrap();
+    fd_cli::run(&argv(&[
+        "corpus",
+        "--limit",
+        "4",
+        "--workers",
+        "2",
+        "--fault-rate",
+        "0.25",
+        "--trace-out",
+        trace_str,
+        "--json",
+    ]))
+    .expect("traced corpus");
+    let jsonl = std::fs::read_to_string(&trace_path).expect("jsonl written");
+    let trace = fd_trace::Trace::from_jsonl(&jsonl).expect("jsonl parses");
+    let summary = fd_trace::TraceSummary::compute(&trace);
+    assert!(summary.phase_totals_us.contains_key("suite"), "coordinator span present");
+    assert_eq!(summary.slowest_apps.len().min(4), summary.slowest_apps.len());
+    assert!(!summary.slowest_apps.is_empty(), "per-app spans present");
+    assert!(summary.app_total_us > 0);
+}
+
+#[test]
 fn unpack_edit_repack_workflow() {
     let apk = tmp("wf.fapk");
     let dir = tmp("wf-project");

@@ -78,14 +78,47 @@ impl StaticInfo {
 /// [`fd_apk::Manifest::add_main_action_everywhere`] on the app that gets
 /// installed.
 pub fn extract(app: &AndroidApp, provided_inputs: &BTreeMap<String, String>) -> StaticInfo {
-    let activities = effective::effective_activities(app);
-    let fragments = effective::effective_fragments(app, &activities);
-    let aftm = aftm_init::build_aftm(app, &activities, &fragments);
+    extract_traced(app, provided_inputs, &fd_trace::Tracer::disabled())
+}
+
+/// [`extract`] with tracing: one [`fd_trace::Phase::Static`] span wraps
+/// the whole phase, with a [`fd_trace::Phase::StaticPass`] sub-span per
+/// analysis pass. With a disabled tracer this *is* `extract` — same code
+/// path, zero records.
+pub fn extract_traced(
+    app: &AndroidApp,
+    provided_inputs: &BTreeMap<String, String>,
+    tracer: &fd_trace::Tracer,
+) -> StaticInfo {
+    use fd_trace::Phase;
+    let _extract = tracer.span(Phase::Static, "static-extract");
+    let (activities, fragments) = {
+        let _span = tracer.span(Phase::StaticPass, "effective-elements");
+        let activities = effective::effective_activities(app);
+        let fragments = effective::effective_fragments(app, &activities);
+        (activities, fragments)
+    };
+    let aftm = {
+        let _span = tracer.span(Phase::StaticPass, "aftm-init");
+        aftm_init::build_aftm(app, &activities, &fragments)
+    };
     // Isolated-activity removal: drop activities with no edges at all.
-    let activities = effective::drop_isolated(&aftm, activities, app);
-    let af_dependency = dependency::af_dependency(app, &activities, &fragments);
-    let resource_dep = resource_dep::resource_dependency(app, &activities, &fragments);
-    let input_dep = input_dep::collect(app, provided_inputs);
+    let activities = {
+        let _span = tracer.span(Phase::StaticPass, "drop-isolated");
+        effective::drop_isolated(&aftm, activities, app)
+    };
+    let af_dependency = {
+        let _span = tracer.span(Phase::StaticPass, "af-dependency");
+        dependency::af_dependency(app, &activities, &fragments)
+    };
+    let resource_dep = {
+        let _span = tracer.span(Phase::StaticPass, "resource-dependency");
+        resource_dep::resource_dependency(app, &activities, &fragments)
+    };
+    let input_dep = {
+        let _span = tracer.span(Phase::StaticPass, "input-dependency");
+        input_dep::collect(app, provided_inputs)
+    };
     StaticInfo { aftm, activities, fragments, af_dependency, resource_dep, input_dep }
 }
 

@@ -1,0 +1,75 @@
+//! Chrome `trace_event` export: the JSON object format that
+//! `chrome://tracing` and Perfetto load directly.
+//!
+//! Spans become complete (`"ph": "X"`) events with microsecond `ts`/`dur`
+//! on one `tid` lane per worker track; typed events become instants
+//! (`"ph": "i"`) with their payload in `args`.
+
+use crate::model::{Trace, TraceEvent, TraceRecord};
+use serde_json::{to_value, Map, Value};
+
+const PID: u64 = 1;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    let mut map = Map::new();
+    for (key, value) in entries {
+        map.insert(key.to_string(), value);
+    }
+    Value::Object(map)
+}
+
+fn event_args(event: &TraceEvent) -> Value {
+    // The externally tagged serialization is {"Variant": {fields…}} (or a
+    // bare string for unit variants); unwrap to the fields for `args`.
+    match to_value(event) {
+        Value::Object(map) => map.iter().next().map(|(_, v)| v.clone()).unwrap_or(Value::Null),
+        other => other,
+    }
+}
+
+/// Renders a trace as a Chrome `trace_event` JSON object.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(trace.records.len() + 1);
+    events.push(obj(vec![
+        ("name", to_value(&"process_name")),
+        ("ph", to_value(&"M")),
+        ("pid", to_value(&PID)),
+        ("args", obj(vec![("name", to_value(&trace.meta.process))])),
+    ]));
+    for record in &trace.records {
+        match record {
+            TraceRecord::Span(s) => events.push(obj(vec![
+                ("name", to_value(&s.name)),
+                ("cat", to_value(&s.phase.as_str())),
+                ("ph", to_value(&"X")),
+                ("ts", to_value(&s.wall_start_us)),
+                ("dur", to_value(&s.wall_dur_us)),
+                ("pid", to_value(&PID)),
+                ("tid", to_value(&s.track)),
+                (
+                    "args",
+                    obj(vec![
+                        ("sim_start", to_value(&s.sim_start)),
+                        ("sim_end", to_value(&s.sim_end)),
+                    ]),
+                ),
+            ])),
+            TraceRecord::Event(e) => events.push(obj(vec![
+                ("name", to_value(&e.event.kind())),
+                ("cat", to_value(&"event")),
+                ("ph", to_value(&"i")),
+                ("s", to_value(&"t")),
+                ("ts", to_value(&e.wall_us)),
+                ("pid", to_value(&PID)),
+                ("tid", to_value(&e.track)),
+                ("args", event_args(&e.event)),
+            ])),
+            // Counters and drop markers have no timestamp; they live in
+            // the JSONL sink and the summary, not on the timeline.
+            TraceRecord::Counter(_) | TraceRecord::Dropped(_) | TraceRecord::Meta(_) => {}
+        }
+    }
+    let root =
+        obj(vec![("displayTimeUnit", to_value(&"ms")), ("traceEvents", Value::Array(events))]);
+    root.render_json(false)
+}

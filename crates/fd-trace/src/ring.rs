@@ -1,0 +1,97 @@
+//! The bounded record buffer behind each [`crate::Tracer`].
+
+use crate::model::TraceRecord;
+use std::collections::VecDeque;
+
+/// A fixed-capacity ring of [`TraceRecord`]s with oldest-dropped
+/// overflow semantics: pushing into a full ring evicts the oldest record
+/// and bumps the drop counter — it never reallocates past its capacity
+/// and never panics.
+#[derive(Clone, Debug)]
+pub struct RingBuffer {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl RingBuffer {
+    /// A ring holding at most `capacity` records. A zero capacity drops
+    /// everything (every push counts as a drop).
+    pub fn new(capacity: usize) -> Self {
+        RingBuffer { capacity, records: VecDeque::with_capacity(capacity.min(1024)), dropped: 0 }
+    }
+
+    /// Appends a record, evicting the oldest one when full.
+    pub fn push(&mut self, record: TraceRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// Records currently held, oldest first.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records lost to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the ring into `(records, dropped)`, oldest first.
+    pub fn into_parts(self) -> (Vec<TraceRecord>, u64) {
+        (self.records.into_iter().collect(), self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CounterRecord, TraceRecord};
+
+    fn rec(i: u64) -> TraceRecord {
+        TraceRecord::Counter(CounterRecord { track: 0, name: format!("c{i}"), value: i })
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut ring = RingBuffer::new(4);
+        for i in 0..10 {
+            ring.push(rec(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let (records, dropped) = ring.into_parts();
+        assert_eq!(dropped, 6);
+        // Oldest-dropped: the survivors are exactly the newest four.
+        let names: Vec<&str> = records
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Counter(c) => c.name.as_str(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["c6", "c7", "c8", "c9"]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut ring = RingBuffer::new(0);
+        for i in 0..3 {
+            ring.push(rec(i));
+        }
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 3);
+    }
+}

@@ -1,0 +1,221 @@
+//! Post-hoc trace analysis: the aggregation behind `fd-cli trace`.
+
+use crate::model::{Phase, Trace, TraceEvent, TraceRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One fault/retry/crash/recovery occurrence on the timeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// Wall-clock time, µs since the trace epoch.
+    pub wall_us: u64,
+    /// The worker track it happened on.
+    pub track: u64,
+    /// Human-readable description (`fault drop-event`, `retry #2`, …).
+    pub what: String,
+}
+
+/// Aggregated view of one trace file.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// What produced the trace.
+    pub process: String,
+    /// Total records (spans + events + counters + drop markers).
+    pub records: usize,
+    /// Spans seen.
+    pub spans: usize,
+    /// Events seen.
+    pub events: usize,
+    /// Records lost to ring overflow.
+    pub dropped: u64,
+    /// Summed span wall time per phase, µs (keys are [`Phase::as_str`]).
+    pub phase_totals_us: BTreeMap<String, u64>,
+    /// Summed wall time of the per-app spans, µs.
+    pub app_total_us: u64,
+    /// `(package, wall µs)` of the slowest apps, descending.
+    pub slowest_apps: Vec<(String, u64)>,
+    /// `(activity, hits)` most-seen activities (first visits + incoming
+    /// transitions), descending.
+    pub hottest_activities: Vec<(String, u64)>,
+    /// `(fragment, hits)` most-seen fragments, descending.
+    pub hottest_fragments: Vec<(String, u64)>,
+    /// UI events dispatched (from the `EventDispatched` stream).
+    pub events_dispatched: u64,
+    /// Faults injected.
+    pub faults: u64,
+    /// Event retries.
+    pub retries: u64,
+    /// Crashes.
+    pub crashes: u64,
+    /// Successful crash recoveries.
+    pub recoveries: u64,
+    /// Fault/retry/crash/recovery occurrences in wall-clock order,
+    /// truncated to [`TraceSummary::TIMELINE_CAP`].
+    pub timeline: Vec<TimelineEntry>,
+}
+
+fn top(map: BTreeMap<String, u64>, keep: usize) -> Vec<(String, u64)> {
+    let mut pairs: Vec<(String, u64)> = map.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    pairs.truncate(keep);
+    pairs
+}
+
+impl TraceSummary {
+    /// Cap on [`TraceSummary::timeline`] entries.
+    pub const TIMELINE_CAP: usize = 200;
+    /// Cap on the top-N lists.
+    pub const TOP_CAP: usize = 10;
+
+    /// Aggregates a trace.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut summary = TraceSummary {
+            process: trace.meta.process.clone(),
+            records: trace.records.len(),
+            ..TraceSummary::default()
+        };
+        let mut apps: Vec<(String, u64)> = Vec::new();
+        let mut activities: BTreeMap<String, u64> = BTreeMap::new();
+        let mut fragments: BTreeMap<String, u64> = BTreeMap::new();
+        for record in &trace.records {
+            match record {
+                TraceRecord::Span(s) => {
+                    summary.spans += 1;
+                    *summary.phase_totals_us.entry(s.phase.as_str().to_string()).or_insert(0) +=
+                        s.wall_dur_us;
+                    if s.phase == Phase::App {
+                        summary.app_total_us += s.wall_dur_us;
+                        apps.push((s.name.clone(), s.wall_dur_us));
+                    }
+                }
+                TraceRecord::Event(e) => {
+                    summary.events += 1;
+                    let note = match &e.event {
+                        TraceEvent::EventDispatched { .. } => {
+                            summary.events_dispatched += 1;
+                            None
+                        }
+                        TraceEvent::FaultInjected { kind } => {
+                            summary.faults += 1;
+                            Some(format!("fault {kind}"))
+                        }
+                        TraceEvent::Retry { attempt } => {
+                            summary.retries += 1;
+                            Some(format!("retry #{attempt}"))
+                        }
+                        TraceEvent::Crash { activity, reason } => {
+                            summary.crashes += 1;
+                            Some(format!("crash in {activity}: {reason}"))
+                        }
+                        TraceEvent::Recovery { recovered } => {
+                            if *recovered {
+                                summary.recoveries += 1;
+                            }
+                            Some(format!(
+                                "recovery {}",
+                                if *recovered { "succeeded" } else { "failed" }
+                            ))
+                        }
+                        TraceEvent::TransitionDiscovered { to, .. } => {
+                            *activities.entry(to.clone()).or_insert(0) += 1;
+                            None
+                        }
+                        TraceEvent::NewActivity { name } => {
+                            *activities.entry(name.clone()).or_insert(0) += 1;
+                            None
+                        }
+                        TraceEvent::NewFragment { name } => {
+                            *fragments.entry(name.clone()).or_insert(0) += 1;
+                            None
+                        }
+                    };
+                    if let Some(what) = note {
+                        summary.timeline.push(TimelineEntry {
+                            wall_us: e.wall_us,
+                            track: e.track,
+                            what,
+                        });
+                    }
+                }
+                TraceRecord::Counter(_) => {}
+                TraceRecord::Dropped(d) => summary.dropped += d.count,
+                TraceRecord::Meta(_) => {}
+            }
+        }
+        apps.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        apps.truncate(Self::TOP_CAP);
+        summary.slowest_apps = apps;
+        summary.hottest_activities = top(activities, Self::TOP_CAP);
+        summary.hottest_fragments = top(fragments, Self::TOP_CAP);
+        summary.timeline.sort_by_key(|t| t.wall_us);
+        summary.timeline.truncate(Self::TIMELINE_CAP);
+        summary
+    }
+
+    /// Summed wall time of the top-level phases (decompile/pack/static/
+    /// explore), µs — the number that should land within a few percent of
+    /// the suite's per-app wall-time total.
+    pub fn top_level_phase_total_us(&self) -> u64 {
+        self.phase_totals_us
+            .iter()
+            .filter(|(name, _)| {
+                [Phase::Decompile, Phase::Pack, Phase::Static, Phase::Explore]
+                    .iter()
+                    .any(|p| p.as_str() == name.as_str())
+            })
+            .map(|(_, us)| us)
+            .sum()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let ms = |us: u64| us as f64 / 1000.0;
+        out.push_str(&format!(
+            "trace: {} ({} records: {} spans, {} events, {} dropped)\n",
+            if self.process.is_empty() { "<unnamed>" } else { &self.process },
+            self.records,
+            self.spans,
+            self.events,
+            self.dropped
+        ));
+        out.push_str("per-phase wall time:\n");
+        for (phase, us) in &self.phase_totals_us {
+            out.push_str(&format!("  {phase:<12} {:>10.2} ms\n", ms(*us)));
+        }
+        out.push_str(&format!(
+            "events dispatched: {} ({} faults, {} retries, {} crashes, {} recovered)\n",
+            self.events_dispatched, self.faults, self.retries, self.crashes, self.recoveries
+        ));
+        if !self.slowest_apps.is_empty() {
+            out.push_str("slowest apps:\n");
+            for (app, us) in &self.slowest_apps {
+                out.push_str(&format!("  {:>10.2} ms  {app}\n", ms(*us)));
+            }
+        }
+        if !self.hottest_activities.is_empty() {
+            out.push_str("hottest activities:\n");
+            for (name, hits) in &self.hottest_activities {
+                out.push_str(&format!("  {hits:>6}  {name}\n"));
+            }
+        }
+        if !self.hottest_fragments.is_empty() {
+            out.push_str("hottest fragments:\n");
+            for (name, hits) in &self.hottest_fragments {
+                out.push_str(&format!("  {hits:>6}  {name}\n"));
+            }
+        }
+        if !self.timeline.is_empty() {
+            out.push_str(&format!("fault/retry timeline (first {}):\n", self.timeline.len()));
+            for entry in &self.timeline {
+                out.push_str(&format!(
+                    "  {:>12.3} ms  w{}  {}\n",
+                    ms(entry.wall_us),
+                    entry.track,
+                    entry.what
+                ));
+            }
+        }
+        out
+    }
+}

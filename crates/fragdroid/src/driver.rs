@@ -31,8 +31,22 @@ impl FragDroid {
     /// Runs the full pipeline on a decompiled app. `provided_inputs` is
     /// the analyst-filled input-dependency data.
     pub fn run(&self, app: &AndroidApp, provided_inputs: &BTreeMap<String, String>) -> RunReport {
+        self.run_traced(app, provided_inputs, &fd_trace::Tracer::disabled())
+    }
+
+    /// [`run`](Self::run) under a tracer: the static phase, every
+    /// explored test case, and each crash-recovery attempt become spans;
+    /// dispatched events, faults, retries, crashes, and AFTM discoveries
+    /// become typed instant events. With a disabled tracer this *is*
+    /// `run` — the same code path, producing a byte-identical report.
+    pub fn run_traced(
+        &self,
+        app: &AndroidApp,
+        provided_inputs: &BTreeMap<String, String>,
+        tracer: &fd_trace::Tracer,
+    ) -> RunReport {
         // Phase 1: static information extraction.
-        let info = fd_static::extract(app, provided_inputs);
+        let info = fd_static::extract_traced(app, provided_inputs, tracer);
 
         // Manifest rewrite so `am start -n` can reach every activity.
         let mut installed = app.clone();
@@ -45,8 +59,11 @@ impl FragDroid {
         let device = Device::with_config(installed, device_config);
 
         // Phase 2: evolutionary test case generation.
+        let explore_span = tracer.span(fd_trace::Phase::Explore, "explore");
         let mut explorer = Explorer {
             config: &self.config,
+            tracer,
+            faults_seen: 0,
             started: std::time::Instant::now(),
             deadline_hit: std::cell::Cell::new(false),
             device,
@@ -72,6 +89,8 @@ impl FragDroid {
             in_recovery: false,
         };
         explorer.explore();
+        tracer.set_sim_clock(explorer.device.clock());
+        explore_span.end();
 
         RunReport {
             scripts: explorer.scripts,
@@ -101,13 +120,45 @@ impl FragDroid {
         bytes: &bytes::Bytes,
         provided_inputs: &BTreeMap<String, String>,
     ) -> Result<RunReport, fd_apk::ApkError> {
-        let app = fd_apk::decompile(bytes)?;
-        Ok(self.run(&app, provided_inputs))
+        self.run_apk_traced(bytes, provided_inputs, &fd_trace::Tracer::disabled())
+    }
+
+    /// [`run_apk`](Self::run_apk) under a tracer: adds a
+    /// [`fd_trace::Phase::Decompile`] span around unpacking on top of
+    /// everything [`run_traced`](Self::run_traced) records.
+    pub fn run_apk_traced(
+        &self,
+        bytes: &bytes::Bytes,
+        provided_inputs: &BTreeMap<String, String>,
+        tracer: &fd_trace::Tracer,
+    ) -> Result<RunReport, fd_apk::ApkError> {
+        let app = fd_apk::decompile_traced(bytes, tracer)?;
+        Ok(self.run_traced(&app, provided_inputs, tracer))
+    }
+}
+
+/// A stable short name for each device operation, used as the
+/// `EventDispatched` payload (never allocates for the common case).
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Launch => "launch",
+        Op::ForceStart(_) => "force-start",
+        Op::Click(_) => "click",
+        Op::EnterText { .. } => "enter-text",
+        Op::DismissOverlay => "dismiss-overlay",
+        Op::Back => "back",
+        Op::SwipeOpenDrawer => "swipe-open-drawer",
+        Op::ReflectSwitch(_) => "reflect-switch",
     }
 }
 
 struct Explorer<'a> {
     config: &'a FragDroidConfig,
+    /// Trace sink for this run (a disabled tracer is a no-op).
+    tracer: &'a fd_trace::Tracer,
+    /// Fault-log records already mirrored into the trace, so each
+    /// injected fault becomes exactly one [`fd_trace::TraceEvent`].
+    faults_seen: usize,
     /// When the run began — compared against `config.app_deadline`.
     started: std::time::Instant,
     /// Latched true the first time a budget check fails on the deadline,
@@ -197,6 +248,7 @@ impl<'a> Explorer<'a> {
                     }
                 }
                 self.test_cases += 1;
+                let _case = self.tracer.span(fd_trace::Phase::Case, &item.label);
                 self.scripts.push(TestScript::new(item.label.clone(), item.ops.clone()));
                 let mut trace = Vec::new();
                 for op in &item.ops {
@@ -258,6 +310,9 @@ impl<'a> Explorer<'a> {
                 return None;
             }
             self.events += 1;
+            self.tracer.set_sim_clock(self.device.clock());
+            self.tracer.event(|| fd_trace::TraceEvent::EventDispatched { op: op_name(&op).into() });
+            self.tracer.count("events_dispatched", 1);
             let result = match &op {
                 Op::Launch => self.device.launch(),
                 Op::ForceStart(c) => self.device.am_start(c.as_str()),
@@ -270,6 +325,7 @@ impl<'a> Explorer<'a> {
                 Op::SwipeOpenDrawer => self.device.swipe_open_drawer(),
                 Op::ReflectSwitch(f) => self.device.reflect_switch_fragment(f.as_str()),
             };
+            self.trace_new_faults();
             match result {
                 Ok(outcome) => break outcome,
                 Err(err) => {
@@ -278,6 +334,9 @@ impl<'a> Explorer<'a> {
                     if class == ErrorClass::Transient && attempt < self.config.retry_limit {
                         attempt += 1;
                         self.retries += 1;
+                        let attempt_now = attempt as u64;
+                        self.tracer.event(|| fd_trace::TraceEvent::Retry { attempt: attempt_now });
+                        self.tracer.count("retries", 1);
                         self.device.advance_clock(BACKOFF_BASE_TICKS << attempt);
                         continue;
                     }
@@ -302,6 +361,23 @@ impl<'a> Explorer<'a> {
         Some(StepOutcome::Outcome(outcome))
     }
 
+    /// Mirrors fault-log records the device appended since the last call
+    /// into the trace, one [`fd_trace::TraceEvent::FaultInjected`] each.
+    /// The log is monotonic (surviving [`Device::reset`]), so an index
+    /// cursor is enough.
+    fn trace_new_faults(&mut self) {
+        let log = self.device.fault_log();
+        if log.records.len() <= self.faults_seen {
+            return;
+        }
+        for record in &log.records[self.faults_seen..] {
+            let kind = record.kind.clone();
+            self.tracer.event(|| fd_trace::TraceEvent::FaultInjected { kind: kind.to_string() });
+            self.tracer.count("faults_injected", 1);
+        }
+        self.faults_seen = log.records.len();
+    }
+
     fn count_error(&mut self, class: ErrorClass) {
         match class {
             ErrorClass::Transient => self.device_errors.transient += 1,
@@ -316,6 +392,12 @@ impl<'a> Explorer<'a> {
     /// exploration resumes instead of abandoning the test case.
     fn triage_crash(&mut self, reason: String) {
         let site = self.device.crash_site().cloned();
+        self.tracer.set_sim_clock(self.device.clock());
+        self.tracer.event(|| fd_trace::TraceEvent::Crash {
+            activity: site.as_ref().map(|s| s.activity.as_str().to_string()).unwrap_or_default(),
+            reason: reason.clone(),
+        });
+        self.tracer.count("crashes", 1);
         let signature = CrashSignature {
             activity: site
                 .as_ref()
@@ -339,7 +421,10 @@ impl<'a> Explorer<'a> {
             return;
         }
         self.in_recovery = true;
+        let recovery_span = self.tracer.span(fd_trace::Phase::Recovery, "crash-recovery");
         let recovered = self.recover(site);
+        recovery_span.end();
+        self.tracer.event(|| fd_trace::TraceEvent::Recovery { recovered });
         self.in_recovery = false;
         if recovered {
             self.recovered_crashes += 1;
@@ -381,12 +466,20 @@ impl<'a> Explorer<'a> {
             screen.manager_fragments().map(|(_, f)| f.clone()).collect();
 
         let activity_is_new = self.visited_activities.insert(activity.clone());
+        if activity_is_new {
+            self.tracer
+                .event(|| fd_trace::TraceEvent::NewActivity { name: activity.as_str().into() });
+        }
         let node = NodeId::Activity(activity.clone());
         self.aftm.add_node(node.clone());
         self.aftm.mark_visited(&node);
         let mut fragment_is_new = false;
         for f in &manager_frags {
-            fragment_is_new |= self.visited_fragments.insert(f.clone());
+            let this_is_new = self.visited_fragments.insert(f.clone());
+            fragment_is_new |= this_is_new;
+            if this_is_new {
+                self.tracer.event(|| fd_trace::TraceEvent::NewFragment { name: f.as_str().into() });
+            }
             let fnode = NodeId::Fragment(f.clone());
             self.aftm.add_node(fnode.clone());
             self.aftm.mark_visited(&fnode);
@@ -431,6 +524,12 @@ impl<'a> Explorer<'a> {
     /// the clicked widget's owner (resource dependency) deciding whether
     /// the edge starts at the activity or at a fragment.
     fn record_transition(&mut self, op: &Op, from: &UiSignature, to: &UiSignature) {
+        if from.activity != to.activity {
+            self.tracer.event(|| fd_trace::TraceEvent::TransitionDiscovered {
+                from: from.activity.as_str().into(),
+                to: to.activity.as_str().into(),
+            });
+        }
         let owner_fragment = match op {
             Op::Click(id) => match self.info.resource_dep.owner_of(id) {
                 Some(UiOwner::Fragment(f)) => Some(f.clone()),
@@ -467,6 +566,10 @@ impl<'a> Explorer<'a> {
             if was_there || !confirmed.contains(fragment) {
                 continue;
             }
+            self.tracer.event(|| fd_trace::TraceEvent::TransitionDiscovered {
+                from: to.activity.as_str().into(),
+                to: fragment.as_str().into(),
+            });
             let raw = match &owner_fragment {
                 Some(f0) if f0 != fragment => RawTransition::FragmentToFragment {
                     host: to.activity.clone(),

@@ -112,20 +112,39 @@ pub struct SuiteMetrics {
     pub busy_ms: u64,
     /// `busy / (workers * wall)` — 1.0 means no worker ever idled.
     pub worker_utilization: f64,
+    /// Median per-app wall time, in milliseconds (nearest-rank; 0 for an
+    /// empty suite).
+    #[serde(default)]
+    pub app_wall_ms_p50: u64,
+    /// 95th-percentile per-app wall time, in milliseconds (nearest-rank).
+    #[serde(default)]
+    pub app_wall_ms_p95: u64,
+    /// Slowest single app's wall time, in milliseconds.
+    #[serde(default)]
+    pub app_wall_ms_max: u64,
     /// Per-app records, in input order.
     pub apps: Vec<AppMetrics>,
 }
 
 impl SuiteMetrics {
     /// Serializes the record to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("metrics always serialize")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Parses a record back from JSON.
     pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(text)
     }
+}
+
+/// Nearest-rank percentile over a sorted ascending slice (0 when empty).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// A suite run's outcomes (input order) plus its metrics.
@@ -170,6 +189,17 @@ pub mod engine {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        run_indexed_tagged(n, workers, |_worker, index| job(index))
+    }
+
+    /// [`run_indexed`] where the job also learns which worker *lane*
+    /// (`0..workers`) runs it — the hook per-lane consumers (a tracer
+    /// track per thread, say) need to stay lock-free.
+    pub fn run_indexed_tagged<T, F>(n: usize, workers: usize, job: F) -> EngineRun<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
         if n == 0 {
             return EngineRun {
                 results: Vec::new(),
@@ -189,7 +219,7 @@ pub mod engine {
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|worker| {
                     let next = &next;
                     scope.spawn(move || {
                         let mut local: Vec<(usize, EngineSlot<T>)> = Vec::new();
@@ -200,7 +230,7 @@ pub mod engine {
                                 break;
                             }
                             let t0 = Instant::now();
-                            let result = catch_unwind(AssertUnwindSafe(|| job(index)))
+                            let result = catch_unwind(AssertUnwindSafe(|| job(worker, index)))
                                 .map_err(|payload| panic_message(payload.as_ref()));
                             let elapsed = t0.elapsed();
                             worker_busy += elapsed;
@@ -264,10 +294,48 @@ pub fn run_suite_with_workers(
     config: &FragDroidConfig,
     workers: usize,
 ) -> SuiteRun {
-    let engine_run = engine::run_indexed(apps.len(), workers, |index| {
+    run_suite_traced(apps, config, workers, &fd_trace::TraceConfig::off()).0
+}
+
+/// [`run_suite_with_workers`] under a trace configuration.
+///
+/// Every worker lane owns a private tracer (one ring buffer per app run,
+/// no locks on the hot path; the lane index becomes the Chrome `tid`).
+/// Each app's run is wrapped in a [`fd_trace::Phase::App`] span named
+/// after its package, and a coordinator track brackets the whole suite in
+/// a [`fd_trace::Phase::Suite`] span. Per-app tracks merge into the
+/// returned [`fd_trace::Trace`] in input order; a panicked app's track is
+/// lost with the run (its slot still reports [`AppOutcome::Panicked`]).
+///
+/// With [`fd_trace::TraceConfig::off`] this *is* `run_suite_with_workers`
+/// — the same code path, an empty trace, and byte-identical reports
+/// (property-tested in `tests/trace_prop.rs`).
+pub fn run_suite_traced(
+    apps: &[SuiteApp],
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+) -> (SuiteRun, fd_trace::Trace) {
+    let trace_config = *trace_config;
+    let clock = fd_trace::TraceClock::start();
+    // Coordinator track: one lane past the last worker's.
+    let coordinator_lane = workers.min(apps.len().max(1)).max(1) as u64;
+    let coordinator = fd_trace::Tracer::new(&trace_config, clock, coordinator_lane);
+    let suite_span = coordinator.span(fd_trace::Phase::Suite, "suite");
+
+    let engine_run = engine::run_indexed_tagged(apps.len(), workers, |worker, index| {
         let (app, inputs) = &apps[index];
-        FragDroid::new(config.clone()).run(app, inputs)
+        let tracer = fd_trace::Tracer::new(&trace_config, clock, worker as u64);
+        let report = {
+            let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
+            FragDroid::new(config.clone()).run_traced(app, inputs, &tracer)
+        };
+        (report, tracer.finish())
     });
+
+    suite_span.end();
+    let mut trace = fd_trace::Trace::new("fragdroid-suite");
+    trace.absorb(coordinator.finish());
 
     let wall = engine_run.wall;
     let busy = engine_run.busy;
@@ -278,8 +346,14 @@ pub fn run_suite_with_workers(
     for (index, (result, elapsed)) in engine_run.results.into_iter().enumerate() {
         let package = apps[index].0.manifest.package.clone();
         let outcome = match result {
-            Ok(report) if report.deadline_exceeded => AppOutcome::DeadlineExceeded(report),
-            Ok(report) => AppOutcome::Completed(report),
+            Ok((report, track)) => {
+                trace.absorb(track);
+                if report.deadline_exceeded {
+                    AppOutcome::DeadlineExceeded(report)
+                } else {
+                    AppOutcome::Completed(report)
+                }
+            }
             Err(message) => AppOutcome::Panicked { message },
         };
         let (events, cases_run, cases_generated, crashes, recovered, retries, faults) =
@@ -314,7 +388,9 @@ pub fn run_suite_with_workers(
     }
 
     let capacity = workers_used as f64 * wall.as_secs_f64();
-    SuiteRun {
+    let mut sorted_walls: Vec<u64> = per_app.iter().map(|m| m.wall_ms).collect();
+    sorted_walls.sort_unstable();
+    let run = SuiteRun {
         outcomes,
         metrics: SuiteMetrics {
             workers: workers_used,
@@ -325,9 +401,13 @@ pub fn run_suite_with_workers(
             } else {
                 0.0
             },
+            app_wall_ms_p50: percentile(&sorted_walls, 50.0),
+            app_wall_ms_p95: percentile(&sorted_walls, 95.0),
+            app_wall_ms_max: sorted_walls.last().copied().unwrap_or(0),
             apps: per_app,
         },
-    }
+    };
+    (run, trace)
 }
 
 /// Runs FragDroid over many apps in parallel, returning reports in input
@@ -465,8 +545,55 @@ mod tests {
         assert!(metrics.workers >= 1);
         assert!(metrics.apps.iter().all(|m| !m.panicked && !m.deadline_exceeded));
         assert!(metrics.apps.iter().all(|m| m.events_injected > 0));
-        let parsed = SuiteMetrics::from_json(&metrics.to_json()).expect("roundtrip parses");
+        let json = metrics.to_json().expect("metrics serialize");
+        let parsed = SuiteMetrics::from_json(&json).expect("roundtrip parses");
         assert_eq!(&parsed, metrics);
+        // The drain-time quantiles are consistent with the per-app walls.
+        let max = metrics.apps.iter().map(|m| m.wall_ms).max().unwrap();
+        assert_eq!(metrics.app_wall_ms_max, max);
+        assert!(metrics.app_wall_ms_p50 <= metrics.app_wall_ms_p95);
+        assert!(metrics.app_wall_ms_p95 <= metrics.app_wall_ms_max);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 95.0), 7);
+        let walls: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&walls, 50.0), 50);
+        assert_eq!(percentile(&walls, 95.0), 95);
+        assert_eq!(percentile(&walls, 100.0), 100);
+    }
+
+    #[test]
+    fn traced_suite_produces_spans_and_disabled_trace_is_empty() {
+        let apps = template_apps();
+        let config = FragDroidConfig::default();
+        let (run, trace) = run_suite_traced(&apps, &config, 2, &fd_trace::TraceConfig::on());
+        assert_eq!(run.outcomes.len(), 3);
+        // One Suite span, one App span per app, and Static/Explore below.
+        let spans: Vec<&fd_trace::SpanRecord> = trace
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                fd_trace::TraceRecord::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        let count = |phase: fd_trace::Phase| spans.iter().filter(|s| s.phase == phase).count();
+        assert_eq!(count(fd_trace::Phase::Suite), 1);
+        assert_eq!(count(fd_trace::Phase::App), 3);
+        assert_eq!(count(fd_trace::Phase::Static), 3);
+        assert_eq!(count(fd_trace::Phase::Explore), 3);
+        assert!(count(fd_trace::Phase::Case) > 0, "test cases are spanned");
+        assert!(
+            trace.records.iter().any(|r| matches!(r, fd_trace::TraceRecord::Event(_))),
+            "events recorded"
+        );
+
+        let (_, off_trace) = run_suite_traced(&apps, &config, 2, &fd_trace::TraceConfig::off());
+        assert!(off_trace.records.is_empty(), "disabled tracing records nothing");
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Tracing must never change results: a disabled tracer is property-tested
+//! to produce byte-identical reports, and an enabled tracer's spans must
+//! agree with the suite's own wall-clock metrics.
+
+use fragdroid::{run_suite_traced, FragDroid, FragDroidConfig, SuiteMetrics};
+
+fn corpus_slice(seed: u64, n: usize) -> Vec<fragdroid::suite::SuiteApp> {
+    fd_appgen::corpus::corpus_217(seed)
+        .into_iter()
+        .filter(|g| !g.app.meta.packed)
+        .take(n)
+        .map(|g| (g.app, g.known_inputs))
+        .collect()
+}
+
+mod disabled_is_byte_identical {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// `run` (which routes through a disabled tracer) and an enabled
+        /// traced run produce byte-identical reports: tracing observes,
+        /// never steers. Fault injection is armed so the instrumented
+        /// retry/crash/recovery paths are all exercised.
+        #[test]
+        fn traced_and_untraced_reports_match(seed in 0u64..32, rate in 0usize..2) {
+            let gen = fd_appgen::templates::quickstart();
+            let config = if rate == 0 {
+                FragDroidConfig::default()
+            } else {
+                FragDroidConfig::default().with_faults(seed, 0.25)
+            };
+            let untraced = FragDroid::new(config.clone()).run(&gen.app, &gen.known_inputs);
+            let disabled = FragDroid::new(config.clone()).run_traced(
+                &gen.app,
+                &gen.known_inputs,
+                &fd_trace::Tracer::disabled(),
+            );
+            let enabled_tracer =
+                fd_trace::Tracer::new(&fd_trace::TraceConfig::on(), fd_trace::TraceClock::start(), 0);
+            let enabled = FragDroid::new(config).run_traced(
+                &gen.app,
+                &gen.known_inputs,
+                &enabled_tracer,
+            );
+            let track = enabled_tracer.finish();
+
+            let a = serde_json::to_string(&untraced).unwrap();
+            let b = serde_json::to_string(&disabled).unwrap();
+            let c = serde_json::to_string(&enabled).unwrap();
+            prop_assert_eq!(&a, &b, "disabled tracer must be invisible");
+            prop_assert_eq!(&a, &c, "enabled tracer must be invisible too");
+            prop_assert!(!track.records.is_empty(), "enabled run did record");
+        }
+
+        /// The suite entry points agree the same way: `run_suite_traced`
+        /// with tracing off is byte-identical to the untraced suite, and
+        /// turning tracing on changes the trace, not the outcomes.
+        #[test]
+        fn suite_reports_unaffected_by_tracing(seed in 0u64..16) {
+            let apps = corpus_slice(seed + 1, 3);
+            let config = FragDroidConfig::default().with_faults(seed, 0.2);
+            let baseline = fragdroid::run_suite_with_workers(&apps, &config, 2);
+            let (off_run, off_trace) =
+                run_suite_traced(&apps, &config, 2, &fd_trace::TraceConfig::off());
+            let (on_run, on_trace) =
+                run_suite_traced(&apps, &config, 2, &fd_trace::TraceConfig::on());
+            prop_assert!(off_trace.records.is_empty());
+            prop_assert!(!on_trace.records.is_empty());
+            for ((b, off), on) in
+                baseline.outcomes.iter().zip(&off_run.outcomes).zip(&on_run.outcomes)
+            {
+                let b = serde_json::to_string(b.report().unwrap()).unwrap();
+                let off = serde_json::to_string(off.report().unwrap()).unwrap();
+                let on = serde_json::to_string(on.report().unwrap()).unwrap();
+                prop_assert_eq!(&b, &off);
+                prop_assert_eq!(&b, &on);
+            }
+        }
+    }
+}
+
+/// The per-phase totals `fd-cli trace` reports must agree with the
+/// suite's own per-app wall-clock accounting: the top-level phases
+/// (decompile/pack/static/explore) partition each app's run, so their
+/// summed wall time lands within a few percent of the summed App spans.
+#[test]
+fn phase_totals_agree_with_suite_metrics() {
+    let apps = corpus_slice(3, 6);
+    let config = FragDroidConfig::default().with_faults(9, 0.25);
+    let (run, trace) = run_suite_traced(&apps, &config, 2, &fd_trace::TraceConfig::on());
+    let summary = fd_trace::TraceSummary::compute(&trace);
+
+    let phase_total = summary.top_level_phase_total_us();
+    let app_total = summary.app_total_us;
+    assert!(phase_total <= app_total, "phases nest inside the App spans");
+    // 5% relative slack plus a 2ms absolute floor for sub-millisecond runs.
+    let slack = (app_total / 20).max(2_000);
+    assert!(
+        app_total - phase_total <= slack,
+        "top-level phases must cover the app spans: {phase_total}µs of {app_total}µs"
+    );
+
+    // The tracer's App spans and the engine's own stopwatch agree on the
+    // total (both bracket the same work; the engine adds catch_unwind and
+    // tracer setup, so it reads slightly higher).
+    let metrics_total_us: u64 = run.metrics.apps.iter().map(|m| m.wall_ms * 1000).sum();
+    let engine_slack = (metrics_total_us / 10).max(5_000) + 1_000 * run.metrics.apps.len() as u64;
+    assert!(
+        app_total <= metrics_total_us + engine_slack,
+        "span total {app_total}µs vs engine total {metrics_total_us}µs"
+    );
+
+    // Every fault and retry the reports counted is on the trace.
+    let (mut faults, mut retries, mut crashes) = (0u64, 0u64, 0u64);
+    for outcome in &run.outcomes {
+        let report = outcome.report().unwrap();
+        faults += report.faults_injected as u64;
+        retries += report.retries as u64;
+        crashes += report.crashes as u64;
+    }
+    assert_eq!(summary.faults, faults, "every injected fault is traced");
+    assert_eq!(summary.retries, retries, "every retry is traced");
+    assert_eq!(summary.crashes, crashes, "every crash is traced");
+}
+
+/// The quantile fields added to [`SuiteMetrics`] survive a JSON roundtrip
+/// and default to zero when parsing a record written before they existed.
+#[test]
+fn suite_metrics_quantiles_roundtrip_and_default() {
+    let apps = corpus_slice(5, 5);
+    let run = fragdroid::run_suite_with_workers(&apps, &FragDroidConfig::default(), 2);
+    let metrics = &run.metrics;
+    assert_eq!(metrics.app_wall_ms_max, metrics.apps.iter().map(|m| m.wall_ms).max().unwrap());
+    assert!(metrics.app_wall_ms_p50 <= metrics.app_wall_ms_p95);
+    assert!(metrics.app_wall_ms_p95 <= metrics.app_wall_ms_max);
+
+    let json = metrics.to_json().expect("metrics serialize");
+    let parsed = SuiteMetrics::from_json(&json).expect("roundtrip parses");
+    assert_eq!(&parsed, metrics);
+
+    // A pre-quantile record still parses; the new fields default to 0.
+    let legacy = r#"{
+        "workers": 2, "wall_ms": 10, "busy_ms": 9,
+        "worker_utilization": 0.45, "apps": []
+    }"#;
+    let parsed = SuiteMetrics::from_json(legacy).expect("legacy record parses");
+    assert_eq!(parsed.app_wall_ms_p50, 0);
+    assert_eq!(parsed.app_wall_ms_p95, 0);
+    assert_eq!(parsed.app_wall_ms_max, 0);
+}
