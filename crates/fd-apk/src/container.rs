@@ -24,7 +24,7 @@ use crate::app::{AndroidApp, AppMeta};
 use crate::error::ApkError;
 use crate::layout::Layout;
 use crate::manifest::Manifest;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use fd_smali::{parser, printer, ClassPool};
 
 const MAGIC: &[u8; 4] = b"FAPK";
@@ -69,54 +69,106 @@ pub fn pack(app: &AndroidApp) -> Bytes {
     buf.freeze()
 }
 
-fn take_section(buf: &mut Bytes) -> Result<Bytes, ApkError> {
-    if buf.remaining() < 4 {
-        return Err(ApkError::Truncated);
+/// Bounds-checked reader over the container bytes. Every read either
+/// succeeds or returns a typed [`ApkError`] carrying the byte offset it
+/// failed at; nothing in the decode path can index past the end.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
     }
-    let len = buf.get_u32() as usize;
-    if buf.remaining() < len {
-        return Err(ApkError::Truncated);
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
-    Ok(buf.split_to(len))
+
+    /// Takes `n` bytes, or reports exactly how short the stream is.
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ApkError> {
+        if self.remaining() < n {
+            return Err(ApkError::Truncated {
+                offset: self.pos,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u16(&mut self) -> Result<u16, ApkError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ApkError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads one `u32 length + payload` section, validating the length
+    /// field against what actually remains.
+    fn section(&mut self, name: &'static str) -> Result<&'a [u8], ApkError> {
+        let field_offset = self.pos;
+        let declared = self.u32()? as usize;
+        if declared > self.remaining() {
+            return Err(ApkError::BadLengthField {
+                section: name,
+                offset: field_offset,
+                declared,
+                available: self.remaining(),
+            });
+        }
+        self.take(declared)
+    }
 }
 
 /// Unpacks and decompiles a container back into an [`AndroidApp`].
 ///
 /// This is the reproduction's Apktool + jd-core stage: the classes section
-/// is genuine text that is re-parsed by [`fd_smali::parser`].
+/// is genuine text that is re-parsed by [`fd_smali::parser`]. The decode
+/// path is total: any input — truncated, bit-flipped, length-corrupted —
+/// yields `Ok` or a typed [`ApkError`], never a panic (property-tested in
+/// `tests/container_prop.rs` and fuzzed by `fd-fuzz`).
 pub fn decompile(bytes: &Bytes) -> Result<AndroidApp, ApkError> {
-    let mut buf = bytes.clone();
-    if buf.remaining() < 8 {
-        return Err(ApkError::Truncated);
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let mut cur = Cursor::new(&bytes[..]);
+    let magic = cur.take(4)?;
+    if magic != MAGIC {
         return Err(ApkError::BadMagic);
     }
-    let version = buf.get_u16();
+    let version = cur.u16()?;
     if version != VERSION {
         return Err(ApkError::UnsupportedVersion(version));
     }
-    let flags = buf.get_u16();
+    let flags = cur.u16()?;
     if flags & FLAG_PACKED != 0 {
         return Err(ApkError::Packed);
     }
 
-    let manifest_raw = take_section(&mut buf)?;
-    let smali_raw = take_section(&mut buf)?;
-    let layouts_raw = take_section(&mut buf)?;
-    let meta_raw = take_section(&mut buf)?;
+    let manifest_raw = cur.section("manifest")?;
+    let smali_raw = cur.section("classes")?;
+    let layouts_raw = cur.section("layouts")?;
+    let meta_raw = cur.section("meta")?;
+    if cur.remaining() > 0 {
+        return Err(ApkError::corrupt(
+            "meta",
+            format!("{} trailing bytes after the last section", cur.remaining()),
+        ));
+    }
 
-    let manifest: Manifest = serde_json::from_slice(&manifest_raw)
-        .map_err(|e| ApkError::Corrupt(format!("manifest: {e}")))?;
-    let smali_text = std::str::from_utf8(&smali_raw)
-        .map_err(|e| ApkError::Corrupt(format!("classes not UTF-8: {e}")))?;
+    let manifest: Manifest = serde_json::from_slice(manifest_raw)
+        .map_err(|e| ApkError::corrupt("manifest", e.to_string()))?;
+    let smali_text = std::str::from_utf8(smali_raw)
+        .map_err(|e| ApkError::corrupt("classes", format!("not UTF-8: {e}")))?;
     let classes: ClassPool = parser::parse_classes(smali_text)?.into_iter().collect();
-    let layouts: Vec<Layout> = serde_json::from_slice(&layouts_raw)
-        .map_err(|e| ApkError::Corrupt(format!("layouts: {e}")))?;
+    let layouts: Vec<Layout> = serde_json::from_slice(layouts_raw)
+        .map_err(|e| ApkError::corrupt("layouts", e.to_string()))?;
     let meta: AppMeta =
-        serde_json::from_slice(&meta_raw).map_err(|e| ApkError::Corrupt(format!("meta: {e}")))?;
+        serde_json::from_slice(meta_raw).map_err(|e| ApkError::corrupt("meta", e.to_string()))?;
 
     let mut app = AndroidApp {
         manifest,
@@ -181,12 +233,76 @@ mod tests {
     #[test]
     fn truncation_detected_at_every_length() {
         let full = pack(&sample_app(false));
-        for cut in [0, 3, 7, 9, full.len() - 1] {
+        for cut in 0..full.len() {
             let raw = Bytes::copy_from_slice(&full[..cut]);
             assert!(
-                matches!(decompile(&raw), Err(ApkError::Truncated) | Err(ApkError::Corrupt(_))),
+                matches!(
+                    decompile(&raw),
+                    Err(ApkError::Truncated { .. })
+                        | Err(ApkError::BadLengthField { .. })
+                        | Err(ApkError::Corrupt { .. })
+                        | Err(ApkError::BadMagic)
+                ),
                 "cut at {cut} not detected"
             );
+        }
+    }
+
+    #[test]
+    fn truncation_errors_carry_offsets() {
+        let full = pack(&sample_app(false));
+        // Cut inside the fixed header: a Truncated error at offset 0.
+        match decompile(&Bytes::copy_from_slice(&full[..3])) {
+            Err(ApkError::Truncated { offset: 0, needed: 4, available: 3 }) => {}
+            other => panic!("expected header truncation, got {other:?}"),
+        }
+        // Cut inside the first length field (header is 8 bytes).
+        match decompile(&Bytes::copy_from_slice(&full[..9])) {
+            Err(ApkError::Truncated { offset: 8, needed: 4, available: 1 }) => {}
+            other => panic!("expected length-field truncation, got {other:?}"),
+        }
+        // Cut inside the first payload: the length field is intact but
+        // over-declares, reported against the manifest section.
+        match decompile(&Bytes::copy_from_slice(&full[..14])) {
+            Err(ApkError::BadLengthField {
+                section: "manifest", offset: 8, available: 2, ..
+            }) => {}
+            other => panic!("expected manifest length error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_per_section() {
+        // Corrupting each section's length field to u32::MAX reports that
+        // section by name with the field's own offset.
+        let full = pack(&sample_app(false)).to_vec();
+        let mut field_offset = 8;
+        for section in ["manifest", "classes", "layouts", "meta"] {
+            let declared =
+                u32::from_be_bytes(full[field_offset..field_offset + 4].try_into().unwrap())
+                    as usize;
+            let mut raw = full.clone();
+            raw[field_offset..field_offset + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+            match decompile(&Bytes::from(raw)) {
+                Err(ApkError::BadLengthField { section: s, offset, .. }) => {
+                    assert_eq!(s, section);
+                    assert_eq!(offset, field_offset);
+                }
+                other => panic!("expected {section} length error, got {other:?}"),
+            }
+            field_offset += 4 + declared;
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut raw = pack(&sample_app(false)).to_vec();
+        raw.extend_from_slice(b"junk");
+        match decompile(&Bytes::from(raw)) {
+            Err(ApkError::Corrupt { section: "meta", message }) => {
+                assert!(message.contains("trailing"), "got: {message}")
+            }
+            other => panic!("expected trailing-bytes error, got {other:?}"),
         }
     }
 
@@ -203,6 +319,9 @@ mod tests {
         let mut raw = pack(&app).to_vec();
         // Flip a byte inside the manifest JSON payload (section starts at 12).
         raw[13] ^= 0xff;
-        assert!(matches!(decompile(&Bytes::from(raw)), Err(ApkError::Corrupt(_))));
+        assert!(matches!(
+            decompile(&Bytes::from(raw)),
+            Err(ApkError::Corrupt { section: "manifest", .. })
+        ));
     }
 }

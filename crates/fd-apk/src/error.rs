@@ -4,22 +4,70 @@ use fd_smali::ParseError;
 use std::fmt;
 
 /// An error produced by [`crate::container`] or [`crate::decompile`].
+///
+/// Every variant that concerns the byte stream carries the byte offset it
+/// was detected at ([`ApkError::offset`]), so a rejected container can be
+/// quarantined with an actionable one-line diagnostic instead of a
+/// backtrace.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ApkError {
     /// The byte stream does not start with the `FAPK` magic.
     BadMagic,
     /// The container version is newer than this library understands.
     UnsupportedVersion(u16),
-    /// The byte stream ended before a declared section was complete.
-    Truncated,
+    /// The byte stream ended before a fixed-size field was complete.
+    Truncated {
+        /// Byte offset the read started at.
+        offset: usize,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A section's length field declares more payload than the stream
+    /// holds — either the field was corrupted or the payload was cut.
+    BadLengthField {
+        /// Which section the length field belongs to.
+        section: &'static str,
+        /// Byte offset of the length field itself.
+        offset: usize,
+        /// The length the field declares.
+        declared: usize,
+        /// Payload bytes actually remaining after the field.
+        available: usize,
+    },
     /// The app is protected by a packer; it cannot be decompiled. The
     /// paper excludes such apps from its dataset ("some apps were
     /// encrypted or protected (with packer), they cannot be analyzed").
     Packed,
     /// A section's payload failed to deserialize.
-    Corrupt(String),
+    Corrupt {
+        /// Which section failed.
+        section: &'static str,
+        /// What went wrong inside it.
+        message: String,
+    },
     /// The embedded smali text failed to parse.
     Smali(ParseError),
+}
+
+impl ApkError {
+    /// Shorthand for a [`ApkError::Corrupt`] value.
+    pub fn corrupt(section: &'static str, message: impl Into<String>) -> Self {
+        ApkError::Corrupt { section, message: message.into() }
+    }
+
+    /// The byte offset the error was detected at, for the variants that
+    /// track one.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            ApkError::Truncated { offset, .. } | ApkError::BadLengthField { offset, .. } => {
+                Some(*offset)
+            }
+            ApkError::BadMagic => Some(0),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ApkError {
@@ -27,9 +75,18 @@ impl fmt::Display for ApkError {
         match self {
             ApkError::BadMagic => write!(f, "not an FAPK container (bad magic)"),
             ApkError::UnsupportedVersion(v) => write!(f, "unsupported container version {v}"),
-            ApkError::Truncated => write!(f, "container truncated"),
+            ApkError::Truncated { offset, needed, available } => write!(
+                f,
+                "container truncated at byte {offset}: field needs {needed} bytes, {available} remain"
+            ),
+            ApkError::BadLengthField { section, offset, declared, available } => write!(
+                f,
+                "bad length field for {section} section at byte {offset}: declares {declared} bytes, {available} remain"
+            ),
             ApkError::Packed => write!(f, "app is packer-protected and cannot be decompiled"),
-            ApkError::Corrupt(what) => write!(f, "corrupt section: {what}"),
+            ApkError::Corrupt { section, message } => {
+                write!(f, "corrupt {section} section: {message}")
+            }
             ApkError::Smali(e) => write!(f, "embedded smali does not parse: {e}"),
         }
     }
@@ -58,6 +115,29 @@ mod tests {
     fn display_is_informative() {
         assert!(ApkError::Packed.to_string().contains("packer"));
         assert!(ApkError::UnsupportedVersion(9).to_string().contains('9'));
+        let t = ApkError::Truncated { offset: 12, needed: 4, available: 1 };
+        assert!(t.to_string().contains("byte 12"));
+        let l = ApkError::BadLengthField {
+            section: "manifest",
+            offset: 8,
+            declared: 4096,
+            available: 7,
+        };
+        assert!(l.to_string().contains("manifest"));
+        assert!(l.to_string().contains("4096"));
+    }
+
+    #[test]
+    fn offsets_are_reported() {
+        assert_eq!(ApkError::Truncated { offset: 9, needed: 4, available: 0 }.offset(), Some(9));
+        assert_eq!(
+            ApkError::BadLengthField { section: "meta", offset: 40, declared: 9, available: 1 }
+                .offset(),
+            Some(40)
+        );
+        assert_eq!(ApkError::BadMagic.offset(), Some(0));
+        assert_eq!(ApkError::Packed.offset(), None);
+        assert_eq!(ApkError::corrupt("meta", "x").offset(), None);
     }
 
     #[test]
@@ -65,6 +145,6 @@ mod tests {
         use std::error::Error;
         let e = ApkError::Smali(ParseError::new(1, "x"));
         assert!(e.source().is_some());
-        assert!(ApkError::Truncated.source().is_none());
+        assert!(ApkError::BadMagic.source().is_none());
     }
 }

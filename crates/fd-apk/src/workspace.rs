@@ -32,6 +32,10 @@ pub enum WorkspaceError {
     Json(String, serde_json::Error),
     /// A smali file failed to parse.
     Smali(String, fd_smali::ParseError),
+    /// A value failed to serialize while writing the directory.
+    Serialize(String, serde_json::Error),
+    /// The container being unpacked failed to decompile.
+    Apk(ApkError),
 }
 
 impl std::fmt::Display for WorkspaceError {
@@ -40,6 +44,8 @@ impl std::fmt::Display for WorkspaceError {
             WorkspaceError::Io(e) => write!(f, "workspace I/O error: {e}"),
             WorkspaceError::Json(file, e) => write!(f, "{file}: {e}"),
             WorkspaceError::Smali(file, e) => write!(f, "{file}: {e}"),
+            WorkspaceError::Serialize(what, e) => write!(f, "cannot serialize {what}: {e}"),
+            WorkspaceError::Apk(e) => write!(f, "container does not decompile: {e}"),
         }
     }
 }
@@ -52,23 +58,29 @@ impl From<std::io::Error> for WorkspaceError {
     }
 }
 
+impl From<ApkError> for WorkspaceError {
+    fn from(e: ApkError) -> Self {
+        WorkspaceError::Apk(e)
+    }
+}
+
+fn to_pretty<T: serde::Serialize>(what: &str, value: &T) -> Result<String, WorkspaceError> {
+    serde_json::to_string_pretty(value).map_err(|e| WorkspaceError::Serialize(what.to_string(), e))
+}
+
 /// Writes the decompiled app as an apktool-style directory.
 pub fn unpack(app: &AndroidApp, dir: &Path) -> Result<(), WorkspaceError> {
     std::fs::create_dir_all(dir)?;
-    std::fs::write(
-        dir.join("AndroidManifest.json"),
-        serde_json::to_string_pretty(&app.manifest).expect("manifest serializes"),
-    )?;
-    std::fs::write(
-        dir.join("apktool.json"),
-        serde_json::to_string_pretty(&app.meta).expect("meta serializes"),
-    )?;
+    std::fs::write(dir.join("AndroidManifest.json"), to_pretty("manifest", &app.manifest)?)?;
+    std::fs::write(dir.join("apktool.json"), to_pretty("app metadata", &app.meta)?)?;
 
     let smali_root = dir.join("smali");
     for class in app.classes.iter() {
         let rel: String = class.name.as_str().replace('.', "/");
         let path = smali_root.join(format!("{rel}.smali"));
-        std::fs::create_dir_all(path.parent().expect("has parent"))?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
         std::fs::write(path, printer::print_class(class))?;
     }
 
@@ -77,7 +89,7 @@ pub fn unpack(app: &AndroidApp, dir: &Path) -> Result<(), WorkspaceError> {
     for layout in app.layouts.values() {
         std::fs::write(
             layout_root.join(format!("{}.json", layout.name)),
-            serde_json::to_string_pretty(layout).expect("layout serializes"),
+            to_pretty("layout", layout)?,
         )?;
     }
     Ok(())
@@ -149,10 +161,11 @@ pub fn load(dir: &Path) -> Result<AndroidApp, WorkspaceError> {
 }
 
 /// Convenience: unpack a packed container file's contents to a directory.
+/// A malformed container surfaces as [`WorkspaceError::Apk`] with the
+/// typed decode error (byte offsets intact) instead of a smuggled I/O
+/// error.
 pub fn unpack_container(bytes: &bytes::Bytes, dir: &Path) -> Result<(), WorkspaceError> {
-    let app = crate::decompile(bytes).map_err(|e: ApkError| {
-        WorkspaceError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
-    })?;
+    let app = crate::decompile(bytes)?;
     unpack(&app, dir)
 }
 
@@ -232,6 +245,15 @@ mod tests {
         match load(&dir) {
             Err(WorkspaceError::Smali(file, _)) => assert!(file.contains("Main.smali")),
             other => panic!("expected smali error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_container_reports_typed_apk_error() {
+        let dir = tmpdir("apk-err");
+        match unpack_container(&bytes::Bytes::from_static(b"FAPK\x00\x01"), &dir) {
+            Err(WorkspaceError::Apk(ApkError::Truncated { offset: 6, .. })) => {}
+            other => panic!("expected typed truncation, got {other:?}"),
         }
     }
 

@@ -52,4 +52,41 @@ proptest! {
         raw[pos] ^= 0x5a;
         let _ = fd_apk::decompile(&Bytes::from(raw)); // must not panic
     }
+
+    /// Arbitrary byte soup — with or without a plausible FAPK header in
+    /// front — decodes or is rejected with a typed error; never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        with_header in any::<bool>(),
+    ) {
+        let mut raw = if with_header { b"FAPK\x00\x01\x00\x00".to_vec() } else { Vec::new() };
+        raw.extend_from_slice(&bytes);
+        let _ = fd_apk::decompile(&Bytes::from(raw)); // must not panic
+    }
+
+    /// Blowing up any section's length field is rejected with a typed
+    /// error that carries the offset of the corrupted field itself.
+    #[test]
+    fn oversized_length_fields_are_typed_with_their_offset(seed in 0u64..30, section in 0usize..4) {
+        let gen = fd_appgen::random::generate(
+            "prop.app",
+            &fd_appgen::random::GenConfig::default(),
+            seed,
+        );
+        let mut raw = fd_apk::pack(&gen.app).to_vec();
+        // Walk the 8-byte header and `section` length-prefixed payloads
+        // to the length field under attack.
+        let mut pos = 8;
+        for _ in 0..section {
+            let len =
+                u32::from_be_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4 + len;
+        }
+        raw[pos..pos + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        match fd_apk::decompile(&Bytes::from(raw)) {
+            Err(e) => prop_assert_eq!(e.offset(), Some(pos)),
+            Ok(_) => prop_assert!(false, "a 4 GiB section cannot fit the stream"),
+        }
+    }
 }

@@ -1,0 +1,131 @@
+//! Ingestion-frontier benchmark: decode throughput over the well-formed
+//! corpus and reject throughput over seeded fuzz mutants, written to
+//! `BENCH_ingest.json` so a checked-cursor or error-path regression
+//! shows up as a diff.
+//!
+//! Each measurement runs `PASSES` times and keeps the fastest pass (the
+//! least-noisy estimate of the code's actual cost, same convention as
+//! `bench_suite`).
+//!
+//! ```text
+//! cargo run --release -p fd-bench --bin bench_ingest
+//! ```
+
+use bytes::Bytes;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Best-of-N passes per measurement.
+const PASSES: usize = 5;
+
+/// Mutants in the timed fuzz campaign.
+const MUTANTS: u64 = 5_000;
+
+/// What `BENCH_ingest.json` records for the well-formed decode path.
+#[derive(Serialize)]
+struct DecodeStats {
+    /// Containers decoded per pass.
+    containers: usize,
+    /// Total packed payload per pass, bytes.
+    total_bytes: usize,
+    /// Fastest pass, ms.
+    wall_ms: f64,
+    /// Decode throughput of that pass.
+    containers_per_second: f64,
+    /// Byte throughput of that pass.
+    mib_per_second: f64,
+}
+
+/// What `BENCH_ingest.json` records for the mutant/reject path.
+#[derive(Serialize)]
+struct FuzzStats {
+    /// Campaign seed.
+    seed: u64,
+    /// Mutants executed per pass.
+    mutants: u64,
+    /// Mutants the pipeline accepted (identical every pass — the
+    /// campaign is deterministic).
+    ok: u64,
+    /// Mutants refused with a typed error.
+    rejected: u64,
+    /// Panics observed (must be 0).
+    violations: usize,
+    /// The campaign's outcome digest (same-seed runs must agree).
+    outcome_digest: u64,
+    /// Fastest pass, ms.
+    wall_ms: f64,
+    /// Mutant throughput of that pass.
+    mutants_per_second: f64,
+}
+
+#[derive(Serialize)]
+struct BenchIngest {
+    /// Best-of-N passes kept per measurement.
+    passes: usize,
+    /// `fd_apk::decompile` over every packed corpus container.
+    decode: DecodeStats,
+    /// A seeded `fd-fuzz` campaign over every target.
+    fuzz: FuzzStats,
+}
+
+fn main() {
+    // Pack the full corpus once — packer-protected apps included, since
+    // rejecting them cheaply is part of the frontier's job.
+    let containers: Vec<Bytes> =
+        fd_appgen::corpus::corpus_217(1).iter().map(|g| fd_apk::pack(&g.app)).collect();
+    let total_bytes: usize = containers.iter().map(|b| b.len()).sum();
+
+    let mut decode_best = f64::MAX;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        for bytes in &containers {
+            // Packed apps yield `Err(ApkError::Packed)` — that rejection
+            // is part of the measured path, not a benchmark failure.
+            let _ = fd_apk::decompile(bytes);
+        }
+        decode_best = decode_best.min(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    let decode_secs = decode_best / 1000.0;
+    let decode = DecodeStats {
+        containers: containers.len(),
+        total_bytes,
+        wall_ms: decode_best,
+        containers_per_second: containers.len() as f64 / decode_secs,
+        mib_per_second: total_bytes as f64 / (1024.0 * 1024.0) / decode_secs,
+    };
+
+    let config =
+        fd_fuzz::FuzzConfig { seed: 4, mutants: MUTANTS, ..fd_fuzz::FuzzConfig::default() };
+    let mut fuzz_best = f64::MAX;
+    let mut report: Option<fd_fuzz::CampaignReport> = None;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        let pass = fd_fuzz::run_campaign(&config);
+        fuzz_best = fuzz_best.min(start.elapsed().as_secs_f64() * 1000.0);
+        if let Some(previous) = &report {
+            assert_eq!(
+                pass.outcome_digest, previous.outcome_digest,
+                "same-seed campaigns must agree bit-for-bit"
+            );
+        }
+        report = Some(pass);
+    }
+    let report = report.expect("PASSES > 0");
+    assert!(report.is_clean(), "panic-free invariant violated: {:#?}", report.violations);
+    let fuzz = FuzzStats {
+        seed: report.seed,
+        mutants: report.mutants,
+        ok: report.ok,
+        rejected: report.rejected,
+        violations: report.violations.len(),
+        outcome_digest: report.outcome_digest,
+        wall_ms: fuzz_best,
+        mutants_per_second: report.mutants as f64 / (fuzz_best / 1000.0),
+    };
+
+    let bench = BenchIngest { passes: PASSES, decode, fuzz };
+    let json = serde_json::to_string_pretty(&bench).expect("bench record serializes");
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_ingest.json");
+}

@@ -1,14 +1,20 @@
 //! Regenerates Table I: coverage of Activities and Fragments detection,
 //! with a paper-vs-measured comparison.
 
-use fd_report::table1::{averages, render_table1, run_table1, PAPER_TABLE1};
+use fd_report::table1::{
+    averages, render_rejections, render_table1, run_table1_full, PAPER_TABLE1,
+};
 
 fn main() {
-    let results = run_table1();
+    let run = run_table1_full();
+    let results = run.rows;
     let rows: Vec<_> = results.iter().map(|(row, _)| row.clone()).collect();
 
     println!("TABLE I: Coverage of Activities and Fragments Detection (measured)\n");
     println!("{}", render_table1(&rows));
+    if !run.rejected.is_empty() {
+        println!("{}", render_rejections(&run.rejected));
+    }
 
     println!("Paper vs measured:\n");
     println!(

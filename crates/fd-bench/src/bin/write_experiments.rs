@@ -4,7 +4,7 @@
 //! counterpart).
 
 use fd_report::study::corpus_study;
-use fd_report::table1::{averages, render_table1_markdown, run_table1};
+use fd_report::table1::{averages, render_table1_markdown, run_table1_full};
 use fd_report::table2::{build_table2, render_per_app};
 use std::fmt::Write as _;
 
@@ -26,14 +26,17 @@ fn main() {
     );
 
     // Table I.
-    let results = run_table1();
+    let t1 = run_table1_full();
+    let results = t1.rows;
     let rows: Vec<_> = results.iter().map(|(r, _)| r.clone()).collect();
     let (a, f, v) = averages(&rows);
     let _ = writeln!(out, "## Table I — coverage\n");
     out.push_str(&render_table1_markdown(&rows));
     let _ = writeln!(
         out,
-        "\nAverages: activities **{a:.2}%** (paper 71.94%), fragments **{f:.2}%** (paper 66%), fragments-in-visited **{v:.2}%**.\n"
+        "\nAverages: activities **{a:.2}%** (paper 71.94%), fragments **{f:.2}%** (paper 66%), fragments-in-visited **{v:.2}%**. {} of {} containers quarantined at ingestion.\n",
+        t1.rejected.len(),
+        t1.rejected.len() + rows.len(),
     );
 
     // Table II.

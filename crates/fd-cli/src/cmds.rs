@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::parse;
-use crate::{load_app, load_app_traced, load_inputs, write_trace};
+use crate::{load_app, load_app_traced, load_inputs, write_trace, CliError};
 use fragdroid::{FragDroid, FragDroidConfig};
 
 /// Pretty-serializes with the error propagated instead of panicking, so a
@@ -11,7 +11,7 @@ fn to_pretty_json<T: serde::Serialize>(what: &str, value: &T) -> Result<String, 
 }
 
 /// `fragdroid gen <out.fapk> [--template NAME | --random] [--seed N] [--size N]`
-pub fn gen(argv: &[String]) -> Result<(), String> {
+pub fn gen(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let out = p.one_path("output path")?;
     let seed = p.num("seed", 42)?;
@@ -28,7 +28,9 @@ pub fn gen(argv: &[String]) -> Result<(), String> {
             "quickstart" => fd_appgen::templates::quickstart(),
             "fig1-tabs" => fd_appgen::templates::tabbed_categories(),
             "fig2-drawer" => fd_appgen::templates::nav_drawer_wallpapers(),
-            other => return Err(format!("unknown template '{other}' (see 'fragdroid templates')")),
+            other => {
+                return Err(format!("unknown template '{other}' (see 'fragdroid templates')").into())
+            }
         }
     };
     let bytes = fd_apk::pack(&generated.app);
@@ -46,7 +48,7 @@ pub fn gen(argv: &[String]) -> Result<(), String> {
 }
 
 /// `fragdroid info <app.fapk>`
-pub fn info(argv: &[String]) -> Result<(), String> {
+pub fn info(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let app = load_app(p.one_path("container path")?)?;
     println!("package:    {}", app.package());
@@ -83,7 +85,7 @@ pub fn info(argv: &[String]) -> Result<(), String> {
 }
 
 /// `fragdroid static <app.fapk> [--inputs F]`
-pub fn static_info(argv: &[String]) -> Result<(), String> {
+pub fn static_info(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let app = load_app(p.one_path("container path")?)?;
     let inputs = load_inputs(p.opt("inputs"))?;
@@ -93,7 +95,7 @@ pub fn static_info(argv: &[String]) -> Result<(), String> {
 }
 
 /// `fragdroid dot <app.fapk>`
-pub fn dot(argv: &[String]) -> Result<(), String> {
+pub fn dot(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let app = load_app(p.one_path("container path")?)?;
     let info = fd_static::extract(&app, &Default::default());
@@ -103,7 +105,7 @@ pub fn dot(argv: &[String]) -> Result<(), String> {
 
 /// `fragdroid run <app.fapk> [--inputs F] [--budget N] [--fault-rate R]
 /// [--fault-seed N] [--trace-out T.jsonl] [--json]`
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let trace_out = p.opt("trace-out");
     let trace_config = if trace_out.is_some() {
@@ -175,7 +177,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
 /// `fragdroid unpack <app.fapk> --out DIR` — apktool-style decompile to a
 /// project directory.
-pub fn unpack(argv: &[String]) -> Result<(), String> {
+pub fn unpack(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let app = load_app(p.one_path("container path")?)?;
     let out = p.opt("out").ok_or("missing --out directory")?;
@@ -186,7 +188,7 @@ pub fn unpack(argv: &[String]) -> Result<(), String> {
 
 /// `fragdroid repack <dir> --out app.fapk` — rebuild a container from an
 /// (edited) project directory.
-pub fn repack(argv: &[String]) -> Result<(), String> {
+pub fn repack(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let dir = p.one_path("project directory")?;
     let out = p.opt("out").ok_or("missing --out file")?;
@@ -200,7 +202,8 @@ pub fn repack(argv: &[String]) -> Result<(), String> {
                 "
   "
             )
-        ));
+        )
+        .into());
     }
     let bytes = fd_apk::pack(&app);
     std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -210,11 +213,11 @@ pub fn repack(argv: &[String]) -> Result<(), String> {
 
 /// `fragdroid replay <app.fapk> <trace.json>` — replay a recorded session
 /// and verify every step lands in its recorded state.
-pub fn replay(argv: &[String]) -> Result<(), String> {
+pub fn replay(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let (apk, trace_path) = match p.positional.as_slice() {
         [a, t] => (a.as_str(), t.as_str()),
-        _ => return Err("usage: fragdroid replay <app.fapk> <trace.json>".to_string()),
+        _ => return Err("usage: fragdroid replay <app.fapk> <trace.json>".into()),
     };
     let app = load_app(apk)?;
     let raw = std::fs::read_to_string(trace_path)
@@ -227,20 +230,22 @@ pub fn replay(argv: &[String]) -> Result<(), String> {
             println!("FAITHFUL: all {} steps reproduced their recorded states", trace.steps.len());
             Ok(())
         }
-        fd_droidsim::ReplayOutcome::Diverged { index, expected, actual } => Err(format!(
-            "DIVERGED at step {index}: expected {:?}, got {:?}",
-            expected.map(|s| s.to_string()),
-            actual.map(|s| s.to_string())
-        )),
+        fd_droidsim::ReplayOutcome::Diverged { index, expected, actual } => {
+            Err(CliError::Failure(format!(
+                "DIVERGED at step {index}: expected {:?}, got {:?}",
+                expected.map(|s| s.to_string()),
+                actual.map(|s| s.to_string())
+            )))
+        }
         fd_droidsim::ReplayOutcome::Rejected { index, error } => {
-            Err(format!("REJECTED at step {index}: {error}"))
+            Err(CliError::Failure(format!("REJECTED at step {index}: {error}")))
         }
     }
 }
 
 /// `fragdroid java <app.fapk> [--inputs F]` — run FragDroid and emit the
 /// generated Robotium test class (§VI-B).
-pub fn java(argv: &[String]) -> Result<(), String> {
+pub fn java(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let app = load_app(p.one_path("container path")?)?;
     let inputs = load_inputs(p.opt("inputs"))?;
@@ -251,19 +256,20 @@ pub fn java(argv: &[String]) -> Result<(), String> {
 
 /// `fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N]
 /// [--fault-rate R] [--fault-seed N] [--trace-out T.jsonl] [--json]` — run
-/// the whole analyzable corpus through the shared suite runner and report
-/// coverage plus runner metrics.
-pub fn corpus(argv: &[String]) -> Result<(), String> {
+/// the whole corpus through the shared container suite runner and report
+/// coverage plus runner metrics. Every app goes in as packed FAPK bytes;
+/// the ingestion frontier quarantines what it refuses (packer-protected
+/// apps included) instead of the command pre-filtering them.
+pub fn corpus(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     if !p.positional.is_empty() {
-        return Err("corpus takes no positional arguments".to_string());
+        return Err("corpus takes no positional arguments".into());
     }
     let seed = p.num("seed", 1)?;
     let limit = p.num("limit", 0)? as usize;
-    let mut apps: Vec<fragdroid::suite::SuiteApp> = fd_appgen::corpus::corpus_217(seed)
+    let mut apps: Vec<fragdroid::suite::SuiteContainer> = fd_appgen::corpus::corpus_217(seed)
         .into_iter()
-        .filter(|g| !g.app.meta.packed)
-        .map(|g| (g.app, g.known_inputs))
+        .map(|g| (fd_apk::pack(&g.app), g.known_inputs))
         .collect();
     if limit > 0 {
         apps.truncate(limit);
@@ -288,7 +294,8 @@ pub fn corpus(argv: &[String]) -> Result<(), String> {
     } else {
         fd_trace::TraceConfig::off()
     };
-    let (run, trace) = fragdroid::run_suite_traced(&apps, &config, workers, &trace_config);
+    let (run, trace) =
+        fragdroid::suite::run_container_suite_traced(&apps, &config, workers, &trace_config);
     if let Some(out) = trace_out {
         write_trace(out, &trace)?;
     }
@@ -301,16 +308,17 @@ pub fn corpus(argv: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let (mut acts, mut acts_sum, mut frags, mut frags_sum) = (0, 0, 0, 0);
-    let (mut panicked, mut deadline) = (0usize, 0usize);
+    let (mut panicked, mut deadline, mut rejected) = (0usize, 0usize, 0usize);
     let (mut faults, mut retries, mut crashes, mut recovered) = (0usize, 0usize, 0usize, 0usize);
     for outcome in &run.outcomes {
         match outcome {
             fragdroid::AppOutcome::Panicked { .. } => panicked += 1,
+            fragdroid::AppOutcome::Rejected { .. } => rejected += 1,
             other => {
                 if matches!(other, fragdroid::AppOutcome::DeadlineExceeded(_)) {
                     deadline += 1;
                 }
-                let report = other.report().expect("non-panicked outcome has a report");
+                let report = other.report().expect("run outcome has a report");
                 let a = report.activity_coverage();
                 let f = report.fragment_coverage();
                 acts += a.visited;
@@ -325,7 +333,13 @@ pub fn corpus(argv: &[String]) -> Result<(), String> {
         }
     }
     let m = &run.metrics;
-    println!("apps:        {} ({} panicked, {} hit deadline)", apps.len(), panicked, deadline);
+    println!(
+        "apps:        {} ({} rejected, {} panicked, {} hit deadline)",
+        apps.len(),
+        rejected,
+        panicked,
+        deadline
+    );
     println!("activities:  {acts}/{acts_sum}");
     println!("fragments:   {frags}/{frags_sum}");
     if fault_rate > 0.0 {
@@ -341,10 +355,87 @@ pub fn corpus(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `fragdroid fuzz [--seed N] [--mutants N] [--target T[,T..]] [--out DIR]
+/// [--trace-out T.jsonl] [--json]` — run a deterministic structure-aware
+/// fuzz campaign over the ingestion frontier and report per-target
+/// outcomes. Exits nonzero if any mutant panics; reproducers are
+/// minimized and, with `--out`, written to disk.
+pub fn fuzz(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv)?;
+    if !p.positional.is_empty() {
+        return Err("fuzz takes no positional arguments".into());
+    }
+    let targets = match p.opt("target") {
+        None => fd_fuzz::Target::ALL.to_vec(),
+        Some(spec) => spec
+            .split(',')
+            .map(|name| {
+                fd_fuzz::Target::parse(name.trim())
+                    .ok_or_else(|| format!("unknown fuzz target '{name}' (container, smali, json)"))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+    let config = fd_fuzz::FuzzConfig {
+        seed: p.num("seed", 1)?,
+        mutants: p.num("mutants", 1_000)?,
+        targets,
+        out_dir: p.opt("out").map(std::path::PathBuf::from),
+    };
+    let trace_out = p.opt("trace-out");
+    let trace_config = if trace_out.is_some() {
+        fd_trace::TraceConfig::on()
+    } else {
+        fd_trace::TraceConfig::off()
+    };
+    let tracer = fd_trace::Tracer::new(&trace_config, fd_trace::TraceClock::start(), 0);
+    let report = fd_fuzz::run_campaign_traced(&config, &tracer);
+    if let Some(out) = trace_out {
+        let mut trace = fd_trace::Trace::new("fragdroid fuzz");
+        trace.absorb(tracer.finish());
+        write_trace(out, &trace)?;
+    }
+
+    if p.flag("json") {
+        println!("{}", report.to_json().map_err(|e| format!("cannot serialize report: {e}"))?);
+    } else {
+        println!("fuzz: seed {}, {} mutants", report.seed, report.executed);
+        for (name, stats) in &report.per_target {
+            println!(
+                "  {:<10} {} executed: {} ok, {} rejected, {} violations",
+                name, stats.executed, stats.ok, stats.rejected, stats.violations
+            );
+        }
+        println!("digest:     {:#018x}", report.outcome_digest);
+        for violation in &report.violations {
+            println!(
+                "  VIOLATION {}[case {}]: {} ({} bytes, minimized to {}{})",
+                violation.target,
+                violation.case,
+                violation.message,
+                violation.input_bytes,
+                violation.minimized_bytes,
+                violation
+                    .reproducer
+                    .as_deref()
+                    .map(|p| format!(", saved to {p}"))
+                    .unwrap_or_default()
+            );
+        }
+    }
+    if !report.is_clean() {
+        return Err(CliError::Failure(format!(
+            "panic-free invariant violated by {} of {} mutants",
+            report.violations.len(),
+            report.executed
+        )));
+    }
+    Ok(())
+}
+
 /// `fragdroid trace <trace.jsonl> [--json]` — per-phase breakdown,
 /// slowest apps, hottest activities/fragments, and the fault/retry
 /// timeline of a `--trace-out` capture.
-pub fn trace(argv: &[String]) -> Result<(), String> {
+pub fn trace(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let path = p.one_path("trace file (.jsonl)")?;
     let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -360,7 +451,7 @@ pub fn trace(argv: &[String]) -> Result<(), String> {
 }
 
 /// `fragdroid dump <app.fapk>`
-pub fn dump(argv: &[String]) -> Result<(), String> {
+pub fn dump(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     let app = load_app(p.one_path("container path")?)?;
     let mut device = fd_droidsim::Device::new(app);
@@ -370,9 +461,9 @@ pub fn dump(argv: &[String]) -> Result<(), String> {
             print!("{}", fd_droidsim::dump_hierarchy(screen));
             Ok(())
         }
-        None => Err(format!(
+        None => Err(CliError::Failure(format!(
             "app force-closed at launch: {}",
             device.crash_reason().unwrap_or("unknown")
-        )),
+        ))),
     }
 }

@@ -8,6 +8,7 @@
 //! fragdroid dot <app.fapk>
 //! fragdroid run <app.fapk> [--inputs inputs.json] [--budget N] [--fault-rate R] [--fault-seed N] [--json]
 //! fragdroid dump <app.fapk>
+//! fragdroid fuzz [--seed N] [--mutants N] [--target T] [--out DIR]
 //! fragdroid templates
 //! ```
 //!
@@ -21,8 +22,53 @@ use std::collections::BTreeMap;
 pub mod args;
 pub mod cmds;
 
+/// A CLI failure, carrying the process exit code it maps to.
+///
+/// The split lets scripts (and CI) distinguish quarantined *inputs*
+/// from *tool* failures: a malformed container exits with code 2, every
+/// other error with code 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Generic failure (bad usage, IO, internal error) — exit code 1.
+    Failure(String),
+    /// Input rejected at the ingestion frontier (malformed or
+    /// packer-protected container) — exit code 2.
+    Rejected(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Failure(_) => 1,
+            CliError::Rejected(_) => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Failure(message) => write!(f, "{message}"),
+            CliError::Rejected(message) => write!(f, "rejected input: {message}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Failure(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Failure(message.to_string())
+    }
+}
+
 /// Dispatches one CLI invocation (everything after the binary name).
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(cmd) = argv.first() else {
         print_usage();
         return Ok(());
@@ -40,6 +86,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "java" => cmds::java(rest),
         "repack" => cmds::repack(rest),
         "corpus" => cmds::corpus(rest),
+        "fuzz" => cmds::fuzz(rest),
         "trace" => cmds::trace(rest),
         "templates" => {
             println!("quickstart\nfig1-tabs\nfig2-drawer");
@@ -49,7 +96,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown subcommand '{other}' (try 'fragdroid help')")),
+        other => {
+            Err(CliError::Failure(format!("unknown subcommand '{other}' (try 'fragdroid help')")))
+        }
     }
 }
 
@@ -73,27 +122,41 @@ USAGE:
   fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N]
                 [--fault-rate R] [--fault-seed N] [--json] [--trace-out T.jsonl]
                                           run the synthetic corpus on the suite runner
+  fragdroid fuzz [--seed N] [--mutants N] [--target container|smali|json]
+                [--out DIR] [--trace-out T.jsonl] [--json]
+                                          deterministic ingestion-frontier fuzz campaign
   fragdroid trace <trace.jsonl> [--json]  per-phase/per-app profile of a trace
-  fragdroid templates                     list template names for 'gen'"
+  fragdroid templates                     list template names for 'gen'
+
+EXIT CODES:
+  0  success    1  failure    2  input rejected at the ingestion frontier"
     );
 }
 
 /// Reads and decompiles a container file.
 ///
 /// (Used by the subcommands; public so tests can drive them directly.)
-pub fn load_app(path: &str) -> Result<fd_apk::AndroidApp, String> {
+pub fn load_app(path: &str) -> Result<fd_apk::AndroidApp, CliError> {
     load_app_traced(path, &fd_trace::Tracer::disabled())
 }
 
 /// [`load_app`] under a tracer, so `--trace-out` runs capture the
 /// decompile phase too.
+///
+/// A container the decoder refuses maps to [`CliError::Rejected`] (exit
+/// code 2) with a one-line diagnostic carrying the typed error and, when
+/// the error tracks one, the byte offset it was detected at. An
+/// unreadable file stays a plain [`CliError::Failure`].
 pub fn load_app_traced(
     path: &str,
     tracer: &fd_trace::Tracer,
-) -> Result<fd_apk::AndroidApp, String> {
-    let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    fd_apk::decompile_traced(&Bytes::from(raw), tracer)
-        .map_err(|e| format!("cannot decompile {path}: {e}"))
+) -> Result<fd_apk::AndroidApp, CliError> {
+    let raw =
+        std::fs::read(path).map_err(|e| CliError::Failure(format!("cannot read {path}: {e}")))?;
+    fd_apk::decompile_traced(&Bytes::from(raw), tracer).map_err(|e| {
+        let at = e.offset().map(|o| format!(" (at byte {o})")).unwrap_or_default();
+        CliError::Rejected(format!("{path}: {e}{at}"))
+    })
 }
 
 /// Writes a drained trace to `path` (JSON Lines) and `<path>.chrome.json`

@@ -198,8 +198,75 @@ fn replay_and_java_subcommands() {
     std::fs::write(&bad_path, bad.to_json()).unwrap();
     let err = fd_cli::run(&argv(&["replay", apk.to_str().unwrap(), bad_path.to_str().unwrap()]))
         .expect_err("divergence must be reported");
-    assert!(err.contains("DIVERGED"));
+    assert!(err.to_string().contains("DIVERGED"));
 
     // Java emission runs.
     fd_cli::run(&argv(&["java", apk.to_str().unwrap()])).expect("java emission");
+}
+
+#[test]
+fn malformed_containers_get_the_rejected_exit_code_and_a_byte_offset() {
+    // Truncated header: typed rejection, exit code 2, offset in the message.
+    let truncated = tmp("truncated.fapk");
+    std::fs::write(&truncated, b"FAPK\x00\x01").unwrap();
+    let err = fd_cli::run(&argv(&["info", truncated.to_str().unwrap()])).unwrap_err();
+    assert_eq!(err.exit_code(), 2, "rejected input has its own exit code: {err}");
+    let msg = err.to_string();
+    assert!(msg.contains("rejected input"), "{msg}");
+    assert!(msg.contains("truncated"), "{msg}");
+    assert!(msg.contains("byte 6"), "{msg}");
+
+    // Garbage bytes: still a quarantine, not a crash or generic failure.
+    let garbage = tmp("garbage.fapk");
+    std::fs::write(&garbage, b"definitely not a container").unwrap();
+    let err = fd_cli::run(&argv(&["run", garbage.to_str().unwrap()])).unwrap_err();
+    assert_eq!(err.exit_code(), 2);
+    assert!(err.to_string().contains("magic"), "{err}");
+
+    // A missing file is a tool failure (exit 1), not a quarantine.
+    let err = fd_cli::run(&argv(&["info", "/nonexistent/x.fapk"])).unwrap_err();
+    assert_eq!(err.exit_code(), 1);
+    // So is an unknown subcommand.
+    let err = fd_cli::run(&argv(&["frobnicate"])).unwrap_err();
+    assert_eq!(err.exit_code(), 1);
+}
+
+#[test]
+fn fuzz_subcommand_runs_clean_deterministic_campaigns() {
+    let out = tmp("fuzz-repros");
+    let _ = std::fs::remove_dir_all(&out);
+    fd_cli::run(&argv(&["fuzz", "--seed", "4", "--mutants", "90", "--out", out.to_str().unwrap()]))
+        .expect("campaign is clean");
+    // Clean campaign leaves no reproducers behind.
+    let entries = std::fs::read_dir(&out).map(|it| it.count()).unwrap_or(0);
+    assert_eq!(entries, 0);
+
+    // JSON mode and a single-target campaign also run.
+    fd_cli::run(&argv(&["fuzz", "--seed", "4", "--mutants", "30", "--json"])).expect("json mode");
+    fd_cli::run(&argv(&["fuzz", "--mutants", "30", "--target", "smali"])).expect("one target");
+
+    // A bogus target is a usage failure.
+    let err = fd_cli::run(&argv(&["fuzz", "--target", "bogus"])).unwrap_err();
+    assert_eq!(err.exit_code(), 1);
+    assert!(err.to_string().contains("bogus"), "{err}");
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn fuzz_trace_out_records_the_fuzz_phase() {
+    let trace_path = tmp("fuzz-trace.jsonl");
+    fd_cli::run(&argv(&[
+        "fuzz",
+        "--seed",
+        "2",
+        "--mutants",
+        "30",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]))
+    .expect("traced campaign");
+    let jsonl = std::fs::read_to_string(&trace_path).expect("jsonl written");
+    let trace = fd_trace::Trace::from_jsonl(&jsonl).expect("jsonl parses");
+    let summary = fd_trace::TraceSummary::compute(&trace);
+    assert!(summary.phase_totals_us.contains_key("fuzz"), "fuzz span present");
 }

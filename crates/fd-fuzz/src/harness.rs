@@ -1,0 +1,467 @@
+//! The campaign driver: run mutants, demand Ok-or-typed-Err, minimize
+//! and persist anything that panics.
+//!
+//! A campaign is fully determined by its [`FuzzConfig`]: the seed drives
+//! one `StdRng`, targets rotate round-robin over the case index, and the
+//! per-case outcomes fold into [`CampaignReport::outcome_digest`] — two
+//! same-seed campaigns must produce bit-for-bit identical reports
+//! (asserted in this crate's tests and gated in CI).
+
+use crate::mutate;
+use bytes::Bytes;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Which frontier a mutant attacks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Target {
+    /// Byte-level mutants of packed FAPK containers → [`fd_apk::decompile`]
+    /// (and [`fd_static::extract`] when the mutant still decodes).
+    Container,
+    /// Token/line-level mutants of smali text → `fd_smali::parser`.
+    Smali,
+    /// Schema-aware mutants of the manifest/layouts/meta JSON, spliced
+    /// into an otherwise-valid container → the decoder's semantic layer.
+    Json,
+}
+
+impl Target {
+    /// Every target, in campaign rotation order.
+    pub const ALL: [Target; 3] = [Target::Container, Target::Smali, Target::Json];
+
+    /// Stable lowercase name (CLI `--target` values, report keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Target::Container => "container",
+            Target::Smali => "smali",
+            Target::Json => "json",
+        }
+    }
+
+    /// Parses a CLI `--target` value.
+    pub fn parse(s: &str) -> Option<Target> {
+        Target::ALL.into_iter().find(|t| t.name() == s)
+    }
+}
+
+/// A fuzz campaign's parameters.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Seed of the single `StdRng` every mutation draws from.
+    pub seed: u64,
+    /// How many mutants to run.
+    pub mutants: u64,
+    /// Frontiers to rotate over (round-robin by case index).
+    pub targets: Vec<Target>,
+    /// Where to write minimized reproducers; `None` keeps them in-memory
+    /// only (the report still carries the minimized bytes' length).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig { seed: 1, mutants: 1_000, targets: Target::ALL.to_vec(), out_dir: None }
+    }
+}
+
+/// One panic-free-invariant violation, with its minimized reproducer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ViolationReport {
+    /// The target the mutant attacked.
+    pub target: String,
+    /// Campaign-local case index.
+    pub case: u64,
+    /// The panic payload, stringified.
+    pub message: String,
+    /// Size of the original failing input.
+    pub input_bytes: usize,
+    /// Size after minimization.
+    pub minimized_bytes: usize,
+    /// Path the minimized reproducer was written to, when an `--out`
+    /// directory was configured.
+    pub reproducer: Option<String>,
+}
+
+/// Per-target outcome counts.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TargetStats {
+    /// Mutants executed against this target.
+    pub executed: u64,
+    /// Mutants the pipeline accepted (`Ok`).
+    pub ok: u64,
+    /// Mutants the pipeline refused with a typed error.
+    pub rejected: u64,
+    /// Mutants that panicked (violations).
+    pub violations: u64,
+}
+
+/// What a finished campaign reports.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Mutants requested.
+    pub mutants: u64,
+    /// Mutants executed (always equals `mutants`).
+    pub executed: u64,
+    /// Mutants the pipeline accepted.
+    pub ok: u64,
+    /// Mutants refused with a typed error — the expected common case.
+    pub rejected: u64,
+    /// Per-target breakdown, keyed by [`Target::name`].
+    pub per_target: BTreeMap<String, TargetStats>,
+    /// Every panic, minimized. Empty means the invariant held.
+    pub violations: Vec<ViolationReport>,
+    /// FNV-1a fold of every case's `(target, outcome kind, error text)` —
+    /// two same-seed campaigns must agree on this bit-for-bit.
+    pub outcome_digest: u64,
+}
+
+impl CampaignReport {
+    /// Whether the panic-free invariant held over the whole campaign.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+/// How one mutant execution ended.
+enum CaseOutcome {
+    /// The pipeline accepted the input.
+    Ok,
+    /// The pipeline refused with a typed error (message kept for the
+    /// digest).
+    Rejected(String),
+    /// The pipeline panicked — an invariant violation.
+    Panicked(String),
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The seed inputs every mutant derives from: packed containers, their
+/// smali text, and the parsed JSON of their non-classes sections.
+struct SeedCorpus {
+    containers: Vec<Vec<u8>>,
+    smali: Vec<String>,
+    /// `(container index, section index, parsed payload)`.
+    json: Vec<(usize, usize, Value)>,
+}
+
+impl SeedCorpus {
+    fn build() -> SeedCorpus {
+        let gens = [
+            fd_appgen::templates::quickstart(),
+            fd_appgen::templates::tabbed_categories(),
+            fd_appgen::templates::nav_drawer_wallpapers(),
+        ];
+        let mut corpus = SeedCorpus { containers: Vec::new(), smali: Vec::new(), json: Vec::new() };
+        for gen in gens {
+            let bytes = fd_apk::pack(&gen.app).to_vec();
+            let container_index = corpus.containers.len();
+            for (section_index, (_, range)) in mutate::section_ranges(&bytes).iter().enumerate() {
+                if section_index == 1 {
+                    // The classes section is smali text, not JSON; it is
+                    // the smali target's seed instead.
+                    if let Ok(text) = std::str::from_utf8(&bytes[range.clone()]) {
+                        corpus.smali.push(text.to_string());
+                    }
+                    continue;
+                }
+                if let Ok(value) =
+                    Value::parse_json(&String::from_utf8_lossy(&bytes[range.clone()]))
+                {
+                    corpus.json.push((container_index, section_index, value));
+                }
+            }
+            corpus.containers.push(bytes);
+        }
+        assert!(
+            !corpus.containers.is_empty() && !corpus.smali.is_empty() && !corpus.json.is_empty(),
+            "seed corpus covers every target"
+        );
+        corpus
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs one input through its target's pipeline under `catch_unwind` and
+/// classifies the result. This is the invariant under test: the only
+/// acceptable outcomes are `Ok` and `Rejected`.
+fn execute(target: Target, input: &[u8]) -> CaseOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| match target {
+        Target::Container | Target::Json => {
+            match fd_apk::decompile(&Bytes::copy_from_slice(input)) {
+                Ok(app) => {
+                    // A mutant that still decodes must also survive
+                    // static extraction (the next pipeline stage).
+                    let _ = fd_static::extract(&app, &Default::default());
+                    Ok(())
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        }
+        Target::Smali => {
+            let text = String::from_utf8_lossy(input);
+            match fd_smali::parser::parse_classes(&text) {
+                Ok(_) => Ok(()),
+                Err(e) => Err(e.to_string()),
+            }
+        }
+    }));
+    match result {
+        Ok(Ok(())) => CaseOutcome::Ok,
+        Ok(Err(message)) => CaseOutcome::Rejected(message),
+        Err(payload) => CaseOutcome::Panicked(panic_message(payload)),
+    }
+}
+
+/// Generates the next mutant for `target` from the corpus. All
+/// randomness comes from `rng`, so the case sequence is seed-determined.
+fn generate(corpus: &SeedCorpus, target: Target, rng: &mut StdRng) -> Vec<u8> {
+    match target {
+        Target::Container => {
+            let base = &corpus.containers[rng.gen_range(0..corpus.containers.len())];
+            mutate::mutate_bytes(base, rng)
+        }
+        Target::Smali => {
+            let base = &corpus.smali[rng.gen_range(0..corpus.smali.len())];
+            mutate::mutate_smali(base, rng).into_bytes()
+        }
+        Target::Json => {
+            let (container_index, section_index, value) =
+                &corpus.json[rng.gen_range(0..corpus.json.len())];
+            let mutant = mutate::mutate_json(value, rng);
+            let payload = mutant.render_json(false);
+            mutate::splice_section(
+                &corpus.containers[*container_index],
+                *section_index,
+                payload.as_bytes(),
+            )
+            .expect("seed containers always have four sections")
+        }
+    }
+}
+
+/// Greedy chunk-removal minimization (ddmin-lite): repeatedly drop the
+/// largest chunk that keeps `still_fails` true, halving the chunk size
+/// until single bytes. `budget` caps predicate invocations so a slow
+/// reproducer cannot stall the campaign.
+fn minimize_bytes(
+    input: Vec<u8>,
+    mut budget: usize,
+    still_fails: impl Fn(&[u8]) -> bool,
+) -> Vec<u8> {
+    let mut current = input;
+    let mut chunk = (current.len() / 2).max(1);
+    while chunk >= 1 && budget > 0 && !current.is_empty() {
+        let mut offset = 0;
+        while offset + chunk <= current.len() && budget > 0 {
+            let mut candidate = current.clone();
+            candidate.drain(offset..offset + chunk);
+            budget -= 1;
+            if still_fails(&candidate) {
+                current = candidate;
+            } else {
+                offset += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    current
+}
+
+/// Silences the process panic hook for the campaign's duration (panics
+/// are *expected data* here, not reportable events) and restores the
+/// previous hook on drop.
+// `PanicInfo` is the pre-1.82 spelling of `PanicHookInfo`; the alias
+// keeps the crate building on the workspace's 1.75 MSRV.
+#[allow(deprecated)]
+type PanicHook = Box<dyn Fn(&std::panic::PanicInfo<'_>) + Sync + Send + 'static>;
+
+struct QuietPanics {
+    previous: Option<PanicHook>,
+}
+
+impl QuietPanics {
+    fn engage() -> QuietPanics {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics { previous: Some(previous) }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(previous) = self.previous.take() {
+            std::panic::set_hook(previous);
+        }
+    }
+}
+
+/// Runs a campaign with tracing disabled.
+pub fn run_campaign(config: &FuzzConfig) -> CampaignReport {
+    run_campaign_traced(config, &fd_trace::Tracer::disabled())
+}
+
+/// Runs a campaign, emitting a [`fd_trace::Phase::Fuzz`] span and one
+/// [`fd_trace::TraceEvent::FuzzViolation`] per violation on `tracer`.
+pub fn run_campaign_traced(config: &FuzzConfig, tracer: &fd_trace::Tracer) -> CampaignReport {
+    let _span = tracer.span(fd_trace::Phase::Fuzz, "fuzz-campaign");
+    let corpus = SeedCorpus::build();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut report =
+        CampaignReport { seed: config.seed, mutants: config.mutants, ..CampaignReport::default() };
+    let mut digest = FNV_OFFSET;
+    let targets =
+        if config.targets.is_empty() { Target::ALL.to_vec() } else { config.targets.clone() };
+    let _quiet = QuietPanics::engage();
+
+    if let Some(dir) = &config.out_dir {
+        let _ = std::fs::create_dir_all(dir);
+    }
+
+    for case in 0..config.mutants {
+        let target = targets[(case % targets.len() as u64) as usize];
+        let input = generate(&corpus, target, &mut rng);
+        let outcome = execute(target, &input);
+
+        digest = fnv(digest, target.name().as_bytes());
+        let stats = report.per_target.entry(target.name().to_string()).or_default();
+        stats.executed += 1;
+        report.executed += 1;
+        match outcome {
+            CaseOutcome::Ok => {
+                digest = fnv(digest, b"ok");
+                stats.ok += 1;
+                report.ok += 1;
+            }
+            CaseOutcome::Rejected(message) => {
+                digest = fnv(digest, b"rejected");
+                digest = fnv(digest, message.as_bytes());
+                stats.rejected += 1;
+                report.rejected += 1;
+            }
+            CaseOutcome::Panicked(message) => {
+                digest = fnv(digest, b"panicked");
+                digest = fnv(digest, message.as_bytes());
+                stats.violations += 1;
+                tracer.event(|| fd_trace::TraceEvent::FuzzViolation {
+                    target: target.name().to_string(),
+                    case,
+                });
+                let input_bytes = input.len();
+                let minimized = minimize_bytes(input, 2_000, |candidate| {
+                    matches!(execute(target, candidate), CaseOutcome::Panicked(_))
+                });
+                let reproducer = config.out_dir.as_ref().map(|dir| {
+                    let path = dir.join(format!("repro-{}-case{case}.bin", target.name()));
+                    let _ = std::fs::write(&path, &minimized);
+                    path.display().to_string()
+                });
+                report.violations.push(ViolationReport {
+                    target: target.name().to_string(),
+                    case,
+                    message,
+                    input_bytes,
+                    minimized_bytes: minimized.len(),
+                    reproducer,
+                });
+            }
+        }
+    }
+    report.outcome_digest = digest;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_corpus_feeds_every_target() {
+        let corpus = SeedCorpus::build();
+        assert_eq!(corpus.containers.len(), 3);
+        assert_eq!(corpus.smali.len(), 3);
+        // Three non-classes sections per container.
+        assert_eq!(corpus.json.len(), 9);
+    }
+
+    #[test]
+    fn minimize_shrinks_to_the_essential_byte() {
+        let input = vec![0u8, 1, 2, 0x7f, 4, 5, 6, 7, 8, 9];
+        let minimized = minimize_bytes(input, 2_000, |b| b.contains(&0x7f));
+        assert_eq!(minimized, vec![0x7f]);
+    }
+
+    #[test]
+    fn minimize_respects_its_budget() {
+        let input: Vec<u8> = (0..=255).collect();
+        let calls = std::cell::Cell::new(0usize);
+        let _ = minimize_bytes(input, 10, |b| {
+            calls.set(calls.get() + 1);
+            b.contains(&0x7f)
+        });
+        assert!(calls.get() <= 10);
+    }
+
+    #[test]
+    fn target_names_roundtrip() {
+        for target in Target::ALL {
+            assert_eq!(Target::parse(target.name()), Some(target));
+        }
+        assert_eq!(Target::parse("bogus"), None);
+    }
+
+    #[test]
+    fn campaign_report_roundtrips_through_json() {
+        let report = run_campaign(&FuzzConfig { mutants: 30, ..FuzzConfig::default() });
+        assert_eq!(report.executed, 30);
+        let json = report.to_json().unwrap();
+        assert_eq!(CampaignReport::from_json(&json).unwrap(), report);
+    }
+
+    #[test]
+    fn execute_accepts_the_unmutated_seeds() {
+        let corpus = SeedCorpus::build();
+        for container in &corpus.containers {
+            assert!(matches!(execute(Target::Container, container), CaseOutcome::Ok));
+        }
+        for smali in &corpus.smali {
+            assert!(matches!(execute(Target::Smali, smali.as_bytes()), CaseOutcome::Ok));
+        }
+    }
+}

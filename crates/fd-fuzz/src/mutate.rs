@@ -1,0 +1,391 @@
+//! Seeded, deterministic, structure-aware mutators.
+//!
+//! Every function here draws all randomness from the caller's `StdRng`,
+//! so a campaign seed fully determines every mutant. The mutators are
+//! *structure-aware*: the byte-level mutator knows where a FAPK
+//! container keeps its length fields, the smali mutator works on lines
+//! and tokens of the textual syntax, and the JSON mutator edits the
+//! parsed value tree (dropping keys, retyping values, nesting deeply)
+//! rather than flipping characters in serialized text.
+
+use rand::{rngs::StdRng, Rng};
+use serde_json::{Number, Value};
+
+/// First payload byte of a FAPK container: magic (4) + version (2) +
+/// flags (2).
+const HEADER_LEN: usize = 8;
+
+/// Byte layout of a container's four length-prefixed sections, as
+/// `(length_field_offset, payload_range)` pairs in order. Best-effort:
+/// stops at the first section whose declared length overruns the buffer,
+/// so it also works on already-corrupt inputs.
+pub fn section_ranges(bytes: &[u8]) -> Vec<(usize, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut pos = HEADER_LEN;
+    for _ in 0..4 {
+        if pos + 4 > bytes.len() {
+            break;
+        }
+        let declared =
+            u32::from_be_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+                as usize;
+        let start = pos + 4;
+        let Some(end) = start.checked_add(declared) else { break };
+        if end > bytes.len() {
+            break;
+        }
+        out.push((pos, start..end));
+        pos = end;
+    }
+    out
+}
+
+/// Replaces section `index`'s payload with `payload`, rewriting its
+/// length field. Returns `None` when the container's section table
+/// cannot be walked that far.
+pub fn splice_section(bytes: &[u8], index: usize, payload: &[u8]) -> Option<Vec<u8>> {
+    let ranges = section_ranges(bytes);
+    let (field, range) = ranges.get(index)?.clone();
+    let mut out = Vec::with_capacity(bytes.len() - range.len() + payload.len() + 4);
+    out.extend_from_slice(&bytes[..field]);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&bytes[range.end..]);
+    Some(out)
+}
+
+/// Overwrites one of the container's length fields with a hostile value
+/// (0, `u32::MAX`, a near-miss off-by-a-few, or a random count). Falls
+/// back to a byte nudge when the input has no walkable section table.
+pub fn corrupt_length_field(bytes: &mut [u8], rng: &mut StdRng) {
+    let fields: Vec<usize> = section_ranges(bytes).into_iter().map(|(field, _)| field).collect();
+    if fields.is_empty() {
+        if !bytes.is_empty() {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] = bytes[i].wrapping_add(1);
+        }
+        return;
+    }
+    let field = fields[rng.gen_range(0..fields.len())];
+    let old =
+        u32::from_be_bytes([bytes[field], bytes[field + 1], bytes[field + 2], bytes[field + 3]]);
+    let new = match rng.gen_range(0u32..4) {
+        0 => 0,
+        1 => u32::MAX,
+        2 => old.wrapping_add(rng.gen_range(1u32..64)),
+        _ => rng.gen_range(0u32..2_000_000),
+    };
+    bytes[field..field + 4].copy_from_slice(&new.to_be_bytes());
+}
+
+/// One byte-level mutant of `base`: 1–3 of truncate, bit-flip, splice,
+/// insert, delete, and length-field corruption.
+pub fn mutate_bytes(base: &[u8], rng: &mut StdRng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    for _ in 0..rng.gen_range(1usize..=3) {
+        match rng.gen_range(0u32..6) {
+            0 => {
+                // Truncate anywhere, including to empty.
+                let at = rng.gen_range(0..=out.len());
+                out.truncate(at);
+            }
+            1 => {
+                // Flip a few bits.
+                if !out.is_empty() {
+                    for _ in 0..rng.gen_range(1usize..=4) {
+                        let i = rng.gen_range(0..out.len());
+                        out[i] ^= 1 << rng.gen_range(0u32..8);
+                    }
+                }
+            }
+            2 => {
+                // Splice: stamp one chunk of the input over another.
+                if out.len() >= 2 {
+                    let len = rng.gen_range(1..=out.len().min(32));
+                    let src = rng.gen_range(0..=out.len() - len);
+                    let dst = rng.gen_range(0..=out.len() - len);
+                    let chunk = out[src..src + len].to_vec();
+                    out[dst..dst + len].copy_from_slice(&chunk);
+                }
+            }
+            3 => {
+                // Insert random bytes.
+                let at = rng.gen_range(0..=out.len());
+                let ins: Vec<u8> =
+                    (0..rng.gen_range(1usize..=8)).map(|_| rng.gen_range(0u8..=255)).collect();
+                out.splice(at..at, ins);
+            }
+            4 => {
+                // Delete a chunk.
+                if !out.is_empty() {
+                    let len = rng.gen_range(1..=out.len().min(16));
+                    let at = rng.gen_range(0..=out.len() - len);
+                    out.drain(at..at + len);
+                }
+            }
+            _ => corrupt_length_field(&mut out, rng),
+        }
+    }
+    out
+}
+
+/// Words the token-level smali mutator substitutes in: keywords moved to
+/// wrong positions, structure tokens, and outright garbage.
+const SMALI_TOKENS: &[&str] = &[
+    ".class",
+    ".super",
+    ".method",
+    ".end",
+    ".end method",
+    ".field",
+    "if",
+    "else",
+    "end-if",
+    "invoke",
+    "finish",
+    "@layout/",
+    "L;",
+    "\"",
+    "\u{7f}\u{1}",
+    "0xFFFFFFFF",
+];
+
+/// One text-level mutant of `base`: 1–3 of line deletion/duplication/
+/// swap, mid-line truncation, token substitution, and a run of unclosed
+/// `if` headers (the depth-limit stressor).
+pub fn mutate_smali(base: &str, rng: &mut StdRng) -> String {
+    let mut lines: Vec<String> = base.lines().map(str::to_string).collect();
+    for _ in 0..rng.gen_range(1usize..=3) {
+        match rng.gen_range(0u32..6) {
+            0 => {
+                if !lines.is_empty() {
+                    let i = rng.gen_range(0..lines.len());
+                    lines.remove(i);
+                }
+            }
+            1 => {
+                if !lines.is_empty() {
+                    let i = rng.gen_range(0..lines.len());
+                    let line = lines[i].clone();
+                    let at = rng.gen_range(0..=lines.len());
+                    lines.insert(at, line);
+                }
+            }
+            2 => {
+                if lines.len() >= 2 {
+                    let a = rng.gen_range(0..lines.len());
+                    let b = rng.gen_range(0..lines.len());
+                    lines.swap(a, b);
+                }
+            }
+            3 => {
+                // Truncate one line mid-token.
+                if !lines.is_empty() {
+                    let i = rng.gen_range(0..lines.len());
+                    let line = &mut lines[i];
+                    if !line.is_empty() {
+                        let mut cut = rng.gen_range(0..line.len());
+                        while cut > 0 && !line.is_char_boundary(cut) {
+                            cut -= 1;
+                        }
+                        line.truncate(cut);
+                    }
+                }
+            }
+            4 => {
+                // Replace one whitespace-separated word with a token.
+                if !lines.is_empty() {
+                    let i = rng.gen_range(0..lines.len());
+                    let words: Vec<&str> = lines[i].split_whitespace().collect();
+                    if !words.is_empty() {
+                        let w = rng.gen_range(0..words.len());
+                        let token = SMALI_TOKENS[rng.gen_range(0..SMALI_TOKENS.len())];
+                        let mut rebuilt: Vec<&str> = words;
+                        rebuilt[w] = token;
+                        lines[i] = rebuilt.join(" ");
+                    }
+                }
+            }
+            _ => {
+                // A run of unclosed `if` headers: must die with a typed
+                // depth error, not a stack overflow.
+                let k = rng.gen_range(1usize..=96);
+                let at = rng.gen_range(0..=lines.len());
+                let nest: Vec<String> =
+                    (0..k).map(|_| "        if has-extra \"k\"".to_string()).collect();
+                lines.splice(at..at, nest);
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+/// A random scalar of a random JSON type — the wrong-typed replacement
+/// the schema-aware mutator stamps over values.
+fn random_scalar(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0u32..5) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Number(Number::PosInt(rng.gen_range(0u64..u64::MAX))),
+        3 => Value::Number(Number::NegInt(-rng.gen_range(1i64..1_000_000))),
+        _ => Value::String(SMALI_TOKENS[rng.gen_range(0..SMALI_TOKENS.len())].to_string()),
+    }
+}
+
+/// `depth` arrays wrapped around `null` — the JSON recursion stressor.
+fn deep_array(depth: usize) -> Value {
+    let mut v = Value::Null;
+    for _ in 0..depth {
+        v = Value::Array(vec![v]);
+    }
+    v
+}
+
+/// One schema-aware mutant of a JSON value tree: 1–3 of key removal, key
+/// rename, wrong-typed value, deep-nesting insertion, element dup/drop,
+/// or a scalar retype — applied at a random depth.
+pub fn mutate_json(base: &Value, rng: &mut StdRng) -> Value {
+    let mut out = base.clone();
+    for _ in 0..rng.gen_range(1usize..=3) {
+        mutate_value(&mut out, rng, 0);
+    }
+    out
+}
+
+fn mutate_value(v: &mut Value, rng: &mut StdRng, depth: usize) {
+    if depth > 32 {
+        *v = random_scalar(rng);
+        return;
+    }
+    match v {
+        Value::Object(map) if !map.is_empty() => {
+            let keys: Vec<String> = map.keys().cloned().collect();
+            let key = keys[rng.gen_range(0..keys.len())].clone();
+            match rng.gen_range(0u32..5) {
+                0 => {
+                    map.remove(&key);
+                }
+                1 => {
+                    if let Some(val) = map.remove(&key) {
+                        map.insert(format!("{key}_mut"), val);
+                    }
+                }
+                2 => {
+                    map.insert(key, random_scalar(rng));
+                }
+                3 => {
+                    let depth = rng.gen_range(1usize..=200);
+                    map.insert(format!("deep_{}", rng.gen_range(0u32..1000)), deep_array(depth));
+                }
+                _ => {
+                    if let Some(val) = map.get_mut(&key) {
+                        mutate_value(val, rng, depth + 1);
+                    }
+                }
+            }
+        }
+        Value::Array(items) if !items.is_empty() => {
+            let i = rng.gen_range(0..items.len());
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    items.remove(i);
+                }
+                1 => {
+                    let dup = items[i].clone();
+                    items.push(dup);
+                }
+                2 => items[i] = random_scalar(rng),
+                _ => mutate_value(&mut items[i], rng, depth + 1),
+            }
+        }
+        other => *other = random_scalar(rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_container() -> Vec<u8> {
+        fd_apk::pack(&fd_appgen::templates::quickstart().app).to_vec()
+    }
+
+    #[test]
+    fn section_ranges_walk_all_four_sections() {
+        let bytes = sample_container();
+        let ranges = section_ranges(&bytes);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0].0, HEADER_LEN);
+        // The last section ends exactly at the buffer's end.
+        assert_eq!(ranges[3].1.end, bytes.len());
+    }
+
+    #[test]
+    fn splice_identity_keeps_the_container_decodable() {
+        let bytes = sample_container();
+        for index in 0..4 {
+            let (_, range) = section_ranges(&bytes)[index].clone();
+            let payload = bytes[range].to_vec();
+            let spliced = splice_section(&bytes, index, &payload).unwrap();
+            assert_eq!(spliced, bytes, "identity splice is a no-op");
+        }
+    }
+
+    #[test]
+    fn splice_bad_json_yields_a_typed_corrupt_error() {
+        let bytes = sample_container();
+        let spliced = splice_section(&bytes, 0, b"{not json").unwrap();
+        match fd_apk::decompile(&bytes::Bytes::from(spliced)) {
+            Err(fd_apk::ApkError::Corrupt { section: "manifest", .. }) => {}
+            other => panic!("expected manifest corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutators_are_deterministic_per_seed() {
+        let bytes = sample_container();
+        let smali = "\
+.class public La/B;
+.super Ljava/lang/Object;
+.end class";
+        let json = Value::parse_json("{\"a\": [1, 2], \"b\": {\"c\": \"d\"}}").unwrap();
+        for seed in [0u64, 1, 99] {
+            let (mut r1, mut r2) = (StdRng::seed_from_u64(seed), StdRng::seed_from_u64(seed));
+            assert_eq!(mutate_bytes(&bytes, &mut r1), mutate_bytes(&bytes, &mut r2));
+            assert_eq!(mutate_smali(smali, &mut r1), mutate_smali(smali, &mut r2));
+            assert_eq!(mutate_json(&json, &mut r1), mutate_json(&json, &mut r2));
+        }
+    }
+
+    #[test]
+    fn mutants_differ_from_their_base_often() {
+        let bytes = sample_container();
+        let mut rng = StdRng::seed_from_u64(7);
+        let changed = (0..64).filter(|_| mutate_bytes(&bytes, &mut rng) != bytes).count();
+        assert!(changed > 48, "byte mutator changes most inputs ({changed}/64)");
+    }
+
+    #[test]
+    fn corrupt_length_field_handles_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut empty: Vec<u8> = Vec::new();
+        corrupt_length_field(&mut empty, &mut rng);
+        assert!(empty.is_empty());
+        let mut short = vec![1u8, 2, 3];
+        corrupt_length_field(&mut short, &mut rng);
+        assert_eq!(short.len(), 3, "no-table fallback only nudges a byte");
+    }
+
+    #[test]
+    fn deep_array_nests_to_the_requested_depth() {
+        let mut v = &deep_array(5);
+        let mut depth = 0;
+        while let Value::Array(items) = v {
+            v = &items[0];
+            depth += 1;
+        }
+        assert_eq!(depth, 5);
+        assert!(v.is_null());
+    }
+}

@@ -3,8 +3,8 @@
 
 use crate::table;
 use fd_appgen::paper_apps;
-use fragdroid::suite::SuiteApp;
-use fragdroid::{run_suite_outcomes, AppOutcome, Coverage, FragDroidConfig, RunReport};
+use fragdroid::suite::SuiteContainer;
+use fragdroid::{run_container_suite_outcomes, AppOutcome, Coverage, FragDroidConfig, RunReport};
 use serde::{Deserialize, Serialize};
 
 /// One row of Table I.
@@ -50,19 +50,31 @@ pub const PAPER_TABLE1: &[PaperRow] = &[
     ("org.rbc.odb", (4, 5), (5, 8), (2, 3)),
 ];
 
-/// Runs FragDroid on all 15 apps through the shared suite runner and
-/// returns the measured rows plus the full reports (the reports feed
-/// Table II). A panicking app is skipped with a warning instead of
-/// aborting the whole table.
-pub fn run_table1() -> Vec<(Table1Row, RunReport)> {
-    let apps = paper_apps::all_paper_apps();
-    let suite: Vec<SuiteApp> =
-        apps.iter().map(|(_, gen)| (gen.app.clone(), gen.known_inputs.clone())).collect();
-    let run = run_suite_outcomes(&suite, &FragDroidConfig::default());
+/// A full Table I run: the measured rows plus the ingestion accounting —
+/// inputs the checked decoder quarantined never become rows, but they
+/// are reported instead of silently vanishing.
+#[derive(Debug, Default)]
+pub struct Table1Run {
+    /// Measured rows plus the full reports (the reports feed Table II).
+    pub rows: Vec<(Table1Row, RunReport)>,
+    /// `(package, reason)` for every quarantined input.
+    pub rejected: Vec<(String, String)>,
+}
 
-    apps.iter()
-        .zip(run.outcomes)
-        .filter_map(|((spec, _), outcome)| match outcome {
+/// Runs FragDroid on all 15 apps through the shared *container* suite —
+/// every app is packed to FAPK bytes and decoded back on its worker, so
+/// the table exercises the full ingestion frontier. A panicking app is
+/// skipped with a warning; a rejected container is quarantined into
+/// [`Table1Run::rejected`]. Neither aborts the whole table.
+pub fn run_table1_full() -> Table1Run {
+    let apps = paper_apps::all_paper_apps();
+    let suite: Vec<SuiteContainer> =
+        apps.iter().map(|(_, gen)| (fd_apk::pack(&gen.app), gen.known_inputs.clone())).collect();
+    let run = run_container_suite_outcomes(&suite, &FragDroidConfig::default());
+
+    let mut out = Table1Run::default();
+    for ((spec, _), outcome) in apps.iter().zip(run.outcomes) {
+        match outcome {
             AppOutcome::Completed(report) | AppOutcome::DeadlineExceeded(report) => {
                 let row = Table1Row {
                     package: spec.package.to_string(),
@@ -73,14 +85,37 @@ pub fn run_table1() -> Vec<(Table1Row, RunReport)> {
                     crashes: report.crashes,
                     recovered: report.recovered_crashes,
                 };
-                Some((row, report))
+                out.rows.push((row, report));
             }
             AppOutcome::Panicked { message } => {
                 eprintln!("table1: skipping {} (run panicked: {message})", spec.package);
-                None
             }
-        })
-        .collect()
+            AppOutcome::Rejected { reason } => {
+                eprintln!("table1: quarantining {} ({reason})", spec.package);
+                out.rejected.push((spec.package.to_string(), reason));
+            }
+        }
+    }
+    out
+}
+
+/// [`run_table1_full`] reduced to the rows, for callers that only build
+/// the table.
+pub fn run_table1() -> Vec<(Table1Row, RunReport)> {
+    run_table1_full().rows
+}
+
+/// Renders the quarantine appendix: one line per rejected input, or the
+/// empty string when the whole dataset ingested cleanly.
+pub fn render_rejections(rejected: &[(String, String)]) -> String {
+    if rejected.is_empty() {
+        return String::new();
+    }
+    let mut out = format!("quarantined inputs ({}):\n", rejected.len());
+    for (package, reason) in rejected {
+        out.push_str(&format!("  {package}: {reason}\n"));
+    }
+    out
 }
 
 /// Per-column averages `(activity %, fragment %, frags-in-visited %)`.
@@ -195,6 +230,18 @@ mod tests {
             PAPER_TABLE1.iter().map(|(_, (v, s), ..)| *v as f64 / *s as f64 * 100.0).sum::<f64>()
                 / PAPER_TABLE1.len() as f64;
         assert!((avg - 71.94).abs() < 0.5, "paper activity average ≈ 71.94, got {avg:.2}");
+    }
+
+    #[test]
+    fn all_paper_containers_ingest_cleanly() {
+        let run = run_table1_full();
+        assert!(run.rejected.is_empty(), "no paper app is quarantined: {:?}", run.rejected);
+        assert_eq!(run.rows.len(), 15);
+        assert_eq!(render_rejections(&run.rejected), "");
+        let fake = vec![("com.example".to_string(), "bad magic".to_string())];
+        let rendered = render_rejections(&fake);
+        assert!(rendered.contains("quarantined inputs (1)"));
+        assert!(rendered.contains("com.example: bad magic"));
     }
 
     #[test]

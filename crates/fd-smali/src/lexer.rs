@@ -131,8 +131,12 @@ pub fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, ParseError> {
 
         // Bare word or resource ref: read until whitespace.
         let mut word = String::new();
-        while matches!(chars.peek(), Some(c) if !c.is_whitespace()) {
-            word.push(chars.next().expect("peeked"));
+        while let Some(&c) = chars.peek() {
+            if c.is_whitespace() {
+                break;
+            }
+            word.push(c);
+            chars.next();
         }
         if let Some(stripped) = word.strip_prefix('@') {
             let res = ResRef::parse(&word).ok_or_else(|| {

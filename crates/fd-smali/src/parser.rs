@@ -181,7 +181,7 @@ fn parse_method(
         params_raw.split(',').map(str::to_string).collect()
     };
 
-    let (body, terminator) = parse_stmts(lines, header_line)?;
+    let (body, terminator) = parse_stmts(lines, header_line, 0)?;
     match terminator {
         Terminator::EndMethod => {}
         other => {
@@ -202,9 +202,16 @@ enum Terminator {
     EndIf,
 }
 
+/// Maximum `if` nesting depth. Parsing recurses per nested `if`, so an
+/// adversarial input of thousands of `if` lines would otherwise overflow
+/// the stack — an abort no `catch_unwind` can contain. Real handler code
+/// never comes close to this.
+pub const MAX_IF_DEPTH: usize = 64;
+
 fn parse_stmts(
     lines: &mut Lines<'_>,
     start_line: usize,
+    depth: usize,
 ) -> Result<(Vec<Stmt>, Terminator), ParseError> {
     let mut stmts = Vec::new();
     loop {
@@ -223,10 +230,16 @@ fn parse_stmts(
             "else" => return Ok((stmts, Terminator::Else)),
             "end-if" => return Ok((stmts, Terminator::EndIf)),
             "if" => {
+                if depth >= MAX_IF_DEPTH {
+                    return Err(ParseError::new(
+                        line_no,
+                        format!("'if' nesting exceeds the maximum depth of {MAX_IF_DEPTH}"),
+                    ));
+                }
                 let cond = parse_cond(&tokens[1..], line_no)?;
-                let (then, term) = parse_stmts(lines, line_no)?;
+                let (then, term) = parse_stmts(lines, line_no, depth + 1)?;
                 let (els, term) = match term {
-                    Terminator::Else => parse_stmts(lines, line_no)?,
+                    Terminator::Else => parse_stmts(lines, line_no, depth + 1)?,
                     other => (Vec::new(), other),
                 };
                 if term != Terminator::EndIf {
@@ -499,6 +512,33 @@ mod tests {
     fn error_on_missing_end_if() {
         let text = ".class public La/B;\n.super Ljava/lang/Object;\n.method public m()\nif has-extra \"k\"\nfinish\n.end method\n.end class\n";
         assert!(parse_class(text).is_err());
+    }
+
+    #[test]
+    fn if_nesting_below_limit_parses_and_above_limit_errors() {
+        let nested = |depth: usize| {
+            let mut body = String::new();
+            for _ in 0..depth {
+                body.push_str("if has-extra \"k\"\n");
+            }
+            body.push_str("finish\n");
+            for _ in 0..depth {
+                body.push_str("end-if\n");
+            }
+            format!(
+                ".class public La/B;\n.super Ljava/lang/Object;\n.method public m()\n{body}.end method\n.end class\n"
+            )
+        };
+        assert!(parse_class(&nested(MAX_IF_DEPTH)).is_ok());
+        let err = parse_class(&nested(MAX_IF_DEPTH + 1)).unwrap_err();
+        assert!(err.message.contains("nesting"), "got: {}", err.message);
+        // Thousands of unclosed `if`s must error, not overflow the stack.
+        let mut deep =
+            String::from(".class public La/B;\n.super Ljava/lang/Object;\n.method public m()\n");
+        for _ in 0..50_000 {
+            deep.push_str("if has-extra \"k\"\n");
+        }
+        assert!(parse_class(&deep).is_err());
     }
 
     #[test]

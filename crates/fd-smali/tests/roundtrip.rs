@@ -170,4 +170,12 @@ proptest! {
     fn parser_never_panics_on_arbitrary_input(text in "[ -~\\n]{0,500}") {
         let _ = parse_classes(&text); // must return Err, not panic
     }
+
+    /// Raw byte soup, lossily decoded the way the ingestion frontier
+    /// does it, never panics the lexer or parser either.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..500)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_classes(&text); // must return Err, not panic
+    }
 }

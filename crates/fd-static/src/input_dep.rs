@@ -37,8 +37,8 @@ impl InputDependency {
     }
 
     /// Serializes to the JSON file format.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("input dependency serializes")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Parses the JSON file format.
@@ -99,7 +99,7 @@ mod tests {
     fn json_roundtrip() {
         let gen = templates::quickstart();
         let dep = collect(&gen.app, &gen.known_inputs);
-        let back = InputDependency::from_json(&dep.to_json()).unwrap();
+        let back = InputDependency::from_json(&dep.to_json().unwrap()).unwrap();
         assert_eq!(back, dep);
     }
 }

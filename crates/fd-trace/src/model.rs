@@ -37,6 +37,8 @@ pub enum Phase {
     Suite,
     /// A benchmark harness section (`fd-bench`).
     Bench,
+    /// A fuzz campaign or one of its mutant executions (`fd-fuzz`).
+    Fuzz,
 }
 
 impl Phase {
@@ -53,6 +55,7 @@ impl Phase {
             Phase::App => "app",
             Phase::Suite => "suite",
             Phase::Bench => "bench",
+            Phase::Fuzz => "fuzz",
         }
     }
 
@@ -117,6 +120,20 @@ pub enum TraceEvent {
         /// The fragment class.
         name: String,
     },
+    /// An input was rejected at the ingestion frontier (malformed
+    /// container, unparsable smali, …) and quarantined instead of run.
+    InputRejected {
+        /// The typed decode/parse error, rendered.
+        reason: String,
+    },
+    /// A fuzz mutant violated the panic-free invariant (the campaign
+    /// writes a reproducer alongside).
+    FuzzViolation {
+        /// Which mutator/target produced the mutant.
+        target: String,
+        /// The campaign-local mutant index.
+        case: u64,
+    },
 }
 
 impl TraceEvent {
@@ -131,6 +148,8 @@ impl TraceEvent {
             TraceEvent::TransitionDiscovered { .. } => "transition",
             TraceEvent::NewActivity { .. } => "new-activity",
             TraceEvent::NewFragment { .. } => "new-fragment",
+            TraceEvent::InputRejected { .. } => "input-rejected",
+            TraceEvent::FuzzViolation { .. } => "fuzz-violation",
         }
     }
 }

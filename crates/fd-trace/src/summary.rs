@@ -49,6 +49,12 @@ pub struct TraceSummary {
     pub crashes: u64,
     /// Successful crash recoveries.
     pub recoveries: u64,
+    /// Inputs rejected at the ingestion frontier.
+    #[serde(default)]
+    pub rejections: u64,
+    /// Fuzz mutants that violated the panic-free invariant.
+    #[serde(default)]
+    pub fuzz_violations: u64,
     /// Fault/retry/crash/recovery occurrences in wall-clock order,
     /// truncated to [`TraceSummary::TIMELINE_CAP`].
     pub timeline: Vec<TimelineEntry>,
@@ -128,6 +134,14 @@ impl TraceSummary {
                             *fragments.entry(name.clone()).or_insert(0) += 1;
                             None
                         }
+                        TraceEvent::InputRejected { reason } => {
+                            summary.rejections += 1;
+                            Some(format!("rejected: {reason}"))
+                        }
+                        TraceEvent::FuzzViolation { target, case } => {
+                            summary.fuzz_violations += 1;
+                            Some(format!("fuzz violation in {target} mutant #{case}"))
+                        }
                     };
                     if let Some(what) = note {
                         summary.timeline.push(TimelineEntry {
@@ -187,6 +201,12 @@ impl TraceSummary {
             "events dispatched: {} ({} faults, {} retries, {} crashes, {} recovered)\n",
             self.events_dispatched, self.faults, self.retries, self.crashes, self.recoveries
         ));
+        if self.rejections > 0 || self.fuzz_violations > 0 {
+            out.push_str(&format!(
+                "ingestion: {} inputs rejected, {} fuzz violations\n",
+                self.rejections, self.fuzz_violations
+            ));
+        }
         if !self.slowest_apps.is_empty() {
             out.push_str("slowest apps:\n");
             for (app, us) in &self.slowest_apps {

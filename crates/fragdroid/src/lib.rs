@@ -41,6 +41,6 @@ pub use driver::FragDroid;
 pub use queue::{QueueItem, UiQueue};
 pub use report::{Coverage, CrashReport, CrashSignature, DeviceErrorStats, RunReport};
 pub use suite::{
-    run_suite, run_suite_outcomes, run_suite_traced, run_suite_with_workers, AppMetrics,
-    AppOutcome, SuiteMetrics, SuiteRun,
+    run_container_suite_outcomes, run_container_suite_traced, run_suite, run_suite_outcomes,
+    run_suite_traced, run_suite_with_workers, AppMetrics, AppOutcome, SuiteMetrics, SuiteRun,
 };

@@ -29,6 +29,11 @@ use std::time::{Duration, Instant};
 /// One app plus its analyst-provided inputs.
 pub type SuiteApp = (AndroidApp, BTreeMap<String, String>);
 
+/// One packed container plus its analyst-provided inputs — the byte-level
+/// form of a [`SuiteApp`], for suites that exercise the ingestion
+/// frontier (decode + parse) per app.
+pub type SuiteContainer = (bytes::Bytes, BTreeMap<String, String>);
+
 /// How one app's run ended.
 #[derive(Clone, Debug)]
 pub enum AppOutcome {
@@ -43,6 +48,15 @@ pub enum AppOutcome {
     /// The per-app deadline passed; the report holds the partial results
     /// accumulated up to that point.
     DeadlineExceeded(RunReport),
+    /// The input was rejected at the ingestion frontier — a malformed,
+    /// truncated, or packer-protected container that never became an app.
+    /// This is the paper's dataset-filtering step surfaced per app: the
+    /// input is quarantined with a typed diagnostic, and
+    /// [`AppOutcome::Panicked`] stays a true-bug signal.
+    Rejected {
+        /// The typed decode/parse error, rendered with its byte offset.
+        reason: String,
+    },
 }
 
 impl AppOutcome {
@@ -50,7 +64,7 @@ impl AppOutcome {
     pub fn report(&self) -> Option<&RunReport> {
         match self {
             AppOutcome::Completed(r) | AppOutcome::DeadlineExceeded(r) => Some(r),
-            AppOutcome::Panicked { .. } => None,
+            AppOutcome::Panicked { .. } | AppOutcome::Rejected { .. } => None,
         }
     }
 
@@ -58,13 +72,18 @@ impl AppOutcome {
     pub fn into_report(self) -> Option<RunReport> {
         match self {
             AppOutcome::Completed(r) | AppOutcome::DeadlineExceeded(r) => Some(r),
-            AppOutcome::Panicked { .. } => None,
+            AppOutcome::Panicked { .. } | AppOutcome::Rejected { .. } => None,
         }
     }
 
     /// Whether this run panicked.
     pub fn is_panicked(&self) -> bool {
         matches!(self, AppOutcome::Panicked { .. })
+    }
+
+    /// Whether this input was rejected at the ingestion frontier.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, AppOutcome::Rejected { .. })
     }
 }
 
@@ -99,6 +118,12 @@ pub struct AppMetrics {
     pub panicked: bool,
     /// Whether the run hit its wall-clock deadline.
     pub deadline_exceeded: bool,
+    /// Whether the input was rejected at the ingestion frontier.
+    #[serde(default)]
+    pub rejected: bool,
+    /// The rejection diagnostic (empty unless `rejected`).
+    #[serde(default)]
+    pub reject_reason: String,
 }
 
 /// Observability record for a whole suite run.
@@ -122,6 +147,9 @@ pub struct SuiteMetrics {
     /// Slowest single app's wall time, in milliseconds.
     #[serde(default)]
     pub app_wall_ms_max: u64,
+    /// Inputs rejected at the ingestion frontier (quarantined, not run).
+    #[serde(default)]
+    pub rejected: usize,
     /// Per-app records, in input order.
     pub apps: Vec<AppMetrics>,
 }
@@ -316,21 +344,104 @@ pub fn run_suite_traced(
     workers: usize,
     trace_config: &fd_trace::TraceConfig,
 ) -> (SuiteRun, fd_trace::Trace) {
+    run_traced_inner(
+        apps.len(),
+        workers,
+        trace_config,
+        |index| apps[index].0.manifest.package.clone(),
+        |_worker, index, tracer| {
+            let (app, inputs) = &apps[index];
+            let report = {
+                let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
+                FragDroid::new(config.clone()).run_traced(app, inputs, tracer)
+            };
+            Ok((report, app.manifest.package.clone()))
+        },
+    )
+}
+
+/// Runs FragDroid over *packed containers*: each worker decodes its
+/// container on the spot and only then explores it. A container the
+/// checked decoder refuses (truncated, bad length field, packed, corrupt
+/// JSON, unparsable smali) is quarantined as [`AppOutcome::Rejected`]
+/// with the typed diagnostic — it never reaches the driver, never
+/// panics, and is counted in [`SuiteMetrics::rejected`]. This is the
+/// ingestion frontier the suite-level experiments go through.
+pub fn run_container_suite_outcomes(
+    containers: &[SuiteContainer],
+    config: &FragDroidConfig,
+) -> SuiteRun {
+    run_container_suite_traced(
+        containers,
+        config,
+        engine::default_workers(containers.len()),
+        &fd_trace::TraceConfig::off(),
+    )
+    .0
+}
+
+/// [`run_container_suite_outcomes`] with an explicit worker count and
+/// trace configuration. Each rejection emits a
+/// [`fd_trace::TraceEvent::InputRejected`] on the worker's track.
+pub fn run_container_suite_traced(
+    containers: &[SuiteContainer],
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+) -> (SuiteRun, fd_trace::Trace) {
+    run_traced_inner(
+        containers.len(),
+        workers,
+        trace_config,
+        |index| format!("container[{index}]"),
+        |_worker, index, tracer| {
+            let (bytes, inputs) = &containers[index];
+            match fd_apk::decompile_traced(bytes, tracer) {
+                Ok(app) => {
+                    let report = {
+                        let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
+                        FragDroid::new(config.clone()).run_traced(&app, inputs, tracer)
+                    };
+                    Ok((report, app.manifest.package))
+                }
+                Err(error) => {
+                    let reason = error.to_string();
+                    tracer.event(|| fd_trace::TraceEvent::InputRejected { reason: reason.clone() });
+                    Err(reason)
+                }
+            }
+        },
+    )
+}
+
+/// The shared body of the app- and container-level suites: the work-
+/// stealing engine, per-lane tracers, and the outcome/metrics assembly.
+/// `job` returns `Ok((report, package))` for a run and `Err(reason)` for
+/// an input rejected before it could run; a panic inside `job` still
+/// surfaces as [`AppOutcome::Panicked`] via the engine. `name_of` labels
+/// slots that never produced an app (panicked or rejected).
+fn run_traced_inner<N, J>(
+    n: usize,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+    name_of: N,
+    job: J,
+) -> (SuiteRun, fd_trace::Trace)
+where
+    N: Fn(usize) -> String,
+    J: Fn(usize, usize, &fd_trace::Tracer) -> Result<(RunReport, String), String> + Sync,
+{
     let trace_config = *trace_config;
     let clock = fd_trace::TraceClock::start();
     // Coordinator track: one lane past the last worker's.
-    let coordinator_lane = workers.min(apps.len().max(1)).max(1) as u64;
+    let coordinator_lane = workers.min(n.max(1)).max(1) as u64;
     let coordinator = fd_trace::Tracer::new(&trace_config, clock, coordinator_lane);
     let suite_span = coordinator.span(fd_trace::Phase::Suite, "suite");
 
-    let engine_run = engine::run_indexed_tagged(apps.len(), workers, |worker, index| {
-        let (app, inputs) = &apps[index];
+    let engine_run = engine::run_indexed_tagged(n, workers, |worker, index| {
         let tracer = fd_trace::Tracer::new(&trace_config, clock, worker as u64);
-        let report = {
-            let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
-            FragDroid::new(config.clone()).run_traced(app, inputs, &tracer)
-        };
-        (report, tracer.finish())
+        let result = job(worker, index, &tracer);
+        (result, tracer.finish())
     });
 
     suite_span.end();
@@ -341,20 +452,24 @@ pub fn run_suite_traced(
     let busy = engine_run.busy;
     let workers_used = engine_run.workers;
 
-    let mut outcomes = Vec::with_capacity(apps.len());
-    let mut per_app = Vec::with_capacity(apps.len());
+    let mut outcomes = Vec::with_capacity(n);
+    let mut per_app = Vec::with_capacity(n);
     for (index, (result, elapsed)) in engine_run.results.into_iter().enumerate() {
-        let package = apps[index].0.manifest.package.clone();
-        let outcome = match result {
-            Ok((report, track)) => {
+        let (outcome, package) = match result {
+            Ok((Ok((report, package)), track)) => {
                 trace.absorb(track);
-                if report.deadline_exceeded {
+                let outcome = if report.deadline_exceeded {
                     AppOutcome::DeadlineExceeded(report)
                 } else {
                     AppOutcome::Completed(report)
-                }
+                };
+                (outcome, package)
             }
-            Err(message) => AppOutcome::Panicked { message },
+            Ok((Err(reason), track)) => {
+                trace.absorb(track);
+                (AppOutcome::Rejected { reason }, name_of(index))
+            }
+            Err(message) => (AppOutcome::Panicked { message }, name_of(index)),
         };
         let (events, cases_run, cases_generated, crashes, recovered, retries, faults) =
             match outcome.report() {
@@ -383,6 +498,11 @@ pub fn run_suite_traced(
             faults_injected: faults,
             panicked: outcome.is_panicked(),
             deadline_exceeded: matches!(outcome, AppOutcome::DeadlineExceeded(_)),
+            rejected: outcome.is_rejected(),
+            reject_reason: match &outcome {
+                AppOutcome::Rejected { reason } => reason.clone(),
+                _ => String::new(),
+            },
         });
         outcomes.push(outcome);
     }
@@ -390,6 +510,7 @@ pub fn run_suite_traced(
     let capacity = workers_used as f64 * wall.as_secs_f64();
     let mut sorted_walls: Vec<u64> = per_app.iter().map(|m| m.wall_ms).collect();
     sorted_walls.sort_unstable();
+    let rejected = per_app.iter().filter(|m| m.rejected).count();
     let run = SuiteRun {
         outcomes,
         metrics: SuiteMetrics {
@@ -404,6 +525,7 @@ pub fn run_suite_traced(
             app_wall_ms_p50: percentile(&sorted_walls, 50.0),
             app_wall_ms_p95: percentile(&sorted_walls, 95.0),
             app_wall_ms_max: sorted_walls.last().copied().unwrap_or(0),
+            rejected,
             apps: per_app,
         },
     };
@@ -424,6 +546,10 @@ pub fn run_suite(apps: &[SuiteApp], config: &FragDroidConfig) -> Vec<RunReport> 
             AppOutcome::Completed(r) | AppOutcome::DeadlineExceeded(r) => r,
             AppOutcome::Panicked { message } => {
                 panic!("suite app panicked: {message}")
+            }
+            // App-level suites never reject: the inputs are already apps.
+            AppOutcome::Rejected { reason } => {
+                panic!("suite input rejected: {reason}")
             }
         })
         .collect()
@@ -594,6 +720,68 @@ mod tests {
 
         let (_, off_trace) = run_suite_traced(&apps, &config, 2, &fd_trace::TraceConfig::off());
         assert!(off_trace.records.is_empty(), "disabled tracing records nothing");
+    }
+
+    #[test]
+    fn container_suite_quarantines_malformed_inputs() {
+        let apps = template_apps();
+        let config = FragDroidConfig::default();
+        let mut containers: Vec<SuiteContainer> =
+            apps.iter().map(|(app, inputs)| (fd_apk::pack(app), inputs.clone())).collect();
+        containers.insert(1, (bytes::Bytes::from_static(b"not a container"), BTreeMap::new()));
+        let truncated = fd_apk::pack(&apps[0].0).slice(0..10);
+        containers.push((truncated, BTreeMap::new()));
+
+        let run = run_container_suite_outcomes(&containers, &config);
+        assert_eq!(run.outcomes.len(), 5);
+        assert_eq!(run.metrics.rejected, 2, "both malformed inputs quarantined");
+        for bad in [1usize, 4] {
+            assert!(run.outcomes[bad].is_rejected());
+            assert!(run.metrics.apps[bad].rejected);
+            assert!(!run.metrics.apps[bad].reject_reason.is_empty());
+            assert_eq!(run.metrics.apps[bad].package, format!("container[{bad}]"));
+        }
+        match &run.outcomes[1] {
+            AppOutcome::Rejected { reason } => {
+                assert!(reason.contains("magic"), "bad magic diagnosed: {reason}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+
+        // The well-formed siblings still produce byte-identical reports
+        // to the app-level suite: decode is lossless and rejection is
+        // isolation, not interference.
+        let app_run = run_suite_outcomes(&apps, &config);
+        for (container_index, app_index) in [(0usize, 0usize), (2, 1), (3, 2)] {
+            let a = run.outcomes[container_index].report().expect("well-formed input ran");
+            let b = app_run.outcomes[app_index].report().unwrap();
+            assert_eq!(serde_json::to_string(a).unwrap(), serde_json::to_string(b).unwrap());
+        }
+    }
+
+    #[test]
+    fn container_suite_traces_rejections() {
+        let containers: Vec<SuiteContainer> =
+            vec![(bytes::Bytes::from_static(b"garbage"), BTreeMap::new())];
+        let (run, trace) = run_container_suite_traced(
+            &containers,
+            &FragDroidConfig::default(),
+            1,
+            &fd_trace::TraceConfig::on(),
+        );
+        assert_eq!(run.metrics.rejected, 1);
+        let rejected_events = trace
+            .records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    fd_trace::TraceRecord::Event(e)
+                        if matches!(e.event, fd_trace::TraceEvent::InputRejected { .. })
+                )
+            })
+            .count();
+        assert_eq!(rejected_events, 1, "each rejection is traced once");
     }
 
     #[test]

@@ -12,12 +12,14 @@
 //! | [`tool`] | `fragdroid` | the FragDroid tool itself |
 //! | [`baselines`] | `fd-baselines` | Monkey / activity-MBT / depth-first |
 //! | [`report`] | `fd-report` | experiment orchestration + tables |
+//! | [`fuzz`] | `fd-fuzz` | ingestion-frontier fuzz harness |
 
 pub use fd_aftm as aftm;
 pub use fd_apk as apk;
 pub use fd_appgen as appgen;
 pub use fd_baselines as baselines;
 pub use fd_droidsim as droidsim;
+pub use fd_fuzz as fuzz;
 pub use fd_report as report;
 pub use fd_smali as smali;
 pub use fd_static as stat;

@@ -26,6 +26,23 @@ impl Bytes {
         Bytes { data: Arc::from(src), start: 0, end: src.len() }
     }
 
+    /// A buffer over a static slice (copied here; the real crate
+    /// borrows, but the API shape is what call sites rely on).
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+
+    /// An owned view of the subrange `[start, end)`. Panics if the range
+    /// is out of bounds (matching the real crate).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
     /// The length of the view.
     pub fn len(&self) -> usize {
         self.end - self.start

@@ -136,7 +136,7 @@ impl Value {
     pub fn parse_json(text: &str) -> Result<Value, String> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
         p.skip_ws();
-        let v = p.value()?;
+        let v = p.value(0)?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
             return Err(format!("trailing characters at byte {}", p.pos));
@@ -244,6 +244,12 @@ fn render_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. Parsing recurses per
+/// `[`/`{`, so unbounded nesting would overflow the stack — an abort that
+/// `catch_unwind` cannot contain. 128 levels is far beyond any document
+/// this workspace produces.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -282,7 +288,10 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, String> {
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
         self.skip_ws();
         match self.peek() {
             Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
@@ -298,7 +307,7 @@ impl<'a> Parser<'a> {
                     return Ok(Value::Array(items));
                 }
                 loop {
-                    items.push(self.value()?);
+                    items.push(self.value(depth + 1)?);
                     self.skip_ws();
                     match self.peek() {
                         Some(b',') => self.pos += 1,
@@ -323,7 +332,7 @@ impl<'a> Parser<'a> {
                     let key = self.string()?;
                     self.skip_ws();
                     self.expect(b':')?;
-                    let value = self.value()?;
+                    let value = self.value(depth + 1)?;
                     map.insert(key, value);
                     self.skip_ws();
                     match self.peek() {
