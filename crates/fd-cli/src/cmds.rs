@@ -130,12 +130,60 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
             .ok_or_else(|| format!("--find-api expects '<group>/<name>', got '{spec}'"))?;
         config = config.find_api(group, name);
     }
-    let report = FragDroid::new(config).run_traced(&app, &inputs, &tracer);
-    if let Some(out) = trace_out {
-        let mut trace = fd_trace::Trace::new(&format!("fragdroid run {}", app.package()));
-        trace.absorb(tracer.finish());
-        write_trace(out, &trace)?;
+    let checkpoint_path = p.opt("checkpoint");
+    let resume = p.flag("resume");
+    let flake_retries = p.num("flake-retries", 0)? as usize;
+    if resume && checkpoint_path.is_none() {
+        return Err("--resume requires --checkpoint <path>".into());
     }
+    let report = if checkpoint_path.is_some() || flake_retries > 0 {
+        // Route the single app through the checkpointed suite runner as a
+        // one-slot corpus: the journal, resume and flake semantics are
+        // identical to `corpus`.
+        let opts =
+            checkpoint_path.map(|path| fragdroid::CheckpointOptions::new(path).with_resume(resume));
+        let slot = vec![(app.clone(), inputs.clone())];
+        let (suite, suite_trace) = fragdroid::run_suite_checkpointed(
+            &slot,
+            &config,
+            1,
+            &trace_config,
+            opts.as_ref(),
+            flake_retries,
+        )?;
+        if let Some(flakes) = &suite.run.metrics.flake_summary {
+            if !flakes.apps.is_empty() {
+                eprintln!(
+                    "flake triage: {} deterministic, {} flaky ({} retries each)",
+                    flakes.deterministic, flakes.flaky, flakes.retries
+                );
+            }
+        }
+        let report = match suite.run.outcomes.into_iter().next() {
+            Some(outcome) => match outcome {
+                fragdroid::AppOutcome::Panicked { message } => {
+                    return Err(CliError::Failure(format!("run panicked: {message}")))
+                }
+                other => other.into_report().ok_or("run produced no report")?,
+            },
+            None => return Err("checkpointed run completed no apps".into()),
+        };
+        if let Some(out) = trace_out {
+            let mut trace = fd_trace::Trace::new(&format!("fragdroid run {}", app.package()));
+            trace.absorb(tracer.finish());
+            trace.records.extend(suite_trace.records);
+            write_trace(out, &trace)?;
+        }
+        report
+    } else {
+        let report = FragDroid::new(config).run_traced(&app, &inputs, &tracer);
+        if let Some(out) = trace_out {
+            let mut trace = fd_trace::Trace::new(&format!("fragdroid run {}", app.package()));
+            trace.absorb(tracer.finish());
+            write_trace(out, &trace)?;
+        }
+        report
+    };
 
     if p.flag("json") {
         println!("{}", to_pretty_json("report", &report)?);
@@ -294,8 +342,41 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
     } else {
         fd_trace::TraceConfig::off()
     };
-    let (run, trace) =
-        fragdroid::suite::run_container_suite_traced(&apps, &config, workers, &trace_config);
+
+    let checkpoint_path = p.opt("checkpoint");
+    let resume = p.flag("resume");
+    let flake_retries = p.num("flake-retries", 0)? as usize;
+    let app_budget = p.num("app-budget", 0)? as usize;
+    if resume && checkpoint_path.is_none() {
+        return Err("--resume requires --checkpoint <path>".into());
+    }
+    if app_budget > 0 && checkpoint_path.is_none() {
+        return Err("--app-budget requires --checkpoint <path>".into());
+    }
+
+    let (run, trace, progress) = if checkpoint_path.is_some() || flake_retries > 0 {
+        let opts = checkpoint_path.map(|path| {
+            let mut opts = fragdroid::CheckpointOptions::new(path).with_resume(resume);
+            if app_budget > 0 {
+                opts = opts.with_app_budget(app_budget);
+            }
+            opts
+        });
+        let (suite, trace) = fragdroid::run_container_suite_checkpointed(
+            &apps,
+            &config,
+            workers,
+            &trace_config,
+            opts.as_ref(),
+            flake_retries,
+        )?;
+        let progress = Some((suite.resumed, suite.fresh, suite.remaining(), suite.torn_tail_bytes));
+        (suite.run, trace, progress)
+    } else {
+        let (run, trace) =
+            fragdroid::suite::run_container_suite_traced(&apps, &config, workers, &trace_config);
+        (run, trace, None)
+    };
     if let Some(out) = trace_out {
         write_trace(out, &trace)?;
     }
@@ -334,7 +415,8 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
     }
     let m = &run.metrics;
     println!(
-        "apps:        {} ({} rejected, {} panicked, {} hit deadline)",
+        "apps:        {}/{} ({} rejected, {} panicked, {} hit deadline)",
+        run.outcomes.len(),
         apps.len(),
         rejected,
         panicked,
@@ -352,6 +434,25 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
         m.workers,
         m.worker_utilization * 100.0
     );
+    if let Some((resumed, fresh, remaining, torn)) = progress {
+        let torn_note =
+            if torn > 0 { format!(", {torn} torn bytes dropped") } else { String::new() };
+        println!("checkpoint:  {resumed} resumed, {fresh} fresh, {remaining} remaining{torn_note}");
+    }
+    if let Some(flakes) = &m.flake_summary {
+        println!(
+            "flake triage: {} deterministic, {} flaky (of {} failed apps, {} retries each)",
+            flakes.deterministic,
+            flakes.flaky,
+            flakes.apps.len(),
+            flakes.retries
+        );
+    }
+    // The timing-free fingerprint of what the suite found; CI diffs this
+    // line between an interrupted+resumed run and an uninterrupted one.
+    if progress.map_or(true, |(_, _, remaining, _)| remaining == 0) {
+        println!("outcome digest: {:#018x}", run.outcome_digest());
+    }
     Ok(())
 }
 

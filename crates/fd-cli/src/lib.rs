@@ -24,9 +24,11 @@ pub mod cmds;
 
 /// A CLI failure, carrying the process exit code it maps to.
 ///
-/// The split lets scripts (and CI) distinguish quarantined *inputs*
-/// from *tool* failures: a malformed container exits with code 2, every
-/// other error with code 1.
+/// The split lets scripts (and CI) distinguish quarantined *inputs* and
+/// broken *checkpoints* from *tool* failures: a malformed container
+/// exits with code 2, a journal problem (fingerprint mismatch, corrupt
+/// record, unwritable checkpoint) with code 3, every other error with
+/// code 1.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CliError {
     /// Generic failure (bad usage, IO, internal error) — exit code 1.
@@ -34,6 +36,9 @@ pub enum CliError {
     /// Input rejected at the ingestion frontier (malformed or
     /// packer-protected container) — exit code 2.
     Rejected(String),
+    /// Checkpoint journal error (corrupt or mismatched journal, full
+    /// disk mid-append, refused overwrite) — exit code 3.
+    Checkpoint(String),
 }
 
 impl CliError {
@@ -42,6 +47,7 @@ impl CliError {
         match self {
             CliError::Failure(_) => 1,
             CliError::Rejected(_) => 2,
+            CliError::Checkpoint(_) => 3,
         }
     }
 }
@@ -51,7 +57,14 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Failure(message) => write!(f, "{message}"),
             CliError::Rejected(message) => write!(f, "rejected input: {message}"),
+            CliError::Checkpoint(message) => write!(f, "checkpoint: {message}"),
         }
+    }
+}
+
+impl From<fragdroid::JournalError> for CliError {
+    fn from(error: fragdroid::JournalError) -> Self {
+        CliError::Checkpoint(error.to_string())
     }
 }
 
@@ -113,6 +126,7 @@ USAGE:
   fragdroid dot <app.fapk>                initial AFTM as Graphviz DOT
   fragdroid run <app.fapk> [--inputs F] [--budget N] [--json] [--find-api g/n]
                 [--fault-rate R] [--fault-seed N] [--trace-out T.jsonl]
+                [--checkpoint J] [--resume] [--flake-retries N]
                                           full exploration + coverage report
   fragdroid dump <app.fapk>               launch and print the UI hierarchy
   fragdroid unpack <app.fapk> --out DIR   apktool-style decompile to a directory
@@ -121,7 +135,11 @@ USAGE:
   fragdroid java <app.fapk> [--inputs F]  emit the generated Robotium test class
   fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N]
                 [--fault-rate R] [--fault-seed N] [--json] [--trace-out T.jsonl]
+                [--checkpoint J] [--resume] [--flake-retries N] [--app-budget N]
                                           run the synthetic corpus on the suite runner
+                                          (journal progress to J; --resume continues
+                                          an interrupted journal; --app-budget stops
+                                          after N fresh apps, leaving J partial)
   fragdroid fuzz [--seed N] [--mutants N] [--target container|smali|json]
                 [--out DIR] [--trace-out T.jsonl] [--json]
                                           deterministic ingestion-frontier fuzz campaign
@@ -129,7 +147,11 @@ USAGE:
   fragdroid templates                     list template names for 'gen'
 
 EXIT CODES:
-  0  success    1  failure    2  input rejected at the ingestion frontier"
+  0  success
+  1  failure (bad usage, IO error, internal error, fuzz violation)
+  2  input rejected at the ingestion frontier (malformed/packed container)
+  3  checkpoint journal error (corrupt or mismatched journal, refused
+     overwrite, unwritable checkpoint path)"
     );
 }
 

@@ -270,3 +270,136 @@ fn fuzz_trace_out_records_the_fuzz_phase() {
     let summary = fd_trace::TraceSummary::compute(&trace);
     assert!(summary.phase_totals_us.contains_key("fuzz"), "fuzz span present");
 }
+
+#[test]
+fn corpus_checkpoint_resume_reproduces_the_uninterrupted_digest() {
+    let journal = tmp("cli-resume.ckpt");
+    let journal2 = tmp("cli-uninterrupted.ckpt");
+    for j in [&journal, &journal2] {
+        let _ = std::fs::remove_file(j);
+    }
+    let base = [
+        "corpus",
+        "--seed",
+        "5",
+        "--limit",
+        "8",
+        "--fault-rate",
+        "0.25",
+        "--flake-retries",
+        "2",
+        "--workers",
+        "2",
+    ];
+
+    // Interrupted at a 3-app budget, then resumed to completion.
+    let mut first: Vec<String> = argv(&base);
+    first.extend(argv(&["--checkpoint", journal.to_str().unwrap(), "--app-budget", "3"]));
+    fd_cli::run(&first).expect("budgeted run");
+    assert!(journal.exists(), "journal written");
+
+    let mut second: Vec<String> = argv(&base);
+    second.extend(argv(&["--checkpoint", journal.to_str().unwrap(), "--resume"]));
+    fd_cli::run(&second).expect("resume completes");
+
+    // The same invocation uninterrupted.
+    let mut reference: Vec<String> = argv(&base);
+    reference.extend(argv(&["--checkpoint", journal2.to_str().unwrap()]));
+    fd_cli::run(&reference).expect("uninterrupted run");
+
+    // Both journals end with identical outcome records (the journal *is*
+    // the determinism surface; stdout goes to the test harness).
+    let strip_timing = |raw: String| -> Vec<String> {
+        raw.lines()
+            .filter(|l| l.contains("\"Outcome\"") || l.contains("\"Flakes\""))
+            .map(|l| l.split_once(' ').map(|(_, json)| json.to_string()).unwrap_or_default())
+            // The metrics half of each record carries wall-clock timings
+            // that legitimately differ run to run; compare the outcome
+            // payloads only.
+            .map(|json| json.split("\"outcome\":").nth(1).map(str::to_string).unwrap_or(json))
+            .collect()
+    };
+    let a = strip_timing(std::fs::read_to_string(&journal).expect("journal a"));
+    let b = strip_timing(std::fs::read_to_string(&journal2).expect("journal b"));
+    assert!(!a.is_empty());
+    assert_eq!(a.len(), b.len(), "same number of journaled records");
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&journal2);
+}
+
+#[test]
+fn checkpoint_errors_map_to_exit_code_3() {
+    let journal = tmp("cli-exit3.ckpt");
+    let _ = std::fs::remove_file(&journal);
+    let base = ["corpus", "--seed", "2", "--limit", "3", "--workers", "1"];
+
+    let mut first: Vec<String> = argv(&base);
+    first.extend(argv(&["--checkpoint", journal.to_str().unwrap()]));
+    fd_cli::run(&first).expect("first run");
+
+    // Re-running without --resume refuses to overwrite: exit code 3.
+    let err = fd_cli::run(&first).unwrap_err();
+    assert_eq!(err.exit_code(), 3, "{err}");
+    assert!(err.to_string().contains("--resume"), "{err}");
+
+    // Resuming with a different invocation (other seed) is a fingerprint
+    // mismatch: exit code 3.
+    let mut other: Vec<String> = argv(&["corpus", "--seed", "3", "--limit", "3", "--workers", "1"]);
+    other.extend(argv(&["--checkpoint", journal.to_str().unwrap(), "--resume"]));
+    let err = fd_cli::run(&other).unwrap_err();
+    assert_eq!(err.exit_code(), 3, "{err}");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+
+    // A corrupted journal is caught: exit code 3.
+    let mut bytes = std::fs::read(&journal).expect("journal readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&journal, &bytes).expect("rewrite journal");
+    let mut resume: Vec<String> = argv(&base);
+    resume.extend(argv(&["--checkpoint", journal.to_str().unwrap(), "--resume"]));
+    let err = fd_cli::run(&resume).unwrap_err();
+    assert_eq!(err.exit_code(), 3, "{err}");
+
+    // Usage errors stay exit code 1: --resume without --checkpoint.
+    let err = fd_cli::run(&argv(&["corpus", "--limit", "2", "--resume"])).unwrap_err();
+    assert_eq!(err.exit_code(), 1, "{err}");
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn run_with_checkpoint_and_flake_retries_works() {
+    let out = tmp("ck-app.fapk");
+    let out_str = out.to_str().unwrap();
+    fd_cli::run(&argv(&["gen", out_str, "--template", "quickstart"])).expect("gen");
+    let inputs = format!("{out_str}.inputs.json");
+
+    let journal = tmp("cli-run.ckpt");
+    let _ = std::fs::remove_file(&journal);
+    fd_cli::run(&argv(&[
+        "run",
+        out_str,
+        "--inputs",
+        &inputs,
+        "--checkpoint",
+        journal.to_str().unwrap(),
+        "--flake-retries",
+        "2",
+    ]))
+    .expect("checkpointed single run");
+    assert!(journal.exists(), "single-app journal written");
+
+    // Resume restores the journaled outcome without re-running.
+    fd_cli::run(&argv(&[
+        "run",
+        out_str,
+        "--inputs",
+        &inputs,
+        "--checkpoint",
+        journal.to_str().unwrap(),
+        "--resume",
+        "--flake-retries",
+        "2",
+    ]))
+    .expect("resumed single run");
+    let _ = std::fs::remove_file(&journal);
+}

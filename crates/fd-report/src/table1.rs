@@ -4,7 +4,10 @@
 use crate::table;
 use fd_appgen::paper_apps;
 use fragdroid::suite::SuiteContainer;
-use fragdroid::{run_container_suite_outcomes, AppOutcome, Coverage, FragDroidConfig, RunReport};
+use fragdroid::{
+    run_container_suite_checkpointed, AppOutcome, Coverage, FlakeClass, FlakeSummary,
+    FragDroidConfig, RunReport,
+};
 use serde::{Deserialize, Serialize};
 
 /// One row of Table I.
@@ -59,6 +62,8 @@ pub struct Table1Run {
     pub rows: Vec<(Table1Row, RunReport)>,
     /// `(package, reason)` for every quarantined input.
     pub rejected: Vec<(String, String)>,
+    /// Flake-triage verdicts, when the table ran with retries.
+    pub flake_summary: Option<FlakeSummary>,
 }
 
 /// Runs FragDroid on all 15 apps through the shared *container* suite —
@@ -67,12 +72,38 @@ pub struct Table1Run {
 /// skipped with a warning; a rejected container is quarantined into
 /// [`Table1Run::rejected`]. Neither aborts the whole table.
 pub fn run_table1_full() -> Table1Run {
+    run_table1_with_retries(0)
+}
+
+/// [`run_table1_full`] with a flake-triage budget: failed apps
+/// (panicked, deadline-limited, or crashing) are re-run `flake_retries`
+/// times and classified deterministic vs flaky in
+/// [`Table1Run::flake_summary`].
+pub fn run_table1_with_retries(flake_retries: usize) -> Table1Run {
     let apps = paper_apps::all_paper_apps();
     let suite: Vec<SuiteContainer> =
         apps.iter().map(|(_, gen)| (fd_apk::pack(&gen.app), gen.known_inputs.clone())).collect();
-    let run = run_container_suite_outcomes(&suite, &FragDroidConfig::default());
+    let config = FragDroidConfig::default();
+    let workers = fragdroid::suite::engine::default_workers(suite.len());
+    let run = match run_container_suite_checkpointed(
+        &suite,
+        &config,
+        workers,
+        &fd_trace::TraceConfig::off(),
+        None,
+        flake_retries,
+    ) {
+        Ok((suite, _)) => suite.run,
+        // Without a journal there is no I/O to fail; this arm guards a
+        // future where Table 1 runs journaled.
+        Err(error) => {
+            eprintln!("table1: checkpointed run failed ({error}); table left empty");
+            return Table1Run::default();
+        }
+    };
 
-    let mut out = Table1Run::default();
+    let mut out =
+        Table1Run { flake_summary: run.metrics.flake_summary.clone(), ..Default::default() };
     for ((spec, _), outcome) in apps.iter().zip(run.outcomes) {
         match outcome {
             AppOutcome::Completed(report) | AppOutcome::DeadlineExceeded(report) => {
@@ -118,8 +149,40 @@ pub fn render_rejections(rejected: &[(String, String)]) -> String {
     out
 }
 
+/// Renders the flake-triage appendix: one line per triaged app, or the
+/// empty string when the run had no retries or no failures.
+pub fn render_flake_summary(summary: Option<&FlakeSummary>) -> String {
+    let Some(summary) = summary else {
+        return String::new();
+    };
+    if summary.apps.is_empty() {
+        return String::new();
+    }
+    let mut out = format!(
+        "flake triage ({} retries each): {} deterministic, {} flaky\n",
+        summary.retries, summary.deterministic, summary.flaky
+    );
+    for record in &summary.apps {
+        let verdict = match &record.classification {
+            FlakeClass::Deterministic => "deterministic".to_string(),
+            FlakeClass::Flaky { pass_rate } => {
+                format!("flaky ({:.0}% pass rate)", pass_rate * 100.0)
+            }
+        };
+        out.push_str(&format!(
+            "  {}: {} — {} ({}/{} retries passed)\n",
+            record.package, record.kind, verdict, record.passes, record.attempts
+        ));
+    }
+    out
+}
+
 /// Per-column averages `(activity %, fragment %, frags-in-visited %)`.
+/// An empty table averages to zeros instead of NaN.
 pub fn averages(rows: &[Table1Row]) -> (f64, f64, f64) {
+    if rows.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
     let n = rows.len() as f64;
     (
         rows.iter().map(|r| r.activities.rate()).sum::<f64>() / n,
@@ -245,6 +308,57 @@ mod tests {
     }
 
     #[test]
+    fn table1_with_retries_triages_failures() {
+        let run = run_table1_with_retries(2);
+        assert_eq!(run.rows.len(), 15);
+        let summary = run.flake_summary.as_ref().expect("retries produce a summary");
+        assert_eq!(summary.retries, 2);
+        assert_eq!(summary.deterministic + summary.flaky, summary.apps.len());
+        // The triage candidates are exactly the crashing rows, and the
+        // simulator is deterministic: every same-seed retry reproduces
+        // its crash, so nothing is classified flaky.
+        let crashing = run.rows.iter().filter(|(row, _)| row.crashes > 0).count();
+        assert_eq!(summary.apps.len(), crashing);
+        assert_eq!(summary.flaky, 0, "same-seed simulator reruns cannot flake");
+        assert_eq!(summary.deterministic, crashing);
+        let rendered = render_flake_summary(run.flake_summary.as_ref());
+        if crashing > 0 {
+            assert!(rendered.contains("deterministic"));
+            assert!(rendered.contains("crashed"));
+        } else {
+            assert_eq!(rendered, "");
+        }
+        assert_eq!(render_flake_summary(None), "");
+        let synthetic = FlakeSummary {
+            retries: 3,
+            deterministic: 1,
+            flaky: 1,
+            apps: vec![
+                fragdroid::FlakeRecord {
+                    index: 0,
+                    package: "com.example.solid".into(),
+                    kind: "panicked".into(),
+                    attempts: 3,
+                    passes: 0,
+                    classification: FlakeClass::Deterministic,
+                },
+                fragdroid::FlakeRecord {
+                    index: 4,
+                    package: "com.example.heisen".into(),
+                    kind: "crashed".into(),
+                    attempts: 3,
+                    passes: 2,
+                    classification: FlakeClass::Flaky { pass_rate: 2.0 / 3.0 },
+                },
+            ],
+        };
+        let rendered = render_flake_summary(Some(&synthetic));
+        assert!(rendered.contains("1 deterministic, 1 flaky"));
+        assert!(rendered.contains("com.example.solid: panicked — deterministic"));
+        assert!(rendered.contains("com.example.heisen: crashed — flaky (67% pass rate)"));
+    }
+
+    #[test]
     fn measured_table_matches_paper_shape() {
         let rows: Vec<Table1Row> = run_table1().into_iter().map(|(r, _)| r).collect();
         assert_eq!(rows.len(), 15);
@@ -253,7 +367,10 @@ mod tests {
         assert!((f - 66.0).abs() < 3.0, "fragment avg {f:.2} ≉ 66");
         // Sums match the paper exactly.
         for row in &rows {
-            let paper = PAPER_TABLE1.iter().find(|(p, ..)| *p == row.package).unwrap();
+            let paper = PAPER_TABLE1
+                .iter()
+                .find(|(p, ..)| *p == row.package)
+                .expect("every measured row has a paper row");
             assert_eq!(row.activities.sum, paper.1 .1, "{}", row.package);
             assert_eq!(row.fragments.sum, paper.2 .1, "{}", row.package);
         }

@@ -134,6 +134,27 @@ pub enum TraceEvent {
         /// The campaign-local mutant index.
         case: u64,
     },
+    /// One completed app's outcome was appended to the suite journal.
+    CheckpointWrite {
+        /// The app's input-order index in the corpus.
+        index: u64,
+    },
+    /// A suite run resumed from a journal instead of starting cold.
+    CheckpointResume {
+        /// Completed apps restored from the journal (skipped this run).
+        skipped: u64,
+        /// Bytes of torn tail dropped while loading the journal.
+        torn_tail_bytes: u64,
+    },
+    /// The flake-triage pass re-ran a failed app once.
+    FlakeRetry {
+        /// The retried app's package (or slot label).
+        package: String,
+        /// 1-based retry attempt.
+        attempt: u64,
+        /// Whether this attempt passed (no panic/deadline/crash).
+        passed: bool,
+    },
 }
 
 impl TraceEvent {
@@ -150,6 +171,9 @@ impl TraceEvent {
             TraceEvent::NewFragment { .. } => "new-fragment",
             TraceEvent::InputRejected { .. } => "input-rejected",
             TraceEvent::FuzzViolation { .. } => "fuzz-violation",
+            TraceEvent::CheckpointWrite { .. } => "checkpoint-write",
+            TraceEvent::CheckpointResume { .. } => "checkpoint-resume",
+            TraceEvent::FlakeRetry { .. } => "flake-retry",
         }
     }
 }

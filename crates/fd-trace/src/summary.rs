@@ -55,6 +55,15 @@ pub struct TraceSummary {
     /// Fuzz mutants that violated the panic-free invariant.
     #[serde(default)]
     pub fuzz_violations: u64,
+    /// Outcomes appended to a suite journal.
+    #[serde(default)]
+    pub checkpoint_writes: u64,
+    /// Completed apps restored from a journal across resume events.
+    #[serde(default)]
+    pub checkpoint_resumed: u64,
+    /// Flake-triage retry attempts.
+    #[serde(default)]
+    pub flake_retries: u64,
     /// Fault/retry/crash/recovery occurrences in wall-clock order,
     /// truncated to [`TraceSummary::TIMELINE_CAP`].
     pub timeline: Vec<TimelineEntry>,
@@ -142,6 +151,23 @@ impl TraceSummary {
                             summary.fuzz_violations += 1;
                             Some(format!("fuzz violation in {target} mutant #{case}"))
                         }
+                        TraceEvent::CheckpointWrite { .. } => {
+                            summary.checkpoint_writes += 1;
+                            None
+                        }
+                        TraceEvent::CheckpointResume { skipped, torn_tail_bytes } => {
+                            summary.checkpoint_resumed += skipped;
+                            Some(format!(
+                                "resumed: {skipped} apps from journal ({torn_tail_bytes} torn bytes dropped)"
+                            ))
+                        }
+                        TraceEvent::FlakeRetry { package, attempt, passed } => {
+                            summary.flake_retries += 1;
+                            Some(format!(
+                                "flake retry #{attempt} of {package}: {}",
+                                if *passed { "passed" } else { "failed" }
+                            ))
+                        }
                     };
                     if let Some(what) = note {
                         summary.timeline.push(TimelineEntry {
@@ -205,6 +231,12 @@ impl TraceSummary {
             out.push_str(&format!(
                 "ingestion: {} inputs rejected, {} fuzz violations\n",
                 self.rejections, self.fuzz_violations
+            ));
+        }
+        if self.checkpoint_writes > 0 || self.checkpoint_resumed > 0 || self.flake_retries > 0 {
+            out.push_str(&format!(
+                "checkpoint: {} outcomes journaled, {} resumed from journal, {} flake retries\n",
+                self.checkpoint_writes, self.checkpoint_resumed, self.flake_retries
             ));
         }
         if !self.slowest_apps.is_empty() {

@@ -1,0 +1,1056 @@
+//! Crash-safe suite checkpointing: a journaled corpus run that survives
+//! kills, OOMs and host reboots, plus flake triage for the runs that
+//! failed.
+//!
+//! The paper's evaluation pushes thousands of apps through hours-long
+//! device campaigns; a production runner cannot afford to lose a whole
+//! corpus to one dead process. This module gives the work-stealing suite
+//! runner ([`crate::suite`]) durable progress:
+//!
+//! * **Journal** — an append-only JSON-Lines file. The first line is a
+//!   header carrying a [`Fingerprint`] of the invocation (corpus digest,
+//!   configuration digest, app count, flake-retry budget), written
+//!   atomically via tmp-file + rename + fsync so the journal either does
+//!   not exist or starts with a complete, durable header. Every
+//!   completed app appends one [`AppOutcome`] record. Each line is
+//!   prefixed with its FNV-1a checksum, and appends are fsync'd in
+//!   batches ([`CheckpointOptions::fsync_every`]).
+//! * **Resume** — [`load_journal`] replays the file, verifies every
+//!   checksum, detects a *torn tail* (a partial last line from a
+//!   mid-write kill) and drops it, and refuses journals whose
+//!   fingerprint does not match the current invocation. The runner then
+//!   skips every journaled app; restored slots reproduce their recorded
+//!   reports byte-for-byte, so a resumed run's final report is identical
+//!   to an uninterrupted one (property-tested in
+//!   `tests/checkpoint_prop.rs`).
+//! * **Flake triage** — after a complete run, apps that finished
+//!   [`AppOutcome::Panicked`], [`AppOutcome::DeadlineExceeded`] or
+//!   crashed are re-run up to `flake_retries` times with the same seed
+//!   and classified [`FlakeClass::Deterministic`] (never passed) or
+//!   [`FlakeClass::Flaky`] (passed sometimes, with its pass rate). The
+//!   verdicts land in [`SuiteMetrics::flake_summary`] and the journal,
+//!   and every attempt is traced as [`fd_trace::TraceEvent::FlakeRetry`].
+//!
+//! Every failure is a typed [`JournalError`] — a full disk, an
+//! unreadable checkpoint, or a corrupt record is a diagnostic, never a
+//! panic.
+
+use crate::config::FragDroidConfig;
+use crate::suite::{
+    assemble_metrics, engine, slot_metrics, slot_outcome, AppMetrics, AppOutcome, SuiteApp,
+    SuiteContainer, SuiteRun, SuiteSource,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Journal format version, stamped into every header; bumped whenever a
+/// record shape changes incompatibly.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Default number of appended records between fsyncs.
+pub const DEFAULT_FSYNC_BATCH: usize = 8;
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a hash.
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+
+/// A typed journal failure. Everything the checkpoint layer can hit —
+/// I/O, corruption, a mismatched invocation — surfaces here instead of
+/// panicking; `fd-cli` maps these to exit code 3.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// An I/O operation on the journal failed (unreadable file, full
+    /// disk, permission problem …).
+    Io {
+        /// The journal path.
+        path: String,
+        /// What was being attempted (`read`, `append`, `fsync`, …).
+        op: &'static str,
+        /// The OS error, rendered.
+        error: String,
+    },
+    /// A fresh (non-`--resume`) run found an existing journal at the
+    /// path. Refusing protects completed progress from an accidental
+    /// overwrite.
+    AlreadyExists {
+        /// The journal path.
+        path: String,
+    },
+    /// The journal was written by a different invocation: its corpus,
+    /// configuration, app count or flake budget differ from the current
+    /// one. Resuming would silently mix incompatible results.
+    FingerprintMismatch {
+        /// The fingerprint of the current invocation.
+        expected: Fingerprint,
+        /// The fingerprint recorded in the journal.
+        found: Fingerprint,
+    },
+    /// A record in the middle of the journal fails its checksum — bit
+    /// rot or tampering, not a torn append (those only affect the tail).
+    ChecksumMismatch {
+        /// 1-based journal line.
+        line: usize,
+    },
+    /// The journal's header line itself is torn or missing: the file has
+    /// bytes but no complete, checksummed header, so nothing about it
+    /// can be trusted.
+    TornTail {
+        /// Bytes present in the unusable file.
+        bytes: u64,
+    },
+    /// The first complete record is not a header (or the file is empty).
+    MissingHeader,
+    /// The header's format version is not [`JOURNAL_VERSION`].
+    VersionMismatch {
+        /// The version found in the header.
+        found: u64,
+    },
+    /// A record passed its checksum but does not parse — a writer bug or
+    /// hand-edited file.
+    BadRecord {
+        /// 1-based journal line.
+        line: usize,
+        /// The parse error, rendered.
+        error: String,
+    },
+    /// Two outcome records claim the same app index.
+    DuplicateIndex {
+        /// The repeated input-order index.
+        index: usize,
+    },
+    /// An outcome record's index is outside the corpus.
+    IndexOutOfRange {
+        /// The out-of-range index.
+        index: usize,
+        /// The corpus size from the header.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { path, op, error } => {
+                write!(f, "journal {op} failed for {path}: {error}")
+            }
+            JournalError::AlreadyExists { path } => write!(
+                f,
+                "checkpoint journal {path} already exists; pass --resume to continue it or \
+                 remove it to start over"
+            ),
+            JournalError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "journal fingerprint mismatch: journal records {found}, current invocation is \
+                 {expected}; refusing to resume a different corpus/config"
+            ),
+            JournalError::ChecksumMismatch { line } => {
+                write!(f, "journal line {line}: checksum mismatch (corrupt record)")
+            }
+            JournalError::TornTail { bytes } => {
+                write!(f, "journal has no complete header ({bytes} bytes of torn data)")
+            }
+            JournalError::MissingHeader => write!(f, "journal does not start with a header record"),
+            JournalError::VersionMismatch { found } => {
+                write!(f, "journal format version {found} (this binary writes {JOURNAL_VERSION})")
+            }
+            JournalError::BadRecord { line, error } => {
+                write!(f, "journal line {line}: checksummed record does not parse: {error}")
+            }
+            JournalError::DuplicateIndex { index } => {
+                write!(f, "journal records app index {index} twice")
+            }
+            JournalError::IndexOutOfRange { index, total } => {
+                write!(f, "journal records app index {index}, but the corpus has {total} apps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl JournalError {
+    fn io(path: &Path, op: &'static str, error: std::io::Error) -> Self {
+        JournalError::Io { path: path.display().to_string(), op, error: error.to_string() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+
+/// What a journal is *for*: a digest of the invocation that wrote it.
+/// Resume refuses any journal whose fingerprint differs from the current
+/// run — a different corpus, seed, fault plan, deadline or flake budget
+/// would silently mix incomparable results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Number of apps in the corpus.
+    pub apps: u64,
+    /// FNV-1a digest of the corpus content (container bytes / packed
+    /// apps plus analyst inputs, in order).
+    pub corpus_digest: u64,
+    /// FNV-1a digest of the full [`FragDroidConfig`] (budgets, ablation
+    /// switches, deadline, fault seed and rate, retry limit).
+    pub config_digest: u64,
+    /// The flake-retry budget the run classifies with.
+    pub flake_retries: u64,
+}
+
+impl Fingerprint {
+    pub(crate) fn of(
+        source: &SuiteSource<'_>,
+        config: &FragDroidConfig,
+        flake_retries: usize,
+    ) -> Self {
+        Fingerprint {
+            apps: source.len() as u64,
+            corpus_digest: source.digest(),
+            // The derived Debug rendering covers every config field, so
+            // any behavioral knob changing changes the digest.
+            config_digest: fnv1a(FNV_OFFSET, format!("{config:?}").as_bytes()),
+            flake_retries: flake_retries as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{{apps: {}, corpus: {:#018x}, config: {:#018x}, flake-retries: {}}}",
+            self.apps, self.corpus_digest, self.config_digest, self.flake_retries
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flake triage model
+
+/// The verdict for one re-run failure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FlakeClass {
+    /// Every retry reproduced the failure: a true bug (or a true
+    /// resource exhaustion), worth a human's time.
+    Deterministic,
+    /// Some retries passed: the failure is environmental.
+    Flaky {
+        /// Fraction of retries that passed, in `(0, 1]`.
+        pass_rate: f64,
+    },
+}
+
+/// One triaged app.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlakeRecord {
+    /// The app's input-order index.
+    pub index: usize,
+    /// The app's package (or slot label if it never decoded).
+    pub package: String,
+    /// What failed originally: `panicked`, `deadline-exceeded` or
+    /// `crashed`.
+    pub kind: String,
+    /// Retry attempts executed.
+    pub attempts: usize,
+    /// Attempts that passed (no panic, no deadline, no crash).
+    pub passes: usize,
+    /// The verdict.
+    pub classification: FlakeClass,
+}
+
+/// The whole triage pass: every failed app's verdict.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlakeSummary {
+    /// The per-app retry budget the pass ran with.
+    pub retries: usize,
+    /// Apps classified [`FlakeClass::Deterministic`].
+    pub deterministic: usize,
+    /// Apps classified [`FlakeClass::Flaky`].
+    pub flaky: usize,
+    /// Per-app verdicts, in input order.
+    pub apps: Vec<FlakeRecord>,
+}
+
+/// The failure kind that makes an outcome a triage candidate, if any.
+pub fn failure_kind(outcome: &AppOutcome) -> Option<&'static str> {
+    match outcome {
+        AppOutcome::Panicked { .. } => Some("panicked"),
+        AppOutcome::DeadlineExceeded(_) => Some("deadline-exceeded"),
+        AppOutcome::Completed(report) if report.crashes > 0 => Some("crashed"),
+        _ => None,
+    }
+}
+
+/// The classification rule: zero passes is deterministic, anything else
+/// is flaky with its pass rate.
+pub(crate) fn classify(passes: usize, attempts: usize) -> FlakeClass {
+    if passes == 0 || attempts == 0 {
+        FlakeClass::Deterministic
+    } else {
+        FlakeClass::Flaky { pass_rate: passes as f64 / attempts as f64 }
+    }
+}
+
+/// Runs the triage loop over `candidates` (`(index, package, kind)`),
+/// calling `attempt(index, attempt_number)` up to `retries` times each.
+/// Split from the suite plumbing so tests can drive it with synthetic
+/// (genuinely nondeterministic) attempt functions.
+pub(crate) fn triage_with(
+    candidates: &[(usize, String, &'static str)],
+    retries: usize,
+    tracer: &fd_trace::Tracer,
+    mut attempt: impl FnMut(usize, usize) -> bool,
+) -> FlakeSummary {
+    let mut summary = FlakeSummary {
+        retries,
+        deterministic: 0,
+        flaky: 0,
+        apps: Vec::with_capacity(candidates.len()),
+    };
+    for (index, package, kind) in candidates {
+        let mut passes = 0;
+        for attempt_number in 1..=retries {
+            let passed = attempt(*index, attempt_number);
+            tracer.event(|| fd_trace::TraceEvent::FlakeRetry {
+                package: package.clone(),
+                attempt: attempt_number as u64,
+                passed,
+            });
+            if passed {
+                passes += 1;
+            }
+        }
+        let classification = classify(passes, retries);
+        match classification {
+            FlakeClass::Deterministic => summary.deterministic += 1,
+            FlakeClass::Flaky { .. } => summary.flaky += 1,
+        }
+        summary.apps.push(FlakeRecord {
+            index: *index,
+            package: package.clone(),
+            kind: (*kind).to_string(),
+            attempts: retries,
+            passes,
+            classification,
+        });
+    }
+    summary
+}
+
+/// Whether one re-run of `index` passes: it must complete without a
+/// panic, a deadline, or a crash. Runs with the *same* config (and thus
+/// the same seed), so a simulated-deterministic failure reproduces.
+fn retry_passes(source: &SuiteSource<'_>, index: usize, config: &FragDroidConfig) -> bool {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        source.run_one(index, config, &fd_trace::Tracer::disabled())
+    }));
+    match result {
+        Ok(Ok((report, _))) => !report.deadline_exceeded && report.crashes == 0,
+        Ok(Err(_)) | Err(_) => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal records and line codec
+
+/// One journal line's payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum JournalRecord {
+    /// The first line: what this journal is for.
+    Header(JournalHeader),
+    /// One completed app. Boxed: this variant dwarfs the other two.
+    Outcome(Box<OutcomeRecord>),
+    /// The flake-triage verdicts of a completed run.
+    Flakes(FlakeSummary),
+}
+
+/// The journal's first record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct JournalHeader {
+    /// Format version ([`JOURNAL_VERSION`]).
+    version: u64,
+    /// The invocation fingerprint.
+    fingerprint: Fingerprint,
+}
+
+/// One completed app's durable state: enough to restore its suite slot
+/// byte-identically.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct OutcomeRecord {
+    /// The app's input-order index.
+    index: usize,
+    /// The slot's observability record (wall time preserved from the
+    /// original run).
+    metrics: AppMetrics,
+    /// The outcome itself, report included.
+    outcome: AppOutcome,
+}
+
+/// Encodes one record as `"<fnv16hex> <json>\n"`. The checksum covers
+/// the JSON payload bytes, so any torn or corrupted byte is detectable.
+fn encode_line(record: &JournalRecord) -> Result<String, JournalError> {
+    let json = serde_json::to_string(record).map_err(|e| JournalError::BadRecord {
+        line: 0,
+        error: format!("record does not serialize: {e}"),
+    })?;
+    Ok(format!("{:016x} {json}\n", fnv1a(FNV_OFFSET, json.as_bytes())))
+}
+
+enum LineError {
+    /// The checksum prefix does not match the payload.
+    Checksum,
+    /// The line shape or JSON payload is invalid.
+    Malformed(String),
+}
+
+/// Decodes one newline-stripped journal line.
+fn decode_line(line: &[u8]) -> Result<JournalRecord, LineError> {
+    if line.len() < 18 || line[16] != b' ' {
+        return Err(LineError::Malformed("line shorter than checksum prefix".into()));
+    }
+    let hex = std::str::from_utf8(&line[..16])
+        .map_err(|_| LineError::Malformed("non-UTF-8 checksum".into()))?;
+    // The writer emits exactly lowercase hex; accepting any other form
+    // would let a flipped bit in the checksum field itself go unnoticed.
+    if hex.bytes().any(|b| !matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return Err(LineError::Malformed(format!("non-canonical checksum field '{hex}'")));
+    }
+    let expected = u64::from_str_radix(hex, 16)
+        .map_err(|_| LineError::Malformed(format!("bad checksum field '{hex}'")))?;
+    let payload = &line[17..];
+    if fnv1a(FNV_OFFSET, payload) != expected {
+        return Err(LineError::Checksum);
+    }
+    let json = std::str::from_utf8(payload)
+        .map_err(|_| LineError::Malformed("non-UTF-8 payload".into()))?;
+    serde_json::from_str(json).map_err(|e| LineError::Malformed(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Loading
+
+/// A journal replayed from disk.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// The invocation fingerprint the journal was written for.
+    pub fingerprint: Fingerprint,
+    /// Completed slots by input-order index.
+    pub slots: BTreeMap<usize, (AppOutcome, AppMetrics)>,
+    /// The journaled flake-triage verdicts, if the run completed one.
+    pub flakes: Option<FlakeSummary>,
+    /// Length of the valid prefix, in bytes; everything past it is torn.
+    pub valid_len: u64,
+    /// Bytes of torn tail past `valid_len` (0 for a clean journal).
+    pub torn_tail_bytes: u64,
+}
+
+/// Replays a journal: verifies every line's checksum, parses every
+/// record, and isolates a torn tail (a final line without its newline —
+/// the footprint of a mid-write kill), which is *dropped*, preserving
+/// all progress before it. Corruption anywhere else is a typed error,
+/// never a panic and never a silent wrong resume.
+pub fn load_journal(path: &Path) -> Result<LoadedJournal, JournalError> {
+    let data = std::fs::read(path).map_err(|e| JournalError::io(path, "read", e))?;
+
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+    let mut torn_tail_bytes = 0u64;
+    let mut records: Vec<(usize, JournalRecord)> = Vec::new();
+    while offset < data.len() {
+        line_no += 1;
+        let Some(newline) = data[offset..].iter().position(|&b| b == b'\n') else {
+            // No terminator: the writer died mid-append. Drop the tail.
+            torn_tail_bytes = (data.len() - offset) as u64;
+            break;
+        };
+        let line = &data[offset..offset + newline];
+        let line_end = offset + newline + 1;
+        match decode_line(line) {
+            Ok(record) => {
+                records.push((line_no, record));
+                offset = line_end;
+            }
+            Err(LineError::Checksum) => {
+                return Err(JournalError::ChecksumMismatch { line: line_no })
+            }
+            Err(LineError::Malformed(error)) => {
+                return Err(JournalError::BadRecord { line: line_no, error })
+            }
+        }
+    }
+    let valid_len = offset as u64;
+
+    let mut iter = records.into_iter();
+    let fingerprint = match iter.next() {
+        Some((_, JournalRecord::Header(header))) => {
+            if header.version != JOURNAL_VERSION {
+                return Err(JournalError::VersionMismatch { found: header.version });
+            }
+            header.fingerprint
+        }
+        Some((_, _)) => return Err(JournalError::MissingHeader),
+        None if torn_tail_bytes > 0 => {
+            // Bytes exist but not one complete record: the header itself
+            // is torn, so nothing about the file can be trusted.
+            return Err(JournalError::TornTail { bytes: torn_tail_bytes });
+        }
+        None => return Err(JournalError::MissingHeader),
+    };
+
+    let total = fingerprint.apps as usize;
+    let mut slots = BTreeMap::new();
+    let mut flakes = None;
+    for (line, record) in iter {
+        match record {
+            JournalRecord::Header(_) => {
+                return Err(JournalError::BadRecord {
+                    line,
+                    error: "second header record".to_string(),
+                })
+            }
+            JournalRecord::Outcome(record) => {
+                if record.index >= total {
+                    return Err(JournalError::IndexOutOfRange { index: record.index, total });
+                }
+                if slots.insert(record.index, (record.outcome, record.metrics)).is_some() {
+                    return Err(JournalError::DuplicateIndex { index: record.index });
+                }
+            }
+            JournalRecord::Flakes(summary) => flakes = Some(summary),
+        }
+    }
+
+    Ok(LoadedJournal { fingerprint, slots, flakes, valid_len, torn_tail_bytes })
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+
+/// The append side of the journal, with batched fsync.
+struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    pending: usize,
+    fsync_every: usize,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal: the header line is written to
+    /// `<path>.tmp`, fsync'd, and renamed into place, so a crash at any
+    /// point leaves either no journal or one with a complete header.
+    fn create(
+        path: &Path,
+        fingerprint: Fingerprint,
+        fsync_every: usize,
+    ) -> Result<Self, JournalError> {
+        let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+        let header = encode_line(&JournalRecord::Header(JournalHeader {
+            version: JOURNAL_VERSION,
+            fingerprint,
+        }))?;
+        {
+            let mut file = File::create(&tmp).map_err(|e| JournalError::io(&tmp, "create", e))?;
+            file.write_all(header.as_bytes())
+                .map_err(|e| JournalError::io(&tmp, "write header", e))?;
+            file.sync_all().map_err(|e| JournalError::io(&tmp, "fsync header", e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| JournalError::io(path, "rename into place", e))?;
+        // Make the rename itself durable where the platform allows
+        // directory fsync; a failure here only widens the crash window,
+        // it does not corrupt anything.
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) =
+                File::open(if parent.as_os_str().is_empty() { Path::new(".") } else { parent })
+            {
+                let _ = dir.sync_all();
+            }
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| JournalError::io(path, "open for append", e))?;
+        Ok(JournalWriter { file, path: path.to_path_buf(), pending: 0, fsync_every })
+    }
+
+    /// Reopens an existing journal for appending, first truncating away
+    /// the torn tail past `valid_len`.
+    fn resume(path: &Path, valid_len: u64, fsync_every: usize) -> Result<Self, JournalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| JournalError::io(path, "open for append", e))?;
+        file.set_len(valid_len).map_err(|e| JournalError::io(path, "truncate torn tail", e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| JournalError::io(path, "seek to end", e))?;
+        Ok(JournalWriter { file, path: path.to_path_buf(), pending: 0, fsync_every })
+    }
+
+    /// Appends one record; fsyncs when the batch fills.
+    fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        let line = encode_line(record)?;
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| JournalError::io(&self.path, "append", e))?;
+        self.pending += 1;
+        if self.pending >= self.fsync_every.max(1) {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes any unsynced batch to stable storage.
+    fn sync(&mut self) -> Result<(), JournalError> {
+        if self.pending > 0 {
+            self.file.sync_all().map_err(|e| JournalError::io(&self.path, "fsync", e))?;
+            self.pending = 0;
+        }
+        Ok(())
+    }
+}
+
+/// The writer plus its first failure: once an append fails (full disk,
+/// revoked permissions) journaling stops, the suite keeps running, and
+/// the error is reported when the run returns.
+struct WriterState {
+    writer: JournalWriter,
+    failed: Option<JournalError>,
+}
+
+impl WriterState {
+    /// Appends unless a previous append already failed; records the
+    /// first failure. Returns whether the record was durably queued.
+    fn append(&mut self, record: &JournalRecord) -> bool {
+        if self.failed.is_some() {
+            return false;
+        }
+        match self.writer.append(record) {
+            Ok(()) => true,
+            Err(error) => {
+                self.failed = Some(error);
+                false
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The checkpointed runner
+
+/// How to checkpoint a suite run.
+#[derive(Clone, Debug)]
+pub struct CheckpointOptions {
+    /// The journal path.
+    pub path: PathBuf,
+    /// Whether to resume an existing journal. Without this, an existing
+    /// journal at the path is a refused overwrite
+    /// ([`JournalError::AlreadyExists`]); a missing journal with
+    /// `resume` simply starts fresh.
+    pub resume: bool,
+    /// Appended records between fsyncs ([`DEFAULT_FSYNC_BATCH`]).
+    pub fsync_every: usize,
+    /// Stop after this many *fresh* apps this invocation, leaving the
+    /// journal partial — the deterministic stand-in for a kill that CI's
+    /// resume-smoke job uses, and a way to slice long campaigns.
+    pub app_budget: Option<usize>,
+}
+
+impl CheckpointOptions {
+    /// Options writing to `path`, not resuming, with the default fsync
+    /// batch.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointOptions {
+            path: path.into(),
+            resume: false,
+            fsync_every: DEFAULT_FSYNC_BATCH,
+            app_budget: None,
+        }
+    }
+
+    /// Resume an existing journal (builder style).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Override the fsync batch size (builder style).
+    pub fn with_fsync_every(mut self, fsync_every: usize) -> Self {
+        self.fsync_every = fsync_every;
+        self
+    }
+
+    /// Cap the fresh apps run this invocation (builder style).
+    pub fn with_app_budget(mut self, budget: usize) -> Self {
+        self.app_budget = Some(budget);
+        self
+    }
+}
+
+/// What a checkpointed (or flake-triaged) suite invocation produced.
+#[derive(Debug)]
+pub struct CheckpointedSuite {
+    /// Outcomes and metrics for every *completed* app, in input order.
+    /// For a complete run this covers the whole corpus; under an
+    /// [`CheckpointOptions::app_budget`] cutoff it covers the journaled
+    /// prefix of progress.
+    pub run: SuiteRun,
+    /// Corpus size.
+    pub total: usize,
+    /// Slots restored from the journal this invocation.
+    pub resumed: usize,
+    /// Slots actually run this invocation.
+    pub fresh: usize,
+    /// Bytes of torn tail dropped while loading the journal.
+    pub torn_tail_bytes: u64,
+}
+
+impl CheckpointedSuite {
+    /// Whether every corpus slot has an outcome.
+    pub fn is_complete(&self) -> bool {
+        self.run.outcomes.len() == self.total
+    }
+
+    /// Apps still missing an outcome (0 for a complete run).
+    pub fn remaining(&self) -> usize {
+        self.total - self.run.outcomes.len()
+    }
+}
+
+/// [`run_container_suite_checkpointed`] over already-decoded apps.
+pub fn run_suite_checkpointed(
+    apps: &[SuiteApp],
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+    checkpoint: Option<&CheckpointOptions>,
+    flake_retries: usize,
+) -> Result<(CheckpointedSuite, fd_trace::Trace), JournalError> {
+    run_checkpointed(
+        &SuiteSource::Apps(apps),
+        config,
+        workers,
+        trace_config,
+        checkpoint,
+        flake_retries,
+    )
+}
+
+/// Runs a container suite with durable progress and flake triage.
+///
+/// With `checkpoint` set, every completed app's outcome is appended to
+/// the journal as it finishes; with `resume`, journaled apps are skipped
+/// and their slots restored byte-identically. With `flake_retries > 0`,
+/// a complete run ends with the triage pass (resumed-complete runs reuse
+/// the journaled verdicts instead of re-running). Passing `None` and `0`
+/// reproduces the plain suite exactly.
+pub fn run_container_suite_checkpointed(
+    containers: &[SuiteContainer],
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+    checkpoint: Option<&CheckpointOptions>,
+    flake_retries: usize,
+) -> Result<(CheckpointedSuite, fd_trace::Trace), JournalError> {
+    run_checkpointed(
+        &SuiteSource::Containers(containers),
+        config,
+        workers,
+        trace_config,
+        checkpoint,
+        flake_retries,
+    )
+}
+
+fn run_checkpointed(
+    source: &SuiteSource<'_>,
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+    checkpoint: Option<&CheckpointOptions>,
+    flake_retries: usize,
+) -> Result<(CheckpointedSuite, fd_trace::Trace), JournalError> {
+    let n = source.len();
+    let fingerprint = Fingerprint::of(source, config, flake_retries);
+
+    // Load or create the journal.
+    let mut restored: BTreeMap<usize, (AppOutcome, AppMetrics)> = BTreeMap::new();
+    let mut journaled_flakes: Option<FlakeSummary> = None;
+    let mut torn_tail_bytes = 0u64;
+    let writer: Option<Mutex<WriterState>> = match checkpoint {
+        None => None,
+        Some(opts) => {
+            let journal_exists = opts.path.exists();
+            let writer = if opts.resume && journal_exists {
+                let loaded = load_journal(&opts.path)?;
+                if loaded.fingerprint != fingerprint {
+                    return Err(JournalError::FingerprintMismatch {
+                        expected: fingerprint,
+                        found: loaded.fingerprint,
+                    });
+                }
+                torn_tail_bytes = loaded.torn_tail_bytes;
+                restored = loaded.slots;
+                journaled_flakes = loaded.flakes;
+                JournalWriter::resume(&opts.path, loaded.valid_len, opts.fsync_every)?
+            } else {
+                if journal_exists {
+                    return Err(JournalError::AlreadyExists {
+                        path: opts.path.display().to_string(),
+                    });
+                }
+                JournalWriter::create(&opts.path, fingerprint, opts.fsync_every)?
+            };
+            Some(Mutex::new(WriterState { writer, failed: None }))
+        }
+    };
+
+    let resumed = restored.len();
+    let mut remaining: Vec<usize> = (0..n).filter(|i| !restored.contains_key(i)).collect();
+    if let Some(budget) = checkpoint.and_then(|o| o.app_budget) {
+        remaining.truncate(budget);
+    }
+    let fresh = remaining.len();
+
+    // Tracing scaffolding mirrors the plain runner: per-lane tracers for
+    // the workers, a coordinator lane for the suite span and the
+    // checkpoint/triage events.
+    let trace_config = *trace_config;
+    let clock = fd_trace::TraceClock::start();
+    let coordinator_lane = workers.min(fresh.max(1)).max(1) as u64;
+    let coordinator = fd_trace::Tracer::new(&trace_config, clock, coordinator_lane);
+    let suite_span = coordinator.span(fd_trace::Phase::Suite, "suite");
+    if resumed > 0 || torn_tail_bytes > 0 {
+        coordinator.event(|| fd_trace::TraceEvent::CheckpointResume {
+            skipped: resumed as u64,
+            torn_tail_bytes,
+        });
+    }
+
+    let remaining_ref = &remaining;
+    let writer_ref = &writer;
+    let engine_run = engine::run_indexed_tagged(fresh, workers, |worker, k| {
+        let index = remaining_ref[k];
+        let tracer = fd_trace::Tracer::new(&trace_config, clock, worker as u64);
+        // Catch panics *here* (inside the engine's own isolation) so a
+        // panicked app still gets its journal record: the engine's
+        // catch_unwind only fires if this closure itself dies.
+        let started = Instant::now();
+        let job = catch_unwind(AssertUnwindSafe(|| source.run_one(index, config, &tracer)))
+            .map_err(|payload| engine::panic_message(payload.as_ref()));
+        let elapsed = started.elapsed();
+        let (outcome, package) = slot_outcome(job, source, index);
+        let metrics = slot_metrics(&outcome, package, elapsed);
+        if let Some(writer) = writer_ref {
+            let appended = writer.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).append(
+                &JournalRecord::Outcome(Box::new(OutcomeRecord {
+                    index,
+                    metrics: metrics.clone(),
+                    outcome: outcome.clone(),
+                })),
+            );
+            if appended {
+                tracer.event(|| fd_trace::TraceEvent::CheckpointWrite { index: index as u64 });
+            }
+        }
+        (outcome, metrics, tracer.finish())
+    });
+
+    // Merge restored and fresh slots, in input order.
+    let mut slots = restored;
+    let mut tracks = Vec::new();
+    for (k, (result, _elapsed)) in engine_run.results.into_iter().enumerate() {
+        let index = remaining[k];
+        match result {
+            Ok((outcome, metrics, track)) => {
+                tracks.push(track);
+                slots.insert(index, (outcome, metrics));
+            }
+            Err(message) => {
+                // Only reachable if a worker died outside job isolation;
+                // the slot degrades to a panic outcome.
+                let outcome = AppOutcome::Panicked { message };
+                let metrics = slot_metrics(&outcome, source.name_of(index), Duration::ZERO);
+                slots.insert(index, (outcome, metrics));
+            }
+        }
+    }
+
+    // Flake triage: only once the whole corpus has outcomes. A fully
+    // resumed run reuses the journaled verdicts — zero remaining work
+    // means zero re-runs, and the report is byte-identical to the
+    // uninterrupted one.
+    let complete = slots.len() == n;
+    let flake_summary = if flake_retries > 0 && complete {
+        match journaled_flakes {
+            Some(summary) if fresh == 0 => Some(summary),
+            _ => {
+                let candidates: Vec<(usize, String, &'static str)> = slots
+                    .iter()
+                    .filter_map(|(index, (outcome, metrics))| {
+                        failure_kind(outcome).map(|kind| (*index, metrics.package.clone(), kind))
+                    })
+                    .collect();
+                let summary = triage_with(&candidates, flake_retries, &coordinator, |index, _| {
+                    retry_passes(source, index, config)
+                });
+                if let Some(writer) = &writer {
+                    writer
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .append(&JournalRecord::Flakes(summary.clone()));
+                }
+                Some(summary)
+            }
+        }
+    } else {
+        None
+    };
+
+    suite_span.end();
+    let mut trace = fd_trace::Trace::new("fragdroid-suite");
+    trace.absorb(coordinator.finish());
+    for track in tracks {
+        trace.absorb(track);
+    }
+
+    // Close out the journal: flush the last batch and surface the first
+    // append failure (if any) as the run's error.
+    if let Some(writer) = writer {
+        let mut state = writer.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(error) = state.failed.take() {
+            return Err(error);
+        }
+        state.writer.sync()?;
+    }
+
+    let mut outcomes = Vec::with_capacity(slots.len());
+    let mut per_app = Vec::with_capacity(slots.len());
+    for (_, (outcome, metrics)) in slots {
+        outcomes.push(outcome);
+        per_app.push(metrics);
+    }
+    let mut metrics =
+        assemble_metrics(per_app, engine_run.workers, engine_run.wall, engine_run.busy);
+    metrics.flake_summary = flake_summary;
+
+    Ok((
+        CheckpointedSuite {
+            run: SuiteRun { outcomes, metrics },
+            total: n,
+            resumed,
+            fresh,
+            torn_tail_bytes,
+        },
+        trace,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_splits_deterministic_from_flaky() {
+        assert_eq!(classify(0, 3), FlakeClass::Deterministic);
+        assert_eq!(classify(0, 0), FlakeClass::Deterministic);
+        match classify(2, 3) {
+            FlakeClass::Flaky { pass_rate } => assert!((pass_rate - 2.0 / 3.0).abs() < 1e-9),
+            other => panic!("expected flaky, got {other:?}"),
+        }
+        assert_eq!(classify(3, 3), FlakeClass::Flaky { pass_rate: 1.0 });
+    }
+
+    #[test]
+    fn triage_with_classifies_synthetic_nondeterminism() {
+        let candidates = vec![
+            (0usize, "com.example.heisenbug".to_string(), "crashed"),
+            (3usize, "com.example.brick".to_string(), "panicked"),
+        ];
+        let tracer =
+            fd_trace::Tracer::new(&fd_trace::TraceConfig::on(), fd_trace::TraceClock::start(), 0);
+        // Index 0 passes on its 2nd and 4th attempts; index 3 never does.
+        let summary =
+            triage_with(&candidates, 4, &tracer, |index, attempt| index == 0 && attempt % 2 == 0);
+        assert_eq!(summary.retries, 4);
+        assert_eq!(summary.flaky, 1);
+        assert_eq!(summary.deterministic, 1);
+        assert_eq!(summary.apps.len(), 2);
+        assert_eq!(summary.apps[0].passes, 2);
+        assert_eq!(summary.apps[0].classification, FlakeClass::Flaky { pass_rate: 0.5 });
+        assert_eq!(summary.apps[1].passes, 0);
+        assert_eq!(summary.apps[1].classification, FlakeClass::Deterministic);
+
+        // Every attempt is traced.
+        let track = tracer.finish();
+        let retries = track
+            .records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    fd_trace::TraceRecord::Event(e)
+                        if matches!(e.event, fd_trace::TraceEvent::FlakeRetry { .. })
+                )
+            })
+            .count();
+        assert_eq!(retries, 8, "4 attempts × 2 candidates traced");
+    }
+
+    #[test]
+    fn failure_kinds_cover_the_triage_candidates() {
+        assert_eq!(failure_kind(&AppOutcome::Panicked { message: "x".into() }), Some("panicked"));
+        assert_eq!(failure_kind(&AppOutcome::Rejected { reason: "x".into() }), None);
+    }
+
+    #[test]
+    fn line_codec_roundtrips_and_rejects_corruption() {
+        let record = JournalRecord::Header(JournalHeader {
+            version: JOURNAL_VERSION,
+            fingerprint: Fingerprint {
+                apps: 3,
+                corpus_digest: 7,
+                config_digest: 9,
+                flake_retries: 0,
+            },
+        });
+        let line = encode_line(&record).expect("encodes");
+        assert!(line.ends_with('\n'));
+        let decoded = decode_line(line.trim_end().as_bytes());
+        assert!(decoded.is_ok());
+
+        // Flip one payload byte: checksum catches it.
+        let mut bytes = line.trim_end().as_bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert!(matches!(decode_line(&bytes), Err(LineError::Checksum)));
+
+        // Too-short lines are malformed, not panics.
+        assert!(matches!(decode_line(b"abc"), Err(LineError::Malformed(_))));
+        assert!(matches!(decode_line(b""), Err(LineError::Malformed(_))));
+    }
+
+    #[test]
+    fn journal_errors_render_actionable_messages() {
+        let text = JournalError::AlreadyExists { path: "j.ckpt".into() }.to_string();
+        assert!(text.contains("--resume"));
+        let expected =
+            Fingerprint { apps: 1, corpus_digest: 2, config_digest: 3, flake_retries: 0 };
+        let found = Fingerprint { apps: 9, corpus_digest: 8, config_digest: 7, flake_retries: 1 };
+        let text = JournalError::FingerprintMismatch { expected, found }.to_string();
+        assert!(text.contains("refusing to resume"));
+        assert!(JournalError::ChecksumMismatch { line: 4 }.to_string().contains("line 4"));
+    }
+}

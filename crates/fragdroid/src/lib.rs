@@ -29,6 +29,7 @@
 //! assert_eq!(report.activity_coverage().visited, 3);
 //! ```
 
+pub mod checkpoint;
 pub mod codegen;
 pub mod config;
 pub mod driver;
@@ -36,6 +37,11 @@ pub mod queue;
 pub mod report;
 pub mod suite;
 
+pub use checkpoint::{
+    load_journal, run_container_suite_checkpointed, run_suite_checkpointed, CheckpointOptions,
+    CheckpointedSuite, Fingerprint, FlakeClass, FlakeRecord, FlakeSummary, JournalError,
+    LoadedJournal,
+};
 pub use config::FragDroidConfig;
 pub use driver::FragDroid;
 pub use queue::{QueueItem, UiQueue};

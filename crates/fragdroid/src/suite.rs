@@ -35,7 +35,11 @@ pub type SuiteApp = (AndroidApp, BTreeMap<String, String>);
 pub type SuiteContainer = (bytes::Bytes, BTreeMap<String, String>);
 
 /// How one app's run ended.
-#[derive(Clone, Debug)]
+///
+/// Serializable so the checkpoint journal ([`crate::checkpoint`]) can
+/// persist one record per outcome and restore it byte-identically on
+/// resume.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum AppOutcome {
     /// The run finished within its budgets.
     Completed(RunReport),
@@ -150,6 +154,11 @@ pub struct SuiteMetrics {
     /// Inputs rejected at the ingestion frontier (quarantined, not run).
     #[serde(default)]
     pub rejected: usize,
+    /// Flake-triage results, when the run was asked to re-run failed
+    /// apps (`--flake-retries`); `None` otherwise, and absent in legacy
+    /// records.
+    #[serde(default)]
+    pub flake_summary: Option<crate::checkpoint::FlakeSummary>,
     /// Per-app records, in input order.
     pub apps: Vec<AppMetrics>,
 }
@@ -182,6 +191,27 @@ pub struct SuiteRun {
     pub outcomes: Vec<AppOutcome>,
     /// The run's observability record.
     pub metrics: SuiteMetrics,
+}
+
+impl SuiteRun {
+    /// FNV-1a digest over the serialized outcomes, in input order — a
+    /// timing-free fingerprint of *what the suite found*. Two runs of the
+    /// same corpus with the same seed produce the same digest regardless
+    /// of worker count, tracing, or checkpoint/resume interruptions; CI
+    /// diffs it to prove kill-and-resume determinism.
+    pub fn outcome_digest(&self) -> u64 {
+        let mut digest = crate::checkpoint::FNV_OFFSET;
+        for outcome in &self.outcomes {
+            match serde_json::to_string(outcome) {
+                Ok(json) => digest = crate::checkpoint::fnv1a(digest, json.as_bytes()),
+                // Outcomes are plain data and always serialize; fold the
+                // slot marker anyway so a hypothetical failure still
+                // perturbs the digest instead of vanishing.
+                Err(_) => digest = crate::checkpoint::fnv1a(digest, b"<unserializable>"),
+            }
+        }
+        digest
+    }
 }
 
 /// One slot of an [`engine`] run: the job's result (or stringified panic
@@ -269,12 +299,24 @@ pub mod engine {
                 })
                 .collect();
             for handle in handles {
-                // Workers cannot panic: every job runs under catch_unwind
-                // and the rest of the loop is panic-free.
-                let (local, worker_busy) = handle.join().expect("suite worker is panic-free");
-                busy += worker_busy;
-                for (index, slot) in local {
-                    slots[index] = Some(slot);
+                // Workers should be panic-free (every job runs under
+                // catch_unwind), but a panic in the scheduling loop
+                // itself must degrade to per-slot errors, not abort the
+                // whole suite: the slots that worker claimed surface as
+                // failed, every other worker's results survive.
+                match handle.join() {
+                    Ok((local, worker_busy)) => {
+                        busy += worker_busy;
+                        for (index, slot) in local {
+                            slots[index] = Some(slot);
+                        }
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "suite: worker crashed outside job isolation: {}",
+                            panic_message(payload.as_ref())
+                        );
+                    }
                 }
             }
         });
@@ -282,7 +324,14 @@ pub mod engine {
         EngineRun {
             results: slots
                 .into_iter()
-                .map(|s| s.expect("every index below n was claimed exactly once"))
+                .map(|s| {
+                    s.unwrap_or_else(|| {
+                        (
+                            Err("suite worker crashed before this slot completed".into()),
+                            Duration::ZERO,
+                        )
+                    })
+                })
                 .collect(),
             workers,
             wall: started.elapsed(),
@@ -296,7 +345,9 @@ pub mod engine {
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1))
     }
 
-    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    /// Renders a caught panic payload. `pub(crate)` so the checkpointed
+    /// runner's own isolation layer reports identically.
+    pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
         } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -344,20 +395,7 @@ pub fn run_suite_traced(
     workers: usize,
     trace_config: &fd_trace::TraceConfig,
 ) -> (SuiteRun, fd_trace::Trace) {
-    run_traced_inner(
-        apps.len(),
-        workers,
-        trace_config,
-        |index| apps[index].0.manifest.package.clone(),
-        |_worker, index, tracer| {
-            let (app, inputs) = &apps[index];
-            let report = {
-                let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
-                FragDroid::new(config.clone()).run_traced(app, inputs, tracer)
-            };
-            Ok((report, app.manifest.package.clone()))
-        },
-    )
+    run_traced_inner(&SuiteSource::Apps(apps), config, workers, trace_config)
 }
 
 /// Runs FragDroid over *packed containers*: each worker decodes its
@@ -389,48 +427,206 @@ pub fn run_container_suite_traced(
     workers: usize,
     trace_config: &fd_trace::TraceConfig,
 ) -> (SuiteRun, fd_trace::Trace) {
-    run_traced_inner(
-        containers.len(),
-        workers,
-        trace_config,
-        |index| format!("container[{index}]"),
-        |_worker, index, tracer| {
-            let (bytes, inputs) = &containers[index];
-            match fd_apk::decompile_traced(bytes, tracer) {
-                Ok(app) => {
-                    let report = {
-                        let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
-                        FragDroid::new(config.clone()).run_traced(&app, inputs, tracer)
-                    };
-                    Ok((report, app.manifest.package))
-                }
-                Err(error) => {
-                    let reason = error.to_string();
-                    tracer.event(|| fd_trace::TraceEvent::InputRejected { reason: reason.clone() });
-                    Err(reason)
+    run_traced_inner(&SuiteSource::Containers(containers), config, workers, trace_config)
+}
+
+/// The two input shapes a suite can run over, unified so the plain and
+/// checkpointed runners share one job body (decode, explore, quarantine)
+/// and one corpus fingerprint.
+pub(crate) enum SuiteSource<'a> {
+    /// Already-decoded apps: rejection is impossible.
+    Apps(&'a [SuiteApp]),
+    /// Packed containers: each worker decodes on the spot and rejected
+    /// inputs are quarantined.
+    Containers(&'a [SuiteContainer]),
+}
+
+impl SuiteSource<'_> {
+    /// Number of input slots.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            SuiteSource::Apps(apps) => apps.len(),
+            SuiteSource::Containers(containers) => containers.len(),
+        }
+    }
+
+    /// Label for a slot that never produced an app (panicked/rejected).
+    pub(crate) fn name_of(&self, index: usize) -> String {
+        match self {
+            SuiteSource::Apps(apps) => apps[index].0.manifest.package.clone(),
+            SuiteSource::Containers(_) => format!("container[{index}]"),
+        }
+    }
+
+    /// Runs one slot: `Ok((report, package))` for a run, `Err(reason)`
+    /// for an input the ingestion frontier refused. Panics propagate to
+    /// the caller's isolation layer.
+    pub(crate) fn run_one(
+        &self,
+        index: usize,
+        config: &FragDroidConfig,
+        tracer: &fd_trace::Tracer,
+    ) -> Result<(RunReport, String), String> {
+        match self {
+            SuiteSource::Apps(apps) => {
+                let (app, inputs) = &apps[index];
+                let report = {
+                    let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
+                    FragDroid::new(config.clone()).run_traced(app, inputs, tracer)
+                };
+                Ok((report, app.manifest.package.clone()))
+            }
+            SuiteSource::Containers(containers) => {
+                let (bytes, inputs) = &containers[index];
+                match fd_apk::decompile_traced(bytes, tracer) {
+                    Ok(app) => {
+                        let report = {
+                            let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
+                            FragDroid::new(config.clone()).run_traced(&app, inputs, tracer)
+                        };
+                        Ok((report, app.manifest.package))
+                    }
+                    Err(error) => {
+                        let reason = error.to_string();
+                        tracer.event(|| fd_trace::TraceEvent::InputRejected {
+                            reason: reason.clone(),
+                        });
+                        Err(reason)
+                    }
                 }
             }
+        }
+    }
+
+    /// FNV-1a digest of the corpus content (container bytes or packed
+    /// apps, plus the analyst inputs) — one half of the journal
+    /// fingerprint that stops a resume against a different corpus.
+    pub(crate) fn digest(&self) -> u64 {
+        let mut digest = crate::checkpoint::FNV_OFFSET;
+        let fold_inputs = |digest: &mut u64, inputs: &BTreeMap<String, String>| {
+            for (key, value) in inputs {
+                *digest = crate::checkpoint::fnv1a(*digest, key.as_bytes());
+                *digest = crate::checkpoint::fnv1a(*digest, value.as_bytes());
+            }
+        };
+        match self {
+            SuiteSource::Apps(apps) => {
+                for (app, inputs) in *apps {
+                    digest = crate::checkpoint::fnv1a(digest, &fd_apk::pack(app));
+                    fold_inputs(&mut digest, inputs);
+                }
+            }
+            SuiteSource::Containers(containers) => {
+                for (bytes, inputs) in *containers {
+                    digest = crate::checkpoint::fnv1a(digest, bytes);
+                    fold_inputs(&mut digest, inputs);
+                }
+            }
+        }
+        digest
+    }
+}
+
+/// Classifies one engine slot into its outcome. `from_engine` is the
+/// per-slot result: `Ok` carries the job's own verdict (run or
+/// rejection), `Err` a caught panic message.
+pub(crate) fn slot_outcome(
+    from_engine: Result<Result<(RunReport, String), String>, String>,
+    source: &SuiteSource<'_>,
+    index: usize,
+) -> (AppOutcome, String) {
+    match from_engine {
+        Ok(Ok((report, package))) => {
+            let outcome = if report.deadline_exceeded {
+                AppOutcome::DeadlineExceeded(report)
+            } else {
+                AppOutcome::Completed(report)
+            };
+            (outcome, package)
+        }
+        Ok(Err(reason)) => (AppOutcome::Rejected { reason }, source.name_of(index)),
+        Err(message) => (AppOutcome::Panicked { message }, source.name_of(index)),
+    }
+}
+
+/// Builds one app's observability record from its outcome and wall time.
+pub(crate) fn slot_metrics(outcome: &AppOutcome, package: String, elapsed: Duration) -> AppMetrics {
+    let (events, cases_run, cases_generated, crashes, recovered, retries, faults) =
+        match outcome.report() {
+            Some(r) => (
+                r.events_injected,
+                r.test_cases_run,
+                r.test_cases_generated,
+                r.crashes,
+                r.recovered_crashes,
+                r.retries,
+                r.faults_injected,
+            ),
+            None => (0, 0, 0, 0, 0, 0, 0),
+        };
+    let secs = elapsed.as_secs_f64();
+    AppMetrics {
+        package,
+        wall_ms: elapsed.as_millis() as u64,
+        events_injected: events,
+        events_per_second: if secs > 0.0 { events as f64 / secs } else { 0.0 },
+        test_cases_run: cases_run,
+        test_cases_generated: cases_generated,
+        crashes,
+        recovered_crashes: recovered,
+        retries,
+        faults_injected: faults,
+        panicked: outcome.is_panicked(),
+        deadline_exceeded: matches!(outcome, AppOutcome::DeadlineExceeded(_)),
+        rejected: outcome.is_rejected(),
+        reject_reason: match outcome {
+            AppOutcome::Rejected { reason } => reason.clone(),
+            _ => String::new(),
         },
-    )
+    }
+}
+
+/// Folds per-app records plus the engine's aggregate timings into a
+/// [`SuiteMetrics`].
+pub(crate) fn assemble_metrics(
+    per_app: Vec<AppMetrics>,
+    workers_used: usize,
+    wall: Duration,
+    busy: Duration,
+) -> SuiteMetrics {
+    let capacity = workers_used as f64 * wall.as_secs_f64();
+    let mut sorted_walls: Vec<u64> = per_app.iter().map(|m| m.wall_ms).collect();
+    sorted_walls.sort_unstable();
+    let rejected = per_app.iter().filter(|m| m.rejected).count();
+    SuiteMetrics {
+        workers: workers_used,
+        wall_ms: wall.as_millis() as u64,
+        busy_ms: busy.as_millis() as u64,
+        worker_utilization: if capacity > 0.0 {
+            (busy.as_secs_f64() / capacity).min(1.0)
+        } else {
+            0.0
+        },
+        app_wall_ms_p50: percentile(&sorted_walls, 50.0),
+        app_wall_ms_p95: percentile(&sorted_walls, 95.0),
+        app_wall_ms_max: sorted_walls.last().copied().unwrap_or(0),
+        rejected,
+        flake_summary: None,
+        apps: per_app,
+    }
 }
 
 /// The shared body of the app- and container-level suites: the work-
 /// stealing engine, per-lane tracers, and the outcome/metrics assembly.
-/// `job` returns `Ok((report, package))` for a run and `Err(reason)` for
-/// an input rejected before it could run; a panic inside `job` still
-/// surfaces as [`AppOutcome::Panicked`] via the engine. `name_of` labels
-/// slots that never produced an app (panicked or rejected).
-fn run_traced_inner<N, J>(
-    n: usize,
+/// A panic inside a slot surfaces as [`AppOutcome::Panicked`] via the
+/// engine's isolation.
+fn run_traced_inner(
+    source: &SuiteSource<'_>,
+    config: &FragDroidConfig,
     workers: usize,
     trace_config: &fd_trace::TraceConfig,
-    name_of: N,
-    job: J,
-) -> (SuiteRun, fd_trace::Trace)
-where
-    N: Fn(usize) -> String,
-    J: Fn(usize, usize, &fd_trace::Tracer) -> Result<(RunReport, String), String> + Sync,
-{
+) -> (SuiteRun, fd_trace::Trace) {
+    let n = source.len();
     let trace_config = *trace_config;
     let clock = fd_trace::TraceClock::start();
     // Coordinator track: one lane past the last worker's.
@@ -440,7 +636,7 @@ where
 
     let engine_run = engine::run_indexed_tagged(n, workers, |worker, index| {
         let tracer = fd_trace::Tracer::new(&trace_config, clock, worker as u64);
-        let result = job(worker, index, &tracer);
+        let result = source.run_one(index, config, &tracer);
         (result, tracer.finish())
     });
 
@@ -455,80 +651,16 @@ where
     let mut outcomes = Vec::with_capacity(n);
     let mut per_app = Vec::with_capacity(n);
     for (index, (result, elapsed)) in engine_run.results.into_iter().enumerate() {
-        let (outcome, package) = match result {
-            Ok((Ok((report, package)), track)) => {
-                trace.absorb(track);
-                let outcome = if report.deadline_exceeded {
-                    AppOutcome::DeadlineExceeded(report)
-                } else {
-                    AppOutcome::Completed(report)
-                };
-                (outcome, package)
-            }
-            Ok((Err(reason), track)) => {
-                trace.absorb(track);
-                (AppOutcome::Rejected { reason }, name_of(index))
-            }
-            Err(message) => (AppOutcome::Panicked { message }, name_of(index)),
-        };
-        let (events, cases_run, cases_generated, crashes, recovered, retries, faults) =
-            match outcome.report() {
-                Some(r) => (
-                    r.events_injected,
-                    r.test_cases_run,
-                    r.test_cases_generated,
-                    r.crashes,
-                    r.recovered_crashes,
-                    r.retries,
-                    r.faults_injected,
-                ),
-                None => (0, 0, 0, 0, 0, 0, 0),
-            };
-        let secs = elapsed.as_secs_f64();
-        per_app.push(AppMetrics {
-            package,
-            wall_ms: elapsed.as_millis() as u64,
-            events_injected: events,
-            events_per_second: if secs > 0.0 { events as f64 / secs } else { 0.0 },
-            test_cases_run: cases_run,
-            test_cases_generated: cases_generated,
-            crashes,
-            recovered_crashes: recovered,
-            retries,
-            faults_injected: faults,
-            panicked: outcome.is_panicked(),
-            deadline_exceeded: matches!(outcome, AppOutcome::DeadlineExceeded(_)),
-            rejected: outcome.is_rejected(),
-            reject_reason: match &outcome {
-                AppOutcome::Rejected { reason } => reason.clone(),
-                _ => String::new(),
-            },
+        let from_engine = result.map(|(job_result, track)| {
+            trace.absorb(track);
+            job_result
         });
+        let (outcome, package) = slot_outcome(from_engine, source, index);
+        per_app.push(slot_metrics(&outcome, package, elapsed));
         outcomes.push(outcome);
     }
 
-    let capacity = workers_used as f64 * wall.as_secs_f64();
-    let mut sorted_walls: Vec<u64> = per_app.iter().map(|m| m.wall_ms).collect();
-    sorted_walls.sort_unstable();
-    let rejected = per_app.iter().filter(|m| m.rejected).count();
-    let run = SuiteRun {
-        outcomes,
-        metrics: SuiteMetrics {
-            workers: workers_used,
-            wall_ms: wall.as_millis() as u64,
-            busy_ms: busy.as_millis() as u64,
-            worker_utilization: if capacity > 0.0 {
-                (busy.as_secs_f64() / capacity).min(1.0)
-            } else {
-                0.0
-            },
-            app_wall_ms_p50: percentile(&sorted_walls, 50.0),
-            app_wall_ms_p95: percentile(&sorted_walls, 95.0),
-            app_wall_ms_max: sorted_walls.last().copied().unwrap_or(0),
-            rejected,
-            apps: per_app,
-        },
-    };
+    let run = SuiteRun { outcomes, metrics: assemble_metrics(per_app, workers_used, wall, busy) };
     (run, trace)
 }
 

@@ -1,0 +1,390 @@
+//! The checkpoint journal's two load-bearing promises, property-tested:
+//!
+//! 1. **Kill-and-resume determinism** — a same-seed corpus run
+//!    interrupted at any completed-app boundary and resumed produces
+//!    serialized outcomes byte-identical to the uninterrupted run.
+//! 2. **Torn-tail recovery** — truncating a valid journal at *every*
+//!    byte offset either resumes cleanly (tail dropped, progress
+//!    preserved) or fails with a typed [`JournalError`] — never a panic
+//!    and never a silent wrong resume.
+
+use fragdroid::suite::SuiteContainer;
+use fragdroid::{
+    load_journal, run_container_suite_checkpointed, run_container_suite_traced, CheckpointOptions,
+    FragDroidConfig, JournalError, SuiteRun,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh scratch path per call (the OS temp dir survives the test
+/// binary; files are removed by each test when it finishes cleanly).
+fn scratch(name: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fd-ckpt-{}-{name}-{n}", std::process::id()))
+}
+
+/// A small mixed corpus: well-formed apps (fault injection armed so some
+/// crash), one malformed container, and one truncated one — every
+/// [`fragdroid::AppOutcome`] variant except `Panicked` shows up.
+fn mixed_corpus(seed: u64) -> Vec<SuiteContainer> {
+    let mut containers: Vec<SuiteContainer> = [
+        fd_appgen::templates::quickstart(),
+        fd_appgen::templates::nav_drawer_wallpapers(),
+        fd_appgen::templates::tabbed_categories(),
+    ]
+    .into_iter()
+    .map(|g| (fd_apk::pack(&g.app), g.known_inputs))
+    .collect();
+    containers.insert(1, (bytes::Bytes::from_static(b"not a container"), BTreeMap::new()));
+    let truncated = containers[0].0.slice(0..12);
+    containers.push((truncated, BTreeMap::new()));
+    // Perturb the corpus by seed so different cases journal different
+    // bytes (the seed feeds the fault plan below too).
+    let n = containers.len() as u64;
+    containers.rotate_left((seed % n) as usize);
+    containers
+}
+
+fn faulty_config(seed: u64) -> FragDroidConfig {
+    FragDroidConfig::default().with_faults(seed, 0.25)
+}
+
+/// The determinism surface: the serialized outcomes, in input order.
+/// (Timing fields in the metrics legitimately differ between runs.)
+fn outcome_bytes(run: &SuiteRun) -> Vec<String> {
+    run.outcomes.iter().map(|o| serde_json::to_string(o).expect("outcomes serialize")).collect()
+}
+
+/// Runs the corpus uninterrupted (no journal) as the reference.
+fn reference_run(containers: &[SuiteContainer], config: &FragDroidConfig) -> SuiteRun {
+    run_container_suite_traced(containers, config, 2, &fd_trace::TraceConfig::off()).0
+}
+
+mod kill_and_resume {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Interrupt at every app-budget cutoff (0..=n fresh apps run,
+        /// then the process "dies"), resume, and compare against the
+        /// uninterrupted run: the serialized outcomes must be
+        /// byte-identical, and the digest must agree.
+        #[test]
+        fn resume_matches_uninterrupted(seed in 0u64..16, cutoff in 0usize..6) {
+            let containers = mixed_corpus(seed);
+            let config = faulty_config(seed);
+            let reference = reference_run(&containers, &config);
+
+            let path = scratch("resume");
+            let first = CheckpointOptions::new(&path).with_app_budget(cutoff);
+            let (partial, _) = run_container_suite_checkpointed(
+                &containers, &config, 2, &fd_trace::TraceConfig::off(), Some(&first), 0,
+            ).expect("budgeted run journals cleanly");
+            prop_assert_eq!(partial.fresh, cutoff.min(containers.len()));
+
+            let second = CheckpointOptions::new(&path).with_resume(true);
+            let (full, _) = run_container_suite_checkpointed(
+                &containers, &config, 2, &fd_trace::TraceConfig::off(), Some(&second), 0,
+            ).expect("resume completes the corpus");
+            prop_assert!(full.is_complete());
+            prop_assert_eq!(full.resumed, cutoff.min(containers.len()));
+
+            prop_assert_eq!(outcome_bytes(&full.run), outcome_bytes(&reference));
+            prop_assert_eq!(full.run.outcome_digest(), reference.outcome_digest());
+            std::fs::remove_file(&path).ok();
+        }
+
+        /// A second resume with zero remaining work restores everything
+        /// from the journal (no app runs at all) and still reproduces
+        /// the reference outcomes byte-for-byte — including the flake
+        /// summary, which is replayed from the journal, not recomputed.
+        #[test]
+        fn zero_work_resume_is_byte_identical(seed in 0u64..16) {
+            let containers = mixed_corpus(seed);
+            let config = faulty_config(seed);
+            let path = scratch("zero");
+
+            let first = CheckpointOptions::new(&path);
+            let (complete, _) = run_container_suite_checkpointed(
+                &containers, &config, 2, &fd_trace::TraceConfig::off(), Some(&first), 2,
+            ).expect("full run journals cleanly");
+            prop_assert!(complete.is_complete());
+
+            let again = CheckpointOptions::new(&path).with_resume(true);
+            let (replayed, _) = run_container_suite_checkpointed(
+                &containers, &config, 2, &fd_trace::TraceConfig::off(), Some(&again), 2,
+            ).expect("complete journal replays");
+            prop_assert_eq!(replayed.fresh, 0, "no fresh work on a complete journal");
+            prop_assert_eq!(outcome_bytes(&replayed.run), outcome_bytes(&complete.run));
+            prop_assert_eq!(
+                serde_json::to_string(&replayed.run.metrics.flake_summary).unwrap(),
+                serde_json::to_string(&complete.run.metrics.flake_summary).unwrap(),
+                "journaled flake verdicts are replayed verbatim"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+mod torn_tail {
+    use super::*;
+
+    /// Writes a complete journal and returns its bytes plus the
+    /// reference outcomes.
+    fn complete_journal(path: &PathBuf) -> (Vec<u8>, SuiteRun) {
+        let containers = mixed_corpus(3);
+        let config = faulty_config(3);
+        let opts = CheckpointOptions::new(path);
+        let (complete, _) = run_container_suite_checkpointed(
+            &containers,
+            &config,
+            2,
+            &fd_trace::TraceConfig::off(),
+            Some(&opts),
+            0,
+        )
+        .expect("full run journals cleanly");
+        let bytes = std::fs::read(path).expect("journal readable");
+        (bytes, complete.run)
+    }
+
+    /// Truncating at every byte offset: `load_journal` must return
+    /// either a clean prefix (mid-line truncation → torn tail dropped)
+    /// or a typed error (header damaged) — never panic.
+    #[test]
+    fn every_truncation_offset_loads_or_fails_typed() {
+        let path = scratch("trunc");
+        let (bytes, _) = complete_journal(&path);
+        let header_len = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .expect("journal has a header line");
+
+        let victim = scratch("trunc-victim");
+        let mut boundaries = vec![0usize];
+        for offset in 0..=bytes.len() {
+            std::fs::write(&victim, &bytes[..offset]).expect("write truncated copy");
+            let result = load_journal(&victim);
+            match result {
+                Ok(loaded) => {
+                    // A loadable prefix always has an intact header, its
+                    // valid length never exceeds the truncation point,
+                    // and torn bytes account for the rest exactly.
+                    assert!(
+                        offset >= header_len,
+                        "no load without a full header (offset {offset})"
+                    );
+                    assert_eq!(
+                        loaded.valid_len + loaded.torn_tail_bytes,
+                        offset as u64,
+                        "every byte is either valid or torn at offset {offset}"
+                    );
+                    if loaded.torn_tail_bytes == 0 {
+                        boundaries.push(offset);
+                    }
+                }
+                Err(
+                    JournalError::TornTail { .. }
+                    | JournalError::MissingHeader
+                    | JournalError::ChecksumMismatch { .. }
+                    | JournalError::BadRecord { .. },
+                ) => {
+                    // Typed refusal: only reachable while the header
+                    // itself is incomplete.
+                    assert!(
+                        offset < header_len,
+                        "typed load failure past the header at offset {offset}"
+                    );
+                }
+                Err(other) => panic!("unexpected journal error at offset {offset}: {other}"),
+            }
+        }
+        assert!(
+            boundaries.len() > 2,
+            "the sweep crossed multiple record boundaries ({boundaries:?})"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&victim).ok();
+    }
+
+    /// Resuming from a journal truncated at each record boundary (the
+    /// footprint of a kill between appends) reproduces the reference
+    /// outcomes byte-identically, and mid-record truncations resume too
+    /// (the torn record's app simply re-runs).
+    #[test]
+    fn truncated_journals_resume_to_the_reference() {
+        let containers = mixed_corpus(3);
+        let config = faulty_config(3);
+        let reference = reference_run(&containers, &config);
+
+        let path = scratch("trunc-resume");
+        let (bytes, _) = complete_journal(&path);
+
+        // Every record boundary plus a mid-record sample.
+        let mut offsets: Vec<usize> =
+            bytes.iter().enumerate().filter(|(_, &b)| b == b'\n').map(|(i, _)| i + 1).collect();
+        offsets.push(bytes.len() / 2);
+        offsets.push(bytes.len().saturating_sub(3));
+
+        for offset in offsets {
+            let victim = scratch("trunc-resume-victim");
+            std::fs::write(&victim, &bytes[..offset]).expect("write truncated copy");
+            let opts = CheckpointOptions::new(&victim).with_resume(true);
+            let (resumed, _) = run_container_suite_checkpointed(
+                &containers,
+                &config,
+                2,
+                &fd_trace::TraceConfig::off(),
+                Some(&opts),
+                0,
+            )
+            .unwrap_or_else(|e| panic!("resume from offset {offset} failed: {e}"));
+            assert!(resumed.is_complete());
+            assert_eq!(
+                outcome_bytes(&resumed.run),
+                outcome_bytes(&reference),
+                "offset {offset} resumed to different outcomes"
+            );
+            std::fs::remove_file(&victim).ok();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Flipping any byte of a *complete* (newline-terminated) record is
+    /// caught: the load fails with a typed checksum/parse error instead
+    /// of silently resuming wrong data.
+    #[test]
+    fn mid_file_corruption_is_a_typed_error() {
+        let path = scratch("corrupt");
+        let (bytes, _) = complete_journal(&path);
+        let second_line_start = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .expect("journal has a header line");
+
+        // A sample of positions inside the first outcome record.
+        for delta in [0usize, 5, 17, 40] {
+            let target = second_line_start + delta;
+            let mut corrupt = bytes.clone();
+            corrupt[target] ^= 0x20;
+            let victim = scratch("corrupt-victim");
+            std::fs::write(&victim, &corrupt).expect("write corrupt copy");
+            match load_journal(&victim) {
+                Err(JournalError::ChecksumMismatch { .. } | JournalError::BadRecord { .. }) => {}
+                Ok(_) => panic!("corruption at byte {target} loaded silently"),
+                Err(other) => panic!("unexpected error for byte {target}: {other}"),
+            }
+            std::fs::remove_file(&victim).ok();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+mod refusals {
+    use super::*;
+
+    /// A journal written by a different invocation (different seed →
+    /// different fault plan → different config digest) is refused.
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let containers = mixed_corpus(3);
+        let path = scratch("fpr");
+        let opts = CheckpointOptions::new(&path);
+        run_container_suite_checkpointed(
+            &containers,
+            &faulty_config(3),
+            2,
+            &fd_trace::TraceConfig::off(),
+            Some(&opts),
+            0,
+        )
+        .expect("first run journals");
+
+        let resume = CheckpointOptions::new(&path).with_resume(true);
+        let result = run_container_suite_checkpointed(
+            &containers,
+            &faulty_config(4), // different fault seed
+            2,
+            &fd_trace::TraceConfig::off(),
+            Some(&resume),
+            0,
+        );
+        match result {
+            Err(JournalError::FingerprintMismatch { expected, found }) => {
+                assert_ne!(expected.config_digest, found.config_digest);
+                assert_eq!(expected.corpus_digest, found.corpus_digest);
+            }
+            other => panic!("expected fingerprint refusal, got {other:?}"),
+        }
+
+        // A different flake budget is part of the fingerprint too.
+        let result = run_container_suite_checkpointed(
+            &containers,
+            &faulty_config(3),
+            2,
+            &fd_trace::TraceConfig::off(),
+            Some(&resume),
+            5,
+        );
+        assert!(matches!(result, Err(JournalError::FingerprintMismatch { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Without `--resume`, an existing journal is never overwritten.
+    #[test]
+    fn existing_journal_without_resume_is_refused() {
+        let containers = mixed_corpus(1);
+        let config = faulty_config(1);
+        let path = scratch("exists");
+        let opts = CheckpointOptions::new(&path);
+        run_container_suite_checkpointed(
+            &containers,
+            &config,
+            1,
+            &fd_trace::TraceConfig::off(),
+            Some(&opts),
+            0,
+        )
+        .expect("first run journals");
+        let before = std::fs::read(&path).expect("journal readable");
+
+        let result = run_container_suite_checkpointed(
+            &containers,
+            &config,
+            1,
+            &fd_trace::TraceConfig::off(),
+            Some(&opts),
+            0,
+        );
+        assert!(matches!(result, Err(JournalError::AlreadyExists { .. })));
+        let after = std::fs::read(&path).expect("journal still readable");
+        assert_eq!(before, after, "refused overwrite left the journal untouched");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// An unwritable checkpoint path is a typed I/O error up front, not
+    /// a panic mid-suite.
+    #[test]
+    fn unwritable_path_is_a_typed_io_error() {
+        let containers = mixed_corpus(1);
+        let opts = CheckpointOptions::new("/nonexistent-dir/definitely/not/here/j.ckpt");
+        let result = run_container_suite_checkpointed(
+            &containers,
+            &faulty_config(1),
+            1,
+            &fd_trace::TraceConfig::off(),
+            Some(&opts),
+            0,
+        );
+        match result {
+            Err(JournalError::Io { op, .. }) => assert_eq!(op, "create"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Backward compatibility of the `SuiteMetrics` JSON shape: records
+//! written before `flake_summary`, `rejected`, the per-app fault/retry
+//! counters, and the wall-time quantiles existed must still parse, with
+//! every newer field defaulting. The committed fixture pins the *oldest*
+//! shipped shape — if a schema change breaks it, this test fails before
+//! any stored metrics file does.
+
+use fragdroid::SuiteMetrics;
+
+const LEGACY: &str = include_str!("fixtures/suite_metrics_legacy.json");
+
+#[test]
+fn legacy_suite_metrics_fixture_still_deserializes() {
+    let metrics = SuiteMetrics::from_json(LEGACY).expect("legacy fixture parses");
+
+    // The fields the legacy record carries survive verbatim.
+    assert_eq!(metrics.workers, 4);
+    assert_eq!(metrics.wall_ms, 1843);
+    assert_eq!(metrics.busy_ms, 7001);
+    assert_eq!(metrics.apps.len(), 3);
+    assert_eq!(metrics.apps[0].package, "com.adobe.reader");
+    assert_eq!(metrics.apps[1].crashes, 2);
+    assert!(metrics.apps[1].deadline_exceeded);
+    assert!(metrics.apps[2].panicked);
+
+    // Every post-legacy field lands on its default instead of failing.
+    assert_eq!(metrics.rejected, 0);
+    assert!(metrics.flake_summary.is_none());
+    assert_eq!(metrics.app_wall_ms_p50, 0);
+    assert_eq!(metrics.app_wall_ms_p95, 0);
+    assert_eq!(metrics.app_wall_ms_max, 0);
+    for app in &metrics.apps {
+        assert_eq!(app.recovered_crashes, 0);
+        assert_eq!(app.retries, 0);
+        assert_eq!(app.faults_injected, 0);
+        assert!(!app.rejected);
+        assert_eq!(app.reject_reason, "");
+    }
+}
+
+#[test]
+fn current_metrics_roundtrip_with_flake_summary() {
+    let mut metrics = SuiteMetrics::from_json(LEGACY).expect("legacy fixture parses");
+    metrics.flake_summary = Some(fragdroid::FlakeSummary {
+        retries: 3,
+        deterministic: 1,
+        flaky: 1,
+        apps: vec![fragdroid::FlakeRecord {
+            index: 2,
+            package: "com.happy2.bbmanga".into(),
+            kind: "panicked".into(),
+            attempts: 3,
+            passes: 1,
+            classification: fragdroid::FlakeClass::Flaky { pass_rate: 1.0 / 3.0 },
+        }],
+    });
+    let json = metrics.to_json().expect("serializes");
+    let parsed = SuiteMetrics::from_json(&json).expect("roundtrips");
+    assert_eq!(parsed, metrics, "flake summary survives the JSON roundtrip");
+}
