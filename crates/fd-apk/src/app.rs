@@ -84,17 +84,35 @@ impl AndroidApp {
     /// numeric table, the way `aapt` finalizes `R.java`. Call after the
     /// app's content is complete.
     pub fn finalize_resources(&mut self) {
+        let resources = &mut self.resources;
+        // One reusable lookup key: `intern` only clones it on a table
+        // miss, so re-finalizing an already-interned app allocates
+        // nothing beyond the key buffer.
+        let mut key = ResRef { kind: ResKind::Layout, name: String::new() };
         for layout in self.layouts.values() {
-            self.resources.intern(&ResRef::new(ResKind::Layout, &layout.name));
+            key.kind = ResKind::Layout;
+            key.name.clear();
+            key.name.push_str(&layout.name);
+            resources.intern(&key);
             for widget in layout.root.iter() {
                 if let Some(id) = &widget.id {
-                    self.resources.intern(&ResRef::id(id));
+                    key.kind = ResKind::Id;
+                    key.name.clear();
+                    key.name.push_str(id);
+                    resources.intern(&key);
                 }
             }
         }
-        let refs: Vec<ResRef> = self.classes.iter().flat_map(visit::referenced_resources).collect();
-        for r in refs {
-            self.resources.intern(&r);
+        // Intern code references by walking statements directly: `intern`
+        // only clones on a table miss, so repeats cost a lookup, not an
+        // allocation (the old per-class `referenced_resources` sets cloned
+        // every reference).
+        for class in self.classes.iter() {
+            visit::walk_class(class, &mut |stmt| {
+                if let Some(r) = stmt.res_ref() {
+                    resources.intern(r);
+                }
+            });
         }
     }
 

@@ -21,11 +21,11 @@
 //! the paper had to exclude.
 
 use crate::app::{AndroidApp, AppMeta};
-use crate::error::ApkError;
+use crate::error::{ApkError, CorruptCause};
 use crate::layout::Layout;
 use crate::manifest::Manifest;
 use bytes::{BufMut, Bytes, BytesMut};
-use fd_smali::{parser, printer, ClassPool};
+use fd_smali::{parser, printer, ClassDef, ClassPool};
 
 const MAGIC: &[u8; 4] = b"FAPK";
 const VERSION: u16 = 1;
@@ -45,28 +45,60 @@ pub fn decompile_traced(bytes: &Bytes, tracer: &fd_trace::Tracer) -> Result<Andr
 
 /// Serializes an app into the binary container.
 pub fn pack(app: &AndroidApp) -> Bytes {
-    let manifest = serde_json::to_vec(&app.manifest).expect("manifest serializes");
-    let smali: String = app.classes.iter().map(printer::print_class).collect::<Vec<_>>().join("\n");
-    let layouts: Vec<&Layout> = app.layouts.values().collect();
-    let layouts = serde_json::to_vec(&layouts).expect("layouts serialize");
-    let meta = serde_json::to_vec(&app.meta).expect("meta serializes");
+    let mut buf = BytesMut::new();
+    pack_into(app, &mut buf);
+    buf.freeze()
+}
 
-    let mut buf =
-        BytesMut::with_capacity(16 + manifest.len() + smali.len() + layouts.len() + meta.len());
+/// [`pack`] into a caller-owned buffer (cleared first), so loops packing
+/// or digesting a whole corpus reuse one container allocation instead of
+/// one per app. The bytes written are exactly [`pack`]'s.
+pub fn pack_into(app: &AndroidApp, buf: &mut BytesMut) {
+    buf.clear();
     buf.put_slice(MAGIC);
     buf.put_u16(VERSION);
-    buf.put_u16(if app.meta.packed { FLAG_PACKED } else { 0 });
-    for section in [&manifest[..], smali.as_bytes(), &layouts[..], &meta[..]] {
-        buf.put_u32(section.len() as u32);
-        if app.meta.packed {
-            // Packer protection: scramble payloads so that even a reader
-            // that ignores the flag cannot recover the contents.
-            buf.extend(section.iter().map(|b| b ^ 0xa5));
-        } else {
-            buf.put_slice(section);
+    let packed = app.meta.packed;
+    buf.put_u16(if packed { FLAG_PACKED } else { 0 });
+
+    // Sections render one at a time into a single scratch buffer and are
+    // framed straight into `buf` — one temporary for the whole container
+    // instead of one owned buffer per section.
+    let mut scratch = String::new();
+
+    serde::Serialize::write_json(&app.manifest, &mut scratch);
+    frame_section(buf, scratch.as_bytes(), packed);
+
+    scratch.clear();
+    for (i, class) in app.classes.iter().enumerate() {
+        if i > 0 {
+            // `join("\n")` heritage: a blank separator line between
+            // classes (each class already ends with its own newline).
+            scratch.push('\n');
         }
+        printer::print_class_into(&mut scratch, class);
     }
-    buf.freeze()
+    frame_section(buf, scratch.as_bytes(), packed);
+
+    scratch.clear();
+    let layouts: Vec<&Layout> = app.layouts.values().collect();
+    serde::Serialize::write_json(&layouts, &mut scratch);
+    frame_section(buf, scratch.as_bytes(), packed);
+
+    scratch.clear();
+    serde::Serialize::write_json(&app.meta, &mut scratch);
+    frame_section(buf, scratch.as_bytes(), packed);
+}
+
+/// Appends one length-prefixed section.
+fn frame_section(buf: &mut BytesMut, section: &[u8], scramble: bool) {
+    buf.put_u32(section.len() as u32);
+    if scramble {
+        // Packer protection: scramble payloads so that even a reader
+        // that ignores the flag cannot recover the contents.
+        buf.extend(section.iter().map(|b| b ^ 0xa5));
+    } else {
+        buf.put_slice(section);
+    }
 }
 
 /// Bounds-checked reader over the container bytes. Every read either
@@ -127,6 +159,136 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// A zero-copy view of a validated container: the four section payloads
+/// as borrowed slices into the input buffer.
+///
+/// [`ContainerView::parse`] checks the envelope — magic, version, packer
+/// flag, section framing, trailing bytes — without touching the payload
+/// contents; [`ContainerView::decode`] then parses every section into an
+/// [`AppView`]. Nothing is copied out of the buffer: the section
+/// accessors return `&'a [u8]`/`&'a str` slices, and the parsers work
+/// directly on them. [`decompile`] wraps the pair for callers that want
+/// the owned, indexed [`AndroidApp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContainerView<'a> {
+    manifest: &'a [u8],
+    classes: &'a [u8],
+    layouts: &'a [u8],
+    meta: &'a [u8],
+}
+
+impl<'a> ContainerView<'a> {
+    /// Validates the container envelope and locates the four sections.
+    ///
+    /// Error precedence matches the historical `decompile` exactly:
+    /// magic, then version, then the packer flag, then each section's
+    /// framing in order, then trailing bytes.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, ApkError> {
+        let mut cur = Cursor::new(bytes);
+        let magic = cur.take(4)?;
+        if magic != MAGIC {
+            return Err(ApkError::BadMagic);
+        }
+        let version = cur.u16()?;
+        if version != VERSION {
+            return Err(ApkError::UnsupportedVersion(version));
+        }
+        let flags = cur.u16()?;
+        if flags & FLAG_PACKED != 0 {
+            return Err(ApkError::Packed);
+        }
+
+        let manifest = cur.section("manifest")?;
+        let classes = cur.section("classes")?;
+        let layouts = cur.section("layouts")?;
+        let meta = cur.section("meta")?;
+        if cur.remaining() > 0 {
+            return Err(ApkError::Corrupt {
+                section: "meta",
+                cause: CorruptCause::TrailingBytes { count: cur.remaining() },
+            });
+        }
+        Ok(ContainerView { manifest, classes, layouts, meta })
+    }
+
+    /// The raw manifest JSON payload.
+    pub fn manifest_bytes(&self) -> &'a [u8] {
+        self.manifest
+    }
+
+    /// The raw classes payload (UTF-8 smali text when well-formed).
+    pub fn classes_bytes(&self) -> &'a [u8] {
+        self.classes
+    }
+
+    /// The raw layouts JSON payload.
+    pub fn layouts_bytes(&self) -> &'a [u8] {
+        self.layouts
+    }
+
+    /// The raw meta JSON payload.
+    pub fn meta_bytes(&self) -> &'a [u8] {
+        self.meta
+    }
+
+    /// The classes section as text, validating UTF-8.
+    pub fn classes_str(&self) -> Result<&'a str, ApkError> {
+        std::str::from_utf8(self.classes)
+            .map_err(|e| ApkError::Corrupt { section: "classes", cause: CorruptCause::Utf8(e) })
+    }
+
+    /// Parses every section, in the same order (and with the same error
+    /// precedence) as the historical `decompile`: manifest JSON, classes
+    /// UTF-8, smali, layouts JSON, meta JSON.
+    pub fn decode(&self) -> Result<AppView<'a>, ApkError> {
+        let manifest: Manifest = serde_json::from_slice(self.manifest)
+            .map_err(|e| ApkError::Corrupt { section: "manifest", cause: CorruptCause::Json(e) })?;
+        let classes_text = self.classes_str()?;
+        let classes = parser::parse_classes(classes_text)?;
+        let layouts: Vec<Layout> = serde_json::from_slice(self.layouts)
+            .map_err(|e| ApkError::Corrupt { section: "layouts", cause: CorruptCause::Json(e) })?;
+        let meta: AppMeta = serde_json::from_slice(self.meta)
+            .map_err(|e| ApkError::Corrupt { section: "meta", cause: CorruptCause::Json(e) })?;
+        Ok(AppView { manifest, classes, classes_text, layouts, meta })
+    }
+}
+
+/// A fully decoded container, before owned indexing: classes as the
+/// parsed list (names interned, not yet a [`ClassPool`]), layouts in
+/// section order (not yet keyed by name), and no resource table. This is
+/// everything decoding proper has to do; [`AppView::into_app`] adds the
+/// indexes for callers that explore the app.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppView<'a> {
+    /// The manifest.
+    pub manifest: Manifest,
+    /// All parsed classes, in section order.
+    pub classes: Vec<ClassDef>,
+    /// The classes section text the classes were parsed from.
+    pub classes_text: &'a str,
+    /// All layouts, in section order.
+    pub layouts: Vec<Layout>,
+    /// Store metadata.
+    pub meta: AppMeta,
+}
+
+impl AppView<'_> {
+    /// Builds the owned, indexed [`AndroidApp`]: class pool, layout map,
+    /// and the re-interned resource table (matching `aapt` determinism).
+    pub fn into_app(self) -> AndroidApp {
+        let classes: ClassPool = self.classes.into_iter().collect();
+        let mut app = AndroidApp {
+            manifest: self.manifest,
+            classes,
+            layouts: self.layouts.into_iter().map(|l| (l.name.clone(), l)).collect(),
+            resources: crate::ResourceTable::new(),
+            meta: self.meta,
+        };
+        app.finalize_resources();
+        app
+    }
+}
+
 /// Unpacks and decompiles a container back into an [`AndroidApp`].
 ///
 /// This is the reproduction's Apktool + jd-core stage: the classes section
@@ -134,51 +296,12 @@ impl<'a> Cursor<'a> {
 /// path is total: any input — truncated, bit-flipped, length-corrupted —
 /// yields `Ok` or a typed [`ApkError`], never a panic (property-tested in
 /// `tests/container_prop.rs` and fuzzed by `fd-fuzz`).
+///
+/// Thin wrapper over the borrowed path:
+/// [`ContainerView::parse`] → [`ContainerView::decode`] →
+/// [`AppView::into_app`].
 pub fn decompile(bytes: &Bytes) -> Result<AndroidApp, ApkError> {
-    let mut cur = Cursor::new(&bytes[..]);
-    let magic = cur.take(4)?;
-    if magic != MAGIC {
-        return Err(ApkError::BadMagic);
-    }
-    let version = cur.u16()?;
-    if version != VERSION {
-        return Err(ApkError::UnsupportedVersion(version));
-    }
-    let flags = cur.u16()?;
-    if flags & FLAG_PACKED != 0 {
-        return Err(ApkError::Packed);
-    }
-
-    let manifest_raw = cur.section("manifest")?;
-    let smali_raw = cur.section("classes")?;
-    let layouts_raw = cur.section("layouts")?;
-    let meta_raw = cur.section("meta")?;
-    if cur.remaining() > 0 {
-        return Err(ApkError::corrupt(
-            "meta",
-            format!("{} trailing bytes after the last section", cur.remaining()),
-        ));
-    }
-
-    let manifest: Manifest = serde_json::from_slice(manifest_raw)
-        .map_err(|e| ApkError::corrupt("manifest", e.to_string()))?;
-    let smali_text = std::str::from_utf8(smali_raw)
-        .map_err(|e| ApkError::corrupt("classes", format!("not UTF-8: {e}")))?;
-    let classes: ClassPool = parser::parse_classes(smali_text)?.into_iter().collect();
-    let layouts: Vec<Layout> = serde_json::from_slice(layouts_raw)
-        .map_err(|e| ApkError::corrupt("layouts", e.to_string()))?;
-    let meta: AppMeta =
-        serde_json::from_slice(meta_raw).map_err(|e| ApkError::corrupt("meta", e.to_string()))?;
-
-    let mut app = AndroidApp {
-        manifest,
-        classes,
-        layouts: layouts.into_iter().map(|l| (l.name.clone(), l)).collect(),
-        resources: crate::ResourceTable::new(),
-        meta,
-    };
-    app.finalize_resources();
-    Ok(app)
+    Ok(ContainerView::parse(bytes)?.decode()?.into_app())
 }
 
 #[cfg(test)]
@@ -299,11 +422,37 @@ mod tests {
         let mut raw = pack(&sample_app(false)).to_vec();
         raw.extend_from_slice(b"junk");
         match decompile(&Bytes::from(raw)) {
-            Err(ApkError::Corrupt { section: "meta", message }) => {
-                assert!(message.contains("trailing"), "got: {message}")
-            }
+            Err(ApkError::Corrupt {
+                section: "meta",
+                cause: CorruptCause::TrailingBytes { count: 4 },
+            }) => {}
             other => panic!("expected trailing-bytes error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn view_sections_are_borrowed_slices() {
+        let app = sample_app(false);
+        let bytes = pack(&app);
+        let view = ContainerView::parse(&bytes).unwrap();
+        // Every accessor points into the original buffer — zero copies.
+        let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        for section in
+            [view.manifest_bytes(), view.classes_bytes(), view.layouts_bytes(), view.meta_bytes()]
+        {
+            assert!(range.contains(&(section.as_ptr() as usize)));
+        }
+        assert_eq!(view.classes_str().unwrap().as_bytes(), view.classes_bytes());
+    }
+
+    #[test]
+    fn view_decode_matches_decompile() {
+        let app = sample_app(false);
+        let bytes = pack(&app);
+        let view = ContainerView::parse(&bytes).unwrap().decode().unwrap();
+        assert_eq!(view.clone().into_app(), decompile(&bytes).unwrap());
+        assert_eq!(view.manifest, app.manifest);
+        assert_eq!(view.meta, app.meta);
     }
 
     #[test]

@@ -45,16 +45,49 @@ pub enum ApkError {
         /// Which section failed.
         section: &'static str,
         /// What went wrong inside it.
-        message: String,
+        cause: CorruptCause,
     },
     /// The embedded smali text failed to parse.
     Smali(ParseError),
 }
 
+/// Why a section's payload was rejected. The typed source error is
+/// stored as-is and only rendered when the error is actually displayed,
+/// so the fuzz/quarantine path does not pay formatting allocations for
+/// containers it is about to throw away.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CorruptCause {
+    /// The section's JSON payload failed to parse.
+    Json(serde_json::Error),
+    /// The classes section is not valid UTF-8.
+    Utf8(std::str::Utf8Error),
+    /// Extra bytes follow the final section.
+    TrailingBytes {
+        /// How many bytes trail.
+        count: usize,
+    },
+    /// A free-form reason, for callers outside the decode path.
+    Message(String),
+}
+
+impl fmt::Display for CorruptCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptCause::Json(e) => write!(f, "{e}"),
+            CorruptCause::Utf8(e) => write!(f, "not UTF-8: {e}"),
+            CorruptCause::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after the last section")
+            }
+            CorruptCause::Message(m) => f.write_str(m),
+        }
+    }
+}
+
 impl ApkError {
-    /// Shorthand for a [`ApkError::Corrupt`] value.
+    /// Shorthand for a [`ApkError::Corrupt`] value with a free-form
+    /// reason.
     pub fn corrupt(section: &'static str, message: impl Into<String>) -> Self {
-        ApkError::Corrupt { section, message: message.into() }
+        ApkError::Corrupt { section, cause: CorruptCause::Message(message.into()) }
     }
 
     /// The byte offset the error was detected at, for the variants that
@@ -84,8 +117,8 @@ impl fmt::Display for ApkError {
                 "bad length field for {section} section at byte {offset}: declares {declared} bytes, {available} remain"
             ),
             ApkError::Packed => write!(f, "app is packer-protected and cannot be decompiled"),
-            ApkError::Corrupt { section, message } => {
-                write!(f, "corrupt {section} section: {message}")
+            ApkError::Corrupt { section, cause } => {
+                write!(f, "corrupt {section} section: {cause}")
             }
             ApkError::Smali(e) => write!(f, "embedded smali does not parse: {e}"),
         }
@@ -96,6 +129,8 @@ impl std::error::Error for ApkError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ApkError::Smali(e) => Some(e),
+            ApkError::Corrupt { cause: CorruptCause::Json(e), .. } => Some(e),
+            ApkError::Corrupt { cause: CorruptCause::Utf8(e), .. } => Some(e),
             _ => None,
         }
     }

@@ -39,8 +39,10 @@ pub mod stats;
 pub mod workspace;
 
 pub use app::{AndroidApp, AppMeta};
-pub use container::{decompile, decompile_traced, pack, pack_traced};
-pub use error::ApkError;
+pub use container::{
+    decompile, decompile_traced, pack, pack_into, pack_traced, AppView, ContainerView,
+};
+pub use error::{ApkError, CorruptCause};
 pub use layout::{Layout, Widget, WidgetKind};
 pub use manifest::{ActivityDecl, IntentFilter, Manifest};
 pub use resources::ResourceTable;

@@ -62,8 +62,19 @@ impl ResourceTable {
         if let Some(&id) = self.forward.get(res) {
             return id;
         }
+        // The reverse index doubles as a per-type-block allocator: the
+        // highest ID already assigned in this block determines the next
+        // entry, without scanning the whole table. Deserialized tables
+        // arrive with the reverse index empty (it is `#[serde(skip)]`),
+        // so repair it before relying on it.
+        if self.reverse.len() != self.forward.len() {
+            self.rebuild_reverse();
+        }
         let block = (PACKAGE_BYTE << 24) | (type_byte(res.kind) << 16);
-        let next_entry = self.forward.iter().filter(|(r, _)| r.kind == res.kind).count() as u32;
+        let next_entry = match self.reverse.range(block..=block | 0xffff).next_back() {
+            Some((&high, _)) => (high - block) + 1,
+            None => 0,
+        };
         let id = block | next_entry;
         self.forward.insert(res.clone(), id);
         self.reverse.insert(id, res.clone());
@@ -145,6 +156,19 @@ mod tests {
         let id = t.intern(&r);
         assert_eq!(t.res_of(id), Some(&r));
         assert_eq!(t.id_of(&r), Some(id));
+    }
+
+    #[test]
+    fn intern_after_deserialize_self_heals_reverse_index() {
+        let mut t = ResourceTable::new();
+        t.intern(&ResRef::id("a"));
+        t.intern(&ResRef::id("b"));
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: ResourceTable = serde_json::from_str(&json).unwrap();
+        // No rebuild_reverse() — intern must repair the skipped index
+        // itself rather than hand out a colliding ID.
+        assert_eq!(back.intern(&ResRef::id("c")), 0x7f01_0002);
+        assert_eq!(back.res_of(0x7f01_0000), Some(&ResRef::id("a")));
     }
 
     #[test]

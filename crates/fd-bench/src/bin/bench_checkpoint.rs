@@ -28,6 +28,9 @@ struct ModeStats {
     wall_ms: u64,
     /// Summed per-worker busy time of that pass, ms.
     busy_ms: u64,
+    /// Corpus apps over the suite wall time — the throughput form of
+    /// `wall_ms` that CI's `bench_compare` gate watches.
+    apps_per_second: f64,
     /// Per-app wall-time quantiles (nearest-rank), ms.
     app_wall_ms_p50: u64,
     app_wall_ms_p95: u64,
@@ -66,9 +69,11 @@ struct BenchCheckpoint {
 
 fn mode_stats(run: &SuiteRun) -> ModeStats {
     let m = &run.metrics;
+    let secs = m.wall_ms as f64 / 1000.0;
     ModeStats {
         wall_ms: m.wall_ms,
         busy_ms: m.busy_ms,
+        apps_per_second: if secs > 0.0 { run.outcomes.len() as f64 / secs } else { 0.0 },
         app_wall_ms_p50: m.app_wall_ms_p50,
         app_wall_ms_p95: m.app_wall_ms_p95,
         app_wall_ms_max: m.app_wall_ms_max,

@@ -1,0 +1,122 @@
+//! Throughput-regression gate over committed `BENCH_*.json` baselines.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [threshold-pct]
+//! ```
+//!
+//! Walks both documents in parallel and compares every numeric leaf
+//! whose key names a throughput-like metric — keys ending in
+//! `_per_second` or `mib_per_second`, plus `speedup` and `utilization`
+//! rows of the worker-scaling matrix — where higher is better. A leaf
+//! whose current value falls more than `threshold-pct` percent (default
+//! 25) below the baseline fails the gate; the process exits 1 listing
+//! every offender. Wall-clock and overhead fields are deliberately NOT
+//! gated: they move with corpus size and host noise, while the
+//! throughput ratios are what the CI runner can meaningfully hold flat.
+//!
+//! Keys present on only one side are reported (a renamed metric should
+//! be a conscious baseline update) but do not fail the gate.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+/// Is this leaf a higher-is-better throughput metric worth gating?
+fn gated(key: &str) -> bool {
+    key.ends_with("_per_second")
+        || key == "mib_per_second"
+        || key == "speedup"
+        || key == "utilization"
+}
+
+/// Collects `(path, value)` for every gated numeric leaf.
+fn collect(value: &Value, path: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Object(map) => {
+            for (key, child) in map.iter() {
+                let child_path =
+                    if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                if let Value::Number(n) = child {
+                    if gated(key) {
+                        out.push((child_path, n.as_f64()));
+                    }
+                } else {
+                    collect(child, &child_path, out);
+                }
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                collect(child, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("bench_compare: read {path}: {e}"));
+    let value: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("bench_compare: parse {path}: {e:?}"));
+    let mut leaves = Vec::new();
+    collect(&value, "", &mut leaves);
+    leaves
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path, rest @ ..] = args.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <current.json> [threshold-pct]");
+        return ExitCode::from(2);
+    };
+    let threshold_pct: f64 = match rest {
+        [] => 25.0,
+        [t] => t.parse().expect("threshold-pct parses as a number"),
+        _ => {
+            eprintln!("usage: bench_compare <baseline.json> <current.json> [threshold-pct]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (path, base) in &baseline {
+        let Some((_, cur)) = current.iter().find(|(p, _)| p == path) else {
+            println!("MISSING  {path}: in baseline only (baseline {base:.2})");
+            continue;
+        };
+        compared += 1;
+        // Regression = how far current fell below baseline, in percent.
+        let delta_pct = if *base > 0.0 { (base - cur) / base * 100.0 } else { 0.0 };
+        let verdict = if delta_pct > threshold_pct {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:7}  {path}: baseline {base:.2} -> current {cur:.2} ({delta_pct:+.1}% drop)"
+        );
+    }
+    for (path, cur) in &current {
+        if !baseline.iter().any(|(p, _)| p == path) {
+            println!("NEW      {path}: in current only ({cur:.2})");
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("bench_compare: no gated metrics in common — wrong files?");
+        return ExitCode::from(2);
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_compare: {failures} metric(s) regressed more than {threshold_pct}% vs {baseline_path}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_compare: {compared} metric(s) within {threshold_pct}% of {baseline_path}");
+    ExitCode::SUCCESS
+}

@@ -62,8 +62,16 @@ struct FuzzStats {
 struct BenchIngest {
     /// Best-of-N passes kept per measurement.
     passes: usize,
-    /// `fd_apk::decompile` over every packed corpus container.
+    /// The borrowed decoder — `ContainerView::parse` + `decode` — over
+    /// every packed corpus container. This is the decode hot path:
+    /// envelope validation plus full section parsing (manifest, smali,
+    /// layouts, meta), with section payloads borrowed from the container
+    /// buffer.
     decode: DecodeStats,
+    /// The owned wrapper — `fd_apk::decompile` — over the same corpus:
+    /// borrowed decode plus class-pool/layout-map indexing and resource
+    /// re-interning.
+    decompile: DecodeStats,
     /// A seeded `fd-fuzz` campaign over every target.
     fuzz: FuzzStats,
 }
@@ -75,24 +83,38 @@ fn main() {
         fd_appgen::corpus::corpus_217(1).iter().map(|g| fd_apk::pack(&g.app)).collect();
     let total_bytes: usize = containers.iter().map(|b| b.len()).sum();
 
+    let stats = |wall_ms: f64| {
+        let secs = wall_ms / 1000.0;
+        DecodeStats {
+            containers: containers.len(),
+            total_bytes,
+            wall_ms,
+            containers_per_second: containers.len() as f64 / secs,
+            mib_per_second: total_bytes as f64 / (1024.0 * 1024.0) / secs,
+        }
+    };
+
     let mut decode_best = f64::MAX;
     for _ in 0..PASSES {
         let start = Instant::now();
         for bytes in &containers {
             // Packed apps yield `Err(ApkError::Packed)` — that rejection
             // is part of the measured path, not a benchmark failure.
-            let _ = fd_apk::decompile(bytes);
+            let _ = fd_apk::ContainerView::parse(bytes).and_then(|v| v.decode());
         }
         decode_best = decode_best.min(start.elapsed().as_secs_f64() * 1000.0);
     }
-    let decode_secs = decode_best / 1000.0;
-    let decode = DecodeStats {
-        containers: containers.len(),
-        total_bytes,
-        wall_ms: decode_best,
-        containers_per_second: containers.len() as f64 / decode_secs,
-        mib_per_second: total_bytes as f64 / (1024.0 * 1024.0) / decode_secs,
-    };
+    let decode = stats(decode_best);
+
+    let mut decompile_best = f64::MAX;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        for bytes in &containers {
+            let _ = fd_apk::decompile(bytes);
+        }
+        decompile_best = decompile_best.min(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    let decompile = stats(decompile_best);
 
     let config =
         fd_fuzz::FuzzConfig { seed: 4, mutants: MUTANTS, ..fd_fuzz::FuzzConfig::default() };
@@ -123,7 +145,7 @@ fn main() {
         mutants_per_second: report.mutants as f64 / (fuzz_best / 1000.0),
     };
 
-    let bench = BenchIngest { passes: PASSES, decode, fuzz };
+    let bench = BenchIngest { passes: PASSES, decode, decompile, fuzz };
     let json = serde_json::to_string_pretty(&bench).expect("bench record serializes");
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
     println!("{json}");

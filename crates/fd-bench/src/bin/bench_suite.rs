@@ -1,8 +1,9 @@
 //! Tracing-overhead baseline: the analyzable corpus through the suite
 //! runner in three modes — the untraced entry point, tracing compiled in
-//! but disabled, and tracing enabled — with the comparison written to
-//! `BENCH_suite.json` so regressions in either the runner or the tracer
-//! show up as a diff.
+//! but disabled, and tracing enabled — plus a worker-scaling matrix
+//! (1/2/4/8 workers), with the comparison written to `BENCH_suite.json`
+//! so regressions in the runner, the tracer, or the work-stealing
+//! scheduler show up as a diff.
 //!
 //! Each mode runs `PASSES` times and keeps the fastest pass: single-pass
 //! wall times on a shared machine swing by tens of percent, and the
@@ -36,6 +37,24 @@ struct ModeStats {
     app_wall_ms_max: u64,
 }
 
+/// One row of the worker-scaling matrix.
+#[derive(Serialize)]
+struct ScalingPoint {
+    /// Worker threads for this row.
+    workers: usize,
+    /// End-to-end suite wall time of the fastest pass, ms.
+    wall_ms: u64,
+    /// Summed per-worker busy time of that pass, ms.
+    busy_ms: u64,
+    /// Injection throughput over the suite wall time.
+    events_per_second: f64,
+    /// `wall(1 worker) / wall(n workers)` — ideal is `n`.
+    speedup: f64,
+    /// `busy / (wall * workers)` — the fraction of worker-seconds spent
+    /// on apps rather than idle at the queue; ideal is 1.0.
+    utilization: f64,
+}
+
 #[derive(Serialize)]
 struct BenchSuite {
     /// Apps run (the analyzable, non-packed corpus slice).
@@ -64,6 +83,10 @@ struct BenchSuite {
     trace_records: usize,
     /// Records lost to ring overflow (0 unless the capacity is lowered).
     trace_dropped: u64,
+    /// Untraced suite wall/throughput at 1, 2, 4 and 8 workers. On a
+    /// single-core host the matrix is honest about it: speedup stays
+    /// ~1.0 and oversubscribed rows just measure scheduling overhead.
+    scaling: Vec<ScalingPoint>,
 }
 
 fn mode_stats(run: &SuiteRun) -> ModeStats {
@@ -121,6 +144,41 @@ fn main() {
             run_suite_traced(&apps, &config, workers, &fd_trace::TraceConfig::on()),
         );
     }
+    // Scaling matrix: the untraced runner at fixed worker counts,
+    // interleaved round-robin for the same noise-spreading reason.
+    let matrix_workers = [1usize, 2, 4, 8];
+    let mut best_at: Vec<Option<(SuiteRun, ())>> = matrix_workers.iter().map(|_| None).collect();
+    for _ in 0..PASSES {
+        for (slot, &n) in best_at.iter_mut().zip(&matrix_workers) {
+            keep_best(slot, (run_suite_with_workers(&apps, &config, n), ()));
+        }
+    }
+    let base_wall_ms = best_at[0].as_ref().expect("PASSES > 0").0.metrics.wall_ms;
+    let scaling = best_at
+        .iter()
+        .zip(&matrix_workers)
+        .map(|(slot, &n)| {
+            let run = &slot.as_ref().expect("PASSES > 0").0;
+            let stats = mode_stats(run);
+            ScalingPoint {
+                workers: n,
+                speedup: if stats.wall_ms > 0 {
+                    base_wall_ms as f64 / stats.wall_ms as f64
+                } else {
+                    0.0
+                },
+                utilization: if stats.wall_ms > 0 {
+                    stats.busy_ms as f64 / (stats.wall_ms * n as u64) as f64
+                } else {
+                    0.0
+                },
+                wall_ms: stats.wall_ms,
+                busy_ms: stats.busy_ms,
+                events_per_second: stats.events_per_second,
+            }
+        })
+        .collect();
+
     let (untraced_run, ()) = best_untraced.expect("PASSES > 0");
     let (disabled_run, _) = best_disabled.expect("PASSES > 0");
     let (traced_run, trace) = best_traced.expect("PASSES > 0");
@@ -148,6 +206,7 @@ fn main() {
         untraced,
         disabled,
         traced,
+        scaling,
     };
 
     let json = serde_json::to_string_pretty(&bench).expect("bench record serializes");

@@ -10,25 +10,32 @@
 //! * **resource refs** — `@id/name`, `@layout/main`, ….
 //!
 //! Comments start with `#` and run to end of line.
+//!
+//! Tokens borrow from the input line wherever they can: words are slices,
+//! and string literals only allocate when they actually contain an escape
+//! ([`std::borrow::Cow`]). This keeps the decode hot path free of
+//! per-token allocations (`tests` pin the borrowed/owned split).
 
 use crate::error::ParseError;
 use crate::res::ResRef;
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
-/// One token of a line.
+/// One token of a line, borrowing from the line where possible.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Token {
+pub enum Token<'a> {
     /// A bare word (directive, keyword, descriptor, name).
-    Word(String),
-    /// A quoted string literal, unescaped.
-    Str(String),
+    Word(&'a str),
+    /// A quoted string literal, unescaped. Borrowed when the literal
+    /// contains no escape sequences, owned otherwise.
+    Str(Cow<'a, str>),
     /// A resource reference.
     Res(ResRef),
 }
 
-impl Token {
+impl<'a> Token<'a> {
     /// The word contents, if this is a [`Token::Word`].
-    pub fn as_word(&self) -> Option<&str> {
+    pub fn as_word(&self) -> Option<&'a str> {
         match self {
             Token::Word(w) => Some(w),
             _ => None,
@@ -57,89 +64,79 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Advances past one char starting at byte `pos`, returning `(char, next
+/// byte offset)`. `pos` must sit on a char boundary (the scanners below
+/// only stop on ASCII or boundaries).
+fn char_at(line: &str, pos: usize) -> (char, usize) {
+    let c = line[pos..].chars().next().expect("caller checked pos < len");
+    (c, pos + c.len_utf8())
+}
+
 /// Tokenizes one line. `line_no` is used for error reporting (1-based).
 /// A `#` outside a string starts a comment.
-pub fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, ParseError> {
+pub fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token<'_>>, ParseError> {
     let mut tokens = Vec::new();
-    let mut chars = line.chars().peekable();
+    tokenize_into(line, line_no, &mut tokens)?;
+    Ok(tokens)
+}
 
-    loop {
-        // Skip whitespace.
-        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
-            chars.next();
+/// [`tokenize`] into a caller-supplied buffer, so a line-oriented parser
+/// can reuse one allocation across the whole file. Appends to `tokens`
+/// without clearing it.
+pub fn tokenize_into<'a>(
+    line: &'a str,
+    line_no: usize,
+    tokens: &mut Vec<Token<'a>>,
+) -> Result<(), ParseError> {
+    let bytes = line.as_bytes();
+    let mut pos = 0;
+
+    while pos < bytes.len() {
+        // Skip whitespace (ASCII fast path, Unicode fallback).
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
         }
-        let Some(&first) = chars.peek() else { break };
+        if b >= 0x80 {
+            let (c, next) = char_at(line, pos);
+            if c.is_whitespace() {
+                pos = next;
+                continue;
+            }
+        }
 
-        if first == '#' {
+        if b == b'#' {
             break; // comment to end of line
         }
 
-        if first == '"' {
-            chars.next();
-            let mut s = String::new();
-            loop {
-                match chars.next() {
-                    None => return Err(ParseError::new(line_no, "unterminated string literal")),
-                    Some('"') => break,
-                    Some('\\') => match chars.next() {
-                        Some('\\') => s.push('\\'),
-                        Some('"') => s.push('"'),
-                        Some('n') => s.push('\n'),
-                        Some('t') => s.push('\t'),
-                        Some('r') => s.push('\r'),
-                        Some('u') => {
-                            if chars.next() != Some('{') {
-                                return Err(ParseError::new(line_no, "expected '{' after \\u"));
-                            }
-                            let mut hex = String::new();
-                            loop {
-                                match chars.next() {
-                                    Some('}') => break,
-                                    Some(c) if c.is_ascii_hexdigit() => hex.push(c),
-                                    _ => {
-                                        return Err(ParseError::new(
-                                            line_no,
-                                            "malformed \\u{..} escape",
-                                        ))
-                                    }
-                                }
-                            }
-                            let cp = u32::from_str_radix(&hex, 16).map_err(|_| {
-                                ParseError::new(line_no, "malformed \\u{..} escape")
-                            })?;
-                            let c = char::from_u32(cp).ok_or_else(|| {
-                                ParseError::new(line_no, "invalid code point in \\u{..}")
-                            })?;
-                            s.push(c);
-                        }
-                        Some(other) => {
-                            return Err(ParseError::new(
-                                line_no,
-                                format!("unknown escape '\\{other}'"),
-                            ))
-                        }
-                        None => {
-                            return Err(ParseError::new(line_no, "unterminated string literal"))
-                        }
-                    },
-                    Some(c) => s.push(c),
-                }
-            }
+        if b == b'"' {
+            let (s, next) = scan_string(line, pos, line_no)?;
             tokens.push(Token::Str(s));
+            pos = next;
             continue;
         }
 
-        // Bare word or resource ref: read until whitespace.
-        let mut word = String::new();
-        while let Some(&c) = chars.peek() {
-            if c.is_whitespace() {
-                break;
+        // Bare word or resource ref: a slice up to the next whitespace.
+        let start = pos;
+        while pos < bytes.len() {
+            let b = bytes[pos];
+            if b.is_ascii() {
+                if b.is_ascii_whitespace() {
+                    break;
+                }
+                pos += 1;
+            } else {
+                let (c, next) = char_at(line, pos);
+                if c.is_whitespace() {
+                    break;
+                }
+                pos = next;
             }
-            word.push(c);
-            chars.next();
         }
+        let word = &line[start..pos];
         if let Some(stripped) = word.strip_prefix('@') {
-            let res = ResRef::parse(&word).ok_or_else(|| {
+            let res = ResRef::parse(word).ok_or_else(|| {
                 ParseError::new(line_no, format!("malformed resource ref '@{stripped}'"))
             })?;
             tokens.push(Token::Res(res));
@@ -147,7 +144,76 @@ pub fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, ParseError> {
             tokens.push(Token::Word(word));
         }
     }
-    Ok(tokens)
+    Ok(())
+}
+
+/// Scans a string literal whose opening quote sits at byte `open`.
+/// Returns the contents and the byte offset just past the closing quote.
+/// Escape-free literals (the overwhelmingly common case) borrow.
+fn scan_string(
+    line: &str,
+    open: usize,
+    line_no: usize,
+) -> Result<(Cow<'_, str>, usize), ParseError> {
+    let bytes = line.as_bytes();
+    let mut pos = open + 1;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'"' => return Ok((Cow::Borrowed(&line[open + 1..pos]), pos + 1)),
+            b'\\' => return scan_string_escaped(line, open + 1, pos, line_no),
+            _ => pos += 1,
+        }
+    }
+    Err(ParseError::new(line_no, "unterminated string literal"))
+}
+
+/// Slow path: the literal starting at `start` has its first `\` at
+/// `backslash`. Copies the clean prefix and unescapes the rest.
+fn scan_string_escaped(
+    line: &str,
+    start: usize,
+    backslash: usize,
+    line_no: usize,
+) -> Result<(Cow<'_, str>, usize), ParseError> {
+    let mut s = String::with_capacity(line.len() - start);
+    s.push_str(&line[start..backslash]);
+    let mut chars = line[backslash..].char_indices();
+    loop {
+        match chars.next() {
+            None => return Err(ParseError::new(line_no, "unterminated string literal")),
+            Some((at, '"')) => return Ok((Cow::Owned(s), backslash + at + 1)),
+            Some((_, '\\')) => match chars.next().map(|(_, c)| c) {
+                Some('\\') => s.push('\\'),
+                Some('"') => s.push('"'),
+                Some('n') => s.push('\n'),
+                Some('t') => s.push('\t'),
+                Some('r') => s.push('\r'),
+                Some('u') => {
+                    if chars.next().map(|(_, c)| c) != Some('{') {
+                        return Err(ParseError::new(line_no, "expected '{' after \\u"));
+                    }
+                    let mut hex = String::new();
+                    loop {
+                        match chars.next().map(|(_, c)| c) {
+                            Some('}') => break,
+                            Some(c) if c.is_ascii_hexdigit() => hex.push(c),
+                            _ => return Err(ParseError::new(line_no, "malformed \\u{..} escape")),
+                        }
+                    }
+                    let cp = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| ParseError::new(line_no, "malformed \\u{..} escape"))?;
+                    let c = char::from_u32(cp)
+                        .ok_or_else(|| ParseError::new(line_no, "invalid code point in \\u{..}"))?;
+                    s.push(c);
+                }
+                Some(other) => {
+                    return Err(ParseError::new(line_no, format!("unknown escape '\\{other}'")))
+                }
+                None => return Err(ParseError::new(line_no, "unterminated string literal")),
+            },
+            Some((_, c)) => s.push(c),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -161,9 +227,9 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                Token::Word("txn-add".into()),
+                Token::Word("txn-add"),
                 Token::Res(ResRef::new(ResKind::Id, "container")),
-                Token::Word("Lcom/a/F;".into()),
+                Token::Word("Lcom/a/F;"),
                 Token::Str("hello world".into()),
             ]
         );
@@ -172,7 +238,7 @@ mod tests {
     #[test]
     fn comment_terminates_line() {
         let toks = tokenize("finish # pops the activity", 1).unwrap();
-        assert_eq!(toks, vec![Token::Word("finish".into())]);
+        assert_eq!(toks, vec![Token::Word("finish")]);
     }
 
     #[test]
@@ -185,6 +251,19 @@ mod tests {
     }
 
     #[test]
+    fn escape_free_strings_borrow_and_escaped_ones_allocate() {
+        let line = r#"show-dialog "plain contents""#;
+        match &tokenize(line, 1).unwrap()[1] {
+            Token::Str(Cow::Borrowed(s)) => assert_eq!(*s, "plain contents"),
+            other => panic!("expected borrowed literal, got {other:?}"),
+        }
+        match &tokenize(r#"show-dialog "a\nb""#, 1).unwrap()[1] {
+            Token::Str(Cow::Owned(s)) => assert_eq!(s, "a\nb"),
+            other => panic!("expected owned literal, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn hash_inside_string_is_not_comment() {
         let toks = tokenize(r#"show-dialog "has # inside""#, 1).unwrap();
         assert_eq!(toks.len(), 2);
@@ -192,9 +271,17 @@ mod tests {
     }
 
     #[test]
+    fn unicode_whitespace_separates_tokens() {
+        let toks = tokenize("finish\u{a0}finish", 1).unwrap();
+        assert_eq!(toks, vec![Token::Word("finish"), Token::Word("finish")]);
+    }
+
+    #[test]
     fn errors_carry_line_number() {
         let err = tokenize("\"unterminated", 42).unwrap_err();
         assert_eq!(err.line, 42);
+        let err = tokenize("\"escaped but unterminated\\n", 7).unwrap_err();
+        assert_eq!(err.line, 7);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 use std::fmt;
+use std::sync::Arc;
 
 /// A fully-qualified class name in dotted Java form.
 ///
@@ -22,14 +23,19 @@ use std::fmt;
 /// assert_eq!(name.outer_class().unwrap().as_str(), "com.example.MainActivity");
 /// assert_eq!(name.descriptor(), "Lcom/example/MainActivity$1;");
 /// ```
+///
+/// Backed by `Arc<str>`: cloning a name (which the parser, the static
+/// phase and the explorer all do constantly) is a refcount bump, not an
+/// allocation, and the smali parser's interner makes repeated mentions of
+/// the same class share one buffer.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
-pub struct ClassName(String);
+pub struct ClassName(Arc<str>);
 
 impl ClassName {
     /// Creates a class name from its dotted Java form.
     pub fn new(dotted: impl Into<String>) -> Self {
-        ClassName(dotted.into())
+        ClassName(Arc::from(dotted.into()))
     }
 
     /// Parses a smali descriptor such as `Lcom/example/Foo;`.
@@ -40,7 +46,7 @@ impl ClassName {
         if inner.is_empty() || inner.contains('.') {
             return None;
         }
-        Some(ClassName(inner.replace('/', ".")))
+        Some(ClassName(Arc::from(inner.replace('/', "."))))
     }
 
     /// The dotted Java form, e.g. `com.example.Foo`.
@@ -69,7 +75,7 @@ impl ClassName {
     /// For an inner class (`Foo$Bar`, `Foo$1`), the enclosing class name.
     pub fn outer_class(&self) -> Option<ClassName> {
         let dollar = self.0.rfind('$')?;
-        Some(ClassName(self.0[..dollar].to_string()))
+        Some(ClassName(Arc::from(&self.0[..dollar])))
     }
 
     /// Whether this names an inner class (contains `$` in its simple name).
@@ -80,7 +86,7 @@ impl ClassName {
     /// The synthetic name of the `n`-th anonymous inner class, as javac
     /// would emit it (`Foo$1`, `Foo$2`, …).
     pub fn anonymous_inner(&self, n: usize) -> ClassName {
-        ClassName(format!("{}${}", self.0, n))
+        ClassName(Arc::from(format!("{}${}", self.0, n)))
     }
 }
 
@@ -117,12 +123,12 @@ impl Borrow<str> for ClassName {
 /// A method name within a class, e.g. `onCreate` or `<init>`.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
-pub struct MethodName(String);
+pub struct MethodName(Arc<str>);
 
 impl MethodName {
     /// Creates a method name.
     pub fn new(name: impl Into<String>) -> Self {
-        MethodName(name.into())
+        MethodName(Arc::from(name.into()))
     }
 
     /// The raw name.
@@ -132,12 +138,12 @@ impl MethodName {
 
     /// The constructor name, `<init>`.
     pub fn ctor() -> Self {
-        MethodName("<init>".to_string())
+        MethodName(Arc::from("<init>"))
     }
 
     /// Whether this is the constructor.
     pub fn is_ctor(&self) -> bool {
-        self.0 == "<init>"
+        self.0.as_ref() == "<init>"
     }
 }
 

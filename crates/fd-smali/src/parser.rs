@@ -2,9 +2,9 @@
 
 use crate::class::{ClassDef, FieldDef, MethodDef, Visibility};
 use crate::error::ParseError;
-use crate::lexer::{tokenize, Token};
+use crate::lexer::{tokenize_into, Token};
 use crate::name::{ClassName, MethodName};
-use crate::res::ResRef;
+use crate::res::{ResKind, ResRef};
 use crate::stmt::{Cond, IntentTarget, Stmt};
 
 /// Parses one `.class … .end class` definition.
@@ -20,69 +20,163 @@ pub fn parse_class(text: &str) -> Result<ClassDef, ParseError> {
 /// Parses a file that may contain several class definitions.
 pub fn parse_classes(text: &str) -> Result<Vec<ClassDef>, ParseError> {
     let mut lines = Lines::new(text);
+    let mut interner = Interner::default();
     let mut classes = Vec::new();
     while let Some((line_no, tokens)) = lines.next_nonempty()? {
         let head = expect_word_at(&tokens, 0, line_no)?;
         if head != ".class" {
             return Err(ParseError::new(line_no, format!("expected '.class', found '{head}'")));
         }
-        classes.push(parse_class_body(&mut lines, &tokens, line_no)?);
+        classes.push(parse_class_body(&mut lines, &mut interner, &tokens, line_no)?);
+        lines.recycle(tokens);
     }
     Ok(classes)
+}
+
+/// String interner for class and method names: one file mentions the same
+/// descriptor over and over (every `new-intent-class`, `txn-add`, `invoke`
+/// repeats its target), so the first mention allocates the `Arc<str>` and
+/// every later one is a refcount bump. Keys borrow from the input text,
+/// which outlives the parse.
+#[derive(Default)]
+struct Interner<'a> {
+    classes: std::collections::HashMap<&'a str, ClassName, FnvBuild>,
+    methods: std::collections::HashMap<&'a str, MethodName, FnvBuild>,
+}
+
+/// FNV-1a as the interner's hasher: the keys are short descriptor
+/// strings hashed once per mention, where SipHash's per-call setup cost
+/// outweighs its distribution advantages.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = std::hash::BuildHasherDefault<Fnv>;
+
+impl<'a> Interner<'a> {
+    /// The [`ClassName`] for a smali descriptor, cached per spelling.
+    fn class(&mut self, descriptor: &'a str, line_no: usize) -> Result<ClassName, ParseError> {
+        if let Some(name) = self.classes.get(descriptor) {
+            return Ok(name.clone());
+        }
+        let name = ClassName::from_descriptor(descriptor).ok_or_else(|| {
+            ParseError::new(line_no, format!("malformed class descriptor '{descriptor}'"))
+        })?;
+        self.classes.insert(descriptor, name.clone());
+        Ok(name)
+    }
+
+    /// The [`MethodName`] for a raw name, cached per spelling.
+    fn method(&mut self, name: &'a str) -> MethodName {
+        self.methods.entry(name).or_insert_with(|| MethodName::new(name)).clone()
+    }
 }
 
 /// Cursor over the non-empty, tokenized lines of the input.
 struct Lines<'a> {
     iter: std::iter::Enumerate<std::str::Lines<'a>>,
+    /// Retired token buffers, reused by [`Lines::next_nonempty`] so the
+    /// parse loop allocates O(nesting) vectors instead of one per line.
+    spare: Vec<Vec<Token<'a>>>,
 }
 
 impl<'a> Lines<'a> {
     fn new(text: &'a str) -> Self {
-        Lines { iter: text.lines().enumerate() }
+        Lines { iter: text.lines().enumerate(), spare: Vec::new() }
     }
 
     /// Next line with at least one token (skipping blanks and comments),
-    /// as `(1-based line number, tokens)`.
-    fn next_nonempty(&mut self) -> Result<Option<(usize, Vec<Token>)>, ParseError> {
+    /// as `(1-based line number, tokens)`. Callers hand finished buffers
+    /// back via [`Lines::recycle`].
+    fn next_nonempty(&mut self) -> Result<Option<(usize, Vec<Token<'a>>)>, ParseError> {
+        let mut tokens = self.spare.pop().unwrap_or_default();
         for (idx, raw) in self.iter.by_ref() {
             let line_no = idx + 1;
-            let tokens = tokenize(raw, line_no)?;
+            tokens.clear();
+            tokenize_into(raw, line_no, &mut tokens)?;
             if !tokens.is_empty() {
                 return Ok(Some((line_no, tokens)));
             }
         }
+        self.spare.push(tokens);
         Ok(None)
+    }
+
+    /// Returns a token buffer to the pool once its line is consumed.
+    fn recycle(&mut self, tokens: Vec<Token<'a>>) {
+        self.spare.push(tokens);
     }
 }
 
-fn expect_word_at(tokens: &[Token], idx: usize, line_no: usize) -> Result<&str, ParseError> {
+fn expect_word_at<'a>(
+    tokens: &[Token<'a>],
+    idx: usize,
+    line_no: usize,
+) -> Result<&'a str, ParseError> {
     tokens
         .get(idx)
         .and_then(Token::as_word)
         .ok_or_else(|| ParseError::new(line_no, format!("expected word at position {idx}")))
 }
 
-fn expect_class_at(tokens: &[Token], idx: usize, line_no: usize) -> Result<ClassName, ParseError> {
+fn expect_class_at<'a>(
+    tokens: &[Token<'a>],
+    idx: usize,
+    line_no: usize,
+    interner: &mut Interner<'a>,
+) -> Result<ClassName, ParseError> {
     let word = expect_word_at(tokens, idx, line_no)?;
-    ClassName::from_descriptor(word)
-        .ok_or_else(|| ParseError::new(line_no, format!("malformed class descriptor '{word}'")))
+    interner.class(word, line_no)
 }
 
-fn expect_res_at(tokens: &[Token], idx: usize, line_no: usize) -> Result<ResRef, ParseError> {
-    match tokens.get(idx) {
-        Some(Token::Res(r)) => Ok(r.clone()),
+/// Moves the [`ResRef`] out of position `idx` (the token buffer is about
+/// to be recycled, so taking the value saves a clone per reference).
+fn expect_res_at(
+    tokens: &mut [Token<'_>],
+    idx: usize,
+    line_no: usize,
+) -> Result<ResRef, ParseError> {
+    match tokens.get_mut(idx) {
+        Some(Token::Res(r)) => {
+            Ok(std::mem::replace(r, ResRef { kind: ResKind::Id, name: String::new() }))
+        }
         _ => Err(ParseError::new(line_no, format!("expected resource ref at position {idx}"))),
     }
 }
 
-fn expect_str_at(tokens: &[Token], idx: usize, line_no: usize) -> Result<String, ParseError> {
-    match tokens.get(idx) {
-        Some(Token::Str(s)) => Ok(s.clone()),
+/// Moves the string literal out of position `idx`; only borrows allocate.
+fn expect_str_at(
+    tokens: &mut [Token<'_>],
+    idx: usize,
+    line_no: usize,
+) -> Result<String, ParseError> {
+    match tokens.get_mut(idx) {
+        Some(Token::Str(s)) => {
+            Ok(std::mem::replace(s, std::borrow::Cow::Borrowed("")).into_owned())
+        }
         _ => Err(ParseError::new(line_no, format!("expected string literal at position {idx}"))),
     }
 }
 
-fn expect_len(tokens: &[Token], len: usize, line_no: usize) -> Result<(), ParseError> {
+fn expect_len(tokens: &[Token<'_>], len: usize, line_no: usize) -> Result<(), ParseError> {
     if tokens.len() == len {
         Ok(())
     } else {
@@ -90,9 +184,10 @@ fn expect_len(tokens: &[Token], len: usize, line_no: usize) -> Result<(), ParseE
     }
 }
 
-fn parse_class_body(
-    lines: &mut Lines<'_>,
-    header: &[Token],
+fn parse_class_body<'a>(
+    lines: &mut Lines<'a>,
+    interner: &mut Interner<'a>,
+    header: &[Token<'a>],
     header_line: usize,
 ) -> Result<ClassDef, ParseError> {
     // .class <visibility> [abstract] <descriptor>
@@ -102,7 +197,7 @@ fn parse_class_body(
         Some("abstract") => (true, 3),
         _ => (false, 2),
     };
-    let name = expect_class_at(header, name_idx, header_line)?;
+    let name = expect_class_at(header, name_idx, header_line, interner)?;
     expect_len(header, name_idx + 1, header_line)?;
 
     // .super is mandatory and must come first.
@@ -112,8 +207,9 @@ fn parse_class_body(
     if expect_word_at(&tokens, 0, line_no)? != ".super" {
         return Err(ParseError::new(line_no, "expected '.super'"));
     }
-    let super_class = expect_class_at(&tokens, 1, line_no)?;
+    let super_class = expect_class_at(&tokens, 1, line_no, interner)?;
     expect_len(&tokens, 2, line_no)?;
+    lines.recycle(tokens);
 
     let mut class = ClassDef {
         name,
@@ -137,17 +233,20 @@ fn parse_class_body(
                 return Err(ParseError::new(line_no, "expected '.end class'"));
             }
             ".implements" => {
-                class.interfaces.push(expect_class_at(&tokens, 1, line_no)?);
+                class.interfaces.push(expect_class_at(&tokens, 1, line_no, interner)?);
                 expect_len(&tokens, 2, line_no)?;
+                lines.recycle(tokens);
             }
             ".field" => {
                 let name = expect_word_at(&tokens, 1, line_no)?.to_string();
                 let ty = expect_word_at(&tokens, 2, line_no)?.to_string();
                 expect_len(&tokens, 3, line_no)?;
                 class.fields.push(FieldDef { name, ty });
+                lines.recycle(tokens);
             }
             ".method" => {
-                class.methods.push(parse_method(lines, &tokens, line_no)?);
+                class.methods.push(parse_method(lines, interner, &tokens, line_no)?);
+                lines.recycle(tokens);
             }
             other => {
                 return Err(ParseError::new(
@@ -159,9 +258,10 @@ fn parse_class_body(
     }
 }
 
-fn parse_method(
-    lines: &mut Lines<'_>,
-    header: &[Token],
+fn parse_method<'a>(
+    lines: &mut Lines<'a>,
+    interner: &mut Interner<'a>,
+    header: &[Token<'a>],
     header_line: usize,
 ) -> Result<MethodDef, ParseError> {
     // .method <visibility> <name>(<params,comma-separated>)
@@ -181,7 +281,7 @@ fn parse_method(
         params_raw.split(',').map(str::to_string).collect()
     };
 
-    let (body, terminator) = parse_stmts(lines, header_line, 0)?;
+    let (body, terminator) = parse_stmts(lines, interner, header_line, 0)?;
     match terminator {
         Terminator::EndMethod => {}
         other => {
@@ -191,7 +291,7 @@ fn parse_method(
             ))
         }
     }
-    Ok(MethodDef { name: MethodName::new(name), params, visibility, body })
+    Ok(MethodDef { name: interner.method(name), params, visibility, body })
 }
 
 /// What ended a statement block.
@@ -208,14 +308,15 @@ enum Terminator {
 /// never comes close to this.
 pub const MAX_IF_DEPTH: usize = 64;
 
-fn parse_stmts(
-    lines: &mut Lines<'_>,
+fn parse_stmts<'a>(
+    lines: &mut Lines<'a>,
+    interner: &mut Interner<'a>,
     start_line: usize,
     depth: usize,
 ) -> Result<(Vec<Stmt>, Terminator), ParseError> {
     let mut stmts = Vec::new();
     loop {
-        let (line_no, tokens) = lines
+        let (line_no, mut tokens) = lines
             .next_nonempty()?
             .ok_or_else(|| ParseError::new(start_line, "unterminated statement block"))?;
         let head = expect_word_at(&tokens, 0, line_no)?;
@@ -236,10 +337,11 @@ fn parse_stmts(
                         format!("'if' nesting exceeds the maximum depth of {MAX_IF_DEPTH}"),
                     ));
                 }
-                let cond = parse_cond(&tokens[1..], line_no)?;
-                let (then, term) = parse_stmts(lines, line_no, depth + 1)?;
+                let cond = parse_cond(&mut tokens[1..], line_no)?;
+                lines.recycle(tokens);
+                let (then, term) = parse_stmts(lines, interner, line_no, depth + 1)?;
                 let (els, term) = match term {
-                    Terminator::Else => parse_stmts(lines, line_no, depth + 1)?,
+                    Terminator::Else => parse_stmts(lines, interner, line_no, depth + 1)?,
                     other => (Vec::new(), other),
                 };
                 if term != Terminator::EndIf {
@@ -247,12 +349,15 @@ fn parse_stmts(
                 }
                 stmts.push(Stmt::If { cond, then, els });
             }
-            _ => stmts.push(parse_simple_stmt(head, &tokens, line_no)?),
+            _ => {
+                stmts.push(parse_simple_stmt(head, &mut tokens, line_no, interner)?);
+                lines.recycle(tokens);
+            }
         }
     }
 }
 
-fn parse_cond(tokens: &[Token], line_no: usize) -> Result<Cond, ParseError> {
+fn parse_cond(tokens: &mut [Token<'_>], line_no: usize) -> Result<Cond, ParseError> {
     let head = expect_word_at(tokens, 0, line_no)?;
     match head {
         "input-equals" => {
@@ -274,7 +379,12 @@ fn parse_cond(tokens: &[Token], line_no: usize) -> Result<Cond, ParseError> {
     }
 }
 
-fn parse_simple_stmt(head: &str, tokens: &[Token], line_no: usize) -> Result<Stmt, ParseError> {
+fn parse_simple_stmt<'a>(
+    head: &str,
+    tokens: &mut [Token<'a>],
+    line_no: usize,
+    interner: &mut Interner<'a>,
+) -> Result<Stmt, ParseError> {
     let stmt = match head {
         "set-content-view" => {
             expect_len(tokens, 2, line_no)?;
@@ -292,12 +402,12 @@ fn parse_simple_stmt(head: &str, tokens: &[Token], line_no: usize) -> Result<Stm
             expect_len(tokens, 3, line_no)?;
             Stmt::SetOnClick {
                 widget: expect_res_at(tokens, 1, line_no)?,
-                handler: MethodName::new(expect_word_at(tokens, 2, line_no)?),
+                handler: interner.method(expect_word_at(tokens, 2, line_no)?),
             }
         }
         "new-intent-class" => {
             expect_len(tokens, 2, line_no)?;
-            Stmt::NewIntent(IntentTarget::Class(expect_class_at(tokens, 1, line_no)?))
+            Stmt::NewIntent(IntentTarget::Class(expect_class_at(tokens, 1, line_no, interner)?))
         }
         "new-intent-action" => {
             expect_len(tokens, 2, line_no)?;
@@ -305,7 +415,7 @@ fn parse_simple_stmt(head: &str, tokens: &[Token], line_no: usize) -> Result<Stm
         }
         "set-class" => {
             expect_len(tokens, 2, line_no)?;
-            Stmt::SetClass(expect_class_at(tokens, 1, line_no)?)
+            Stmt::SetClass(expect_class_at(tokens, 1, line_no, interner)?)
         }
         "set-action" => {
             expect_len(tokens, 2, line_no)?;
@@ -336,15 +446,15 @@ fn parse_simple_stmt(head: &str, tokens: &[Token], line_no: usize) -> Result<Stm
         }
         "new-instance" => {
             expect_len(tokens, 2, line_no)?;
-            Stmt::NewInstance(expect_class_at(tokens, 1, line_no)?)
+            Stmt::NewInstance(expect_class_at(tokens, 1, line_no, interner)?)
         }
         "new-instance-static" => {
             expect_len(tokens, 2, line_no)?;
-            Stmt::NewInstanceStatic(expect_class_at(tokens, 1, line_no)?)
+            Stmt::NewInstanceStatic(expect_class_at(tokens, 1, line_no, interner)?)
         }
         "instance-of" => {
             expect_len(tokens, 2, line_no)?;
-            Stmt::InstanceOf(expect_class_at(tokens, 1, line_no)?)
+            Stmt::InstanceOf(expect_class_at(tokens, 1, line_no, interner)?)
         }
         "get-fragment-manager" => {
             expect_len(tokens, 1, line_no)?;
@@ -362,14 +472,14 @@ fn parse_simple_stmt(head: &str, tokens: &[Token], line_no: usize) -> Result<Stm
             expect_len(tokens, 3, line_no)?;
             Stmt::TxnAdd {
                 container: expect_res_at(tokens, 1, line_no)?,
-                fragment: expect_class_at(tokens, 2, line_no)?,
+                fragment: expect_class_at(tokens, 2, line_no, interner)?,
             }
         }
         "txn-replace" => {
             expect_len(tokens, 3, line_no)?;
             Stmt::TxnReplace {
                 container: expect_res_at(tokens, 1, line_no)?,
-                fragment: expect_class_at(tokens, 2, line_no)?,
+                fragment: expect_class_at(tokens, 2, line_no, interner)?,
             }
         }
         "txn-commit" => {
@@ -380,7 +490,7 @@ fn parse_simple_stmt(head: &str, tokens: &[Token], line_no: usize) -> Result<Stm
             expect_len(tokens, 3, line_no)?;
             Stmt::AttachDirect {
                 container: expect_res_at(tokens, 1, line_no)?,
-                fragment: expect_class_at(tokens, 2, line_no)?,
+                fragment: expect_class_at(tokens, 2, line_no, interner)?,
             }
         }
         "toggle-drawer" => {
@@ -406,8 +516,8 @@ fn parse_simple_stmt(head: &str, tokens: &[Token], line_no: usize) -> Result<Stm
         "invoke" => {
             expect_len(tokens, 3, line_no)?;
             Stmt::InvokeMethod {
-                class: expect_class_at(tokens, 1, line_no)?,
-                method: MethodName::new(expect_word_at(tokens, 2, line_no)?),
+                class: expect_class_at(tokens, 1, line_no, interner)?,
+                method: interner.method(expect_word_at(tokens, 2, line_no)?),
             }
         }
         "finish" => {

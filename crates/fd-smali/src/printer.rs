@@ -12,6 +12,13 @@ use std::fmt::Write;
 /// Renders a full class definition.
 pub fn print_class(class: &ClassDef) -> String {
     let mut out = String::new();
+    print_class_into(&mut out, class);
+    out
+}
+
+/// [`print_class`] appending into an existing buffer — callers printing
+/// a whole class pool reuse one allocation instead of one per class.
+pub fn print_class_into(out: &mut String, class: &ClassDef) {
     let abs = if class.is_abstract { " abstract" } else { "" };
     let _ = writeln!(out, ".class {}{} {}", class.visibility.token(), abs, class.name.descriptor());
     let _ = writeln!(out, ".super {}", class.super_class.descriptor());
@@ -22,10 +29,9 @@ pub fn print_class(class: &ClassDef) -> String {
         let _ = writeln!(out, ".field {} {}", field.name, field.ty);
     }
     for method in &class.methods {
-        print_method(&mut out, method);
+        print_method(out, method);
     }
     out.push_str(".end class\n");
-    out
 }
 
 fn print_method(out: &mut String, method: &MethodDef) {

@@ -229,6 +229,14 @@ impl Stmt {
 
     /// The resource references this single statement mentions, if any.
     pub fn res_refs(&self) -> Vec<&ResRef> {
+        self.res_ref().into_iter().collect()
+    }
+
+    /// The resource reference this statement names, if any. No statement
+    /// names more than one (an `if` contributes only its condition's
+    /// field; refs inside the branches belong to the nested statements),
+    /// so this is the allocation-free primitive behind [`Stmt::res_refs`].
+    pub fn res_ref(&self) -> Option<&ResRef> {
         match self {
             Stmt::SetContentView(r)
             | Stmt::InflateLayout(r)
@@ -237,12 +245,12 @@ impl Stmt {
             | Stmt::TxnAdd { container: r, .. }
             | Stmt::TxnReplace { container: r, .. }
             | Stmt::AttachDirect { container: r, .. }
-            | Stmt::ToggleDrawer { drawer: r } => vec![r],
+            | Stmt::ToggleDrawer { drawer: r } => Some(r),
             Stmt::If { cond, .. } => match cond {
-                Cond::InputEquals { field, .. } | Cond::InputNonEmpty { field } => vec![field],
-                Cond::HasExtra { .. } => Vec::new(),
+                Cond::InputEquals { field, .. } | Cond::InputNonEmpty { field } => Some(field),
+                Cond::HasExtra { .. } => None,
             },
-            _ => Vec::new(),
+            _ => None,
         }
     }
 }

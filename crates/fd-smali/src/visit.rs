@@ -50,7 +50,7 @@ pub fn referenced_classes(class: &ClassDef) -> BTreeSet<ClassName> {
 pub fn referenced_resources(class: &ClassDef) -> BTreeSet<ResRef> {
     let mut out = BTreeSet::new();
     walk_class(class, &mut |s| {
-        for r in s.res_refs() {
+        if let Some(r) = s.res_ref() {
             out.insert(r.clone());
         }
     });

@@ -401,14 +401,66 @@ struct OutcomeRecord {
     outcome: AppOutcome,
 }
 
-/// Encodes one record as `"<fnv16hex> <json>\n"`. The checksum covers
-/// the JSON payload bytes, so any torn or corrupted byte is detectable.
-fn encode_line(record: &JournalRecord) -> Result<String, JournalError> {
-    let json = serde_json::to_string(record).map_err(|e| JournalError::BadRecord {
-        line: 0,
-        error: format!("record does not serialize: {e}"),
-    })?;
-    Ok(format!("{:016x} {json}\n", fnv1a(FNV_OFFSET, json.as_bytes())))
+/// Borrowed mirror of [`JournalRecord::Outcome`]: serializes to exactly
+/// the same JSON (external tag included) without cloning the outcome or
+/// metrics into an owned record first. The hot append path uses this;
+/// [`tests::journal_records_stream_identical_to_tree_render`] pins the
+/// two encodings byte-identical.
+struct OutcomeRef<'a> {
+    /// The app's input-order index.
+    index: usize,
+    /// Borrowed slot metrics.
+    metrics: &'a AppMetrics,
+    /// Borrowed outcome.
+    outcome: &'a AppOutcome,
+}
+
+impl serde::Serialize for OutcomeRef<'_> {
+    fn to_value(&self) -> serde::Value {
+        JournalRecord::Outcome(Box::new(OutcomeRecord {
+            index: self.index,
+            metrics: self.metrics.clone(),
+            outcome: self.outcome.clone(),
+        }))
+        .to_value()
+    }
+
+    fn write_json(&self, out: &mut String) {
+        // `{"Outcome":{...}}` with the record's keys in sorted order —
+        // the shape the derived `JournalRecord`/`OutcomeRecord` impls
+        // produce.
+        out.push_str("{\"Outcome\":{\"index\":");
+        serde::Serialize::write_json(&self.index, out);
+        out.push_str(",\"metrics\":");
+        serde::Serialize::write_json(self.metrics, out);
+        out.push_str(",\"outcome\":");
+        serde::Serialize::write_json(self.outcome, out);
+        out.push_str("}}");
+    }
+}
+
+/// Encodes one record as `"<fnv16hex> <json>\n"`, appended to `out`.
+/// The checksum covers the JSON payload bytes, so any torn or corrupted
+/// byte is detectable. `json` is a caller-owned scratch buffer: the
+/// record streams into it (no `Value` tree, no per-record `String`), the
+/// checksum is taken over it, and both buffers keep their capacity for
+/// the next record.
+fn encode_line_into<T: serde::Serialize>(record: &T, json: &mut String, out: &mut String) {
+    use std::fmt::Write as _;
+    json.clear();
+    serde::Serialize::write_json(record, json);
+    let _ = write!(out, "{:016x} ", fnv1a(FNV_OFFSET, json.as_bytes()));
+    out.push_str(json);
+    out.push('\n');
+}
+
+/// One-shot form of [`encode_line_into`] for cold paths (header line,
+/// tests).
+fn encode_line(record: &JournalRecord) -> String {
+    let mut json = String::new();
+    let mut out = String::new();
+    encode_line_into(record, &mut json, &mut out);
+    out
 }
 
 enum LineError {
@@ -541,10 +593,20 @@ pub fn load_journal(path: &Path) -> Result<LoadedJournal, JournalError> {
 // ---------------------------------------------------------------------------
 // Writing
 
-/// The append side of the journal, with batched fsync.
+/// The append side of the journal, with group commit: appended records
+/// are encoded into a reusable buffer and hit the file as one
+/// `write_all` + one `sync_data` when the batch fills (or at `sync`).
+/// Durability is unchanged from the write-per-append scheme — a record
+/// was never guaranteed before its batch's fsync either — but the
+/// per-record cost drops to an in-memory encode.
 struct JournalWriter {
     file: File,
     path: PathBuf,
+    /// Encoded-but-unwritten lines; flushed as one write.
+    buf: String,
+    /// Reusable per-record JSON scratch (see [`encode_line_into`]).
+    json: String,
+    /// Records in `buf`.
     pending: usize,
     fsync_every: usize,
 }
@@ -562,7 +624,7 @@ impl JournalWriter {
         let header = encode_line(&JournalRecord::Header(JournalHeader {
             version: JOURNAL_VERSION,
             fingerprint,
-        }))?;
+        }));
         {
             let mut file = File::create(&tmp).map_err(|e| JournalError::io(&tmp, "create", e))?;
             file.write_all(header.as_bytes())
@@ -571,20 +633,21 @@ impl JournalWriter {
         }
         std::fs::rename(&tmp, path).map_err(|e| JournalError::io(path, "rename into place", e))?;
         // Make the rename itself durable where the platform allows
-        // directory fsync; a failure here only widens the crash window,
-        // it does not corrupt anything.
+        // directory fsync. A failure is surfaced, not swallowed: until
+        // the directory entry is on stable storage a crash can lose the
+        // just-renamed header, and a journal whose durability the caller
+        // cannot trust is worse than an error.
         if let Some(parent) = path.parent() {
-            if let Ok(dir) =
-                File::open(if parent.as_os_str().is_empty() { Path::new(".") } else { parent })
-            {
-                let _ = dir.sync_all();
-            }
+            let dir_path = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+            let dir = File::open(dir_path)
+                .map_err(|e| JournalError::io(dir_path, "open directory", e))?;
+            dir.sync_all().map_err(|e| JournalError::io(dir_path, "fsync directory", e))?;
         }
         let file = OpenOptions::new()
             .append(true)
             .open(path)
             .map_err(|e| JournalError::io(path, "open for append", e))?;
-        Ok(JournalWriter { file, path: path.to_path_buf(), pending: 0, fsync_every })
+        Ok(JournalWriter::over(file, path, fsync_every))
     }
 
     /// Reopens an existing journal for appending, first truncating away
@@ -596,15 +659,25 @@ impl JournalWriter {
             .map_err(|e| JournalError::io(path, "open for append", e))?;
         file.set_len(valid_len).map_err(|e| JournalError::io(path, "truncate torn tail", e))?;
         file.seek(SeekFrom::End(0)).map_err(|e| JournalError::io(path, "seek to end", e))?;
-        Ok(JournalWriter { file, path: path.to_path_buf(), pending: 0, fsync_every })
+        Ok(JournalWriter::over(file, path, fsync_every))
     }
 
-    /// Appends one record; fsyncs when the batch fills.
-    fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
-        let line = encode_line(record)?;
-        self.file
-            .write_all(line.as_bytes())
-            .map_err(|e| JournalError::io(&self.path, "append", e))?;
+    /// A writer over an already-positioned file.
+    fn over(file: File, path: &Path, fsync_every: usize) -> Self {
+        JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            buf: String::new(),
+            json: String::new(),
+            pending: 0,
+            fsync_every,
+        }
+    }
+
+    /// Appends one record to the in-memory batch; group-commits when the
+    /// batch fills.
+    fn append<T: serde::Serialize>(&mut self, record: &T) -> Result<(), JournalError> {
+        encode_line_into(record, &mut self.json, &mut self.buf);
         self.pending += 1;
         if self.pending >= self.fsync_every.max(1) {
             self.sync()?;
@@ -612,12 +685,19 @@ impl JournalWriter {
         Ok(())
     }
 
-    /// Flushes any unsynced batch to stable storage.
+    /// Group commit: writes the whole batch with one `write_all` and
+    /// makes it durable with one `sync_data` (the file is append-only,
+    /// so data-plus-size is all that needs to reach stable storage).
     fn sync(&mut self) -> Result<(), JournalError> {
-        if self.pending > 0 {
-            self.file.sync_all().map_err(|e| JournalError::io(&self.path, "fsync", e))?;
-            self.pending = 0;
+        if self.pending == 0 {
+            return Ok(());
         }
+        self.file
+            .write_all(self.buf.as_bytes())
+            .map_err(|e| JournalError::io(&self.path, "append", e))?;
+        self.buf.clear();
+        self.file.sync_data().map_err(|e| JournalError::io(&self.path, "fsync", e))?;
+        self.pending = 0;
         Ok(())
     }
 }
@@ -633,7 +713,7 @@ struct WriterState {
 impl WriterState {
     /// Appends unless a previous append already failed; records the
     /// first failure. Returns whether the record was durably queued.
-    fn append(&mut self, record: &JournalRecord) -> bool {
+    fn append<T: serde::Serialize>(&mut self, record: &T) -> bool {
         if self.failed.is_some() {
             return false;
         }
@@ -854,13 +934,10 @@ fn run_checkpointed(
         let (outcome, package) = slot_outcome(job, source, index);
         let metrics = slot_metrics(&outcome, package, elapsed);
         if let Some(writer) = writer_ref {
-            let appended = writer.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).append(
-                &JournalRecord::Outcome(Box::new(OutcomeRecord {
-                    index,
-                    metrics: metrics.clone(),
-                    outcome: outcome.clone(),
-                })),
-            );
+            let appended = writer
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .append(&OutcomeRef { index, metrics: &metrics, outcome: &outcome });
             if appended {
                 tracer.event(|| fd_trace::TraceEvent::CheckpointWrite { index: index as u64 });
             }
@@ -1026,7 +1103,7 @@ mod tests {
                 flake_retries: 0,
             },
         });
-        let line = encode_line(&record).expect("encodes");
+        let line = encode_line(&record);
         assert!(line.ends_with('\n'));
         let decoded = decode_line(line.trim_end().as_bytes());
         assert!(decoded.is_ok());
@@ -1040,6 +1117,89 @@ mod tests {
         // Too-short lines are malformed, not panics.
         assert!(matches!(decode_line(b"abc"), Err(LineError::Malformed(_))));
         assert!(matches!(decode_line(b""), Err(LineError::Malformed(_))));
+    }
+
+    /// The journal encodes records through the streaming
+    /// `Serialize::write_json` path; a resumed run decodes them through
+    /// `from_str`. Pin the stream byte-identical to the `Value`-tree
+    /// render so the two paths can never drift apart silently (the tree
+    /// is the reference: sorted keys, canonical number/string forms).
+    #[test]
+    fn journal_records_stream_identical_to_tree_render() {
+        let records = vec![
+            JournalRecord::Header(JournalHeader {
+                version: JOURNAL_VERSION,
+                fingerprint: Fingerprint {
+                    apps: 3,
+                    corpus_digest: 7,
+                    config_digest: 9,
+                    flake_retries: 2,
+                },
+            }),
+            JournalRecord::Outcome(Box::new(OutcomeRecord {
+                index: 11,
+                metrics: AppMetrics {
+                    package: "com.example.\"quoted\"\n".to_string(),
+                    wall_ms: 1843,
+                    events_injected: 250,
+                    events_per_second: 135.63,
+                    test_cases_run: 4,
+                    test_cases_generated: 9,
+                    crashes: 1,
+                    recovered_crashes: 1,
+                    retries: 0,
+                    faults_injected: 3,
+                    panicked: false,
+                    deadline_exceeded: true,
+                    rejected: false,
+                    reject_reason: String::new(),
+                },
+                outcome: AppOutcome::Panicked { message: "index out of bounds".to_string() },
+            })),
+            JournalRecord::Outcome(Box::new(OutcomeRecord {
+                index: 0,
+                metrics: AppMetrics {
+                    package: "com.example.reject".to_string(),
+                    wall_ms: 0,
+                    events_injected: 0,
+                    events_per_second: 0.0,
+                    test_cases_run: 0,
+                    test_cases_generated: 0,
+                    crashes: 0,
+                    recovered_crashes: 0,
+                    retries: 0,
+                    faults_injected: 0,
+                    panicked: false,
+                    deadline_exceeded: false,
+                    rejected: true,
+                    reject_reason: "container: 4 trailing bytes".to_string(),
+                },
+                outcome: AppOutcome::Rejected { reason: "container: 4 trailing bytes".to_string() },
+            })),
+            JournalRecord::Flakes(FlakeSummary {
+                retries: 3,
+                flaky: 1,
+                deterministic: 1,
+                apps: vec![FlakeRecord {
+                    index: 2,
+                    package: "com.example.heisenbug".to_string(),
+                    kind: "crashed".to_string(),
+                    attempts: 3,
+                    passes: 2,
+                    classification: FlakeClass::Flaky { pass_rate: 2.0 / 3.0 },
+                }],
+            }),
+        ];
+        for record in &records {
+            let mut streamed = String::new();
+            serde::Serialize::write_json(record, &mut streamed);
+            let tree = serde::Serialize::to_value(record).render_json(false);
+            assert_eq!(streamed, tree, "streamed JSON must match the tree render");
+
+            // And the framed line round-trips through the decoder.
+            let line = encode_line(record);
+            assert!(decode_line(line.trim_end().as_bytes()).is_ok());
+        }
     }
 
     #[test]

@@ -176,6 +176,15 @@ impl SuiteMetrics {
 }
 
 /// Nearest-rank percentile over a sorted ascending slice (0 when empty).
+///
+/// This is the textbook nearest-rank definition — `rank = ⌈p/100 · n⌉`,
+/// clamped to `[1, n]`, returning `sorted[rank - 1]` — NOT a linear
+/// interpolation: the result is always an element of the input. The
+/// clamp makes the edges total: `p = 0` (rank 0) reads the minimum and
+/// `p ≥ 100` reads the maximum. Pinned by `percentile_is_nearest_rank`;
+/// the published `app_wall_ms_p50`/`p95` quantiles and `BENCH_*.json`
+/// baselines depend on this exact convention, so changing it is a
+/// metrics-format break.
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -511,8 +520,10 @@ impl SuiteSource<'_> {
         };
         match self {
             SuiteSource::Apps(apps) => {
+                let mut packed = bytes::BytesMut::new();
                 for (app, inputs) in *apps {
-                    digest = crate::checkpoint::fnv1a(digest, &fd_apk::pack(app));
+                    fd_apk::pack_into(app, &mut packed);
+                    digest = crate::checkpoint::fnv1a(digest, &packed);
                     fold_inputs(&mut digest, inputs);
                 }
             }
@@ -815,13 +826,29 @@ mod tests {
 
     #[test]
     fn percentile_is_nearest_rank() {
+        // Degenerate inputs: empty is defined as 0; a singleton answers
+        // itself at every p.
         assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 0.0), 7);
         assert_eq!(percentile(&[7], 50.0), 7);
         assert_eq!(percentile(&[7], 95.0), 7);
+        assert_eq!(percentile(&[7], 100.0), 7);
+        // Two elements: nearest-rank picks an element, never the
+        // interpolated midpoint — p50 of {10, 20} is 10 (rank ⌈1⌉), not 15.
+        assert_eq!(percentile(&[10, 20], 0.0), 10);
+        assert_eq!(percentile(&[10, 20], 50.0), 10);
+        assert_eq!(percentile(&[10, 20], 51.0), 20);
+        assert_eq!(percentile(&[10, 20], 100.0), 20);
+        // The edges are clamped total: p=0 is the minimum (rank clamps up
+        // from 0 to 1), p>100 still the maximum.
         let walls: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&walls, 0.0), 1);
         assert_eq!(percentile(&walls, 50.0), 50);
         assert_eq!(percentile(&walls, 95.0), 95);
+        // Fractional p rounds the rank up: p=94.1 over n=100 → rank 95.
+        assert_eq!(percentile(&walls, 94.1), 95);
         assert_eq!(percentile(&walls, 100.0), 100);
+        assert_eq!(percentile(&walls, 101.0), 100);
     }
 
     #[test]

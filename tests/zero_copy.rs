@@ -1,0 +1,106 @@
+//! Byte-identity pinning for the zero-copy decode path: the borrowed
+//! [`ContainerView`] pipeline and the owned [`decompile`] wrapper must
+//! agree exactly — the same app on well-formed containers, the same
+//! typed error (section and offset included, via `ApkError`'s `Eq`) on
+//! rejects — across the full 217-app corpus and structure-aware fuzz
+//! mutants. Also pins `pack_into` (the buffer-reusing fingerprint path)
+//! to emit bytes identical to `pack`.
+
+use bytes::{Bytes, BytesMut};
+use fragdroid_repro::apk::{self, ContainerView};
+use fragdroid_repro::appgen::random::{generate, GenConfig};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Decode through the borrowed path end to end, erasing the lifetime by
+/// building the owned app — the exact pipeline `decompile` wraps, but
+/// driven independently so a future divergence between the two entry
+/// points cannot hide behind delegation.
+fn decode_borrowed(bytes: &[u8]) -> Result<apk::AndroidApp, apk::ApkError> {
+    Ok(ContainerView::parse(bytes)?.decode()?.into_app())
+}
+
+#[test]
+fn corpus_containers_decode_identically_on_both_paths() {
+    let corpus = fragdroid_repro::appgen::corpus::corpus_217(1);
+    assert_eq!(corpus.len(), 217);
+
+    let mut reused = BytesMut::new();
+    let mut analyzable = 0usize;
+    let mut rejected = 0usize;
+    for gen in &corpus {
+        let bytes = apk::pack(&gen.app);
+        // The buffer-reusing packer emits the exact bytes of the
+        // allocating one — the checkpoint fingerprint depends on this.
+        apk::pack_into(&gen.app, &mut reused);
+        assert_eq!(
+            &reused[..],
+            &bytes[..],
+            "pack_into diverges from pack for {}",
+            gen.app.manifest.package
+        );
+
+        let owned = apk::decompile(&bytes);
+        let borrowed = decode_borrowed(&bytes);
+        match (owned, borrowed) {
+            (Ok(owned_app), Ok(borrowed_app)) => {
+                assert_eq!(
+                    owned_app, borrowed_app,
+                    "decoded apps diverge for {}",
+                    gen.app.manifest.package
+                );
+                // Decode → re-pack is the identity on the container
+                // bytes themselves, through the borrowed path too.
+                assert_eq!(
+                    &apk::pack(&borrowed_app)[..],
+                    &bytes[..],
+                    "repack of borrowed decode diverges for {}",
+                    gen.app.manifest.package
+                );
+                analyzable += 1;
+            }
+            // The corpus' packed/"encrypted" slice: both paths must
+            // reject with the identical typed error.
+            (Err(owned_err), Err(borrowed_err)) => {
+                assert_eq!(owned_err, borrowed_err);
+                rejected += 1;
+            }
+            (owned, borrowed) => panic!(
+                "paths disagree for {}: owned={owned:?} borrowed={borrowed:?}",
+                gen.app.manifest.package
+            ),
+        }
+    }
+    // The corpus always contains both populations, so both arms ran.
+    assert!(analyzable > 0 && rejected > 0, "analyzable={analyzable} rejected={rejected}");
+    assert_eq!(analyzable + rejected, 217);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structure-aware mutants — truncations, bit flips, length
+    /// corruptions — decode to the same `Ok`/`Err` on both paths, with
+    /// equal apps on success and equal typed errors (same variant,
+    /// section, cause and offset) on rejection.
+    #[test]
+    fn mutants_decode_identically_on_both_paths(seed in 0u64..400) {
+        let config = GenConfig { activities: 3, fragments: 3, ..GenConfig::default() };
+        let gen = generate("prop.zerocopy", &config, seed);
+        let packed = apk::pack(&gen.app).to_vec();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+        let mutant = fragdroid_repro::fuzz::mutate_bytes(&packed, &mut rng);
+
+        let owned = apk::decompile(&Bytes::from(mutant.clone()));
+        let borrowed = decode_borrowed(&mutant);
+        match (owned, borrowed) {
+            (Ok(owned_app), Ok(borrowed_app)) => prop_assert_eq!(owned_app, borrowed_app),
+            (Err(owned_err), Err(borrowed_err)) => prop_assert_eq!(owned_err, borrowed_err),
+            (owned, borrowed) => {
+                return Err(TestCaseError::fail(format!(
+                    "paths disagree: owned={owned:?} borrowed={borrowed:?}"
+                )));
+            }
+        }
+    }
+}

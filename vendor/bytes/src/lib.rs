@@ -153,9 +153,32 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Empties the buffer, keeping its capacity for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.data.as_slice()
     }
 }
 

@@ -1,6 +1,8 @@
-//! Deserialization: types rebuild themselves from a [`Value`].
+//! Deserialization: types rebuild themselves from a [`Value`], or —
+//! on the hot path — stream themselves straight out of JSON text via
+//! [`Deserialize::from_json`] without materializing the tree.
 
-use crate::value::Value;
+use crate::value::{JsonParser, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -46,6 +48,16 @@ pub trait Deserialize: Sized {
     /// Rebuilds `Self` from a value tree.
     fn from_value(value: &Value) -> Result<Self, DeError>;
 
+    /// Streams `Self` straight out of JSON text, without building the
+    /// intermediate [`Value`] tree. The default implementation falls
+    /// back to tree parsing, so hand-written impls stay correct; the
+    /// derive macro and the impls below override it with direct decoding
+    /// (this is what makes `serde_json::from_str` allocation-lean).
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        let value = parser.parse_value().map_err(DeError)?;
+        Self::from_value(&value)
+    }
+
     /// Pulls a value out of `deserializer` and rebuilds `Self` from it.
     fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let value = deserializer.take_value()?;
@@ -79,17 +91,46 @@ impl Deserialize for Value {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         Ok(value.clone())
     }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        parser.parse_value().map_err(DeError)
+    }
 }
 
 impl Deserialize for bool {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         value.as_bool().ok_or_else(|| DeError::custom("expected bool"))
     }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        parser.parse_bool().ok_or_else(|| DeError::custom("expected bool"))
+    }
 }
 
 impl Deserialize for String {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         value.as_str().map(str::to_string).ok_or_else(|| DeError::custom("expected string"))
+    }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        if parser.peek_byte() != Some(b'"') {
+            return Err(DeError::custom("expected string"));
+        }
+        parser.parse_str().map(|s| s.into_owned()).map_err(DeError)
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_str().map(std::sync::Arc::from).ok_or_else(|| DeError::custom("expected string"))
+    }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        if parser.peek_byte() != Some(b'"') {
+            return Err(DeError::custom("expected string"));
+        }
+        // Borrowed literals go straight into the `Arc` — one allocation.
+        parser.parse_str().map(|s| std::sync::Arc::from(&*s)).map_err(DeError)
     }
 }
 
@@ -118,6 +159,15 @@ macro_rules! deserialize_uint {
                     _ => Err(DeError::custom(concat!("expected ", stringify!($ty)))),
                 }
             }
+
+            fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+                match parser.parse_number() {
+                    Ok(n) => n.as_u64().and_then(|v| <$ty>::try_from(v).ok()).ok_or_else(|| {
+                        DeError::custom(concat!("integer out of range for ", stringify!($ty)))
+                    }),
+                    Err(_) => Err(DeError::custom(concat!("expected ", stringify!($ty)))),
+                }
+            }
         }
     )*};
 }
@@ -136,6 +186,15 @@ macro_rules! deserialize_int {
                     _ => Err(DeError::custom(concat!("expected ", stringify!($ty)))),
                 }
             }
+
+            fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+                match parser.parse_number() {
+                    Ok(n) => n.as_i64().and_then(|v| <$ty>::try_from(v).ok()).ok_or_else(|| {
+                        DeError::custom(concat!("integer out of range for ", stringify!($ty)))
+                    }),
+                    Err(_) => Err(DeError::custom(concat!("expected ", stringify!($ty)))),
+                }
+            }
         }
     )*};
 }
@@ -151,6 +210,16 @@ impl Deserialize for f64 {
             _ => Err(DeError::custom("expected number")),
         }
     }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        if parser.parse_null() {
+            return Ok(f64::NAN);
+        }
+        match parser.parse_number() {
+            Ok(n) => Ok(n.as_f64()),
+            Err(_) => Err(DeError::custom("expected number")),
+        }
+    }
 }
 
 impl Deserialize for f32 {
@@ -163,6 +232,10 @@ impl<T: Deserialize> Deserialize for Box<T> {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         T::from_value(value).map(Box::new)
     }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        T::from_json(parser).map(Box::new)
+    }
 }
 
 impl<T: Deserialize> Deserialize for Option<T> {
@@ -170,6 +243,14 @@ impl<T: Deserialize> Deserialize for Option<T> {
         match value {
             Value::Null => Ok(None),
             other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        if parser.parse_null() {
+            Ok(None)
+        } else {
+            T::from_json(parser).map(Some)
         }
     }
 }
@@ -183,6 +264,20 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             .map(T::from_value)
             .collect()
     }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        if parser.peek_byte() != Some(b'[') {
+            return Err(DeError::custom("expected array"));
+        }
+        parser.begin_array().map_err(DeError)?;
+        let mut out = Vec::new();
+        let mut first = true;
+        while parser.array_next(first).map_err(DeError)? {
+            out.push(T::from_json(parser)?);
+            first = false;
+        }
+        Ok(out)
+    }
 }
 
 impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
@@ -193,6 +288,10 @@ impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
             .iter()
             .map(T::from_value)
             .collect()
+    }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        Vec::<T>::from_json(parser).map(|v| v.into_iter().collect())
     }
 }
 
@@ -218,6 +317,20 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
             .map(|(k, v)| Ok((map_key_from_string(k)?, V::from_value(v)?)))
             .collect()
     }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        if parser.peek_byte() != Some(b'{') {
+            return Err(DeError::custom("expected object"));
+        }
+        parser.begin_object().map_err(DeError)?;
+        let mut out = BTreeMap::new();
+        let mut first = true;
+        while let Some(key) = parser.object_key(first).map_err(DeError)? {
+            out.insert(map_key_from_string(&key)?, V::from_json(parser)?);
+            first = false;
+        }
+        Ok(out)
+    }
 }
 
 macro_rules! deserialize_tuple {
@@ -231,6 +344,30 @@ macro_rules! deserialize_tuple {
                     return Err(DeError::custom(concat!("expected ", $len, "-element array")));
                 }
                 Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+
+            fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+                if parser.peek_byte() != Some(b'[') {
+                    return Err(DeError::custom("expected tuple array"));
+                }
+                parser.begin_array().map_err(DeError)?;
+                let mut first = true;
+                let out = ($(
+                    {
+                        if !parser.array_next(first).map_err(DeError)? {
+                            return Err(DeError::custom(concat!(
+                                "expected ", $len, "-element array"
+                            )));
+                        }
+                        first = false;
+                        $name::from_json(parser)?
+                    },
+                )+);
+                let _ = first;
+                if parser.array_next(false).map_err(DeError)? {
+                    return Err(DeError::custom(concat!("expected ", $len, "-element array")));
+                }
+                Ok(out)
             }
         }
     )*};

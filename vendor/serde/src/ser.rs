@@ -1,7 +1,25 @@
 //! Serialization: types render themselves to a [`Value`].
 
-use crate::value::{Map, Number, Value};
+use crate::value::{render_number, render_string, Map, Number, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Streams an iterator of serializable items as a JSON array. Compact
+/// rendering of an empty array is `[]` either way, so no special case.
+fn write_json_seq<'a, T, I>(items: I, out: &mut String)
+where
+    T: Serialize + ?Sized + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    out.push('[');
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
+}
 
 /// A type that can render itself as a [`Value`].
 ///
@@ -11,6 +29,15 @@ use std::collections::{BTreeMap, BTreeSet};
 pub trait Serialize {
     /// Renders `self` as a value tree.
     fn to_value(&self) -> Value;
+
+    /// Appends `self` as compact JSON text to `out`, streaming — no
+    /// intermediate [`Value`] tree. Byte-identical to
+    /// `self.to_value().render_json(false)` (object keys sorted, same
+    /// number/string formatting); the default falls back to exactly
+    /// that, so hand-written impls stay correct without opting in.
+    fn write_json(&self, out: &mut String) {
+        self.to_value().render_json_into(out);
+    }
 
     /// Feeds the rendered value to `serializer`.
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
@@ -46,11 +73,19 @@ impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
     }
+
+    fn write_json(&self, out: &mut String) {
+        self.render_json_into(out);
+    }
 }
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
     }
 }
 
@@ -58,17 +93,40 @@ impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::String(self.clone())
     }
+
+    fn write_json(&self, out: &mut String) {
+        render_string(self, out);
+    }
 }
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::String(self.to_string())
     }
+
+    fn write_json(&self, out: &mut String) {
+        render_string(self, out);
+    }
 }
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::String(self.to_string())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let mut utf8 = [0u8; 4];
+        render_string(self.encode_utf8(&mut utf8), out);
+    }
+}
+
+impl Serialize for std::sync::Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_ref().to_string())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        render_string(self.as_ref(), out);
     }
 }
 
@@ -77,6 +135,10 @@ macro_rules! serialize_uint {
         impl Serialize for $ty {
             fn to_value(&self) -> Value {
                 Value::Number(Number::PosInt(*self as u64))
+            }
+
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{}", *self as u64);
             }
         }
     )*};
@@ -92,6 +154,10 @@ macro_rules! serialize_int {
                 } else {
                     Value::Number(Number::NegInt(v))
                 }
+            }
+
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{}", *self as i64);
             }
         }
     )*};
@@ -109,6 +175,13 @@ impl Serialize for u128 {
             Err(_) => Value::Number(Number::Float(*self as f64)),
         }
     }
+
+    fn write_json(&self, out: &mut String) {
+        match u64::try_from(*self) {
+            Ok(v) => render_number(Number::PosInt(v), out),
+            Err(_) => render_number(Number::Float(*self as f64), out),
+        }
+    }
 }
 
 impl Serialize for i128 {
@@ -119,11 +192,24 @@ impl Serialize for i128 {
             Err(_) => Value::Number(Number::Float(*self as f64)),
         }
     }
+
+    fn write_json(&self, out: &mut String) {
+        match i64::try_from(*self) {
+            Ok(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Err(_) => render_number(Number::Float(*self as f64), out),
+        }
+    }
 }
 
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Number(Number::Float(*self))
+    }
+
+    fn write_json(&self, out: &mut String) {
+        render_number(Number::Float(*self), out);
     }
 }
 
@@ -131,17 +217,29 @@ impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Number(Number::Float(*self as f64))
     }
+
+    fn write_json(&self, out: &mut String) {
+        render_number(Number::Float(*self as f64), out);
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
     }
 }
 
@@ -152,11 +250,22 @@ impl<T: Serialize> Serialize for Option<T> {
             None => Value::Null,
         }
     }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
     }
 }
 
@@ -164,17 +273,29 @@ impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
 }
 
 impl<T: Serialize> Serialize for BTreeSet<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
     }
 }
 
@@ -196,6 +317,31 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
         }
         Value::Object(map)
     }
+
+    fn write_json(&self, out: &mut String) {
+        // The tree path sorts by the *rendered* key string (which can
+        // disagree with `K` order — integer keys render "10" < "2") and
+        // last-insert-wins on renders that collide; mirror both so the
+        // stream is byte-identical.
+        let mut entries: Vec<(String, &V)> =
+            self.iter().map(|(k, v)| (map_key_to_string(k), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        out.push('{');
+        let mut first = true;
+        for (i, (key, value)) in entries.iter().enumerate() {
+            if entries.get(i + 1).is_some_and(|next| next.0 == *key) {
+                continue; // shadowed by a later insert of the same key
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            render_string(key, out);
+            out.push(':');
+            value.write_json(out);
+        }
+        out.push('}');
+    }
 }
 
 macro_rules! serialize_tuple {
@@ -203,6 +349,17 @@ macro_rules! serialize_tuple {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_value(&self) -> Value {
                 Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                $(
+                    if $idx > 0 {
+                        out.push(',');
+                    }
+                    self.$idx.write_json(out);
+                )+
+                out.push(']');
             }
         }
     )*};

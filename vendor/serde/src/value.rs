@@ -2,11 +2,135 @@
 //! text form (`vendor/serde_json` is a thin wrapper over the functions
 //! here, so there is exactly one JSON reader/writer in the tree).
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// JSON objects; `BTreeMap` keeps key order deterministic.
-pub type Map = BTreeMap<String, Value>;
+/// JSON objects. Entries are kept sorted by key, so iteration and
+/// rendering are deterministic and byte-identical to the `BTreeMap` this
+/// replaces, while the flat `Vec` backing keeps building and walking a
+/// tree cheap (one allocation per object instead of one per entry).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index of `key`, or where it would be inserted. The common caller
+    /// appends keys in ascending order (our own serializer emits struct
+    /// fields that way more often than not), so probe the tail first.
+    fn search(&self, key: &str) -> Result<usize, usize> {
+        if let Some((last, _)) = self.entries.last() {
+            match key.cmp(last.as_str()) {
+                std::cmp::Ordering::Greater => return Err(self.entries.len()),
+                std::cmp::Ordering::Equal => return Ok(self.entries.len() - 1),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        self.entries.binary_search_by(|(k, _)| k.as_str().cmp(key))
+    }
+
+    /// The value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.search(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable access to the value for `key`, if present.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.search(key).ok().map(|i| &mut self.entries[i].1)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.search(key).is_ok()
+    }
+
+    /// Inserts `key`, returning the previous value if it was present.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.search(&key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        match self.search(key) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates with mutable values, in key order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut Value)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// Iterates over keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&(String, Value)) -> (&String, &Value),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        fn pair(entry: &(String, Value)) -> (&String, &Value) {
+            (&entry.0, &entry.1)
+        }
+        self.entries.iter().map(pair)
+    }
+}
 
 /// A JSON-shaped value tree.
 #[derive(Clone, Debug, PartialEq)]
@@ -132,15 +256,18 @@ impl Value {
         out
     }
 
+    /// Renders compact JSON into an existing buffer — the allocation-free
+    /// form of `render_json(false)` for callers that reuse a write buffer
+    /// across many values.
+    pub fn render_json_into(&self, out: &mut String) {
+        render(self, false, 0, out);
+    }
+
     /// Parses JSON text into a value.
     pub fn parse_json(text: &str) -> Result<Value, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
-        p.skip_ws();
-        let v = p.value(0)?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing characters at byte {}", p.pos));
-        }
+        let mut p = JsonParser::new(text);
+        let v = p.parse_value()?;
+        p.finish()?;
         Ok(v)
     }
 }
@@ -201,7 +328,7 @@ fn newline_indent(pretty: bool, depth: usize, out: &mut String) {
     }
 }
 
-fn render_number(n: Number, out: &mut String) {
+pub(crate) fn render_number(n: Number, out: &mut String) {
     match n {
         Number::PosInt(v) => {
             let _ = write!(out, "{v}");
@@ -224,23 +351,35 @@ fn render_number(n: Number, out: &mut String) {
     }
 }
 
-fn render_string(s: &str, out: &mut String) {
+pub(crate) fn render_string(s: &str, out: &mut String) {
+    // Every byte that needs escaping is ASCII, so scan bytes and copy the
+    // clean spans between escapes in bulk instead of pushing char-by-char
+    // (multi-byte UTF-8 never matches: its bytes are all >= 0x80).
+    out.reserve(s.len() + 2);
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            '\u{8}' => out.push_str("\\b"),
-            '\u{c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\t' => "\\t",
+            b'\r' => "\\r",
+            0x08 => "\\b",
+            0x0c => "\\f",
+            b if b < 0x20 => "",
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        if escape.is_empty() {
+            let _ = write!(out, "\\u{:04x}", b);
+        } else {
+            out.push_str(escape);
         }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -250,12 +389,184 @@ fn render_string(s: &str, out: &mut String) {
 /// this workspace produces.
 const MAX_DEPTH: usize = 128;
 
-struct Parser<'a> {
+/// A cursor over JSON text that supports both tree parsing
+/// ([`JsonParser::parse_value`]) and streaming typed decoding: the
+/// derive-generated `Deserialize::from_json` drives the `begin_*` /
+/// `*_next` primitives to build target types straight from the text,
+/// skipping the intermediate [`Value`] tree (and its per-node
+/// allocations) entirely. Keys and escape-free strings are handed out as
+/// borrowed slices of the input.
+///
+/// Container nesting is depth-guarded exactly like the tree parser, so
+/// adversarial input cannot overflow the stack through either path.
+pub struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
-impl<'a> Parser<'a> {
+impl<'a> JsonParser<'a> {
+    /// Creates a parser over `text`.
+    pub fn new(text: &'a str) -> Self {
+        JsonParser { bytes: text.as_bytes(), pos: 0, depth: 0 }
+    }
+
+    /// Current byte offset (for error reporting).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The next non-whitespace byte, without consuming it. This is how
+    /// typed decoders branch (`"` → string/variant, `{` → object, …).
+    pub fn peek_byte(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.peek()
+    }
+
+    /// Parses one complete value as a tree from the current position.
+    pub fn parse_value(&mut self) -> Result<Value, String> {
+        self.value(self.depth)
+    }
+
+    /// Consumes trailing whitespace and demands end of input.
+    pub fn finish(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing characters at byte {}", self.pos));
+        }
+        Ok(())
+    }
+
+    /// Consumes `null` if it is next; returns whether it did.
+    pub fn parse_null(&mut self) -> bool {
+        self.skip_ws();
+        self.eat_literal("null")
+    }
+
+    /// Consumes `true`/`false` if one is next.
+    pub fn parse_bool(&mut self) -> Option<bool> {
+        self.skip_ws();
+        if self.eat_literal("true") {
+            Some(true)
+        } else if self.eat_literal("false") {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Parses a number token.
+    pub fn parse_number(&mut self) -> Result<Number, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("expected number at byte {}", self.pos)),
+        }
+    }
+
+    /// Parses a string literal. Escape-free strings (the common case)
+    /// borrow from the input.
+    pub fn parse_str(&mut self) -> Result<std::borrow::Cow<'a, str>, String> {
+        self.skip_ws();
+        self.string_cow()
+    }
+
+    /// Consumes `[`, entering an array.
+    pub fn begin_array(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        self.expect(b'[')?;
+        self.enter()
+    }
+
+    /// After `begin_array`: whether another element follows. Consumes the
+    /// separating `,` (or the closing `]`).
+    pub fn array_next(&mut self, first: bool) -> Result<bool, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b']') => {
+                self.pos += 1;
+                self.depth -= 1;
+                Ok(false)
+            }
+            _ if first => Ok(true),
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            _ => Err(format!("expected `,` or `]` at byte {}", self.pos)),
+        }
+    }
+
+    /// Consumes `{`, entering an object.
+    pub fn begin_object(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        self.enter()
+    }
+
+    /// After `begin_object`: the next entry's key (with its `:`
+    /// consumed), or `None` at the closing `}`. Escape-free keys borrow
+    /// from the input.
+    pub fn object_key(&mut self, first: bool) -> Result<Option<std::borrow::Cow<'a, str>>, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'}') => {
+                self.pos += 1;
+                self.depth -= 1;
+                return Ok(None);
+            }
+            _ if first => {}
+            Some(b',') => self.pos += 1,
+            _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+        }
+        self.skip_ws();
+        let key = self.string_cow()?;
+        self.skip_ws();
+        self.expect(b':')?;
+        Ok(Some(key))
+    }
+
+    /// Parses and discards one complete value (unknown object keys).
+    /// The skipped value is still fully validated, and the depth guard
+    /// still applies.
+    pub fn skip_value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(()),
+            Some(b't') if self.eat_literal("true") => Ok(()),
+            Some(b'f') if self.eat_literal("false") => Ok(()),
+            Some(b'"') => self.string_cow().map(drop),
+            Some(b'[') => {
+                self.begin_array()?;
+                let mut first = true;
+                while self.array_next(first)? {
+                    self.skip_value()?;
+                    first = false;
+                }
+                Ok(())
+            }
+            Some(b'{') => {
+                self.begin_object()?;
+                let mut first = true;
+                while self.object_key(first)?.is_some() {
+                    self.skip_value()?;
+                    first = false;
+                }
+                Ok(())
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number().map(drop),
+            _ => Err(format!("unexpected character at byte {}", self.pos)),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while let Some(b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -345,22 +656,33 @@ impl<'a> Parser<'a> {
                     }
                 }
             }
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number().map(Value::Number),
             _ => Err(format!("unexpected character at byte {}", self.pos)),
         }
     }
 
     fn string(&mut self) -> Result<String, String> {
+        self.string_cow().map(std::borrow::Cow::into_owned)
+    }
+
+    fn string_cow(&mut self) -> Result<std::borrow::Cow<'a, str>, String> {
         self.expect(b'"')?;
+        // Fast path: most strings contain no escapes, so the first scan
+        // finds the closing quote and the contents borrow straight from
+        // the input.
+        let first = self.pos;
+        self.pos = seek_quote_or_escape(self.bytes, first);
+        if self.peek() == Some(b'"') {
+            let s = std::str::from_utf8(&self.bytes[first..self.pos])
+                .map_err(|_| "invalid utf-8 in string".to_string())?;
+            self.pos += 1;
+            return Ok(std::borrow::Cow::Borrowed(s));
+        }
+        self.pos = first;
         let mut out = String::new();
         loop {
             let start = self.pos;
-            while let Some(b) = self.peek() {
-                if b == b'"' || b == b'\\' {
-                    break;
-                }
-                self.pos += 1;
-            }
+            self.pos = seek_quote_or_escape(self.bytes, self.pos);
             out.push_str(
                 std::str::from_utf8(&self.bytes[start..self.pos])
                     .map_err(|_| "invalid utf-8 in string".to_string())?,
@@ -368,7 +690,7 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(out);
+                    return Ok(std::borrow::Cow::Owned(out));
                 }
                 Some(b'\\') => {
                     self.pos += 1;
@@ -415,7 +737,7 @@ impl<'a> Parser<'a> {
             .map_err(|e| e.to_string())
     }
 
-    fn number(&mut self) -> Result<Value, String> {
+    fn number(&mut self) -> Result<Number, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -447,6 +769,31 @@ impl<'a> Parser<'a> {
                 Err(_) => Number::Float(text.parse::<f64>().map_err(|e| e.to_string())?),
             }
         };
-        Ok(Value::Number(n))
+        Ok(n)
     }
+}
+
+/// Index of the first `"` or `\` at or after `i`, or `bytes.len()` if
+/// neither occurs. Scans eight bytes per step (SWAR zero-byte trick) —
+/// string contents dominate the JSON the decode path reads, so this is
+/// the parser's hottest loop. Borrow propagation in the zero-detect can
+/// only raise false flags *above* a true match, and the caller takes the
+/// lowest flag, so first-match semantics are exact.
+fn seek_quote_or_escape(bytes: &[u8], mut i: usize) -> usize {
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    const HIGH: u64 = 0x8080_8080_8080_8080;
+    while let Some(chunk) = bytes.get(i..i + 8) {
+        let w = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+        let q = w ^ (ONES * u64::from(b'"'));
+        let e = w ^ (ONES * u64::from(b'\\'));
+        let hit = (q.wrapping_sub(ONES) & !q | e.wrapping_sub(ONES) & !e) & HIGH;
+        if hit != 0 {
+            return i + (hit.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < bytes.len() && bytes[i] != b'"' && bytes[i] != b'\\' {
+        i += 1;
+    }
+    i
 }

@@ -401,11 +401,126 @@ fn gen_serialize(item: &Item) -> String {
             format!("match self {{\n{arms}}}")
         }
     };
+    let stream = gen_write_json_method(item);
     format!(
         "impl serde::Serialize for {name} {{\n\
          fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         {stream}\n\
          }}"
     )
+}
+
+/// The expression streaming `place` (an expression of the field's type,
+/// already behind a reference) into `out` under the field's attributes.
+/// `with` modules produce a tree; everything else streams directly.
+fn write_field_expr(place: &str, attrs: &Attrs) -> String {
+    match &attrs.with {
+        Some(path) => format!(
+            "match {path}::serialize({place}, serde::ser::ValueSerializer) {{ \
+             Ok(v) => v.render_json_into(out), Err(never) => match never {{}} }};"
+        ),
+        None => format!("serde::Serialize::write_json({place}, out);"),
+    }
+}
+
+/// Statements streaming a JSON object with the given `(key, value-stmt)`
+/// entries, emitted in sorted key order — `Map` keeps entries sorted, so
+/// this is what the tree path renders.
+fn write_sorted_object(entries: &mut Vec<(String, String)>) -> String {
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("out.push('{');\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str("out.push(',');\n");
+        }
+        out.push_str(&format!("out.push_str({:?});\n", format!("\"{key}\":")));
+        out.push_str(value);
+        out.push('\n');
+    }
+    out.push_str("out.push('}');");
+    out
+}
+
+/// The `write_json` method body: compact JSON streamed straight into the
+/// caller's buffer, byte-identical to rendering `to_value()` (object
+/// keys sorted, same number/string formatting) but with no `Value` tree
+/// and no per-node allocation.
+fn gen_write_json_method(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Unit => "out.push_str(\"null\");".to_string(),
+        Kind::Tuple(1) => "serde::Serialize::write_json(&self.0, out);".to_string(),
+        Kind::Tuple(n) => {
+            let mut out = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    out.push_str("out.push(',');\n");
+                }
+                out.push_str(&format!("serde::Serialize::write_json(&self.{i}, out);\n"));
+            }
+            out.push_str("out.push(']');");
+            out
+        }
+        Kind::Named(fields) => {
+            let mut entries: Vec<(String, String)> = fields
+                .iter()
+                .filter(|f| !f.attrs.skip)
+                .map(|f| (f.name.clone(), write_field_expr(&format!("&self.{}", f.name), &f.attrs)))
+                .collect();
+            write_sorted_object(&mut entries)
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let tag = format!("out.push_str({:?});", format!("{{\"{vn}\":"));
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => out.push_str({:?}),\n",
+                        format!("\"{vn}\"")
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::write_json(f0, out);".to_string()
+                        } else {
+                            let mut s = String::from("out.push('[');\n");
+                            for (i, b) in binders.iter().enumerate() {
+                                if i > 0 {
+                                    s.push_str("out.push(',');\n");
+                                }
+                                s.push_str(&format!("serde::Serialize::write_json({b}, out);\n"));
+                            }
+                            s.push_str("out.push(']');");
+                            s
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{ {tag}\n{inner}\nout.push('}}'); }}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut entries: Vec<(String, String)> = fields
+                            .iter()
+                            .map(|fname| {
+                                (
+                                    fname.clone(),
+                                    format!("serde::Serialize::write_json({fname}, out);"),
+                                )
+                            })
+                            .collect();
+                        let inner = write_sorted_object(&mut entries);
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ {tag}\n{inner}\nout.push('}}'); }}\n",
+                            binds = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!("fn write_json(&self, out: &mut String) {{\n{body}\n}}")
 }
 
 /// The expression rebuilding one named field from map variable `map`.
@@ -528,9 +643,203 @@ fn gen_deserialize(item: &Item) -> String {
             )
         }
     };
+    let json_body = gen_from_json(item);
     format!(
         "impl serde::Deserialize for {name} {{\n\
          fn from_value(value: &serde::Value) -> Result<Self, serde::de::DeError> {{\n{body}\n}}\n\
+         fn from_json(parser: &mut serde::value::JsonParser<'_>) \
+         -> Result<Self, serde::de::DeError> {{\n{json_body}\n}}\n\
          }}"
     )
+}
+
+/// The expression streaming one named field's value out of the parser.
+fn de_json_field_expr(attrs: &Attrs) -> String {
+    match &attrs.with {
+        // `with` modules consume a tree, so that one field's subtree is
+        // materialized; everything around it still streams.
+        Some(path) => format!(
+            "{path}::deserialize(serde::de::ValueDeserializer(\
+             parser.parse_value().map_err(serde::de::DeError)?))?"
+        ),
+        None => "serde::Deserialize::from_json(parser)?".to_string(),
+    }
+}
+
+/// The struct-literal arm unwrapping slot variable `f_<fname>`.
+fn de_json_ctor_arm(type_name: &str, fname: &str, attrs: &Attrs) -> String {
+    if attrs.skip {
+        return "Default::default()".to_string();
+    }
+    if attrs.default {
+        return format!("match f_{fname} {{ Some(v) => v, None => Default::default() }}");
+    }
+    format!(
+        "match f_{fname} {{ Some(v) => v, None => \
+         return Err(serde::de::DeError::custom({:?})) }}",
+        format!("{type_name}: missing field `{fname}`")
+    )
+}
+
+/// The statements streaming a named-field body (shared by structs and
+/// struct variants): slot variables, key loop, then `ctor` built from
+/// the slots. `fields` carries `(name, attrs)`.
+fn de_json_named_body(type_name: &str, fields: &[(&str, &Attrs)], ctor_head: &str) -> String {
+    let mut out = format!(
+        "if parser.peek_byte() != Some(b'{{') {{ \
+         return Err(serde::de::DeError::custom({msg:?})); }}\n\
+         parser.begin_object().map_err(serde::de::DeError)?;\n",
+        msg = format!("{type_name}: expected object")
+    );
+    for (fname, attrs) in fields {
+        if !attrs.skip {
+            out.push_str(&format!("let mut f_{fname} = None;\n"));
+        }
+    }
+    out.push_str(
+        "let mut first = true;\n\
+         while let Some(key) = parser.object_key(first).map_err(serde::de::DeError)? {\n\
+         first = false;\n\
+         match &*key {\n",
+    );
+    for (fname, attrs) in fields {
+        if !attrs.skip {
+            out.push_str(&format!(
+                "{fname:?} => f_{fname} = Some({}),\n",
+                de_json_field_expr(attrs)
+            ));
+        }
+    }
+    out.push_str("_ => parser.skip_value().map_err(serde::de::DeError)?,\n}\n}\n");
+    out.push_str(ctor_head);
+    out.push_str(" {\n");
+    for (fname, attrs) in fields {
+        out.push_str(&format!("{fname}: {},\n", de_json_ctor_arm(type_name, fname, attrs)));
+    }
+    out.push_str("}");
+    out
+}
+
+/// The expression streaming an exactly-`n`-element array into `ctor(..)`.
+fn de_json_tuple_body(type_name: &str, n: usize, ctor: &str) -> String {
+    let msg = format!("{type_name}: expected {n}-element array");
+    let mut elems = String::new();
+    for _ in 0..n {
+        elems.push_str(&format!(
+            "{{ if !parser.array_next(first).map_err(serde::de::DeError)? {{ \
+             return Err(serde::de::DeError::custom({msg:?})); }} \
+             first = false; serde::Deserialize::from_json(parser)? }},\n"
+        ));
+    }
+    format!(
+        "if parser.peek_byte() != Some(b'[') {{ \
+         return Err(serde::de::DeError::custom({msg:?})); }}\n\
+         parser.begin_array().map_err(serde::de::DeError)?;\n\
+         let mut first = true;\n\
+         let out = {ctor}(\n{elems});\n\
+         let _ = first;\n\
+         if parser.array_next(false).map_err(serde::de::DeError)? {{ \
+         return Err(serde::de::DeError::custom({msg:?})); }}\n\
+         out"
+    )
+}
+
+fn gen_from_json(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        // The tree path accepts any value for a unit struct; streaming
+        // validates and discards one value the same way.
+        Kind::Unit => format!("parser.skip_value().map_err(serde::de::DeError)?; Ok({name})"),
+        Kind::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_json(parser)?))"),
+        Kind::Tuple(n) => format!("Ok({{ {} }})", de_json_tuple_body(name, *n, name)),
+        Kind::Named(fields) => {
+            let pairs: Vec<(&str, &Attrs)> =
+                fields.iter().map(|f| (f.name.as_str(), &f.attrs)).collect();
+            let body = de_json_named_body(name, &pairs, &format!("Ok({name}"));
+            format!("{body})")
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => {name}::{vn}(serde::Deserialize::from_json(parser)?),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let body = de_json_tuple_body(
+                            &format!("{name}::{vn}"),
+                            *n,
+                            &format!("{name}::{vn}"),
+                        );
+                        data_arms.push_str(&format!("{vn:?} => {{ {body} }}\n"));
+                    }
+                    VariantKind::Named(fields) => {
+                        let attrs = Attrs::default();
+                        let pairs: Vec<(&str, &Attrs)> =
+                            fields.iter().map(|f| (f.as_str(), &attrs)).collect();
+                        let body = de_json_named_body(
+                            &format!("{name}::{vn}"),
+                            &pairs,
+                            &format!("{name}::{vn}"),
+                        );
+                        data_arms.push_str(&format!("{vn:?} => {{ {body} }}\n"));
+                    }
+                }
+            }
+            let tag_msg = format!("{name}: expected externally tagged enum");
+            // A unit-only enum never matches a data arm: emit the object
+            // branch without the post-match trailing-key check, which
+            // would otherwise be unreachable (every arm returns).
+            let object_branch = if data_arms.is_empty() {
+                format!(
+                    "Some(b'{{') => {{\n\
+                     parser.begin_object().map_err(serde::de::DeError)?;\n\
+                     match parser.object_key(true).map_err(serde::de::DeError)? {{\n\
+                     Some(other) => Err(serde::de::DeError::custom(format!(\
+                     \"{name}: unknown variant `{{other}}`\"))),\n\
+                     None => Err(serde::de::DeError::custom({tag_msg:?})),\n\
+                     }}\n\
+                     }}\n"
+                )
+            } else {
+                format!(
+                    "Some(b'{{') => {{\n\
+                     parser.begin_object().map_err(serde::de::DeError)?;\n\
+                     let key = match parser.object_key(true).map_err(serde::de::DeError)? {{\n\
+                     Some(k) => k,\n\
+                     None => return Err(serde::de::DeError::custom({tag_msg:?})),\n\
+                     }};\n\
+                     let out = match &*key {{\n\
+                     {data_arms}\
+                     other => return Err(serde::de::DeError::custom(format!(\
+                     \"{name}: unknown variant `{{other}}`\"))),\n\
+                     }};\n\
+                     if parser.object_key(false).map_err(serde::de::DeError)?.is_some() {{\n\
+                     return Err(serde::de::DeError::custom({tag_msg:?}));\n\
+                     }}\n\
+                     Ok(out)\n\
+                     }}\n"
+                )
+            };
+            format!(
+                "match parser.peek_byte() {{\n\
+                 Some(b'\"') => {{\n\
+                 let s = parser.parse_str().map_err(serde::de::DeError)?;\n\
+                 match &*s {{\n\
+                 {unit_arms}\
+                 other => Err(serde::de::DeError::custom(format!(\
+                 \"{name}: unknown variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }}\n\
+                 {object_branch}\
+                 _ => Err(serde::de::DeError::custom({tag_msg:?})),\n\
+                 }}"
+            )
+        }
+    }
 }

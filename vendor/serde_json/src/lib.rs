@@ -9,7 +9,7 @@ use std::fmt;
 pub use serde::value::{Map, Number, Value};
 
 /// A JSON (de)serialization error.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Error(String);
 
 impl fmt::Display for Error {
@@ -20,9 +20,12 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
-/// Renders a value as compact JSON.
+/// Renders a value as compact JSON. Streams through
+/// [`serde::Serialize::write_json`] — no intermediate `Value` tree.
 pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
-    Ok(value.to_value().render_json(false))
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
 }
 
 /// Renders a value as two-space-indented JSON.
@@ -40,10 +43,14 @@ pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
     value.to_value()
 }
 
-/// Parses a value from JSON text.
+/// Parses a value from JSON text. Decoding streams straight from the
+/// text (`Deserialize::from_json`); no intermediate [`Value`] tree is
+/// built for types whose impls support it.
 pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
-    let value = Value::parse_json(text).map_err(Error)?;
-    T::from_value(&value).map_err(|e| Error(e.to_string()))
+    let mut parser = serde::value::JsonParser::new(text);
+    let out = T::from_json(&mut parser).map_err(|e| Error(e.to_string()))?;
+    parser.finish().map_err(Error)?;
+    Ok(out)
 }
 
 /// Parses a value from JSON bytes.
