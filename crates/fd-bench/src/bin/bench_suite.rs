@@ -1,9 +1,10 @@
 //! Tracing-overhead baseline: the analyzable corpus through the suite
 //! runner in three modes — the untraced entry point, tracing compiled in
 //! but disabled, and tracing enabled — plus a worker-scaling matrix
-//! (1/2/4/8 workers), with the comparison written to `BENCH_suite.json`
-//! so regressions in the runner, the tracer, or the work-stealing
-//! scheduler show up as a diff.
+//! (1/2/4/8 workers) and a device-backend overhead section (in-process
+//! vs the wire-protocol subprocess backend), with the comparison written
+//! to `BENCH_suite.json` so regressions in the runner, the tracer, the
+//! work-stealing scheduler, or the agent protocol show up as a diff.
 //!
 //! Each mode runs `PASSES` times and keeps the fastest pass: single-pass
 //! wall times on a shared machine swing by tens of percent, and the
@@ -13,12 +14,21 @@
 //! cargo run --release -p fd-bench --bin bench_suite
 //! ```
 
-use fragdroid::{run_suite_traced, run_suite_with_workers, FragDroidConfig, SuiteRun};
+use fragdroid::{
+    run_container_suite_pooled, run_suite_traced, run_suite_with_workers, DevicePool,
+    FragDroidConfig, SuiteRun,
+};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Best-of-N passes per mode.
 const PASSES: usize = 5;
+
+/// Corpus slice and best-of-N passes for the backend-overhead section —
+/// smaller than the tracing section because every subprocess request
+/// pays an encode → transport → decode round trip.
+const BACKEND_APPS: usize = 24;
+const BACKEND_PASSES: usize = 3;
 
 /// What `BENCH_suite.json` records for one tracing mode.
 #[derive(Serialize)]
@@ -55,6 +65,42 @@ struct ScalingPoint {
     utilization: f64,
 }
 
+/// One device backend's numbers over the backend-comparison slice.
+#[derive(Serialize)]
+struct BackendStats {
+    /// End-to-end suite wall time of the fastest pass, ms.
+    wall_ms: u64,
+    /// UI events injected across the slice.
+    events: usize,
+    /// Injection throughput over the suite wall time.
+    events_per_second: f64,
+}
+
+/// In-process vs subprocess device backend on the same corpus slice.
+/// The subprocess rows use the in-memory agent transport — the full
+/// encode → frame → decode wire path without process-spawn noise — so
+/// the section isolates the protocol's cost, which is what the driver's
+/// round-trip batching has to keep in check.
+#[derive(Serialize)]
+struct BackendOverhead {
+    /// Apps in the comparison slice.
+    apps: usize,
+    /// Best-of-N passes kept per backend.
+    passes: usize,
+    /// The [`fragdroid::build_backend`] in-process default.
+    in_process: BackendStats,
+    /// The wire-protocol backend over the in-memory transport.
+    subprocess: BackendStats,
+    /// `subprocess.wall / in_process.wall - 1`, percent.
+    subprocess_overhead_pct: f64,
+    /// Agent requests timed for the round-trip quantiles.
+    requests: usize,
+    /// Median request round trip over the wire, µs (nearest-rank).
+    request_p50_us: u64,
+    /// 95th-percentile request round trip, µs.
+    request_p95_us: u64,
+}
+
 #[derive(Serialize)]
 struct BenchSuite {
     /// Apps run (the analyzable, non-packed corpus slice).
@@ -87,6 +133,8 @@ struct BenchSuite {
     /// single-core host the matrix is honest about it: speedup stays
     /// ~1.0 and oversubscribed rows just measure scheduling overhead.
     scaling: Vec<ScalingPoint>,
+    /// In-process vs subprocess device backend on a corpus slice.
+    backends: BackendOverhead,
 }
 
 fn mode_stats(run: &SuiteRun) -> ModeStats {
@@ -118,6 +166,99 @@ fn overhead_pct(mode: &ModeStats, baseline: &ModeStats) -> f64 {
         (mode.wall_ms as f64 / baseline.wall_ms as f64 - 1.0) * 100.0
     } else {
         0.0
+    }
+}
+
+/// Nearest-rank quantile over an ascending-sorted sample.
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn backend_stats(run: &SuiteRun) -> BackendStats {
+    let events: usize =
+        run.outcomes.iter().filter_map(|o| o.report()).map(|r| r.events_injected).sum();
+    let secs = run.metrics.wall_ms as f64 / 1000.0;
+    BackendStats {
+        wall_ms: run.metrics.wall_ms,
+        events,
+        events_per_second: if secs > 0.0 { events as f64 / secs } else { 0.0 },
+    }
+}
+
+/// A pool whose every lane speaks the wire protocol to an in-memory
+/// agent — deterministic, and spawnable from a bench binary (a real
+/// `device-agent` child needs the `fragdroid` executable).
+fn in_memory_subprocess_pool(lanes: usize) -> DevicePool {
+    DevicePool::with_factory(
+        lanes,
+        Box::new(|_, _| {
+            Box::new(fd_droidsim::SubprocessDevice::in_memory(fd_droidsim::AgentOptions {
+                die_after: None,
+            }))
+        }),
+    )
+}
+
+fn bench_backends() -> BackendOverhead {
+    let slice: Vec<fragdroid::suite::SuiteContainer> = fd_appgen::corpus::corpus_217(1)
+        .into_iter()
+        .filter(|g| !g.app.meta.packed)
+        .take(BACKEND_APPS)
+        .map(|g| (fd_apk::pack(&g.app), g.known_inputs))
+        .collect();
+    let config = FragDroidConfig::default();
+    let off = fd_trace::TraceConfig::off();
+    // Single lane: the comparison measures protocol cost, not scheduling.
+    let workers = 1;
+
+    let warmup = DevicePool::from_config(&config, workers);
+    let _ = run_container_suite_pooled(&slice, &config, workers, &off, &warmup);
+
+    let (mut best_in, mut best_sub) = (None, None);
+    for _ in 0..BACKEND_PASSES {
+        let in_pool = DevicePool::from_config(&config, workers);
+        keep_best(
+            &mut best_in,
+            (run_container_suite_pooled(&slice, &config, workers, &off, &in_pool).0, ()),
+        );
+        let sub_pool = in_memory_subprocess_pool(workers);
+        keep_best(
+            &mut best_sub,
+            (run_container_suite_pooled(&slice, &config, workers, &off, &sub_pool).0, ()),
+        );
+    }
+
+    // Request round-trip quantiles: one app over a dedicated device, so
+    // the sample is pure wire time, not interleaved pool bookkeeping.
+    let gen = fd_appgen::templates::tabbed_categories();
+    let mut device =
+        fd_droidsim::SubprocessDevice::in_memory(fd_droidsim::AgentOptions { die_after: None });
+    let tool = fragdroid::FragDroid::new(config.clone());
+    let _ =
+        tool.run_traced_on(&gen.app, &gen.known_inputs, &fd_trace::Tracer::disabled(), &mut device);
+    let mut samples = device.round_trips_us().to_vec();
+    samples.sort_unstable();
+
+    let in_process = backend_stats(&best_in.expect("BACKEND_PASSES > 0").0);
+    let subprocess = backend_stats(&best_sub.expect("BACKEND_PASSES > 0").0);
+    let subprocess_overhead_pct = if in_process.wall_ms > 0 {
+        (subprocess.wall_ms as f64 / in_process.wall_ms as f64 - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    BackendOverhead {
+        apps: slice.len(),
+        passes: BACKEND_PASSES,
+        requests: samples.len(),
+        request_p50_us: quantile_us(&samples, 0.50),
+        request_p95_us: quantile_us(&samples, 0.95),
+        in_process,
+        subprocess,
+        subprocess_overhead_pct,
     }
 }
 
@@ -179,6 +320,8 @@ fn main() {
         })
         .collect();
 
+    let backends = bench_backends();
+
     let (untraced_run, ()) = best_untraced.expect("PASSES > 0");
     let (disabled_run, _) = best_disabled.expect("PASSES > 0");
     let (traced_run, trace) = best_traced.expect("PASSES > 0");
@@ -207,6 +350,7 @@ fn main() {
         disabled,
         traced,
         scaling,
+        backends,
     };
 
     let json = serde_json::to_string_pretty(&bench).expect("bench record serializes");

@@ -1,8 +1,41 @@
 //! Subcommand implementations.
 
-use crate::args::parse;
+use crate::args::{parse, Parsed};
 use crate::{load_app, load_app_traced, load_inputs, write_trace, CliError};
 use fragdroid::{FragDroid, FragDroidConfig};
+
+/// Parses `--backend <in-process|subprocess|mock-adb>` (defaulting to the
+/// in-process simulator).
+fn parse_backend(p: &Parsed) -> Result<fd_droidsim::DeviceBackend, String> {
+    match p.opt("backend") {
+        None => Ok(fd_droidsim::DeviceBackend::default()),
+        Some(name) => fd_droidsim::DeviceBackend::parse(name)
+            .ok_or_else(|| format!("unknown backend '{name}' (in-process, subprocess, mock-adb)")),
+    }
+}
+
+/// `fragdroid device-agent [--die-after N]` — the child end of the
+/// subprocess backend: serves the length-prefixed device wire protocol
+/// over stdin/stdout until the parent hangs up. `--die-after N` makes the
+/// agent vanish without replying to request `N` (counting the install as
+/// request 0) — the deterministic SIGKILL stand-in CI's kill-injection
+/// uses to exercise the pool's recovery path.
+pub fn device_agent(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv)?;
+    if !p.positional.is_empty() {
+        return Err("device-agent takes no positional arguments".into());
+    }
+    let die_after = match p.opt("die-after") {
+        None => None,
+        Some(v) => {
+            Some(v.parse::<u64>().map_err(|_| format!("--die-after expects a number, got '{v}'"))?)
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    fd_droidsim::serve(stdin.lock(), stdout.lock(), fd_droidsim::AgentOptions { die_after })
+        .map_err(|e| CliError::Failure(format!("device-agent: {e}")))
+}
 
 /// Pretty-serializes with the error propagated instead of panicking, so a
 /// CLI failure is a message, not a crash.
@@ -119,7 +152,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let mut config = FragDroidConfig {
         event_budget: p.num("budget", 40_000)? as usize,
         ..FragDroidConfig::default()
-    };
+    }
+    .with_backend(parse_backend(&p)?);
     let fault_rate = p.fraction("fault-rate", 0.0)?;
     if fault_rate > 0.0 {
         config = config.with_faults(p.num("fault-seed", 1)?, fault_rate);
@@ -198,6 +232,9 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     println!("test cases:            {}", report.test_cases_run);
     println!("events:                {}", report.events_injected);
     println!("crashes:               {}", report.crashes);
+    if let Some(detail) = &report.infra_failure {
+        println!("device infra failure:  {detail} (not an app crash)");
+    }
     if report.faults_injected > 0 || report.retries > 0 {
         println!("faults injected:       {}", report.faults_injected);
         println!("retries:               {}", report.retries);
@@ -323,7 +360,8 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
         apps.truncate(limit);
     }
 
-    let mut config = FragDroidConfig::default();
+    let backend = parse_backend(&p)?;
+    let mut config = FragDroidConfig::default().with_backend(backend);
     let deadline_ms = p.num("deadline-ms", 0)?;
     if deadline_ms > 0 {
         config = config.with_deadline(std::time::Duration::from_millis(deadline_ms));
@@ -335,6 +373,30 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
     let workers = match p.num("workers", 0)? as usize {
         0 => fragdroid::suite::engine::default_workers(apps.len()),
         workers => workers,
+    };
+    let agent_die_after = p.num("agent-die-after", 0)?;
+    if agent_die_after > 0 && backend != fd_droidsim::DeviceBackend::Subprocess {
+        return Err("--agent-die-after requires --backend subprocess".into());
+    }
+    // Kill-injection: lane generation 0 gets an agent that hangs up after
+    // N requests; the replacement generations are healthy, so the pool's
+    // retry/quarantine machinery — not luck — must carry the suite home.
+    let pool = if agent_die_after > 0 {
+        let lanes = workers.min(apps.len().max(1)).max(1);
+        Some(fragdroid::DevicePool::with_factory(
+            lanes,
+            Box::new(move |_lane, generation| {
+                let extra = if generation == 0 {
+                    vec!["--die-after".to_string(), agent_die_after.to_string()]
+                } else {
+                    Vec::new()
+                };
+                Box::new(fd_droidsim::SubprocessDevice::spawn_cli(extra))
+                    as Box<dyn fd_droidsim::DeviceApi>
+            }),
+        ))
+    } else {
+        None
     };
     let trace_out = p.opt("trace-out");
     let trace_config = if trace_out.is_some() {
@@ -362,19 +424,36 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
             }
             opts
         });
-        let (suite, trace) = fragdroid::run_container_suite_checkpointed(
-            &apps,
-            &config,
-            workers,
-            &trace_config,
-            opts.as_ref(),
-            flake_retries,
-        )?;
+        let (suite, trace) = match &pool {
+            Some(pool) => fragdroid::run_container_suite_checkpointed_pooled(
+                &apps,
+                &config,
+                workers,
+                &trace_config,
+                opts.as_ref(),
+                flake_retries,
+                pool,
+            )?,
+            None => fragdroid::run_container_suite_checkpointed(
+                &apps,
+                &config,
+                workers,
+                &trace_config,
+                opts.as_ref(),
+                flake_retries,
+            )?,
+        };
         let progress = Some((suite.resumed, suite.fresh, suite.remaining(), suite.torn_tail_bytes));
         (suite.run, trace, progress)
     } else {
-        let (run, trace) =
-            fragdroid::suite::run_container_suite_traced(&apps, &config, workers, &trace_config);
+        let (run, trace) = match &pool {
+            Some(pool) => {
+                fragdroid::run_container_suite_pooled(&apps, &config, workers, &trace_config, pool)
+            }
+            None => {
+                fragdroid::suite::run_container_suite_traced(&apps, &config, workers, &trace_config)
+            }
+        };
         (run, trace, None)
     };
     if let Some(out) = trace_out {
@@ -448,6 +527,13 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
             flakes.retries
         );
     }
+    if m.device_incidents > 0 {
+        println!(
+            "device pool: {} infrastructure incidents absorbed (backend {})",
+            m.device_incidents,
+            backend.name()
+        );
+    }
     // The timing-free fingerprint of what the suite found; CI diffs this
     // line between an interrupted+resumed run and an uninterrupted one.
     if progress.map_or(true, |(_, _, remaining, _)| remaining == 0) {
@@ -471,8 +557,9 @@ pub fn fuzz(argv: &[String]) -> Result<(), CliError> {
         Some(spec) => spec
             .split(',')
             .map(|name| {
-                fd_fuzz::Target::parse(name.trim())
-                    .ok_or_else(|| format!("unknown fuzz target '{name}' (container, smali, json)"))
+                fd_fuzz::Target::parse(name.trim()).ok_or_else(|| {
+                    format!("unknown fuzz target '{name}' (container, smali, json, protocol)")
+                })
             })
             .collect::<Result<Vec<_>, String>>()?,
     };

@@ -99,6 +99,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "java" => cmds::java(rest),
         "repack" => cmds::repack(rest),
         "corpus" => cmds::corpus(rest),
+        "device-agent" => cmds::device_agent(rest),
         "fuzz" => cmds::fuzz(rest),
         "trace" => cmds::trace(rest),
         "templates" => {
@@ -127,6 +128,7 @@ USAGE:
   fragdroid run <app.fapk> [--inputs F] [--budget N] [--json] [--find-api g/n]
                 [--fault-rate R] [--fault-seed N] [--trace-out T.jsonl]
                 [--checkpoint J] [--resume] [--flake-retries N]
+                [--backend in-process|subprocess|mock-adb]
                                           full exploration + coverage report
   fragdroid dump <app.fapk>               launch and print the UI hierarchy
   fragdroid unpack <app.fapk> --out DIR   apktool-style decompile to a directory
@@ -136,11 +138,18 @@ USAGE:
   fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N]
                 [--fault-rate R] [--fault-seed N] [--json] [--trace-out T.jsonl]
                 [--checkpoint J] [--resume] [--flake-retries N] [--app-budget N]
+                [--backend B] [--agent-die-after N]
                                           run the synthetic corpus on the suite runner
                                           (journal progress to J; --resume continues
                                           an interrupted journal; --app-budget stops
-                                          after N fresh apps, leaving J partial)
-  fragdroid fuzz [--seed N] [--mutants N] [--target container|smali|json]
+                                          after N fresh apps, leaving J partial;
+                                          --agent-die-after kills each lane's first
+                                          subprocess agent after N requests to
+                                          exercise device-pool recovery)
+  fragdroid device-agent [--die-after N]  serve the device wire protocol on
+                                          stdin/stdout (spawned by the subprocess
+                                          backend; not for interactive use)
+  fragdroid fuzz [--seed N] [--mutants N] [--target container|smali|json|protocol]
                 [--out DIR] [--trace-out T.jsonl] [--json]
                                           deterministic ingestion-frontier fuzz campaign
   fragdroid trace <trace.jsonl> [--json]  per-phase/per-app profile of a trace

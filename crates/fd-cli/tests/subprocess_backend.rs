@@ -1,0 +1,140 @@
+//! End-to-end tests of the subprocess device backend against the *real*
+//! `fragdroid` binary: `--backend subprocess` re-executes the current
+//! binary as `fragdroid device-agent`, so only a true child-process run
+//! exercises the spawn → wire-protocol → respawn path the library tests
+//! simulate in memory.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn fragdroid(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fragdroid"))
+        .args(args)
+        .output()
+        .expect("spawn fragdroid binary")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "fragdroid failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fd-subproc-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+/// The line-level facts a corpus run must reproduce regardless of
+/// backend: the outcome digest and the coverage/crash summary.
+fn digest_lines(stdout: &str) -> Vec<&str> {
+    stdout
+        .lines()
+        .filter(|l| {
+            l.contains("outcome digest")
+                || l.contains("activities")
+                || l.contains("fragments")
+                || l.contains("crashes")
+        })
+        .collect()
+}
+
+#[test]
+fn run_json_is_byte_identical_across_backends() {
+    let app = tmp("parity.fapk");
+    let app_str = app.to_str().unwrap();
+    stdout_of(&fragdroid(&["gen", app_str, "--template", "fig1-tabs"]));
+    let inputs = format!("{app_str}.inputs.json");
+
+    let native = stdout_of(&fragdroid(&["run", app_str, "--inputs", &inputs, "--json"]));
+    for backend in ["in-process", "subprocess", "mock-adb"] {
+        let wire = stdout_of(&fragdroid(&[
+            "run",
+            app_str,
+            "--inputs",
+            &inputs,
+            "--json",
+            "--backend",
+            backend,
+        ]));
+        assert_eq!(native, wire, "backend {backend} diverged from the default run");
+    }
+}
+
+#[test]
+fn corpus_digest_is_backend_invariant_and_survives_kill_injection() {
+    let base = ["corpus", "--seed", "11", "--limit", "3", "--workers", "2"];
+    let native = stdout_of(&fragdroid(&base));
+
+    let mut sub_args = base.to_vec();
+    sub_args.extend(["--backend", "subprocess"]);
+    let subprocess = stdout_of(&fragdroid(&sub_args));
+
+    let mut kill_args = sub_args.clone();
+    kill_args.extend(["--agent-die-after", "5"]);
+    let killed = stdout_of(&fragdroid(&kill_args));
+
+    assert_eq!(
+        digest_lines(&native),
+        digest_lines(&subprocess),
+        "subprocess corpus run diverged from in-process"
+    );
+    assert_eq!(
+        digest_lines(&native),
+        digest_lines(&killed),
+        "kill-injected corpus run lost coverage or misattributed a crash"
+    );
+    assert!(
+        killed.contains("device pool:") && killed.contains("incidents absorbed"),
+        "kill injection must surface pool incidents, got:\n{killed}"
+    );
+    assert!(
+        !native.contains("device pool:") && !subprocess.contains("device pool:"),
+        "healthy runs must not report incidents"
+    );
+}
+
+#[test]
+fn device_agent_rejects_garbage_instead_of_hanging() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fragdroid"))
+        .arg("device-agent")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn device-agent");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"this is not a frame\n")
+        .expect("write garbage");
+    let out = child.wait_with_output().expect("agent exits");
+    // Corrupt stream → the agent hangs up cleanly without replying (the
+    // *client* maps the hang-up to a typed AgentDied); it must not hang,
+    // guess at a resync, or write a partial reply.
+    assert!(out.status.success(), "corrupt stream is a clean hang-up, not a crash");
+    assert!(out.stdout.is_empty(), "no reply may follow a corrupt frame");
+
+    // Bad usage, on the other hand, is a typed CLI failure.
+    let usage = fragdroid(&["device-agent", "unexpected-positional"]);
+    assert_eq!(usage.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&usage.stderr).contains("device-agent"));
+}
+
+#[test]
+fn backend_flag_errors_are_typed_usage_failures() {
+    let out = fragdroid(&["corpus", "--limit", "1", "--backend", "telepathy"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown backend"));
+
+    let out = fragdroid(&["corpus", "--limit", "1", "--agent-die-after", "5"]);
+    assert_eq!(out.status.code(), Some(1), "--agent-die-after needs the subprocess backend");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("subprocess"));
+}

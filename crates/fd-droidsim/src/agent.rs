@@ -1,0 +1,202 @@
+//! The device-agent serve loop: the subprocess side of the wire
+//! protocol.
+//!
+//! `fd-cli device-agent` runs this loop over stdin/stdout; tests run it
+//! on a thread over in-memory pipes. Either way the agent is a thin
+//! request interpreter over an [`InProcessDevice`] — the same trait
+//! implementation the in-process backend uses — so a subprocess-backed
+//! run executes the exact same simulator code path as an in-process one,
+//! which is what makes byte-identical report parity provable rather than
+//! hopeful.
+//!
+//! Failure behavior is deliberately blunt: a malformed frame ends the
+//! loop (resynchronizing a corrupt length-prefixed stream is guesswork),
+//! and [`AgentOptions::die_after`] makes the agent hang up without
+//! replying after a fixed number of requests — the deterministic
+//! SIGKILL stand-in the recovery tests and CI kill-injection use.
+
+use crate::backend::{DeviceApi, InProcessDevice};
+use crate::proto::{
+    decode_payload, encode_frame, from_hex, AgentRequest, AgentResponse, Envelope, FrameBuffer,
+};
+use std::io::{Read, Write};
+
+/// How a serve loop should behave beyond the straight protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AgentOptions {
+    /// Serve this many requests, then hang up without replying to the
+    /// next one — a deterministic stand-in for the agent being
+    /// SIGKILLed at that request boundary. `None` serves forever.
+    pub die_after: Option<u64>,
+}
+
+/// Interprets one request against the agent's device.
+fn apply(device: &mut InProcessDevice, request: AgentRequest) -> AgentResponse {
+    match request {
+        AgentRequest::Install { container_hex, config } => {
+            let result = from_hex(&container_hex)
+                .map_err(|e| e.to_string())
+                .map(bytes::Bytes::from)
+                .and_then(|b| fd_apk::decompile(&b).map_err(|e| format!("{e:?}")))
+                .and_then(|app| device.install_app(&app, config).map_err(|e| e.to_string()));
+            AgentResponse::Installed(result)
+        }
+        AgentRequest::Launch => AgentResponse::Outcome(device.launch()),
+        AgentRequest::AmStart { component } => AgentResponse::Outcome(device.am_start(&component)),
+        AgentRequest::Click { id } => AgentResponse::Outcome(device.click(&id)),
+        AgentRequest::EnterText { id, text } => AgentResponse::Unit(device.enter_text(&id, &text)),
+        AgentRequest::DismissOverlay => AgentResponse::Outcome(device.dismiss_overlay()),
+        AgentRequest::Back => AgentResponse::Outcome(device.back()),
+        AgentRequest::SwipeOpenDrawer => AgentResponse::Outcome(device.swipe_open_drawer()),
+        AgentRequest::ReflectSwitchFragment { fragment } => {
+            AgentResponse::Outcome(device.reflect_switch_fragment(&fragment))
+        }
+        AgentRequest::Observe => AgentResponse::Observation(device.observe()),
+        AgentRequest::Signature => AgentResponse::Signature(device.signature()),
+        AgentRequest::VisibleWidgets => AgentResponse::Widgets(device.visible_widgets()),
+        AgentRequest::StackDepth => AgentResponse::Count(device.stack_depth()),
+        AgentRequest::IsCrashed => AgentResponse::Flag(device.is_crashed()),
+        AgentRequest::CrashSite => AgentResponse::Signature(device.crash_site()),
+        AgentRequest::Invocations => AgentResponse::Invocations(device.invocations()),
+        AgentRequest::FaultRecordsSince { from } => {
+            AgentResponse::FaultRecords(device.fault_records_since(from))
+        }
+        AgentRequest::FaultLog => AgentResponse::FaultLog(device.fault_log()),
+        AgentRequest::FaultsInjected => AgentResponse::Count(device.faults_injected()),
+        AgentRequest::Clock => AgentResponse::Clock(device.clock()),
+        AgentRequest::AdvanceClock { ticks } => AgentResponse::Unit(device.advance_clock(ticks)),
+        AgentRequest::Reset => AgentResponse::Unit(device.reset()),
+        AgentRequest::Grant { permission } => AgentResponse::Unit(device.grant(&permission)),
+        AgentRequest::Revoke { permission } => AgentResponse::Unit(device.revoke(&permission)),
+        AgentRequest::Ping => AgentResponse::Pong,
+        AgentRequest::Shutdown => AgentResponse::Bye,
+    }
+}
+
+/// Runs the serve loop until EOF, a protocol error, an orderly
+/// [`AgentRequest::Shutdown`], or the [`AgentOptions::die_after`] cutoff.
+pub fn serve<R: Read, W: Write>(
+    mut input: R,
+    mut output: W,
+    options: AgentOptions,
+) -> std::io::Result<()> {
+    let mut device = InProcessDevice::new();
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut served = 0u64;
+    loop {
+        // Drain every complete frame already buffered before reading.
+        loop {
+            let payload = match frames.next_frame() {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                // Corrupt stream: hang up rather than guess at resync.
+                Err(_) => return Ok(()),
+            };
+            let Ok(envelope) = decode_payload::<AgentRequest>(&payload) else {
+                return Ok(());
+            };
+            if options.die_after == Some(served) {
+                // The SIGKILL stand-in: request received, no reply, gone.
+                return Ok(());
+            }
+            served += 1;
+            let shutdown = matches!(envelope.body, AgentRequest::Shutdown);
+            let reply = Envelope { id: envelope.id, body: apply(&mut device, envelope.body) };
+            output.write_all(&encode_frame(&reply))?;
+            output.flush()?;
+            if shutdown {
+                return Ok(());
+            }
+        }
+        match input.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(n) => frames.push(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::proto::to_hex;
+
+    fn install_request(id: u64) -> Vec<u8> {
+        let gen = fd_appgen::templates::quickstart();
+        let mut app = gen.app.clone();
+        app.manifest.add_main_action_everywhere();
+        let container = fd_apk::pack(&app);
+        encode_frame(&Envelope {
+            id,
+            body: AgentRequest::Install {
+                container_hex: to_hex(&container),
+                config: DeviceConfig::default(),
+            },
+        })
+    }
+
+    fn parse_replies(bytes: &[u8]) -> Vec<Envelope<AgentResponse>> {
+        let mut fb = FrameBuffer::new();
+        fb.push(bytes);
+        let mut out = Vec::new();
+        while let Ok(Some(p)) = fb.next_frame() {
+            out.push(decode_payload(&p).expect("agent replies are well-formed"));
+        }
+        out
+    }
+
+    #[test]
+    fn serves_install_launch_observe() {
+        let mut input = install_request(1);
+        input.extend(encode_frame(&Envelope { id: 2, body: AgentRequest::Launch }));
+        input.extend(encode_frame(&Envelope { id: 3, body: AgentRequest::Observe }));
+        input.extend(encode_frame(&Envelope { id: 4, body: AgentRequest::Shutdown }));
+        let mut output = Vec::new();
+        serve(&input[..], &mut output, AgentOptions::default()).expect("serves");
+        let replies = parse_replies(&output);
+        assert_eq!(replies.len(), 4);
+        assert_eq!(replies[0].id, 1);
+        assert!(matches!(&replies[0].body, AgentResponse::Installed(Ok(()))));
+        assert!(matches!(&replies[1].body, AgentResponse::Outcome(Ok(_))));
+        match &replies[2].body {
+            AgentResponse::Observation(Ok(Some(obs))) => {
+                assert!(!obs.activity.as_str().is_empty());
+            }
+            other => panic!("expected an observation, got {other:?}"),
+        }
+        assert!(matches!(&replies[3].body, AgentResponse::Bye));
+    }
+
+    #[test]
+    fn requests_before_install_get_no_app() {
+        let input = encode_frame(&Envelope { id: 9, body: AgentRequest::Launch });
+        let mut output = Vec::new();
+        serve(&input[..], &mut output, AgentOptions::default()).expect("serves");
+        let replies = parse_replies(&output);
+        assert!(matches!(&replies[0].body, AgentResponse::Outcome(Err(crate::DeviceError::NoApp))));
+    }
+
+    #[test]
+    fn die_after_hangs_up_without_replying() {
+        let mut input = install_request(1);
+        input.extend(encode_frame(&Envelope { id: 2, body: AgentRequest::Launch }));
+        input.extend(encode_frame(&Envelope { id: 3, body: AgentRequest::Clock }));
+        let mut output = Vec::new();
+        serve(&input[..], &mut output, AgentOptions { die_after: Some(1) }).expect("serves");
+        let replies = parse_replies(&output);
+        assert_eq!(replies.len(), 1, "request index 1 (Launch) got no reply");
+        assert_eq!(replies[0].id, 1);
+    }
+
+    #[test]
+    fn corrupt_frames_end_the_session_quietly() {
+        let mut input = install_request(1);
+        input.extend_from_slice(b"not a frame at all");
+        let mut output = Vec::new();
+        serve(&input[..], &mut output, AgentOptions::default()).expect("no io error");
+        assert_eq!(parse_replies(&output).len(), 1);
+    }
+}

@@ -14,8 +14,9 @@ use std::collections::BTreeSet;
 /// Maximum activity back-stack depth.
 const MAX_STACK: usize = 48;
 
-/// Device-level configuration.
-#[derive(Clone, Debug, Default)]
+/// Device-level configuration. Serializable so it can cross the wire to
+/// a subprocess device agent unchanged.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DeviceConfig {
     /// Permissions to withhold even though the manifest requests them —
     /// reproduces the paper's "some apps failed in the dynamic testing due

@@ -1,10 +1,13 @@
 //! Device-level errors.
 
 use fd_smali::ClassName;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// An error produced by the simulated device.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// An error produced by a device backend — either the simulated device
+/// itself, or (for the subprocess backend) the machinery that talks to
+/// it. Serializable so a device agent can return it over the wire.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DeviceError {
     /// No app is installed.
     NoApp,
@@ -51,11 +54,30 @@ pub enum DeviceError {
     /// The activity back stack overflowed (a start-activity cycle in the
     /// app's `onCreate` chain).
     StackOverflow,
+    /// The device agent process died (exited, was killed, or closed its
+    /// pipe) before or while answering a request. Infrastructure: the
+    /// app is not to blame and the run should move to a fresh device.
+    AgentDied {
+        /// What the transport observed (exit status, pipe error, …).
+        detail: String,
+    },
+    /// The device agent did not answer a request within the per-request
+    /// timeout — a wedged pipe or a hung agent. Infrastructure.
+    AgentTimeout {
+        /// The timeout that elapsed, in milliseconds.
+        ms: u64,
+    },
+    /// The agent answered with bytes that do not decode as a protocol
+    /// frame, or with a reply of the wrong shape or id. Infrastructure.
+    Protocol {
+        /// What failed to decode or match.
+        detail: String,
+    },
 }
 
 /// Coarse classification of a [`DeviceError`] — what a recovery
 /// supervisor keys its policy on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ErrorClass {
     /// The device hiccuped but the app is fine; a bounded retry with
     /// backoff is worthwhile ([`DeviceError::Anr`],
@@ -70,6 +92,12 @@ pub enum ErrorClass {
     /// Everything else: the app is crashed, not running, or the request
     /// itself is unsatisfiable. Retrying verbatim is pointless.
     Fatal,
+    /// The device *backend* failed, not the app: the agent process died,
+    /// timed out, or spoke garbage ([`DeviceError::AgentDied`],
+    /// [`DeviceError::AgentTimeout`], [`DeviceError::Protocol`]). The run
+    /// must be abandoned and the app retried on a fresh device lease —
+    /// and the failure must never be attributed to the app as a crash.
+    Infrastructure,
 }
 
 impl DeviceError {
@@ -80,13 +108,16 @@ impl DeviceError {
             DeviceError::NoSuchWidget(_)
             | DeviceError::NotClickable(_)
             | DeviceError::NotEditable(_) => ErrorClass::WidgetGone,
+            DeviceError::AgentDied { .. }
+            | DeviceError::AgentTimeout { .. }
+            | DeviceError::Protocol { .. } => ErrorClass::Infrastructure,
             _ => ErrorClass::Fatal,
         }
     }
 }
 
 /// Why a reflective fragment switch failed.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReflectError {
     /// The host activity never obtains a `FragmentManager`, so there is
     /// nothing to reflect on — the *dubsmash* case: "several Fragments
@@ -148,6 +179,11 @@ impl fmt::Display for DeviceError {
             DeviceError::TransientStart => {
                 write!(f, "am start failed transiently (activity manager timeout)")
             }
+            DeviceError::AgentDied { detail } => write!(f, "device agent died: {detail}"),
+            DeviceError::AgentTimeout { ms } => {
+                write!(f, "device agent did not answer within {ms} ms")
+            }
+            DeviceError::Protocol { detail } => write!(f, "device protocol error: {detail}"),
         }
     }
 }
@@ -179,5 +215,38 @@ mod tests {
         assert_eq!(DeviceError::NotRunning.class(), ErrorClass::Fatal);
         assert_eq!(DeviceError::Crashed { reason: "e".into() }.class(), ErrorClass::Fatal);
         assert_eq!(DeviceError::StackOverflow.class(), ErrorClass::Fatal);
+    }
+
+    #[test]
+    fn infrastructure_errors_are_their_own_class() {
+        assert_eq!(
+            DeviceError::AgentDied { detail: "exit 137".into() }.class(),
+            ErrorClass::Infrastructure
+        );
+        assert_eq!(DeviceError::AgentTimeout { ms: 500 }.class(), ErrorClass::Infrastructure);
+        assert_eq!(
+            DeviceError::Protocol { detail: "bad frame".into() }.class(),
+            ErrorClass::Infrastructure
+        );
+    }
+
+    #[test]
+    fn device_errors_roundtrip_through_json() {
+        let errors = vec![
+            DeviceError::Anr { ticks: 5_500 },
+            DeviceError::NoSuchWidget("go".into()),
+            DeviceError::ReflectionFailed {
+                fragment: "a.F".into(),
+                why: ReflectError::NoContainer,
+            },
+            DeviceError::AgentDied { detail: "pipe closed".into() },
+            DeviceError::AgentTimeout { ms: 250 },
+            DeviceError::Protocol { detail: "id mismatch".into() },
+        ];
+        for e in errors {
+            let json = serde_json::to_string(&e).expect("serializes");
+            let back: DeviceError = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, e);
+        }
     }
 }

@@ -43,6 +43,8 @@
 //! ```
 
 pub mod adb;
+pub mod agent;
+pub mod backend;
 pub mod device;
 pub mod dump;
 pub mod error;
@@ -51,11 +53,15 @@ pub mod intent;
 pub mod interp;
 pub mod monitor;
 pub mod outcome;
+pub mod proto;
 pub mod screen;
 pub mod script;
+pub mod subprocess;
 pub mod trace;
 
 pub use adb::Adb;
+pub use agent::{serve, AgentOptions};
+pub use backend::{DeviceApi, DeviceBackend, InProcessDevice, MockAdbDevice, ScreenObservation};
 pub use device::{Device, DeviceConfig};
 pub use dump::dump_hierarchy;
 pub use error::{DeviceError, ErrorClass};
@@ -65,4 +71,5 @@ pub use monitor::{ApiInvocation, ApiMonitor, Caller, SENSITIVE_APIS};
 pub use outcome::{EventOutcome, UiSignature};
 pub use screen::{FragmentPane, Overlay, Screen, VisibleWidget};
 pub use script::{Op, ScriptReport, TestScript};
+pub use subprocess::{AgentTransport, ChildTransport, InMemoryTransport, SubprocessDevice};
 pub use trace::{replay, Recorder, ReplayOutcome, Trace, TraceStep};

@@ -1,0 +1,593 @@
+//! The subprocess device backend: a device agent behind a pipe.
+//!
+//! [`SubprocessDevice`] implements [`DeviceApi`] by sending each request
+//! as one wire-protocol frame to an agent and waiting (with a
+//! per-request timeout) for the matching reply. The agent is reached
+//! through an [`AgentTransport`]:
+//!
+//! * [`ChildTransport`] — a real `fd-cli device-agent` child process
+//!   over stdin/stdout, giving true crash isolation: agent death, a
+//!   wedged pipe, or a malformed reply surface as typed
+//!   infrastructure-class [`DeviceError`]s, never as hangs or panics.
+//! * [`InMemoryTransport`] — the same serve loop on a thread over
+//!   in-memory pipes, for deterministic tests and benches that cannot
+//!   spawn the CLI binary.
+//!
+//! Sessions are re-established at app granularity: a transport failure
+//! poisons the session (silently retrying mid-run on a fresh device
+//! would corrupt exploration state), and the next
+//! [`DeviceApi::install_app`] respawns the agent with bounded backoff.
+
+use crate::backend::{DeviceApi, ScreenObservation};
+use crate::device::DeviceConfig;
+use crate::error::DeviceError;
+use crate::faults::{FaultLog, FaultRecord};
+use crate::monitor::ApiInvocation;
+use crate::outcome::{EventOutcome, UiSignature};
+use crate::proto::{
+    decode_payload, encode_frame, to_hex, AgentRequest, AgentResponse, Envelope, FrameBuffer,
+};
+use crate::screen::VisibleWidget;
+use fd_apk::AndroidApp;
+use std::io::{Read, Write};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// A byte pipe to a device agent. Implementations deliver raw chunks;
+/// framing happens on the client side so every transport shares one
+/// (fuzz-hardened) decoder.
+pub trait AgentTransport: Send {
+    /// Writes one encoded frame to the agent.
+    fn send(&mut self, frame: &[u8]) -> Result<(), DeviceError>;
+    /// Receives the next raw chunk from the agent, waiting at most
+    /// `timeout`.
+    fn recv_chunk(&mut self, timeout: Duration) -> Result<Vec<u8>, DeviceError>;
+}
+
+/// Builds transports on demand — what lets [`SubprocessDevice`] respawn
+/// a dead agent.
+pub type TransportFactory = Box<dyn FnMut() -> Result<Box<dyn AgentTransport>, DeviceError> + Send>;
+
+fn died(detail: impl Into<String>) -> DeviceError {
+    DeviceError::AgentDied { detail: detail.into() }
+}
+
+// ---------------------------------------------------------------------
+// Child-process transport
+// ---------------------------------------------------------------------
+
+/// A transport to a real agent child process. A reader thread drains the
+/// child's stdout into a channel so receives can time out — a blocking
+/// pipe read cannot.
+pub struct ChildTransport {
+    child: std::process::Child,
+    stdin: std::process::ChildStdin,
+    rx: mpsc::Receiver<Result<Vec<u8>, DeviceError>>,
+}
+
+impl ChildTransport {
+    /// Spawns `program` with `args`, wiring stdin/stdout as the protocol
+    /// pipe. The child's stderr is inherited so agent diagnostics land
+    /// in the parent's log.
+    pub fn spawn(program: &std::path::Path, args: &[String]) -> Result<Self, DeviceError> {
+        let mut child = std::process::Command::new(program)
+            .args(args)
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .map_err(|e| died(format!("spawn {}: {e}", program.display())))?;
+        let stdin = child.stdin.take().ok_or_else(|| died("child stdin unavailable"))?;
+        let mut stdout = child.stdout.take().ok_or_else(|| died("child stdout unavailable"))?;
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let mut chunk = [0u8; 64 * 1024];
+            loop {
+                match stdout.read(&mut chunk) {
+                    Ok(0) => {
+                        let _ = tx.send(Err(died("agent closed its pipe (exited or was killed)")));
+                        return;
+                    }
+                    Ok(n) => {
+                        if tx.send(Ok(chunk[..n].to_vec())).is_err() {
+                            return; // client side gone
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        let _ = tx.send(Err(died(format!("agent pipe read: {e}"))));
+                        return;
+                    }
+                }
+            }
+        });
+        Ok(ChildTransport { child, stdin, rx })
+    }
+
+    /// Spawns the current executable with the `device-agent` subcommand —
+    /// the default way a CLI run reaches its agent.
+    pub fn spawn_current_exe(extra_args: &[String]) -> Result<Self, DeviceError> {
+        let exe = std::env::current_exe().map_err(|e| died(format!("current_exe: {e}")))?;
+        let mut args = vec!["device-agent".to_string()];
+        args.extend_from_slice(extra_args);
+        ChildTransport::spawn(&exe, &args)
+    }
+}
+
+impl AgentTransport for ChildTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), DeviceError> {
+        self.stdin
+            .write_all(frame)
+            .and_then(|()| self.stdin.flush())
+            .map_err(|e| died(format!("agent pipe write: {e}")))
+    }
+
+    fn recv_chunk(&mut self, timeout: Duration) -> Result<Vec<u8>, DeviceError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                Err(DeviceError::AgentTimeout { ms: timeout.as_millis() as u64 })
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(died("agent reader thread gone")),
+        }
+    }
+}
+
+impl Drop for ChildTransport {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-memory transport
+// ---------------------------------------------------------------------
+
+/// The read end of an in-memory byte pipe.
+struct PipeReader {
+    rx: mpsc::Receiver<Vec<u8>>,
+    leftover: Vec<u8>,
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.leftover.is_empty() {
+            match self.rx.recv() {
+                Ok(chunk) => self.leftover = chunk,
+                Err(_) => return Ok(0), // writer gone: EOF
+            }
+        }
+        let n = self.leftover.len().min(buf.len());
+        buf[..n].copy_from_slice(&self.leftover[..n]);
+        self.leftover.drain(..n);
+        Ok(n)
+    }
+}
+
+/// The write end of an in-memory byte pipe.
+struct PipeWriter {
+    tx: mpsc::Sender<Vec<u8>>,
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "reader gone"))?;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The agent serve loop on a thread, behind in-memory pipes — process
+/// isolation minus the process, for deterministic tests and benches.
+pub struct InMemoryTransport {
+    to_agent: mpsc::Sender<Vec<u8>>,
+    from_agent: mpsc::Receiver<Vec<u8>>,
+}
+
+impl InMemoryTransport {
+    /// Starts an agent thread with `options` and returns the client end.
+    pub fn start(options: crate::agent::AgentOptions) -> Self {
+        let (client_tx, agent_rx) = mpsc::channel::<Vec<u8>>();
+        let (agent_tx, client_rx) = mpsc::channel::<Vec<u8>>();
+        std::thread::spawn(move || {
+            let input = PipeReader { rx: agent_rx, leftover: Vec::new() };
+            let output = PipeWriter { tx: agent_tx };
+            let _ = crate::agent::serve(input, output, options);
+            // serve returning drops `output`; the client sees EOF.
+        });
+        InMemoryTransport { to_agent: client_tx, from_agent: client_rx }
+    }
+}
+
+impl AgentTransport for InMemoryTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), DeviceError> {
+        self.to_agent.send(frame.to_vec()).map_err(|_| died("agent thread hung up"))
+    }
+
+    fn recv_chunk(&mut self, timeout: Duration) -> Result<Vec<u8>, DeviceError> {
+        match self.from_agent.recv_timeout(timeout) {
+            Ok(chunk) => Ok(chunk),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                Err(DeviceError::AgentTimeout { ms: timeout.as_millis() as u64 })
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(died("agent thread hung up")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The subprocess-backed DeviceApi
+// ---------------------------------------------------------------------
+
+/// Default per-request reply timeout.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Bounded respawn attempts per session establishment.
+const RESPAWN_LIMIT: u32 = 3;
+/// Base backoff between respawn attempts (doubles per attempt).
+const BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// Cap on retained per-request round-trip samples (for benches).
+const MAX_SAMPLES: usize = 1 << 16;
+
+/// A [`DeviceApi`] whose device lives behind an [`AgentTransport`].
+pub struct SubprocessDevice {
+    factory: TransportFactory,
+    transport: Option<Box<dyn AgentTransport>>,
+    frames: FrameBuffer,
+    next_id: u64,
+    timeout: Duration,
+    requests: u64,
+    respawns: u32,
+    round_trips_us: Vec<u64>,
+}
+
+impl SubprocessDevice {
+    /// A device over transports built by `factory`. No agent is spawned
+    /// until the first [`DeviceApi::install_app`].
+    pub fn new(factory: TransportFactory) -> Self {
+        SubprocessDevice {
+            factory,
+            transport: None,
+            frames: FrameBuffer::new(),
+            next_id: 0,
+            timeout: DEFAULT_TIMEOUT,
+            requests: 0,
+            respawns: 0,
+            round_trips_us: Vec::new(),
+        }
+    }
+
+    /// A device whose agents are `device-agent` children of the current
+    /// executable, each spawned with `extra_args`.
+    pub fn spawn_cli(extra_args: Vec<String>) -> Self {
+        SubprocessDevice::new(Box::new(move || {
+            ChildTransport::spawn_current_exe(&extra_args)
+                .map(|t| Box::new(t) as Box<dyn AgentTransport>)
+        }))
+    }
+
+    /// A device over in-memory agent threads with `options` — the
+    /// deterministic test/bench configuration.
+    pub fn in_memory(options: crate::agent::AgentOptions) -> Self {
+        SubprocessDevice::new(Box::new(move || {
+            Ok(Box::new(InMemoryTransport::start(options)) as Box<dyn AgentTransport>)
+        }))
+    }
+
+    /// Overrides the per-request reply timeout (builder style).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Requests sent so far (across respawns).
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Agent respawns performed after the first spawn.
+    pub fn respawns(&self) -> u32 {
+        self.respawns
+    }
+
+    /// Per-request round-trip times, in microseconds (capped buffer).
+    pub fn round_trips_us(&self) -> &[u64] {
+        &self.round_trips_us
+    }
+
+    /// Whether a live agent session exists.
+    pub fn is_live(&self) -> bool {
+        self.transport.is_some()
+    }
+
+    /// Sends one request and waits for its reply. Any transport or
+    /// protocol failure poisons the session: the transport is dropped
+    /// (killing a child agent) and the typed error is returned.
+    fn request(&mut self, body: AgentRequest) -> Result<AgentResponse, DeviceError> {
+        let result = self.request_inner(body);
+        if result.is_err() {
+            self.transport = None;
+            self.frames = FrameBuffer::new();
+        }
+        result
+    }
+
+    fn request_inner(&mut self, body: AgentRequest) -> Result<AgentResponse, DeviceError> {
+        let transport = self.transport.as_mut().ok_or_else(|| died("no live agent session"))?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.requests += 1;
+        let started = Instant::now();
+        transport.send(&encode_frame(&Envelope { id, body }))?;
+        let deadline = started + self.timeout;
+        let payload = loop {
+            match self.frames.next_frame() {
+                Ok(Some(p)) => break p,
+                Ok(None) => {}
+                Err(e) => return Err(DeviceError::Protocol { detail: e.to_string() }),
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(DeviceError::AgentTimeout { ms: self.timeout.as_millis() as u64 });
+            }
+            let chunk = transport.recv_chunk(deadline - now)?;
+            self.frames.push(&chunk);
+        };
+        let envelope: Envelope<AgentResponse> = decode_payload(&payload)
+            .map_err(|e| DeviceError::Protocol { detail: e.to_string() })?;
+        if envelope.id != id {
+            return Err(DeviceError::Protocol {
+                detail: format!("reply id {} does not match request id {id}", envelope.id),
+            });
+        }
+        if self.round_trips_us.len() < MAX_SAMPLES {
+            self.round_trips_us.push(started.elapsed().as_micros() as u64);
+        }
+        Ok(envelope.body)
+    }
+
+    fn shape_error(&mut self, what: &str, got: AgentResponse) -> DeviceError {
+        self.transport = None;
+        self.frames = FrameBuffer::new();
+        DeviceError::Protocol { detail: format!("expected {what} reply, got {got:?}") }
+    }
+}
+
+/// Unwraps one reply variant, poisoning the session on a shape mismatch.
+macro_rules! expect_reply {
+    ($self:ident, $req:expr, $variant:ident, $what:literal) => {
+        match $self.request($req)? {
+            AgentResponse::$variant(inner) => inner,
+            other => return Err($self.shape_error($what, other)),
+        }
+    };
+}
+
+impl DeviceApi for SubprocessDevice {
+    fn install_app(&mut self, app: &AndroidApp, config: DeviceConfig) -> Result<(), DeviceError> {
+        let container_hex = to_hex(&fd_apk::pack(app));
+        let mut last_err = died("no spawn attempted");
+        for attempt in 0..=RESPAWN_LIMIT {
+            if attempt > 0 {
+                self.respawns += 1;
+                let backoff = BACKOFF_BASE * (1u32 << (attempt - 1).min(4));
+                std::thread::sleep(backoff);
+            }
+            if self.transport.is_none() {
+                match (self.factory)() {
+                    Ok(t) => {
+                        self.transport = Some(t);
+                        self.frames = FrameBuffer::new();
+                    }
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                }
+            }
+            let req = AgentRequest::Install {
+                container_hex: container_hex.clone(),
+                config: config.clone(),
+            };
+            match self.request(req) {
+                Ok(AgentResponse::Installed(Ok(()))) => return Ok(()),
+                Ok(AgentResponse::Installed(Err(msg))) => {
+                    // The agent is alive but refused the container; a
+                    // respawn cannot change that.
+                    return Err(DeviceError::Protocol {
+                        detail: format!("agent install failed: {msg}"),
+                    });
+                }
+                Ok(other) => return Err(self.shape_error("Installed", other)),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn launch(&mut self) -> Result<EventOutcome, DeviceError> {
+        expect_reply!(self, AgentRequest::Launch, Outcome, "Outcome")
+    }
+    fn am_start(&mut self, component: &str) -> Result<EventOutcome, DeviceError> {
+        let req = AgentRequest::AmStart { component: component.to_string() };
+        expect_reply!(self, req, Outcome, "Outcome")
+    }
+    fn click(&mut self, id: &str) -> Result<EventOutcome, DeviceError> {
+        let req = AgentRequest::Click { id: id.to_string() };
+        expect_reply!(self, req, Outcome, "Outcome")
+    }
+    fn enter_text(&mut self, id: &str, text: &str) -> Result<(), DeviceError> {
+        let req = AgentRequest::EnterText { id: id.to_string(), text: text.to_string() };
+        expect_reply!(self, req, Unit, "Unit")
+    }
+    fn dismiss_overlay(&mut self) -> Result<EventOutcome, DeviceError> {
+        expect_reply!(self, AgentRequest::DismissOverlay, Outcome, "Outcome")
+    }
+    fn back(&mut self) -> Result<EventOutcome, DeviceError> {
+        expect_reply!(self, AgentRequest::Back, Outcome, "Outcome")
+    }
+    fn swipe_open_drawer(&mut self) -> Result<EventOutcome, DeviceError> {
+        expect_reply!(self, AgentRequest::SwipeOpenDrawer, Outcome, "Outcome")
+    }
+    fn reflect_switch_fragment(&mut self, fragment: &str) -> Result<EventOutcome, DeviceError> {
+        let req = AgentRequest::ReflectSwitchFragment { fragment: fragment.to_string() };
+        expect_reply!(self, req, Outcome, "Outcome")
+    }
+
+    fn observe(&mut self) -> Result<Option<ScreenObservation>, DeviceError> {
+        expect_reply!(self, AgentRequest::Observe, Observation, "Observation")
+    }
+    fn signature(&mut self) -> Result<Option<UiSignature>, DeviceError> {
+        expect_reply!(self, AgentRequest::Signature, Signature, "Signature")
+    }
+    fn visible_widgets(&mut self) -> Result<Vec<VisibleWidget>, DeviceError> {
+        expect_reply!(self, AgentRequest::VisibleWidgets, Widgets, "Widgets")
+    }
+    fn stack_depth(&mut self) -> Result<usize, DeviceError> {
+        expect_reply!(self, AgentRequest::StackDepth, Count, "Count")
+    }
+    fn is_crashed(&mut self) -> Result<bool, DeviceError> {
+        expect_reply!(self, AgentRequest::IsCrashed, Flag, "Flag")
+    }
+    fn crash_site(&mut self) -> Result<Option<UiSignature>, DeviceError> {
+        expect_reply!(self, AgentRequest::CrashSite, Signature, "Signature")
+    }
+    fn invocations(&mut self) -> Result<Vec<ApiInvocation>, DeviceError> {
+        expect_reply!(self, AgentRequest::Invocations, Invocations, "Invocations")
+    }
+    fn fault_records_since(&mut self, from: usize) -> Result<Vec<FaultRecord>, DeviceError> {
+        let req = AgentRequest::FaultRecordsSince { from };
+        expect_reply!(self, req, FaultRecords, "FaultRecords")
+    }
+    fn fault_log(&mut self) -> Result<FaultLog, DeviceError> {
+        expect_reply!(self, AgentRequest::FaultLog, FaultLog, "FaultLog")
+    }
+    fn faults_injected(&mut self) -> Result<usize, DeviceError> {
+        expect_reply!(self, AgentRequest::FaultsInjected, Count, "Count")
+    }
+    fn clock(&mut self) -> Result<u64, DeviceError> {
+        expect_reply!(self, AgentRequest::Clock, Clock, "Clock")
+    }
+    fn advance_clock(&mut self, ticks: u64) -> Result<(), DeviceError> {
+        expect_reply!(self, AgentRequest::AdvanceClock { ticks }, Unit, "Unit")
+    }
+    fn reset(&mut self) -> Result<(), DeviceError> {
+        expect_reply!(self, AgentRequest::Reset, Unit, "Unit")
+    }
+    fn grant(&mut self, permission: &str) -> Result<(), DeviceError> {
+        let req = AgentRequest::Grant { permission: permission.to_string() };
+        expect_reply!(self, req, Unit, "Unit")
+    }
+    fn revoke(&mut self, permission: &str) -> Result<(), DeviceError> {
+        let req = AgentRequest::Revoke { permission: permission.to_string() };
+        expect_reply!(self, req, Unit, "Unit")
+    }
+
+    fn ping(&mut self) -> Result<(), DeviceError> {
+        match self.request(AgentRequest::Ping)? {
+            AgentResponse::Pong => Ok(()),
+            other => Err(self.shape_error("Pong", other)),
+        }
+    }
+    fn backend_name(&self) -> &'static str {
+        "subprocess"
+    }
+}
+
+impl Drop for SubprocessDevice {
+    fn drop(&mut self) {
+        if self.transport.is_some() {
+            // Best-effort orderly shutdown; a dead agent is dropped by
+            // the transport's own Drop.
+            let _ = self.request(AgentRequest::Shutdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AgentOptions;
+
+    fn test_app() -> AndroidApp {
+        let gen = fd_appgen::templates::quickstart();
+        let mut app = gen.app.clone();
+        app.manifest.add_main_action_everywhere();
+        app
+    }
+
+    #[test]
+    fn in_memory_session_runs_the_basic_flow() {
+        let mut dev = SubprocessDevice::in_memory(AgentOptions::default());
+        dev.install_app(&test_app(), DeviceConfig::default()).expect("installs");
+        assert!(dev.ping().is_ok());
+        let outcome = dev.launch().expect("launches");
+        assert!(matches!(outcome, EventOutcome::UiChanged { .. }));
+        assert!(dev.signature().expect("signature").is_some());
+        assert!(dev.clock().expect("clock") > 0);
+        assert!(dev.requests() >= 4);
+        assert_eq!(dev.round_trips_us().len() as u64, dev.requests());
+    }
+
+    #[test]
+    fn agent_death_is_a_typed_error_not_a_hang() {
+        // Agent dies at request index 2 (install=0, launch=1, clock=2).
+        let mut dev = SubprocessDevice::in_memory(AgentOptions { die_after: Some(2) })
+            .with_timeout(Duration::from_secs(5));
+        dev.install_app(&test_app(), DeviceConfig::default()).expect("installs");
+        dev.launch().expect("launches");
+        let err = dev.clock().expect_err("agent died");
+        assert_eq!(err.class(), crate::ErrorClass::Infrastructure);
+        assert!(!dev.is_live(), "session is poisoned after a transport failure");
+        // Every further request fails fast with a typed error.
+        let err = dev.launch().expect_err("no session");
+        assert_eq!(err.class(), crate::ErrorClass::Infrastructure);
+    }
+
+    #[test]
+    fn install_respawns_a_dead_session_with_backoff() {
+        let mut dev = SubprocessDevice::in_memory(AgentOptions { die_after: Some(2) })
+            .with_timeout(Duration::from_secs(5));
+        dev.install_app(&test_app(), DeviceConfig::default()).expect("installs");
+        dev.launch().expect("launches");
+        assert!(dev.clock().is_err(), "first agent dies");
+        // Session re-establishment: a fresh install respawns the agent
+        // (which will again die after 2 requests — but install and
+        // launch fit).
+        dev.install_app(&test_app(), DeviceConfig::default()).expect("re-installs");
+        assert!(dev.is_live());
+        dev.launch().expect("launches on the fresh agent");
+    }
+
+    #[test]
+    fn spawn_failures_are_bounded_and_reported() {
+        let mut dev = SubprocessDevice::new(Box::new(|| Err(died("refusing to spawn"))));
+        let err = dev.install_app(&test_app(), DeviceConfig::default()).expect_err("no spawn");
+        assert_eq!(err.class(), crate::ErrorClass::Infrastructure);
+        assert_eq!(dev.respawns(), RESPAWN_LIMIT);
+    }
+
+    #[test]
+    fn timeout_is_typed() {
+        // An agent that never answers: transport whose recv always
+        // blocks until timeout.
+        struct Mute;
+        impl AgentTransport for Mute {
+            fn send(&mut self, _: &[u8]) -> Result<(), DeviceError> {
+                Ok(())
+            }
+            fn recv_chunk(&mut self, timeout: Duration) -> Result<Vec<u8>, DeviceError> {
+                std::thread::sleep(timeout);
+                Err(DeviceError::AgentTimeout { ms: timeout.as_millis() as u64 })
+            }
+        }
+        let mut dev = SubprocessDevice::new(Box::new(|| Ok(Box::new(Mute))))
+            .with_timeout(Duration::from_millis(30));
+        let err = dev.install_app(&test_app(), DeviceConfig::default()).expect_err("times out");
+        assert_eq!(err.class(), crate::ErrorClass::Infrastructure);
+    }
+}

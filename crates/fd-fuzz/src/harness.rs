@@ -27,11 +27,15 @@ pub enum Target {
     /// Schema-aware mutants of the manifest/layouts/meta JSON, spliced
     /// into an otherwise-valid container → the decoder's semantic layer.
     Json,
+    /// Byte-level mutants of encoded device-agent request streams →
+    /// [`fd_droidsim::proto::decode_request_stream`] (the length-prefixed
+    /// framing plus the request JSON the subprocess backend speaks).
+    Protocol,
 }
 
 impl Target {
     /// Every target, in campaign rotation order.
-    pub const ALL: [Target; 3] = [Target::Container, Target::Smali, Target::Json];
+    pub const ALL: [Target; 4] = [Target::Container, Target::Smali, Target::Json, Target::Protocol];
 
     /// Stable lowercase name (CLI `--target` values, report keys).
     pub fn name(&self) -> &'static str {
@@ -39,6 +43,7 @@ impl Target {
             Target::Container => "container",
             Target::Smali => "smali",
             Target::Json => "json",
+            Target::Protocol => "protocol",
         }
     }
 
@@ -167,6 +172,33 @@ struct SeedCorpus {
     smali: Vec<String>,
     /// `(container index, section index, parsed payload)`.
     json: Vec<(usize, usize, Value)>,
+    /// Encoded device-agent request streams (install → explore →
+    /// shutdown), one per container.
+    protocol: Vec<Vec<u8>>,
+}
+
+/// Encodes a representative agent session over `container` as one wire
+/// byte stream — the protocol target's seed.
+fn seed_request_stream(container: &[u8]) -> Vec<u8> {
+    use fd_droidsim::proto::{encode_frame, to_hex, AgentRequest, Envelope};
+    let requests = vec![
+        AgentRequest::Install {
+            container_hex: to_hex(container),
+            config: fd_droidsim::DeviceConfig::default(),
+        },
+        AgentRequest::Launch,
+        AgentRequest::Observe,
+        AgentRequest::Click { id: "tab_home".to_string() },
+        AgentRequest::EnterText { id: "field_user".to_string(), text: "secret".to_string() },
+        AgentRequest::FaultRecordsSince { from: 0 },
+        AgentRequest::Ping,
+        AgentRequest::Shutdown,
+    ];
+    let mut stream = Vec::new();
+    for (id, body) in requests.into_iter().enumerate() {
+        stream.extend_from_slice(&encode_frame(&Envelope { id: id as u64, body }));
+    }
+    stream
 }
 
 impl SeedCorpus {
@@ -176,10 +208,16 @@ impl SeedCorpus {
             fd_appgen::templates::tabbed_categories(),
             fd_appgen::templates::nav_drawer_wallpapers(),
         ];
-        let mut corpus = SeedCorpus { containers: Vec::new(), smali: Vec::new(), json: Vec::new() };
+        let mut corpus = SeedCorpus {
+            containers: Vec::new(),
+            smali: Vec::new(),
+            json: Vec::new(),
+            protocol: Vec::new(),
+        };
         for gen in gens {
             let bytes = fd_apk::pack(&gen.app).to_vec();
             let container_index = corpus.containers.len();
+            corpus.protocol.push(seed_request_stream(&bytes));
             for (section_index, (_, range)) in mutate::section_ranges(&bytes).iter().enumerate() {
                 if section_index == 1 {
                     // The classes section is smali text, not JSON; it is
@@ -198,11 +236,38 @@ impl SeedCorpus {
             corpus.containers.push(bytes);
         }
         assert!(
-            !corpus.containers.is_empty() && !corpus.smali.is_empty() && !corpus.json.is_empty(),
+            !corpus.containers.is_empty()
+                && !corpus.smali.is_empty()
+                && !corpus.json.is_empty()
+                && !corpus.protocol.is_empty(),
             "seed corpus covers every target"
         );
         corpus
     }
+}
+
+/// Feeds `input` one byte at a time through the incremental
+/// [`fd_droidsim::proto::FrameBuffer`], decoding every completed frame —
+/// the differential twin of the whole-buffer decode in [`execute`].
+/// Returns the frame count, or the first typed error.
+fn decode_incrementally(input: &[u8]) -> Result<usize, String> {
+    use fd_droidsim::proto::{decode_payload, AgentRequest, FrameBuffer};
+    let mut frames = FrameBuffer::new();
+    let mut decoded = 0usize;
+    for &byte in input {
+        frames.push(&[byte]);
+        loop {
+            match frames.next_frame() {
+                Ok(Some(payload)) => {
+                    decode_payload::<AgentRequest>(&payload).map_err(|e| e.to_string())?;
+                    decoded += 1;
+                }
+                Ok(None) => break,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    Ok(decoded)
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -238,6 +303,19 @@ fn execute(target: Target, input: &[u8]) -> CaseOutcome {
                 Err(e) => Err(e.to_string()),
             }
         }
+        Target::Protocol => {
+            let whole = fd_droidsim::proto::decode_request_stream(input)
+                .map(|envelopes| envelopes.len())
+                .map_err(|e| e.to_string());
+            // Differential invariant: the incremental decoder fed one
+            // byte at a time must agree with the whole-buffer decode.
+            let incremental = decode_incrementally(input);
+            assert_eq!(
+                whole, incremental,
+                "incremental frame decoding diverged from whole-buffer decoding"
+            );
+            whole.map(|_| ())
+        }
     }));
     match result {
         Ok(Ok(())) => CaseOutcome::Ok,
@@ -269,6 +347,10 @@ fn generate(corpus: &SeedCorpus, target: Target, rng: &mut StdRng) -> Vec<u8> {
                 payload.as_bytes(),
             )
             .expect("seed containers always have four sections")
+        }
+        Target::Protocol => {
+            let base = &corpus.protocol[rng.gen_range(0..corpus.protocol.len())];
+            mutate::mutate_bytes(base, rng)
         }
     }
 }
@@ -418,6 +500,8 @@ mod tests {
         assert_eq!(corpus.smali.len(), 3);
         // Three non-classes sections per container.
         assert_eq!(corpus.json.len(), 9);
+        // One agent session stream per container.
+        assert_eq!(corpus.protocol.len(), 3);
     }
 
     #[test]
@@ -463,5 +547,31 @@ mod tests {
         for smali in &corpus.smali {
             assert!(matches!(execute(Target::Smali, smali.as_bytes()), CaseOutcome::Ok));
         }
+        for stream in &corpus.protocol {
+            assert!(matches!(execute(Target::Protocol, stream), CaseOutcome::Ok));
+        }
+    }
+
+    #[test]
+    fn protocol_seed_decodes_to_the_full_session() {
+        let corpus = SeedCorpus::build();
+        for stream in &corpus.protocol {
+            let envelopes =
+                fd_droidsim::proto::decode_request_stream(stream).expect("seed decodes");
+            assert_eq!(envelopes.len(), 8, "install → … → shutdown");
+            assert_eq!(decode_incrementally(stream), Ok(8));
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupted_protocol_streams_are_rejected_not_panics() {
+        let corpus = SeedCorpus::build();
+        let stream = &corpus.protocol[0];
+        // A truncated stream decodes its complete prefix cleanly.
+        assert!(matches!(execute(Target::Protocol, &stream[..stream.len() / 2]), CaseOutcome::Ok));
+        // A corrupted length header is a typed rejection.
+        let mut corrupt = stream.clone();
+        corrupt[0] = b'x';
+        assert!(matches!(execute(Target::Protocol, &corrupt), CaseOutcome::Rejected(_)));
     }
 }

@@ -1,15 +1,16 @@
 //! Structure-aware fuzzing of the ingestion frontier.
 //!
 //! The decode/parse pipeline (`fd-apk` containers, `fd-smali` text, the
-//! JSON sections) promises *Ok or a typed Err — never a panic*. This
-//! crate is the harness that holds it to that promise:
+//! JSON sections, the device-agent wire protocol) promises *Ok or a
+//! typed Err — never a panic*. This crate is the harness that holds it
+//! to that promise:
 //!
 //! - [`mutate`] — seeded, deterministic mutators. Byte-level mutations
 //!   (truncate / flip / splice / length-field corruption) for FAPK
-//!   containers, token- and line-level mutations for smali text, and
-//!   schema-aware mutations over the manifest/layout/meta JSON values
-//!   (dropped keys, wrong-typed values, deep nesting) spliced back into
-//!   an otherwise-valid container.
+//!   containers and encoded agent request streams, token- and line-level
+//!   mutations for smali text, and schema-aware mutations over the
+//!   manifest/layout/meta JSON values (dropped keys, wrong-typed values,
+//!   deep nesting) spliced back into an otherwise-valid container.
 //! - [`harness`] — the campaign driver. Every mutant runs under
 //!   `catch_unwind`; a panic is a *violation* that gets minimized to a
 //!   small reproducer file. Campaigns with the same seed are bit-for-bit

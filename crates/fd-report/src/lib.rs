@@ -20,7 +20,7 @@ pub mod table2;
 pub use comparison::{compare_tools, ComparisonRow};
 pub use study::{corpus_study, StudyResult};
 pub use table1::{
-    render_rejections, render_table1, run_table1, run_table1_full, Table1Row, Table1Run,
-    PAPER_TABLE1,
+    render_device_incidents, render_rejections, render_table1, run_table1, run_table1_full,
+    Table1Row, Table1Run, PAPER_TABLE1,
 };
 pub use table2::{build_table2, render_table2, Mark, Table2};

@@ -23,7 +23,9 @@ pub struct Table1Row {
     pub fragments: Coverage,
     /// Fragments in visited activities.
     pub fragments_in_visited: Coverage,
-    /// Force-closes observed during the run.
+    /// Force-closes observed during the run. Device-infrastructure
+    /// incidents (agent deaths, protocol timeouts) are never counted
+    /// here — they land in [`Table1Run::device_incidents`] instead.
     #[serde(default)]
     pub crashes: usize,
     /// Crashes the recovery supervisor relaunched and replayed past.
@@ -64,6 +66,10 @@ pub struct Table1Run {
     pub rejected: Vec<(String, String)>,
     /// Flake-triage verdicts, when the table ran with retries.
     pub flake_summary: Option<FlakeSummary>,
+    /// Device-infrastructure incidents the pool absorbed while the table
+    /// ran — kept apart from the FC column so a dying device agent can
+    /// never inflate an app's crash count.
+    pub device_incidents: usize,
 }
 
 /// Runs FragDroid on all 15 apps through the shared *container* suite —
@@ -102,8 +108,11 @@ pub fn run_table1_with_retries(flake_retries: usize) -> Table1Run {
         }
     };
 
-    let mut out =
-        Table1Run { flake_summary: run.metrics.flake_summary.clone(), ..Default::default() };
+    let mut out = Table1Run {
+        flake_summary: run.metrics.flake_summary.clone(),
+        device_incidents: run.metrics.device_incidents,
+        ..Default::default()
+    };
     for ((spec, _), outcome) in apps.iter().zip(run.outcomes) {
         match outcome {
             AppOutcome::Completed(report) | AppOutcome::DeadlineExceeded(report) => {
@@ -147,6 +156,20 @@ pub fn render_rejections(rejected: &[(String, String)]) -> String {
         out.push_str(&format!("  {package}: {reason}\n"));
     }
     out
+}
+
+/// Renders the device-incident appendix: how many infrastructure
+/// failures the pool absorbed while the table ran, or the empty string
+/// for a clean run. Kept out of the table body because an incident
+/// belongs to the harness, not to any app row.
+pub fn render_device_incidents(incidents: usize) -> String {
+    if incidents == 0 {
+        return String::new();
+    }
+    format!(
+        "device incidents: {incidents} infrastructure failures absorbed by the pool \
+         (excluded from every FC cell)\n"
+    )
 }
 
 /// Renders the flake-triage appendix: one line per triaged app, or the
@@ -296,10 +319,19 @@ mod tests {
     }
 
     #[test]
+    fn device_incident_appendix_renders_only_when_nonzero() {
+        assert_eq!(render_device_incidents(0), "");
+        let rendered = render_device_incidents(3);
+        assert!(rendered.contains("3 infrastructure failures"));
+        assert!(rendered.contains("excluded from every FC cell"));
+    }
+
+    #[test]
     fn all_paper_containers_ingest_cleanly() {
         let run = run_table1_full();
         assert!(run.rejected.is_empty(), "no paper app is quarantined: {:?}", run.rejected);
         assert_eq!(run.rows.len(), 15);
+        assert_eq!(run.device_incidents, 0, "in-process devices never fail infrastructure");
         assert_eq!(render_rejections(&run.rejected), "");
         let fake = vec![("com.example".to_string(), "bad magic".to_string())];
         let rendered = render_rejections(&fake);

@@ -155,6 +155,24 @@ pub enum TraceEvent {
         /// Whether this attempt passed (no panic/deadline/crash).
         passed: bool,
     },
+    /// The device pool leased a (possibly fresh) device to a worker lane.
+    DeviceLeased {
+        /// The worker lane holding the lease.
+        lane: u64,
+        /// The lane's device generation (bumped per fresh device).
+        generation: u64,
+    },
+    /// A device-infrastructure failure (agent death, protocol timeout) —
+    /// counted in `SuiteMetrics::device_incidents`, never as an app crash.
+    DeviceIncident {
+        /// The typed device error, rendered.
+        detail: String,
+    },
+    /// The pool retired a sick device after consecutive infra failures.
+    DeviceRetired {
+        /// The worker lane whose device was retired.
+        lane: u64,
+    },
 }
 
 impl TraceEvent {
@@ -174,6 +192,9 @@ impl TraceEvent {
             TraceEvent::CheckpointWrite { .. } => "checkpoint-write",
             TraceEvent::CheckpointResume { .. } => "checkpoint-resume",
             TraceEvent::FlakeRetry { .. } => "flake-retry",
+            TraceEvent::DeviceLeased { .. } => "device-leased",
+            TraceEvent::DeviceIncident { .. } => "device-incident",
+            TraceEvent::DeviceRetired { .. } => "device-retired",
         }
     }
 }

@@ -64,6 +64,12 @@ pub struct TraceSummary {
     /// Flake-triage retry attempts.
     #[serde(default)]
     pub flake_retries: u64,
+    /// Device-infrastructure incidents (agent deaths, protocol timeouts).
+    #[serde(default)]
+    pub device_incidents: u64,
+    /// Devices the pool retired (quarantine or failed health check).
+    #[serde(default)]
+    pub devices_retired: u64,
     /// Fault/retry/crash/recovery occurrences in wall-clock order,
     /// truncated to [`TraceSummary::TIMELINE_CAP`].
     pub timeline: Vec<TimelineEntry>,
@@ -168,6 +174,15 @@ impl TraceSummary {
                                 if *passed { "passed" } else { "failed" }
                             ))
                         }
+                        TraceEvent::DeviceLeased { .. } => None,
+                        TraceEvent::DeviceIncident { detail } => {
+                            summary.device_incidents += 1;
+                            Some(format!("device incident: {detail}"))
+                        }
+                        TraceEvent::DeviceRetired { lane } => {
+                            summary.devices_retired += 1;
+                            Some(format!("device retired on lane {lane}"))
+                        }
                     };
                     if let Some(what) = note {
                         summary.timeline.push(TimelineEntry {
@@ -237,6 +252,12 @@ impl TraceSummary {
             out.push_str(&format!(
                 "checkpoint: {} outcomes journaled, {} resumed from journal, {} flake retries\n",
                 self.checkpoint_writes, self.checkpoint_resumed, self.flake_retries
+            ));
+        }
+        if self.device_incidents > 0 || self.devices_retired > 0 {
+            out.push_str(&format!(
+                "device pool: {} infrastructure incidents, {} devices retired\n",
+                self.device_incidents, self.devices_retired
             ));
         }
         if !self.slowest_apps.is_empty() {

@@ -355,9 +355,16 @@ pub(crate) fn triage_with(
 /// Whether one re-run of `index` passes: it must complete without a
 /// panic, a deadline, or a crash. Runs with the *same* config (and thus
 /// the same seed), so a simulated-deterministic failure reproduces.
-fn retry_passes(source: &SuiteSource<'_>, index: usize, config: &FragDroidConfig) -> bool {
+/// Re-runs lease from `pool` lane 0 — triage is sequential and happens
+/// after the engine drained, so the lane is free.
+fn retry_passes(
+    source: &SuiteSource<'_>,
+    index: usize,
+    config: &FragDroidConfig,
+    pool: &crate::pool::DevicePool,
+) -> bool {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        source.run_one(index, config, &fd_trace::Tracer::disabled())
+        source.run_one(index, config, &fd_trace::Tracer::disabled(), pool, 0)
     }));
     match result {
         Ok(Ok((report, _))) => !report.deadline_exceeded && report.crashes == 0,
@@ -825,6 +832,7 @@ pub fn run_suite_checkpointed(
         trace_config,
         checkpoint,
         flake_retries,
+        None,
     )
 }
 
@@ -851,9 +859,36 @@ pub fn run_container_suite_checkpointed(
         trace_config,
         checkpoint,
         flake_retries,
+        None,
     )
 }
 
+/// [`run_container_suite_checkpointed`] against a caller-built
+/// [`crate::pool::DevicePool`] — the hook for custom device factories
+/// (kill-injection in CI). The pool should have at least `workers`
+/// lanes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_container_suite_checkpointed_pooled(
+    containers: &[SuiteContainer],
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+    checkpoint: Option<&CheckpointOptions>,
+    flake_retries: usize,
+    pool: &crate::pool::DevicePool,
+) -> Result<(CheckpointedSuite, fd_trace::Trace), JournalError> {
+    run_checkpointed(
+        &SuiteSource::Containers(containers),
+        config,
+        workers,
+        trace_config,
+        checkpoint,
+        flake_retries,
+        Some(pool),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_checkpointed(
     source: &SuiteSource<'_>,
     config: &FragDroidConfig,
@@ -861,6 +896,7 @@ fn run_checkpointed(
     trace_config: &fd_trace::TraceConfig,
     checkpoint: Option<&CheckpointOptions>,
     flake_retries: usize,
+    pool: Option<&crate::pool::DevicePool>,
 ) -> Result<(CheckpointedSuite, fd_trace::Trace), JournalError> {
     let n = source.len();
     let fingerprint = Fingerprint::of(source, config, flake_retries);
@@ -919,6 +955,18 @@ fn run_checkpointed(
         });
     }
 
+    // One device lane per worker lane (plus one for sequential triage
+    // re-runs, which use lane 0 after the engine drained).
+    let default_pool;
+    let pool = match pool {
+        Some(pool) => pool,
+        None => {
+            default_pool =
+                crate::pool::DevicePool::from_config(config, workers.min(fresh.max(1)).max(1));
+            &default_pool
+        }
+    };
+
     let remaining_ref = &remaining;
     let writer_ref = &writer;
     let engine_run = engine::run_indexed_tagged(fresh, workers, |worker, k| {
@@ -928,8 +976,9 @@ fn run_checkpointed(
         // panicked app still gets its journal record: the engine's
         // catch_unwind only fires if this closure itself dies.
         let started = Instant::now();
-        let job = catch_unwind(AssertUnwindSafe(|| source.run_one(index, config, &tracer)))
-            .map_err(|payload| engine::panic_message(payload.as_ref()));
+        let job =
+            catch_unwind(AssertUnwindSafe(|| source.run_one(index, config, &tracer, pool, worker)))
+                .map_err(|payload| engine::panic_message(payload.as_ref()));
         let elapsed = started.elapsed();
         let (outcome, package) = slot_outcome(job, source, index);
         let metrics = slot_metrics(&outcome, package, elapsed);
@@ -981,7 +1030,7 @@ fn run_checkpointed(
                     })
                     .collect();
                 let summary = triage_with(&candidates, flake_retries, &coordinator, |index, _| {
-                    retry_passes(source, index, config)
+                    retry_passes(source, index, config, pool)
                 });
                 if let Some(writer) = &writer {
                     writer
@@ -1019,8 +1068,13 @@ fn run_checkpointed(
         outcomes.push(outcome);
         per_app.push(metrics);
     }
-    let mut metrics =
-        assemble_metrics(per_app, engine_run.workers, engine_run.wall, engine_run.busy);
+    let mut metrics = assemble_metrics(
+        per_app,
+        engine_run.workers,
+        engine_run.wall,
+        engine_run.busy,
+        pool.incidents(),
+    );
     metrics.flake_summary = flake_summary;
 
     Ok((

@@ -47,6 +47,10 @@ pub struct FragDroidConfig {
     /// (ANR, flaky `am start`). Each retry costs one event from the
     /// budget and an exponential backoff in simulated device time.
     pub retry_limit: usize,
+    /// Which device backend runs the exploration: the in-process
+    /// simulator (default), a subprocess-isolated device agent, or the
+    /// command-stream-recording mock-adb backend.
+    pub backend: fd_droidsim::DeviceBackend,
 }
 
 impl Default for FragDroidConfig {
@@ -63,6 +67,7 @@ impl Default for FragDroidConfig {
             fault_seed: 0,
             fault_rate: 0.0,
             retry_limit: 3,
+            backend: fd_droidsim::DeviceBackend::default(),
         }
     }
 }
@@ -110,6 +115,12 @@ impl FragDroidConfig {
     pub fn with_faults(mut self, seed: u64, rate: f64) -> Self {
         self.fault_seed = seed;
         self.fault_rate = rate;
+        self
+    }
+
+    /// Selects the device backend (builder style).
+    pub fn with_backend(mut self, backend: fd_droidsim::DeviceBackend) -> Self {
+        self.backend = backend;
         self
     }
 

@@ -6,7 +6,8 @@ use crate::report::{CrashReport, CrashSignature, DeviceErrorStats, RunReport};
 use fd_aftm::{Aftm, NodeId, RawTransition};
 use fd_apk::AndroidApp;
 use fd_droidsim::{
-    Device, DeviceConfig, ErrorClass, EventOutcome, FaultConfig, Op, TestScript, UiSignature,
+    ApiInvocation, DeviceApi, DeviceConfig, DeviceError, ErrorClass, EventOutcome, FaultConfig,
+    FaultLog, Op, ScreenObservation, TestScript, UiSignature, VisibleWidget,
 };
 use fd_smali::ClassName;
 use fd_static::{StaticInfo, UiOwner};
@@ -39,11 +40,34 @@ impl FragDroid {
     /// dispatched events, faults, retries, crashes, and AFTM discoveries
     /// become typed instant events. With a disabled tracer this *is*
     /// `run` — the same code path, producing a byte-identical report.
+    ///
+    /// The device backend is built from
+    /// [`FragDroidConfig::backend`]; use
+    /// [`run_traced_on`](Self::run_traced_on) to run against a device the
+    /// caller already holds (what the device pool does with leases).
     pub fn run_traced(
         &self,
         app: &AndroidApp,
         provided_inputs: &BTreeMap<String, String>,
         tracer: &fd_trace::Tracer,
+    ) -> RunReport {
+        let mut device = crate::pool::build_backend(self.config.backend);
+        self.run_traced_on(app, provided_inputs, tracer, &mut *device)
+    }
+
+    /// [`run_traced`](Self::run_traced) against a caller-provided
+    /// [`DeviceApi`] backend. The device is wiped by the initial
+    /// [`DeviceApi::install_app`], so a leased (possibly reused) device
+    /// behaves exactly like a fresh one. If the install itself fails —
+    /// only possible on a remote backend — the run is cut short with an
+    /// [`RunReport::infra_failure`] report that blames the harness, not
+    /// the app.
+    pub fn run_traced_on(
+        &self,
+        app: &AndroidApp,
+        provided_inputs: &BTreeMap<String, String>,
+        tracer: &fd_trace::Tracer,
+        device: &mut dyn DeviceApi,
     ) -> RunReport {
         // Phase 1: static information extraction.
         let info = fd_static::extract_traced(app, provided_inputs, tracer);
@@ -56,7 +80,9 @@ impl FragDroid {
             device_config.faults =
                 Some(FaultConfig::new(self.config.fault_seed, self.config.fault_rate));
         }
-        let device = Device::with_config(installed, device_config);
+        if let Err(err) = device.install_app(&installed, device_config) {
+            return install_failure_report(info, &err, tracer);
+        }
 
         // Phase 2: evolutionary test case generation.
         let explore_span = tracer.span(fd_trace::Phase::Explore, "explore");
@@ -67,6 +93,7 @@ impl FragDroid {
             started: std::time::Instant::now(),
             deadline_hit: std::cell::Cell::new(false),
             device,
+            infra: None,
             info: &info,
             aftm: info.aftm.clone(),
             queue: UiQueue::new(),
@@ -89,15 +116,26 @@ impl FragDroid {
             in_recovery: false,
         };
         explorer.explore();
-        tracer.set_sim_clock(explorer.device.clock());
+        if tracer.is_enabled() {
+            let clock = explorer.dev_clock();
+            tracer.set_sim_clock(clock);
+        }
         explore_span.end();
+
+        // Drain the device's accumulated observations before assembling
+        // the report; each can still fail on a remote backend, in which
+        // case the report keeps the (empty) fallback and records the
+        // infrastructure failure.
+        let api_invocations = explorer.dev_invocations();
+        let faults_injected = explorer.dev_faults_injected();
+        let fault_log = explorer.dev_fault_log();
 
         RunReport {
             scripts: explorer.scripts,
             timeline: explorer.timeline,
             visited_activities: explorer.visited_activities,
             visited_fragments: explorer.visited_fragments,
-            api_invocations: explorer.device.invocations().cloned().collect(),
+            api_invocations,
             events_injected: explorer.events,
             test_cases_run: explorer.test_cases,
             test_cases_generated: explorer.queue.generated(),
@@ -106,9 +144,10 @@ impl FragDroid {
             crash_reports: explorer.crash_reports,
             recovered_crashes: explorer.recovered_crashes,
             retries: explorer.retries,
-            faults_injected: explorer.device.faults_injected(),
-            fault_log: explorer.device.fault_log().clone(),
+            faults_injected,
+            fault_log,
             device_errors: explorer.device_errors,
+            infra_failure: explorer.infra,
             aftm: explorer.aftm,
             static_info: info,
         }
@@ -134,6 +173,38 @@ impl FragDroid {
     ) -> Result<RunReport, fd_apk::ApkError> {
         let app = fd_apk::decompile_traced(bytes, tracer)?;
         Ok(self.run_traced(&app, provided_inputs, tracer))
+    }
+}
+
+/// The report for a run that never got past `install_app`: static
+/// results only, one infrastructure incident, zero app crashes.
+fn install_failure_report(
+    info: StaticInfo,
+    err: &DeviceError,
+    tracer: &fd_trace::Tracer,
+) -> RunReport {
+    let detail = err.to_string();
+    tracer.event(|| fd_trace::TraceEvent::DeviceIncident { detail: detail.clone() });
+    RunReport {
+        aftm: info.aftm.clone(),
+        visited_activities: BTreeSet::new(),
+        visited_fragments: BTreeSet::new(),
+        api_invocations: Vec::new(),
+        scripts: Vec::new(),
+        timeline: Vec::new(),
+        events_injected: 0,
+        test_cases_run: 0,
+        test_cases_generated: 0,
+        crashes: 0,
+        deadline_exceeded: false,
+        crash_reports: Vec::new(),
+        recovered_crashes: 0,
+        retries: 0,
+        faults_injected: 0,
+        fault_log: FaultLog::default(),
+        device_errors: DeviceErrorStats { infrastructure: 1, ..DeviceErrorStats::default() },
+        infra_failure: Some(detail),
+        static_info: info,
     }
 }
 
@@ -164,7 +235,12 @@ struct Explorer<'a> {
     /// Latched true the first time a budget check fails on the deadline,
     /// so the report can distinguish a timeout from natural exhaustion.
     deadline_hit: std::cell::Cell<bool>,
-    device: Device,
+    device: &'a mut dyn DeviceApi,
+    /// Latched to the first infrastructure failure's rendered error. Once
+    /// set, the budget is treated as exhausted: the run unwinds and the
+    /// report carries the partial results plus
+    /// [`RunReport::infra_failure`] — never an app crash.
+    infra: Option<String>,
     info: &'a StaticInfo,
     aftm: Aftm,
     queue: UiQueue,
@@ -213,7 +289,80 @@ enum StepOutcome {
 }
 
 impl<'a> Explorer<'a> {
-    fn budget_left(&self) -> bool {
+    /// Latches the first infrastructure failure and mirrors every one
+    /// into the trace. The latch makes [`Explorer::budget_left`] report
+    /// exhaustion, so the exploration unwinds promptly instead of
+    /// hammering a dead transport.
+    fn latch_infra(&mut self, err: &DeviceError) {
+        let detail = err.to_string();
+        self.tracer.event(|| fd_trace::TraceEvent::DeviceIncident { detail: detail.clone() });
+        if self.infra.is_none() {
+            self.infra = Some(detail);
+        }
+    }
+
+    /// Unwraps a device observation, absorbing errors: the error class is
+    /// counted, infrastructure failures latch the run, and the caller
+    /// gets `fallback`. In-process backends never take the error path, so
+    /// this is behaviorally identical to the pre-trait driver there.
+    fn absorb<T>(&mut self, result: Result<T, DeviceError>, fallback: T) -> T {
+        match result {
+            Ok(value) => value,
+            Err(err) => {
+                let class = err.class();
+                self.count_error(class);
+                if class == ErrorClass::Infrastructure {
+                    self.latch_infra(&err);
+                }
+                fallback
+            }
+        }
+    }
+
+    fn dev_signature(&mut self) -> Option<UiSignature> {
+        let result = self.device.signature();
+        self.absorb(result, None)
+    }
+
+    fn dev_observe(&mut self) -> Option<ScreenObservation> {
+        let result = self.device.observe();
+        self.absorb(result, None)
+    }
+
+    fn dev_widgets(&mut self) -> Vec<VisibleWidget> {
+        let result = self.device.visible_widgets();
+        self.absorb(result, Vec::new())
+    }
+
+    fn dev_crash_site(&mut self) -> Option<UiSignature> {
+        let result = self.device.crash_site();
+        self.absorb(result, None)
+    }
+
+    fn dev_clock(&mut self) -> u64 {
+        let result = self.device.clock();
+        self.absorb(result, 0)
+    }
+
+    fn dev_invocations(&mut self) -> Vec<ApiInvocation> {
+        let result = self.device.invocations();
+        self.absorb(result, Vec::new())
+    }
+
+    fn dev_faults_injected(&mut self) -> usize {
+        let result = self.device.faults_injected();
+        self.absorb(result, 0)
+    }
+
+    fn dev_fault_log(&mut self) -> FaultLog {
+        let result = self.device.fault_log();
+        self.absorb(result, FaultLog::default())
+    }
+
+    fn budget_left(&mut self) -> bool {
+        if self.infra.is_some() {
+            return false;
+        }
         if let Some(deadline) = self.config.app_deadline {
             if self.started.elapsed() >= deadline {
                 self.deadline_hit.set(true);
@@ -225,11 +374,13 @@ impl<'a> Explorer<'a> {
 
     /// Whether the configured target API has been observed — the early
     /// exit of the "detect arbitrary API calls" mode.
-    fn target_reached(&self) -> bool {
-        match &self.config.target_api {
+    fn target_reached(&mut self) -> bool {
+        let config = self.config;
+        match &config.target_api {
             None => false,
             Some((group, name)) => {
-                self.device.invocations().any(|i| &i.group == group && &i.name == name)
+                let result = self.device.invocations();
+                self.absorb(result, Vec::new()).iter().any(|i| &i.group == group && &i.name == name)
             }
         }
     }
@@ -256,7 +407,7 @@ impl<'a> Explorer<'a> {
                         break;
                     }
                 }
-                if let Some(sig) = self.device.signature() {
+                if let Some(sig) = self.dev_signature() {
                     self.sweep(sig);
                 }
             }
@@ -297,10 +448,10 @@ impl<'a> Explorer<'a> {
     }
 
     /// Executes one operation, recording events, transitions, and newly
-    /// discovered states. Returns `None` when the event budget is gone.
-    /// Device-level rejections are classified and counted
-    /// ([`DeviceErrorStats`]); transient ones (injected ANRs, flaky
-    /// `am start`) are retried up to
+    /// discovered states. Returns `None` when the event budget is gone
+    /// (or an infrastructure failure latched it). Device-level rejections
+    /// are classified and counted ([`DeviceErrorStats`]); transient ones
+    /// (injected ANRs, flaky `am start`) are retried up to
     /// [`FragDroidConfig::retry_limit`] times with exponential backoff in
     /// simulated device time — every attempt costs one budget event.
     fn exec(&mut self, op: Op, ops_so_far: &mut Vec<Op>) -> Option<StepOutcome> {
@@ -310,7 +461,10 @@ impl<'a> Explorer<'a> {
                 return None;
             }
             self.events += 1;
-            self.tracer.set_sim_clock(self.device.clock());
+            if self.tracer.is_enabled() {
+                let clock = self.dev_clock();
+                self.tracer.set_sim_clock(clock);
+            }
             self.tracer.event(|| fd_trace::TraceEvent::EventDispatched { op: op_name(&op).into() });
             self.tracer.count("events_dispatched", 1);
             let result = match &op {
@@ -331,13 +485,18 @@ impl<'a> Explorer<'a> {
                 Err(err) => {
                     let class = err.class();
                     self.count_error(class);
+                    if class == ErrorClass::Infrastructure {
+                        self.latch_infra(&err);
+                        return None;
+                    }
                     if class == ErrorClass::Transient && attempt < self.config.retry_limit {
                         attempt += 1;
                         self.retries += 1;
                         let attempt_now = attempt as u64;
                         self.tracer.event(|| fd_trace::TraceEvent::Retry { attempt: attempt_now });
                         self.tracer.count("retries", 1);
-                        self.device.advance_clock(BACKOFF_BASE_TICKS << attempt);
+                        let advanced = self.device.advance_clock(BACKOFF_BASE_TICKS << attempt);
+                        self.absorb(advanced, ());
                         continue;
                     }
                     return Some(StepOutcome::Errored(class));
@@ -363,19 +522,23 @@ impl<'a> Explorer<'a> {
 
     /// Mirrors fault-log records the device appended since the last call
     /// into the trace, one [`fd_trace::TraceEvent::FaultInjected`] each.
-    /// The log is monotonic (surviving [`Device::reset`]), so an index
-    /// cursor is enough.
+    /// The log is monotonic (surviving [`DeviceApi::reset`]), so an index
+    /// cursor is enough — and [`DeviceApi::fault_records_since`] ships
+    /// only the tail, not the whole log, across the wire. Skipped
+    /// entirely when nothing could have been injected or nobody is
+    /// listening.
     fn trace_new_faults(&mut self) {
-        let log = self.device.fault_log();
-        if log.records.len() <= self.faults_seen {
+        if !self.tracer.is_enabled() || !self.config.faults_armed() {
             return;
         }
-        for record in &log.records[self.faults_seen..] {
+        let result = self.device.fault_records_since(self.faults_seen);
+        let records = self.absorb(result, Vec::new());
+        for record in &records {
             let kind = record.kind.clone();
             self.tracer.event(|| fd_trace::TraceEvent::FaultInjected { kind: kind.to_string() });
             self.tracer.count("faults_injected", 1);
         }
-        self.faults_seen = log.records.len();
+        self.faults_seen += records.len();
     }
 
     fn count_error(&mut self, class: ErrorClass) {
@@ -383,6 +546,7 @@ impl<'a> Explorer<'a> {
             ErrorClass::Transient => self.device_errors.transient += 1,
             ErrorClass::WidgetGone => self.device_errors.widget_gone += 1,
             ErrorClass::Fatal => self.device_errors.fatal += 1,
+            ErrorClass::Infrastructure => self.device_errors.infrastructure += 1,
         }
     }
 
@@ -391,8 +555,11 @@ impl<'a> Explorer<'a> {
     /// replay the shortest known path back to the crash site so the
     /// exploration resumes instead of abandoning the test case.
     fn triage_crash(&mut self, reason: String) {
-        let site = self.device.crash_site().cloned();
-        self.tracer.set_sim_clock(self.device.clock());
+        let site = self.dev_crash_site();
+        if self.tracer.is_enabled() {
+            let clock = self.dev_clock();
+            self.tracer.set_sim_clock(clock);
+        }
         self.tracer.event(|| fd_trace::TraceEvent::Crash {
             activity: site.as_ref().map(|s| s.activity.as_str().to_string()).unwrap_or_default(),
             reason: reason.clone(),
@@ -440,7 +607,8 @@ impl<'a> Explorer<'a> {
     /// again. Replayed ops run through [`Explorer::exec`], so they count
     /// against the budget and keep feeding the AFTM.
     fn recover(&mut self, site: Option<UiSignature>) -> bool {
-        self.device.reset();
+        let reset = self.device.reset();
+        self.absorb(reset, ());
         let plan =
             site.and_then(|sig| self.paths.get(&sig).cloned()).unwrap_or_else(|| vec![Op::Launch]);
         let mut scratch = Vec::new();
@@ -451,7 +619,7 @@ impl<'a> Explorer<'a> {
                 Some(_) => {}
             }
         }
-        self.device.signature().is_some()
+        self.dev_signature().is_some()
     }
 
     /// Marks the current interface's elements visited, registers its reach
@@ -459,11 +627,10 @@ impl<'a> Explorer<'a> {
     /// Case-1 reflection items for a newly visited activity's dependent
     /// fragments.
     fn observe(&mut self, ops_so_far: &[Op]) {
-        let Some(screen) = self.device.current() else { return };
-        let sig = screen.signature();
-        let activity = screen.activity.clone();
-        let manager_frags: Vec<ClassName> =
-            screen.manager_fragments().map(|(_, f)| f.clone()).collect();
+        let Some(screen) = self.dev_observe() else { return };
+        let sig = screen.signature;
+        let activity = screen.activity;
+        let manager_frags = screen.manager_fragments;
 
         let activity_is_new = self.visited_activities.insert(activity.clone());
         if activity_is_new {
@@ -556,10 +723,9 @@ impl<'a> Explorer<'a> {
 
         // Same activity: fragment transformations. Only manager-confirmed
         // panes count (the current screen is `to`).
-        let confirmed: BTreeSet<&ClassName> = self
-            .device
-            .current()
-            .map(|s| s.manager_fragments().map(|(_, f)| f).collect())
+        let confirmed: BTreeSet<ClassName> = self
+            .dev_observe()
+            .map(|s| s.manager_fragments.into_iter().collect())
             .unwrap_or_default();
         for (container, fragment) in &to.fragments {
             let was_there = from.fragments.get(container) == Some(fragment);
@@ -599,13 +765,8 @@ impl<'a> Explorer<'a> {
         // "FragDroid will complete the input fields and get all
         // coordinates of the controls that can be clicked."
         let fill_ops = self.fill_inputs();
-        let widgets: Vec<String> = self
-            .device
-            .visible_widgets()
-            .into_iter()
-            .filter(|w| w.clickable)
-            .filter_map(|w| w.id)
-            .collect();
+        let widgets: Vec<String> =
+            self.dev_widgets().into_iter().filter(|w| w.clickable).filter_map(|w| w.id).collect();
 
         for widget in widgets {
             if !self.budget_left() {
@@ -652,8 +813,7 @@ impl<'a> Explorer<'a> {
                 return;
             }
             let fields: Vec<String> = self
-                .device
-                .visible_widgets()
+                .dev_widgets()
                 .into_iter()
                 .filter(|w| w.kind == fd_apk::WidgetKind::EditText)
                 .filter_map(|w| w.id)
@@ -683,8 +843,7 @@ impl<'a> Explorer<'a> {
     /// discovered paths can replay them.
     fn fill_inputs(&mut self) -> Vec<Op> {
         let inputs: Vec<String> = self
-            .device
-            .visible_widgets()
+            .dev_widgets()
             .into_iter()
             .filter(|w| w.kind == fd_apk::WidgetKind::EditText)
             .filter_map(|w| w.id)
@@ -707,7 +866,7 @@ impl<'a> Explorer<'a> {
     /// Re-reaches `sig` by replaying its path (after a crash, a finish, or
     /// a transition away). Returns false if the state cannot be restored.
     fn ensure_at(&mut self, sig: &UiSignature, base_ops: &[Op], fill_ops: &[Op]) -> bool {
-        if self.device.signature().as_ref() == Some(sig) {
+        if self.dev_signature().as_ref() == Some(sig) {
             return true;
         }
         let mut scratch = Vec::new();
@@ -721,6 +880,6 @@ impl<'a> Explorer<'a> {
                 return false;
             }
         }
-        self.device.signature().as_ref() == Some(sig)
+        self.dev_signature().as_ref() == Some(sig)
     }
 }

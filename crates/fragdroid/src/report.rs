@@ -42,12 +42,17 @@ pub struct DeviceErrorStats {
     pub widget_gone: usize,
     /// Everything else (app crashed/not running, unsatisfiable request).
     pub fatal: usize,
+    /// Infrastructure failures — the device agent died, timed out, or
+    /// broke protocol. These say nothing about the app under test and are
+    /// never counted toward its crashes.
+    #[serde(default)]
+    pub infrastructure: usize,
 }
 
 impl DeviceErrorStats {
     /// Total device errors across all classes.
     pub fn total(&self) -> usize {
-        self.transient + self.widget_gone + self.fatal
+        self.transient + self.widget_gone + self.fatal + self.infrastructure
     }
 }
 
@@ -127,6 +132,12 @@ pub struct RunReport {
     /// Device errors by class.
     #[serde(default)]
     pub device_errors: DeviceErrorStats,
+    /// Set when the run was cut short by a device-infrastructure failure
+    /// (agent death, protocol timeout): the rendered [`fd_droidsim::DeviceError`].
+    /// An infra failure is an incident of the harness, not a finding
+    /// about the app — it never counts toward [`RunReport::crashes`].
+    #[serde(default)]
+    pub infra_failure: Option<String>,
 }
 
 impl RunReport {

@@ -154,6 +154,12 @@ pub struct SuiteMetrics {
     /// Inputs rejected at the ingestion frontier (quarantined, not run).
     #[serde(default)]
     pub rejected: usize,
+    /// Device-infrastructure incidents the pool absorbed: app attempts
+    /// that ended in agent death / protocol timeout and were retried on a
+    /// fresh lease. Incidents are harness failures, never app crashes —
+    /// they are excluded from every crash count.
+    #[serde(default)]
+    pub device_incidents: usize,
     /// Flake-triage results, when the run was asked to re-run failed
     /// apps (`--flake-retries`); `None` otherwise, and absent in legacy
     /// records.
@@ -404,7 +410,7 @@ pub fn run_suite_traced(
     workers: usize,
     trace_config: &fd_trace::TraceConfig,
 ) -> (SuiteRun, fd_trace::Trace) {
-    run_traced_inner(&SuiteSource::Apps(apps), config, workers, trace_config)
+    run_traced_inner(&SuiteSource::Apps(apps), config, workers, trace_config, None)
 }
 
 /// Runs FragDroid over *packed containers*: each worker decodes its
@@ -436,7 +442,28 @@ pub fn run_container_suite_traced(
     workers: usize,
     trace_config: &fd_trace::TraceConfig,
 ) -> (SuiteRun, fd_trace::Trace) {
-    run_traced_inner(&SuiteSource::Containers(containers), config, workers, trace_config)
+    run_traced_inner(&SuiteSource::Containers(containers), config, workers, trace_config, None)
+}
+
+/// [`run_container_suite_traced`] against a caller-built
+/// [`crate::pool::DevicePool`] — the hook for custom device factories
+/// (kill-injection in CI, test doubles). The pool should have at least
+/// `workers` lanes; [`SuiteMetrics::device_incidents`] reflects the
+/// pool's incident count after the run.
+pub fn run_container_suite_pooled(
+    containers: &[SuiteContainer],
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+    pool: &crate::pool::DevicePool,
+) -> (SuiteRun, fd_trace::Trace) {
+    run_traced_inner(
+        &SuiteSource::Containers(containers),
+        config,
+        workers,
+        trace_config,
+        Some(pool),
+    )
 }
 
 /// The two input shapes a suite can run over, unified so the plain and
@@ -467,21 +494,28 @@ impl SuiteSource<'_> {
         }
     }
 
-    /// Runs one slot: `Ok((report, package))` for a run, `Err(reason)`
-    /// for an input the ingestion frontier refused. Panics propagate to
-    /// the caller's isolation layer.
+    /// Runs one slot on a device leased from `pool` lane `lane`:
+    /// `Ok((report, package))` for a run, `Err(reason)` for an input the
+    /// ingestion frontier refused. Panics propagate to the caller's
+    /// isolation layer; infrastructure failures are absorbed by the
+    /// pool's retry/quarantine scheduling.
     pub(crate) fn run_one(
         &self,
         index: usize,
         config: &FragDroidConfig,
         tracer: &fd_trace::Tracer,
+        pool: &crate::pool::DevicePool,
+        lane: usize,
     ) -> Result<(RunReport, String), String> {
         match self {
             SuiteSource::Apps(apps) => {
                 let (app, inputs) = &apps[index];
                 let report = {
                     let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
-                    FragDroid::new(config.clone()).run_traced(app, inputs, tracer)
+                    let tool = FragDroid::new(config.clone());
+                    pool.run_app(lane, tracer, |device| {
+                        tool.run_traced_on(app, inputs, tracer, device)
+                    })
                 };
                 Ok((report, app.manifest.package.clone()))
             }
@@ -491,7 +525,10 @@ impl SuiteSource<'_> {
                     Ok(app) => {
                         let report = {
                             let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
-                            FragDroid::new(config.clone()).run_traced(&app, inputs, tracer)
+                            let tool = FragDroid::new(config.clone());
+                            pool.run_app(lane, tracer, |device| {
+                                tool.run_traced_on(&app, inputs, tracer, device)
+                            })
                         };
                         Ok((report, app.manifest.package))
                     }
@@ -604,6 +641,7 @@ pub(crate) fn assemble_metrics(
     workers_used: usize,
     wall: Duration,
     busy: Duration,
+    device_incidents: usize,
 ) -> SuiteMetrics {
     let capacity = workers_used as f64 * wall.as_secs_f64();
     let mut sorted_walls: Vec<u64> = per_app.iter().map(|m| m.wall_ms).collect();
@@ -622,6 +660,7 @@ pub(crate) fn assemble_metrics(
         app_wall_ms_p95: percentile(&sorted_walls, 95.0),
         app_wall_ms_max: sorted_walls.last().copied().unwrap_or(0),
         rejected,
+        device_incidents,
         flake_summary: None,
         apps: per_app,
     }
@@ -636,18 +675,31 @@ fn run_traced_inner(
     config: &FragDroidConfig,
     workers: usize,
     trace_config: &fd_trace::TraceConfig,
+    pool: Option<&crate::pool::DevicePool>,
 ) -> (SuiteRun, fd_trace::Trace) {
     let n = source.len();
     let trace_config = *trace_config;
     let clock = fd_trace::TraceClock::start();
     // Coordinator track: one lane past the last worker's.
-    let coordinator_lane = workers.min(n.max(1)).max(1) as u64;
+    let worker_lanes = workers.min(n.max(1)).max(1);
+    let coordinator_lane = worker_lanes as u64;
     let coordinator = fd_trace::Tracer::new(&trace_config, clock, coordinator_lane);
     let suite_span = coordinator.span(fd_trace::Phase::Suite, "suite");
 
+    // One device lane per worker lane, so a worker only ever touches its
+    // own devices and leases never contend.
+    let default_pool;
+    let pool = match pool {
+        Some(pool) => pool,
+        None => {
+            default_pool = crate::pool::DevicePool::from_config(config, worker_lanes);
+            &default_pool
+        }
+    };
+
     let engine_run = engine::run_indexed_tagged(n, workers, |worker, index| {
         let tracer = fd_trace::Tracer::new(&trace_config, clock, worker as u64);
-        let result = source.run_one(index, config, &tracer);
+        let result = source.run_one(index, config, &tracer, pool, worker);
         (result, tracer.finish())
     });
 
@@ -671,7 +723,10 @@ fn run_traced_inner(
         outcomes.push(outcome);
     }
 
-    let run = SuiteRun { outcomes, metrics: assemble_metrics(per_app, workers_used, wall, busy) };
+    let run = SuiteRun {
+        outcomes,
+        metrics: assemble_metrics(per_app, workers_used, wall, busy, pool.incidents()),
+    };
     (run, trace)
 }
 

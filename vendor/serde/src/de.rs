@@ -333,6 +333,56 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     }
 }
 
+/// The unit type rebuilds from `null`, as in real serde.
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            _ => Err(DeError::custom("expected null")),
+        }
+    }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        if parser.parse_null() {
+            Ok(())
+        } else {
+            Err(DeError::custom("expected null"))
+        }
+    }
+}
+
+/// Reverses the externally-tagged `Result` form: `{"Ok": …}` or
+/// `{"Err": …}`.
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let obj = value.as_object().ok_or_else(|| DeError::custom("expected Result object"))?;
+        match (obj.get("Ok"), obj.get("Err")) {
+            (Some(v), None) => T::from_value(v).map(Ok),
+            (None, Some(e)) => E::from_value(e).map(Err),
+            _ => Err(DeError::custom("expected exactly one of \"Ok\" or \"Err\"")),
+        }
+    }
+
+    fn from_json(parser: &mut JsonParser<'_>) -> Result<Self, DeError> {
+        if parser.peek_byte() != Some(b'{') {
+            return Err(DeError::custom("expected Result object"));
+        }
+        parser.begin_object().map_err(DeError)?;
+        let Some(key) = parser.object_key(true).map_err(DeError)? else {
+            return Err(DeError::custom("expected exactly one of \"Ok\" or \"Err\""));
+        };
+        let out = match &*key {
+            "Ok" => Ok(T::from_json(parser)?),
+            "Err" => Err(E::from_json(parser)?),
+            _ => return Err(DeError::custom("expected exactly one of \"Ok\" or \"Err\"")),
+        };
+        if parser.object_key(false).map_err(DeError)?.is_some() {
+            return Err(DeError::custom("expected exactly one of \"Ok\" or \"Err\""));
+        }
+        Ok(out)
+    }
+}
+
 macro_rules! deserialize_tuple {
     ($(($len:literal; $($name:ident . $idx:tt),+))*) => {$(
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {

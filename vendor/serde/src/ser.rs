@@ -344,6 +344,45 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     }
 }
 
+/// The unit type renders as `null`, as in real serde.
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+
+/// `Result` uses real serde's externally-tagged form: `{"Ok": …}` or
+/// `{"Err": …}`.
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        match self {
+            Ok(v) => map.insert("Ok".to_string(), v.to_value()),
+            Err(e) => map.insert("Err".to_string(), e.to_value()),
+        };
+        Value::Object(map)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Ok(v) => {
+                out.push_str("{\"Ok\":");
+                v.write_json(out);
+                out.push('}');
+            }
+            Err(e) => {
+                out.push_str("{\"Err\":");
+                e.write_json(out);
+                out.push('}');
+            }
+        }
+    }
+}
+
 macro_rules! serialize_tuple {
     ($(($($name:ident . $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
