@@ -31,6 +31,7 @@
 
 pub mod app;
 pub mod container;
+pub mod corpus;
 pub mod error;
 pub mod layout;
 pub mod manifest;
@@ -42,6 +43,7 @@ pub use app::{AndroidApp, AppMeta};
 pub use container::{
     decompile, decompile_traced, pack, pack_into, pack_traced, AppView, ContainerView,
 };
+pub use corpus::{CorpusError, CorpusManifest, CorpusReader, ShardReader, ShardWriter};
 pub use error::{ApkError, CorruptCause};
 pub use layout::{Layout, Widget, WidgetKind};
 pub use manifest::{ActivityDecl, IntentFilter, Manifest};

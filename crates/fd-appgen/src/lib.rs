@@ -26,6 +26,7 @@ pub mod builder;
 pub mod corpus;
 pub mod paper_apps;
 pub mod random;
+pub mod stream;
 pub mod templates;
 
 pub use builder::{ActivitySpec, AppBuilder, FragmentSpec, GatedLink, GeneratedApp};

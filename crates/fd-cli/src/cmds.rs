@@ -352,13 +352,37 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
     }
     let seed = p.num("seed", 1)?;
     let limit = p.num("limit", 0)? as usize;
-    let mut apps: Vec<fragdroid::suite::SuiteContainer> = fd_appgen::corpus::corpus_217(seed)
-        .into_iter()
-        .map(|g| (fd_apk::pack(&g.app), g.known_inputs))
-        .collect();
-    if limit > 0 {
-        apps.truncate(limit);
-    }
+
+    // The corpus source: an on-disk `gen-corpus` directory streamed
+    // entry-by-entry (memory stays O(1 app)), or the in-memory synthetic
+    // 217. Both feed the same lazy suite entry points.
+    let disk_corpus;
+    let mem_corpus;
+    let source: &dyn fragdroid::CorpusSource = match p.opt("corpus") {
+        Some(dir) => {
+            if limit > 0 {
+                return Err("--limit applies to the in-memory corpus; \
+                            slice an on-disk corpus with --shards"
+                    .into());
+            }
+            disk_corpus = fd_apk::CorpusReader::open(std::path::Path::new(dir))
+                .map_err(|e| format!("cannot open corpus {dir}: {e}"))?;
+            &disk_corpus
+        }
+        None => {
+            let mut apps: Vec<fragdroid::suite::SuiteContainer> =
+                fd_appgen::corpus::corpus_217(seed)
+                    .into_iter()
+                    .map(|g| (fd_apk::pack(&g.app), g.known_inputs))
+                    .collect();
+            if limit > 0 {
+                apps.truncate(limit);
+            }
+            mem_corpus = apps;
+            &mem_corpus
+        }
+    };
+    let total = fragdroid::CorpusSource::len(source);
 
     let backend = parse_backend(&p)?;
     let mut config = FragDroidConfig::default().with_backend(backend);
@@ -370,8 +394,38 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
     if fault_rate > 0.0 {
         config = config.with_faults(p.num("fault-seed", 1)?, fault_rate);
     }
+    // Shard-split arguments: `--shards N --shard-index I` runs one shard
+    // (journaling to `<checkpoint>.shard-I-of-N`); `--shards N --merge`
+    // folds the per-shard journals back into the single-run report.
+    let shards = p.num("shards", 0)? as usize;
+    let shard_index = match p.opt("shard-index") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>().map_err(|_| format!("--shard-index expects a number, got '{v}'"))?,
+        ),
+    };
+    let merge = p.flag("merge");
+    let checkpoint_path = p.opt("checkpoint");
+    if (shard_index.is_some() || merge) && shards == 0 {
+        return Err("--shard-index/--merge require --shards <N>".into());
+    }
+    if shards > 0 && checkpoint_path.is_none() {
+        return Err("--shards requires --checkpoint <path> (the journal base)".into());
+    }
+    if merge && shard_index.is_some() {
+        return Err("--merge and --shard-index are mutually exclusive".into());
+    }
+    if shards > 0 && !merge && shard_index.is_none() {
+        return Err("--shards requires --shard-index <I> (run one shard) or --merge".into());
+    }
+    if let Some(index) = shard_index {
+        if index >= shards {
+            return Err(format!("--shard-index {index} out of range for {shards} shards").into());
+        }
+    }
+
     let workers = match p.num("workers", 0)? as usize {
-        0 => fragdroid::suite::engine::default_workers(apps.len()),
+        0 => fragdroid::suite::engine::default_workers(total),
         workers => workers,
     };
     let agent_die_after = p.num("agent-die-after", 0)?;
@@ -382,7 +436,7 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
     // N requests; the replacement generations are healthy, so the pool's
     // retry/quarantine machinery — not luck — must carry the suite home.
     let pool = if agent_die_after > 0 {
-        let lanes = workers.min(apps.len().max(1)).max(1);
+        let lanes = workers.min(total.max(1)).max(1);
         Some(fragdroid::DevicePool::with_factory(
             lanes,
             Box::new(move |_lane, generation| {
@@ -405,7 +459,6 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
         fd_trace::TraceConfig::off()
     };
 
-    let checkpoint_path = p.opt("checkpoint");
     let resume = p.flag("resume");
     let flake_retries = p.num("flake-retries", 0)? as usize;
     let app_budget = p.num("app-budget", 0)? as usize;
@@ -416,7 +469,53 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
         return Err("--app-budget requires --checkpoint <path>".into());
     }
 
-    let (run, trace, progress) = if checkpoint_path.is_some() || flake_retries > 0 {
+    // Merge mode runs no devices: it fingerprints each shard's slice,
+    // loads the per-shard journals, and reassembles the single-run
+    // report. Any missing/incomplete/mismatched journal is exit code 4.
+    if merge {
+        let base = std::path::Path::new(checkpoint_path.expect("checked with --shards above"));
+        let (merged, trace) =
+            fragdroid::merge_shards(source, &config, flake_retries, base, shards, &trace_config)?;
+        if let Some(out) = trace_out {
+            write_trace(out, &trace)?;
+        }
+        if p.flag("json") {
+            println!(
+                "{}",
+                merged
+                    .run
+                    .metrics
+                    .to_json()
+                    .map_err(|e| format!("cannot serialize metrics: {e}"))?
+            );
+            return Ok(());
+        }
+        print!("{}", fd_report::render_shard_merge(&merged));
+        return Ok(());
+    }
+
+    let (run, trace, progress) = if let Some(index) = shard_index {
+        let mut opts = fragdroid::CheckpointOptions::new(
+            checkpoint_path.expect("checked with --shards above"),
+        )
+        .with_resume(resume);
+        if app_budget > 0 {
+            opts = opts.with_app_budget(app_budget);
+        }
+        let (suite, trace) = fragdroid::run_shard(
+            source,
+            &config,
+            workers,
+            &trace_config,
+            &opts,
+            flake_retries,
+            shards,
+            index,
+            pool.as_ref(),
+        )?;
+        let progress = Some((suite.resumed, suite.fresh, suite.remaining(), suite.torn_tail_bytes));
+        (suite.run, trace, progress)
+    } else if checkpoint_path.is_some() || flake_retries > 0 {
         let opts = checkpoint_path.map(|path| {
             let mut opts = fragdroid::CheckpointOptions::new(path).with_resume(resume);
             if app_budget > 0 {
@@ -425,8 +524,8 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
             opts
         });
         let (suite, trace) = match &pool {
-            Some(pool) => fragdroid::run_container_suite_checkpointed_pooled(
-                &apps,
+            Some(pool) => fragdroid::run_corpus_suite_checkpointed_pooled(
+                source,
                 &config,
                 workers,
                 &trace_config,
@@ -434,8 +533,8 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
                 flake_retries,
                 pool,
             )?,
-            None => fragdroid::run_container_suite_checkpointed(
-                &apps,
+            None => fragdroid::run_corpus_suite_checkpointed(
+                source,
                 &config,
                 workers,
                 &trace_config,
@@ -448,11 +547,9 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
     } else {
         let (run, trace) = match &pool {
             Some(pool) => {
-                fragdroid::run_container_suite_pooled(&apps, &config, workers, &trace_config, pool)
+                fragdroid::run_corpus_suite_pooled(source, &config, workers, &trace_config, pool)
             }
-            None => {
-                fragdroid::suite::run_container_suite_traced(&apps, &config, workers, &trace_config)
-            }
+            None => fragdroid::run_corpus_suite_traced(source, &config, workers, &trace_config),
         };
         (run, trace, None)
     };
@@ -493,10 +590,21 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
         }
     }
     let m = &run.metrics;
+    let expected = match shard_index {
+        Some(index) => {
+            let range = fragdroid::shard_range(total, shards, index);
+            println!(
+                "shard:       {index}/{shards} (corpus entries {}..{})",
+                range.start, range.end
+            );
+            range.len()
+        }
+        None => total,
+    };
     println!(
         "apps:        {}/{} ({} rejected, {} panicked, {} hit deadline)",
         run.outcomes.len(),
-        apps.len(),
+        expected,
         rejected,
         panicked,
         deadline
@@ -536,8 +644,81 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
     }
     // The timing-free fingerprint of what the suite found; CI diffs this
     // line between an interrupted+resumed run and an uninterrupted one.
+    // A shard run's digest covers only its slice, so it is labeled
+    // distinctly — the corpus-wide line comes from `--merge`.
     if progress.map_or(true, |(_, _, remaining, _)| remaining == 0) {
-        println!("outcome digest: {:#018x}", run.outcome_digest());
+        match shard_index {
+            Some(index) => {
+                println!("shard {index}/{shards} outcome digest: {:#018x}", run.outcome_digest())
+            }
+            None => println!("outcome digest: {:#018x}", run.outcome_digest()),
+        }
+    }
+    Ok(())
+}
+
+/// `fragdroid gen-corpus <DIR> [--apps N] [--seed N] [--profile tiny|paper]
+/// [--shard-size N]` — write a seeded synthetic corpus to disk as sharded
+/// packed containers plus a manifest. The same seed and parameters
+/// produce a byte-identical corpus (and digest) on every machine.
+pub fn gen_corpus(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv)?;
+    let dir = p.one_path("corpus directory")?;
+    let profile = match p.opt("profile") {
+        None => fd_appgen::stream::Profile::Tiny,
+        Some(name) => fd_appgen::stream::Profile::parse(name)?,
+    };
+    let config = fd_appgen::stream::StreamConfig {
+        apps: p.num("apps", 1_000)? as usize,
+        seed: p.num("seed", 1)?,
+        profile,
+        shard_size: p.num("shard-size", 1_024)? as usize,
+    };
+    let manifest = fd_appgen::stream::write_corpus(std::path::Path::new(dir), &config)
+        .map_err(|e| format!("cannot write corpus to {dir}: {e}"))?;
+    println!(
+        "wrote {} apps ({} profile) to {dir} in {} shards of ≤{}",
+        manifest.apps,
+        manifest.profile,
+        manifest.shards.len(),
+        config.shard_size,
+    );
+    println!("corpus digest: {}", manifest.corpus_digest);
+    Ok(())
+}
+
+/// `fragdroid serve [--workers N] [--budget N] [--fault-rate R]
+/// [--fault-seed N] [--backend B] [--trace-out T.jsonl]` — job-queue mode
+/// over stdin/stdout: one frame per request, submitted containers run on
+/// pooled devices, and a finished job polls back the exact report bytes
+/// `run --json` would print.
+pub fn serve(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv)?;
+    if !p.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let mut config = FragDroidConfig {
+        event_budget: p.num("budget", 40_000)? as usize,
+        ..FragDroidConfig::default()
+    }
+    .with_backend(parse_backend(&p)?);
+    let fault_rate = p.fraction("fault-rate", 0.0)?;
+    if fault_rate > 0.0 {
+        config = config.with_faults(p.num("fault-seed", 1)?, fault_rate);
+    }
+    let options = fragdroid::ServeOptions { workers: p.num("workers", 1)? as usize, config };
+    let trace_out = p.opt("trace-out");
+    let trace_config = if trace_out.is_some() {
+        fd_trace::TraceConfig::on()
+    } else {
+        fd_trace::TraceConfig::off()
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let trace = fragdroid::serve(stdin.lock(), stdout.lock(), &options, &trace_config)
+        .map_err(|e| CliError::Failure(format!("serve: {e}")))?;
+    if let Some(out) = trace_out {
+        write_trace(out, &trace)?;
     }
     Ok(())
 }
@@ -558,7 +739,9 @@ pub fn fuzz(argv: &[String]) -> Result<(), CliError> {
             .split(',')
             .map(|name| {
                 fd_fuzz::Target::parse(name.trim()).ok_or_else(|| {
-                    format!("unknown fuzz target '{name}' (container, smali, json, protocol)")
+                    format!(
+                        "unknown fuzz target '{name}' (container, smali, json, protocol, corpus)"
+                    )
                 })
             })
             .collect::<Result<Vec<_>, String>>()?,

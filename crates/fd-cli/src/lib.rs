@@ -39,6 +39,9 @@ pub enum CliError {
     /// Checkpoint journal error (corrupt or mismatched journal, full
     /// disk mid-append, refused overwrite) — exit code 3.
     Checkpoint(String),
+    /// Shard-merge error (missing/incomplete/mismatched shard journal)
+    /// — exit code 4.
+    Shard(String),
 }
 
 impl CliError {
@@ -48,6 +51,7 @@ impl CliError {
             CliError::Failure(_) => 1,
             CliError::Rejected(_) => 2,
             CliError::Checkpoint(_) => 3,
+            CliError::Shard(_) => 4,
         }
     }
 }
@@ -58,6 +62,7 @@ impl std::fmt::Display for CliError {
             CliError::Failure(message) => write!(f, "{message}"),
             CliError::Rejected(message) => write!(f, "rejected input: {message}"),
             CliError::Checkpoint(message) => write!(f, "checkpoint: {message}"),
+            CliError::Shard(message) => write!(f, "shard merge: {message}"),
         }
     }
 }
@@ -65,6 +70,12 @@ impl std::fmt::Display for CliError {
 impl From<fragdroid::JournalError> for CliError {
     fn from(error: fragdroid::JournalError) -> Self {
         CliError::Checkpoint(error.to_string())
+    }
+}
+
+impl From<fragdroid::ShardError> for CliError {
+    fn from(error: fragdroid::ShardError) -> Self {
+        CliError::Shard(error.to_string())
     }
 }
 
@@ -99,6 +110,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "java" => cmds::java(rest),
         "repack" => cmds::repack(rest),
         "corpus" => cmds::corpus(rest),
+        "gen-corpus" => cmds::gen_corpus(rest),
+        "serve" => cmds::serve(rest),
         "device-agent" => cmds::device_agent(rest),
         "fuzz" => cmds::fuzz(rest),
         "trace" => cmds::trace(rest),
@@ -138,18 +151,34 @@ USAGE:
   fragdroid corpus [--seed N] [--limit N] [--workers N] [--deadline-ms N]
                 [--fault-rate R] [--fault-seed N] [--json] [--trace-out T.jsonl]
                 [--checkpoint J] [--resume] [--flake-retries N] [--app-budget N]
-                [--backend B] [--agent-die-after N]
+                [--backend B] [--agent-die-after N] [--corpus DIR]
+                [--shards N --shard-index I | --shards N --merge]
                                           run the synthetic corpus on the suite runner
                                           (journal progress to J; --resume continues
                                           an interrupted journal; --app-budget stops
                                           after N fresh apps, leaving J partial;
                                           --agent-die-after kills each lane's first
                                           subprocess agent after N requests to
-                                          exercise device-pool recovery)
+                                          exercise device-pool recovery;
+                                          --corpus streams an on-disk gen-corpus
+                                          directory instead of the in-memory 217;
+                                          --shards/--shard-index runs one shard
+                                          journaling to J.shard-I-of-N; --merge
+                                          combines the per-shard journals into the
+                                          single-run report + outcome digest)
+  fragdroid gen-corpus <DIR> [--apps N] [--seed N] [--profile tiny|paper]
+                [--shard-size N]
+                                          write a seeded synthetic corpus to DIR as
+                                          sharded packed containers + manifest
+  fragdroid serve [--workers N] [--budget N] [--fault-rate R] [--fault-seed N]
+                [--backend B] [--trace-out T.jsonl]
+                                          job-queue mode on stdin/stdout: submit a
+                                          container frame, poll the job id for the
+                                          same report bytes 'run --json' prints
   fragdroid device-agent [--die-after N]  serve the device wire protocol on
                                           stdin/stdout (spawned by the subprocess
                                           backend; not for interactive use)
-  fragdroid fuzz [--seed N] [--mutants N] [--target container|smali|json|protocol]
+  fragdroid fuzz [--seed N] [--mutants N] [--target container|smali|json|protocol|corpus]
                 [--out DIR] [--trace-out T.jsonl] [--json]
                                           deterministic ingestion-frontier fuzz campaign
   fragdroid trace <trace.jsonl> [--json]  per-phase/per-app profile of a trace
@@ -160,7 +189,9 @@ EXIT CODES:
   1  failure (bad usage, IO error, internal error, fuzz violation)
   2  input rejected at the ingestion frontier (malformed/packed container)
   3  checkpoint journal error (corrupt or mismatched journal, refused
-     overwrite, unwritable checkpoint path)"
+     overwrite, unwritable checkpoint path)
+  4  shard-merge error (missing, incomplete, or fingerprint-mismatched
+     shard journal)"
     );
 }
 

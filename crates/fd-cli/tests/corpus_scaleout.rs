@@ -1,0 +1,271 @@
+//! End-to-end tests of the corpus scale-out surface against the *real*
+//! `fragdroid` binary: `gen-corpus` → on-disk corpus → sharded runs →
+//! merge must reproduce the unsharded outcome digest, and `serve` must
+//! hand back the same report bytes `run --json` prints.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+use fd_droidsim::proto::{decode_payload, encode_frame, to_hex, Envelope, FrameBuffer};
+use fragdroid::{ServeRequest, ServeResponse};
+
+fn fragdroid(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fragdroid"))
+        .args(args)
+        .output()
+        .expect("spawn fragdroid binary")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "fragdroid failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fd-scaleout-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+fn digest_line(stdout: &str) -> &str {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("outcome digest:"))
+        .unwrap_or_else(|| panic!("no outcome digest in:\n{stdout}"))
+}
+
+#[test]
+fn gen_corpus_is_seed_deterministic_and_merge_matches_unsharded() {
+    let dir_a = tmp("corpus-a");
+    let dir_b = tmp("corpus-b");
+    for dir in [&dir_a, &dir_b] {
+        let out = stdout_of(&fragdroid(&[
+            "gen-corpus",
+            dir.to_str().unwrap(),
+            "--apps",
+            "12",
+            "--seed",
+            "3",
+            "--shard-size",
+            "5",
+        ]));
+        assert!(out.contains("wrote 12 apps"), "unexpected gen-corpus output:\n{out}");
+    }
+    // Same seed → byte-identical corpus (manifest digest and shard files).
+    let manifest_a = std::fs::read(dir_a.join("corpus.json")).expect("manifest a");
+    let manifest_b = std::fs::read(dir_b.join("corpus.json")).expect("manifest b");
+    assert_eq!(manifest_a, manifest_b, "gen-corpus must be seed-deterministic");
+
+    let corpus = dir_a.to_str().unwrap().to_string();
+    let faults: &[&str] = &["--fault-rate", "0.25", "--fault-seed", "7"];
+
+    // Unsharded reference over the on-disk corpus.
+    let mut ref_args = vec!["corpus", "--corpus", &corpus];
+    ref_args.extend(faults);
+    let reference = stdout_of(&fragdroid(&ref_args));
+
+    // Two shard runs journaling to distinct per-shard checkpoints.
+    let journal = tmp("scaleout.journal");
+    let journal_str = journal.to_str().unwrap();
+    for index in ["0", "1"] {
+        let mut args = vec![
+            "corpus",
+            "--corpus",
+            &corpus,
+            "--checkpoint",
+            journal_str,
+            "--shards",
+            "2",
+            "--shard-index",
+            index,
+        ];
+        args.extend(faults);
+        let out = stdout_of(&fragdroid(&args));
+        assert!(
+            out.contains(&format!("shard:       {index}/2")),
+            "shard run must announce its slice:\n{out}"
+        );
+        // Shard runs deliberately do not print the plain digest line —
+        // only full/merged runs may, so CI digest-diffs cannot match a
+        // partial result.
+        assert!(!out.lines().any(|l| l.starts_with("outcome digest:")));
+    }
+
+    let mut merge_args = vec![
+        "corpus",
+        "--corpus",
+        &corpus,
+        "--checkpoint",
+        journal_str,
+        "--shards",
+        "2",
+        "--merge",
+    ];
+    merge_args.extend(faults);
+    let merged = stdout_of(&fragdroid(&merge_args));
+    assert_eq!(
+        digest_line(&merged),
+        digest_line(&reference),
+        "merged shard digest diverged from the unsharded run"
+    );
+    assert!(merged.contains("merged: 12 apps across 2 shards"), "merge summary:\n{merged}");
+}
+
+#[test]
+fn merge_without_shard_journals_is_exit_code_4() {
+    let dir = tmp("corpus-missing");
+    stdout_of(&fragdroid(&["gen-corpus", dir.to_str().unwrap(), "--apps", "4", "--seed", "9"]));
+    let journal = tmp("missing.journal");
+    let out = fragdroid(&[
+        "corpus",
+        "--corpus",
+        dir.to_str().unwrap(),
+        "--checkpoint",
+        journal.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--merge",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "missing shard journals map to exit code 4");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("shard merge"));
+}
+
+/// A `fragdroid serve` child with frame-level request/reply plumbing.
+struct ServeSession {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    stdout: std::process::ChildStdout,
+    frames: FrameBuffer,
+    next_id: u64,
+}
+
+impl ServeSession {
+    fn spawn(extra: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_fragdroid"))
+            .arg("serve")
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn fragdroid serve");
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = child.stdout.take().expect("stdout piped");
+        ServeSession { child, stdin, stdout, frames: FrameBuffer::new(), next_id: 0 }
+    }
+
+    /// Sends one request and blocks for its reply (the protocol is
+    /// strictly one reply frame per request frame).
+    fn request(&mut self, body: ServeRequest) -> ServeResponse {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stdin.write_all(&encode_frame(&Envelope { id, body })).expect("write frame");
+        self.stdin.flush().expect("flush frame");
+        loop {
+            if let Some(payload) = self.frames.next_frame().expect("well-formed reply") {
+                let envelope: Envelope<ServeResponse> =
+                    decode_payload(&payload).expect("decodable reply");
+                assert_eq!(envelope.id, id, "replies echo the request id");
+                return envelope.body;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stdout.read(&mut chunk).expect("read reply");
+            assert!(n > 0, "serve hung up mid-request");
+            self.frames.push(&chunk[..n]);
+        }
+    }
+
+    fn poll_until_done(&mut self, job: u64) -> ServeResponse {
+        loop {
+            match self.request(ServeRequest::Poll { job }) {
+                ServeResponse::Pending { .. } => {
+                    std::thread::sleep(std::time::Duration::from_millis(5))
+                }
+                done => return done,
+            }
+        }
+    }
+
+    fn shutdown(mut self) {
+        assert!(matches!(self.request(ServeRequest::Shutdown), ServeResponse::Bye));
+        drop(self.stdin);
+        let status = self.child.wait().expect("serve exits");
+        assert!(status.success(), "serve must exit cleanly after Shutdown");
+    }
+}
+
+#[test]
+fn serve_report_is_byte_identical_to_run_json() {
+    let app = tmp("serve-parity.fapk");
+    let app_str = app.to_str().unwrap();
+    stdout_of(&fragdroid(&["gen", app_str, "--template", "fig1-tabs"]));
+    let inputs_path = format!("{app_str}.inputs.json");
+    let inputs: BTreeMap<String, String> =
+        serde_json::from_str(&std::fs::read_to_string(&inputs_path).expect("inputs file"))
+            .expect("inputs json");
+    let container = std::fs::read(&app).expect("container bytes");
+
+    // Reference: `run --json` prints the pretty report plus one newline.
+    let reference = stdout_of(&fragdroid(&["run", app_str, "--inputs", &inputs_path, "--json"]));
+
+    let mut session = ServeSession::spawn(&["--workers", "2"]);
+    let submit = session.request(ServeRequest::Submit {
+        container_hex: to_hex(&container),
+        inputs: inputs.clone(),
+    });
+    let ServeResponse::Accepted { job } = submit else {
+        panic!("submit must be accepted, got {submit:?}");
+    };
+    let done = session.poll_until_done(job);
+    let ServeResponse::Report { json, .. } = done else {
+        panic!("job must complete with a report, got {done:?}");
+    };
+    assert_eq!(
+        json,
+        reference.trim_end_matches('\n'),
+        "serve report bytes diverged from 'run --json'"
+    );
+
+    // A malformed container is a pollable refusal, not a dead session.
+    let submit = session
+        .request(ServeRequest::Submit { container_hex: to_hex(b"junk"), inputs: BTreeMap::new() });
+    let ServeResponse::Accepted { job: bad_job } = submit else {
+        panic!("even bad submissions get a job id, got {submit:?}");
+    };
+    assert!(matches!(session.poll_until_done(bad_job), ServeResponse::Rejected { .. }));
+
+    match session.request(ServeRequest::Status) {
+        ServeResponse::Status { completed, rejected, workers, .. } => {
+            assert_eq!((completed, rejected, workers), (1, 1, 2));
+        }
+        other => panic!("expected a status snapshot, got {other:?}"),
+    }
+    session.shutdown();
+}
+
+#[test]
+fn serve_hangs_up_quietly_on_a_corrupt_frame() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fragdroid"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"this is not a frame\n")
+        .expect("write garbage");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "corrupt stream is a clean hang-up, not a crash");
+    assert!(out.stdout.is_empty(), "no reply may follow a corrupt frame");
+}

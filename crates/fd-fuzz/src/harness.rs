@@ -31,11 +31,16 @@ pub enum Target {
     /// [`fd_droidsim::proto::decode_request_stream`] (the length-prefixed
     /// framing plus the request JSON the subprocess backend speaks).
     Protocol,
+    /// Byte-level mutants of FDCS corpus shard files →
+    /// [`fd_apk::corpus::parse_shard`] (the index/offset-table decoder
+    /// the lazy corpus reader trusts).
+    Corpus,
 }
 
 impl Target {
     /// Every target, in campaign rotation order.
-    pub const ALL: [Target; 4] = [Target::Container, Target::Smali, Target::Json, Target::Protocol];
+    pub const ALL: [Target; 5] =
+        [Target::Container, Target::Smali, Target::Json, Target::Protocol, Target::Corpus];
 
     /// Stable lowercase name (CLI `--target` values, report keys).
     pub fn name(&self) -> &'static str {
@@ -44,6 +49,7 @@ impl Target {
             Target::Smali => "smali",
             Target::Json => "json",
             Target::Protocol => "protocol",
+            Target::Corpus => "corpus",
         }
     }
 
@@ -175,6 +181,10 @@ struct SeedCorpus {
     /// Encoded device-agent request streams (install → explore →
     /// shutdown), one per container.
     protocol: Vec<Vec<u8>>,
+    /// Encoded FDCS corpus shard files: one single-entry shard per
+    /// container plus one multi-entry shard (exercises the index's
+    /// strict-contiguity rules).
+    shards: Vec<Vec<u8>>,
 }
 
 /// Encodes a representative agent session over `container` as one wire
@@ -213,11 +223,17 @@ impl SeedCorpus {
             smali: Vec::new(),
             json: Vec::new(),
             protocol: Vec::new(),
+            shards: Vec::new(),
         };
+        let mut shard_entries = Vec::new();
         for gen in gens {
             let bytes = fd_apk::pack(&gen.app).to_vec();
             let container_index = corpus.containers.len();
             corpus.protocol.push(seed_request_stream(&bytes));
+            corpus
+                .shards
+                .push(fd_apk::corpus::encode_shard(&[(bytes.clone(), gen.known_inputs.clone())]));
+            shard_entries.push((bytes.clone(), gen.known_inputs.clone()));
             for (section_index, (_, range)) in mutate::section_ranges(&bytes).iter().enumerate() {
                 if section_index == 1 {
                     // The classes section is smali text, not JSON; it is
@@ -235,11 +251,13 @@ impl SeedCorpus {
             }
             corpus.containers.push(bytes);
         }
+        corpus.shards.push(fd_apk::corpus::encode_shard(&shard_entries));
         assert!(
             !corpus.containers.is_empty()
                 && !corpus.smali.is_empty()
                 && !corpus.json.is_empty()
-                && !corpus.protocol.is_empty(),
+                && !corpus.protocol.is_empty()
+                && !corpus.shards.is_empty(),
             "seed corpus covers every target"
         );
         corpus
@@ -316,6 +334,23 @@ fn execute(target: Target, input: &[u8]) -> CaseOutcome {
             );
             whole.map(|_| ())
         }
+        Target::Corpus => match fd_apk::corpus::parse_shard(input) {
+            Ok(view) => {
+                // A mutant whose index still validates must also let
+                // every entry be read lazily — the container slice and
+                // the inputs JSON — without panicking.
+                let mut result = Ok(());
+                for entry in 0..view.len() {
+                    let _ = view.container(entry);
+                    if let Err(e) = view.inputs(entry) {
+                        result = Err(e.to_string());
+                        break;
+                    }
+                }
+                result
+            }
+            Err(e) => Err(e.to_string()),
+        },
     }));
     match result {
         Ok(Ok(())) => CaseOutcome::Ok,
@@ -350,6 +385,10 @@ fn generate(corpus: &SeedCorpus, target: Target, rng: &mut StdRng) -> Vec<u8> {
         }
         Target::Protocol => {
             let base = &corpus.protocol[rng.gen_range(0..corpus.protocol.len())];
+            mutate::mutate_bytes(base, rng)
+        }
+        Target::Corpus => {
+            let base = &corpus.shards[rng.gen_range(0..corpus.shards.len())];
             mutate::mutate_bytes(base, rng)
         }
     }
@@ -502,6 +541,8 @@ mod tests {
         assert_eq!(corpus.json.len(), 9);
         // One agent session stream per container.
         assert_eq!(corpus.protocol.len(), 3);
+        // One single-entry shard per container plus the combined shard.
+        assert_eq!(corpus.shards.len(), 4);
     }
 
     #[test]
@@ -550,6 +591,27 @@ mod tests {
         for stream in &corpus.protocol {
             assert!(matches!(execute(Target::Protocol, stream), CaseOutcome::Ok));
         }
+        for shard in &corpus.shards {
+            assert!(matches!(execute(Target::Corpus, shard), CaseOutcome::Ok));
+        }
+    }
+
+    #[test]
+    fn truncated_and_overrun_shards_are_rejected_not_panics() {
+        let corpus = SeedCorpus::build();
+        let shard = &corpus.shards[3];
+        // Truncation anywhere — header, payload, or index — is typed.
+        for len in [0, 4, 17, shard.len() / 2, shard.len() - 1] {
+            assert!(
+                matches!(execute(Target::Corpus, &shard[..len]), CaseOutcome::Rejected(_)),
+                "truncation to {len} bytes must be a typed rejection"
+            );
+        }
+        // An index offset pointing past EOF is typed, not a panic.
+        let mut overrun = shard.clone();
+        let index_offset = shard.len() - 16;
+        overrun[index_offset..index_offset + 8].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert!(matches!(execute(Target::Corpus, &overrun), CaseOutcome::Rejected(_)));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Structure-aware fuzzing of the ingestion frontier.
 //!
 //! The decode/parse pipeline (`fd-apk` containers, `fd-smali` text, the
-//! JSON sections, the device-agent wire protocol) promises *Ok or a
-//! typed Err — never a panic*. This crate is the harness that holds it
-//! to that promise:
+//! JSON sections, the device-agent wire protocol, the FDCS corpus-shard
+//! index the lazy corpus reader trusts) promises *Ok or a typed Err —
+//! never a panic*. This crate is the harness that holds it to that
+//! promise:
 //!
 //! - [`mutate`] — seeded, deterministic mutators. Byte-level mutations
 //!   (truncate / flip / splice / length-field corruption) for FAPK

@@ -12,7 +12,8 @@ fn ten_thousand_mutants_zero_panics() {
     assert!(report.rejected > 0, "the mutators do break inputs");
     for target in Target::ALL {
         let stats = report.per_target.get(target.name()).expect("every target ran");
-        assert!(stats.executed >= 2_500, "{} ran {} mutants", target.name(), stats.executed);
+        let floor = 10_000 / Target::ALL.len() as u64;
+        assert!(stats.executed >= floor, "{} ran {} mutants", target.name(), stats.executed);
         assert_eq!(stats.violations, 0);
     }
 }

@@ -9,15 +9,18 @@
 //!   paper's ● (activity) / ◗ (fragment) / ⊙ (both) marks;
 //! * [`comparison`] — FragDroid vs Monkey vs activity-level MBT vs
 //!   depth-first exploration (the §IX positioning, quantified);
-//! * [`table`] — a small plain-text table renderer shared by all of them.
+//! * [`table`] — a small plain-text table renderer shared by all of them;
+//! * [`shards`] — the per-shard breakdown of a merged multi-shard run.
 
 pub mod comparison;
+pub mod shards;
 pub mod study;
 pub mod table;
 pub mod table1;
 pub mod table2;
 
 pub use comparison::{compare_tools, ComparisonRow};
+pub use shards::render_shard_merge;
 pub use study::{corpus_study, StudyResult};
 pub use table1::{
     render_device_incidents, render_rejections, render_table1, run_table1, run_table1_full,

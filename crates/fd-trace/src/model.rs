@@ -173,6 +173,25 @@ pub enum TraceEvent {
         /// The worker lane whose device was retired.
         lane: u64,
     },
+    /// A shard's journal was folded into a merged suite result.
+    ShardMerged {
+        /// The shard's index within the split.
+        shard: u64,
+        /// Apps the shard contributed.
+        apps: u64,
+    },
+    /// The serve loop accepted a job submission.
+    JobSubmitted {
+        /// The assigned job id.
+        job: u64,
+    },
+    /// A serve worker finished a job (report ready or rejection filed).
+    JobCompleted {
+        /// The finished job id.
+        job: u64,
+        /// Whether the container was refused by the ingestion frontier.
+        rejected: bool,
+    },
 }
 
 impl TraceEvent {
@@ -195,6 +214,9 @@ impl TraceEvent {
             TraceEvent::DeviceLeased { .. } => "device-leased",
             TraceEvent::DeviceIncident { .. } => "device-incident",
             TraceEvent::DeviceRetired { .. } => "device-retired",
+            TraceEvent::ShardMerged { .. } => "shard-merged",
+            TraceEvent::JobSubmitted { .. } => "job-submitted",
+            TraceEvent::JobCompleted { .. } => "job-completed",
         }
     }
 }

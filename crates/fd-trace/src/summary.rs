@@ -183,6 +183,14 @@ impl TraceSummary {
                             summary.devices_retired += 1;
                             Some(format!("device retired on lane {lane}"))
                         }
+                        TraceEvent::ShardMerged { shard, apps } => {
+                            Some(format!("merged shard {shard} ({apps} apps)"))
+                        }
+                        TraceEvent::JobSubmitted { job } => Some(format!("job {job} submitted")),
+                        TraceEvent::JobCompleted { job, rejected } => Some(format!(
+                            "job {job} {}",
+                            if *rejected { "rejected" } else { "completed" }
+                        )),
                     };
                     if let Some(what) = note {
                         summary.timeline.push(TimelineEntry {

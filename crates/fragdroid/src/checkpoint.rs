@@ -213,19 +213,21 @@ pub struct Fingerprint {
 }
 
 impl Fingerprint {
+    /// Fingerprints an invocation. A lazy source whose corpus cannot be
+    /// streamed (I/O failure, corrupt shard) surfaces its reason.
     pub(crate) fn of(
         source: &SuiteSource<'_>,
         config: &FragDroidConfig,
         flake_retries: usize,
-    ) -> Self {
-        Fingerprint {
+    ) -> Result<Self, String> {
+        Ok(Fingerprint {
             apps: source.len() as u64,
-            corpus_digest: source.digest(),
+            corpus_digest: source.digest()?,
             // The derived Debug rendering covers every config field, so
             // any behavioral knob changing changes the digest.
             config_digest: fnv1a(FNV_OFFSET, format!("{config:?}").as_bytes()),
             flake_retries: flake_retries as u64,
-        }
+        })
     }
 }
 
@@ -888,6 +890,54 @@ pub fn run_container_suite_checkpointed_pooled(
     )
 }
 
+/// [`run_container_suite_checkpointed`] over a lazily fetched
+/// [`CorpusSource`] — the shard coordinator's runner: an on-disk corpus
+/// (or a sub-range of one) streams through the checkpointed engine
+/// without ever materializing, and the journal fingerprint is computed
+/// from the streamed digest, so it is identical to an eager run over
+/// the same entries.
+pub fn run_corpus_suite_checkpointed(
+    source: &dyn crate::suite::CorpusSource,
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+    checkpoint: Option<&CheckpointOptions>,
+    flake_retries: usize,
+) -> Result<(CheckpointedSuite, fd_trace::Trace), JournalError> {
+    run_checkpointed(
+        &SuiteSource::Lazy(source),
+        config,
+        workers,
+        trace_config,
+        checkpoint,
+        flake_retries,
+        None,
+    )
+}
+
+/// [`run_corpus_suite_checkpointed`] against a caller-built
+/// [`crate::pool::DevicePool`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_corpus_suite_checkpointed_pooled(
+    source: &dyn crate::suite::CorpusSource,
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+    checkpoint: Option<&CheckpointOptions>,
+    flake_retries: usize,
+    pool: &crate::pool::DevicePool,
+) -> Result<(CheckpointedSuite, fd_trace::Trace), JournalError> {
+    run_checkpointed(
+        &SuiteSource::Lazy(source),
+        config,
+        workers,
+        trace_config,
+        checkpoint,
+        flake_retries,
+        Some(pool),
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_checkpointed(
     source: &SuiteSource<'_>,
@@ -899,7 +949,12 @@ fn run_checkpointed(
     pool: Option<&crate::pool::DevicePool>,
 ) -> Result<(CheckpointedSuite, fd_trace::Trace), JournalError> {
     let n = source.len();
-    let fingerprint = Fingerprint::of(source, config, flake_retries);
+    let fingerprint =
+        Fingerprint::of(source, config, flake_retries).map_err(|detail| JournalError::Io {
+            path: checkpoint.map(|o| o.path.display().to_string()).unwrap_or_default(),
+            op: "digest corpus source",
+            error: detail,
+        })?;
 
     // Load or create the journal.
     let mut restored: BTreeMap<usize, (AppOutcome, AppMetrics)> = BTreeMap::new();

@@ -36,20 +36,29 @@ pub mod driver;
 pub mod pool;
 pub mod queue;
 pub mod report;
+pub mod serve;
+pub mod shard;
 pub mod suite;
 
 pub use checkpoint::{
     load_journal, run_container_suite_checkpointed, run_container_suite_checkpointed_pooled,
-    run_suite_checkpointed, CheckpointOptions, CheckpointedSuite, Fingerprint, FlakeClass,
-    FlakeRecord, FlakeSummary, JournalError, LoadedJournal,
+    run_corpus_suite_checkpointed, run_corpus_suite_checkpointed_pooled, run_suite_checkpointed,
+    CheckpointOptions, CheckpointedSuite, Fingerprint, FlakeClass, FlakeRecord, FlakeSummary,
+    JournalError, LoadedJournal,
 };
 pub use config::FragDroidConfig;
 pub use driver::FragDroid;
 pub use pool::{build_backend, DeviceFactory, DevicePool};
 pub use queue::{QueueItem, UiQueue};
 pub use report::{Coverage, CrashReport, CrashSignature, DeviceErrorStats, RunReport};
+pub use serve::{serve, ServeOptions, ServeRequest, ServeResponse};
+pub use shard::{
+    merge_shards, run_shard, shard_journal_path, shard_range, MergedRun, ShardError, ShardSlice,
+    ShardStat,
+};
 pub use suite::{
     run_container_suite_outcomes, run_container_suite_pooled, run_container_suite_traced,
-    run_suite, run_suite_outcomes, run_suite_traced, run_suite_with_workers, AppMetrics,
-    AppOutcome, SuiteMetrics, SuiteRun,
+    run_corpus_suite_pooled, run_corpus_suite_traced, run_suite, run_suite_outcomes,
+    run_suite_traced, run_suite_with_workers, AppMetrics, AppOutcome, CorpusSource, SuiteMetrics,
+    SuiteRun,
 };

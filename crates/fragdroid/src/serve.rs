@@ -1,0 +1,545 @@
+//! `fragdroid serve` — a long-running job queue over the device wire
+//! plumbing: submit a packed container, get a job id back immediately,
+//! poll for the finished report.
+//!
+//! The transport is the same length-prefixed frame protocol the
+//! subprocess device agent speaks ([`fd_droidsim::proto`]): one
+//! [`ServeRequest`] per frame in, one [`ServeResponse`] echoing the
+//! request id per frame out. The serve loop owns the connection; a pool
+//! of worker threads drains the job queue, leasing devices from a
+//! [`crate::pool::DevicePool`] lane per worker and tracing each job on
+//! its own lane (track = job id). Reports are stored exactly as
+//! `fd-cli run --json` prints them — `serde_json::to_string_pretty` of
+//! the [`crate::report::RunReport`] — so a served report is
+//! byte-identical to a CLI run of the same container.
+//!
+//! Failure behavior mirrors the device agent: a malformed frame ends
+//! the session without a reply (resyncing a corrupt length-prefixed
+//! stream is guesswork), and an orderly [`ServeRequest::Shutdown`] gets
+//! a [`ServeResponse::Bye`] before the loop exits. Jobs already queued
+//! when the session ends are abandoned, not run.
+
+use crate::config::FragDroidConfig;
+use crate::pool::DevicePool;
+use crate::suite::run_container_slot;
+use fd_droidsim::proto::{decode_payload, encode_frame, from_hex, Envelope, FrameBuffer};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::sync::{Condvar, Mutex};
+
+/// Everything a client can ask the serve loop.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ServeRequest {
+    /// Enqueue one app. The reply is an immediate
+    /// [`ServeResponse::Accepted`]; rejection (bad hex, refused
+    /// container) surfaces later through [`ServeRequest::Poll`].
+    Submit {
+        /// The packed container, hex-encoded (binary-safe in JSON).
+        container_hex: String,
+        /// The app's known inputs, field id → value.
+        inputs: BTreeMap<String, String>,
+    },
+    /// Ask for a job's result.
+    Poll {
+        /// The id [`ServeResponse::Accepted`] returned.
+        job: u64,
+    },
+    /// Ask for a queue snapshot.
+    Status,
+    /// Orderly shutdown; the server replies [`ServeResponse::Bye`] and
+    /// ends the session.
+    Shutdown,
+}
+
+/// Everything the serve loop can answer with.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ServeResponse {
+    /// Reply to [`ServeRequest::Submit`]: the job is queued.
+    Accepted {
+        /// The id to poll with.
+        job: u64,
+    },
+    /// Reply to [`ServeRequest::Poll`]: still queued or running.
+    Pending {
+        /// The polled job.
+        job: u64,
+    },
+    /// Reply to [`ServeRequest::Poll`]: the run finished.
+    Report {
+        /// The polled job.
+        job: u64,
+        /// The report, pretty-printed exactly as `fd-cli run --json`
+        /// prints it.
+        json: String,
+    },
+    /// Reply to [`ServeRequest::Poll`]: the input was refused (bad hex,
+    /// ingestion-frontier rejection, or an unserializable report).
+    Rejected {
+        /// The polled job.
+        job: u64,
+        /// The typed refusal, rendered.
+        reason: String,
+    },
+    /// Reply to [`ServeRequest::Poll`] for an id never accepted.
+    UnknownJob {
+        /// The polled job.
+        job: u64,
+    },
+    /// Reply to [`ServeRequest::Status`].
+    Status {
+        /// Jobs accepted but not yet picked up by a worker.
+        queued: u64,
+        /// Jobs a worker is currently running.
+        running: u64,
+        /// Jobs that finished with a report.
+        completed: u64,
+        /// Jobs that finished rejected.
+        rejected: u64,
+        /// Worker threads draining the queue.
+        workers: u64,
+    },
+    /// Reply to [`ServeRequest::Shutdown`].
+    Bye,
+}
+
+/// How a serve loop should run.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads (and device-pool lanes). Clamped to at least 1.
+    pub workers: usize,
+    /// The exploration configuration every job runs with.
+    pub config: FragDroidConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { workers: 1, config: FragDroidConfig::default() }
+    }
+}
+
+/// One queued job.
+struct Job {
+    id: u64,
+    container: Vec<u8>,
+    inputs: BTreeMap<String, String>,
+}
+
+/// Where a job is in its lifecycle.
+enum JobState {
+    Queued,
+    Running,
+    Done(Result<String, String>),
+}
+
+/// Shared queue + job table, guarded by one mutex; the condvar wakes
+/// idle workers on submit and shutdown.
+#[derive(Default)]
+struct State {
+    queue: VecDeque<Job>,
+    jobs: BTreeMap<u64, JobState>,
+    shutdown: bool,
+}
+
+/// Runs the serve loop until EOF, a protocol error, or an orderly
+/// [`ServeRequest::Shutdown`], returning the session's trace (empty
+/// when `trace_config` is off).
+pub fn serve<R: Read, W: Write>(
+    mut input: R,
+    mut output: W,
+    options: &ServeOptions,
+    trace_config: &fd_trace::TraceConfig,
+) -> std::io::Result<fd_trace::Trace> {
+    let workers = options.workers.max(1);
+    let pool = DevicePool::from_config(&options.config, workers);
+    let clock = fd_trace::TraceClock::start();
+    let tracer = fd_trace::Tracer::new(trace_config, clock, 0);
+    let sync = (Mutex::new(State::default()), Condvar::new());
+    let tracks: Mutex<Vec<fd_trace::TrackTrace>> = Mutex::new(Vec::new());
+
+    let result = std::thread::scope(|scope| -> std::io::Result<()> {
+        for lane in 0..workers {
+            let sync = &sync;
+            let tracks = &tracks;
+            let pool = &pool;
+            let config = &options.config;
+            scope.spawn(move || worker_loop(sync, tracks, pool, config, trace_config, clock, lane));
+        }
+
+        let io_result = session_loop(&mut input, &mut output, &sync, &tracer, workers);
+
+        let (state, cvar) = &sync;
+        lock(state).shutdown = true;
+        cvar.notify_all();
+        io_result
+    });
+
+    let mut trace = fd_trace::Trace::new("fragdroid serve");
+    trace.absorb(tracer.finish());
+    for track in lock(&tracks).drain(..) {
+        trace.absorb(track);
+    }
+    result.map(|()| trace)
+}
+
+/// Locks a mutex, shrugging off poisoning (a panicked worker must not
+/// wedge the session).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Reads frames and dispatches requests until the session ends. A
+/// corrupt frame ends the session quietly (no reply), matching the
+/// device agent.
+fn session_loop<R: Read, W: Write>(
+    input: &mut R,
+    output: &mut W,
+    sync: &(Mutex<State>, Condvar),
+    tracer: &fd_trace::Tracer,
+    workers: usize,
+) -> std::io::Result<()> {
+    let (state, cvar) = sync;
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut next_job = 0u64;
+    loop {
+        loop {
+            let payload = match frames.next_frame() {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(_) => return Ok(()),
+            };
+            let Ok(envelope) = decode_payload::<ServeRequest>(&payload) else {
+                return Ok(());
+            };
+            let shutdown = matches!(envelope.body, ServeRequest::Shutdown);
+            let reply = {
+                let mut st = lock(state);
+                match envelope.body {
+                    ServeRequest::Submit { container_hex, inputs } => {
+                        let job = next_job;
+                        next_job += 1;
+                        match from_hex(&container_hex) {
+                            Ok(container) => {
+                                st.queue.push_back(Job { id: job, container, inputs });
+                                st.jobs.insert(job, JobState::Queued);
+                                cvar.notify_one();
+                            }
+                            // A submission that is not even hex never
+                            // reaches a worker; it still gets a job id
+                            // so the refusal is pollable.
+                            Err(e) => {
+                                st.jobs.insert(
+                                    job,
+                                    JobState::Done(Err(format!("bad container hex: {e}"))),
+                                );
+                            }
+                        }
+                        tracer.event(|| fd_trace::TraceEvent::JobSubmitted { job });
+                        ServeResponse::Accepted { job }
+                    }
+                    ServeRequest::Poll { job } => match st.jobs.get(&job) {
+                        None => ServeResponse::UnknownJob { job },
+                        Some(JobState::Queued) | Some(JobState::Running) => {
+                            ServeResponse::Pending { job }
+                        }
+                        Some(JobState::Done(Ok(json))) => {
+                            ServeResponse::Report { job, json: json.clone() }
+                        }
+                        Some(JobState::Done(Err(reason))) => {
+                            ServeResponse::Rejected { job, reason: reason.clone() }
+                        }
+                    },
+                    ServeRequest::Status => {
+                        let mut counts = [0u64; 4];
+                        for job_state in st.jobs.values() {
+                            match job_state {
+                                JobState::Queued => counts[0] += 1,
+                                JobState::Running => counts[1] += 1,
+                                JobState::Done(Ok(_)) => counts[2] += 1,
+                                JobState::Done(Err(_)) => counts[3] += 1,
+                            }
+                        }
+                        ServeResponse::Status {
+                            queued: counts[0],
+                            running: counts[1],
+                            completed: counts[2],
+                            rejected: counts[3],
+                            workers: workers as u64,
+                        }
+                    }
+                    ServeRequest::Shutdown => ServeResponse::Bye,
+                }
+            };
+            output.write_all(&encode_frame(&Envelope { id: envelope.id, body: reply }))?;
+            output.flush()?;
+            if shutdown {
+                return Ok(());
+            }
+        }
+        match input.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(n) => frames.push(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One worker: pop a job, run it on this lane's pooled device, store
+/// the finished report (or the typed refusal), repeat. Queued jobs are
+/// drained even after shutdown is signaled, so an orderly shutdown
+/// never abandons accepted work mid-queue — but the session that could
+/// have polled them is gone, so callers wanting the results should
+/// poll before shutting down.
+fn worker_loop(
+    sync: &(Mutex<State>, Condvar),
+    tracks: &Mutex<Vec<fd_trace::TrackTrace>>,
+    pool: &DevicePool,
+    config: &FragDroidConfig,
+    trace_config: &fd_trace::TraceConfig,
+    clock: fd_trace::TraceClock,
+    lane: usize,
+) {
+    let (state, cvar) = sync;
+    loop {
+        let job = {
+            let mut st = lock(state);
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.jobs.insert(job.id, JobState::Running);
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = match cvar.wait(st) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        let tracer = fd_trace::Tracer::new(trace_config, clock, job.id);
+        let bytes = bytes::Bytes::from(job.container);
+        let result = run_container_slot(&bytes, &job.inputs, config, &tracer, pool, lane).and_then(
+            |(report, _package)| {
+                serde_json::to_string_pretty(&report)
+                    .map_err(|e| format!("cannot serialize report: {e}"))
+            },
+        );
+        tracer.event(|| fd_trace::TraceEvent::JobCompleted {
+            job: job.id,
+            rejected: result.is_err(),
+        });
+        lock(tracks).push(tracer.finish());
+        lock(state).jobs.insert(job.id, JobState::Done(result));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::net::UnixStream;
+
+    fn request(id: u64, body: ServeRequest) -> Vec<u8> {
+        encode_frame(&Envelope { id, body })
+    }
+
+    /// Reads exactly one reply frame off the stream.
+    fn read_reply(stream: &mut UnixStream) -> Envelope<ServeResponse> {
+        let mut frames = FrameBuffer::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(payload) = frames.next_frame().expect("server frames are well-formed") {
+                return decode_payload(&payload).expect("server replies decode");
+            }
+            let n = stream.read(&mut chunk).expect("read reply");
+            assert_ne!(n, 0, "server hung up mid-conversation");
+            frames.push(&chunk[..n]);
+        }
+    }
+
+    fn quickstart_submission() -> ServeRequest {
+        let generated = fd_appgen::templates::quickstart();
+        ServeRequest::Submit {
+            container_hex: fd_droidsim::proto::to_hex(&fd_apk::pack(&generated.app)),
+            inputs: generated.known_inputs,
+        }
+    }
+
+    /// Spawns a serve loop on a thread over a socketpair, returning the
+    /// client end and the join handle.
+    fn spawn_server(
+        options: ServeOptions,
+    ) -> (UnixStream, std::thread::JoinHandle<std::io::Result<fd_trace::Trace>>) {
+        let (client, server) = UnixStream::pair().expect("socketpair");
+        let handle = std::thread::spawn(move || {
+            let reader = server.try_clone().expect("clone server end");
+            serve(reader, server, &options, &fd_trace::TraceConfig::on())
+        });
+        (client, handle)
+    }
+
+    #[test]
+    fn submit_poll_status_shutdown_round_trip() {
+        let (mut client, handle) = spawn_server(ServeOptions::default());
+        client.write_all(&request(1, quickstart_submission())).expect("submit");
+        let accepted = read_reply(&mut client);
+        assert_eq!(accepted.id, 1);
+        let ServeResponse::Accepted { job } = accepted.body else {
+            panic!("expected Accepted, got {:?}", accepted.body);
+        };
+
+        // Poll until the worker finishes; each poll echoes its own id.
+        let mut poll_id = 2u64;
+        let json = loop {
+            client.write_all(&request(poll_id, ServeRequest::Poll { job })).expect("poll");
+            let reply = read_reply(&mut client);
+            assert_eq!(reply.id, poll_id);
+            poll_id += 1;
+            match reply.body {
+                ServeResponse::Pending { .. } => {
+                    std::thread::sleep(std::time::Duration::from_millis(5))
+                }
+                ServeResponse::Report { job: done, json } => {
+                    assert_eq!(done, job);
+                    break json;
+                }
+                other => panic!("expected Pending/Report, got {other:?}"),
+            }
+        };
+        let report: crate::report::RunReport =
+            serde_json::from_str(&json).expect("served report parses");
+        assert_eq!(report.activity_coverage().visited, 3, "quickstart visits 3 activities");
+
+        client.write_all(&request(poll_id, ServeRequest::Status)).expect("status");
+        match read_reply(&mut client).body {
+            ServeResponse::Status { completed, rejected, .. } => {
+                assert_eq!((completed, rejected), (1, 0));
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+
+        client.write_all(&request(99, ServeRequest::Shutdown)).expect("shutdown");
+        assert_eq!(read_reply(&mut client).body, ServeResponse::Bye);
+        let trace = handle.join().expect("no panic").expect("no io error");
+        let summary = fd_trace::TraceSummary::compute(&trace);
+        let submitted = trace
+            .records
+            .iter()
+            .filter(|r| match r {
+                fd_trace::TraceRecord::Event(e) => {
+                    matches!(e.event, fd_trace::TraceEvent::JobSubmitted { .. })
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(submitted, 1, "one submission traced");
+        assert!(summary.records > 0);
+    }
+
+    #[test]
+    fn bad_hex_and_rejected_containers_are_pollable_refusals() {
+        let (mut client, handle) = spawn_server(ServeOptions::default());
+        client
+            .write_all(&request(
+                1,
+                ServeRequest::Submit { container_hex: "zz".to_string(), inputs: BTreeMap::new() },
+            ))
+            .expect("submit bad hex");
+        let ServeResponse::Accepted { job: bad_hex } = read_reply(&mut client).body else {
+            panic!("bad hex is still accepted; the refusal is pollable");
+        };
+        client
+            .write_all(&request(
+                2,
+                ServeRequest::Submit {
+                    container_hex: fd_droidsim::proto::to_hex(b"not a container"),
+                    inputs: BTreeMap::new(),
+                },
+            ))
+            .expect("submit bad container");
+        let ServeResponse::Accepted { job: bad_container } = read_reply(&mut client).body else {
+            panic!("expected Accepted");
+        };
+
+        for job in [bad_hex, bad_container] {
+            loop {
+                client.write_all(&request(10 + job, ServeRequest::Poll { job })).expect("poll");
+                match read_reply(&mut client).body {
+                    ServeResponse::Pending { .. } => {
+                        std::thread::sleep(std::time::Duration::from_millis(5))
+                    }
+                    ServeResponse::Rejected { reason, .. } => {
+                        assert!(!reason.is_empty());
+                        break;
+                    }
+                    other => panic!("expected Rejected, got {other:?}"),
+                }
+            }
+        }
+
+        client.write_all(&request(30, ServeRequest::Poll { job: 999 })).expect("poll unknown");
+        assert_eq!(read_reply(&mut client).body, ServeResponse::UnknownJob { job: 999 });
+
+        client.write_all(&request(31, ServeRequest::Shutdown)).expect("shutdown");
+        assert_eq!(read_reply(&mut client).body, ServeResponse::Bye);
+        handle.join().expect("no panic").expect("no io error");
+    }
+
+    #[test]
+    fn corrupt_frames_end_the_session_quietly() {
+        let mut output = Vec::new();
+        let trace = serve(
+            &b"not a frame at all"[..],
+            &mut output,
+            &ServeOptions::default(),
+            &fd_trace::TraceConfig::off(),
+        )
+        .expect("no io error");
+        assert!(output.is_empty(), "corrupt stream gets no reply");
+        assert!(trace.records.is_empty());
+    }
+
+    #[test]
+    fn many_jobs_drain_across_workers() {
+        let (mut client, handle) =
+            spawn_server(ServeOptions { workers: 3, ..ServeOptions::default() });
+        let jobs: Vec<u64> = (0..6)
+            .map(|i| {
+                client.write_all(&request(i, quickstart_submission())).expect("submit");
+                match read_reply(&mut client).body {
+                    ServeResponse::Accepted { job } => job,
+                    other => panic!("expected Accepted, got {other:?}"),
+                }
+            })
+            .collect();
+        assert_eq!(jobs, (0..6).collect::<Vec<u64>>(), "job ids are sequential");
+        let mut reports = Vec::new();
+        for job in jobs {
+            loop {
+                client.write_all(&request(100 + job, ServeRequest::Poll { job })).expect("poll");
+                match read_reply(&mut client).body {
+                    ServeResponse::Pending { .. } => {
+                        std::thread::sleep(std::time::Duration::from_millis(5))
+                    }
+                    ServeResponse::Report { json, .. } => {
+                        reports.push(json);
+                        break;
+                    }
+                    other => panic!("expected Report, got {other:?}"),
+                }
+            }
+        }
+        assert!(
+            reports.windows(2).all(|w| w[0] == w[1]),
+            "identical submissions produce byte-identical reports"
+        );
+        client.write_all(&request(999, ServeRequest::Shutdown)).expect("shutdown");
+        assert_eq!(read_reply(&mut client).body, ServeResponse::Bye);
+        handle.join().expect("no panic").expect("no io error");
+    }
+}

@@ -466,7 +466,124 @@ pub fn run_container_suite_pooled(
     )
 }
 
-/// The two input shapes a suite can run over, unified so the plain and
+/// [`run_container_suite_traced`] over a lazily fetched
+/// [`CorpusSource`] — on-disk corpora, shard sub-ranges, pack-on-demand
+/// generators. Only the entries currently running are resident.
+pub fn run_corpus_suite_traced(
+    source: &dyn CorpusSource,
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+) -> (SuiteRun, fd_trace::Trace) {
+    run_traced_inner(&SuiteSource::Lazy(source), config, workers, trace_config, None)
+}
+
+/// [`run_corpus_suite_traced`] against a caller-built
+/// [`crate::pool::DevicePool`].
+pub fn run_corpus_suite_pooled(
+    source: &dyn CorpusSource,
+    config: &FragDroidConfig,
+    workers: usize,
+    trace_config: &fd_trace::TraceConfig,
+    pool: &crate::pool::DevicePool,
+) -> (SuiteRun, fd_trace::Trace) {
+    run_traced_inner(&SuiteSource::Lazy(source), config, workers, trace_config, Some(pool))
+}
+
+/// A corpus the suite streams one entry at a time instead of requiring
+/// the whole thing as a slice — the entry point for on-disk corpora
+/// ([`fd_apk::corpus::CorpusReader`]), shard sub-ranges, and generators
+/// that pack on demand. Only the entry being run is resident; memory
+/// stays O(1 app) regardless of corpus size.
+///
+/// `fetch` errors are treated exactly like refused containers: the slot
+/// is quarantined as [`AppOutcome::Rejected`] and counted in
+/// [`SuiteMetrics::rejected`].
+pub trait CorpusSource: Sync {
+    /// Number of entries in the corpus.
+    fn len(&self) -> usize;
+
+    /// Whether the corpus holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes entry `index`: packed container bytes plus analyst
+    /// inputs.
+    fn fetch(&self, index: usize) -> Result<SuiteContainer, String>;
+
+    /// The streaming corpus digest — byte-identical to the eager
+    /// [`SuiteSource`] digest of the same entries. The default streams
+    /// every entry through [`CorpusSource::fetch`] once; sources with a
+    /// cheaper path (a recorded manifest digest, borrowed slices)
+    /// should override it.
+    fn digest(&self) -> Result<u64, String> {
+        let mut digest = crate::checkpoint::FNV_OFFSET;
+        for index in 0..self.len() {
+            let (bytes, inputs) = self.fetch(index)?;
+            digest = crate::checkpoint::fnv1a(digest, &bytes);
+            for (key, value) in &inputs {
+                digest = crate::checkpoint::fnv1a(digest, key.as_bytes());
+                digest = crate::checkpoint::fnv1a(digest, value.as_bytes());
+            }
+        }
+        Ok(digest)
+    }
+}
+
+/// An in-memory corpus is trivially a [`CorpusSource`]: fetching clones
+/// one entry (the container bytes and its inputs), never the corpus.
+impl CorpusSource for [SuiteContainer] {
+    fn len(&self) -> usize {
+        <[SuiteContainer]>::len(self)
+    }
+
+    fn fetch(&self, index: usize) -> Result<SuiteContainer, String> {
+        self.get(index)
+            .cloned()
+            .ok_or_else(|| format!("corpus entry {index} out of range ({} entries)", self.len()))
+    }
+
+    fn digest(&self) -> Result<u64, String> {
+        SuiteSource::Containers(self).digest()
+    }
+}
+
+/// A `Vec` corpus delegates to the slice impl — the sized form callers
+/// need when handing an in-memory corpus over as `&dyn CorpusSource`.
+impl CorpusSource for Vec<SuiteContainer> {
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    fn fetch(&self, index: usize) -> Result<SuiteContainer, String> {
+        self.as_slice().fetch(index)
+    }
+
+    fn digest(&self) -> Result<u64, String> {
+        CorpusSource::digest(self.as_slice())
+    }
+}
+
+/// An on-disk FDCS corpus streams entries by seek + read; the digest
+/// streams the shard files once, matching the in-memory fold.
+impl CorpusSource for fd_apk::corpus::CorpusReader {
+    fn len(&self) -> usize {
+        fd_apk::corpus::CorpusReader::len(self)
+    }
+
+    fn fetch(&self, index: usize) -> Result<SuiteContainer, String> {
+        fd_apk::corpus::CorpusReader::fetch(self, index)
+            .map(|(container, inputs)| (bytes::Bytes::from(container), inputs))
+            .map_err(|e| e.to_string())
+    }
+
+    fn digest(&self) -> Result<u64, String> {
+        self.corpus_digest().map_err(|e| e.to_string())
+    }
+}
+
+/// The input shapes a suite can run over, unified so the plain and
 /// checkpointed runners share one job body (decode, explore, quarantine)
 /// and one corpus fingerprint.
 pub(crate) enum SuiteSource<'a> {
@@ -475,6 +592,9 @@ pub(crate) enum SuiteSource<'a> {
     /// Packed containers: each worker decodes on the spot and rejected
     /// inputs are quarantined.
     Containers(&'a [SuiteContainer]),
+    /// A lazily fetched corpus: each slot is materialized on the worker
+    /// that runs it and dropped when the run ends.
+    Lazy(&'a dyn CorpusSource),
 }
 
 impl SuiteSource<'_> {
@@ -483,6 +603,7 @@ impl SuiteSource<'_> {
         match self {
             SuiteSource::Apps(apps) => apps.len(),
             SuiteSource::Containers(containers) => containers.len(),
+            SuiteSource::Lazy(source) => source.len(),
         }
     }
 
@@ -490,7 +611,7 @@ impl SuiteSource<'_> {
     pub(crate) fn name_of(&self, index: usize) -> String {
         match self {
             SuiteSource::Apps(apps) => apps[index].0.manifest.package.clone(),
-            SuiteSource::Containers(_) => format!("container[{index}]"),
+            SuiteSource::Containers(_) | SuiteSource::Lazy(_) => format!("container[{index}]"),
         }
     }
 
@@ -521,33 +642,26 @@ impl SuiteSource<'_> {
             }
             SuiteSource::Containers(containers) => {
                 let (bytes, inputs) = &containers[index];
-                match fd_apk::decompile_traced(bytes, tracer) {
-                    Ok(app) => {
-                        let report = {
-                            let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
-                            let tool = FragDroid::new(config.clone());
-                            pool.run_app(lane, tracer, |device| {
-                                tool.run_traced_on(&app, inputs, tracer, device)
-                            })
-                        };
-                        Ok((report, app.manifest.package))
-                    }
-                    Err(error) => {
-                        let reason = error.to_string();
-                        tracer.event(|| fd_trace::TraceEvent::InputRejected {
-                            reason: reason.clone(),
-                        });
-                        Err(reason)
-                    }
-                }
+                run_container_slot(bytes, inputs, config, tracer, pool, lane)
             }
+            SuiteSource::Lazy(source) => match source.fetch(index) {
+                Ok((bytes, inputs)) => {
+                    run_container_slot(&bytes, &inputs, config, tracer, pool, lane)
+                }
+                Err(reason) => {
+                    tracer.event(|| fd_trace::TraceEvent::InputRejected { reason: reason.clone() });
+                    Err(reason)
+                }
+            },
         }
     }
 
     /// FNV-1a digest of the corpus content (container bytes or packed
     /// apps, plus the analyst inputs) — one half of the journal
-    /// fingerprint that stops a resume against a different corpus.
-    pub(crate) fn digest(&self) -> u64 {
+    /// fingerprint that stops a resume against a different corpus. A
+    /// lazy source that cannot be streamed surfaces its reason instead
+    /// of a digest.
+    pub(crate) fn digest(&self) -> Result<u64, String> {
         let mut digest = crate::checkpoint::FNV_OFFSET;
         let fold_inputs = |digest: &mut u64, inputs: &BTreeMap<String, String>| {
             for (key, value) in inputs {
@@ -570,8 +684,39 @@ impl SuiteSource<'_> {
                     fold_inputs(&mut digest, inputs);
                 }
             }
+            SuiteSource::Lazy(source) => digest = source.digest()?,
         }
-        digest
+        Ok(digest)
+    }
+}
+
+/// The shared container slot body: decode through the ingestion
+/// frontier, then explore on a pooled device. Refused containers emit
+/// [`fd_trace::TraceEvent::InputRejected`] and return the typed reason.
+pub(crate) fn run_container_slot(
+    bytes: &bytes::Bytes,
+    inputs: &BTreeMap<String, String>,
+    config: &FragDroidConfig,
+    tracer: &fd_trace::Tracer,
+    pool: &crate::pool::DevicePool,
+    lane: usize,
+) -> Result<(RunReport, String), String> {
+    match fd_apk::decompile_traced(bytes, tracer) {
+        Ok(app) => {
+            let report = {
+                let _app = tracer.span(fd_trace::Phase::App, &app.manifest.package);
+                let tool = FragDroid::new(config.clone());
+                pool.run_app(lane, tracer, |device| {
+                    tool.run_traced_on(&app, inputs, tracer, device)
+                })
+            };
+            Ok((report, app.manifest.package))
+        }
+        Err(error) => {
+            let reason = error.to_string();
+            tracer.event(|| fd_trace::TraceEvent::InputRejected { reason: reason.clone() });
+            Err(reason)
+        }
     }
 }
 
