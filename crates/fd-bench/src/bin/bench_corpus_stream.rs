@@ -110,7 +110,7 @@ fn bench_size(apps: usize, dir: &std::path::Path) -> SizeStats {
     // slices streams and digest-folds its own sub-range.
     let started = Instant::now();
     for index in 0..SHARDS {
-        let slice = ShardSlice::new(&reader, SHARDS, index);
+        let slice = ShardSlice::new(&reader, SHARDS, index).expect("valid split");
         slice.digest().expect("shard slice digests");
     }
     let shard_digest_apps_per_second = throughput(apps, started.elapsed());

@@ -13,7 +13,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BARE_FLAGS: &[&str] = &["random", "json", "resume", "merge"];
+const BARE_FLAGS: &[&str] = &["random", "json", "resume", "merge", "async"];
 
 /// Parses `argv` into positionals and options.
 pub fn parse(argv: &[String]) -> Result<Parsed, String> {

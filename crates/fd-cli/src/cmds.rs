@@ -592,7 +592,7 @@ pub fn corpus(argv: &[String]) -> Result<(), CliError> {
     let m = &run.metrics;
     let expected = match shard_index {
         Some(index) => {
-            let range = fragdroid::shard_range(total, shards, index);
+            let range = fragdroid::shard_range(total, shards, index)?;
             println!(
                 "shard:       {index}/{shards} (corpus entries {}..{})",
                 range.start, range.end
@@ -688,10 +688,14 @@ pub fn gen_corpus(argv: &[String]) -> Result<(), CliError> {
 }
 
 /// `fragdroid serve [--workers N] [--budget N] [--fault-rate R]
-/// [--fault-seed N] [--backend B] [--trace-out T.jsonl]` — job-queue mode
-/// over stdin/stdout: one frame per request, submitted containers run on
+/// [--fault-seed N] [--backend B] [--trace-out T.jsonl] [--listen ADDR]
+/// [--journal J] [--queue-cap N] [--max-conns N] [--idle-timeout-ms N]
+/// [--write-timeout-ms N]` — job-queue mode: submitted containers run on
 /// pooled devices, and a finished job polls back the exact report bytes
-/// `run --json` would print.
+/// `run --json` would print. Without `--listen` the server speaks one
+/// stdin/stdout session; with it, a TCP (`HOST:PORT`) or Unix
+/// (`unix:PATH`) socket serves many concurrent sessions under admission
+/// control, and the incident summary prints when the server drains.
 pub fn serve(argv: &[String]) -> Result<(), CliError> {
     let p = parse(argv)?;
     if !p.positional.is_empty() {
@@ -706,21 +710,86 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
     if fault_rate > 0.0 {
         config = config.with_faults(p.num("fault-seed", 1)?, fault_rate);
     }
-    let options = fragdroid::ServeOptions { workers: p.num("workers", 1)? as usize, config };
+    let defaults = fragdroid::ServeOptions::default();
+    let options = fragdroid::ServeOptions {
+        workers: p.num("workers", 1)? as usize,
+        config,
+        queue_cap: p.num("queue-cap", defaults.queue_cap as u64)? as usize,
+        max_connections: p.num("max-conns", defaults.max_connections as u64)? as usize,
+        idle_timeout_ms: p.num("idle-timeout-ms", defaults.idle_timeout_ms)?,
+        write_timeout_ms: p.num("write-timeout-ms", defaults.write_timeout_ms)?,
+        journal: p.opt("journal").map(std::path::PathBuf::from),
+    };
     let trace_out = p.opt("trace-out");
     let trace_config = if trace_out.is_some() {
         fd_trace::TraceConfig::on()
     } else {
         fd_trace::TraceConfig::off()
     };
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let trace = fragdroid::serve(stdin.lock(), stdout.lock(), &options, &trace_config)
-        .map_err(|e| CliError::Failure(format!("serve: {e}")))?;
+    let trace = match p.opt("listen") {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            fragdroid::serve(stdin.lock(), stdout.lock(), &options, &trace_config)?
+        }
+        Some(spec) => {
+            let addr = fragdroid::ListenAddr::parse(spec)?;
+            let listener = fragdroid::ServeListener::bind(&addr)?;
+            // The resolved address (a `:0` bind picks a port) goes to
+            // stdout first so scripts can read where to connect.
+            println!("serve: listening on {}", listener.local_addr());
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            let summary = fragdroid::serve_listener(listener, &options, &trace_config)?;
+            print!("{}", fd_report::render_serve_incidents(&summary.incidents));
+            summary.trace
+        }
+    };
     if let Some(out) = trace_out {
         write_trace(out, &trace)?;
     }
     Ok(())
+}
+
+/// `fragdroid submit <app.fapk> --connect ADDR [--job N] [--inputs F]
+/// [--async] [--timeout-ms N] [--retries N] [--chaos-seed N]` — submit
+/// one container to a serve socket with retry and exponential backoff,
+/// then print the report JSON (byte-identical to `run --json`). The job
+/// id is the idempotency key: rerunning the same submit resubmits
+/// safely across server restarts. `--async` returns as soon as the
+/// server durably accepted the job; `--chaos-seed` arms the seeded
+/// chaos transport (torn frames, stalls, duplicated requests) used by
+/// the resilience tests.
+pub fn submit(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv)?;
+    let path = p.one_path("container path")?;
+    let spec = p.opt("connect").ok_or("submit requires --connect ADDR")?;
+    let addr = fragdroid::ListenAddr::parse(spec)?;
+    let job = p.num("job", 1)?;
+    let inputs = load_inputs(p.opt("inputs"))?;
+    let raw =
+        std::fs::read(path).map_err(|e| CliError::Failure(format!("cannot read {path}: {e}")))?;
+    let container_hex = fd_droidsim::proto::to_hex(&raw);
+    let mut client = fragdroid::SubmitClient::new(addr)
+        .with_deadline(std::time::Duration::from_millis(p.num("timeout-ms", 60_000)?))
+        .with_max_attempts(p.num("retries", 8)? as u32);
+    if let Some(seed) = p.opt("chaos-seed") {
+        let seed: u64 =
+            seed.parse().map_err(|_| format!("--chaos-seed expects a number, got '{seed}'"))?;
+        client = client.with_chaos(fragdroid::ChaosConfig::from_seed(seed));
+    }
+    if p.flag("async") {
+        client.submit_async(job, &container_hex, &inputs)?;
+        println!("job {job} accepted");
+        return Ok(());
+    }
+    match client.submit(job, &container_hex, &inputs)? {
+        fragdroid::JobOutcome::Report { json } => {
+            println!("{json}");
+            Ok(())
+        }
+        fragdroid::JobOutcome::Rejected { reason } => Err(CliError::Rejected(reason)),
+    }
 }
 
 /// `fragdroid fuzz [--seed N] [--mutants N] [--target T[,T..]] [--out DIR]
@@ -740,7 +809,8 @@ pub fn fuzz(argv: &[String]) -> Result<(), CliError> {
             .map(|name| {
                 fd_fuzz::Target::parse(name.trim()).ok_or_else(|| {
                     format!(
-                        "unknown fuzz target '{name}' (container, smali, json, protocol, corpus)"
+                        "unknown fuzz target '{name}' \
+                         (container, smali, json, protocol, corpus, serve)"
                     )
                 })
             })

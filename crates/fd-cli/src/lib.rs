@@ -39,9 +39,13 @@ pub enum CliError {
     /// Checkpoint journal error (corrupt or mismatched journal, full
     /// disk mid-append, refused overwrite) — exit code 3.
     Checkpoint(String),
-    /// Shard-merge error (missing/incomplete/mismatched shard journal)
-    /// — exit code 4.
+    /// Shard error (invalid split, or a missing/incomplete/mismatched
+    /// shard journal) — exit code 4.
     Shard(String),
+    /// Serve service error (bad listen address, socket/session failure,
+    /// job journal problem, or an exhausted/conflicted submit client) —
+    /// exit code 5.
+    Serve(String),
 }
 
 impl CliError {
@@ -52,6 +56,7 @@ impl CliError {
             CliError::Rejected(_) => 2,
             CliError::Checkpoint(_) => 3,
             CliError::Shard(_) => 4,
+            CliError::Serve(_) => 5,
         }
     }
 }
@@ -63,6 +68,7 @@ impl std::fmt::Display for CliError {
             CliError::Rejected(message) => write!(f, "rejected input: {message}"),
             CliError::Checkpoint(message) => write!(f, "checkpoint: {message}"),
             CliError::Shard(message) => write!(f, "shard merge: {message}"),
+            CliError::Serve(message) => write!(f, "serve: {message}"),
         }
     }
 }
@@ -76,6 +82,18 @@ impl From<fragdroid::JournalError> for CliError {
 impl From<fragdroid::ShardError> for CliError {
     fn from(error: fragdroid::ShardError) -> Self {
         CliError::Shard(error.to_string())
+    }
+}
+
+impl From<fragdroid::ServeError> for CliError {
+    fn from(error: fragdroid::ServeError) -> Self {
+        CliError::Serve(error.to_string())
+    }
+}
+
+impl From<fragdroid::ClientError> for CliError {
+    fn from(error: fragdroid::ClientError) -> Self {
+        CliError::Serve(error.to_string())
     }
 }
 
@@ -112,6 +130,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "corpus" => cmds::corpus(rest),
         "gen-corpus" => cmds::gen_corpus(rest),
         "serve" => cmds::serve(rest),
+        "submit" => cmds::submit(rest),
         "device-agent" => cmds::device_agent(rest),
         "fuzz" => cmds::fuzz(rest),
         "trace" => cmds::trace(rest),
@@ -171,14 +190,33 @@ USAGE:
                                           write a seeded synthetic corpus to DIR as
                                           sharded packed containers + manifest
   fragdroid serve [--workers N] [--budget N] [--fault-rate R] [--fault-seed N]
-                [--backend B] [--trace-out T.jsonl]
-                                          job-queue mode on stdin/stdout: submit a
-                                          container frame, poll the job id for the
-                                          same report bytes 'run --json' prints
+                [--backend B] [--trace-out T.jsonl] [--listen ADDR]
+                [--journal J] [--queue-cap N] [--max-conns N]
+                [--idle-timeout-ms N] [--write-timeout-ms N]
+                                          job-queue mode: submit a container frame,
+                                          poll the job id for the same report bytes
+                                          'run --json' prints. Default is a single
+                                          stdin/stdout session; --listen (unix:PATH
+                                          or HOST:PORT) serves many concurrent
+                                          socket sessions with a bounded queue
+                                          (Busy + retry-after when full), a
+                                          connection cap, idle timeouts, and
+                                          graceful drain on Shutdown; --journal
+                                          makes admission crash-safe — a restarted
+                                          server recovers submitted jobs and serves
+                                          finished reports byte-identically
+  fragdroid submit <app.fapk> --connect ADDR [--job N] [--inputs F] [--async]
+                [--timeout-ms N] [--retries N] [--chaos-seed N]
+                                          submit one container to a serve socket
+                                          with retry + exponential backoff, print
+                                          the report JSON (or wait only for the
+                                          durable accept with --async); job ids are
+                                          idempotent resubmission keys
   fragdroid device-agent [--die-after N]  serve the device wire protocol on
                                           stdin/stdout (spawned by the subprocess
                                           backend; not for interactive use)
-  fragdroid fuzz [--seed N] [--mutants N] [--target container|smali|json|protocol|corpus]
+  fragdroid fuzz [--seed N] [--mutants N]
+                [--target container|smali|json|protocol|corpus|serve]
                 [--out DIR] [--trace-out T.jsonl] [--json]
                                           deterministic ingestion-frontier fuzz campaign
   fragdroid trace <trace.jsonl> [--json]  per-phase/per-app profile of a trace
@@ -190,8 +228,10 @@ EXIT CODES:
   2  input rejected at the ingestion frontier (malformed/packed container)
   3  checkpoint journal error (corrupt or mismatched journal, refused
      overwrite, unwritable checkpoint path)
-  4  shard-merge error (missing, incomplete, or fingerprint-mismatched
-     shard journal)"
+  4  shard error (invalid split, or a missing, incomplete, or
+     fingerprint-mismatched shard journal)
+  5  serve error (bad listen address, socket failure, job-journal
+     corruption, or a submit client out of retries/conflicted)"
     );
 }
 

@@ -217,12 +217,14 @@ fn serve_report_is_byte_identical_to_run_json() {
 
     let mut session = ServeSession::spawn(&["--workers", "2"]);
     let submit = session.request(ServeRequest::Submit {
+        job: 1,
         container_hex: to_hex(&container),
         inputs: inputs.clone(),
     });
     let ServeResponse::Accepted { job } = submit else {
         panic!("submit must be accepted, got {submit:?}");
     };
+    assert_eq!(job, 1, "the job id is the client-assigned one");
     let done = session.poll_until_done(job);
     let ServeResponse::Report { json, .. } = done else {
         panic!("job must complete with a report, got {done:?}");
@@ -234,8 +236,11 @@ fn serve_report_is_byte_identical_to_run_json() {
     );
 
     // A malformed container is a pollable refusal, not a dead session.
-    let submit = session
-        .request(ServeRequest::Submit { container_hex: to_hex(b"junk"), inputs: BTreeMap::new() });
+    let submit = session.request(ServeRequest::Submit {
+        job: 2,
+        container_hex: to_hex(b"junk"),
+        inputs: BTreeMap::new(),
+    });
     let ServeResponse::Accepted { job: bad_job } = submit else {
         panic!("even bad submissions get a job id, got {submit:?}");
     };

@@ -35,12 +35,23 @@ pub enum Target {
     /// [`fd_apk::corpus::parse_shard`] (the index/offset-table decoder
     /// the lazy corpus reader trusts).
     Corpus,
+    /// Byte-level mutants of `fragdroid serve` frame streams, both
+    /// directions (request sessions and reply streams) → the serve
+    /// frame decoder, with the whole-buffer ≡ byte-at-a-time
+    /// differential invariant.
+    Serve,
 }
 
 impl Target {
     /// Every target, in campaign rotation order.
-    pub const ALL: [Target; 5] =
-        [Target::Container, Target::Smali, Target::Json, Target::Protocol, Target::Corpus];
+    pub const ALL: [Target; 6] = [
+        Target::Container,
+        Target::Smali,
+        Target::Json,
+        Target::Protocol,
+        Target::Corpus,
+        Target::Serve,
+    ];
 
     /// Stable lowercase name (CLI `--target` values, report keys).
     pub fn name(&self) -> &'static str {
@@ -50,6 +61,7 @@ impl Target {
             Target::Json => "json",
             Target::Protocol => "protocol",
             Target::Corpus => "corpus",
+            Target::Serve => "serve",
         }
     }
 
@@ -185,6 +197,10 @@ struct SeedCorpus {
     /// container plus one multi-entry shard (exercises the index's
     /// strict-contiguity rules).
     shards: Vec<Vec<u8>>,
+    /// Encoded serve-protocol frame streams: one request session per
+    /// container plus one stream of every reply shape (the serve target
+    /// fuzzes both directions of the job-service wire).
+    serve: Vec<Vec<u8>>,
 }
 
 /// Encodes a representative agent session over `container` as one wire
@@ -211,6 +227,50 @@ fn seed_request_stream(container: &[u8]) -> Vec<u8> {
     stream
 }
 
+/// Encodes a representative serve session (submit → poll → status →
+/// shutdown) over `container` as one frame stream — the serve target's
+/// request-direction seed.
+fn seed_serve_request_stream(container: &[u8], inputs: &BTreeMap<String, String>) -> Vec<u8> {
+    use fd_droidsim::proto::{encode_frame, to_hex, Envelope};
+    use fragdroid::ServeRequest;
+    let requests = vec![
+        ServeRequest::Submit { job: 1, container_hex: to_hex(container), inputs: inputs.clone() },
+        ServeRequest::Poll { job: 1 },
+        ServeRequest::Status,
+        ServeRequest::Shutdown,
+    ];
+    let mut stream = Vec::new();
+    for (id, body) in requests.into_iter().enumerate() {
+        stream.extend_from_slice(&encode_frame(&Envelope { id: id as u64, body }));
+    }
+    stream
+}
+
+/// Encodes one of every serve reply shape as one frame stream — the
+/// serve target's response-direction seed.
+fn seed_serve_response_stream() -> Vec<u8> {
+    use fd_droidsim::proto::{encode_frame, Envelope};
+    use fragdroid::ServeResponse;
+    let responses = vec![
+        ServeResponse::Accepted { job: 1 },
+        ServeResponse::Pending { job: 1 },
+        ServeResponse::Report { job: 1, json: "{\"ok\":true}".to_string() },
+        ServeResponse::Rejected { job: 2, reason: "bad container hex".to_string() },
+        ServeResponse::UnknownJob { job: 3 },
+        ServeResponse::Busy { job: 4, retry_after_ms: 25 },
+        ServeResponse::Draining { job: 5, retry_after_ms: 200 },
+        ServeResponse::Conflict { job: 6, reason: "digest mismatch".to_string() },
+        ServeResponse::Overloaded { retry_after_ms: 100 },
+        ServeResponse::Status { queued: 1, running: 1, completed: 2, rejected: 0, workers: 2 },
+        ServeResponse::Bye,
+    ];
+    let mut stream = Vec::new();
+    for (id, body) in responses.into_iter().enumerate() {
+        stream.extend_from_slice(&encode_frame(&Envelope { id: id as u64, body }));
+    }
+    stream
+}
+
 impl SeedCorpus {
     fn build() -> SeedCorpus {
         let gens = [
@@ -224,12 +284,14 @@ impl SeedCorpus {
             json: Vec::new(),
             protocol: Vec::new(),
             shards: Vec::new(),
+            serve: Vec::new(),
         };
         let mut shard_entries = Vec::new();
         for gen in gens {
             let bytes = fd_apk::pack(&gen.app).to_vec();
             let container_index = corpus.containers.len();
             corpus.protocol.push(seed_request_stream(&bytes));
+            corpus.serve.push(seed_serve_request_stream(&bytes, &gen.known_inputs));
             corpus
                 .shards
                 .push(fd_apk::corpus::encode_shard(&[(bytes.clone(), gen.known_inputs.clone())]));
@@ -252,12 +314,14 @@ impl SeedCorpus {
             corpus.containers.push(bytes);
         }
         corpus.shards.push(fd_apk::corpus::encode_shard(&shard_entries));
+        corpus.serve.push(seed_serve_response_stream());
         assert!(
             !corpus.containers.is_empty()
                 && !corpus.smali.is_empty()
                 && !corpus.json.is_empty()
                 && !corpus.protocol.is_empty()
-                && !corpus.shards.is_empty(),
+                && !corpus.shards.is_empty()
+                && !corpus.serve.is_empty(),
             "seed corpus covers every target"
         );
         corpus
@@ -278,6 +342,66 @@ fn decode_incrementally(input: &[u8]) -> Result<usize, String> {
             match frames.next_frame() {
                 Ok(Some(payload)) => {
                     decode_payload::<AgentRequest>(&payload).map_err(|e| e.to_string())?;
+                    decoded += 1;
+                }
+                Ok(None) => break,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    Ok(decoded)
+}
+
+/// Decodes one serve-protocol payload, accepting either wire direction:
+/// a [`fragdroid::ServeRequest`] or a [`fragdroid::ServeResponse`].
+/// A payload that is neither is the typed rejection.
+fn classify_serve_payload(payload: &[u8]) -> Result<(), String> {
+    use fd_droidsim::proto::decode_payload;
+    match decode_payload::<fragdroid::ServeRequest>(payload) {
+        Ok(_) => Ok(()),
+        Err(request_error) => decode_payload::<fragdroid::ServeResponse>(payload)
+            .map(|_| ())
+            .map_err(|response_error| {
+                format!(
+                    "neither a serve request ({request_error}) \
+                     nor a serve response ({response_error})"
+                )
+            }),
+    }
+}
+
+/// Whole-buffer decode of a serve frame stream: every completed frame
+/// must be a request or a response. Returns the frame count, or the
+/// first typed error.
+fn decode_serve_stream(input: &[u8]) -> Result<usize, String> {
+    use fd_droidsim::proto::FrameBuffer;
+    let mut frames = FrameBuffer::new();
+    frames.push(input);
+    let mut decoded = 0usize;
+    loop {
+        match frames.next_frame() {
+            Ok(Some(payload)) => {
+                classify_serve_payload(&payload)?;
+                decoded += 1;
+            }
+            Ok(None) => return Ok(decoded),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// Feeds `input` one byte at a time through the serve frame decoder —
+/// the differential twin of [`decode_serve_stream`].
+fn decode_serve_incrementally(input: &[u8]) -> Result<usize, String> {
+    use fd_droidsim::proto::FrameBuffer;
+    let mut frames = FrameBuffer::new();
+    let mut decoded = 0usize;
+    for &byte in input {
+        frames.push(&[byte]);
+        loop {
+            match frames.next_frame() {
+                Ok(Some(payload)) => {
+                    classify_serve_payload(&payload)?;
                     decoded += 1;
                 }
                 Ok(None) => break,
@@ -331,6 +455,17 @@ fn execute(target: Target, input: &[u8]) -> CaseOutcome {
             assert_eq!(
                 whole, incremental,
                 "incremental frame decoding diverged from whole-buffer decoding"
+            );
+            whole.map(|_| ())
+        }
+        Target::Serve => {
+            let whole = decode_serve_stream(input);
+            // Differential invariant: the serve frame decoder fed one
+            // byte at a time must agree with the whole-buffer decode.
+            let incremental = decode_serve_incrementally(input);
+            assert_eq!(
+                whole, incremental,
+                "incremental serve-frame decoding diverged from whole-buffer decoding"
             );
             whole.map(|_| ())
         }
@@ -389,6 +524,10 @@ fn generate(corpus: &SeedCorpus, target: Target, rng: &mut StdRng) -> Vec<u8> {
         }
         Target::Corpus => {
             let base = &corpus.shards[rng.gen_range(0..corpus.shards.len())];
+            mutate::mutate_bytes(base, rng)
+        }
+        Target::Serve => {
+            let base = &corpus.serve[rng.gen_range(0..corpus.serve.len())];
             mutate::mutate_bytes(base, rng)
         }
     }
@@ -543,6 +682,9 @@ mod tests {
         assert_eq!(corpus.protocol.len(), 3);
         // One single-entry shard per container plus the combined shard.
         assert_eq!(corpus.shards.len(), 4);
+        // One serve request session per container plus the
+        // all-reply-shapes response stream.
+        assert_eq!(corpus.serve.len(), 4);
     }
 
     #[test]
@@ -594,6 +736,9 @@ mod tests {
         for shard in &corpus.shards {
             assert!(matches!(execute(Target::Corpus, shard), CaseOutcome::Ok));
         }
+        for stream in &corpus.serve {
+            assert!(matches!(execute(Target::Serve, stream), CaseOutcome::Ok));
+        }
     }
 
     #[test]
@@ -623,6 +768,37 @@ mod tests {
             assert_eq!(envelopes.len(), 8, "install → … → shutdown");
             assert_eq!(decode_incrementally(stream), Ok(8));
         }
+    }
+
+    #[test]
+    fn serve_seeds_decode_in_both_directions() {
+        let corpus = SeedCorpus::build();
+        // Request sessions: submit → poll → status → shutdown.
+        for stream in &corpus.serve[..3] {
+            assert_eq!(decode_serve_stream(stream), Ok(4));
+            assert_eq!(decode_serve_incrementally(stream), Ok(4));
+        }
+        // The response stream carries one of every reply shape.
+        let responses = corpus.serve.last().expect("response seed present");
+        assert_eq!(decode_serve_stream(responses), Ok(11));
+        assert_eq!(decode_serve_incrementally(responses), Ok(11));
+    }
+
+    #[test]
+    fn truncated_and_corrupted_serve_streams_are_rejected_not_panics() {
+        let corpus = SeedCorpus::build();
+        let stream = corpus.serve.last().expect("response seed present");
+        // A truncated stream decodes its complete prefix cleanly.
+        assert!(matches!(execute(Target::Serve, &stream[..stream.len() / 2]), CaseOutcome::Ok));
+        // A corrupted length header is a typed rejection.
+        let mut corrupt = stream.clone();
+        corrupt[0] = b'x';
+        assert!(matches!(execute(Target::Serve, &corrupt), CaseOutcome::Rejected(_)));
+        // A well-formed frame whose payload is neither direction (a
+        // device-agent request) is typed too.
+        use fd_droidsim::proto::{encode_frame, Envelope};
+        let alien = encode_frame(&Envelope { id: 1, body: fd_droidsim::proto::AgentRequest::Ping });
+        assert!(matches!(execute(Target::Serve, &alien), CaseOutcome::Rejected(_)));
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! * [`comparison`] — FragDroid vs Monkey vs activity-level MBT vs
 //!   depth-first exploration (the §IX positioning, quantified);
 //! * [`table`] — a small plain-text table renderer shared by all of them;
-//! * [`shards`] — the per-shard breakdown of a merged multi-shard run.
+//! * [`shards`] — the per-shard breakdown of a merged multi-shard run;
+//! * [`serve`] — the incident summary a socket `fragdroid serve` prints
+//!   when it drains and exits.
 
 pub mod comparison;
+pub mod serve;
 pub mod shards;
 pub mod study;
 pub mod table;
@@ -20,6 +23,7 @@ pub mod table1;
 pub mod table2;
 
 pub use comparison::{compare_tools, ComparisonRow};
+pub use serve::render_serve_incidents;
 pub use shards::render_shard_merge;
 pub use study::{corpus_study, StudyResult};
 pub use table1::{

@@ -1,0 +1,90 @@
+//! Rendering for the serve job service's incident counters
+//! (`fragdroid serve --listen`): what the server survived while it ran
+//! — admission rejections, protocol trouble, journal recovery — printed
+//! when a socket serve drains and exits.
+
+use fragdroid::ServeIncidents;
+
+/// Renders the incident counters as a short plain-text summary.
+///
+/// Always-on lines carry the throughput facts (connections, jobs);
+/// trouble lines (rejections, protocol errors, timeouts, journal
+/// repair) appear only when their counters are nonzero, so a clean run
+/// reads clean.
+pub fn render_serve_incidents(incidents: &ServeIncidents) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serve: {} connections ({} closed), {} jobs completed, {} rejected\n",
+        incidents.connections_opened,
+        incidents.connections_closed,
+        incidents.jobs_completed,
+        incidents.jobs_rejected,
+    ));
+    let mut trouble: Vec<String> = Vec::new();
+    let mut note = |count: u64, what: &str| {
+        if count > 0 {
+            trouble.push(format!("{count} {what}"));
+        }
+    };
+    note(incidents.busy_rejections, "queue-full (Busy)");
+    note(incidents.overloaded_rejections, "over connection cap (Overloaded)");
+    note(incidents.draining_rejections, "refused while draining");
+    note(incidents.conflicts, "id conflicts");
+    note(incidents.protocol_errors, "protocol errors");
+    note(incidents.idle_timeouts, "idle timeouts");
+    note(incidents.accept_errors, "accept errors");
+    note(incidents.journal_errors, "journal append failures");
+    if !trouble.is_empty() {
+        out.push_str(&format!("incidents: {}\n", trouble.join(", ")));
+    }
+    if incidents.resubmits_deduped > 0 {
+        out.push_str(&format!(
+            "idempotency: {} resubmissions absorbed without re-execution\n",
+            incidents.resubmits_deduped
+        ));
+    }
+    if incidents.jobs_recovered > 0 || incidents.torn_tail_bytes > 0 {
+        out.push_str(&format!(
+            "recovery: {} jobs restored from the journal, {} torn tail bytes truncated\n",
+            incidents.jobs_recovered, incidents.torn_tail_bytes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_runs_render_clean() {
+        let incidents = ServeIncidents {
+            connections_opened: 4,
+            connections_closed: 4,
+            jobs_completed: 9,
+            ..ServeIncidents::default()
+        };
+        let out = render_serve_incidents(&incidents);
+        assert_eq!(out, "serve: 4 connections (4 closed), 9 jobs completed, 0 rejected\n");
+    }
+
+    #[test]
+    fn trouble_and_recovery_lines_appear_when_nonzero() {
+        let incidents = ServeIncidents {
+            connections_opened: 2,
+            connections_closed: 2,
+            jobs_completed: 1,
+            busy_rejections: 3,
+            idle_timeouts: 1,
+            resubmits_deduped: 2,
+            jobs_recovered: 5,
+            torn_tail_bytes: 17,
+            ..ServeIncidents::default()
+        };
+        let out = render_serve_incidents(&incidents);
+        assert!(out.contains("3 queue-full (Busy)"), "{out}");
+        assert!(out.contains("1 idle timeouts"), "{out}");
+        assert!(out.contains("2 resubmissions absorbed"), "{out}");
+        assert!(out.contains("5 jobs restored from the journal, 17 torn tail bytes"), "{out}");
+    }
+}

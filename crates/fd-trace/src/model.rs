@@ -192,6 +192,32 @@ pub enum TraceEvent {
         /// Whether the container was refused by the ingestion frontier.
         rejected: bool,
     },
+    /// The serve listener accepted a socket session.
+    ConnectionOpened {
+        /// The server-assigned connection id.
+        conn: u64,
+    },
+    /// A serve socket session ended (hangup, protocol error, idle
+    /// timeout, or drain).
+    ConnectionClosed {
+        /// The server-assigned connection id.
+        conn: u64,
+    },
+    /// A submission bounced off the full bounded queue (`Busy`).
+    QueueSaturated {
+        /// The refused job id.
+        job: u64,
+    },
+    /// The server began its graceful drain: no new work, finish the
+    /// queue, flush the journal.
+    DrainStarted,
+    /// Startup replayed the job journal of a previous (crashed or
+    /// drained) server.
+    JournalRecovered {
+        /// Jobs restored — completed ones served from the journal,
+        /// pending ones re-queued.
+        jobs: u64,
+    },
 }
 
 impl TraceEvent {
@@ -217,6 +243,11 @@ impl TraceEvent {
             TraceEvent::ShardMerged { .. } => "shard-merged",
             TraceEvent::JobSubmitted { .. } => "job-submitted",
             TraceEvent::JobCompleted { .. } => "job-completed",
+            TraceEvent::ConnectionOpened { .. } => "connection-opened",
+            TraceEvent::ConnectionClosed { .. } => "connection-closed",
+            TraceEvent::QueueSaturated { .. } => "queue-saturated",
+            TraceEvent::DrainStarted => "drain-started",
+            TraceEvent::JournalRecovered { .. } => "journal-recovered",
         }
     }
 }

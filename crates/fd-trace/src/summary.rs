@@ -70,6 +70,18 @@ pub struct TraceSummary {
     /// Devices the pool retired (quarantine or failed health check).
     #[serde(default)]
     pub devices_retired: u64,
+    /// Serve socket sessions opened.
+    #[serde(default)]
+    pub connections: u64,
+    /// Submissions bounced off the full serve queue (`Busy`).
+    #[serde(default)]
+    pub queue_saturations: u64,
+    /// Graceful drains started.
+    #[serde(default)]
+    pub drains: u64,
+    /// Jobs restored from a serve job journal at startup.
+    #[serde(default)]
+    pub recovered_jobs: u64,
     /// Fault/retry/crash/recovery occurrences in wall-clock order,
     /// truncated to [`TraceSummary::TIMELINE_CAP`].
     pub timeline: Vec<TimelineEntry>,
@@ -191,6 +203,23 @@ impl TraceSummary {
                             "job {job} {}",
                             if *rejected { "rejected" } else { "completed" }
                         )),
+                        TraceEvent::ConnectionOpened { .. } => {
+                            summary.connections += 1;
+                            None
+                        }
+                        TraceEvent::ConnectionClosed { .. } => None,
+                        TraceEvent::QueueSaturated { job } => {
+                            summary.queue_saturations += 1;
+                            Some(format!("job {job} bounced: queue full"))
+                        }
+                        TraceEvent::DrainStarted => {
+                            summary.drains += 1;
+                            Some("graceful drain started".to_string())
+                        }
+                        TraceEvent::JournalRecovered { jobs } => {
+                            summary.recovered_jobs += jobs;
+                            Some(format!("recovered {jobs} jobs from the job journal"))
+                        }
                     };
                     if let Some(what) = note {
                         summary.timeline.push(TimelineEntry {
@@ -266,6 +295,16 @@ impl TraceSummary {
             out.push_str(&format!(
                 "device pool: {} infrastructure incidents, {} devices retired\n",
                 self.device_incidents, self.devices_retired
+            ));
+        }
+        if self.connections > 0
+            || self.queue_saturations > 0
+            || self.drains > 0
+            || self.recovered_jobs > 0
+        {
+            out.push_str(&format!(
+                "serve: {} connections, {} queue-full bounces, {} drains, {} jobs recovered\n",
+                self.connections, self.queue_saturations, self.drains, self.recovered_jobs
             ));
         }
         if !self.slowest_apps.is_empty() {

@@ -453,8 +453,14 @@ impl serde::Serialize for OutcomeRef<'_> {
 /// byte is detectable. `json` is a caller-owned scratch buffer: the
 /// record streams into it (no `Value` tree, no per-record `String`), the
 /// checksum is taken over it, and both buffers keep their capacity for
-/// the next record.
-fn encode_line_into<T: serde::Serialize>(record: &T, json: &mut String, out: &mut String) {
+/// the next record. Shared with the serve job journal
+/// ([`crate::serve`]), which speaks the same line format over its own
+/// record type.
+pub(crate) fn encode_line_into<T: serde::Serialize>(
+    record: &T,
+    json: &mut String,
+    out: &mut String,
+) {
     use std::fmt::Write as _;
     json.clear();
     serde::Serialize::write_json(record, json);
@@ -472,15 +478,16 @@ fn encode_line(record: &JournalRecord) -> String {
     out
 }
 
-enum LineError {
+pub(crate) enum LineError {
     /// The checksum prefix does not match the payload.
     Checksum,
     /// The line shape or JSON payload is invalid.
     Malformed(String),
 }
 
-/// Decodes one newline-stripped journal line.
-fn decode_line(line: &[u8]) -> Result<JournalRecord, LineError> {
+/// Decodes one newline-stripped journal line into any record type that
+/// shares the `"<fnv16hex> <json>\n"` framing.
+pub(crate) fn decode_line<T: serde::Deserialize>(line: &[u8]) -> Result<T, LineError> {
     if line.len() < 18 || line[16] != b' ' {
         return Err(LineError::Malformed("line shorter than checksum prefix".into()));
     }
@@ -1214,18 +1221,18 @@ mod tests {
         });
         let line = encode_line(&record);
         assert!(line.ends_with('\n'));
-        let decoded = decode_line(line.trim_end().as_bytes());
+        let decoded = decode_line::<JournalRecord>(line.trim_end().as_bytes());
         assert!(decoded.is_ok());
 
         // Flip one payload byte: checksum catches it.
         let mut bytes = line.trim_end().as_bytes().to_vec();
         let last = bytes.len() - 1;
         bytes[last] ^= 1;
-        assert!(matches!(decode_line(&bytes), Err(LineError::Checksum)));
+        assert!(matches!(decode_line::<JournalRecord>(&bytes), Err(LineError::Checksum)));
 
         // Too-short lines are malformed, not panics.
-        assert!(matches!(decode_line(b"abc"), Err(LineError::Malformed(_))));
-        assert!(matches!(decode_line(b""), Err(LineError::Malformed(_))));
+        assert!(matches!(decode_line::<JournalRecord>(b"abc"), Err(LineError::Malformed(_))));
+        assert!(matches!(decode_line::<JournalRecord>(b""), Err(LineError::Malformed(_))));
     }
 
     /// The journal encodes records through the streaming
@@ -1307,7 +1314,7 @@ mod tests {
 
             // And the framed line round-trips through the decoder.
             let line = encode_line(record);
-            assert!(decode_line(line.trim_end().as_bytes()).is_ok());
+            assert!(decode_line::<JournalRecord>(line.trim_end().as_bytes()).is_ok());
         }
     }
 

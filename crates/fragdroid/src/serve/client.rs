@@ -1,0 +1,437 @@
+//! The retry-with-backoff serve client `fragdroid submit` drives: it
+//! connects (TCP or Unix), submits one job under a client-assigned id,
+//! and polls until the report lands — reconnecting and resubmitting
+//! idempotently across torn connections, `Busy` queues, draining
+//! servers, and server restarts. With a [`ChaosConfig`] armed, every
+//! connection is wrapped in a seeded [`ChaosStream`] and requests are
+//! occasionally duplicated out of order, turning the client into the
+//! deterministic chaos harness the serve property tests run.
+
+use super::chaos::{ChaosConfig, ChaosStream};
+use super::{AnyStream, ListenAddr, ServeRequest, ServeResponse};
+use fd_droidsim::proto::{decode_payload, encode_frame, Envelope, FrameBuffer};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+/// How a driven job ended — both arms are *successful conversations*;
+/// a `Rejected` is the server's typed refusal of the content, not a
+/// transport failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The run finished; `json` is byte-identical to `run --json`.
+    Report {
+        /// The pretty-printed report.
+        json: String,
+    },
+    /// The server refused the content (bad hex, rejected container).
+    Rejected {
+        /// The typed refusal, rendered.
+        reason: String,
+    },
+}
+
+/// A typed client failure. Everything transient is retried internally;
+/// these are the ends of the road. `fd-cli` maps them to exit code 5.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// Every reconnect attempt failed.
+    Exhausted {
+        /// The job being driven.
+        job: u64,
+        /// Attempts made.
+        attempts: u32,
+        /// The last failure, rendered.
+        last: String,
+    },
+    /// The overall deadline passed before the job finished.
+    DeadlineExceeded {
+        /// The job being driven.
+        job: u64,
+        /// The last failure (or progress state), rendered.
+        last: String,
+    },
+    /// The server knows this job id under different content — a
+    /// permanent error; pick a fresh id.
+    Conflict {
+        /// The conflicting job id.
+        job: u64,
+        /// The server's rendering of the mismatch.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { job, attempts, last } => {
+                write!(f, "job {job}: gave up after {attempts} attempts: {last}")
+            }
+            ClientError::DeadlineExceeded { job, last } => {
+                write!(f, "job {job}: deadline exceeded: {last}")
+            }
+            ClientError::Conflict { job, reason } => write!(f, "job {job}: conflict: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A submit-and-poll client with retry, backoff, and optional chaos.
+pub struct SubmitClient {
+    addr: ListenAddr,
+    max_attempts: u32,
+    base_backoff: Duration,
+    poll_interval: Duration,
+    deadline: Duration,
+    io_timeout: Duration,
+    chaos: Option<ChaosConfig>,
+    connections: u64,
+}
+
+impl SubmitClient {
+    /// A client for `addr` with the default budgets: 8 reconnect
+    /// attempts, 10 ms base backoff (doubling, capped at 500 ms), 5 ms
+    /// poll interval, 60 s overall deadline, 2 s per-operation I/O
+    /// timeout, no chaos.
+    pub fn new(addr: ListenAddr) -> SubmitClient {
+        SubmitClient {
+            addr,
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            poll_interval: Duration::from_millis(5),
+            deadline: Duration::from_secs(60),
+            io_timeout: Duration::from_secs(2),
+            chaos: None,
+            connections: 0,
+        }
+    }
+
+    /// Arms the seeded chaos schedule on every connection.
+    pub fn with_chaos(mut self, config: ChaosConfig) -> SubmitClient {
+        self.chaos = Some(config);
+        self
+    }
+
+    /// Overrides the overall per-job deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> SubmitClient {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Overrides the reconnect-attempt budget (clamped to at least 1).
+    pub fn with_max_attempts(mut self, attempts: u32) -> SubmitClient {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Submits `job` and waits for its report or typed refusal.
+    pub fn submit(
+        &mut self,
+        job: u64,
+        container_hex: &str,
+        inputs: &BTreeMap<String, String>,
+    ) -> Result<JobOutcome, ClientError> {
+        match self.drive(job, container_hex, inputs, false)? {
+            Some(outcome) => Ok(outcome),
+            None => Err(ClientError::DeadlineExceeded {
+                job,
+                last: "drive returned without an outcome".to_string(),
+            }),
+        }
+    }
+
+    /// Submits `job` and returns once the server has (durably)
+    /// accepted it, without waiting for the run.
+    pub fn submit_async(
+        &mut self,
+        job: u64,
+        container_hex: &str,
+        inputs: &BTreeMap<String, String>,
+    ) -> Result<(), ClientError> {
+        self.drive(job, container_hex, inputs, true).map(|_| ())
+    }
+
+    /// The submit/poll/retry state machine shared by [`Self::submit`]
+    /// and [`Self::submit_async`].
+    fn drive(
+        &mut self,
+        job: u64,
+        container_hex: &str,
+        inputs: &BTreeMap<String, String>,
+        accept_only: bool,
+    ) -> Result<Option<JobOutcome>, ClientError> {
+        let started = Instant::now();
+        let mut attempts: u32 = 0;
+        let mut last = String::from("no attempt made");
+        let mut conversation: Option<Conversation> = None;
+        loop {
+            if started.elapsed() >= self.deadline {
+                return Err(ClientError::DeadlineExceeded { job, last });
+            }
+            if conversation.is_none() {
+                match self.open() {
+                    Ok(c) => conversation = Some(c),
+                    Err(error) => {
+                        last = error;
+                        attempts += 1;
+                        if attempts >= self.max_attempts {
+                            return Err(ClientError::Exhausted { job, attempts, last });
+                        }
+                        self.backoff(attempts, started);
+                        continue;
+                    }
+                }
+            }
+            let c = conversation.as_mut().expect("conversation was just opened");
+            let request = ServeRequest::Submit {
+                job,
+                container_hex: container_hex.to_string(),
+                inputs: inputs.clone(),
+            };
+            let step = match c.call(request) {
+                Ok(ServeResponse::Accepted { .. }) => {
+                    if accept_only {
+                        return Ok(None);
+                    }
+                    poll_until_settled(c, job, started, self.deadline, self.poll_interval)
+                }
+                Ok(ServeResponse::Busy { retry_after_ms, .. }) => {
+                    Step::SleepResubmit(retry_after_ms)
+                }
+                Ok(ServeResponse::Draining { retry_after_ms, .. }) => {
+                    Step::Broken(format!("server draining; retry after {retry_after_ms}ms"))
+                }
+                Ok(ServeResponse::Conflict { reason, .. }) => {
+                    return Err(ClientError::Conflict { job, reason })
+                }
+                Ok(ServeResponse::Rejected { reason, .. }) => {
+                    return Ok(Some(JobOutcome::Rejected { reason }))
+                }
+                Ok(other) => Step::Broken(format!("unexpected submit reply: {other:?}")),
+                Err(error) => Step::Broken(error),
+            };
+            match step {
+                Step::Settled(outcome) => return Ok(Some(outcome)),
+                Step::Deadline(progress) => {
+                    return Err(ClientError::DeadlineExceeded { job, last: progress })
+                }
+                Step::SleepResubmit(ms) => {
+                    // Typed back-pressure: the server asked us to wait;
+                    // the connection is still good, no attempt burned.
+                    bounded_sleep(Duration::from_millis(ms), started, self.deadline);
+                }
+                Step::Resubmit => {}
+                Step::Broken(error) => {
+                    last = error;
+                    conversation = None;
+                    attempts += 1;
+                    if attempts >= self.max_attempts {
+                        return Err(ClientError::Exhausted { job, attempts, last });
+                    }
+                    self.backoff(attempts, started);
+                }
+            }
+        }
+    }
+
+    /// Opens (and chaos-wraps) a fresh connection.
+    fn open(&mut self) -> Result<Conversation, String> {
+        let stream =
+            AnyStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.io_timeout))
+            .map_err(|e| format!("set read timeout: {e}"))?;
+        stream
+            .set_write_timeout(Some(self.io_timeout))
+            .map_err(|e| format!("set write timeout: {e}"))?;
+        self.connections += 1;
+        let (wire, dup_rng, dup_per_mille) = match &self.chaos {
+            Some(config) => {
+                let per_conn = config.for_connection(self.connections);
+                let dup_seed = per_conn.seed.wrapping_add(0x5eed);
+                (
+                    Wire::Chaos(ChaosStream::new(stream, per_conn)),
+                    Some(StdRng::seed_from_u64(dup_seed)),
+                    config.dup_per_mille,
+                )
+            }
+            None => (Wire::Plain(stream), None, 0),
+        };
+        Ok(Conversation {
+            wire,
+            frames: FrameBuffer::new(),
+            next_id: 1,
+            last_frame: None,
+            dup_rng,
+            dup_per_mille,
+        })
+    }
+
+    /// Exponential backoff, doubling from the base and capped at
+    /// 500 ms, never sleeping past the deadline.
+    fn backoff(&self, attempt: u32, started: Instant) {
+        let factor = 1u32 << attempt.min(6);
+        let nap = (self.base_backoff * factor).min(Duration::from_millis(500));
+        bounded_sleep(nap, started, self.deadline);
+    }
+}
+
+/// What one submit-or-poll round decided.
+enum Step {
+    /// The job reached a terminal outcome.
+    Settled(JobOutcome),
+    /// The deadline passed mid-poll.
+    Deadline(String),
+    /// Server said `Busy`: sleep the hint, resubmit on the same
+    /// connection.
+    SleepResubmit(u64),
+    /// Resubmit immediately (server forgot the job — restart without a
+    /// journal).
+    Resubmit,
+    /// The connection is no longer trustworthy: reconnect with
+    /// backoff.
+    Broken(String),
+}
+
+/// Polls until the job settles, the connection breaks, or the deadline
+/// passes.
+fn poll_until_settled(
+    c: &mut Conversation,
+    job: u64,
+    started: Instant,
+    deadline: Duration,
+    poll_interval: Duration,
+) -> Step {
+    loop {
+        if started.elapsed() >= deadline {
+            return Step::Deadline("job accepted, report still pending".to_string());
+        }
+        match c.call(ServeRequest::Poll { job }) {
+            Ok(ServeResponse::Pending { .. }) => {
+                bounded_sleep(poll_interval, started, deadline);
+            }
+            Ok(ServeResponse::Report { json, .. }) => {
+                return Step::Settled(JobOutcome::Report { json })
+            }
+            Ok(ServeResponse::Rejected { reason, .. }) => {
+                return Step::Settled(JobOutcome::Rejected { reason })
+            }
+            // The server does not know the job: it restarted without a
+            // journal (or we raced its recovery). Resubmitting under
+            // the same id is idempotent either way.
+            Ok(ServeResponse::UnknownJob { .. }) => return Step::Resubmit,
+            Ok(other) => return Step::Broken(format!("unexpected poll reply: {other:?}")),
+            Err(error) => return Step::Broken(error),
+        }
+    }
+}
+
+/// Sleeps `nap`, clipped so it never overshoots the deadline.
+fn bounded_sleep(nap: Duration, started: Instant, deadline: Duration) {
+    let remaining = deadline.saturating_sub(started.elapsed());
+    let nap = nap.min(remaining);
+    if !nap.is_zero() {
+        std::thread::sleep(nap);
+    }
+}
+
+/// A connection that is either honest or chaos-wrapped.
+enum Wire {
+    Plain(AnyStream),
+    Chaos(ChaosStream<AnyStream>),
+}
+
+impl Read for Wire {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Wire::Plain(s) => s.read(buf),
+            Wire::Chaos(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Wire {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Wire::Plain(s) => s.write(buf),
+            Wire::Chaos(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Wire::Plain(s) => s.flush(),
+            Wire::Chaos(s) => s.flush(),
+        }
+    }
+}
+
+/// One request/reply exchange stream: monotonically-increasing request
+/// ids, stale-duplicate replies skipped, optional chaos duplication of
+/// the previous frame.
+struct Conversation {
+    wire: Wire,
+    frames: FrameBuffer,
+    next_id: u64,
+    last_frame: Option<Vec<u8>>,
+    dup_rng: Option<StdRng>,
+    dup_per_mille: u32,
+}
+
+impl Conversation {
+    /// Sends one request and reads until its reply arrives. Any
+    /// transport or protocol trouble is an `Err(String)` — the caller
+    /// reconnects.
+    fn call(&mut self, body: ServeRequest) -> Result<ServeResponse, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode_frame(&Envelope { id, body });
+        if let (Some(rng), Some(previous)) = (self.dup_rng.as_mut(), self.last_frame.as_ref()) {
+            // Chaos reordering: occasionally replay the previous frame
+            // first. The server must absorb the duplicate idempotently;
+            // we skip its stale reply below.
+            if rng.gen_range(0u32..1000) < self.dup_per_mille {
+                self.wire.write_all(previous).map_err(|e| format!("write dup: {e}"))?;
+            }
+        }
+        self.wire.write_all(&frame).map_err(|e| format!("write: {e}"))?;
+        self.wire.flush().map_err(|e| format!("flush: {e}"))?;
+        self.last_frame = Some(frame);
+
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            loop {
+                let payload = match self.frames.next_frame() {
+                    Ok(Some(p)) => p,
+                    Ok(None) => break,
+                    Err(e) => return Err(format!("bad reply frame: {e:?}")),
+                };
+                let envelope = decode_payload::<ServeResponse>(&payload)
+                    .map_err(|e| format!("bad reply payload: {e:?}"))?;
+                if envelope.id == id {
+                    return Ok(envelope.body);
+                }
+                if envelope.id > id {
+                    return Err(format!(
+                        "reply id {} is from the future (expected {id})",
+                        envelope.id
+                    ));
+                }
+                // A reply to a chaos-duplicated earlier request (or the
+                // listener's id-0 Overloaded frame): surface the typed
+                // overload, skip ordinary stale duplicates.
+                if let ServeResponse::Overloaded { retry_after_ms } = envelope.body {
+                    return Err(format!("server overloaded; retry after {retry_after_ms}ms"));
+                }
+            }
+            match self.wire.read(&mut chunk) {
+                Ok(0) => return Err("server closed the connection".to_string()),
+                Ok(n) => self.frames.push(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+    }
+}

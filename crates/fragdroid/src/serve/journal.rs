@@ -1,0 +1,350 @@
+//! The serve job journal: an append-only, checksummed record of every
+//! accepted submission and every finished result, so a killed server
+//! can be restarted and pick up exactly where it died.
+//!
+//! The on-disk format reuses the checkpoint journal's line codec —
+//! `"<fnv16hex> <json>\n"` per record ([`crate::checkpoint`]) — over
+//! its own record type:
+//!
+//! - a `Header` stamping the format version and the config digest
+//!   (refusing to mix results from different configurations, like the
+//!   checkpoint fingerprint),
+//! - one `Submitted` per accepted job, fsynced **before** the client
+//!   sees `Accepted` (durable admission),
+//! - one `Completed` per finished job, fsynced before the in-memory
+//!   table flips to done.
+//!
+//! Recovery replays the valid prefix: a `Completed` job is served from
+//! the journal byte-identically, a `Submitted`-only job is re-queued
+//! (the engine is deterministic, so the re-run reproduces the same
+//! report), and a torn tail — the half-written line a `kill -9` leaves
+//! behind — is truncated away. Creation is atomic (tmp + fsync +
+//! rename + directory fsync), so a journal file at the path always has
+//! a complete header.
+
+use crate::checkpoint::{decode_line, encode_line_into, JournalError, LineError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Job-journal format version; bumped whenever a record shape changes
+/// incompatibly.
+pub(crate) const JOB_JOURNAL_VERSION: u64 = 1;
+
+/// One journal line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+enum JobRecord {
+    /// First line of every journal.
+    Header { config_digest: u64, version: u64 },
+    /// An accepted submission, written before the `Accepted` reply.
+    Submitted { container_hex: String, digest: u64, inputs: BTreeMap<String, String>, job: u64 },
+    /// A finished job: `ok` selects report (`true`) vs refusal.
+    Completed { job: u64, ok: bool, payload: String },
+}
+
+/// One job restored from the journal.
+pub(crate) struct RecoveredJob {
+    pub job: u64,
+    pub digest: u64,
+    pub container_hex: String,
+    pub inputs: BTreeMap<String, String>,
+    /// `Some` when a `Completed` record survived: `Ok(report_json)` or
+    /// `Err(refusal)`. `None` means the job must be re-queued.
+    pub result: Option<Result<String, String>>,
+}
+
+/// Everything recovery found.
+#[derive(Default)]
+pub(crate) struct Recovery {
+    /// Restored jobs in job-id order.
+    pub jobs: Vec<RecoveredJob>,
+    /// Bytes of torn tail truncated away (0 for a clean journal).
+    pub torn_tail_bytes: u64,
+}
+
+/// An open job journal, positioned for appending.
+pub(crate) struct JobJournal {
+    path: PathBuf,
+    file: File,
+    json_scratch: String,
+    line_scratch: String,
+}
+
+impl JobJournal {
+    /// Opens the journal at `path`, recovering its contents, or creates
+    /// a fresh one when the path does not exist.
+    pub fn open_or_create(
+        path: &Path,
+        config_digest: u64,
+    ) -> Result<(JobJournal, Recovery), JournalError> {
+        if path.exists() {
+            Self::recover(path, config_digest)
+        } else {
+            Self::create(path, config_digest).map(|journal| (journal, Recovery::default()))
+        }
+    }
+
+    /// Creates a fresh journal: header into a tmp file, fsync, rename
+    /// over the final path, fsync the directory — after this sequence
+    /// the journal either exists with a complete header or not at all.
+    fn create(path: &Path, config_digest: u64) -> Result<JobJournal, JournalError> {
+        let tmp = path.with_extension("jobs.tmp");
+        let mut file = File::create(&tmp).map_err(|e| io_err(&tmp, "create", e))?;
+        let mut json = String::new();
+        let mut line = String::new();
+        encode_line_into(
+            &JobRecord::Header { config_digest, version: JOB_JOURNAL_VERSION },
+            &mut json,
+            &mut line,
+        );
+        file.write_all(line.as_bytes()).map_err(|e| io_err(&tmp, "write header", e))?;
+        file.sync_all().map_err(|e| io_err(&tmp, "fsync", e))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, "rename", e))?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(dir_handle) = File::open(dir) {
+                let _ = dir_handle.sync_all();
+            }
+        }
+        let file =
+            OpenOptions::new().append(true).open(path).map_err(|e| io_err(path, "open", e))?;
+        Ok(JobJournal { path: path.to_path_buf(), file, json_scratch: json, line_scratch: line })
+    }
+
+    /// Replays an existing journal: validates the header, restores the
+    /// job table from the valid record prefix, truncates everything
+    /// past the first undecodable line (the torn tail a crash leaves),
+    /// and reopens for appending.
+    fn recover(path: &Path, config_digest: u64) -> Result<(JobJournal, Recovery), JournalError> {
+        let data = std::fs::read(path).map_err(|e| io_err(path, "read", e))?;
+        let mut records: Vec<JobRecord> = Vec::new();
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let Some(newline) = data[offset..].iter().position(|&b| b == b'\n') else {
+                break; // incomplete final line: torn tail
+            };
+            // A line that fails its checksum or does not parse marks
+            // the start of the torn tail; resubmission re-runs anything
+            // the truncation drops, so stopping here is safe.
+            match decode_line::<JobRecord>(&data[offset..offset + newline]) {
+                Ok(record) => {
+                    records.push(record);
+                    offset += newline + 1;
+                }
+                Err(LineError::Checksum) | Err(LineError::Malformed(_)) => break,
+            }
+        }
+        let valid_len = offset as u64;
+        let torn_tail_bytes = data.len() as u64 - valid_len;
+
+        let mut iter = records.into_iter();
+        match iter.next() {
+            Some(JobRecord::Header { config_digest: found, version }) => {
+                if version != JOB_JOURNAL_VERSION {
+                    return Err(JournalError::VersionMismatch { found: version });
+                }
+                if found != config_digest {
+                    return Err(JournalError::FingerprintMismatch {
+                        expected: digest_fingerprint(config_digest),
+                        found: digest_fingerprint(found),
+                    });
+                }
+            }
+            Some(_) | None => return Err(JournalError::MissingHeader),
+        }
+
+        let mut jobs: BTreeMap<u64, RecoveredJob> = BTreeMap::new();
+        for (line, record) in iter.enumerate() {
+            // 1-based, counting the header as line 1.
+            let line = line + 2;
+            match record {
+                JobRecord::Header { .. } => {
+                    return Err(JournalError::BadRecord {
+                        line,
+                        error: "second header record".to_string(),
+                    })
+                }
+                JobRecord::Submitted { container_hex, digest, inputs, job } => {
+                    if jobs.contains_key(&job) {
+                        return Err(JournalError::DuplicateIndex { index: job as usize });
+                    }
+                    jobs.insert(
+                        job,
+                        RecoveredJob { job, digest, container_hex, inputs, result: None },
+                    );
+                }
+                JobRecord::Completed { job, ok, payload } => {
+                    let Some(entry) = jobs.get_mut(&job) else {
+                        return Err(JournalError::BadRecord {
+                            line,
+                            error: format!("Completed record for unsubmitted job {job}"),
+                        });
+                    };
+                    entry.result = Some(if ok { Ok(payload) } else { Err(payload) });
+                }
+            }
+        }
+
+        if torn_tail_bytes > 0 {
+            let file =
+                OpenOptions::new().write(true).open(path).map_err(|e| io_err(path, "open", e))?;
+            file.set_len(valid_len).map_err(|e| io_err(path, "truncate", e))?;
+            file.sync_all().map_err(|e| io_err(path, "fsync", e))?;
+        }
+        let file =
+            OpenOptions::new().append(true).open(path).map_err(|e| io_err(path, "open", e))?;
+        Ok((
+            JobJournal {
+                path: path.to_path_buf(),
+                file,
+                json_scratch: String::new(),
+                line_scratch: String::new(),
+            },
+            Recovery { jobs: jobs.into_values().collect(), torn_tail_bytes },
+        ))
+    }
+
+    /// Appends (and fsyncs) one `Submitted` record. Called before the
+    /// `Accepted` reply — an error here refuses the submission.
+    pub fn append_submitted(
+        &mut self,
+        job: u64,
+        digest: u64,
+        container_hex: &str,
+        inputs: &BTreeMap<String, String>,
+    ) -> Result<(), JournalError> {
+        self.append(&JobRecord::Submitted {
+            container_hex: container_hex.to_string(),
+            digest,
+            inputs: inputs.clone(),
+            job,
+        })
+    }
+
+    /// Appends (and fsyncs) one `Completed` record.
+    pub fn append_completed(
+        &mut self,
+        job: u64,
+        ok: bool,
+        payload: &str,
+    ) -> Result<(), JournalError> {
+        self.append(&JobRecord::Completed { job, ok, payload: payload.to_string() })
+    }
+
+    fn append(&mut self, record: &JobRecord) -> Result<(), JournalError> {
+        self.line_scratch.clear();
+        encode_line_into(record, &mut self.json_scratch, &mut self.line_scratch);
+        self.file
+            .write_all(self.line_scratch.as_bytes())
+            .map_err(|e| io_err(&self.path, "append", e))?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, "fsync", e))
+    }
+
+    /// Flushes pending writes to disk.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.sync_data().map_err(|e| io_err(&self.path, "fsync", e))
+    }
+}
+
+fn io_err(path: &Path, op: &'static str, error: std::io::Error) -> JournalError {
+    JournalError::Io { path: path.display().to_string(), op, error: error.to_string() }
+}
+
+/// Wraps a bare config digest in the checkpoint [`Fingerprint`] shape
+/// so the mismatch error renders through the same Display path. The
+/// job journal has no corpus or flake budget, so those fields are 0.
+fn digest_fingerprint(config_digest: u64) -> crate::checkpoint::Fingerprint {
+    crate::checkpoint::Fingerprint { apps: 0, corpus_digest: 0, config_digest, flake_retries: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fd-serve-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    fn inputs() -> BTreeMap<String, String> {
+        let mut m = BTreeMap::new();
+        m.insert("field".to_string(), "value".to_string());
+        m
+    }
+
+    #[test]
+    fn create_append_recover_round_trip() {
+        let path = tmp("roundtrip.jobs");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, recovery) = JobJournal::open_or_create(&path, 7).expect("create");
+        assert!(recovery.jobs.is_empty());
+        journal.append_submitted(3, 11, "aabb", &inputs()).expect("submit 3");
+        journal.append_submitted(1, 12, "ccdd", &BTreeMap::new()).expect("submit 1");
+        journal.append_completed(3, true, "{\"report\":1}").expect("complete 3");
+        drop(journal);
+
+        let (_journal, recovery) = JobJournal::open_or_create(&path, 7).expect("recover");
+        assert_eq!(recovery.torn_tail_bytes, 0);
+        assert_eq!(recovery.jobs.len(), 2);
+        // Job-id order: job 1 (pending) then job 3 (completed).
+        assert_eq!(recovery.jobs[0].job, 1);
+        assert!(recovery.jobs[0].result.is_none());
+        assert_eq!(recovery.jobs[0].container_hex, "ccdd");
+        assert_eq!(recovery.jobs[1].job, 3);
+        assert_eq!(recovery.jobs[1].digest, 11);
+        assert_eq!(recovery.jobs[1].inputs, inputs());
+        assert_eq!(recovery.jobs[1].result, Some(Ok("{\"report\":1}".to_string())));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survivors_kept() {
+        let path = tmp("torn.jobs");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, _) = JobJournal::open_or_create(&path, 1).expect("create");
+        journal.append_submitted(0, 5, "aa", &BTreeMap::new()).expect("submit");
+        journal.append_completed(0, false, "refused").expect("complete");
+        drop(journal);
+
+        let clean_len = std::fs::metadata(&path).expect("meta").len();
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(b"0123456789abcdef torn-half-written-line");
+        std::fs::write(&path, &bytes).expect("tear");
+
+        let (_journal, recovery) = JobJournal::open_or_create(&path, 1).expect("recover");
+        assert_eq!(recovery.torn_tail_bytes, 39);
+        assert_eq!(recovery.jobs.len(), 1);
+        assert_eq!(recovery.jobs[0].result, Some(Err("refused".to_string())));
+        assert_eq!(std::fs::metadata(&path).expect("meta").len(), clean_len, "tail truncated");
+    }
+
+    #[test]
+    fn config_mismatch_and_version_are_refused() {
+        let path = tmp("mismatch.jobs");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = JobJournal::open_or_create(&path, 42).expect("create");
+        drop(journal);
+        match JobJournal::open_or_create(&path, 43) {
+            Err(JournalError::FingerprintMismatch { expected, found }) => {
+                assert_eq!(expected.config_digest, 43);
+                assert_eq!(found.config_digest, 42);
+            }
+            other => panic!("expected FingerprintMismatch, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn completed_without_submitted_is_a_bad_record() {
+        let path = tmp("orphan.jobs");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, _) = JobJournal::open_or_create(&path, 9).expect("create");
+        journal.append_completed(8, true, "{}").expect("orphan complete");
+        drop(journal);
+        assert!(matches!(
+            JobJournal::open_or_create(&path, 9),
+            Err(JournalError::BadRecord { line: 2, .. })
+        ));
+    }
+}

@@ -43,16 +43,17 @@ use std::time::Duration;
 /// remainder of an uneven split lands one extra app on each of the
 /// leading shards, so shard sizes differ by at most one.
 ///
-/// # Panics
-/// If `shards == 0` or `index >= shards`.
-pub fn shard_range(total: usize, shards: usize, index: usize) -> Range<usize> {
-    assert!(shards > 0, "split needs at least one shard");
-    assert!(index < shards, "shard index {index} out of range for {shards} shards");
+/// # Errors
+/// [`ShardError::Split`] if `shards == 0` or `index >= shards`.
+pub fn shard_range(total: usize, shards: usize, index: usize) -> Result<Range<usize>, ShardError> {
+    if shards == 0 || index >= shards {
+        return Err(ShardError::Split { shards, index });
+    }
     let base = total / shards;
     let extra = total % shards;
     let start = index * base + index.min(extra);
     let len = base + usize::from(index < extra);
-    start..start + len
+    Ok(start..start + len)
 }
 
 /// The journal path shard `index` of `shards` writes:
@@ -74,11 +75,15 @@ pub struct ShardSlice<'a> {
 impl<'a> ShardSlice<'a> {
     /// Shard `index` of `shards` over `source`.
     ///
-    /// # Panics
-    /// If `shards == 0` or `index >= shards`.
-    pub fn new(source: &'a dyn CorpusSource, shards: usize, index: usize) -> Self {
-        let range = shard_range(source.len(), shards, index);
-        ShardSlice { source, range }
+    /// # Errors
+    /// [`ShardError::Split`] if `shards == 0` or `index >= shards`.
+    pub fn new(
+        source: &'a dyn CorpusSource,
+        shards: usize,
+        index: usize,
+    ) -> Result<Self, ShardError> {
+        let range = shard_range(source.len(), shards, index)?;
+        Ok(ShardSlice { source, range })
     }
 
     /// The global corpus range this slice covers.
@@ -100,9 +105,18 @@ impl CorpusSource for ShardSlice<'_> {
     }
 }
 
-/// A typed shard-merge failure — `fd-cli` maps these to exit code 4.
+/// A typed shard failure — an invalid split, or a per-shard journal
+/// that cannot be run or merged. `fd-cli` maps these to exit code 4.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ShardError {
+    /// The split parameters themselves are invalid: a zero-shard
+    /// split, or a shard index outside it.
+    Split {
+        /// Shards in the rejected split.
+        shards: usize,
+        /// The offending shard index.
+        index: usize,
+    },
     /// A shard's journal failed to load or carries the wrong
     /// fingerprint (different corpus slice, config, or flake budget).
     Journal {
@@ -132,6 +146,12 @@ pub enum ShardError {
 impl fmt::Display for ShardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ShardError::Split { shards: 0, index: _ } => {
+                write!(f, "invalid split: a corpus cannot be split into 0 shards")
+            }
+            ShardError::Split { shards, index } => {
+                write!(f, "shard index {index} out of range for {shards} shards")
+            }
             ShardError::Journal { shard, error } => {
                 write!(f, "shard {shard}: {error}")
             }
@@ -179,8 +199,10 @@ pub struct MergedRun {
 /// the shard's own journal, so a killed shard picks up exactly where it
 /// stopped.
 ///
-/// # Panics
-/// If `shards == 0` or `index >= shards`.
+/// # Errors
+/// [`ShardError::Split`] if `shards == 0` or `index >= shards`;
+/// [`ShardError::Journal`] when the shard's own journal cannot be
+/// written, resumed, or fingerprint-matched.
 #[allow(clippy::too_many_arguments)]
 pub fn run_shard(
     source: &dyn CorpusSource,
@@ -192,8 +214,8 @@ pub fn run_shard(
     shards: usize,
     index: usize,
     pool: Option<&crate::pool::DevicePool>,
-) -> Result<(crate::checkpoint::CheckpointedSuite, fd_trace::Trace), JournalError> {
-    let slice = ShardSlice::new(source, shards, index);
+) -> Result<(crate::checkpoint::CheckpointedSuite, fd_trace::Trace), ShardError> {
+    let slice = ShardSlice::new(source, shards, index)?;
     let options = crate::checkpoint::CheckpointOptions {
         path: shard_journal_path(&base.path, index, shards),
         ..base.clone()
@@ -217,6 +239,7 @@ pub fn run_shard(
             flake_retries,
         ),
     }
+    .map_err(|error| ShardError::Journal { shard: index, error })
 }
 
 /// Merges the per-shard journals of an N-way split back into one
@@ -231,7 +254,9 @@ pub fn merge_shards(
     shards: usize,
     trace_config: &fd_trace::TraceConfig,
 ) -> Result<(MergedRun, fd_trace::Trace), ShardError> {
-    assert!(shards > 0, "merge needs at least one shard");
+    if shards == 0 {
+        return Err(ShardError::Split { shards, index: 0 });
+    }
     let total = source.len();
     let clock = fd_trace::TraceClock::start();
     let tracer = fd_trace::Tracer::new(trace_config, clock, 0);
@@ -241,7 +266,7 @@ pub fn merge_shards(
     let mut merged_flakes: Option<FlakeSummary> = None;
 
     for shard in 0..shards {
-        let slice = ShardSlice::new(source, shards, shard);
+        let slice = ShardSlice::new(source, shards, shard)?;
         let range = slice.range();
         let expected = Fingerprint::of(&SuiteSource::Lazy(&slice), config, flake_retries)
             .map_err(|detail| ShardError::Source { detail })?;
@@ -334,13 +359,14 @@ mod tests {
         for (total, shards) in [(10, 4), (7, 7), (3, 7), (0, 3), (217, 4), (100, 1)] {
             let mut next = 0;
             for index in 0..shards {
-                let range = shard_range(total, shards, index);
+                let range = shard_range(total, shards, index).expect("valid split");
                 assert_eq!(range.start, next, "{total}/{shards} shard {index}");
                 next = range.end;
             }
             assert_eq!(next, total, "{total}/{shards} must cover the corpus");
-            let sizes: Vec<usize> =
-                (0..shards).map(|i| shard_range(total, shards, i).len()).collect();
+            let sizes: Vec<usize> = (0..shards)
+                .map(|i| shard_range(total, shards, i).expect("valid split").len())
+                .collect();
             let min = sizes.iter().min().unwrap();
             let max = sizes.iter().max().unwrap();
             assert!(max - min <= 1, "sizes differ by at most one: {sizes:?}");
@@ -349,9 +375,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_shard_index_panics() {
-        shard_range(10, 4, 4);
+    fn invalid_splits_are_typed_errors() {
+        assert_eq!(shard_range(10, 4, 4), Err(ShardError::Split { shards: 4, index: 4 }));
+        assert_eq!(shard_range(10, 0, 0), Err(ShardError::Split { shards: 0, index: 0 }));
+        let out_of_range = shard_range(10, 4, 7).unwrap_err();
+        assert!(out_of_range.to_string().contains("out of range"), "{out_of_range}");
+        let zero = shard_range(10, 0, 2).unwrap_err();
+        assert!(zero.to_string().contains("0 shards"), "{zero}");
+        let containers: Vec<SuiteContainer> = Vec::new();
+        assert!(matches!(
+            ShardSlice::new(&containers, 2, 2),
+            Err(ShardError::Split { shards: 2, index: 2 })
+        ));
     }
 
     #[test]
@@ -370,7 +405,7 @@ mod tests {
         let containers: Vec<SuiteContainer> = (0..5)
             .map(|i| (bytes::Bytes::from(vec![i as u8; 3]), std::collections::BTreeMap::new()))
             .collect();
-        let slice = ShardSlice::new(&containers, 2, 1); // entries 3, 4 (ragged: 3+2)
+        let slice = ShardSlice::new(&containers, 2, 1).expect("valid split"); // entries 3, 4 (ragged: 3+2)
         assert_eq!(slice.range(), 3..5);
         assert_eq!(CorpusSource::len(&slice), 2);
         let (bytes, _) = slice.fetch(0).expect("fetch maps to global 3");

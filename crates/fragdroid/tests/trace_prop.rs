@@ -82,10 +82,12 @@ mod disabled_is_byte_identical {
     }
 }
 
-/// The per-phase totals `fd-cli trace` reports must agree with the
-/// suite's own per-app wall-clock accounting: the top-level phases
-/// (decompile/pack/static/explore) partition each app's run, so their
-/// summed wall time lands within a few percent of the summed App spans.
+/// The per-phase spans `fd-cli trace` reports must agree with the
+/// suite's own accounting — checked *structurally* (span counts,
+/// timestamp nesting, and a truncation-only stopwatch bound), never
+/// against wall-clock coverage ratios: how much of an App span the
+/// phases cover depends on scheduler preemption, so any duration-slack
+/// assertion is flaky on a loaded host.
 #[test]
 fn phase_totals_agree_with_suite_metrics() {
     let apps = corpus_slice(3, 6);
@@ -96,24 +98,63 @@ fn phase_totals_agree_with_suite_metrics() {
     let phase_total = summary.top_level_phase_total_us();
     let app_total = summary.app_total_us;
     assert!(phase_total <= app_total, "phases nest inside the App spans");
-    // 5% relative slack plus a per-app absolute floor: on a loaded host
-    // a scheduler preemption *between* two phases of one app is time
-    // inside the App span that belongs to no phase, and can cost a
-    // full quantum (≥4ms) per app. A real coverage bug loses the bulk
-    // of the app span, not a few quanta.
-    let slack = (app_total / 20).max(4_000 * run.metrics.apps.len() as u64);
-    assert!(
-        app_total - phase_total <= slack,
-        "top-level phases must cover the app spans: {phase_total}µs of {app_total}µs"
-    );
 
-    // The tracer's App spans and the engine's own stopwatch agree on the
-    // total (both bracket the same work; the engine adds catch_unwind and
-    // tracer setup, so it reads slightly higher).
+    // Structural containment: each worker track carries one App span
+    // per app it ran, and every top-level phase span on a track nests
+    // inside one of that track's App spans — the span guards enforce
+    // this ordering in code, so the timestamps must agree no matter how
+    // loaded the machine is.
+    let mut app_spans: std::collections::BTreeMap<u64, Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    let mut total_app_spans = 0usize;
+    for record in &trace.records {
+        if let fd_trace::TraceRecord::Span(span) = record {
+            if span.phase == fd_trace::Phase::App {
+                let end = span.wall_start_us + span.wall_dur_us;
+                app_spans.entry(span.track).or_default().push((span.wall_start_us, end));
+                total_app_spans += 1;
+            }
+        }
+    }
+    assert_eq!(total_app_spans, run.metrics.apps.len(), "every app got an App span");
+
+    let top_level = [
+        fd_trace::Phase::Decompile,
+        fd_trace::Phase::Pack,
+        fd_trace::Phase::Static,
+        fd_trace::Phase::Explore,
+    ];
+    let (mut static_spans, mut explore_spans) = (0usize, 0usize);
+    for record in &trace.records {
+        if let fd_trace::TraceRecord::Span(span) = record {
+            if top_level.contains(&span.phase) {
+                let intervals = app_spans.get(&span.track).expect("phase span on an app track");
+                let (s, e) = (span.wall_start_us, span.wall_start_us + span.wall_dur_us);
+                assert!(
+                    intervals.iter().any(|&(start, end)| s >= start && e <= end),
+                    "{} span [{s}..{e}]µs must nest inside an App span of its track \
+                     (App spans: {intervals:?})",
+                    span.phase.as_str(),
+                );
+                match span.phase {
+                    fd_trace::Phase::Static => static_spans += 1,
+                    fd_trace::Phase::Explore => explore_spans += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert_eq!(static_spans, run.metrics.apps.len(), "one Static span per app");
+    assert_eq!(explore_spans, run.metrics.apps.len(), "one Explore span per app");
+
+    // The engine's stopwatch brackets each job (which contains the App
+    // span), and `wall_ms` truncates to milliseconds — so the only
+    // legitimate excess of span total over stopwatch total is that
+    // sub-millisecond truncation, one per app. No load-dependent slack.
     let metrics_total_us: u64 = run.metrics.apps.iter().map(|m| m.wall_ms * 1000).sum();
-    let engine_slack = (metrics_total_us / 10).max(5_000) + 1_000 * run.metrics.apps.len() as u64;
+    let truncation = 1_000 * run.metrics.apps.len() as u64;
     assert!(
-        app_total <= metrics_total_us + engine_slack,
+        app_total <= metrics_total_us + truncation,
         "span total {app_total}µs vs engine total {metrics_total_us}µs"
     );
 
