@@ -792,6 +792,129 @@ pub fn submit(argv: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// `fragdroid dispatch --connect ADDR[,ADDR...] [--seed N] [--limit N]
+/// [--corpus DIR] [--shards N] [--checkpoint J] [--resume] ...` — split
+/// the corpus into shards and drive a farm of `fragdroid serve`
+/// endpoints to completion under time-bounded leases: a dead or
+/// quarantined worker's shards are revoked and reassigned, stragglers
+/// get backup grants, and with `--checkpoint` the coordinator journal
+/// makes `--resume` survive a coordinator kill. The merged result
+/// renders Table 1 plus the farm appendix, and its outcome digest is
+/// byte-identical to an unsharded `fragdroid corpus` run of the same
+/// corpus and config — the endpoints must run the matching config
+/// (deadline, faults), since each worker executes jobs under its own.
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
+    let p = parse(argv)?;
+    if !p.positional.is_empty() {
+        return Err("dispatch takes no positional arguments".into());
+    }
+    let spec = p.opt("connect").ok_or("dispatch requires --connect ADDR[,ADDR...]")?;
+    let mut endpoints = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if !part.is_empty() {
+            endpoints.push(fragdroid::ListenAddr::parse(part)?);
+        }
+    }
+    let seed = p.num("seed", 1)?;
+    let limit = p.num("limit", 0)? as usize;
+    let disk_corpus;
+    let mem_corpus;
+    let source: &dyn fragdroid::CorpusSource = match p.opt("corpus") {
+        Some(dir) => {
+            if limit > 0 {
+                return Err("--limit applies to the in-memory corpus; \
+                            split an on-disk corpus with --shards"
+                    .into());
+            }
+            disk_corpus = fd_apk::CorpusReader::open(std::path::Path::new(dir))
+                .map_err(|e| format!("cannot open corpus {dir}: {e}"))?;
+            &disk_corpus
+        }
+        None => {
+            let mut apps: Vec<fragdroid::suite::SuiteContainer> =
+                fd_appgen::corpus::corpus_217(seed)
+                    .into_iter()
+                    .map(|g| (fd_apk::pack(&g.app), g.known_inputs))
+                    .collect();
+            if limit > 0 {
+                apps.truncate(limit);
+            }
+            mem_corpus = apps;
+            &mem_corpus
+        }
+    };
+
+    // The digest-parity config. Only knobs that change what the suite
+    // *finds* matter here; execution happens on the serve endpoints.
+    let mut config = FragDroidConfig::default();
+    let deadline_ms = p.num("deadline-ms", 0)?;
+    if deadline_ms > 0 {
+        config = config.with_deadline(std::time::Duration::from_millis(deadline_ms));
+    }
+    let fault_rate = p.fraction("fault-rate", 0.0)?;
+    if fault_rate > 0.0 {
+        config = config.with_faults(p.num("fault-seed", 1)?, fault_rate);
+    }
+
+    let ms = std::time::Duration::from_millis;
+    let mut options = fragdroid::DispatchOptions::new(endpoints);
+    options.shards = p.num("shards", 0)? as usize;
+    options.journal = p.opt("checkpoint").map(std::path::PathBuf::from);
+    options.resume = p.flag("resume");
+    options.lease_timeout = ms(p.num("lease-timeout-ms", 120_000)?);
+    options.heartbeat_interval = ms(p.num("heartbeat-ms", 250)?);
+    options.stall_timeout = ms(p.num("stall-timeout-ms", 300_000)?);
+    options.quarantine_after = p.num("quarantine-after", 3)? as u32;
+    options.quarantine_backoff = ms(p.num("quarantine-backoff-ms", 500)?);
+    options.job_deadline = ms(p.num("job-timeout-ms", 60_000)?);
+    options.job_attempts = p.num("job-retries", 8)? as u32;
+    if let Some(v) = p.opt("jitter-seed") {
+        options.jitter_seed =
+            v.parse().map_err(|_| format!("--jitter-seed expects a number, got '{v}'"))?;
+    }
+    if let Some(v) = p.opt("chaos-seed") {
+        let chaos_seed: u64 =
+            v.parse().map_err(|_| format!("--chaos-seed expects a number, got '{v}'"))?;
+        options.chaos = Some(fragdroid::ChaosConfig::from_seed(chaos_seed));
+    }
+
+    let trace_out = p.opt("trace-out");
+    let trace_config = if trace_out.is_some() {
+        fd_trace::TraceConfig::on()
+    } else {
+        fd_trace::TraceConfig::off()
+    };
+
+    let run = fragdroid::dispatch(source, &config, &options, &trace_config)?;
+    if let Some(out) = trace_out {
+        write_trace(out, &run.trace)?;
+    }
+
+    if p.flag("json") {
+        let metrics = run
+            .merged
+            .run
+            .metrics
+            .to_json()
+            .map_err(|e| format!("cannot serialize metrics: {e}"))?;
+        let summary = serde_json::to_string(&run.summary)
+            .map_err(|e| format!("cannot serialize dispatch summary: {e}"))?;
+        println!("{{\"metrics\":{metrics},\"dispatch\":{summary}}}");
+        return Ok(());
+    }
+
+    // Table 1 straight from the merged run — no second pass over the
+    // corpus — then the quarantine and farm appendices, and finally the
+    // digest line CI diffs against the unsharded reference.
+    let (rows, rejected) = fd_report::table1_rows_from_run(&run.merged.run);
+    print!("{}", fd_report::render_table1(&rows));
+    print!("{}", fd_report::render_rejections(&rejected));
+    print!("{}", fd_report::render_dispatch_summary(&run.summary));
+    println!("outcome digest: {:#018x}", run.merged.run.outcome_digest());
+    Ok(())
+}
+
 /// `fragdroid fuzz [--seed N] [--mutants N] [--target T[,T..]] [--out DIR]
 /// [--trace-out T.jsonl] [--json]` — run a deterministic structure-aware
 /// fuzz campaign over the ingestion frontier and report per-target
@@ -810,7 +933,7 @@ pub fn fuzz(argv: &[String]) -> Result<(), CliError> {
                 fd_fuzz::Target::parse(name.trim()).ok_or_else(|| {
                     format!(
                         "unknown fuzz target '{name}' \
-                         (container, smali, json, protocol, corpus, serve)"
+                         (container, smali, json, protocol, corpus, serve, dispatch)"
                     )
                 })
             })

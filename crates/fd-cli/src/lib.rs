@@ -46,6 +46,9 @@ pub enum CliError {
     /// job journal problem, or an exhausted/conflicted submit client) —
     /// exit code 5.
     Serve(String),
+    /// Dispatch coordinator error (no endpoints, a coordinator-journal
+    /// problem, or a stalled farm) — exit code 6.
+    Dispatch(String),
 }
 
 impl CliError {
@@ -57,6 +60,7 @@ impl CliError {
             CliError::Checkpoint(_) => 3,
             CliError::Shard(_) => 4,
             CliError::Serve(_) => 5,
+            CliError::Dispatch(_) => 6,
         }
     }
 }
@@ -69,6 +73,7 @@ impl std::fmt::Display for CliError {
             CliError::Checkpoint(message) => write!(f, "checkpoint: {message}"),
             CliError::Shard(message) => write!(f, "shard merge: {message}"),
             CliError::Serve(message) => write!(f, "serve: {message}"),
+            CliError::Dispatch(message) => write!(f, "dispatch: {message}"),
         }
     }
 }
@@ -94,6 +99,20 @@ impl From<fragdroid::ServeError> for CliError {
 impl From<fragdroid::ClientError> for CliError {
     fn from(error: fragdroid::ClientError) -> Self {
         CliError::Serve(error.to_string())
+    }
+}
+
+impl From<fragdroid::DispatchError> for CliError {
+    fn from(error: fragdroid::DispatchError) -> Self {
+        // Shard and journal causes keep their own exit codes so scripts
+        // can tell a broken merge from a dead farm.
+        match error {
+            fragdroid::DispatchError::Shard(e) => CliError::Shard(e.to_string()),
+            fragdroid::DispatchError::Journal(e) => {
+                CliError::Checkpoint(format!("coordinator journal: {e}"))
+            }
+            other => CliError::Dispatch(other.to_string()),
+        }
     }
 }
 
@@ -131,6 +150,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "gen-corpus" => cmds::gen_corpus(rest),
         "serve" => cmds::serve(rest),
         "submit" => cmds::submit(rest),
+        "dispatch" => cmds::dispatch(rest),
         "device-agent" => cmds::device_agent(rest),
         "fuzz" => cmds::fuzz(rest),
         "trace" => cmds::trace(rest),
@@ -212,11 +232,31 @@ USAGE:
                                           the report JSON (or wait only for the
                                           durable accept with --async); job ids are
                                           idempotent resubmission keys
+  fragdroid dispatch --connect ADDR[,ADDR...] [--seed N] [--limit N]
+                [--corpus DIR] [--shards N] [--checkpoint J] [--resume]
+                [--deadline-ms N] [--fault-rate R] [--fault-seed N]
+                [--lease-timeout-ms N] [--heartbeat-ms N] [--stall-timeout-ms N]
+                [--quarantine-after N] [--quarantine-backoff-ms N]
+                [--job-timeout-ms N] [--job-retries N] [--jitter-seed N]
+                [--chaos-seed N] [--json] [--trace-out T.jsonl]
+                                          farm coordinator: shard the corpus
+                                          across serve endpoints with
+                                          time-bounded leases, heartbeat
+                                          probes, quarantine, and automatic
+                                          reassignment; merges the shard
+                                          journals to the unsharded outcome
+                                          digest, renders Table 1 from the
+                                          merged run plus a per-worker
+                                          dispatch summary; --checkpoint J
+                                          journals coordinator progress and
+                                          --resume survives SIGKILL of the
+                                          coordinator itself (endpoints must
+                                          run the same engine config)
   fragdroid device-agent [--die-after N]  serve the device wire protocol on
                                           stdin/stdout (spawned by the subprocess
                                           backend; not for interactive use)
   fragdroid fuzz [--seed N] [--mutants N]
-                [--target container|smali|json|protocol|corpus|serve]
+                [--target container|smali|json|protocol|corpus|serve|dispatch]
                 [--out DIR] [--trace-out T.jsonl] [--json]
                                           deterministic ingestion-frontier fuzz campaign
   fragdroid trace <trace.jsonl> [--json]  per-phase/per-app profile of a trace
@@ -231,7 +271,9 @@ EXIT CODES:
   4  shard error (invalid split, or a missing, incomplete, or
      fingerprint-mismatched shard journal)
   5  serve error (bad listen address, socket failure, job-journal
-     corruption, or a submit client out of retries/conflicted)"
+     corruption, or a submit client out of retries/conflicted)
+  6  dispatch error (no endpoints, resume without a checkpoint, shard
+     count mismatch, or a stalled farm with every endpoint dead)"
     );
 }
 

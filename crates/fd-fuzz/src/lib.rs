@@ -2,8 +2,9 @@
 //!
 //! The decode/parse pipeline (`fd-apk` containers, `fd-smali` text, the
 //! JSON sections, the device-agent wire protocol, the FDCS corpus-shard
-//! index the lazy corpus reader trusts) promises *Ok or a typed Err —
-//! never a panic*. This crate is the harness that holds it to that
+//! index the lazy corpus reader trusts, the serve frame streams, and
+//! the dispatch coordinator journal `--resume` replays) promises *Ok or
+//! a typed Err — never a panic*. This crate is the harness that holds it to that
 //! promise:
 //!
 //! - [`mutate`] — seeded, deterministic mutators. Byte-level mutations

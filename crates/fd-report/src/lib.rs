@@ -12,9 +12,12 @@
 //! * [`table`] — a small plain-text table renderer shared by all of them;
 //! * [`shards`] — the per-shard breakdown of a merged multi-shard run;
 //! * [`serve`] — the incident summary a socket `fragdroid serve` prints
-//!   when it drains and exits.
+//!   when it drains and exits;
+//! * [`dispatch`] — Table 1 rendered straight from a merged farm run,
+//!   plus the coordinator's per-worker appendix.
 
 pub mod comparison;
+pub mod dispatch;
 pub mod serve;
 pub mod shards;
 pub mod study;
@@ -23,6 +26,7 @@ pub mod table1;
 pub mod table2;
 
 pub use comparison::{compare_tools, ComparisonRow};
+pub use dispatch::{render_dispatch_summary, table1_rows_from_run};
 pub use serve::render_serve_incidents;
 pub use shards::render_shard_merge;
 pub use study::{corpus_study, StudyResult};

@@ -218,6 +218,38 @@ pub enum TraceEvent {
         /// pending ones re-queued.
         jobs: u64,
     },
+    /// The dispatch coordinator leased a shard to a worker endpoint.
+    LeaseGranted {
+        /// Shard index within the dispatched split.
+        shard: u64,
+        /// Worker endpoint index within the coordinator's roster.
+        worker: u64,
+        /// The lease's generation counter (monotonic per coordinator).
+        generation: u64,
+    },
+    /// A lease expired or its worker failed; the shard returns to the
+    /// pending queue.
+    LeaseRevoked {
+        /// Shard index within the dispatched split.
+        shard: u64,
+        /// Worker endpoint index the lease was revoked from.
+        worker: u64,
+        /// The revoked lease's generation counter.
+        generation: u64,
+    },
+    /// A revoked shard was handed to a different (or revived) worker.
+    ShardReassigned {
+        /// Shard index within the dispatched split.
+        shard: u64,
+        /// Worker endpoint index that picked the shard back up.
+        worker: u64,
+    },
+    /// A worker endpoint failed health probes repeatedly and was benched
+    /// for a quarantine period.
+    WorkerQuarantined {
+        /// Worker endpoint index within the coordinator's roster.
+        worker: u64,
+    },
 }
 
 impl TraceEvent {
@@ -248,6 +280,10 @@ impl TraceEvent {
             TraceEvent::QueueSaturated { .. } => "queue-saturated",
             TraceEvent::DrainStarted => "drain-started",
             TraceEvent::JournalRecovered { .. } => "journal-recovered",
+            TraceEvent::LeaseGranted { .. } => "lease-granted",
+            TraceEvent::LeaseRevoked { .. } => "lease-revoked",
+            TraceEvent::ShardReassigned { .. } => "shard-reassigned",
+            TraceEvent::WorkerQuarantined { .. } => "worker-quarantined",
         }
     }
 }

@@ -82,6 +82,18 @@ pub struct TraceSummary {
     /// Jobs restored from a serve job journal at startup.
     #[serde(default)]
     pub recovered_jobs: u64,
+    /// Shard leases granted by the dispatch coordinator.
+    #[serde(default)]
+    pub lease_grants: u64,
+    /// Shard leases revoked (expiry, probe failure, failed run).
+    #[serde(default)]
+    pub lease_revocations: u64,
+    /// Shards re-granted after a revocation.
+    #[serde(default)]
+    pub shard_reassignments: u64,
+    /// Endpoints quarantined by the dispatch coordinator.
+    #[serde(default)]
+    pub worker_quarantines: u64,
     /// Fault/retry/crash/recovery occurrences in wall-clock order,
     /// truncated to [`TraceSummary::TIMELINE_CAP`].
     pub timeline: Vec<TimelineEntry>,
@@ -219,6 +231,25 @@ impl TraceSummary {
                         TraceEvent::JournalRecovered { jobs } => {
                             summary.recovered_jobs += jobs;
                             Some(format!("recovered {jobs} jobs from the job journal"))
+                        }
+                        TraceEvent::LeaseGranted { .. } => {
+                            summary.lease_grants += 1;
+                            None
+                        }
+                        TraceEvent::LeaseRevoked { shard, worker, generation } => {
+                            summary.lease_revocations += 1;
+                            Some(format!(
+                                "lease on shard {shard} revoked from worker {worker} \
+                                 (generation {generation})"
+                            ))
+                        }
+                        TraceEvent::ShardReassigned { shard, worker } => {
+                            summary.shard_reassignments += 1;
+                            Some(format!("shard {shard} reassigned to worker {worker}"))
+                        }
+                        TraceEvent::WorkerQuarantined { worker } => {
+                            summary.worker_quarantines += 1;
+                            Some(format!("worker {worker} quarantined"))
                         }
                     };
                     if let Some(what) = note {

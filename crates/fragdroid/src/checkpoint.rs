@@ -615,7 +615,7 @@ pub fn load_journal(path: &Path) -> Result<LoadedJournal, JournalError> {
 /// Durability is unchanged from the write-per-append scheme — a record
 /// was never guaranteed before its batch's fsync either — but the
 /// per-record cost drops to an in-memory encode.
-struct JournalWriter {
+pub(crate) struct JournalWriter {
     file: File,
     path: PathBuf,
     /// Encoded-but-unwritten lines; flushed as one write.
@@ -636,11 +636,22 @@ impl JournalWriter {
         fingerprint: Fingerprint,
         fsync_every: usize,
     ) -> Result<Self, JournalError> {
-        let tmp = PathBuf::from(format!("{}.tmp", path.display()));
         let header = encode_line(&JournalRecord::Header(JournalHeader {
             version: JOURNAL_VERSION,
             fingerprint,
         }));
+        JournalWriter::create_raw(path, &header, fsync_every)
+    }
+
+    /// [`Self::create`] over an already-encoded header line, so other
+    /// journals sharing the line codec (the dispatch coordinator's, with
+    /// its own header record) get the same atomic-create semantics.
+    pub(crate) fn create_raw(
+        path: &Path,
+        header: &str,
+        fsync_every: usize,
+    ) -> Result<Self, JournalError> {
+        let tmp = PathBuf::from(format!("{}.tmp", path.display()));
         {
             let mut file = File::create(&tmp).map_err(|e| JournalError::io(&tmp, "create", e))?;
             file.write_all(header.as_bytes())
@@ -668,7 +679,11 @@ impl JournalWriter {
 
     /// Reopens an existing journal for appending, first truncating away
     /// the torn tail past `valid_len`.
-    fn resume(path: &Path, valid_len: u64, fsync_every: usize) -> Result<Self, JournalError> {
+    pub(crate) fn resume(
+        path: &Path,
+        valid_len: u64,
+        fsync_every: usize,
+    ) -> Result<Self, JournalError> {
         let mut file = OpenOptions::new()
             .write(true)
             .open(path)
@@ -692,7 +707,7 @@ impl JournalWriter {
 
     /// Appends one record to the in-memory batch; group-commits when the
     /// batch fills.
-    fn append<T: serde::Serialize>(&mut self, record: &T) -> Result<(), JournalError> {
+    pub(crate) fn append<T: serde::Serialize>(&mut self, record: &T) -> Result<(), JournalError> {
         encode_line_into(record, &mut self.json, &mut self.buf);
         self.pending += 1;
         if self.pending >= self.fsync_every.max(1) {
@@ -704,7 +719,7 @@ impl JournalWriter {
     /// Group commit: writes the whole batch with one `write_all` and
     /// makes it durable with one `sync_data` (the file is append-only,
     /// so data-plus-size is all that needs to reach stable storage).
-    fn sync(&mut self) -> Result<(), JournalError> {
+    pub(crate) fn sync(&mut self) -> Result<(), JournalError> {
         if self.pending == 0 {
             return Ok(());
         }
@@ -716,6 +731,30 @@ impl JournalWriter {
         self.pending = 0;
         Ok(())
     }
+}
+
+/// Writes a *complete* journal in one shot: header, every slot in index
+/// order, one final fsync. Used by the dispatch coordinator
+/// ([`crate::dispatch`]) to materialize a shard journal from outcomes it
+/// collected over the wire — the resulting file is byte-for-byte what a
+/// local [`run_shard`](crate::shard::run_shard) would have left behind,
+/// so [`merge_shards`](crate::shard::merge_shards) accepts it without
+/// knowing who wrote it. `create`'s tmp-then-rename makes re-dispatch
+/// idempotent: rewriting an already-complete shard journal replaces it
+/// atomically with identical bytes.
+pub(crate) fn write_complete_journal<'a, I>(
+    path: &Path,
+    fingerprint: Fingerprint,
+    slots: I,
+) -> Result<(), JournalError>
+where
+    I: IntoIterator<Item = (usize, &'a AppOutcome, &'a AppMetrics)>,
+{
+    let mut writer = JournalWriter::create(path, fingerprint, usize::MAX)?;
+    for (index, outcome, metrics) in slots {
+        writer.append(&OutcomeRef { index, metrics, outcome })?;
+    }
+    writer.sync()
 }
 
 /// The writer plus its first failure: once an append fails (full disk,

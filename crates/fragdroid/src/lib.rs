@@ -32,6 +32,7 @@
 pub mod checkpoint;
 pub mod codegen;
 pub mod config;
+pub mod dispatch;
 pub mod driver;
 pub mod pool;
 pub mod queue;
@@ -47,6 +48,11 @@ pub use checkpoint::{
     JournalError, LoadedJournal,
 };
 pub use config::FragDroidConfig;
+pub use dispatch::{
+    decode_dispatch_line, demo_dispatch_journal, dispatch, parse_dispatch_journal, DispatchError,
+    DispatchJournal, DispatchOptions, DispatchRun, DispatchSummary, WorkerStat,
+    DISPATCH_JOURNAL_VERSION,
+};
 pub use driver::FragDroid;
 pub use pool::{build_backend, DeviceFactory, DevicePool};
 pub use queue::{QueueItem, UiQueue};

@@ -88,6 +88,9 @@ pub struct SubmitClient {
     io_timeout: Duration,
     chaos: Option<ChaosConfig>,
     connections: u64,
+    /// Seeded jitter source for retry backoff. `None` keeps the legacy
+    /// deterministic schedule (tests that pin exact sleep totals).
+    jitter: Option<StdRng>,
 }
 
 impl SubmitClient {
@@ -105,6 +108,7 @@ impl SubmitClient {
             io_timeout: Duration::from_secs(2),
             chaos: None,
             connections: 0,
+            jitter: None,
         }
     }
 
@@ -123,6 +127,16 @@ impl SubmitClient {
     /// Overrides the reconnect-attempt budget (clamped to at least 1).
     pub fn with_max_attempts(mut self, attempts: u32) -> SubmitClient {
         self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Arms seeded *equal jitter* on the retry backoff: each nap keeps
+    /// half its exponential value and draws the other half uniformly
+    /// from the seeded stream. Deterministic backoff synchronizes retry
+    /// storms when many clients lose the same server at once; the seed
+    /// keeps tests reproducible.
+    pub fn with_backoff_jitter(mut self, seed: u64) -> SubmitClient {
+        self.jitter = Some(StdRng::seed_from_u64(seed));
         self
     }
 
@@ -184,7 +198,13 @@ impl SubmitClient {
                     }
                 }
             }
-            let c = conversation.as_mut().expect("conversation was just opened");
+            // The open above either filled the slot or `continue`d; a
+            // still-empty slot is a logic regression we recover from by
+            // reconnecting rather than panicking mid-retry-loop.
+            let Some(c) = conversation.as_mut() else {
+                last = "no open conversation after connect".to_string();
+                continue;
+            };
             let request = ServeRequest::Submit {
                 job,
                 container_hex: container_hex.to_string(),
@@ -270,10 +290,18 @@ impl SubmitClient {
     }
 
     /// Exponential backoff, doubling from the base and capped at
-    /// 500 ms, never sleeping past the deadline.
-    fn backoff(&self, attempt: u32, started: Instant) {
+    /// 500 ms, never sleeping past the deadline. With jitter armed
+    /// ([`Self::with_backoff_jitter`]) the nap is equal-jittered: half
+    /// fixed, half drawn from the seeded stream, so a fleet of clients
+    /// that lost the same server desynchronizes instead of hammering it
+    /// in lockstep.
+    fn backoff(&mut self, attempt: u32, started: Instant) {
         let factor = 1u32 << attempt.min(6);
-        let nap = (self.base_backoff * factor).min(Duration::from_millis(500));
+        let mut nap = (self.base_backoff * factor).min(Duration::from_millis(500));
+        if let Some(rng) = self.jitter.as_mut() {
+            let half = nap / 2;
+            nap = half + Duration::from_nanos(rng.gen_range(0..=half.as_nanos() as u64));
+        }
         bounded_sleep(nap, started, self.deadline);
     }
 }

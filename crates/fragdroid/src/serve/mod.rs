@@ -809,7 +809,10 @@ fn handle_request(
         }
         ServeRequest::Shutdown => {
             tracer.event(|| fd_trace::TraceEvent::DrainStarted);
-            core.begin_drain();
+            // Draining begins only after the `Bye` reply is flushed
+            // (in `session_loop`): flipping it here would let the
+            // accept loop force-close this session before the reply
+            // hits the wire, and the shutdown client would see EOF.
             (ServeResponse::Bye, true)
         }
     }
@@ -861,13 +864,20 @@ fn session_loop<R: Read, W: Write>(
                 return Ok(());
             };
             let (reply, end) = handle_request(core, tracer, envelope.body, workers);
-            output
+            let written = output
                 .write_all(&encode_frame(&Envelope { id: envelope.id, body: reply }))
-                .map_err(|e| ServeError::io("write", e))?;
-            output.flush().map_err(|e| ServeError::io("flush", e))?;
+                .and_then(|()| output.flush())
+                .map_err(|e| ServeError::io("write", e));
             if end {
-                return Ok(());
+                // The `Bye` is on the wire (or the client is already
+                // gone); now it is safe to flip the server to draining
+                // and let the listener close every session, including
+                // this one. Flipping before the write would let the
+                // listener cut this session off mid-reply.
+                core.begin_drain();
+                return written;
             }
+            written?;
         }
         if let Some(stop) = mode.stop {
             if stop.load(Ordering::Relaxed) {
